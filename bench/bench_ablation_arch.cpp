@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Architecture-model ablations beyond the paper's figures: sensitivity
+ * of the simulated ASDR-Server to the design choices DESIGN.md calls
+ * out -- pipeline batch width, per-table IO groups (the hybrid
+ * mapping's parallel read ports), and the ReRAM read occupancy. These
+ * quantify how much of the headline speedup each mechanism carries.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hpp"
+
+using namespace asdr;
+using namespace asdr::bench;
+
+int
+main()
+{
+    benchHeader("Ablation: architecture-model design choices",
+                "Sensitivity of ASDR-Server time (Palace) to batch "
+                "width, IO groups and read occupancy.");
+
+    const std::string scene = "Palace";
+    PerfResult ref = runPerfScenario(PerfScenario::standard(scene, false));
+    double t_ref = ref.asdr.seconds;
+    std::cout << "reference ASDR-Server frame time: "
+              << fmt(t_ref * 1e3, 3) << " ms (speedup vs GPU "
+              << fmtTimes(ref.speedupVsGpu()) << ")\n";
+
+    {
+        TextTable table({"batch width (points)", "frame time",
+                         "vs reference"});
+        for (int batch : {4, 8, 16, 32, 64}) {
+            PerfScenario s = PerfScenario::standard(scene, false);
+            s.hw.batch_points = batch;
+            double t = runPerfScenario(s).asdr.seconds;
+            table.addRow({std::to_string(batch), fmt(t * 1e3, 3) + " ms",
+                          fmtTimes(t_ref / t)});
+        }
+        std::cout << "\n-- pipeline batch width --\n";
+        table.print(std::cout);
+    }
+
+    {
+        TextTable table({"IO groups (hashed/dense cap)", "frame time",
+                         "vs reference"});
+        struct P
+        {
+            int hashed;
+            int cap;
+        };
+        for (P p : {P{1, 1}, P{2, 8}, P{4, 32}, P{8, 64}, P{16, 128}}) {
+            PerfScenario s = PerfScenario::standard(scene, false);
+            s.hw.hashed_ports = p.hashed;
+            s.hw.dense_port_cap = p.cap;
+            double t = runPerfScenario(s).asdr.seconds;
+            table.addRow({std::to_string(p.hashed) + "/" +
+                              std::to_string(p.cap),
+                          fmt(t * 1e3, 3) + " ms", fmtTimes(t_ref / t)});
+        }
+        std::cout << "\n-- memory IO groups --\n";
+        table.print(std::cout);
+    }
+
+    {
+        // Read occupancy is a technology constant; emulate faster and
+        // slower cells through the SRAM/ReRAM backends.
+        TextTable table({"encoding memory", "frame time", "cache hit"});
+        for (sim::MemBackend mem :
+             {sim::MemBackend::Reram, sim::MemBackend::Sram}) {
+            PerfScenario s = PerfScenario::standard(scene, false);
+            s.hw = sim::AccelConfig::withVariant(
+                sim::AccelConfig::server(),
+                sim::MlpBackend::ReramCim, mem);
+            PerfResult r = runPerfScenario(s);
+            table.addRow({mem == sim::MemBackend::Reram ? "ReRAM (4 cyc)"
+                                                        : "SRAM (3 cyc)",
+                          fmt(r.asdr.seconds * 1e3, 3) + " ms",
+                          fmtPercent(r.asdr.enc.cacheHitRate())});
+        }
+        std::cout << "\n-- read occupancy / density trade --\n";
+        table.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Fig. 15 (profiling of point repetition rates): (a) the
+ * fraction of a ray's sampled points whose voxel is shared with the
+ * neighboring ray, per resolution level, and (b) the largest number of
+ * one ray's points landing in a single voxel. Paper: 12 of 16 levels
+ * exceed 90% inter-ray repetition; the lowest level packs ~98 of 192
+ * points into one voxel.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "core/analysis.hpp"
+
+using namespace asdr;
+
+int
+main()
+{
+    bench::benchHeader(
+        "Fig. 15: Inter-ray and intra-ray repetition per level",
+        "Paper: >=90% inter-ray repetition on 12/16 levels; lowest "
+        "level holds ~98/192 points of a ray in one voxel.");
+
+    auto scene = scene::createScene("Lego");
+    nerf::ProceduralField field(*scene, bench::platformModel(false));
+    core::ExperimentPreset preset = core::ExperimentPreset::perf();
+    int w, h;
+    preset.resolutionFor(scene->info(), w, h);
+    nerf::Camera camera = nerf::cameraForScene(scene->info(), w, h);
+
+    auto profile = core::profileRepetition(field, camera,
+                                           preset.samples_per_ray, 256);
+
+    TextTable table({"level", "inter-ray repetition",
+                     "max points in one voxel (of " +
+                         std::to_string(preset.samples_per_ray) + ")"});
+    int high_levels = 0;
+    for (size_t l = 0; l < profile.inter_ray.size(); ++l) {
+        if (profile.inter_ray[l] >= 0.9)
+            ++high_levels;
+        table.addRow({std::to_string(l),
+                      fmtPercent(profile.inter_ray[l]),
+                      fmt(profile.intra_ray_max_points[l], 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nlevels with >=90% inter-ray repetition: "
+              << high_levels << "/16 (paper: 12/16)\n";
+    return 0;
+}

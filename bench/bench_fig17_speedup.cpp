@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Fig. 17 (overall speedup): ASDR-Server vs RTX 3070 and
+ * NeuRex-Server, ASDR-Edge vs Xavier NX and NeuRex-Edge, on the five
+ * performance scenes. Paper averages: server 11.84x over the GPU and
+ * 2.89x for NeuRex; edge 49.61x over Xavier NX and 9.21x for NeuRex.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hpp"
+
+using namespace asdr;
+using namespace asdr::bench;
+
+namespace {
+
+void
+runClass(bool edge)
+{
+    const char *gpu_name = edge ? "Xavier NX" : "RTX 3070";
+    const char *accel_name = edge ? "NeuRex-Edge" : "NeuRex-Server";
+    const char *asdr_name = edge ? "ASDR-Edge" : "ASDR-Server";
+
+    TextTable table({"scene", std::string(gpu_name),
+                     std::string(accel_name), std::string(asdr_name)});
+    std::vector<double> neurex_speedups, asdr_speedups;
+    for (const auto &name : scene::perfSceneNames()) {
+        PerfResult r = runPerfScenario(PerfScenario::standard(name, edge));
+        neurex_speedups.push_back(r.speedupNeurexVsGpu());
+        asdr_speedups.push_back(r.speedupVsGpu());
+        table.addRow({name, "1x", fmtTimes(r.speedupNeurexVsGpu()),
+                      fmtTimes(r.speedupVsGpu())});
+    }
+    table.addRule();
+    table.addRow({"Average", "1x", fmtTimes(geomean(neurex_speedups)),
+                  fmtTimes(geomean(asdr_speedups))});
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    benchHeader("Fig. 17a: Speedup (Server class)",
+                "Paper averages: NeuRex-Server 2.89x, ASDR-Server "
+                "11.84x over RTX 3070.");
+    runClass(false);
+
+    benchHeader("Fig. 17b: Speedup (Edge class)",
+                "Paper averages: NeuRex-Edge 9.21x, ASDR-Edge 49.61x "
+                "over Xavier NX.");
+    runClass(true);
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces Fig. 18 (speedup broken into the hash-encoding phase and
+ * the MLP phase), server and edge. Paper: ASDR-Server averages 3.90x
+ * (ENC) and 2.77x (MLP) over its baselines; ASDR-Edge 17.37x and
+ * 7.52x. Encoding gains exceed MLP gains because the data mapping and
+ * reuse optimizations act on the encoding stage.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hpp"
+
+using namespace asdr;
+using namespace asdr::bench;
+
+namespace {
+
+void
+runClass(bool edge)
+{
+    TextTable table({"scene", "ENC speedup vs GPU", "MLP speedup vs GPU"});
+    std::vector<double> enc_speedups, mlp_speedups;
+    for (const auto &name : scene::perfSceneNames()) {
+        PerfResult r = runPerfScenario(PerfScenario::standard(name, edge));
+        double enc = r.gpu.enc_seconds / r.asdr.enc_seconds;
+        double mlp = r.gpu.mlp_seconds / r.asdr.mlp_seconds;
+        enc_speedups.push_back(enc);
+        mlp_speedups.push_back(mlp);
+        table.addRow({name, fmtTimes(enc), fmtTimes(mlp)});
+    }
+    table.addRule();
+    table.addRow({"Average", fmtTimes(geomean(enc_speedups)),
+                  fmtTimes(geomean(mlp_speedups))});
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    benchHeader("Fig. 18a/b: Phase speedup (Server)",
+                "Paper: ENC 3.90x avg, MLP 2.77x avg; encoding gains "
+                "dominate (Palace 4.64x/3.26x, Fountain 6.80x/4.77x...).");
+    runClass(false);
+
+    benchHeader("Fig. 18c/d: Phase speedup (Edge)",
+                "Paper: ENC 17.37x avg (Palace 28.78x...), MLP 7.52x avg "
+                "(Palace 10.55x...).");
+    runClass(true);
+    return 0;
+}

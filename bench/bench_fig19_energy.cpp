@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Fig. 19 (energy efficiency): frames/J of ASDR and NeuRex
+ * relative to the GPU baselines. Paper averages: server 12.70x
+ * (NeuRex) and 36.06x (ASDR) over RTX 3070; edge 14.56x and 82.39x
+ * over Xavier NX.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hpp"
+
+using namespace asdr;
+using namespace asdr::bench;
+
+namespace {
+
+void
+runClass(bool edge)
+{
+    TextTable table({"scene", "GPU", "NeuRex", "ASDR"});
+    std::vector<double> neurex_ee, asdr_ee;
+    for (const auto &name : scene::perfSceneNames()) {
+        PerfResult r = runPerfScenario(PerfScenario::standard(name, edge));
+        neurex_ee.push_back(r.energyEffNeurexVsGpu());
+        asdr_ee.push_back(r.energyEffVsGpu());
+        table.addRow({name, "1x", fmtTimes(r.energyEffNeurexVsGpu()),
+                      fmtTimes(r.energyEffVsGpu())});
+    }
+    table.addRule();
+    table.addRow({"Average", "1x", fmtTimes(geomean(neurex_ee)),
+                  fmtTimes(geomean(asdr_ee))});
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    benchHeader("Fig. 19a: Energy efficiency (Server)",
+                "Paper averages: NeuRex-Server 12.70x, ASDR-Server "
+                "36.06x over RTX 3070.");
+    runClass(false);
+
+    benchHeader("Fig. 19b: Energy efficiency (Edge)",
+                "Paper averages: NeuRex-Edge 14.56x, ASDR-Edge 82.39x "
+                "over Xavier NX.");
+    runClass(true);
+    return 0;
+}

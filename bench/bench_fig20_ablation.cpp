@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Fig. 20 (contribution ablation) on Palace/Fountain/Family,
+ * edge class (the paper normalizes to Xavier NX): strawman CIM (basic
+ * design, full workload), SW-only (ASDR algorithms on the strawman),
+ * HW-only (data mapping + cache on the full workload), and full ASDR.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hpp"
+
+using namespace asdr;
+using namespace asdr::bench;
+
+int
+main()
+{
+    benchHeader(
+        "Fig. 20: Contribution ablation (Edge class, vs Xavier NX)",
+        "Paper (Family): strawman 2.49x, SW 12.86x, HW 10.60x, ASDR "
+        "44.31x; Fountain reaches 69.75x over the GPU.");
+
+    TextTable table({"scene", "Xavier NX", "Strawman", "SW only",
+                     "HW only", "ASDR (SW+HW)"});
+    for (const auto &name : {"Palace", "Fountain", "Family"}) {
+        PerfScenario base = PerfScenario::standard(name, true);
+
+        // Strawman: basic CIM, no AS/RA (baseline workload).
+        PerfScenario strawman = base;
+        strawman.hw = sim::AccelConfig::strawman(true);
+        strawman.asdr_render = base.baseline_render;
+        PerfResult r_straw = runPerfScenario(strawman);
+
+        // SW only: ASDR algorithms on the strawman hardware.
+        PerfScenario sw = base;
+        sw.hw = sim::AccelConfig::strawman(true);
+        PerfResult r_sw = runPerfScenario(sw);
+
+        // HW only: full workload on the optimized hardware.
+        PerfScenario hw = base;
+        hw.asdr_render = base.baseline_render;
+        PerfResult r_hw = runPerfScenario(hw);
+
+        // Full system.
+        PerfResult r_full = runPerfScenario(base);
+
+        double t_gpu = r_full.gpu.seconds;
+        table.addRow({name, "1x",
+                      fmtTimes(t_gpu / r_straw.asdr.seconds),
+                      fmtTimes(t_gpu / r_sw.asdr.seconds),
+                      fmtTimes(t_gpu / r_hw.asdr.seconds),
+                      fmtTimes(t_gpu / r_full.asdr.seconds)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: SW = adaptive sampling + rendering "
+                 "approximation + early termination on strawman "
+                 "hardware; HW = hybrid mapping + register cache on the "
+                 "full workload.\n";
+    return 0;
+}

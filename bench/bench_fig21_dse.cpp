@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Reproduces Fig. 21 (design space exploration): (a) the adaptive
+ * sampling threshold delta swept over {none, 0, 1/2048, 1/256} with
+ * speedup and PSNR, and (b) the rendering-approximation group size n
+ * over 1..4 with energy saving and PSNR. Paper: delta = 1/2048 gives
+ * ~6x speedup at < 0.3 dB loss; n = 4 saves ~2.7x energy at < 0.3 dB.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hpp"
+
+using namespace asdr;
+using namespace asdr::bench;
+
+int
+main()
+{
+    // ---- (a) threshold sweep: performance scenes + quality probe ----
+    benchHeader("Fig. 21a: Adaptive-sampling threshold delta",
+                "Paper: delta = 1/2048 reaches ~6x speedup with < 0.3 "
+                "dB PSNR loss; larger thresholds add little.");
+
+    struct DeltaPoint
+    {
+        const char *label;
+        bool enabled;
+        float delta;
+    } deltas[] = {{"no AS", false, 0.0f},
+                  {"delta=0", true, 0.0f},
+                  {"delta=1/2048", true, 1.0f / 2048.0f},
+                  {"delta=1/256", true, 1.0f / 256.0f}};
+
+    TextTable ta({"scene", "no AS", "delta=0", "delta=1/2048",
+                  "delta=1/256"});
+    for (const auto &name : {"Palace", "Fountain", "Family"}) {
+        std::vector<double> seconds;
+        for (const auto &dp : deltas) {
+            PerfScenario s = PerfScenario::standard(name, false);
+            s.asdr_render = s.baseline_render;
+            s.asdr_render.adaptive_sampling = dp.enabled;
+            s.asdr_render.delta = dp.delta;
+            seconds.push_back(runPerfScenario(s).asdr.seconds);
+        }
+        ta.addRow({name, "1x", fmtTimes(seconds[0] / seconds[1]),
+                   fmtTimes(seconds[0] / seconds[2]),
+                   fmtTimes(seconds[0] / seconds[3])});
+    }
+    ta.print(std::cout);
+
+    // PSNR at each threshold on a fitted field (Lego).
+    core::ExperimentPreset preset = core::ExperimentPreset::quality();
+    auto scene = scene::createScene("Lego");
+    auto field = core::fittedField("Lego", preset);
+    int w, h;
+    preset.resolutionFor(scene->info(), w, h);
+    nerf::Camera camera = nerf::cameraForScene(scene->info(), w, h);
+    Image gt = core::renderGroundTruth(*scene, camera);
+
+    std::cout << "PSNR (Lego): ";
+    for (const auto &dp : deltas) {
+        core::RenderConfig cfg = core::RenderConfig::baseline(
+            w, h, preset.samples_per_ray);
+        cfg.adaptive_sampling = dp.enabled;
+        cfg.delta = dp.delta;
+        Image img = core::AsdrRenderer(*field, cfg).render(camera);
+        std::cout << dp.label << " " << fmt(psnr(img, gt), 2) << " dB  ";
+    }
+    std::cout << "\n";
+
+    // ---- (b) group size sweep ----
+    benchHeader("Fig. 21b: Rendering-approximation group size n",
+                "Paper: n = 4 saves ~2.7x energy with < 0.3 dB loss "
+                "(Lego/Chair/Mic).");
+
+    TextTable tb({"scene", "n=1 (none)", "n=2", "n=3", "n=4"});
+    for (const auto &name : {"Lego", "Chair", "Mic"}) {
+        std::vector<double> energy;
+        for (int n = 1; n <= 4; ++n) {
+            PerfScenario s = PerfScenario::standard(name, false);
+            s.asdr_render = s.baseline_render;
+            s.asdr_render.color_approx = n > 1;
+            s.asdr_render.approx_group = n;
+            energy.push_back(runPerfScenario(s).asdr.energy_j);
+        }
+        tb.addRow({name, "1x", fmtTimes(energy[0] / energy[1]),
+                   fmtTimes(energy[0] / energy[2]),
+                   fmtTimes(energy[0] / energy[3])});
+    }
+    tb.print(std::cout);
+
+    std::cout << "PSNR (Lego): ";
+    for (int n = 1; n <= 4; ++n) {
+        core::RenderConfig cfg = core::RenderConfig::baseline(
+            w, h, preset.samples_per_ray);
+        cfg.color_approx = n > 1;
+        cfg.approx_group = n;
+        Image img = core::AsdrRenderer(*field, cfg).render(camera);
+        std::cout << "n=" << n << " " << fmt(psnr(img, gt), 2) << " dB  ";
+    }
+    std::cout << "\n";
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces Fig. 22 (register-cache design space): speedup of the full
+ * system as the per-table cache capacity sweeps over 0/2/4/8/16
+ * entries. Paper: 8 entries per table give ~2.49x over no cache, with
+ * diminishing returns beyond.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hpp"
+
+using namespace asdr;
+using namespace asdr::bench;
+
+int
+main()
+{
+    benchHeader("Fig. 22: Register-cache size sweep (Server class)",
+                "Paper: 8 entries/table ~2.49x over no cache.");
+
+    const int sizes[] = {0, 2, 4, 8, 16};
+    TextTable table({"scene", "no cache", "2 items", "4 items", "8 items",
+                     "16 items", "hit rate @8"});
+    for (const auto &name : scene::perfSceneNames()) {
+        std::vector<double> seconds;
+        double hit8 = 0.0;
+        for (int size : sizes) {
+            PerfScenario s = PerfScenario::standard(name, false);
+            s.hw.cache_enabled = size > 0;
+            s.hw.cache_entries_per_table = size;
+            PerfResult r = runPerfScenario(s);
+            seconds.push_back(r.asdr.seconds);
+            if (size == 8)
+                hit8 = r.asdr.enc.cacheHitRate();
+        }
+        table.addRow({name, "1x", fmtTimes(seconds[0] / seconds[1]),
+                      fmtTimes(seconds[0] / seconds[2]),
+                      fmtTimes(seconds[0] / seconds[3]),
+                      fmtTimes(seconds[0] / seconds[4]),
+                      fmtPercent(hit8)});
+    }
+    table.print(std::cout);
+    return 0;
+}

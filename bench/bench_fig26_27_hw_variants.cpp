@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces Figs. 26 and 27 (performance across hardware
+ * configurations): ASDR built with (SA) SRAM memory + systolic-array
+ * MLP, (SRAM) SRAM memory + SRAM CIM macros, and (ReRAM) the native
+ * ReRAM implementation, on server and edge classes. Paper server
+ * averages vs RTX 3070: SA 8.90x, SRAM 9.53x, ReRAM 11.84x (speedup)
+ * and 18.22x / 27.45x / 36.06x (energy efficiency).
+ */
+
+#include <iostream>
+
+#include "bench/harness.hpp"
+
+using namespace asdr;
+using namespace asdr::bench;
+
+namespace {
+
+void
+runClass(bool edge)
+{
+    using sim::AccelConfig;
+    using sim::MemBackend;
+    using sim::MlpBackend;
+
+    AccelConfig base = edge ? AccelConfig::edge() : AccelConfig::server();
+    struct Variant
+    {
+        const char *label;
+        AccelConfig cfg;
+    } variants[] = {
+        {"ASDR(SA)", AccelConfig::withVariant(base, MlpBackend::Systolic,
+                                              MemBackend::Sram)},
+        {"ASDR(SRAM)", AccelConfig::withVariant(base, MlpBackend::SramCim,
+                                                MemBackend::Sram)},
+        {"ASDR(ReRAM)", AccelConfig::withVariant(
+                            base, MlpBackend::ReramCim, MemBackend::Reram)},
+    };
+
+    TextTable speed({"scene", "GPU", "NeuRex", variants[0].label,
+                     variants[1].label, variants[2].label});
+    TextTable energy({"scene", "GPU", "NeuRex", variants[0].label,
+                      variants[1].label, variants[2].label});
+    std::vector<std::vector<double>> sp(3), ee(3);
+    std::vector<double> nx_sp, nx_ee;
+
+    for (const auto &name : scene::perfSceneNames()) {
+        std::vector<std::string> srow{name, "1x"};
+        std::vector<std::string> erow{name, "1x"};
+        double nx_speed = 0.0, nx_energy = 0.0;
+        for (int v = 0; v < 3; ++v) {
+            PerfScenario s = PerfScenario::standard(name, edge);
+            s.hw = variants[v].cfg;
+            PerfResult r = runPerfScenario(s);
+            if (v == 0) {
+                nx_speed = r.speedupNeurexVsGpu();
+                nx_energy = r.energyEffNeurexVsGpu();
+                srow.push_back(fmtTimes(nx_speed));
+                erow.push_back(fmtTimes(nx_energy));
+                // NeuRex column inserted before variants; adjust below.
+            }
+            sp[size_t(v)].push_back(r.speedupVsGpu());
+            ee[size_t(v)].push_back(r.energyEffVsGpu());
+        }
+        nx_sp.push_back(nx_speed);
+        nx_ee.push_back(nx_energy);
+        for (int v = 0; v < 3; ++v) {
+            srow.push_back(fmtTimes(sp[size_t(v)].back()));
+            erow.push_back(fmtTimes(ee[size_t(v)].back()));
+        }
+        speed.addRow(srow);
+        energy.addRow(erow);
+    }
+    speed.addRule();
+    energy.addRule();
+    speed.addRow({"Average", "1x", fmtTimes(geomean(nx_sp)),
+                  fmtTimes(geomean(sp[0])), fmtTimes(geomean(sp[1])),
+                  fmtTimes(geomean(sp[2]))});
+    energy.addRow({"Average", "1x", fmtTimes(geomean(nx_ee)),
+                   fmtTimes(geomean(ee[0])), fmtTimes(geomean(ee[1])),
+                   fmtTimes(geomean(ee[2]))});
+
+    std::cout << "-- speedup --\n";
+    speed.print(std::cout);
+    std::cout << "-- energy efficiency --\n";
+    energy.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    benchHeader("Fig. 26/27 (Server): hardware-configuration variants",
+                "Paper avgs: SA 8.90x / SRAM 9.53x / ReRAM 11.84x "
+                "speedup; 18.22x / 27.45x / 36.06x energy efficiency.");
+    runClass(false);
+
+    benchHeader("Fig. 26/27 (Edge): hardware-configuration variants",
+                "Paper avgs: SA 37.29x / SRAM 39.91x / ReRAM 49.61x "
+                "speedup; 41.63x / 62.70x / 82.39x energy efficiency.");
+    runClass(true);
+    return 0;
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * google-benchmark microkernels for the hot paths of the library: hash
+ * encoding, trilinear fusion, MLP forward passes (reference shapes),
+ * volume compositing, register-cache probes, address mapping, and the
+ * end-to-end per-ray pipeline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/renderer.hpp"
+#include "nerf/hash_grid.hpp"
+#include "nerf/mlp.hpp"
+#include "nerf/procedural_field.hpp"
+#include "nerf/sh_encoding.hpp"
+#include "nerf/volume_render.hpp"
+#include "scene/scene_library.hpp"
+#include "sim/address_mapping.hpp"
+#include "sim/register_cache.hpp"
+#include "util/hashing.hpp"
+#include "util/rng.hpp"
+
+using namespace asdr;
+
+namespace {
+
+nerf::HashGridConfig
+benchGrid()
+{
+    nerf::HashGridConfig cfg;
+    cfg.log2_table_size = 15;
+    return cfg;
+}
+
+void
+BM_HashGridEncode(benchmark::State &state)
+{
+    nerf::HashGrid grid(benchGrid());
+    Rng rng(1);
+    std::vector<float> out(size_t(grid.featureDim()));
+    for (auto _ : state) {
+        Vec3 pos = rng.nextVec3();
+        grid.encode(pos, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashGridEncode);
+
+void
+BM_SpatialHash(benchmark::State &state)
+{
+    Rng rng(2);
+    for (auto _ : state) {
+        Vec3i v{int(rng.nextBounded(512)), int(rng.nextBounded(512)),
+                int(rng.nextBounded(512))};
+        benchmark::DoNotOptimize(spatialHash(v, 19));
+    }
+}
+BENCHMARK(BM_SpatialHash);
+
+void
+BM_ShEncode(benchmark::State &state)
+{
+    Rng rng(3);
+    float sh[nerf::kShCoeffs];
+    for (auto _ : state) {
+        nerf::shEncode(rng.nextDirection(), sh);
+        benchmark::DoNotOptimize(sh);
+    }
+}
+BENCHMARK(BM_ShEncode);
+
+void
+BM_MlpForward(benchmark::State &state)
+{
+    // arg 0 selects density (0) or color (1) reference shape.
+    nerf::Mlp density({32, {64}, 16}, 1);
+    nerf::Mlp color({31, {128, 128, 128}, 3}, 2);
+    nerf::Mlp &mlp = state.range(0) == 0 ? density : color;
+    std::vector<float> in(size_t(mlp.inputDim()), 0.3f);
+    std::vector<float> out(size_t(mlp.outputDim()));
+    for (auto _ : state) {
+        mlp.forward(in.data(), out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MlpForward)->Arg(0)->Arg(1);
+
+void
+BM_Composite(benchmark::State &state)
+{
+    const int n = int(state.range(0));
+    std::vector<float> sigma(static_cast<size_t>(n));
+    std::vector<Vec3> color(static_cast<size_t>(n));
+    Rng rng(4);
+    for (int i = 0; i < n; ++i) {
+        sigma[size_t(i)] = rng.nextFloat() * 20.0f;
+        color[size_t(i)] = rng.nextVec3();
+    }
+    for (auto _ : state) {
+        auto result =
+            nerf::composite(sigma.data(), color.data(), n, 0.01f);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_Composite)->Arg(64)->Arg(192);
+
+void
+BM_RegisterCacheProbe(benchmark::State &state)
+{
+    sim::RegisterCache cache(int(state.range(0)));
+    Rng rng(5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(rng.nextBounded(32)));
+}
+BENCHMARK(BM_RegisterCacheProbe)->Arg(2)->Arg(8)->Arg(16);
+
+void
+BM_AddressMap(benchmark::State &state)
+{
+    nerf::HashGridConfig cfg;
+    cfg.log2_table_size = 19;
+    nerf::TableSchema schema =
+        nerf::schemaFromGeometry(nerf::GridGeometry(cfg));
+    sim::AddressMapping mapping(schema, sim::AccelConfig::server());
+    Rng rng(6);
+    uint32_t requester = 0;
+    for (auto _ : state) {
+        nerf::VertexLookup lu;
+        lu.level = uint16_t(rng.nextBounded(16));
+        lu.vertex = {int(rng.nextBounded(64)), int(rng.nextBounded(64)),
+                     int(rng.nextBounded(64))};
+        lu.index = rng.nextU32() & ((1u << 19) - 1);
+        benchmark::DoNotOptimize(mapping.map(lu, requester++));
+    }
+}
+BENCHMARK(BM_AddressMap);
+
+void
+BM_RenderRay(benchmark::State &state)
+{
+    static auto scene = scene::createScene("Lego");
+    static nerf::ProceduralField field(*scene,
+                                       nerf::NgpModelConfig::reference());
+    nerf::Camera camera = nerf::cameraForScene(scene->info(), 64, 64);
+    core::RenderConfig cfg = core::RenderConfig::baseline(64, 64, 192);
+    cfg.color_approx = state.range(0) > 1;
+    cfg.approx_group = int(state.range(0));
+    core::AsdrRenderer renderer(field, cfg);
+    core::AsdrRenderer::RayWorkspace ws;
+    core::WorkloadProfile profile;
+    nerf::Ray ray = camera.ray(32.0f, 32.0f);
+    for (auto _ : state) {
+        auto result = renderer.renderRay(ray, 192, false, ws, profile,
+                                         nullptr);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() * 192);
+}
+BENCHMARK(BM_RenderRay)->Arg(1)->Arg(2)->Arg(4);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Reproduces Table 1 (dataset statistics): the ten scenes, their frame
+ * resolutions and types, plus the measured volumetric sparsity of our
+ * procedural stand-ins (the property that drives adaptive sampling).
+ */
+
+#include <iostream>
+
+#include "bench/harness.hpp"
+
+using namespace asdr;
+
+int
+main()
+{
+    bench::benchHeader("Table 1: Dataset statistics",
+                       "Scenes are procedural stand-ins with the paper's "
+                       "names, resolutions and types (DESIGN.md #1).");
+
+    TextTable table({"Dataset", "Scene", "Resolution", "Type",
+                     "empty fraction"});
+    for (const auto &info : scene::sceneList()) {
+        auto scene = scene::createScene(info.name);
+        table.addRow({info.dataset, info.name,
+                      std::to_string(info.full_width) + "x" +
+                          std::to_string(info.full_height),
+                      info.synthetic ? "Synthetic" : "Real World",
+                      fmtPercent(scene->emptyFraction())});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces Table 2 (configuration of ASDR-Server / ASDR-Edge): the
+ * per-component area and power budget encoded in the technology model,
+ * with the quoted design totals.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "sim/tech_params.hpp"
+
+using namespace asdr;
+using namespace asdr::sim;
+
+int
+main()
+{
+    bench::benchHeader(
+        "Table 2: Configuration of ASDR(-Server/-Edge)",
+        "Area/power rows encoded from the paper; totals quoted. Note: "
+        "the paper's per-row power figures are per unit instance and do "
+        "not sum to the quoted total (see EXPERIMENTS.md).");
+
+    TextTable table({"Component", "Area (mm^2) S/E", "Power (mW) S/E"});
+    int n = 0;
+    const ComponentBudget *rows = componentBudgets(n);
+    for (int i = 0; i < n; ++i) {
+        table.addRow({rows[i].component,
+                      fmt(rows[i].area_server_mm2, 3) + " / " +
+                          fmt(rows[i].area_edge_mm2, 3),
+                      fmt(rows[i].power_server_mw, 2) + " / " +
+                          fmt(rows[i].power_edge_mw, 2)});
+    }
+    table.addRule();
+    table.addRow({"Total (quoted)",
+                  fmt(totalAreaMm2(false), 2) + " / " +
+                      fmt(totalAreaMm2(true), 2),
+                  fmt(totalPowerW(false) * 1000, 0) + " / " +
+                      fmt(totalPowerW(true) * 1000, 0)});
+    table.print(std::cout);
+
+    AccelConfig server = AccelConfig::server();
+    AccelConfig edge = AccelConfig::edge();
+    std::cout << "\nUnit counts (Config column): AG lanes " << server.ag_lanes
+              << "/" << edge.ag_lanes << ", cache entries/table "
+              << server.cache_entries_per_table << "/"
+              << edge.cache_entries_per_table << ", fusion units "
+              << server.fusion_units << "/" << edge.fusion_units
+              << ", MLP pipelines " << server.density_pipelines << "/"
+              << edge.density_pipelines << ", approx units "
+              << server.approx_units << "/" << edge.approx_units << "\n";
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reproduces §6.8 (performance on TensoRF): Table 4 (rendering quality
+ * of ASDR's optimizations applied to a TensoRF field, PSNR/SSIM/LPIPS)
+ * and Fig. 25 (speedup of the software optimizations alone and of the
+ * ASDR architecture). Paper: quality nearly lossless (PSNR 34.07 ->
+ * 33.93 average), software-only 1.27x, ASDR architecture up to ~30x.
+ */
+
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "nerf/tensorf.hpp"
+
+using namespace asdr;
+using namespace asdr::bench;
+
+int
+main()
+{
+    core::ExperimentPreset preset = core::ExperimentPreset::quality();
+
+    // ---- Table 4: quality on the six Table-3 scenes + perf scenes ----
+    benchHeader("Table 4: Rendering quality of ASDR on TensoRF",
+                "Paper: PSNR 34.07 -> 33.93, SSIM 0.952 -> 0.947, LPIPS "
+                "0.073 -> 0.076 (averages).");
+
+    TextTable quality({"scene", "PSNR TensoRF", "PSNR ASDR",
+                       "SSIM TensoRF", "SSIM ASDR", "LPIPS* T",
+                       "LPIPS* A"});
+    double p_t = 0, p_a = 0, s_t = 0, s_a = 0, l_t = 0, l_a = 0;
+    std::vector<std::string> quality_scenes = {"Palace", "Mic", "Lego",
+                                               "Chair"};
+    for (const auto &name : quality_scenes) {
+        auto scene = scene::createScene(name);
+        auto field = core::fittedTensorf(name, preset);
+        int w, h;
+        preset.resolutionFor(scene->info(), w, h);
+        nerf::Camera camera = nerf::cameraForScene(scene->info(), w, h);
+        Image gt = core::renderGroundTruth(*scene, camera);
+
+        core::RenderConfig full = core::RenderConfig::baseline(
+            w, h, preset.samples_per_ray);
+        full.early_termination = true;
+        core::RenderConfig asdr =
+            core::RenderConfig::asdr(w, h, preset.samples_per_ray);
+
+        Image i_full = core::AsdrRenderer(*field, full).render(camera);
+        Image i_asdr = core::AsdrRenderer(*field, asdr).render(camera);
+
+        double pt = psnr(i_full, gt), pa = psnr(i_asdr, gt);
+        double st = ssim(i_full, gt), sa = ssim(i_asdr, gt);
+        double lt = perceptualDistance(i_full, gt);
+        double la = perceptualDistance(i_asdr, gt);
+        p_t += pt; p_a += pa; s_t += st; s_a += sa; l_t += lt; l_a += la;
+        quality.addRow({name, fmt(pt, 2), fmt(pa, 2), fmt(st, 3),
+                        fmt(sa, 3), fmt(lt, 3), fmt(la, 3)});
+    }
+    double n = double(quality_scenes.size());
+    quality.addRule();
+    quality.addRow({"Average", fmt(p_t / n, 2), fmt(p_a / n, 2),
+                    fmt(s_t / n, 3), fmt(s_a / n, 3), fmt(l_t / n, 3),
+                    fmt(l_a / n, 3)});
+    quality.print(std::cout);
+
+    // ---- Fig. 25: speedup on the performance scenes ----
+    benchHeader("Fig. 25: Performance of ASDR on TensoRF",
+                "Paper: software-only 1.27x, ASDR architecture up to "
+                "29.98x average over RTX 3070.");
+
+    TextTable speed({"scene", "RTX 3070", "ASDR (GPU impl.)",
+                     "ASDR architecture"});
+    std::vector<double> sw_speedups, hw_speedups;
+    for (const auto &name : scene::perfSceneNames()) {
+        auto scene = scene::createScene(name);
+        nerf::TensorfField field(nerf::TensorfConfig{}, 0x7E50);
+        core::ExperimentPreset perf = core::ExperimentPreset::perf();
+        int w, h;
+        perf.resolutionFor(scene->info(), w, h);
+        nerf::Camera camera = nerf::cameraForScene(scene->info(), w, h);
+        nerf::FieldCosts costs = field.costs();
+
+        core::RenderConfig base =
+            core::RenderConfig::baseline(w, h, perf.samples_per_ray);
+        base.early_termination = true;
+        core::RenderConfig asdr =
+            core::RenderConfig::asdr(w, h, perf.samples_per_ray);
+
+        core::RenderStats s_base;
+        core::AsdrRenderer(field, base).render(camera, &s_base);
+
+        sim::AsdrAccelerator accel(field.tableSchema(), costs,
+                                   sim::AccelConfig::server(), false);
+        core::RenderStats s_asdr;
+        core::AsdrRenderer(field, asdr).render(camera, &s_asdr, &accel);
+
+        baseline::GpuModel gpu(baseline::GpuSpec::rtx3070());
+        double t_gpu = gpu.run(s_base.profile, costs).seconds;
+        double t_sw = gpu.run(s_asdr.profile, costs).seconds;
+        double t_hw = accel.report().seconds;
+
+        sw_speedups.push_back(t_gpu / t_sw);
+        hw_speedups.push_back(t_gpu / t_hw);
+        speed.addRow({name, "1x", fmtTimes(t_gpu / t_sw),
+                      fmtTimes(t_gpu / t_hw)});
+    }
+    speed.addRule();
+    speed.addRow({"Average", "1x", fmtTimes(geomean(sw_speedups)),
+                  fmtTimes(geomean(hw_speedups))});
+    speed.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared support for the benchmark binaries that regenerate the paper's
+ * tables and figures. Each bench builds scenarios from this harness and
+ * prints rows in the paper's format; EXPERIMENTS.md records the
+ * paper-vs-measured comparison for every artifact.
+ */
+
+#ifndef ASDR_BENCH_HARNESS_HPP
+#define ASDR_BENCH_HARNESS_HPP
+
+#include <memory>
+#include <string>
+
+#include "baseline/gpu_model.hpp"
+#include "baseline/neurex.hpp"
+#include "core/field_cache.hpp"
+#include "core/ground_truth.hpp"
+#include "core/presets.hpp"
+#include "core/renderer.hpp"
+#include "image/metrics.hpp"
+#include "nerf/procedural_field.hpp"
+#include "scene/scene_library.hpp"
+#include "sim/accelerator.hpp"
+#include "util/table.hpp"
+
+namespace asdr::bench {
+
+/** The NGP model each platform class serves (DESIGN.md §5: the edge
+ *  accelerator's 2 MB memory holds a T=2^15 table set). */
+nerf::NgpModelConfig platformModel(bool edge);
+
+/** One scene's performance scenario on one platform class. */
+struct PerfScenario
+{
+    std::string scene_name;
+    bool edge = false;
+    /** Hardware point for the ASDR accelerator. */
+    sim::AccelConfig hw;
+    /** Renderer settings for the ASDR system (default: full ASDR). */
+    core::RenderConfig asdr_render;
+    /** Renderer settings for the GPU/NeuRex baselines (default: fixed
+     *  sampling + early termination, as Instant-NGP ships). */
+    core::RenderConfig baseline_render;
+    bool configured = false;
+
+    static PerfScenario standard(const std::string &scene, bool edge);
+};
+
+/** Everything a performance row needs. */
+struct PerfResult
+{
+    core::WorkloadProfile baseline_profile;
+    core::WorkloadProfile asdr_profile;
+    core::RenderStats asdr_stats;
+    baseline::GpuReport gpu;
+    baseline::NeurexReport neurex;
+    sim::SimReport asdr;
+    nerf::FieldCosts costs;
+
+    double speedupVsGpu() const { return gpu.seconds / asdr.seconds; }
+    double speedupNeurexVsGpu() const
+    {
+        return gpu.seconds / neurex.seconds;
+    }
+    double speedupVsNeurex() const { return neurex.seconds / asdr.seconds; }
+    double energyEffVsGpu() const { return gpu.energy_j / asdr.energy_j; }
+    double energyEffNeurexVsGpu() const
+    {
+        return gpu.energy_j / neurex.energy_j;
+    }
+};
+
+/** Render both workloads for a scenario and run all platform models. */
+PerfResult runPerfScenario(const PerfScenario &scenario);
+
+/** Geometric mean over positive values. */
+double geomean(const std::vector<double> &values);
+
+/** Standard banner + reproduction note for a paper artifact. */
+void benchHeader(const std::string &artifact, const std::string &note);
+
+} // namespace asdr::bench
+
+#endif // ASDR_BENCH_HARNESS_HPP

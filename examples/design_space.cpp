@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Design-space walk-through: sweep the three ASDR knobs (threshold
+ * delta, approximation group n, cache size) on one scene and print the
+ * quality/performance frontier -- the single-scene version of the
+ * paper's §6.5.
+ *
+ * Usage: design_space [scene]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/field_cache.hpp"
+#include "core/ground_truth.hpp"
+#include "core/renderer.hpp"
+#include "image/metrics.hpp"
+#include "nerf/procedural_field.hpp"
+#include "scene/scene_library.hpp"
+#include "sim/accelerator.hpp"
+#include "util/table.hpp"
+
+using namespace asdr;
+
+int
+main(int argc, char **argv)
+{
+    std::string scene_name = argc > 1 ? argv[1] : "Lego";
+    auto preset = core::ExperimentPreset::quality();
+    auto scene = scene::createScene(scene_name);
+    auto field = core::fittedField(scene_name, preset);
+    nerf::ProceduralField perf_field(*scene);
+
+    int w, h;
+    preset.resolutionFor(scene->info(), w, h);
+    nerf::Camera camera = nerf::cameraForScene(scene->info(), w, h);
+    Image gt = core::renderGroundTruth(*scene, camera);
+
+    auto evaluate = [&](const core::RenderConfig &cfg,
+                        const sim::AccelConfig &hw, TextTable &table,
+                        const std::string &label) {
+        // Quality from the fitted field, cycles from the trace of the
+        // procedural twin (same lookup structure).
+        Image img = core::AsdrRenderer(*field, cfg).render(camera);
+        sim::AsdrAccelerator accel(perf_field.tableSchema(),
+                                   perf_field.costs(), hw, false);
+        core::RenderStats stats;
+        core::AsdrRenderer(perf_field, cfg)
+            .render(camera, &stats, &accel);
+        table.addRow({label, fmt(psnr(img, gt), 2) + " dB",
+                      fmt(stats.avg_points_per_pixel, 1),
+                      fmt(accel.report().seconds * 1e3, 3) + " ms",
+                      fmt(accel.report().energy_j * 1e3, 2) + " mJ"});
+    };
+
+    printBanner(std::cout, "delta sweep (adaptive sampling) on " +
+                               scene_name);
+    TextTable t1({"config", "PSNR", "pts/px", "sim time", "sim energy"});
+    for (float delta : {-1.0f, 0.0f, 1.0f / 2048.0f, 1.0f / 256.0f}) {
+        core::RenderConfig cfg = core::RenderConfig::baseline(
+            w, h, preset.samples_per_ray);
+        if (delta >= 0.0f) {
+            cfg.adaptive_sampling = true;
+            cfg.delta = delta;
+        }
+        evaluate(cfg, sim::AccelConfig::server(), t1,
+                 delta < 0 ? "fixed budget"
+                           : "delta=" + fmt(delta, 5));
+    }
+    t1.print(std::cout);
+
+    printBanner(std::cout, "group-size sweep (color decoupling)");
+    TextTable t2({"config", "PSNR", "pts/px", "sim time", "sim energy"});
+    for (int group : {1, 2, 3, 4, 6}) {
+        core::RenderConfig cfg = core::RenderConfig::baseline(
+            w, h, preset.samples_per_ray);
+        cfg.color_approx = group > 1;
+        cfg.approx_group = group;
+        evaluate(cfg, sim::AccelConfig::server(), t2,
+                 "n=" + std::to_string(group));
+    }
+    t2.print(std::cout);
+
+    printBanner(std::cout, "register-cache sweep (full ASDR pipeline)");
+    TextTable t3({"config", "PSNR", "pts/px", "sim time", "sim energy"});
+    for (int entries : {0, 2, 4, 8, 16}) {
+        core::RenderConfig cfg =
+            core::RenderConfig::asdr(w, h, preset.samples_per_ray);
+        sim::AccelConfig hw = sim::AccelConfig::server();
+        hw.cache_enabled = entries > 0;
+        hw.cache_entries_per_table = entries;
+        evaluate(cfg, hw, t3, entries == 0
+                                  ? "no cache"
+                                  : std::to_string(entries) + " entries");
+    }
+    t3.print(std::cout);
+    return 0;
+}

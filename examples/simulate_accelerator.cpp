@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Accelerator exploration CLI: stream one scene's render trace through
+ * the cycle-level ASDR model under several hardware points and compare
+ * against the GPU and NeuRex baselines -- a miniature version of the
+ * paper's Figs. 17/19/20 for a single scene.
+ *
+ * Usage: simulate_accelerator [scene] [--edge]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "baseline/gpu_model.hpp"
+#include "baseline/neurex.hpp"
+#include "core/presets.hpp"
+#include "core/renderer.hpp"
+#include "nerf/procedural_field.hpp"
+#include "scene/scene_library.hpp"
+#include "sim/accelerator.hpp"
+#include "util/table.hpp"
+
+using namespace asdr;
+
+int
+main(int argc, char **argv)
+{
+    std::string scene_name = "Palace";
+    bool edge = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--edge")
+            edge = true;
+        else
+            scene_name = arg;
+    }
+
+    auto scene = scene::createScene(scene_name);
+    nerf::NgpModelConfig model = nerf::NgpModelConfig::reference();
+    if (edge)
+        model.grid.log2_table_size = 15;
+    nerf::ProceduralField field(*scene, model);
+
+    core::ExperimentPreset preset = core::ExperimentPreset::perf();
+    int w, h;
+    preset.resolutionFor(scene->info(), w, h);
+    nerf::Camera camera = nerf::cameraForScene(scene->info(), w, h);
+
+    // Baseline workload for the GPU / NeuRex models.
+    core::RenderConfig base_cfg =
+        core::RenderConfig::baseline(w, h, preset.samples_per_ray);
+    base_cfg.early_termination = true;
+    core::RenderStats base_stats;
+    core::AsdrRenderer(field, base_cfg).render(camera, &base_stats);
+
+    baseline::GpuSpec gpu_spec = edge ? baseline::GpuSpec::xavierNx()
+                                      : baseline::GpuSpec::rtx3070();
+    auto gpu = baseline::GpuModel(gpu_spec).run(base_stats.profile,
+                                                field.costs());
+    auto neurex =
+        baseline::NeurexModel(edge ? baseline::NeurexConfig::edge()
+                                   : baseline::NeurexConfig::server())
+            .run(base_stats.profile, field.costs());
+
+    // ASDR hardware points.
+    core::RenderConfig asdr_cfg =
+        core::RenderConfig::asdr(w, h, preset.samples_per_ray);
+    struct Point
+    {
+        const char *label;
+        sim::AccelConfig hw;
+        const core::RenderConfig *render;
+    } points[] = {
+        {"strawman CIM", sim::AccelConfig::strawman(edge), &base_cfg},
+        {"ASDR hw, full workload",
+         edge ? sim::AccelConfig::edge() : sim::AccelConfig::server(),
+         &base_cfg},
+        {"ASDR hw + algorithms",
+         edge ? sim::AccelConfig::edge() : sim::AccelConfig::server(),
+         &asdr_cfg},
+    };
+
+    TextTable table({"platform", "time (ms)", "speedup vs GPU",
+                     "energy (mJ)", "cache hit", "conflict stalls"});
+    table.addRow({gpu_spec.name, fmt(gpu.seconds * 1e3, 3), "1.00x",
+                  fmt(gpu.energy_j * 1e3, 2), "-", "-"});
+    table.addRow({neurex.name, fmt(neurex.seconds * 1e3, 3),
+                  fmtTimes(gpu.seconds / neurex.seconds),
+                  fmt(neurex.energy_j * 1e3, 2), "-", "-"});
+    for (const auto &point : points) {
+        sim::AsdrAccelerator accel(field.tableSchema(), field.costs(),
+                                   point.hw, edge);
+        core::AsdrRenderer(field, *point.render)
+            .render(camera, nullptr, &accel);
+        const sim::SimReport &report = accel.report();
+        table.addRow({point.label, fmt(report.seconds * 1e3, 3),
+                      fmtTimes(gpu.seconds / report.seconds),
+                      fmt(report.energy_j * 1e3, 2),
+                      fmtPercent(report.enc.cacheHitRate()),
+                      std::to_string(report.enc.conflict_stall_cycles)});
+    }
+
+    printBanner(std::cout, "Accelerator exploration: " + scene_name +
+                               (edge ? " (edge class)" : " (server class)"));
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Field training CLI: distill an analytic scene into an Instant-NGP
+ * hash-grid field, watching the loss, then render and score it. The
+ * resulting weights are cached so the benchmark suite can reuse them.
+ *
+ * Usage: train_field [scene] [steps] [batch]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/ground_truth.hpp"
+#include "core/presets.hpp"
+#include "core/renderer.hpp"
+#include "image/metrics.hpp"
+#include "nerf/serialize.hpp"
+#include "nerf/trainer.hpp"
+#include "scene/scene_library.hpp"
+#include "util/table.hpp"
+
+using namespace asdr;
+
+int
+main(int argc, char **argv)
+{
+    std::string scene_name = argc > 1 ? argv[1] : "Lego";
+    auto preset = core::ExperimentPreset::quality();
+    nerf::TrainConfig train = preset.train;
+    if (argc > 2)
+        train.steps = std::stoi(argv[2]);
+    if (argc > 3)
+        train.batch = std::stoi(argv[3]);
+    train.report_every = std::max(1, train.steps / 10);
+
+    auto scene = scene::createScene(scene_name);
+    nerf::InstantNgpField field(preset.model, 0xF1E1D);
+
+    std::cout << "Training " << field.describe() << " on " << scene_name
+              << " (" << train.steps << " steps x " << train.batch
+              << " samples, grid params "
+              << field.grid().paramCount() << ", MLP params "
+              << field.densityMlp().paramCount() +
+                     field.colorMlp().paramCount()
+              << ")\n";
+    nerf::TrainReport report = nerf::fitField(field, *scene, train);
+
+    int w, h;
+    preset.resolutionFor(scene->info(), w, h);
+    nerf::Camera camera = nerf::cameraForScene(scene->info(), w, h);
+    Image gt = core::renderGroundTruth(*scene, camera);
+    core::RenderConfig cfg =
+        core::RenderConfig::baseline(w, h, preset.samples_per_ray);
+    Image img = core::AsdrRenderer(field, cfg).render(camera);
+
+    TextTable table({"metric", "value"});
+    table.addRow({"initial loss", fmt(report.initial_loss, 4)});
+    table.addRow({"final loss", fmt(report.final_loss, 4)});
+    table.addRow({"PSNR vs ground truth", fmt(psnr(img, gt), 2) + " dB"});
+    table.addRow({"SSIM", fmt(ssim(img, gt), 4)});
+    table.print(std::cout);
+
+    std::string path = nerf::fieldCachePath(scene_name, preset.name);
+    if (nerf::saveField(field, path))
+        std::cout << "\nweights cached at " << path << "\n";
+    img.writePpm("trained_" + scene_name + ".ppm");
+    return 0;
+}

@@ -1,0 +1,44 @@
+#include "baseline/gpu_model.hpp"
+
+#include <algorithm>
+
+namespace asdr::baseline {
+
+GpuReport
+GpuModel::run(const core::WorkloadProfile &profile,
+              const nerf::FieldCosts &costs) const
+{
+    GpuReport report;
+    report.device = spec_.name;
+
+    double enc_flops = profile.encodeFlops(costs);
+    double gather_bytes = profile.lookupBytes(costs);
+    report.enc_seconds = std::max(
+        enc_flops / (spec_.peak_flops * spec_.encode_efficiency),
+        gather_bytes / (spec_.mem_bandwidth * spec_.gather_efficiency));
+
+    double mlp_flops =
+        profile.densityFlops(costs) + profile.colorFlops(costs);
+    report.mlp_seconds =
+        mlp_flops / (spec_.peak_flops * spec_.mlp_efficiency);
+
+    // Compositing + interpolation are a light, bandwidth-friendly kernel.
+    double render_flops =
+        double(profile.points) * 10.0 + double(profile.approx_colors) * 6.0;
+    report.render_seconds =
+        render_flops / (spec_.peak_flops * spec_.mlp_efficiency);
+
+    if (profile.probe_rays > 0) {
+        // Adaptive-sampling workloads diverge across warps (variable
+        // per-ray budgets) -- see GpuSpec::divergence_penalty.
+        report.enc_seconds *= spec_.divergence_penalty;
+        report.mlp_seconds *= spec_.divergence_penalty;
+        report.render_seconds *= spec_.divergence_penalty;
+    }
+    report.seconds =
+        report.enc_seconds + report.mlp_seconds + report.render_seconds;
+    report.energy_j = report.seconds * spec_.board_power_w;
+    return report;
+}
+
+} // namespace asdr::baseline

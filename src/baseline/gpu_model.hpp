@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Analytic GPU execution model. Instant-NGP inference on a GPU proceeds
+ * in phases (encoding gathers + interpolation, then the fused MLP
+ * kernels, then compositing); each phase is modeled by a roofline over
+ * the measured workload profile:
+ *
+ *   t_enc = max(encode FLOPs / (peak * enc_eff),
+ *               gather bytes / (bandwidth * gather_eff))
+ *   t_mlp = MLP FLOPs / (peak * mlp_eff)
+ *
+ * Phases execute back-to-back (they are distinct kernels), so frame
+ * time = t_enc + t_mlp + t_render. Energy = board power x frame time.
+ * The same model prices GPU runs of the ASDR *software* optimizations
+ * (Fig. 24): only the workload profile changes.
+ */
+
+#ifndef ASDR_BASELINE_GPU_MODEL_HPP
+#define ASDR_BASELINE_GPU_MODEL_HPP
+
+#include "baseline/device_specs.hpp"
+#include "core/trace.hpp"
+#include "nerf/field.hpp"
+
+namespace asdr::baseline {
+
+struct GpuReport
+{
+    std::string device;
+    double enc_seconds = 0.0;
+    double mlp_seconds = 0.0;
+    double render_seconds = 0.0;
+    double seconds = 0.0;
+    double energy_j = 0.0;
+};
+
+class GpuModel
+{
+  public:
+    explicit GpuModel(const GpuSpec &spec) : spec_(spec) {}
+
+    const GpuSpec &spec() const { return spec_; }
+
+    GpuReport run(const core::WorkloadProfile &profile,
+                  const nerf::FieldCosts &costs) const;
+
+  private:
+    GpuSpec spec_;
+};
+
+} // namespace asdr::baseline
+
+#endif // ASDR_BASELINE_GPU_MODEL_HPP

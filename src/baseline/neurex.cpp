@@ -1,0 +1,76 @@
+#include "baseline/neurex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asdr::baseline {
+
+NeurexConfig
+NeurexConfig::server()
+{
+    NeurexConfig cfg;
+    cfg.power_w = 1.6; // SRAM buffer + systolic array at the same area
+    return cfg;
+}
+
+NeurexConfig
+NeurexConfig::edge()
+{
+    NeurexConfig cfg;
+    cfg.name = "NeuRex-Edge";
+    cfg.lookup_lanes = 16;
+    cfg.systolic_dim = 64;
+    cfg.subgrid_count = 512;
+    cfg.shard_bytes = 32e3;
+    cfg.dram_bw = 40e9;
+    cfg.power_w = 0.75;
+    return cfg;
+}
+
+NeurexReport
+NeurexModel::run(const core::WorkloadProfile &profile,
+                 const nerf::FieldCosts &costs) const
+{
+    NeurexReport report;
+    report.name = cfg_.name;
+
+    // Encoding: on-chip lookup streaming plus shard reloads. Each
+    // subgrid shard is fetched at least once per frame; rays that march
+    // deep into the volume cross additional subgrid boundaries (about
+    // one crossing every ~14 samples at an 8^3 partition), partially
+    // amortized across the rays of a tile.
+    double lookup_cycles = double(profile.lookups) /
+                           double(cfg_.lookup_lanes) *
+                           cfg_.bank_inefficiency;
+    double crossings = double(profile.points) / 14.0;
+    double reload_bytes =
+        double(cfg_.subgrid_count) * cfg_.shard_bytes * cfg_.reload_factor +
+        crossings * cfg_.shard_bytes / 128.0;
+    double reload_seconds = reload_bytes / cfg_.dram_bw;
+    report.enc_seconds =
+        lookup_cycles / cfg_.clock_hz + reload_seconds;
+
+    // MLP: dense weight-stationary array, throughput bound.
+    auto macs = [](const std::vector<nerf::LayerShape> &layers) {
+        double m = 0.0;
+        for (const auto &l : layers)
+            m += double(l.in) * double(l.out);
+        return m;
+    };
+    double total_macs =
+        double(profile.density_execs) * macs(costs.density_layers) +
+        double(profile.color_execs) * macs(costs.color_layers);
+    double tput = double(cfg_.systolic_dim) * double(cfg_.systolic_dim) *
+                  cfg_.systolic_util;
+    report.mlp_seconds = total_macs / tput / cfg_.clock_hz;
+
+    // Encoding and MLP pipeline with imperfect overlap.
+    report.seconds =
+        std::max(report.enc_seconds, report.mlp_seconds) * 1.15;
+
+    report.energy_j =
+        cfg_.power_w * report.seconds + reload_bytes * 20e-12;
+    return report;
+}
+
+} // namespace asdr::baseline

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * NeuRex-like accelerator model (Lee et al., ISCA'23; the paper's main
+ * accelerator baseline). NeuRex restructures hash encoding around
+ * *subgrids*: the scene grid is partitioned so only one subgrid's hash
+ * shard needs to be on chip at a time, loaded from DRAM once per frame
+ * in the best case; on-chip lookups stream through a banked SRAM. The
+ * MLPs run on a dense weight-stationary array. No adaptive sampling, no
+ * color decoupling -- it executes the full workload.
+ *
+ * Following the paper's methodology ("we construct a cycle-accurate
+ * simulator that accounts for NeuRex's performance losses, such as grid
+ * cache misses and hardware underutilization"), the model charges a
+ * banking-inefficiency factor on lookups and a per-subgrid reload cost.
+ */
+
+#ifndef ASDR_BASELINE_NEUREX_HPP
+#define ASDR_BASELINE_NEUREX_HPP
+
+#include <string>
+
+#include "core/trace.hpp"
+#include "nerf/field.hpp"
+
+namespace asdr::baseline {
+
+struct NeurexConfig
+{
+    std::string name = "NeuRex-Server";
+    double clock_hz = 1e9;
+    int lookup_lanes = 64;      ///< on-chip encoding lookups per cycle
+    double bank_inefficiency = 1.3; ///< SRAM bank-conflict overhead
+    int systolic_dim = 128;     ///< MLP array edge
+    double systolic_util = 0.7;
+    int subgrid_count = 512;    ///< 8^3 partitions
+    double shard_bytes = 128e3; ///< per-subgrid hash shard
+    double dram_bw = 100e9;
+    double power_w = 7.5;
+    double reload_factor = 1.5; ///< average reloads per subgrid per frame
+
+    static NeurexConfig server();
+    static NeurexConfig edge();
+};
+
+struct NeurexReport
+{
+    std::string name;
+    double enc_seconds = 0.0;
+    double mlp_seconds = 0.0;
+    double seconds = 0.0;
+    double energy_j = 0.0;
+};
+
+class NeurexModel
+{
+  public:
+    explicit NeurexModel(const NeurexConfig &cfg) : cfg_(cfg) {}
+
+    const NeurexConfig &config() const { return cfg_; }
+
+    NeurexReport run(const core::WorkloadProfile &profile,
+                     const nerf::FieldCosts &costs) const;
+
+  private:
+    NeurexConfig cfg_;
+};
+
+} // namespace asdr::baseline
+
+#endif // ASDR_BASELINE_NEUREX_HPP

@@ -1,0 +1,62 @@
+#include "baseline/quantized_field.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace asdr::baseline {
+
+QuantizedField::QuantizedField(const nerf::RadianceField &inner,
+                               int color_bits, float sigma_step)
+    : inner_(inner), color_scale_(float(1 << color_bits)),
+      sigma_step_(sigma_step)
+{
+    ASDR_ASSERT(color_bits >= 1 && color_bits <= 16, "bad color bits");
+    ASDR_ASSERT(sigma_step >= 0.0f, "bad sigma step");
+}
+
+nerf::DensityOutput
+QuantizedField::density(const Vec3 &pos) const
+{
+    nerf::DensityOutput den = inner_.density(pos);
+    if (sigma_step_ > 0.0f)
+        den.sigma = std::round(den.sigma / sigma_step_) * sigma_step_;
+    return den;
+}
+
+Vec3
+QuantizedField::color(const Vec3 &pos, const Vec3 &dir,
+                      const nerf::DensityOutput &den) const
+{
+    Vec3 c = inner_.color(pos, dir, den);
+    auto q = [&](float v) {
+        return std::round(v * color_scale_) / color_scale_;
+    };
+    return {q(c.x), q(c.y), q(c.z)};
+}
+
+void
+QuantizedField::traceLookups(const Vec3 &pos, nerf::LookupSink &sink) const
+{
+    inner_.traceLookups(pos, sink);
+}
+
+nerf::TableSchema
+QuantizedField::tableSchema() const
+{
+    return inner_.tableSchema();
+}
+
+nerf::FieldCosts
+QuantizedField::costs() const
+{
+    return inner_.costs();
+}
+
+std::string
+QuantizedField::describe() const
+{
+    return "Quantized(" + inner_.describe() + ")";
+}
+
+} // namespace asdr::baseline

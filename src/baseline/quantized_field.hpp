@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Quality model of fixed-point accelerator datapaths: wraps a radiance
+ * field and quantizes its density/color outputs to a given bit width.
+ * Used to render the "NeuRex" rows of the quality comparison (Fig. 16,
+ * the paper reports NeuRex losing ~0.4 dB to its hardware-friendly
+ * encoding); the workload profile is unaffected.
+ */
+
+#ifndef ASDR_BASELINE_QUANTIZED_FIELD_HPP
+#define ASDR_BASELINE_QUANTIZED_FIELD_HPP
+
+#include "nerf/field.hpp"
+
+namespace asdr::baseline {
+
+class QuantizedField : public nerf::RadianceField
+{
+  public:
+    /**
+     * @param inner field to wrap (must outlive this object)
+     * @param color_bits fixed-point fraction bits of the color datapath
+     * @param sigma_step density quantization step (absolute)
+     */
+    QuantizedField(const nerf::RadianceField &inner, int color_bits,
+                   float sigma_step);
+
+    nerf::DensityOutput density(const Vec3 &pos) const override;
+    Vec3 color(const Vec3 &pos, const Vec3 &dir,
+               const nerf::DensityOutput &den) const override;
+    void traceLookups(const Vec3 &pos,
+                      nerf::LookupSink &sink) const override;
+    nerf::TableSchema tableSchema() const override;
+    nerf::FieldCosts costs() const override;
+    std::string describe() const override;
+
+  private:
+    const nerf::RadianceField &inner_;
+    float color_scale_;
+    float sigma_step_;
+};
+
+} // namespace asdr::baseline
+
+#endif // ASDR_BASELINE_QUANTIZED_FIELD_HPP

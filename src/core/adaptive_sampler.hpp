@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Adaptive sampling with rendering-difficulty awareness (paper §4.2).
+ *
+ * Phase I probes every d-th pixel: the probe ray is rendered with the
+ * full ns points, then re-composited on strided subsets (ns_i = ns /
+ * stride_i, reusing the already-predicted points). The rendering
+ * difficulty of candidate i is Eq. (3):
+ *     rd_i = max(|r_ns - r_nsi|, |g_ns - g_nsi|, |b_ns - b_nsi|)
+ * and the pixel's budget becomes the smallest ns_i with rd_i <= delta.
+ * Pixels that were not probed receive a budget by bilinear
+ * interpolation of the four surrounding probe budgets (Fig. 6a).
+ */
+
+#ifndef ASDR_CORE_ADAPTIVE_SAMPLER_HPP
+#define ASDR_CORE_ADAPTIVE_SAMPLER_HPP
+
+#include <vector>
+
+#include "core/render_config.hpp"
+#include "nerf/volume_render.hpp"
+#include "util/vec.hpp"
+
+namespace asdr::core {
+
+class AdaptiveSampler
+{
+  public:
+    explicit AdaptiveSampler(const RenderConfig &cfg);
+
+    /** Eq. (3): the difficulty of a candidate against the full render. */
+    static float renderingDifficulty(const Vec3 &full_color,
+                                     const Vec3 &subset_color);
+
+    /**
+     * Pick the per-pixel budget from a fully-predicted probe ray.
+     * @param sigma, color the ns predicted points (spacing dt)
+     * @return the chosen number of samples (ns when no candidate passes)
+     */
+    int selectCount(const float *sigma, const Vec3 *color, int ns,
+                    float dt) const;
+
+    /** Probe-grid dimensions for a frame. */
+    static void probeGridDims(int width, int height, int stride, int &gw,
+                              int &gh);
+
+    /**
+     * Bilinearly interpolate per-pixel budgets from the probe grid
+     * (gw x gh budgets at stride `cfg.probe_stride`), clamped to
+     * [min_samples, samples_per_ray].
+     */
+    std::vector<int> interpolateCounts(const std::vector<int> &probe_counts,
+                                       int gw, int gh, int width,
+                                       int height) const;
+
+  private:
+    RenderConfig cfg_;
+};
+
+} // namespace asdr::core
+
+#endif // ASDR_CORE_ADAPTIVE_SAMPLER_HPP

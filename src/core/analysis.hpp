@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Workload analysis tools behind the paper's motivation figures:
+ *  - Fig. 4: address trace of consecutive sample points (hash locality)
+ *  - Fig. 8: cosine-similarity distribution of adjacent point colors
+ *  - Fig. 15: inter-ray / intra-ray voxel repetition rates per level
+ */
+
+#ifndef ASDR_CORE_ANALYSIS_HPP
+#define ASDR_CORE_ANALYSIS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "nerf/camera.hpp"
+#include "nerf/field.hpp"
+#include "util/stats.hpp"
+
+namespace asdr::core {
+
+/** One (sample point, flat table address) record of the Fig. 4 trace. */
+struct AddressRecord
+{
+    int point = 0;       ///< sample-point ordinal in rendering order
+    uint64_t address = 0; ///< flat address over all stacked tables
+};
+
+struct AddressTraceResult
+{
+    std::vector<AddressRecord> records;
+    double mean_jump = 0.0;   ///< mean |addr delta| between consecutive accesses
+    double median_jump = 0.0;
+    uint64_t address_space = 0;
+};
+
+/**
+ * Record the table addresses of the first `max_points` consecutive
+ * sample points of a render (one address per vertex lookup). Mirrors
+ * the paper's Fig. 4 (1,500 points).
+ */
+AddressTraceResult sampleAddressTrace(const nerf::RadianceField &field,
+                                      const nerf::Camera &camera,
+                                      int samples_per_ray, int max_points);
+
+/**
+ * Cosine-similarity distribution between RGB colors of adjacent sample
+ * points along rays (paper Fig. 8). Pairs where both points are in
+ * fully empty space are skipped (their colors never reach the output).
+ * @param hist receives similarities; create over [0, 1]
+ * @return fraction of pairs with similarity >= 0.99
+ */
+double colorSimilarityDistribution(const nerf::RadianceField &field,
+                                   const nerf::Camera &camera,
+                                   int samples_per_ray, Histogram &hist,
+                                   int max_rays = 4096);
+
+/** Per-level locality profile (paper Fig. 15). */
+struct RepetitionProfile
+{
+    /** (a) fraction of a ray's points whose voxel is also visited by the
+     *  neighboring ray, per level. */
+    std::vector<double> inter_ray;
+    /** (b) largest number of one ray's points falling into a single
+     *  voxel, per level (averaged over rays). */
+    std::vector<double> intra_ray_max_points;
+};
+
+RepetitionProfile profileRepetition(const nerf::RadianceField &field,
+                                    const nerf::Camera &camera,
+                                    int samples_per_ray,
+                                    int max_ray_pairs = 256);
+
+} // namespace asdr::core
+
+#endif // ASDR_CORE_ANALYSIS_HPP

@@ -1,0 +1,61 @@
+#include "core/field_cache.hpp"
+
+#include <map>
+
+#include "nerf/serialize.hpp"
+#include "nerf/trainer.hpp"
+#include "scene/scene_library.hpp"
+#include "util/logging.hpp"
+
+namespace asdr::core {
+
+std::shared_ptr<nerf::InstantNgpField>
+fittedField(const std::string &scene_name, const ExperimentPreset &preset)
+{
+    static std::map<std::string, std::shared_ptr<nerf::InstantNgpField>>
+        memo;
+    std::string key = scene_name + "/" + preset.name;
+    auto it = memo.find(key);
+    if (it != memo.end())
+        return it->second;
+
+    auto field = std::make_shared<nerf::InstantNgpField>(preset.model,
+                                                         0xF1E1D);
+    std::string path = nerf::fieldCachePath(scene_name, preset.name);
+    if (nerf::loadField(*field, path)) {
+        inform("loaded fitted field for ", scene_name, " from ", path);
+    } else {
+        auto scene = scene::createScene(scene_name);
+        inform("fitting field for ", scene_name, " (",
+               preset.train.steps, " steps)...");
+        nerf::TrainReport report =
+            nerf::fitField(*field, *scene, preset.train);
+        inform("fit ", scene_name, ": loss ", report.initial_loss, " -> ",
+               report.final_loss);
+        nerf::saveField(*field, path);
+    }
+    memo[key] = field;
+    return field;
+}
+
+std::shared_ptr<nerf::TensorfField>
+fittedTensorf(const std::string &scene_name, const ExperimentPreset &preset)
+{
+    static std::map<std::string, std::shared_ptr<nerf::TensorfField>> memo;
+    std::string key = scene_name + "/" + preset.name;
+    auto it = memo.find(key);
+    if (it != memo.end())
+        return it->second;
+
+    nerf::TensorfConfig cfg;
+    auto field = std::make_shared<nerf::TensorfField>(cfg, 0x7E50);
+    auto scene = scene::createScene(scene_name);
+    inform("fitting TensoRF for ", scene_name, "...");
+    int steps = preset.train.steps;
+    nerf::fitTensorf(*field, *scene, steps, preset.train.batch,
+                     preset.train.lr);
+    memo[key] = field;
+    return field;
+}
+
+} // namespace asdr::core

@@ -1,0 +1,38 @@
+#include "core/ground_truth.hpp"
+
+#include "nerf/volume_render.hpp"
+
+namespace asdr::core {
+
+Image
+renderGroundTruth(const scene::AnalyticScene &scene,
+                  const nerf::Camera &camera, int samples)
+{
+    Image img(camera.width(), camera.height());
+    std::vector<float> sigma(static_cast<size_t>(samples));
+    std::vector<Vec3> color(static_cast<size_t>(samples));
+    for (int y = 0; y < camera.height(); ++y) {
+        for (int x = 0; x < camera.width(); ++x) {
+            nerf::Ray ray = camera.ray(float(x) + 0.5f, float(y) + 0.5f);
+            float t0, t1;
+            if (!nerf::intersectUnitCube(ray, t0, t1)) {
+                img.at(x, y) = Vec3(0.0f);
+                continue;
+            }
+            float dt = (t1 - t0) / float(samples);
+            for (int i = 0; i < samples; ++i) {
+                Vec3 pos =
+                    ray.origin + ray.dir * (t0 + (float(i) + 0.5f) * dt);
+                scene::SceneSample s = scene.sample(pos, ray.dir);
+                sigma[size_t(i)] = s.sigma;
+                color[size_t(i)] = s.color;
+            }
+            img.at(x, y) =
+                nerf::composite(sigma.data(), color.data(), samples, dt)
+                    .color;
+        }
+    }
+    return img;
+}
+
+} // namespace asdr::core

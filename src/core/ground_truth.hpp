@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Ground-truth image synthesis: dense volume rendering of the analytic
+ * scene itself (no neural network). This plays the role of the paper's
+ * dataset reference images -- every PSNR/SSIM/LPIPS number compares a
+ * field render against this.
+ */
+
+#ifndef ASDR_CORE_GROUND_TRUTH_HPP
+#define ASDR_CORE_GROUND_TRUTH_HPP
+
+#include "image/image.hpp"
+#include "nerf/camera.hpp"
+#include "scene/analytic_scene.hpp"
+
+namespace asdr::core {
+
+/**
+ * Render `scene` analytically with `samples` points per ray (defaults
+ * well above any field render, so discretization error is negligible).
+ */
+Image renderGroundTruth(const scene::AnalyticScene &scene,
+                        const nerf::Camera &camera, int samples = 512);
+
+} // namespace asdr::core
+
+#endif // ASDR_CORE_GROUND_TRUTH_HPP

@@ -1,0 +1,59 @@
+#include "core/presets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace asdr::core {
+
+bool
+fastMode()
+{
+    const char *env = std::getenv("ASDR_FAST");
+    return env && env[0] == '1';
+}
+
+ExperimentPreset
+ExperimentPreset::quality()
+{
+    ExperimentPreset preset;
+    preset.name = "quality";
+    preset.pixel_budget = fastMode() ? 1024 : 4096;
+    preset.samples_per_ray = fastMode() ? 64 : 128;
+    preset.model = nerf::NgpModelConfig::fast();
+    preset.train.steps = fastMode() ? 400 : 2500;
+    preset.train.batch = 96;
+    preset.train.lr = 4e-3f;
+    return preset;
+}
+
+ExperimentPreset
+ExperimentPreset::perf()
+{
+    ExperimentPreset preset;
+    preset.name = "perf";
+    preset.pixel_budget = fastMode() ? 2048 : 9216; // ~96x96 equivalents
+    preset.samples_per_ray = fastMode() ? 96 : 192;
+    preset.model = nerf::NgpModelConfig::reference();
+    return preset;
+}
+
+void
+ExperimentPreset::resolutionFor(const scene::SceneInfo &info, int &width,
+                                int &height) const
+{
+    double aspect = double(info.full_width) / double(info.full_height);
+    double h = std::sqrt(double(pixel_budget) / aspect);
+    height = std::max(16, int(std::lround(h)));
+    width = std::max(16, int(std::lround(h * aspect)));
+}
+
+RenderConfig
+ExperimentPreset::renderConfigFor(const scene::SceneInfo &info) const
+{
+    int w, h;
+    resolutionFor(info, w, h);
+    return RenderConfig::baseline(w, h, samples_per_ray);
+}
+
+} // namespace asdr::core

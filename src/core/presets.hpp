@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Central experiment scale knobs (DESIGN.md §5). Every bench draws its
+ * frame size / sample count / model shape from here so the whole suite
+ * can be scaled with one switch. Setting ASDR_FAST=1 in the environment
+ * shrinks everything further for smoke runs.
+ */
+
+#ifndef ASDR_CORE_PRESETS_HPP
+#define ASDR_CORE_PRESETS_HPP
+
+#include <string>
+
+#include "core/render_config.hpp"
+#include "nerf/ngp_field.hpp"
+#include "nerf/trainer.hpp"
+#include "scene/analytic_scene.hpp"
+
+namespace asdr::core {
+
+struct ExperimentPreset
+{
+    /** Pixel budget per frame; each scene keeps its Table-1 aspect. */
+    int pixel_budget = 4096;
+    int samples_per_ray = 128;
+    nerf::NgpModelConfig model;
+    nerf::TrainConfig train;
+    std::string name = "quality";
+
+    /**
+     * Fitted-field preset for PSNR/SSIM experiments: host-speed model
+     * shape, moderate frames.
+     */
+    static ExperimentPreset quality();
+
+    /**
+     * Performance preset: procedural field with the paper-faithful
+     * reference cost model, larger frames, ns = 192.
+     */
+    static ExperimentPreset perf();
+
+    /** Resolution for a scene under this preset (aspect preserved). */
+    void resolutionFor(const scene::SceneInfo &info, int &width,
+                       int &height) const;
+
+    /** A RenderConfig pre-sized for `info` (baseline settings). */
+    RenderConfig renderConfigFor(const scene::SceneInfo &info) const;
+};
+
+/** True when ASDR_FAST=1 (shrinks presets for smoke runs). */
+bool fastMode();
+
+} // namespace asdr::core
+
+#endif // ASDR_CORE_PRESETS_HPP

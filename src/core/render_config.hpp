@@ -1,0 +1,85 @@
+/**
+ * @file
+ * All knobs of the ASDR rendering pipeline (paper §4-5): adaptive
+ * sampling (probe stride d, difficulty threshold delta, candidate point
+ * counts), volume-rendering approximation (group size n), early
+ * termination, and frame geometry.
+ */
+
+#ifndef ASDR_CORE_RENDER_CONFIG_HPP
+#define ASDR_CORE_RENDER_CONFIG_HPP
+
+#include <vector>
+
+namespace asdr::core {
+
+struct RenderConfig
+{
+    int width = 96;
+    int height = 96;
+    /** Fixed samples per ray ns (paper: 192 for the LEGO scene). */
+    int samples_per_ray = 192;
+
+    // --- Adaptive sampling (§4.2) ---
+    bool adaptive_sampling = false;
+    /** Probe-pixel stride d: (D/d)^2 pixels are probed in Phase I. */
+    int probe_stride = 5;
+    /** Difficulty threshold delta of Eq. (3); 0 = lossless criterion. */
+    float delta = 0.0f;
+    /**
+     * Candidate subset strides: candidate count ns_i = ns / stride_i
+     * (strided subsets reuse the probe ray's already-predicted points,
+     * so Phase I costs no extra network work). Descending strides =
+     * ascending candidate counts; the first candidate with
+     * rd_i <= delta wins.
+     */
+    std::vector<int> subset_strides{16, 8, 4, 2};
+    /** Lower bound on per-pixel samples after interpolation. */
+    int min_samples = 8;
+
+    // --- Volume-rendering approximation (§4.3) ---
+    bool color_approx = false;
+    /** Group size n: one color-network execution per n points. */
+    int approx_group = 2;
+
+    // --- Early termination (§6.6) ---
+    bool early_termination = false;
+    /** Terminate the march once transmittance falls below this. */
+    float et_eps = 1e-3f;
+
+    /**
+     * Densities below this are treated as exactly zero -- the software
+     * equivalent of Instant-NGP's occupancy grid masking empty space.
+     * Without it a trained field emits tiny nonzero densities
+     * everywhere and the delta = 0 lossless criterion of Fig. 7 can
+     * never fire on background pixels.
+     */
+    float sigma_floor = 0.1f;
+
+    // Convenience named configurations used across the benches.
+    static RenderConfig
+    baseline(int w, int h, int ns = 192)
+    {
+        RenderConfig cfg;
+        cfg.width = w;
+        cfg.height = h;
+        cfg.samples_per_ray = ns;
+        return cfg;
+    }
+
+    static RenderConfig
+    asdr(int w, int h, int ns = 192)
+    {
+        RenderConfig cfg = baseline(w, h, ns);
+        cfg.adaptive_sampling = true;
+        cfg.delta = 1.0f / 2048.0f; // the paper's sweet spot (Fig. 21a)
+        cfg.color_approx = true;
+        cfg.approx_group = 2;
+        cfg.early_termination = true;
+        return cfg;
+    }
+};
+
+} // namespace asdr::core
+
+#endif // ASDR_CORE_RENDER_CONFIG_HPP

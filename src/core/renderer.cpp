@@ -1,0 +1,205 @@
+#include "core/renderer.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "core/color_approximator.hpp"
+#include "nerf/volume_render.hpp"
+#include "util/logging.hpp"
+
+namespace asdr::core {
+
+AsdrRenderer::AsdrRenderer(const nerf::RadianceField &field,
+                           const RenderConfig &cfg)
+    : field_(field), cfg_(cfg), sampler_(cfg)
+{
+    ASDR_ASSERT(cfg.samples_per_ray >= 2, "need at least 2 samples per ray");
+    ASDR_ASSERT(cfg.approx_group >= 1, "approximation group must be >= 1");
+}
+
+AsdrRenderer::RayResult
+AsdrRenderer::renderRay(const nerf::Ray &ray, int budget, bool probe,
+                        RayWorkspace &ws, WorkloadProfile &profile,
+                        TraceSink *sink) const
+{
+    RayResult result;
+    result.color = Vec3(0.0f);
+
+    float t0, t1;
+    if (!intersectUnitCube(ray, t0, t1) || budget < 1)
+        return result;
+    result.hit_volume = true;
+
+    const int n = budget;
+    const float dt = (t1 - t0) / float(n);
+    const int lookups_per_point = field_.costs().lookups_per_point;
+
+    ws.positions.resize(size_t(n));
+    ws.sigma.resize(size_t(n));
+    ws.density.resize(size_t(n));
+    ws.colors.resize(size_t(n));
+
+    // ---- density pass (with early termination) ----
+    bool use_et = cfg_.early_termination && !probe;
+    float transmittance = 1.0f;
+    int cut = n;
+    for (int i = 0; i < n; ++i) {
+        Vec3 pos = ray.origin + ray.dir * (t0 + (float(i) + 0.5f) * dt);
+        ws.positions[size_t(i)] = pos;
+        if (sink) {
+            field_.traceLookups(pos, *sink);
+            sink->onDensityExec();
+        }
+        profile.points++;
+        profile.density_execs++;
+        profile.lookups += uint64_t(lookups_per_point);
+
+        ws.density[size_t(i)] = field_.density(pos);
+        float sigma = ws.density[size_t(i)].sigma;
+        if (sigma < cfg_.sigma_floor)
+            sigma = 0.0f; // occupancy-grid-style empty-space masking
+        ws.sigma[size_t(i)] = sigma;
+
+        if (use_et) {
+            transmittance *=
+                1.0f - nerf::alphaFromSigma(ws.sigma[size_t(i)], dt);
+            if (transmittance < cfg_.et_eps) {
+                cut = i + 1;
+                break;
+            }
+        }
+    }
+    result.points_used = cut;
+
+    // ---- color pass at anchors ----
+    int group = cfg_.color_approx ? cfg_.approx_group : 1;
+    ColorApproximator::anchorIndices(cut, group, ws.anchors);
+    for (int a : ws.anchors) {
+        ws.colors[size_t(a)] = field_.color(ws.positions[size_t(a)], ray.dir,
+                                            ws.density[size_t(a)]);
+        profile.color_execs++;
+        if (sink)
+            sink->onColorExec();
+    }
+
+    // ---- approximation unit fills the gaps ----
+    int filled =
+        ColorApproximator::interpolate(ws.colors.data(), ws.anchors, cut);
+    profile.approx_colors += uint64_t(filled);
+    if (sink)
+        for (int i = 0; i < filled; ++i)
+            sink->onApproxColor();
+
+    // ---- RGB unit: Eq. (1) compositing ----
+    nerf::CompositeResult comp =
+        nerf::composite(ws.sigma.data(), ws.colors.data(), cut, dt);
+    result.color = comp.color;
+    return result;
+}
+
+Image
+AsdrRenderer::render(const nerf::Camera &camera, RenderStats *stats,
+                     TraceSink *sink) const
+{
+    auto start = std::chrono::steady_clock::now();
+
+    const int w = camera.width();
+    const int h = camera.height();
+    Image img(w, h);
+
+    WorkloadProfile profile;
+    std::vector<float> count_map(size_t(w) * size_t(h),
+                                 float(cfg_.samples_per_ray));
+    RayWorkspace ws;
+
+    if (sink)
+        sink->onFrameBegin(w, h);
+
+    std::vector<int> budgets;
+    std::vector<char> probed(size_t(w) * size_t(h), 0);
+
+    if (cfg_.adaptive_sampling) {
+        // ---- Phase I: probe every d-th pixel with the full budget ----
+        const int d = cfg_.probe_stride;
+        int gw, gh;
+        AdaptiveSampler::probeGridDims(w, h, d, gw, gh);
+        std::vector<int> probe_counts(size_t(gw) * size_t(gh),
+                                      cfg_.samples_per_ray);
+        for (int gy = 0; gy < gh; ++gy) {
+            for (int gx = 0; gx < gw; ++gx) {
+                int px = std::min(gx * d, w - 1);
+                int py = std::min(gy * d, h - 1);
+                if (sink)
+                    sink->onRayBegin(px, py, /*probe=*/true);
+                nerf::Ray ray =
+                    camera.ray(float(px) + 0.5f, float(py) + 0.5f);
+                RayResult rr = renderRay(ray, cfg_.samples_per_ray,
+                                         /*probe=*/true, ws, profile, sink);
+                profile.rays++;
+                profile.probe_rays++;
+                if (sink)
+                    sink->onRayEnd();
+
+                int chosen = cfg_.samples_per_ray;
+                if (rr.hit_volume) {
+                    float t0, t1;
+                    intersectUnitCube(ray, t0, t1);
+                    float dt = (t1 - t0) / float(cfg_.samples_per_ray);
+                    chosen = sampler_.selectCount(ws.sigma.data(),
+                                                  ws.colors.data(),
+                                                  cfg_.samples_per_ray, dt);
+                } else {
+                    chosen = cfg_.min_samples;
+                }
+                probe_counts[size_t(gy) * gw + gx] = chosen;
+                // Probe pixels keep their full-budget color; the
+                // hardware holds it in the render buffer already.
+                img.at(px, py) = rr.color;
+                probed[size_t(py) * w + px] = 1;
+                count_map[size_t(py) * w + px] = float(chosen);
+            }
+        }
+        budgets = sampler_.interpolateCounts(probe_counts, gw, gh, w, h);
+    }
+
+    // ---- Phase II: render every (remaining) pixel with its budget ----
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            if (cfg_.adaptive_sampling && probed[size_t(y) * w + x])
+                continue;
+            int budget = cfg_.adaptive_sampling
+                             ? budgets[size_t(y) * w + x]
+                             : cfg_.samples_per_ray;
+            if (sink)
+                sink->onRayBegin(x, y, /*probe=*/false);
+            nerf::Ray ray = camera.ray(float(x) + 0.5f, float(y) + 0.5f);
+            RayResult rr =
+                renderRay(ray, budget, /*probe=*/false, ws, profile, sink);
+            profile.rays++;
+            if (sink)
+                sink->onRayEnd();
+            img.at(x, y) = rr.color;
+            count_map[size_t(y) * w + x] =
+                float(cfg_.adaptive_sampling ? budget : rr.points_used);
+        }
+    }
+
+    if (sink)
+        sink->onFrameEnd();
+
+    if (stats) {
+        stats->profile = profile;
+        double sum = 0.0;
+        for (float c : count_map)
+            sum += c;
+        stats->avg_points_per_pixel = sum / double(count_map.size());
+        stats->sample_count_map = std::move(count_map);
+        stats->wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+    }
+    return img;
+}
+
+} // namespace asdr::core

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The two-phase ASDR renderer (paper §5.5 dataflow, in software):
+ *
+ * Phase I  (when adaptive sampling is on): probe every d-th pixel with
+ *          the full ns samples, evaluate the Eq. (3) rendering
+ *          difficulty on strided subsets, and choose per-pixel budgets;
+ *          budgets for unprobed pixels come from bilinear interpolation.
+ * Phase II render every remaining pixel with its budget. Per ray the
+ *          pipeline is density-first: (1) density network for all points
+ *          with optional early termination, (2) color network at group
+ *          anchors only (when the approximation is on), (3) linear
+ *          interpolation of missing colors, (4) Eq. (1) compositing --
+ *          exactly the hardware's engine ordering, so software counts
+ *          and simulated cycles describe the same work.
+ */
+
+#ifndef ASDR_CORE_RENDERER_HPP
+#define ASDR_CORE_RENDERER_HPP
+
+#include <vector>
+
+#include "core/adaptive_sampler.hpp"
+#include "core/render_config.hpp"
+#include "core/trace.hpp"
+#include "image/image.hpp"
+#include "nerf/camera.hpp"
+#include "nerf/field.hpp"
+
+namespace asdr::core {
+
+/** Everything a render pass reports besides the image itself. */
+struct RenderStats
+{
+    WorkloadProfile profile;
+    /** Per-pixel sample budgets (the Fig. 7 heatmap source). */
+    std::vector<float> sample_count_map;
+    /** Mean of sample_count_map (the paper's "average points/pixel"). */
+    double avg_points_per_pixel = 0.0;
+    /** Host wall-clock of the render (used by the Fig. 24 experiment). */
+    double wall_seconds = 0.0;
+};
+
+class AsdrRenderer
+{
+  public:
+    AsdrRenderer(const nerf::RadianceField &field, const RenderConfig &cfg);
+
+    const RenderConfig &config() const { return cfg_; }
+
+    /**
+     * Render a frame. `stats` and `sink` may be null; attaching a sink
+     * streams the full lookup/execution trace through it.
+     */
+    Image render(const nerf::Camera &camera, RenderStats *stats = nullptr,
+                 TraceSink *sink = nullptr) const;
+
+    /** Reusable per-ray scratch buffers. */
+    struct RayWorkspace
+    {
+        std::vector<Vec3> positions;
+        std::vector<float> sigma;
+        std::vector<nerf::DensityOutput> density;
+        std::vector<Vec3> colors;
+        std::vector<int> anchors;
+    };
+
+    /** Result of marching a single ray. */
+    struct RayResult
+    {
+        Vec3 color;
+        int points_used = 0; ///< points after early termination
+        bool hit_volume = false;
+    };
+
+    /**
+     * March one ray with `budget` samples. Exposed for unit tests and
+     * the analysis tools; `probe` disables early termination (probe
+     * rays need every point for the subset comparisons) and retains
+     * sigma/colors in `ws` for the difficulty evaluation.
+     */
+    RayResult renderRay(const nerf::Ray &ray, int budget, bool probe,
+                        RayWorkspace &ws, WorkloadProfile &profile,
+                        TraceSink *sink) const;
+
+  private:
+    const nerf::RadianceField &field_;
+    RenderConfig cfg_;
+    AdaptiveSampler sampler_;
+};
+
+} // namespace asdr::core
+
+#endif // ASDR_CORE_RENDERER_HPP

@@ -1,0 +1,103 @@
+#include "image/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace asdr {
+
+Image::Image(int width, int height, Vec3 fill)
+    : width_(width), height_(height),
+      data_(size_t(width) * size_t(height), fill)
+{
+    ASDR_ASSERT(width > 0 && height > 0, "image dimensions must be positive");
+}
+
+Vec3
+Image::sampleBilinear(float x, float y) const
+{
+    x = std::clamp(x, 0.0f, float(width_ - 1));
+    y = std::clamp(y, 0.0f, float(height_ - 1));
+    int x0 = static_cast<int>(x);
+    int y0 = static_cast<int>(y);
+    int x1 = std::min(x0 + 1, width_ - 1);
+    int y1 = std::min(y0 + 1, height_ - 1);
+    float fx = x - float(x0);
+    float fy = y - float(y0);
+    Vec3 top = lerp(at(x0, y0), at(x1, y0), fx);
+    Vec3 bot = lerp(at(x0, y1), at(x1, y1), fx);
+    return lerp(top, bot, fy);
+}
+
+void
+Image::clamp()
+{
+    for (auto &p : data_)
+        p = clamp01(p);
+}
+
+bool
+Image::writePpm(const std::string &path, bool gamma) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        warn("cannot open ", path, " for writing");
+        return false;
+    }
+    std::fprintf(f, "P6\n%d %d\n255\n", width_, height_);
+    std::vector<unsigned char> row(size_t(width_) * 3);
+    for (int y = 0; y < height_; ++y) {
+        for (int x = 0; x < width_; ++x) {
+            Vec3 c = clamp01(at(x, y));
+            float g = gamma ? 1.0f / 2.2f : 1.0f;
+            row[size_t(x) * 3 + 0] =
+                static_cast<unsigned char>(std::pow(c.x, g) * 255.0f + 0.5f);
+            row[size_t(x) * 3 + 1] =
+                static_cast<unsigned char>(std::pow(c.y, g) * 255.0f + 0.5f);
+            row[size_t(x) * 3 + 2] =
+                static_cast<unsigned char>(std::pow(c.z, g) * 255.0f + 0.5f);
+        }
+        std::fwrite(row.data(), 1, row.size(), f);
+    }
+    std::fclose(f);
+    return true;
+}
+
+double
+Image::meanLuminance() const
+{
+    double sum = 0.0;
+    for (const auto &p : data_)
+        sum += (p.x + p.y + p.z) / 3.0;
+    return data_.empty() ? 0.0 : sum / double(data_.size());
+}
+
+Image
+heatmap(const std::vector<float> &values, int width, int height, float lo,
+        float hi)
+{
+    ASDR_ASSERT(values.size() == size_t(width) * size_t(height),
+                "heatmap size mismatch");
+    Image img(width, height);
+    float range = std::max(hi - lo, 1e-9f);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            float t = std::clamp(
+                (values[size_t(y) * width + x] - lo) / range, 0.0f, 1.0f);
+            // blue (cold, few samples) -> green -> red (hot, many samples)
+            Vec3 c;
+            if (t < 0.5f)
+                c = lerp(Vec3(0.1f, 0.2f, 0.9f), Vec3(0.2f, 0.9f, 0.3f),
+                         t * 2.0f);
+            else
+                c = lerp(Vec3(0.2f, 0.9f, 0.3f), Vec3(0.95f, 0.15f, 0.1f),
+                         (t - 0.5f) * 2.0f);
+            img.at(x, y) = c;
+        }
+    }
+    return img;
+}
+
+} // namespace asdr

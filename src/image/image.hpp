@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Linear-RGB float image buffer with PPM export, plus helpers for the
+ * sample-count heatmaps of Fig. 7 (blue = few samples, red = many).
+ */
+
+#ifndef ASDR_IMAGE_IMAGE_HPP
+#define ASDR_IMAGE_IMAGE_HPP
+
+#include <string>
+#include <vector>
+
+#include "util/vec.hpp"
+
+namespace asdr {
+
+/** Row-major float RGB image; values nominally in [0, 1]. */
+class Image
+{
+  public:
+    Image() = default;
+    Image(int width, int height, Vec3 fill = Vec3(0.0f));
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    size_t pixels() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    Vec3 &at(int x, int y) { return data_[size_t(y) * width_ + x]; }
+    const Vec3 &at(int x, int y) const { return data_[size_t(y) * width_ + x]; }
+
+    const std::vector<Vec3> &data() const { return data_; }
+    std::vector<Vec3> &data() { return data_; }
+
+    /** Bilinearly sample at fractional pixel coordinates (clamped). */
+    Vec3 sampleBilinear(float x, float y) const;
+
+    /** Clamp all channels into [0, 1]. */
+    void clamp();
+
+    /** Write binary PPM (P6), applying gamma 2.2 for viewability. */
+    bool writePpm(const std::string &path, bool gamma = true) const;
+
+    /** Mean of all pixel channels (quick sanity statistic). */
+    double meanLuminance() const;
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<Vec3> data_;
+};
+
+/**
+ * Map a scalar field (e.g. per-pixel sample counts) to a blue→red heatmap
+ * image, normalizing to [lo, hi]; used for the Fig. 7 visualization.
+ */
+Image heatmap(const std::vector<float> &values, int width, int height,
+              float lo, float hi);
+
+} // namespace asdr
+
+#endif // ASDR_IMAGE_IMAGE_HPP

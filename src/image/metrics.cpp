@@ -1,0 +1,208 @@
+#include "image/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace asdr {
+
+namespace {
+
+void
+checkSameSize(const Image &a, const Image &b)
+{
+    ASDR_ASSERT(a.width() == b.width() && a.height() == b.height(),
+                "metric inputs must have identical dimensions");
+    ASDR_ASSERT(!a.empty(), "metric inputs must be non-empty");
+}
+
+/** Per-channel grayscale views for the window-based metrics. */
+std::vector<float>
+channel(const Image &img, int c)
+{
+    std::vector<float> out(img.pixels());
+    for (size_t i = 0; i < img.pixels(); ++i)
+        out[i] = img.data()[i][int(c)];
+    return out;
+}
+
+std::vector<float>
+luminance(const Image &img)
+{
+    std::vector<float> out(img.pixels());
+    for (size_t i = 0; i < img.pixels(); ++i) {
+        const Vec3 &p = img.data()[i];
+        out[i] = 0.2126f * p.x + 0.7152f * p.y + 0.0722f * p.z;
+    }
+    return out;
+}
+
+/** 2x box downsample (used by the multi-scale perceptual metric). */
+Image
+downsample2(const Image &img)
+{
+    int w = std::max(1, img.width() / 2);
+    int h = std::max(1, img.height() / 2);
+    Image out(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            int x0 = std::min(2 * x, img.width() - 1);
+            int x1 = std::min(2 * x + 1, img.width() - 1);
+            int y0 = std::min(2 * y, img.height() - 1);
+            int y1 = std::min(2 * y + 1, img.height() - 1);
+            out.at(x, y) = (img.at(x0, y0) + img.at(x1, y0) +
+                            img.at(x0, y1) + img.at(x1, y1)) * 0.25f;
+        }
+    }
+    return out;
+}
+
+/** Sobel gradient magnitude of a grayscale field. */
+std::vector<float>
+gradientMagnitude(const std::vector<float> &g, int w, int h)
+{
+    std::vector<float> out(g.size(), 0.0f);
+    auto px = [&](int x, int y) {
+        x = std::clamp(x, 0, w - 1);
+        y = std::clamp(y, 0, h - 1);
+        return g[size_t(y) * w + x];
+    };
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            float gx = (px(x + 1, y - 1) + 2 * px(x + 1, y) + px(x + 1, y + 1)) -
+                       (px(x - 1, y - 1) + 2 * px(x - 1, y) + px(x - 1, y + 1));
+            float gy = (px(x - 1, y + 1) + 2 * px(x, y + 1) + px(x + 1, y + 1)) -
+                       (px(x - 1, y - 1) + 2 * px(x, y - 1) + px(x + 1, y - 1));
+            out[size_t(y) * w + x] = std::sqrt(gx * gx + gy * gy);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+double
+mse(const Image &a, const Image &b)
+{
+    checkSameSize(a, b);
+    double acc = 0.0;
+    for (size_t i = 0; i < a.pixels(); ++i) {
+        Vec3 d = a.data()[i] - b.data()[i];
+        acc += double(d.x) * d.x + double(d.y) * d.y + double(d.z) * d.z;
+    }
+    return acc / (double(a.pixels()) * 3.0);
+}
+
+double
+psnr(const Image &a, const Image &b, double cap)
+{
+    double m = mse(a, b);
+    if (m <= 0.0)
+        return cap;
+    return std::min(cap, 10.0 * std::log10(1.0 / m));
+}
+
+double
+ssim(const Image &a, const Image &b)
+{
+    checkSameSize(a, b);
+    const int w = a.width(), h = a.height();
+    const int win = 11, half = win / 2;
+    const double sigma = 1.5;
+    const double c1 = 0.01 * 0.01, c2 = 0.03 * 0.03;
+
+    // Precompute the gaussian window.
+    double kernel[11][11];
+    double ksum = 0.0;
+    for (int i = 0; i < win; ++i) {
+        for (int j = 0; j < win; ++j) {
+            double dx = i - half, dy = j - half;
+            kernel[i][j] = std::exp(-(dx * dx + dy * dy) / (2 * sigma * sigma));
+            ksum += kernel[i][j];
+        }
+    }
+    for (int i = 0; i < win; ++i)
+        for (int j = 0; j < win; ++j)
+            kernel[i][j] /= ksum;
+
+    double total = 0.0;
+    int channels = 0;
+    for (int c = 0; c < 3; ++c) {
+        std::vector<float> ga = channel(a, c), gb = channel(b, c);
+        auto px = [&](const std::vector<float> &g, int x, int y) {
+            x = std::clamp(x, 0, w - 1);
+            y = std::clamp(y, 0, h - 1);
+            return double(g[size_t(y) * w + x]);
+        };
+        double acc = 0.0;
+        long count = 0;
+        // Stride 2 keeps the metric O(pixels) cheap without changing the
+        // value materially (windows overlap heavily at stride 1).
+        for (int y = 0; y < h; y += 2) {
+            for (int x = 0; x < w; x += 2) {
+                double mu_a = 0, mu_b = 0;
+                for (int i = 0; i < win; ++i)
+                    for (int j = 0; j < win; ++j) {
+                        mu_a += kernel[i][j] * px(ga, x + j - half, y + i - half);
+                        mu_b += kernel[i][j] * px(gb, x + j - half, y + i - half);
+                    }
+                double va = 0, vb = 0, cov = 0;
+                for (int i = 0; i < win; ++i)
+                    for (int j = 0; j < win; ++j) {
+                        double da = px(ga, x + j - half, y + i - half) - mu_a;
+                        double db = px(gb, x + j - half, y + i - half) - mu_b;
+                        va += kernel[i][j] * da * da;
+                        vb += kernel[i][j] * db * db;
+                        cov += kernel[i][j] * da * db;
+                    }
+                double s = ((2 * mu_a * mu_b + c1) * (2 * cov + c2)) /
+                           ((mu_a * mu_a + mu_b * mu_b + c1) * (va + vb + c2));
+                acc += s;
+                ++count;
+            }
+        }
+        total += acc / double(count);
+        ++channels;
+    }
+    return total / double(channels);
+}
+
+double
+perceptualDistance(const Image &a, const Image &b)
+{
+    checkSameSize(a, b);
+    Image ca = a, cb = b;
+    double total = 0.0;
+    double weight_sum = 0.0;
+    const double scale_weights[3] = {0.5, 0.3, 0.2};
+    for (int scale = 0; scale < 3; ++scale) {
+        int w = ca.width(), h = ca.height();
+        std::vector<float> la = luminance(ca), lb = luminance(cb);
+        std::vector<float> gma = gradientMagnitude(la, w, h);
+        std::vector<float> gmb = gradientMagnitude(lb, w, h);
+
+        // Gradient dissimilarity (edges appearing/disappearing) plus a
+        // contrast-normalized color term; both bounded in [0, 1].
+        double acc = 0.0;
+        const double eps = 1e-3;
+        for (size_t i = 0; i < la.size(); ++i) {
+            double g_sim = (2.0 * gma[i] * gmb[i] + eps) /
+                           (double(gma[i]) * gma[i] + double(gmb[i]) * gmb[i] +
+                            eps);
+            Vec3 d = ca.data()[i] - cb.data()[i];
+            double col = std::min(1.0, double(length(d)));
+            acc += 0.7 * (1.0 - g_sim) + 0.3 * col;
+        }
+        total += scale_weights[scale] * acc / double(la.size());
+        weight_sum += scale_weights[scale];
+        if (w <= 8 || h <= 8)
+            break;
+        ca = downsample2(ca);
+        cb = downsample2(cb);
+    }
+    return total / weight_sum;
+}
+
+} // namespace asdr

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Image quality metrics used throughout the evaluation:
+ *  - PSNR (primary metric, Figs. 7/9/16/21, Tables 3/4)
+ *  - SSIM with a gaussian window (Table 3/4)
+ *  - a multi-scale perceptual distance standing in for LPIPS (Table 3/4);
+ *    no pretrained network is available offline, so we use a hand-crafted
+ *    gradient+structure distance with the same "lower is better" range.
+ */
+
+#ifndef ASDR_IMAGE_METRICS_HPP
+#define ASDR_IMAGE_METRICS_HPP
+
+#include "image/image.hpp"
+
+namespace asdr {
+
+/** Mean squared error over all channels. */
+double mse(const Image &a, const Image &b);
+
+/** Peak signal-to-noise ratio in dB; peak = 1.0. Identical images
+ *  saturate at `cap` dB (default 99) instead of infinity. */
+double psnr(const Image &a, const Image &b, double cap = 99.0);
+
+/**
+ * Structural similarity index, computed per channel on gaussian-weighted
+ * 11x11 windows (sigma 1.5, K1=0.01, K2=0.03) and averaged.
+ */
+double ssim(const Image &a, const Image &b);
+
+/**
+ * LPIPS stand-in: multi-scale (3 octaves) distance combining local
+ * luminance-normalized gradient dissimilarity and color difference.
+ * 0 for identical images; typical range 0.01-0.3 for renderings.
+ */
+double perceptualDistance(const Image &a, const Image &b);
+
+} // namespace asdr
+
+#endif // ASDR_IMAGE_METRICS_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Pinhole camera and ray generation (paper Fig. 2a): one ray per pixel,
+ * marched through the unit-cube scene volume.
+ */
+
+#ifndef ASDR_NERF_CAMERA_HPP
+#define ASDR_NERF_CAMERA_HPP
+
+#include "scene/analytic_scene.hpp"
+#include "util/vec.hpp"
+
+namespace asdr::nerf {
+
+struct Ray
+{
+    Vec3 origin;
+    Vec3 dir; ///< normalized
+};
+
+/** Pinhole camera; +y up, looking from `pos` toward `look_at`. */
+class Camera
+{
+  public:
+    Camera(Vec3 pos, Vec3 look_at, Vec3 up, float fov_deg, int width,
+           int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    const Vec3 &position() const { return pos_; }
+
+    /** Ray through fractional pixel coordinates (px+0.5, py+0.5 for the
+     *  pixel center). */
+    Ray ray(float px, float py) const;
+
+  private:
+    Vec3 pos_;
+    Vec3 forward_;
+    Vec3 right_;
+    Vec3 up_;
+    int width_;
+    int height_;
+    float tan_half_fov_;
+    float aspect_;
+};
+
+/**
+ * Slab intersection of a ray with the unit cube [0,1]^3.
+ * @return true with [t0, t1] when the ray passes through the cube.
+ */
+bool intersectUnitCube(const Ray &ray, float &t0, float &t1);
+
+/** Camera for a named scene at the given render resolution. */
+Camera cameraForScene(const scene::SceneInfo &info, int width, int height);
+
+/**
+ * Render resolution for a scene at a given scale: the paper-resolution
+ * frame (Table 1) scaled down by `scale`, aspect preserved, min 16 px.
+ */
+void scaledResolution(const scene::SceneInfo &info, float scale, int &width,
+                      int &height);
+
+} // namespace asdr::nerf
+
+#endif // ASDR_NERF_CAMERA_HPP

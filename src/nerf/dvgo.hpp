@@ -1,0 +1,96 @@
+/**
+ * @file
+ * DirectVoxGO-style radiance field (Sun et al., CVPR 2022; paper
+ * Table 5 and §8.1): *dense* multi-resolution 3D feature grids (no
+ * hashing) with trilinear interpolation, a direct density grid, and a
+ * small color MLP over the concatenated grid features + SH direction
+ * encoding. The paper argues ASDR's optimizations apply directly to
+ * such models because the lookup/interpolate/MLP pipeline is identical;
+ * this field lets the benches demonstrate that.
+ */
+
+#ifndef ASDR_NERF_DVGO_HPP
+#define ASDR_NERF_DVGO_HPP
+
+#include "nerf/field.hpp"
+#include "nerf/mlp.hpp"
+#include "nerf/ngp_field.hpp"
+#include "scene/analytic_scene.hpp"
+
+namespace asdr::nerf {
+
+struct DvgoConfig
+{
+    /** Dense feature-grid resolutions, coarse to fine. */
+    std::vector<int> resolutions{16, 32, 64};
+    int features_per_level = 2;
+    /** Resolution of the direct density grid. */
+    int density_resolution = 64;
+    std::vector<int> color_hidden{64};
+};
+
+class DvgoField : public RadianceField
+{
+  public:
+    explicit DvgoField(const DvgoConfig &cfg, uint64_t seed = 3);
+
+    // RadianceField interface
+    DensityOutput density(const Vec3 &pos) const override;
+    Vec3 color(const Vec3 &pos, const Vec3 &dir,
+               const DensityOutput &den) const override;
+    void traceLookups(const Vec3 &pos, LookupSink &sink) const override;
+    TableSchema tableSchema() const override;
+    FieldCosts costs() const override;
+    std::string describe() const override;
+
+    const DvgoConfig &config() const { return cfg_; }
+    int featureDim() const
+    {
+        return int(cfg_.resolutions.size()) * cfg_.features_per_level;
+    }
+
+    // --- training (same distillation protocol as the other fields) ---
+    float trainStep(const InstantNgpField::TrainSample &s);
+    void zeroGrads();
+    void applyAdam(float lr);
+
+  private:
+    struct DenseGrid
+    {
+        int resolution = 0;
+        int features = 1;
+        std::vector<float> value;
+        std::vector<float> grad;
+        std::vector<float> m, v;
+
+        void init(int res, int feats, float scale, uint64_t &seed);
+        /** Trilinear read of all features at unit-cube pos. */
+        void read(const Vec3 &pos, float *out) const;
+        /** Accumulate gradient of a read. */
+        void accumGrad(const Vec3 &pos, const float *dout);
+        void adamStep(float lr, int t);
+        void zeroGrad();
+
+        /** Voxel + fractional coordinates of `pos`. */
+        void locate(const Vec3 &pos, Vec3i &voxel, Vec3 &frac) const;
+    };
+
+    DvgoConfig cfg_;
+    std::vector<DenseGrid> feature_grids_;
+    DenseGrid density_grid_; ///< raw density values (softplus applied)
+    Mlp color_mlp_;
+    int adam_t_ = 0;
+};
+
+/** Distillation fit (mirrors fitField / fitTensorf). */
+struct DvgoTrainReport
+{
+    double final_loss = 0.0;
+};
+DvgoTrainReport fitDvgo(DvgoField &field,
+                        const scene::AnalyticScene &scene, int steps,
+                        int batch, float lr, uint64_t seed = 0xD7);
+
+} // namespace asdr::nerf
+
+#endif // ASDR_NERF_DVGO_HPP

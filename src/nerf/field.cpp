@@ -1,0 +1,25 @@
+#include "nerf/field.hpp"
+
+#include "nerf/hash_grid.hpp"
+
+namespace asdr::nerf {
+
+TableSchema
+schemaFromGeometry(const GridGeometry &geom)
+{
+    TableSchema schema;
+    schema.hash_table_entries = geom.tableSize();
+    schema.features = geom.config().features_per_level;
+    for (int l = 0; l < geom.levels(); ++l) {
+        const GridLevelInfo &info = geom.level(l);
+        TableInfo table;
+        table.entries = info.table_entries;
+        table.dense = info.dense;
+        table.verts_per_axis = info.resolution + 1;
+        table.dims = 3;
+        schema.tables.push_back(table);
+    }
+    return schema;
+}
+
+} // namespace asdr::nerf

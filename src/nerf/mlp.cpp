@@ -1,0 +1,233 @@
+#include "nerf/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace asdr::nerf {
+
+Mlp::Mlp(const MlpConfig &cfg, uint64_t seed) : cfg_(cfg)
+{
+    ASDR_ASSERT(cfg.input > 0 && cfg.output > 0, "bad MLP dimensions");
+    std::vector<int> dims;
+    dims.push_back(cfg.input);
+    for (int h : cfg.hidden) {
+        ASDR_ASSERT(h > 0, "bad hidden width");
+        dims.push_back(h);
+    }
+    dims.push_back(cfg.output);
+
+    Rng rng(seed, 0x31337);
+    for (size_t i = 0; i + 1 < dims.size(); ++i) {
+        Layer layer;
+        layer.in = dims[i];
+        layer.out = dims[i + 1];
+        layer.w.resize(size_t(layer.in) * size_t(layer.out));
+        layer.b.assign(size_t(layer.out), 0.0f);
+        // He-normal init, scaled down on the output layer for stability.
+        float std_dev = std::sqrt(2.0f / float(layer.in));
+        if (i + 2 == dims.size())
+            std_dev *= 0.5f;
+        for (auto &w : layer.w)
+            w = rng.nextGaussian() * std_dev;
+        layers_.push_back(std::move(layer));
+    }
+}
+
+void
+Mlp::forward(const float *in, float *out) const
+{
+    // Two ping-pong buffers sized to the widest layer avoid allocation.
+    thread_local std::vector<float> buf_a, buf_b;
+    size_t widest = 0;
+    for (const auto &layer : layers_)
+        widest = std::max(widest, size_t(layer.out));
+    buf_a.resize(widest);
+    buf_b.resize(widest);
+
+    const float *src = in;
+    float *dst = buf_a.data();
+    for (size_t li = 0; li < layers_.size(); ++li) {
+        const Layer &layer = layers_[li];
+        bool last = li + 1 == layers_.size();
+        float *target = last ? out : dst;
+        for (int o = 0; o < layer.out; ++o) {
+            const float *wrow = layer.w.data() + size_t(o) * layer.in;
+            float acc = layer.b[size_t(o)];
+            for (int i = 0; i < layer.in; ++i)
+                acc += wrow[i] * src[i];
+            target[o] = last ? acc : std::max(acc, 0.0f);
+        }
+        if (!last) {
+            src = target;
+            dst = (dst == buf_a.data()) ? buf_b.data() : buf_a.data();
+        }
+    }
+}
+
+void
+Mlp::forward(const float *in, float *out, MlpWorkspace &ws) const
+{
+    ws.acts.resize(layers_.size() + 1);
+    ws.acts[0].assign(in, in + cfg_.input);
+    for (size_t li = 0; li < layers_.size(); ++li) {
+        const Layer &layer = layers_[li];
+        bool last = li + 1 == layers_.size();
+        ws.acts[li + 1].resize(size_t(layer.out));
+        const float *src = ws.acts[li].data();
+        float *dst = ws.acts[li + 1].data();
+        for (int o = 0; o < layer.out; ++o) {
+            const float *wrow = layer.w.data() + size_t(o) * layer.in;
+            float acc = layer.b[size_t(o)];
+            for (int i = 0; i < layer.in; ++i)
+                acc += wrow[i] * src[i];
+            dst[o] = last ? acc : std::max(acc, 0.0f);
+        }
+    }
+    std::copy(ws.acts.back().begin(), ws.acts.back().end(), out);
+}
+
+void
+Mlp::backward(const MlpWorkspace &ws, const float *dout, float *din)
+{
+    ASDR_ASSERT(ws.acts.size() == layers_.size() + 1,
+                "workspace does not match a forward pass");
+    for (auto &layer : layers_) {
+        if (layer.gw.empty()) {
+            layer.gw.assign(layer.w.size(), 0.0f);
+            layer.gb.assign(layer.b.size(), 0.0f);
+        }
+    }
+
+    std::vector<float> delta(ws.acts.back().size());
+    std::copy(dout, dout + delta.size(), delta.begin());
+
+    for (size_t li = layers_.size(); li-- > 0;) {
+        Layer &layer = layers_[li];
+        const std::vector<float> &input = ws.acts[li];
+        const std::vector<float> &output = ws.acts[li + 1];
+        bool last = li + 1 == layers_.size();
+
+        // ReLU gate on hidden layers (output layer is linear).
+        if (!last) {
+            for (int o = 0; o < layer.out; ++o)
+                if (output[size_t(o)] <= 0.0f)
+                    delta[size_t(o)] = 0.0f;
+        }
+
+        for (int o = 0; o < layer.out; ++o) {
+            float d = delta[size_t(o)];
+            if (d == 0.0f)
+                continue;
+            float *grow = layer.gw.data() + size_t(o) * layer.in;
+            for (int i = 0; i < layer.in; ++i)
+                grow[i] += d * input[size_t(i)];
+            layer.gb[size_t(o)] += d;
+        }
+
+        if (li > 0 || din) {
+            std::vector<float> prev(size_t(layer.in), 0.0f);
+            for (int o = 0; o < layer.out; ++o) {
+                float d = delta[size_t(o)];
+                if (d == 0.0f)
+                    continue;
+                const float *wrow = layer.w.data() + size_t(o) * layer.in;
+                for (int i = 0; i < layer.in; ++i)
+                    prev[size_t(i)] += d * wrow[i];
+            }
+            if (li == 0) {
+                std::copy(prev.begin(), prev.end(), din);
+                break;
+            }
+            delta = std::move(prev);
+        }
+    }
+}
+
+void
+Mlp::zeroGrad()
+{
+    for (auto &layer : layers_) {
+        std::fill(layer.gw.begin(), layer.gw.end(), 0.0f);
+        std::fill(layer.gb.begin(), layer.gb.end(), 0.0f);
+    }
+}
+
+void
+Mlp::adamStep(float lr, float beta1, float beta2, float eps)
+{
+    ++adam_t_;
+    float bc1 = 1.0f - std::pow(beta1, float(adam_t_));
+    float bc2 = 1.0f - std::pow(beta2, float(adam_t_));
+    for (auto &layer : layers_) {
+        if (layer.gw.empty())
+            continue;
+        if (layer.mw.empty()) {
+            layer.mw.assign(layer.w.size(), 0.0f);
+            layer.vw.assign(layer.w.size(), 0.0f);
+            layer.mb.assign(layer.b.size(), 0.0f);
+            layer.vb.assign(layer.b.size(), 0.0f);
+        }
+        auto update = [&](std::vector<float> &p, std::vector<float> &g,
+                          std::vector<float> &m, std::vector<float> &v) {
+            for (size_t i = 0; i < p.size(); ++i) {
+                m[i] = beta1 * m[i] + (1.0f - beta1) * g[i];
+                v[i] = beta2 * v[i] + (1.0f - beta2) * g[i] * g[i];
+                float mhat = m[i] / bc1;
+                float vhat = v[i] / bc2;
+                p[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+            }
+        };
+        update(layer.w, layer.gw, layer.mw, layer.vw);
+        update(layer.b, layer.gb, layer.mb, layer.vb);
+    }
+}
+
+size_t
+Mlp::paramCount() const
+{
+    size_t n = 0;
+    for (const auto &layer : layers_)
+        n += layer.w.size() + layer.b.size();
+    return n;
+}
+
+double
+Mlp::forwardMacs() const
+{
+    double macs = 0.0;
+    for (const auto &layer : layers_)
+        macs += double(layer.in) * double(layer.out);
+    return macs;
+}
+
+std::vector<float>
+Mlp::serializeParams() const
+{
+    std::vector<float> flat;
+    flat.reserve(paramCount());
+    for (const auto &layer : layers_) {
+        flat.insert(flat.end(), layer.w.begin(), layer.w.end());
+        flat.insert(flat.end(), layer.b.begin(), layer.b.end());
+    }
+    return flat;
+}
+
+void
+Mlp::deserializeParams(const std::vector<float> &flat)
+{
+    ASDR_ASSERT(flat.size() == paramCount(), "parameter blob size mismatch");
+    size_t pos = 0;
+    for (auto &layer : layers_) {
+        std::copy(flat.begin() + pos, flat.begin() + pos + layer.w.size(),
+                  layer.w.begin());
+        pos += layer.w.size();
+        std::copy(flat.begin() + pos, flat.begin() + pos + layer.b.size(),
+                  layer.b.begin());
+        pos += layer.b.size();
+    }
+}
+
+} // namespace asdr::nerf

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fully-connected MLP with ReLU hidden activations, single-sample forward
+ * and backward passes, and a built-in Adam optimizer. Used for the
+ * Instant-NGP density and color networks (paper Fig. 2c) and the TensoRF
+ * appearance decoder. Kept deliberately simple: flat float storage,
+ * cache-friendly row-major weights, no heap traffic in the hot path.
+ */
+
+#ifndef ASDR_NERF_MLP_HPP
+#define ASDR_NERF_MLP_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace asdr::nerf {
+
+/** Layer sizes of an MLP: input -> hidden... -> output. */
+struct MlpConfig
+{
+    int input = 32;
+    std::vector<int> hidden{64};
+    int output = 16;
+};
+
+/** Scratch buffers holding the activations of one forward pass. */
+struct MlpWorkspace
+{
+    std::vector<std::vector<float>> acts; ///< acts[0]=input, acts.back()=out
+};
+
+class Mlp
+{
+  public:
+    Mlp(const MlpConfig &cfg, uint64_t seed);
+
+    const MlpConfig &config() const { return cfg_; }
+    int inputDim() const { return cfg_.input; }
+    int outputDim() const { return cfg_.output; }
+
+    /** Inference forward; `out` must hold outputDim() floats. */
+    void forward(const float *in, float *out) const;
+
+    /** Training forward retaining activations for backward(). */
+    void forward(const float *in, float *out, MlpWorkspace &ws) const;
+
+    /**
+     * Backpropagate dL/d(out); accumulates weight gradients and, when
+     * `din` is non-null, writes dL/d(in) (for chaining into the encoder
+     * or an upstream network).
+     */
+    void backward(const MlpWorkspace &ws, const float *dout, float *din);
+
+    void zeroGrad();
+    void adamStep(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                  float eps = 1e-8f);
+
+    size_t paramCount() const;
+    /** Multiply-accumulates of one forward pass (the paper's FLOPs/2). */
+    double forwardMacs() const;
+
+    /** Flat parameter access for serialization (layer-major W then b). */
+    std::vector<float> serializeParams() const;
+    void deserializeParams(const std::vector<float> &flat);
+
+  private:
+    struct Layer
+    {
+        int in = 0;
+        int out = 0;
+        std::vector<float> w; ///< out x in, row-major
+        std::vector<float> b;
+        std::vector<float> gw;
+        std::vector<float> gb;
+        std::vector<float> mw, vw, mb, vb; ///< Adam moments
+    };
+
+    MlpConfig cfg_;
+    std::vector<Layer> layers_;
+    int adam_t_ = 0;
+};
+
+} // namespace asdr::nerf
+
+#endif // ASDR_NERF_MLP_HPP

@@ -1,0 +1,238 @@
+#include "nerf/ngp_field.hpp"
+
+#include <cmath>
+
+#include "nerf/sh_encoding.hpp"
+#include "util/logging.hpp"
+
+namespace asdr::nerf {
+
+namespace {
+
+float
+softplus(float x)
+{
+    // Numerically-stable softplus.
+    if (x > 20.0f)
+        return x;
+    return std::log1p(std::exp(x));
+}
+
+float
+sigmoid(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+} // namespace
+
+NgpModelConfig
+NgpModelConfig::reference()
+{
+    NgpModelConfig cfg;
+    cfg.grid.levels = 16;
+    cfg.grid.log2_table_size = 19;
+    cfg.grid.features_per_level = 2;
+    cfg.grid.base_resolution = 16;
+    cfg.grid.max_resolution = 512;
+    cfg.density_hidden = {64};
+    cfg.color_hidden = {128, 128, 128};
+    return cfg;
+}
+
+NgpModelConfig
+NgpModelConfig::fast()
+{
+    NgpModelConfig cfg;
+    cfg.grid.levels = 16;
+    cfg.grid.log2_table_size = 15;
+    cfg.grid.features_per_level = 2;
+    cfg.grid.base_resolution = 16;
+    cfg.grid.max_resolution = 256;
+    cfg.density_hidden = {48};
+    cfg.color_hidden = {64, 64};
+    return cfg;
+}
+
+InstantNgpField::InstantNgpField(const NgpModelConfig &cfg, uint64_t seed)
+    : cfg_(cfg), grid_(cfg.grid, seed),
+      density_mlp_({cfg.grid.levels * cfg.grid.features_per_level,
+                    cfg.density_hidden, kGeoFeatures},
+                   seed ^ 0xD57ull),
+      color_mlp_({(kGeoFeatures - 1) + kShCoeffs, cfg.color_hidden, 3},
+                 seed ^ 0xC010Bull)
+{
+}
+
+float
+InstantNgpField::sigmaActivation(float raw)
+{
+    return softplus(raw - 1.0f);
+}
+
+DensityOutput
+InstantNgpField::density(const Vec3 &pos) const
+{
+    thread_local std::vector<float> feat;
+    feat.resize(size_t(grid_.featureDim()));
+    grid_.encode(pos, feat.data());
+
+    DensityOutput out;
+    density_mlp_.forward(feat.data(), out.geo.data());
+    out.sigma = sigmaActivation(out.geo[0]);
+    return out;
+}
+
+Vec3
+InstantNgpField::color(const Vec3 &pos, const Vec3 &dir,
+                       const DensityOutput &den) const
+{
+    (void)pos; // color depends on pos only through the geometry features
+    float cin[(kGeoFeatures - 1) + kShCoeffs];
+    for (int i = 0; i < kGeoFeatures - 1; ++i)
+        cin[i] = den.geo[size_t(i + 1)];
+    shEncode(dir, cin + (kGeoFeatures - 1));
+
+    float logits[3];
+    color_mlp_.forward(cin, logits);
+    return {sigmoid(logits[0]), sigmoid(logits[1]), sigmoid(logits[2])};
+}
+
+void
+InstantNgpField::traceLookups(const Vec3 &pos, LookupSink &sink) const
+{
+    const GridGeometry &geom = grid_.geometry();
+    VertexLookup lookups[32 * 8];
+    size_t n = 0;
+    for (int l = 0; l < geom.levels(); ++l) {
+        Vec3i voxel;
+        Vec3 frac;
+        geom.locate(l, pos, voxel, frac);
+        Vec3i verts[8];
+        GridGeometry::voxelVertices(voxel, verts);
+        for (int i = 0; i < 8; ++i) {
+            lookups[n].level = uint16_t(l);
+            lookups[n].vertex = verts[i];
+            lookups[n].index = geom.index(l, verts[i]);
+            ++n;
+        }
+    }
+    sink.onPointLookups(lookups, n);
+}
+
+TableSchema
+InstantNgpField::tableSchema() const
+{
+    return schemaFromGeometry(grid_.geometry());
+}
+
+FieldCosts
+InstantNgpField::costs() const
+{
+    FieldCosts costs;
+    costs.encode_flops = grid_.encodeFlops();
+    costs.density_flops = 2.0 * density_mlp_.forwardMacs();
+    costs.color_flops = 2.0 * color_mlp_.forwardMacs() + shEncodeFlops();
+    costs.lookups_per_point = grid_.geometry().levels() * 8;
+
+    auto shapes = [](const Mlp &mlp) {
+        std::vector<LayerShape> out;
+        std::vector<int> dims;
+        dims.push_back(mlp.config().input);
+        for (int h : mlp.config().hidden)
+            dims.push_back(h);
+        dims.push_back(mlp.config().output);
+        for (size_t i = 0; i + 1 < dims.size(); ++i)
+            out.push_back({dims[i], dims[i + 1]});
+        return out;
+    };
+    costs.density_layers = shapes(density_mlp_);
+    costs.color_layers = shapes(color_mlp_);
+    return costs;
+}
+
+std::string
+InstantNgpField::describe() const
+{
+    return "InstantNGP(L=" + std::to_string(cfg_.grid.levels) +
+           ",T=2^" + std::to_string(cfg_.grid.log2_table_size) + ")";
+}
+
+float
+InstantNgpField::trainStep(const TrainSample &s)
+{
+    // ---- forward ----
+    thread_local HashGrid::EncodeCache enc_cache;
+    thread_local std::vector<float> feat;
+    feat.resize(size_t(grid_.featureDim()));
+    grid_.encode(s.pos, feat.data(), enc_cache);
+
+    MlpWorkspace ws_density;
+    float geo[kGeoFeatures];
+    density_mlp_.forward(feat.data(), geo, ws_density);
+    float sigma = sigmaActivation(geo[0]);
+
+    constexpr int kColorIn = (kGeoFeatures - 1) + kShCoeffs;
+    float cin[kColorIn];
+    for (int i = 0; i < kGeoFeatures - 1; ++i)
+        cin[i] = geo[i + 1];
+    shEncode(s.dir, cin + (kGeoFeatures - 1));
+
+    MlpWorkspace ws_color;
+    float logits[3];
+    color_mlp_.forward(cin, logits, ws_color);
+    Vec3 c{sigmoid(logits[0]), sigmoid(logits[1]), sigmoid(logits[2])};
+
+    // ---- loss ----
+    // Density: squared error in log1p space keeps the wide sigma range
+    // well-conditioned. Color: squared error weighted by target
+    // occupancy, so the color network spends capacity where matter is.
+    float dlog = std::log1p(sigma) - std::log1p(s.sigma_target);
+    float occ = 1.0f - std::exp(-s.sigma_target * 0.05f);
+    float cw = 0.02f + occ;
+    Vec3 cdiff = c - s.color_target;
+    float loss = dlog * dlog +
+                 cw * (cdiff.x * cdiff.x + cdiff.y * cdiff.y +
+                       cdiff.z * cdiff.z);
+
+    // ---- backward ----
+    float dlogits[3];
+    dlogits[0] = cw * 2.0f * cdiff.x * c.x * (1.0f - c.x);
+    dlogits[1] = cw * 2.0f * cdiff.y * c.y * (1.0f - c.y);
+    dlogits[2] = cw * 2.0f * cdiff.z * c.z * (1.0f - c.z);
+
+    float dcin[kColorIn];
+    color_mlp_.backward(ws_color, dlogits, dcin);
+
+    float dgeo[kGeoFeatures];
+    // d(loss)/d(raw sigma): chain through log1p and softplus.
+    float dsigma = 2.0f * dlog / (1.0f + sigma);
+    dgeo[0] = dsigma * sigmoid(geo[0] - 1.0f);
+    for (int i = 1; i < kGeoFeatures; ++i)
+        dgeo[i] = dcin[i - 1];
+
+    thread_local std::vector<float> dfeat;
+    dfeat.resize(size_t(grid_.featureDim()));
+    density_mlp_.backward(ws_density, dgeo, dfeat.data());
+    grid_.backward(enc_cache, dfeat.data());
+
+    return loss;
+}
+
+void
+InstantNgpField::zeroGrads()
+{
+    grid_.zeroGrad();
+    density_mlp_.zeroGrad();
+    color_mlp_.zeroGrad();
+}
+
+void
+InstantNgpField::applyAdam(float lr)
+{
+    grid_.adamStep(lr);
+    density_mlp_.adamStep(lr);
+    color_mlp_.adamStep(lr);
+}
+
+} // namespace asdr::nerf

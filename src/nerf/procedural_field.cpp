@@ -1,0 +1,116 @@
+#include "nerf/procedural_field.hpp"
+
+#include "nerf/sh_encoding.hpp"
+
+namespace asdr::nerf {
+
+namespace {
+
+FieldCosts
+referenceCosts(const NgpModelConfig &model, const GridGeometry &geom)
+{
+    FieldCosts costs;
+    // Encoding: per level, weight computation + 8 index computations +
+    // 8 x F x 2 interpolation FLOPs (same formula as HashGrid).
+    const int F = model.grid.features_per_level;
+    costs.encode_flops =
+        double(model.grid.levels) * (12.0 + 8.0 * 6.0 + 8.0 * F * 2.0);
+
+    auto shapes = [](int input, const std::vector<int> &hidden, int output) {
+        std::vector<LayerShape> out;
+        std::vector<int> dims;
+        dims.push_back(input);
+        for (int h : hidden)
+            dims.push_back(h);
+        dims.push_back(output);
+        for (size_t i = 0; i + 1 < dims.size(); ++i)
+            out.push_back({dims[i], dims[i + 1]});
+        return out;
+    };
+    costs.density_layers =
+        shapes(model.grid.levels * F, model.density_hidden, kGeoFeatures);
+    costs.color_layers =
+        shapes((kGeoFeatures - 1) + kShCoeffs, model.color_hidden, 3);
+
+    auto macs = [](const std::vector<LayerShape> &layers) {
+        double m = 0.0;
+        for (const auto &l : layers)
+            m += double(l.in) * double(l.out);
+        return m;
+    };
+    costs.density_flops = 2.0 * macs(costs.density_layers);
+    costs.color_flops = 2.0 * macs(costs.color_layers) + shEncodeFlops();
+    costs.lookups_per_point = geom.levels() * 8;
+    return costs;
+}
+
+} // namespace
+
+ProceduralField::ProceduralField(const scene::AnalyticScene &scene,
+                                 const NgpModelConfig &model)
+    : scene_(scene), geom_(model.grid), costs_(referenceCosts(model, geom_))
+{
+}
+
+DensityOutput
+ProceduralField::density(const Vec3 &pos) const
+{
+    DensityOutput out;
+    out.sigma = scene_.density(pos);
+    // Geometry features carry the position forward so color() can query
+    // the analytic field without re-deriving it.
+    out.geo[0] = out.sigma;
+    out.geo[1] = pos.x;
+    out.geo[2] = pos.y;
+    out.geo[3] = pos.z;
+    return out;
+}
+
+Vec3
+ProceduralField::color(const Vec3 &pos, const Vec3 &dir,
+                       const DensityOutput &den) const
+{
+    (void)den;
+    return scene_.sample(pos, dir).color;
+}
+
+void
+ProceduralField::traceLookups(const Vec3 &pos, LookupSink &sink) const
+{
+    VertexLookup lookups[32 * 8];
+    size_t n = 0;
+    for (int l = 0; l < geom_.levels(); ++l) {
+        Vec3i voxel;
+        Vec3 frac;
+        geom_.locate(l, pos, voxel, frac);
+        Vec3i verts[8];
+        GridGeometry::voxelVertices(voxel, verts);
+        for (int i = 0; i < 8; ++i) {
+            lookups[n].level = uint16_t(l);
+            lookups[n].vertex = verts[i];
+            lookups[n].index = geom_.index(l, verts[i]);
+            ++n;
+        }
+    }
+    sink.onPointLookups(lookups, n);
+}
+
+TableSchema
+ProceduralField::tableSchema() const
+{
+    return schemaFromGeometry(geom_);
+}
+
+FieldCosts
+ProceduralField::costs() const
+{
+    return costs_;
+}
+
+std::string
+ProceduralField::describe() const
+{
+    return "Procedural(" + scene_.info().name + ")";
+}
+
+} // namespace asdr::nerf

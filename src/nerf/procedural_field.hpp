@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Radiance field that answers density/color queries straight from an
+ * analytic scene while exposing the exact hash-grid lookup structure and
+ * the reference (paper-ratio) MLP cost profile. The performance sweeps
+ * use this field: the architecture only observes operation counts and
+ * addresses, which are identical to the trained field's, while the host
+ * avoids NN arithmetic.
+ */
+
+#ifndef ASDR_NERF_PROCEDURAL_FIELD_HPP
+#define ASDR_NERF_PROCEDURAL_FIELD_HPP
+
+#include <memory>
+
+#include "nerf/field.hpp"
+#include "nerf/ngp_field.hpp"
+#include "scene/analytic_scene.hpp"
+
+namespace asdr::nerf {
+
+class ProceduralField : public RadianceField
+{
+  public:
+    /**
+     * @param scene the analytic scene to answer queries from
+     * @param model the model whose lookup/FLOP structure to report
+     *        (defaults to NgpModelConfig::reference())
+     */
+    explicit ProceduralField(const scene::AnalyticScene &scene,
+                             const NgpModelConfig &model =
+                                 NgpModelConfig::reference());
+
+    DensityOutput density(const Vec3 &pos) const override;
+    Vec3 color(const Vec3 &pos, const Vec3 &dir,
+               const DensityOutput &den) const override;
+    void traceLookups(const Vec3 &pos, LookupSink &sink) const override;
+    TableSchema tableSchema() const override;
+    FieldCosts costs() const override;
+    std::string describe() const override;
+
+    /** Grid structure (resolutions, dense/hashed, table sizes). */
+    const GridGeometry &gridGeometry() const { return geom_; }
+
+  private:
+    const scene::AnalyticScene &scene_;
+    GridGeometry geom_;
+    FieldCosts costs_;
+};
+
+} // namespace asdr::nerf
+
+#endif // ASDR_NERF_PROCEDURAL_FIELD_HPP

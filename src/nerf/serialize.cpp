@@ -1,0 +1,106 @@
+#include "nerf/serialize.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/logging.hpp"
+
+namespace asdr::nerf {
+
+namespace {
+
+constexpr uint32_t kMagic = 0xA5D40001;
+
+bool
+writeBlob(std::FILE *f, const std::vector<float> &blob)
+{
+    uint64_t n = blob.size();
+    if (std::fwrite(&n, sizeof(n), 1, f) != 1)
+        return false;
+    return std::fwrite(blob.data(), sizeof(float), blob.size(), f) ==
+           blob.size();
+}
+
+bool
+readBlob(std::FILE *f, std::vector<float> &blob, size_t expected)
+{
+    uint64_t n = 0;
+    if (std::fread(&n, sizeof(n), 1, f) != 1)
+        return false;
+    if (n != expected)
+        return false;
+    blob.resize(n);
+    return std::fread(blob.data(), sizeof(float), blob.size(), f) ==
+           blob.size();
+}
+
+} // namespace
+
+std::string
+dataDir()
+{
+    const char *env = std::getenv("ASDR_DATA_DIR");
+    std::string dir = env ? env : "./asdr_data";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return dir;
+}
+
+bool
+saveField(const InstantNgpField &field, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const auto &grid_cfg = field.modelConfig().grid;
+    uint32_t header[5] = {kMagic, uint32_t(grid_cfg.levels),
+                          grid_cfg.log2_table_size,
+                          uint32_t(grid_cfg.features_per_level),
+                          uint32_t(grid_cfg.max_resolution)};
+    bool ok = std::fwrite(header, sizeof(header), 1, f) == 1;
+    ok = ok && writeBlob(f, field.grid().params());
+    ok = ok && writeBlob(f, field.densityMlp().serializeParams());
+    ok = ok && writeBlob(f, field.colorMlp().serializeParams());
+    std::fclose(f);
+    if (!ok)
+        warn("failed writing field cache ", path);
+    return ok;
+}
+
+bool
+loadField(InstantNgpField &field, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    const auto &grid_cfg = field.modelConfig().grid;
+    uint32_t header[5] = {};
+    bool ok = std::fread(header, sizeof(header), 1, f) == 1;
+    ok = ok && header[0] == kMagic &&
+         header[1] == uint32_t(grid_cfg.levels) &&
+         header[2] == grid_cfg.log2_table_size &&
+         header[3] == uint32_t(grid_cfg.features_per_level) &&
+         header[4] == uint32_t(grid_cfg.max_resolution);
+
+    std::vector<float> grid_blob, density_blob, color_blob;
+    ok = ok && readBlob(f, grid_blob, field.grid().params().size());
+    ok = ok && readBlob(f, density_blob, field.densityMlp().paramCount());
+    ok = ok && readBlob(f, color_blob, field.colorMlp().paramCount());
+    std::fclose(f);
+    if (!ok)
+        return false;
+
+    field.grid().params() = std::move(grid_blob);
+    field.densityMlp().deserializeParams(density_blob);
+    field.colorMlp().deserializeParams(color_blob);
+    return true;
+}
+
+std::string
+fieldCachePath(const std::string &scene_name, const std::string &preset)
+{
+    return dataDir() + "/field_" + scene_name + "_" + preset + ".bin";
+}
+
+} // namespace asdr::nerf

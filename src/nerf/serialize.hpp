@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Binary serialization of trained fields so benchmark binaries can share
+ * fitted weights instead of re-training per process. Format: magic,
+ * version, config ints, then raw float blobs (grid embeddings, density
+ * MLP, color MLP). Files live under the directory returned by
+ * dataDir() (default "./asdr_data", override with $ASDR_DATA_DIR).
+ */
+
+#ifndef ASDR_NERF_SERIALIZE_HPP
+#define ASDR_NERF_SERIALIZE_HPP
+
+#include <string>
+
+#include "nerf/ngp_field.hpp"
+
+namespace asdr::nerf {
+
+/** Directory for cached artifacts; created on first use. */
+std::string dataDir();
+
+/** Write the field's parameters to `path`. @return success */
+bool saveField(const InstantNgpField &field, const std::string &path);
+
+/**
+ * Load parameters into `field`; fails (returns false) when the file is
+ * missing or was written with a different model configuration.
+ */
+bool loadField(InstantNgpField &field, const std::string &path);
+
+/** Canonical cache path for a fitted scene field. */
+std::string fieldCachePath(const std::string &scene_name,
+                           const std::string &preset);
+
+} // namespace asdr::nerf
+
+#endif // ASDR_NERF_SERIALIZE_HPP

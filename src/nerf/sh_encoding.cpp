@@ -1,0 +1,40 @@
+#include "nerf/sh_encoding.hpp"
+
+namespace asdr::nerf {
+
+void
+shEncode(const Vec3 &d, float *out)
+{
+    const float x = d.x, y = d.y, z = d.z;
+    const float xx = x * x, yy = y * y, zz = z * z;
+    const float xy = x * y, yz = y * z, xz = x * z;
+
+    // Degree 0
+    out[0] = 0.28209479177387814f;
+    // Degree 1
+    out[1] = -0.48860251190291987f * y;
+    out[2] = 0.48860251190291987f * z;
+    out[3] = -0.48860251190291987f * x;
+    // Degree 2
+    out[4] = 1.0925484305920792f * xy;
+    out[5] = -1.0925484305920792f * yz;
+    out[6] = 0.31539156525252005f * (3.0f * zz - 1.0f);
+    out[7] = -1.0925484305920792f * xz;
+    out[8] = 0.5462742152960396f * (xx - yy);
+    // Degree 3
+    out[9] = -0.5900435899266435f * y * (3.0f * xx - yy);
+    out[10] = 2.890611442640554f * xy * z;
+    out[11] = -0.4570457994644658f * y * (5.0f * zz - 1.0f);
+    out[12] = 0.3731763325901154f * z * (5.0f * zz - 3.0f);
+    out[13] = -0.4570457994644658f * x * (5.0f * zz - 1.0f);
+    out[14] = 1.445305721320277f * z * (xx - yy);
+    out[15] = -0.5900435899266435f * x * (xx - 3.0f * yy);
+}
+
+double
+shEncodeFlops()
+{
+    return 60.0; // handful of products and sums per basis function
+}
+
+} // namespace asdr::nerf

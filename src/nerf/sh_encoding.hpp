@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Real spherical-harmonics direction encoding of degree 4 (16
+ * coefficients), the view-direction encoding Instant-NGP feeds to the
+ * color network.
+ */
+
+#ifndef ASDR_NERF_SH_ENCODING_HPP
+#define ASDR_NERF_SH_ENCODING_HPP
+
+#include "util/vec.hpp"
+
+namespace asdr::nerf {
+
+/** Number of SH coefficients at degree 4. */
+constexpr int kShCoeffs = 16;
+
+/**
+ * Evaluate the first 16 real SH basis functions at unit direction `d`.
+ * `out` must hold kShCoeffs floats.
+ */
+void shEncode(const Vec3 &d, float *out);
+
+/** FLOPs of one shEncode() call, for the cost profiles. */
+double shEncodeFlops();
+
+} // namespace asdr::nerf
+
+#endif // ASDR_NERF_SH_ENCODING_HPP

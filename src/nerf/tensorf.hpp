@@ -1,0 +1,98 @@
+/**
+ * @file
+ * TensoRF-style radiance field (Chen et al. 2022; paper §6.8 and
+ * Table 5): vector-matrix (VM) tensor decomposition. Density and
+ * appearance are each modeled as a sum over three plane/line pairs
+ * (XY*Z, XZ*Y, YZ*X); appearance features feed a small color MLP with
+ * an SH direction encoding. Fully trainable by the same distillation
+ * procedure as the NGP field.
+ */
+
+#ifndef ASDR_NERF_TENSORF_HPP
+#define ASDR_NERF_TENSORF_HPP
+
+#include "nerf/field.hpp"
+#include "nerf/mlp.hpp"
+#include "nerf/ngp_field.hpp"
+#include "scene/analytic_scene.hpp"
+
+namespace asdr::nerf {
+
+struct TensorfConfig
+{
+    int resolution = 64;          ///< plane/line resolution per axis
+    int density_components = 4;   ///< rank per plane/line orientation
+    int appearance_components = 8;
+    std::vector<int> color_hidden{64};
+};
+
+class TensorfField : public RadianceField
+{
+  public:
+    explicit TensorfField(const TensorfConfig &cfg, uint64_t seed = 7);
+
+    // RadianceField interface
+    DensityOutput density(const Vec3 &pos) const override;
+    Vec3 color(const Vec3 &pos, const Vec3 &dir,
+               const DensityOutput &den) const override;
+    void traceLookups(const Vec3 &pos, LookupSink &sink) const override;
+    TableSchema tableSchema() const override;
+    FieldCosts costs() const override;
+    std::string describe() const override;
+
+    const TensorfConfig &config() const { return cfg_; }
+    int appearanceDim() const { return 3 * cfg_.appearance_components; }
+
+    // --- training ---
+    float trainStep(const InstantNgpField::TrainSample &s);
+    void zeroGrads();
+    void applyAdam(float lr);
+
+  private:
+    /** A trainable float tensor with its Adam state. */
+    struct ParamTensor
+    {
+        std::vector<float> value;
+        std::vector<float> grad;
+        std::vector<float> m, v;
+
+        void init(size_t n, float scale, uint64_t &seed_state);
+        void zeroGrad();
+        void adamStep(float lr, int t);
+    };
+
+    /** Bilinear plane read: comps values at (u, v) in [0,1]^2. */
+    void readPlane(const ParamTensor &plane, int comps, float u, float v,
+                   float *out) const;
+    /** Linear line read: comps values at w in [0,1]. */
+    void readLine(const ParamTensor &line, int comps, float w,
+                  float *out) const;
+    void accumPlaneGrad(ParamTensor &plane, int comps, float u, float v,
+                        const float *dout);
+    void accumLineGrad(ParamTensor &line, int comps, float w,
+                       const float *dout);
+
+    /** (u, v, w) for orientation o: planes XY/XZ/YZ, lines Z/Y/X. */
+    static void orientationCoords(int o, const Vec3 &pos, float &u,
+                                  float &v, float &w);
+
+    TensorfConfig cfg_;
+    // Orientation-indexed [0..2]; density and appearance sets.
+    ParamTensor den_planes_[3], den_lines_[3];
+    ParamTensor app_planes_[3], app_lines_[3];
+    Mlp color_mlp_;
+    int adam_t_ = 0;
+};
+
+/** Distillation fit, mirroring nerf::fitField for the NGP model. */
+struct TensorfTrainReport
+{
+    double final_loss = 0.0;
+};
+TensorfTrainReport fitTensorf(TensorfField &field,
+                              const scene::AnalyticScene &scene, int steps,
+                              int batch, float lr, uint64_t seed = 0x7F);
+
+} // namespace asdr::nerf
+
+#endif // ASDR_NERF_TENSORF_HPP

@@ -1,0 +1,69 @@
+#include "nerf/trainer.hpp"
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace asdr::nerf {
+
+InstantNgpField::TrainSample
+drawSample(const scene::AnalyticScene &scene, Rng &rng, float surface_bias)
+{
+    InstantNgpField::TrainSample s;
+    if (rng.nextFloat() < surface_bias && !scene.primitives().empty()) {
+        // Sample near a random primitive's surface: center + offset of
+        // the order of the primitive's extent.
+        const auto &prims = scene.primitives();
+        const auto &prim =
+            prims[rng.nextBounded(uint32_t(prims.size()))];
+        float extent =
+            std::max({prim.params.x, prim.params.y, prim.params.z, 0.02f});
+        Vec3 offset{rng.nextGaussian(), rng.nextGaussian(),
+                    rng.nextGaussian()};
+        s.pos = prim.center + offset * (extent * 0.8f);
+        s.pos = vmin(vmax(s.pos, Vec3(0.0f)), Vec3(1.0f));
+    } else {
+        s.pos = rng.nextVec3();
+    }
+    s.dir = rng.nextDirection();
+    scene::SceneSample target = scene.sample(s.pos, s.dir);
+    s.sigma_target = target.sigma;
+    s.color_target = target.color;
+    return s;
+}
+
+TrainReport
+fitField(InstantNgpField &field, const scene::AnalyticScene &scene,
+         const TrainConfig &cfg)
+{
+    ASDR_ASSERT(cfg.steps > 0 && cfg.batch > 0, "bad train config");
+    Rng rng(cfg.seed, 0xDA7A);
+
+    TrainReport report;
+    report.steps = cfg.steps;
+    for (int step = 0; step < cfg.steps; ++step) {
+        field.zeroGrads();
+        double batch_loss = 0.0;
+        for (int b = 0; b < cfg.batch; ++b) {
+            auto s = drawSample(scene, rng, cfg.surface_bias);
+            batch_loss += field.trainStep(s);
+        }
+        batch_loss /= double(cfg.batch);
+        // Step-decayed learning rate: full, then 1/3, then 1/9.
+        float lr = cfg.lr;
+        if (step > cfg.steps * 2 / 3)
+            lr *= 1.0f / 9.0f;
+        else if (step > cfg.steps / 3)
+            lr *= 1.0f / 3.0f;
+        field.applyAdam(lr);
+
+        if (step == 0)
+            report.initial_loss = batch_loss;
+        if (step == cfg.steps - 1)
+            report.final_loss = batch_loss;
+        if (cfg.report_every > 0 && step % cfg.report_every == 0)
+            inform("train step ", step, " loss ", batch_loss);
+    }
+    return report;
+}
+
+} // namespace asdr::nerf

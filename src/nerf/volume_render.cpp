@@ -1,0 +1,40 @@
+#include "nerf/volume_render.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace asdr::nerf {
+
+CompositeResult
+composite(const float *sigma, const Vec3 *color, int n, float dt, int stride)
+{
+    ASDR_ASSERT(stride >= 1, "stride must be >= 1");
+    CompositeResult out;
+    float transmittance = 1.0f;
+    float dt_eff = dt * float(stride);
+    for (int i = 0; i < n; i += stride) {
+        float alpha = alphaFromSigma(sigma[i], dt_eff);
+        float w = transmittance * alpha;
+        out.color += color[i] * w;
+        transmittance *= (1.0f - alpha);
+        if (transmittance < 1e-5f)
+            break;
+    }
+    out.opacity = 1.0f - transmittance;
+    return out;
+}
+
+int
+earlyTerminationIndex(const float *sigma, int n, float dt, float eps)
+{
+    float transmittance = 1.0f;
+    for (int i = 0; i < n; ++i) {
+        transmittance *= (1.0f - alphaFromSigma(sigma[i], dt));
+        if (transmittance < eps)
+            return i + 1;
+    }
+    return n;
+}
+
+} // namespace asdr::nerf

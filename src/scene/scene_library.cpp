@@ -1,0 +1,362 @@
+#include "scene/scene_library.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace asdr::scene {
+
+namespace {
+
+using Shape = Primitive::Shape;
+using Pattern = Primitive::Pattern;
+
+Primitive
+prim(Shape shape, Vec3 center, Vec3 params, Vec3 color, float amp = 40.0f,
+     float softness = 0.012f)
+{
+    Primitive p;
+    p.shape = shape;
+    p.center = center;
+    p.params = params;
+    p.color_a = color;
+    p.color_b = color * 0.45f;
+    p.density_amp = amp;
+    p.softness = softness;
+    return p;
+}
+
+/** Scatter `count` small spheres around `center` within `radius`. */
+void
+scatterBlobs(std::vector<Primitive> &prims, Rng &rng, Vec3 center,
+             float radius, int count, float blob_r, Vec3 color_lo,
+             Vec3 color_hi)
+{
+    for (int i = 0; i < count; ++i) {
+        Vec3 offset = (rng.nextVec3() - Vec3(0.5f)) * (2.0f * radius);
+        Vec3 pos = center + offset;
+        pos = vmin(vmax(pos, Vec3(0.05f)), Vec3(0.95f));
+        Vec3 color = lerp(color_lo, color_hi, rng.nextFloat());
+        float r = blob_r * rng.nextRange(0.6f, 1.4f);
+        prims.push_back(
+            prim(Shape::Sphere, pos, Vec3(r, r, r), color, 45.0f, 0.008f));
+    }
+}
+
+std::vector<Primitive>
+buildMic()
+{
+    // Thin microphone on a stand: sparse scene, large empty background.
+    std::vector<Primitive> prims;
+    prims.push_back(prim(Shape::Sphere, {0.5f, 0.72f, 0.5f},
+                         {0.085f, 0, 0}, {0.75f, 0.75f, 0.78f}, 50.0f));
+    prims.back().pattern = Pattern::Checker;
+    prims.back().pattern_scale = 24.0f;
+    prims.back().color_b = {0.25f, 0.25f, 0.28f};
+    prims.push_back(prim(Shape::CylinderY, {0.5f, 0.45f, 0.5f},
+                         {0.02f, 0.22f, 0}, {0.35f, 0.35f, 0.4f}, 60.0f));
+    prims.push_back(prim(Shape::CylinderY, {0.5f, 0.2f, 0.5f},
+                         {0.11f, 0.02f, 0}, {0.2f, 0.2f, 0.22f}, 60.0f));
+    return prims;
+}
+
+std::vector<Primitive>
+buildLego()
+{
+    // Blocky excavator: boxes with checkered "stud" texture on a plate.
+    std::vector<Primitive> prims;
+    Vec3 yellow{0.85f, 0.65f, 0.1f};
+    Vec3 grey{0.45f, 0.45f, 0.48f};
+    prims.push_back(prim(Shape::Box, {0.5f, 0.22f, 0.5f},
+                         {0.28f, 0.035f, 0.2f}, grey, 55.0f));
+    prims.back().pattern = Pattern::Checker;
+    prims.back().pattern_scale = 20.0f;
+    prims.push_back(prim(Shape::Box, {0.47f, 0.34f, 0.5f},
+                         {0.14f, 0.08f, 0.12f}, yellow, 55.0f));
+    prims.back().pattern = Pattern::StripesX;
+    prims.back().pattern_scale = 10.0f;
+    prims.back().color_b = {0.6f, 0.4f, 0.05f};
+    prims.push_back(prim(Shape::Box, {0.44f, 0.47f, 0.5f},
+                         {0.075f, 0.055f, 0.075f}, yellow, 55.0f));
+    // Boom arm and bucket.
+    prims.push_back(prim(Shape::Box, {0.64f, 0.45f, 0.5f},
+                         {0.125f, 0.022f, 0.03f}, yellow, 55.0f));
+    prims.push_back(prim(Shape::Box, {0.76f, 0.36f, 0.5f},
+                         {0.04f, 0.055f, 0.055f}, grey, 55.0f));
+    // Tracks.
+    prims.push_back(prim(Shape::Box, {0.5f, 0.16f, 0.36f},
+                         {0.24f, 0.035f, 0.035f}, {0.15f, 0.15f, 0.15f},
+                         60.0f));
+    prims.push_back(prim(Shape::Box, {0.5f, 0.16f, 0.64f},
+                         {0.24f, 0.035f, 0.035f}, {0.15f, 0.15f, 0.15f},
+                         60.0f));
+    return prims;
+}
+
+std::vector<Primitive>
+buildHotdog()
+{
+    std::vector<Primitive> prims;
+    prims.push_back(prim(Shape::CylinderY, {0.5f, 0.2f, 0.5f},
+                         {0.3f, 0.02f, 0}, {0.92f, 0.92f, 0.95f}, 50.0f));
+    prims.push_back(prim(Shape::Ellipsoid, {0.45f, 0.27f, 0.45f},
+                         {0.21f, 0.045f, 0.06f}, {0.8f, 0.6f, 0.35f}, 50.0f));
+    prims.push_back(prim(Shape::Ellipsoid, {0.55f, 0.27f, 0.58f},
+                         {0.21f, 0.045f, 0.06f}, {0.8f, 0.6f, 0.35f}, 50.0f));
+    prims.push_back(prim(Shape::Ellipsoid, {0.45f, 0.305f, 0.45f},
+                         {0.17f, 0.018f, 0.025f}, {0.75f, 0.25f, 0.1f},
+                         45.0f));
+    prims.back().pattern = Pattern::StripesX;
+    prims.back().pattern_scale = 14.0f;
+    prims.back().color_b = {0.85f, 0.75f, 0.2f};
+    return prims;
+}
+
+std::vector<Primitive>
+buildChair()
+{
+    std::vector<Primitive> prims;
+    Vec3 wood{0.55f, 0.35f, 0.18f};
+    Vec3 cushion{0.7f, 0.15f, 0.15f};
+    prims.push_back(prim(Shape::Box, {0.5f, 0.38f, 0.5f},
+                         {0.16f, 0.03f, 0.16f}, cushion, 55.0f));
+    prims.back().pattern = Pattern::Checker;
+    prims.back().pattern_scale = 16.0f;
+    prims.back().color_b = {0.5f, 0.1f, 0.1f};
+    prims.push_back(prim(Shape::Box, {0.5f, 0.58f, 0.64f},
+                         {0.16f, 0.17f, 0.025f}, wood, 55.0f));
+    float lx[4] = {0.37f, 0.63f, 0.37f, 0.63f};
+    float lz[4] = {0.38f, 0.38f, 0.62f, 0.62f};
+    for (int i = 0; i < 4; ++i)
+        prims.push_back(prim(Shape::CylinderY, {lx[i], 0.24f, lz[i]},
+                             {0.022f, 0.12f, 0}, wood, 60.0f));
+    return prims;
+}
+
+std::vector<Primitive>
+buildFicus()
+{
+    std::vector<Primitive> prims;
+    prims.push_back(prim(Shape::CylinderY, {0.5f, 0.18f, 0.5f},
+                         {0.09f, 0.055f, 0}, {0.5f, 0.3f, 0.2f}, 55.0f));
+    prims.push_back(prim(Shape::CylinderY, {0.5f, 0.38f, 0.5f},
+                         {0.018f, 0.16f, 0}, {0.4f, 0.25f, 0.12f}, 60.0f));
+    Rng rng(0xF1C05ull, 11);
+    scatterBlobs(prims, rng, {0.5f, 0.62f, 0.5f}, 0.17f, 36, 0.032f,
+                 {0.1f, 0.45f, 0.12f}, {0.25f, 0.7f, 0.2f});
+    return prims;
+}
+
+std::vector<Primitive>
+buildShip()
+{
+    std::vector<Primitive> prims;
+    // Water surface: thin, broad box with stripes.
+    prims.push_back(prim(Shape::Box, {0.5f, 0.16f, 0.5f},
+                         {0.42f, 0.015f, 0.42f}, {0.1f, 0.25f, 0.4f}, 35.0f,
+                         0.02f));
+    prims.back().pattern = Pattern::StripesX;
+    prims.back().pattern_scale = 9.0f;
+    prims.back().color_b = {0.15f, 0.35f, 0.5f};
+    // Hull and masts.
+    prims.push_back(prim(Shape::Ellipsoid, {0.5f, 0.24f, 0.5f},
+                         {0.24f, 0.07f, 0.1f}, {0.4f, 0.26f, 0.13f}, 50.0f));
+    prims.push_back(prim(Shape::CylinderY, {0.42f, 0.45f, 0.5f},
+                         {0.012f, 0.18f, 0}, {0.35f, 0.22f, 0.1f}, 60.0f));
+    prims.push_back(prim(Shape::CylinderY, {0.58f, 0.42f, 0.5f},
+                         {0.012f, 0.15f, 0}, {0.35f, 0.22f, 0.1f}, 60.0f));
+    prims.push_back(prim(Shape::Box, {0.42f, 0.5f, 0.5f},
+                         {0.002f, 0.09f, 0.1f}, {0.9f, 0.88f, 0.8f}, 40.0f));
+    return prims;
+}
+
+std::vector<Primitive>
+buildPalace()
+{
+    std::vector<Primitive> prims;
+    Vec3 stone{0.75f, 0.7f, 0.6f};
+    Vec3 roof{0.5f, 0.2f, 0.15f};
+    prims.push_back(prim(Shape::Box, {0.5f, 0.3f, 0.5f},
+                         {0.26f, 0.14f, 0.2f}, stone, 55.0f));
+    prims.back().pattern = Pattern::Checker;
+    prims.back().pattern_scale = 18.0f;
+    prims.back().color_b = {0.6f, 0.55f, 0.45f};
+    float tx[4] = {0.26f, 0.74f, 0.26f, 0.74f};
+    float tz[4] = {0.32f, 0.32f, 0.68f, 0.68f};
+    for (int i = 0; i < 4; ++i) {
+        prims.push_back(prim(Shape::CylinderY, {tx[i], 0.42f, tz[i]},
+                             {0.05f, 0.26f, 0}, stone, 55.0f));
+        prims.push_back(prim(Shape::Sphere, {tx[i], 0.7f, tz[i]},
+                             {0.06f, 0, 0}, roof, 50.0f));
+    }
+    prims.push_back(prim(Shape::Box, {0.5f, 0.49f, 0.5f},
+                         {0.18f, 0.05f, 0.13f}, roof, 50.0f));
+    return prims;
+}
+
+std::vector<Primitive>
+buildFountain()
+{
+    // Dense, textured real-world scene: fountain + cluttered plaza.
+    std::vector<Primitive> prims;
+    prims.push_back(prim(Shape::Box, {0.5f, 0.14f, 0.5f},
+                         {0.44f, 0.04f, 0.44f}, {0.55f, 0.52f, 0.48f}, 45.0f,
+                         0.02f));
+    prims.back().pattern = Pattern::Checker;
+    prims.back().pattern_scale = 14.0f;
+    prims.back().color_b = {0.4f, 0.38f, 0.34f};
+    prims.push_back(prim(Shape::CylinderY, {0.5f, 0.23f, 0.5f},
+                         {0.2f, 0.05f, 0}, {0.6f, 0.58f, 0.55f}, 50.0f));
+    prims.push_back(prim(Shape::CylinderY, {0.5f, 0.38f, 0.5f},
+                         {0.05f, 0.12f, 0}, {0.5f, 0.48f, 0.45f}, 50.0f));
+    prims.push_back(prim(Shape::Sphere, {0.5f, 0.52f, 0.5f},
+                         {0.07f, 0, 0}, {0.35f, 0.55f, 0.7f}, 35.0f, 0.03f));
+    Rng rng(0xF0047ull, 3);
+    scatterBlobs(prims, rng, {0.5f, 0.25f, 0.5f}, 0.36f, 26, 0.05f,
+                 {0.35f, 0.3f, 0.25f}, {0.65f, 0.6f, 0.5f});
+    return prims;
+}
+
+std::vector<Primitive>
+buildFamily()
+{
+    // Group of statues on a base (Tanks&Temples "Family").
+    std::vector<Primitive> prims;
+    prims.push_back(prim(Shape::Box, {0.5f, 0.17f, 0.5f},
+                         {0.3f, 0.05f, 0.22f}, {0.5f, 0.47f, 0.42f}, 50.0f));
+    float px[4] = {0.36f, 0.48f, 0.6f, 0.68f};
+    float ph[4] = {0.14f, 0.18f, 0.16f, 0.1f};
+    for (int i = 0; i < 4; ++i) {
+        Vec3 bronze{0.45f + 0.05f * i, 0.32f, 0.2f};
+        prims.push_back(prim(Shape::Ellipsoid, {px[i], 0.26f + ph[i], 0.5f},
+                             {0.05f, ph[i], 0.05f}, bronze, 50.0f));
+        prims.push_back(prim(Shape::Sphere,
+                             {px[i], 0.3f + 2.0f * ph[i], 0.5f},
+                             {0.035f, 0, 0}, bronze * 1.15f, 50.0f));
+    }
+    return prims;
+}
+
+std::vector<Primitive>
+buildFox()
+{
+    // Frame-filling close-up (iNGP fox video): dense foreground.
+    std::vector<Primitive> prims;
+    Vec3 fur{0.8f, 0.45f, 0.15f};
+    Vec3 white{0.9f, 0.88f, 0.85f};
+    prims.push_back(prim(Shape::Ellipsoid, {0.5f, 0.48f, 0.55f},
+                         {0.24f, 0.2f, 0.26f}, fur, 45.0f, 0.025f));
+    prims.back().pattern = Pattern::GradientY;
+    prims.back().color_b = white;
+    prims.push_back(prim(Shape::Ellipsoid, {0.5f, 0.36f, 0.38f},
+                         {0.11f, 0.09f, 0.13f}, white, 45.0f, 0.02f));
+    prims.push_back(prim(Shape::Ellipsoid, {0.38f, 0.68f, 0.55f},
+                         {0.05f, 0.09f, 0.03f}, fur, 50.0f));
+    prims.push_back(prim(Shape::Ellipsoid, {0.62f, 0.68f, 0.55f},
+                         {0.05f, 0.09f, 0.03f}, fur, 50.0f));
+    prims.push_back(prim(Shape::Sphere, {0.44f, 0.52f, 0.34f},
+                         {0.025f, 0, 0}, {0.05f, 0.05f, 0.05f}, 60.0f));
+    prims.push_back(prim(Shape::Sphere, {0.56f, 0.52f, 0.34f},
+                         {0.025f, 0, 0}, {0.05f, 0.05f, 0.05f}, 60.0f));
+    // Blurry background clutter filling the rest of the frustum.
+    Rng rng(0xF0Full, 5);
+    scatterBlobs(prims, rng, {0.5f, 0.4f, 0.78f}, 0.3f, 20, 0.07f,
+                 {0.2f, 0.3f, 0.15f}, {0.45f, 0.5f, 0.3f});
+    return prims;
+}
+
+struct SceneEntry
+{
+    SceneInfo info;
+    std::vector<Primitive> (*builder)();
+};
+
+const std::vector<SceneEntry> &
+registry()
+{
+    static const std::vector<SceneEntry> entries = [] {
+        std::vector<SceneEntry> v;
+        auto add = [&](const char *name, const char *dataset, int w, int h,
+                       bool synthetic, std::vector<Primitive> (*builder)(),
+                       Vec3 cam = {1.15f, 0.85f, -0.5f}) {
+            SceneInfo info;
+            info.name = name;
+            info.dataset = dataset;
+            info.full_width = w;
+            info.full_height = h;
+            info.synthetic = synthetic;
+            info.cam_pos = cam;
+            v.push_back({info, builder});
+        };
+        add("Mic", "Synthetic-NeRF", 800, 800, true, &buildMic);
+        add("Hotdog", "Synthetic-NeRF", 800, 800, true, &buildHotdog,
+            {0.9f, 1.0f, -0.6f});
+        add("Ship", "Synthetic-NeRF", 800, 800, true, &buildShip,
+            {1.2f, 0.75f, -0.4f});
+        add("Chair", "Synthetic-NeRF", 800, 800, true, &buildChair);
+        add("Ficus", "Synthetic-NeRF", 800, 800, true, &buildFicus);
+        add("Lego", "Synthetic-NeRF", 800, 800, true, &buildLego,
+            {1.2f, 0.8f, -0.45f});
+        add("Palace", "Synthetic-NSVF", 800, 800, true, &buildPalace,
+            {1.25f, 0.7f, -0.55f});
+        add("Fountain", "BlendedMVS", 768, 576, false, &buildFountain,
+            {1.1f, 0.65f, -0.6f});
+        add("Family", "Tanks&Temples", 1920, 1080, false, &buildFamily,
+            {1.05f, 0.6f, -0.7f});
+        add("Fox", "Instant-NGP", 1080, 1920, false, &buildFox,
+            {0.5f, 0.5f, -0.55f});
+        return v;
+    }();
+    return entries;
+}
+
+} // namespace
+
+std::vector<SceneInfo>
+sceneList()
+{
+    std::vector<SceneInfo> infos;
+    for (const auto &e : registry())
+        infos.push_back(e.info);
+    return infos;
+}
+
+SceneInfo
+sceneInfo(const std::string &name)
+{
+    for (const auto &e : registry())
+        if (e.info.name == name)
+            return e.info;
+    fatal("unknown scene '", name, "'");
+}
+
+std::unique_ptr<AnalyticScene>
+createScene(const std::string &name)
+{
+    for (const auto &e : registry())
+        if (e.info.name == name)
+            return std::make_unique<AnalyticScene>(e.info, e.builder());
+    fatal("unknown scene '", name, "'");
+}
+
+std::vector<std::string>
+perfSceneNames()
+{
+    return {"Palace", "Fountain", "Family", "Fox", "Mic"};
+}
+
+std::vector<std::string>
+allSceneNames()
+{
+    return {"Palace", "Fountain", "Family", "Fox",  "Mic",
+            "Lego",   "Hotdog",   "Ficus",  "Chair", "Ship"};
+}
+
+std::vector<std::string>
+syntheticSceneNames()
+{
+    return {"Lego", "Ship", "Hotdog", "Chair", "Mic", "Ficus"};
+}
+
+} // namespace asdr::scene

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The named scene registry mirroring paper Table 1. Each scene is a
+ * deterministic procedural composition whose *sparsity profile* matches
+ * the role the scene plays in the paper's evaluation: Mic is a thin,
+ * mostly-empty object (adaptive sampling shines), Fox is a frame-filling
+ * close-up (adaptive sampling gains least), Fountain is dense and
+ * textured, and so on.
+ */
+
+#ifndef ASDR_SCENE_SCENE_LIBRARY_HPP
+#define ASDR_SCENE_SCENE_LIBRARY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scene/analytic_scene.hpp"
+
+namespace asdr::scene {
+
+/** All Table 1 rows, in paper order. */
+std::vector<SceneInfo> sceneList();
+
+/** Look up a Table 1 row by (case-sensitive) scene name. */
+SceneInfo sceneInfo(const std::string &name);
+
+/** Instantiate a named analytic scene; fatal() on unknown name. */
+std::unique_ptr<AnalyticScene> createScene(const std::string &name);
+
+/** The five scenes used by the performance figures (17-20, 22, 25-27). */
+std::vector<std::string> perfSceneNames();
+
+/** All ten scenes, used by the quality figures (16, 24) and tables. */
+std::vector<std::string> allSceneNames();
+
+/** The six Synthetic-NeRF scenes of Table 3. */
+std::vector<std::string> syntheticSceneNames();
+
+} // namespace asdr::scene
+
+#endif // ASDR_SCENE_SCENE_LIBRARY_HPP

@@ -1,0 +1,102 @@
+#include "sim/accelerator.hpp"
+
+#include <algorithm>
+
+namespace asdr::sim {
+
+AsdrAccelerator::AsdrAccelerator(const nerf::TableSchema &schema,
+                                 const nerf::FieldCosts &costs,
+                                 const AccelConfig &cfg, bool edge_scale)
+    : cfg_(cfg), edge_scale_(edge_scale), enc_(schema, cfg),
+      mlp_(costs, cfg), render_(cfg),
+      energy_(EnergyParams::forBackend(cfg.mem_backend, cfg.mlp_backend))
+{
+}
+
+void
+AsdrAccelerator::onFrameBegin(int width, int height)
+{
+    (void)width;
+    (void)height;
+    enc_.reset();
+    mlp_.reset();
+    render_.reset();
+    buffer_events_ = 0;
+    report_ = SimReport();
+    report_.config_name = cfg_.name;
+}
+
+void
+AsdrAccelerator::onRayBegin(int px, int py, bool probe)
+{
+    (void)px;
+    (void)py;
+    in_probe_ray_ = probe;
+}
+
+void
+AsdrAccelerator::onPointLookups(const nerf::VertexLookup *lookups,
+                                size_t count)
+{
+    enc_.onPointLookups(lookups, count);
+    ++buffer_events_; // embed-buffer staging for the fusion unit
+}
+
+void
+AsdrAccelerator::onDensityExec()
+{
+    mlp_.onDensityExec();
+    render_.onPointComposited();
+    buffer_events_ += 2; // density & color buffer traffic
+}
+
+void
+AsdrAccelerator::onColorExec()
+{
+    mlp_.onColorExec();
+    ++buffer_events_;
+}
+
+void
+AsdrAccelerator::onApproxColor()
+{
+    render_.onApproxColor();
+}
+
+void
+AsdrAccelerator::onRayEnd()
+{
+    if (in_probe_ray_) {
+        // Eq. (3) evaluation over the candidate subset list.
+        render_.onProbeEvaluation(4);
+        in_probe_ray_ = false;
+    }
+}
+
+void
+AsdrAccelerator::onFrameEnd()
+{
+    report_.enc = enc_.finish();
+    report_.mlp = mlp_.finish();
+    report_.render = render_.finish();
+
+    report_.total_cycles = std::max(
+        {report_.enc.cycles, report_.mlp.cycles(), report_.render.cycles});
+    double hz = cfg_.clock_ghz * 1e9;
+    report_.seconds = double(report_.total_cycles) / hz;
+    report_.enc_seconds = double(report_.enc.cycles) / hz;
+    report_.mlp_seconds = double(report_.mlp.cycles()) / hz;
+
+    double dyn_pj = report_.enc.energy_pj + report_.mlp.energyPj() +
+                    report_.render.energy_pj +
+                    double(buffer_events_) * energy_.buffer_access;
+    report_.dynamic_energy_j = dyn_pj * 1e-12;
+    // Leakage + clock tree while rendering; CIM arrays are only
+    // activated per access, so the idle share of the Table 2 power is
+    // modest.
+    report_.static_energy_j =
+        totalPowerW(edge_scale_) * 0.15 * report_.seconds;
+    report_.energy_j = report_.dynamic_energy_j + report_.static_energy_j;
+}
+
+} // namespace asdr::sim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Top-level ASDR accelerator model: wires the encoding engine, the MLP
+ * engine and the volume rendering engine to the renderer's trace stream
+ * and produces per-frame cycle/energy reports. The three engines form a
+ * pipeline over points (paper Fig. 10), so frame latency is the slowest
+ * engine's occupancy (throughput-bound pipeline model).
+ */
+
+#ifndef ASDR_SIM_ACCELERATOR_HPP
+#define ASDR_SIM_ACCELERATOR_HPP
+
+#include <memory>
+#include <string>
+
+#include "core/trace.hpp"
+#include "sim/encoding_engine.hpp"
+#include "sim/mlp_engine.hpp"
+#include "sim/render_engine.hpp"
+
+namespace asdr::sim {
+
+/** One frame's simulated execution. */
+struct SimReport
+{
+    std::string config_name;
+    EncodingReport enc;
+    MlpReport mlp;
+    RenderEngineReport render;
+
+    uint64_t total_cycles = 0;
+    double seconds = 0.0;       ///< total_cycles / clock
+    double enc_seconds = 0.0;   ///< encoding-phase occupancy
+    double mlp_seconds = 0.0;   ///< MLP-phase occupancy
+    double energy_j = 0.0;      ///< dynamic + static energy of the frame
+    double dynamic_energy_j = 0.0;
+    double static_energy_j = 0.0;
+};
+
+class AsdrAccelerator : public core::TraceSink
+{
+  public:
+    /**
+     * @param schema embedding tables of the model being served
+     * @param costs  network shapes / per-op costs of that model
+     * @param cfg    hardware configuration (Table 2 point + variant)
+     * @param edge_scale charge Edge static power instead of Server
+     */
+    AsdrAccelerator(const nerf::TableSchema &schema,
+                    const nerf::FieldCosts &costs, const AccelConfig &cfg,
+                    bool edge_scale);
+
+    // TraceSink interface
+    void onFrameBegin(int width, int height) override;
+    void onRayBegin(int px, int py, bool probe) override;
+    void onPointLookups(const nerf::VertexLookup *lookups,
+                        size_t count) override;
+    void onDensityExec() override;
+    void onColorExec() override;
+    void onApproxColor() override;
+    void onRayEnd() override;
+    void onFrameEnd() override;
+
+    /** Report for the last completed frame. */
+    const SimReport &report() const { return report_; }
+
+    const AccelConfig &config() const { return cfg_; }
+    const EncodingEngine &encodingEngine() const { return enc_; }
+
+  private:
+    AccelConfig cfg_;
+    bool edge_scale_;
+    EncodingEngine enc_;
+    MlpEngine mlp_;
+    RenderEngine render_;
+    EnergyParams energy_;
+    bool in_probe_ray_ = false;
+    uint64_t buffer_events_ = 0;
+    SimReport report_;
+};
+
+} // namespace asdr::sim
+
+#endif // ASDR_SIM_ACCELERATOR_HPP

@@ -1,0 +1,176 @@
+#include "sim/address_mapping.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace asdr::sim {
+
+namespace {
+
+uint32_t
+pow2Floor(uint32_t v)
+{
+    uint32_t p = 1;
+    while (p * 2 <= v)
+        p *= 2;
+    return p;
+}
+
+uint32_t
+pow2Ceil(uint32_t v)
+{
+    uint32_t p = 1;
+    while (p < v)
+        p *= 2;
+    return p;
+}
+
+uint32_t
+bitsFor(uint32_t v)
+{
+    uint32_t b = 0;
+    while ((1u << b) < v)
+        ++b;
+    return b;
+}
+
+} // namespace
+
+AddressMapping::AddressMapping(const nerf::TableSchema &schema,
+                               const AccelConfig &cfg)
+    : schema_(schema), cfg_(cfg)
+{
+    const size_t n = schema_.tables.size();
+    ASDR_ASSERT(n > 0, "schema has no tables");
+    copies_.resize(n, 1);
+    ports_.resize(n, 1);
+    dehashed_.resize(n, 0);
+    coord_bits_.resize(n, 0);
+
+    for (size_t t = 0; t < n; ++t) {
+        const nerf::TableInfo &info = schema_.tables[t];
+        uint32_t allocated = allocatedEntries(int(t));
+        coord_bits_[t] = bitsFor(uint32_t(std::max(info.verts_per_axis, 2)));
+
+        if (cfg_.mapping == MappingMode::Hybrid && info.dense) {
+            dehashed_[t] = 1;
+            copies_[t] = int(std::max(1u, pow2Floor(allocated / std::max(
+                                                         info.entries, 1u))));
+            // Bit reordering spreads the 8 voxel vertices over the IO
+            // groups; each replica adds an independent group set.
+            ports_[t] = std::min(cfg_.dense_port_cap,
+                                 cfg_.hashed_ports * copies_[t]);
+        } else if (cfg_.mapping == MappingMode::Hybrid) {
+            // Hash bits select among the independent IO groups.
+            ports_[t] = cfg_.hashed_ports;
+        } else {
+            // Baseline: all of a table's crossbars share one read port
+            // (paper Fig. 3c).
+            ports_[t] = 1;
+        }
+    }
+}
+
+uint32_t
+AddressMapping::allocatedEntries(int t) const
+{
+    const nerf::TableInfo &info = schema_.tables[size_t(t)];
+    if (schema_.hash_table_entries > 0)
+        return schema_.hash_table_entries;
+    return pow2Ceil(std::max(info.entries, 1u));
+}
+
+PhysAddr
+AddressMapping::map(const nerf::VertexLookup &lu, uint32_t requester) const
+{
+    const int t = lu.level;
+    const nerf::TableInfo &info = schema_.tables[size_t(t)];
+    PhysAddr out;
+    out.table = uint32_t(t);
+
+    const uint32_t entries_per_bank = uint32_t(cfg_.entriesPerBank());
+
+    if (dehashed_[size_t(t)]) {
+        uint32_t reo = bitReorderIndex(t, lu.vertex);
+        uint32_t copy = requester % uint32_t(copies_[size_t(t)]);
+        uint32_t stride =
+            allocatedEntries(t) / uint32_t(copies_[size_t(t)]);
+        uint32_t phys = copy * stride + (reo % std::max(stride, 1u));
+        out.bank = phys / entries_per_bank;
+        uint32_t groups_per_copy =
+            std::max(1u, uint32_t(ports_[size_t(t)]) /
+                             std::min(8u, uint32_t(ports_[size_t(t)])));
+        (void)groups_per_copy;
+        // Port: the interleaved low coordinate bits pick one of 8 IO
+        // groups; the replica extends the group id.
+        uint32_t low3 = uint32_t(lu.vertex.x & 1) |
+                        (uint32_t(lu.vertex.y & 1) << 1) |
+                        (uint32_t(lu.vertex.z & 1) << 2);
+        out.port = (low3 + uint32_t(cfg_.hashed_ports) * copy) %
+                   uint32_t(ports_[size_t(t)]);
+    } else {
+        out.bank = lu.index / entries_per_bank;
+        out.port = lu.index % uint32_t(ports_[size_t(t)]);
+    }
+    (void)info;
+    return out;
+}
+
+double
+AddressMapping::storageUtilization(int t) const
+{
+    const nerf::TableInfo &info = schema_.tables[size_t(t)];
+    double allocated = double(allocatedEntries(t));
+    if (dehashed_[size_t(t)])
+        return std::min(1.0, double(copies_[size_t(t)]) *
+                                 double(info.entries) / allocated);
+    if (cfg_.mapping == MappingMode::HashOnly || !info.dense) {
+        // A hashed table only ever touches as many entries as the level
+        // has lattice vertices (paper Fig. 13a).
+        return std::min(1.0, double(info.entries) / allocated);
+    }
+    return std::min(1.0, double(info.entries) / allocated);
+}
+
+double
+AddressMapping::avgUtilization() const
+{
+    double sum = 0.0;
+    for (int t = 0; t < tables(); ++t)
+        sum += storageUtilization(t);
+    return sum / double(tables());
+}
+
+uint32_t
+AddressMapping::naiveConcatIndex(int t, const Vec3i &v) const
+{
+    uint32_t b = coord_bits_[size_t(t)];
+    uint32_t mask = (1u << b) - 1u;
+    return ((uint32_t(v.z) & mask) << (2 * b)) |
+           ((uint32_t(v.y) & mask) << b) | (uint32_t(v.x) & mask);
+}
+
+uint32_t
+AddressMapping::bitReorderIndex(int t, const Vec3i &v) const
+{
+    const nerf::TableInfo &info = schema_.tables[size_t(t)];
+    uint32_t b = coord_bits_[size_t(t)];
+    int dims = info.dims;
+    // Interleave coordinate bits LSB-first (Morton), then reverse the
+    // whole field so low coordinate bits become the high address bits.
+    uint32_t total_bits = b * uint32_t(dims);
+    uint32_t morton = 0;
+    uint32_t out_bit = 0;
+    const int32_t coords[3] = {v.x, v.y, v.z};
+    for (uint32_t i = 0; i < b; ++i)
+        for (int a = 0; a < dims; ++a)
+            morton |= ((uint32_t(coords[a]) >> i) & 1u) << out_bit++;
+    uint32_t reversed = 0;
+    for (uint32_t i = 0; i < total_bits; ++i)
+        if (morton & (1u << i))
+            reversed |= 1u << (total_bits - 1 - i);
+    return reversed;
+}
+
+} // namespace asdr::sim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Embedding-table placement and address generation (paper §5.2.1).
+ *
+ * HashOnly (the baseline/strawman): every table occupies a full
+ * hash-capacity region and is addressed by its software index; all of a
+ * table's crossbars share one read port, so simultaneous reads
+ * serialize (the paper's Fig. 3c conflict).
+ *
+ * Hybrid (ASDR): tables whose lattice fits the capacity are *de-hashed*
+ * -- addressed by bit-reordered coordinates so the 8 voxel vertices
+ * fall into different crossbar IO groups (Fig. 14b) -- and replicated
+ * 2^k times with the copy ID in the high address bits (Fig. 12), which
+ * multiplies the parallel read ports. Hashed tables are spread across
+ * independent IO groups by their hash bits.
+ */
+
+#ifndef ASDR_SIM_ADDRESS_MAPPING_HPP
+#define ASDR_SIM_ADDRESS_MAPPING_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "nerf/field.hpp"
+#include "sim/config.hpp"
+
+namespace asdr::sim {
+
+/** Physical location of one embedding entry. */
+struct PhysAddr
+{
+    uint32_t table = 0; ///< read-conflict domain owner
+    uint32_t port = 0;  ///< IO group within the table serving this read
+    uint32_t bank = 0;  ///< crossbar id within the table (for stats)
+};
+
+class AddressMapping
+{
+  public:
+    AddressMapping(const nerf::TableSchema &schema, const AccelConfig &cfg);
+
+    int tables() const { return int(schema_.tables.size()); }
+
+    /**
+     * Map one lookup. `requester` (e.g. a rotating lane id) selects the
+     * replica for de-hashed tables, spreading concurrent readers.
+     */
+    PhysAddr map(const nerf::VertexLookup &lu, uint32_t requester) const;
+
+    /** Parallel read ports of table `t` under this mapping. */
+    int ports(int t) const { return ports_[size_t(t)]; }
+
+    /** Replicas of table `t` (1 unless de-hashed; Fig. 12). */
+    int copies(int t) const { return copies_[size_t(t)]; }
+
+    /** True when table `t` is stored de-hashed (dense + reordered). */
+    bool dehashed(int t) const { return dehashed_[size_t(t)]; }
+
+    /** Fraction of table `t`'s allocated capacity holding live data
+     *  (Fig. 13; counts all replicas as live). */
+    double storageUtilization(int t) const;
+    double avgUtilization() const;
+
+    /** Capacity allocated to each table, in entries. */
+    uint32_t allocatedEntries(int t) const;
+
+    /**
+     * Fig. 14a's naive de-hash: plain coordinate concatenation. The 8
+     * voxel vertices mostly share their high bits, landing in the same
+     * crossbar. Exposed for the address-conflict experiment.
+     */
+    uint32_t naiveConcatIndex(int t, const Vec3i &v) const;
+
+    /** Fig. 14b: bit-reordered index (low coordinate bits become the
+     *  high address bits). */
+    uint32_t bitReorderIndex(int t, const Vec3i &v) const;
+
+  private:
+    nerf::TableSchema schema_;
+    AccelConfig cfg_;
+    std::vector<int> copies_;
+    std::vector<int> ports_;
+    std::vector<char> dehashed_;
+    std::vector<uint32_t> coord_bits_; ///< bits per axis for reorder
+};
+
+} // namespace asdr::sim
+
+#endif // ASDR_SIM_ADDRESS_MAPPING_HPP

@@ -1,0 +1,76 @@
+#include "sim/config.hpp"
+
+#include <algorithm>
+
+namespace asdr::sim {
+
+AccelConfig
+AccelConfig::server()
+{
+    AccelConfig cfg;
+    cfg.name = "ASDR-Server";
+    cfg.ag_lanes = 64;
+    cfg.cache_entries_per_table = 8;  // 128 entries / 16 tables (Table 2)
+    cfg.fusion_units = 32;
+    cfg.density_pipelines = 4;
+    cfg.color_pipelines = 4;
+    cfg.approx_units = 16;
+    cfg.rgb_units = 8;
+    cfg.adaptive_sample_units = 8;
+    cfg.batch_points = 16;
+    return cfg;
+}
+
+AccelConfig
+AccelConfig::edge()
+{
+    AccelConfig cfg;
+    cfg.name = "ASDR-Edge";
+    cfg.ag_lanes = 16;
+    cfg.cache_entries_per_table = 2;  // 32 entries / 16 tables (Table 2)
+    cfg.fusion_units = 8;
+    cfg.density_pipelines = 1;
+    cfg.color_pipelines = 1;
+    cfg.approx_units = 4;
+    cfg.rgb_units = 2;
+    cfg.adaptive_sample_units = 2;
+    // The 2 MB edge memory affords far fewer independent crossbar IO
+    // groups than the 64 MB server array.
+    cfg.hashed_ports = 2;
+    cfg.dense_port_cap = 8;
+    return cfg;
+}
+
+AccelConfig
+AccelConfig::strawman(bool edge_scale)
+{
+    AccelConfig cfg = edge_scale ? edge() : server();
+    cfg.name = edge_scale ? "Strawman-Edge" : "Strawman-Server";
+    cfg.mapping = MappingMode::HashOnly;
+    cfg.cache_enabled = false;
+    return cfg;
+}
+
+AccelConfig
+AccelConfig::withVariant(AccelConfig base, MlpBackend mlp, MemBackend mem)
+{
+    base.mlp_backend = mlp;
+    base.mem_backend = mem;
+    if (mem == MemBackend::Sram) {
+        // SRAM is far less dense than ReRAM; at iso-area the encoding
+        // memory affords half the independent IO groups.
+        base.hashed_ports = std::max(1, base.hashed_ports / 2);
+        base.dense_port_cap = std::max(1, base.dense_port_cap / 2);
+    }
+    std::string suffix;
+    if (mlp == MlpBackend::Systolic)
+        suffix = "(SA)";
+    else if (mem == MemBackend::Sram)
+        suffix = "(SRAM)";
+    else
+        suffix = "(ReRAM)";
+    base.name += suffix;
+    return base;
+}
+
+} // namespace asdr::sim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Accelerator configuration (paper Table 2). Two sizing points --
+ * ASDR-Server and ASDR-Edge -- plus the hardware-variant axis of §6.9
+ * (ReRAM CIM / SRAM CIM / SRAM + systolic array) and the ablation knobs
+ * of §6.4 (mapping mode, cache, batch width).
+ */
+
+#ifndef ASDR_SIM_CONFIG_HPP
+#define ASDR_SIM_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asdr::sim {
+
+/** Datapath used by the MLP engine. */
+enum class MlpBackend { ReramCim, SramCim, Systolic };
+
+/** Storage technology of the encoding-engine memory crossbars. */
+enum class MemBackend { Reram, Sram };
+
+/** Embedding-table placement strategy (§5.2.1). */
+enum class MappingMode {
+    HashOnly, ///< every table stored via its software index (strawman)
+    Hybrid    ///< dense low-res tables de-hashed, bit-reordered, replicated
+};
+
+struct AccelConfig
+{
+    std::string name = "ASDR-Server";
+    double clock_ghz = 1.0; ///< TSMC 28 nm synthesis point of the paper
+
+    // --- Encoding engine ---
+    int ag_lanes = 64;              ///< addresses generated per cycle
+    bool cache_enabled = true;
+    int cache_entries_per_table = 8; ///< Fig. 22 sweet spot
+    /**
+     * Optional per-table capacities, coarse level first (paper §5.2.2:
+     * sizes vary with per-level locality). Empty = uniform
+     * cache_entries_per_table. Shorter than the table count = last
+     * value repeats.
+     */
+    std::vector<int> cache_profile;
+    MappingMode mapping = MappingMode::Hybrid;
+    MemBackend mem_backend = MemBackend::Reram;
+    int fusion_units = 32; ///< level-interpolations per cycle
+    /** Independent IO groups per hashed table (hybrid mapping). */
+    int hashed_ports = 8;
+    /** Upper bound on a de-hashed table's ports (replicas x groups). */
+    int dense_port_cap = 64;
+
+    // --- MLP engine ---
+    MlpBackend mlp_backend = MlpBackend::ReramCim;
+    int density_pipelines = 4;
+    int color_pipelines = 4;
+    int act_bits = 8;    ///< bit-serial input stream length
+    int weight_bits = 8;
+    int adc_bits = 5;
+    int xbar_dim = 64;   ///< crossbar rows/cols
+    int systolic_dim = 64; ///< systolic array edge (SA variant)
+
+    // --- Volume rendering engine ---
+    int approx_units = 16;
+    int rgb_units = 8;
+    int adaptive_sample_units = 8;
+
+    // --- Memory crossbars ---
+    int entry_bits = 16;       ///< stored feature vector width (2 x fp8)
+    int xbar_row_bits = 64;    ///< one row readable per cycle
+    int xbar_rows = 64;
+    /** Points accumulated before a pipeline flush (batch width). */
+    int batch_points = 16;
+
+    int entriesPerRow() const { return xbar_row_bits / entry_bits; }
+    int entriesPerBank() const { return entriesPerRow() * xbar_rows; }
+
+    static AccelConfig server();
+    static AccelConfig edge();
+    /** Basic CIM design of §6.4: hash-only mapping, no register cache. */
+    static AccelConfig strawman(bool edge_scale);
+    /** Apply the §6.9 hardware-variant axis to a base config. */
+    static AccelConfig withVariant(AccelConfig base, MlpBackend mlp,
+                                   MemBackend mem);
+};
+
+} // namespace asdr::sim
+
+#endif // ASDR_SIM_CONFIG_HPP

@@ -1,0 +1,119 @@
+#include "sim/encoding_engine.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace asdr::sim {
+
+EncodingEngine::EncodingEngine(const nerf::TableSchema &schema,
+                               const AccelConfig &cfg)
+    : cfg_(cfg), mapping_(schema, cfg),
+      caches_(cfg.cache_enabled && !cfg.cache_profile.empty()
+                  ? RegisterCacheBank(cfg.cache_profile,
+                                      int(schema.tables.size()))
+                  : RegisterCacheBank(int(schema.tables.size()),
+                                      cfg.cache_enabled
+                                          ? cfg.cache_entries_per_table
+                                          : 0)),
+      energy_(EnergyParams::forBackend(cfg.mem_backend, cfg.mlp_backend)),
+      latency_(LatencyParams::forBackend(cfg.mem_backend, cfg.mlp_backend))
+{
+    // Flat (table, port) load array: table t's ports start at
+    // port_base_[t].
+    port_base_.resize(schema.tables.size() + 1, 0);
+    for (size_t t = 0; t < schema.tables.size(); ++t)
+        port_base_[t + 1] = port_base_[t] + uint32_t(mapping_.ports(int(t)));
+    batch_port_load_.assign(port_base_.back(), 0);
+}
+
+void
+EncodingEngine::onPointLookups(const nerf::VertexLookup *lookups,
+                               size_t count)
+{
+    report_.lookups += count;
+    batch_addrs_ += count;
+    batch_fusion_ops_ += count / 8; // one trilinear blend per table-level
+
+    for (size_t i = 0; i < count; ++i) {
+        const nerf::VertexLookup &lu = lookups[i];
+        bool hit = caches_.access(lu.level, lu.index);
+        report_.energy_pj +=
+            energy_.addr_gen +
+            energy_.cache_probe * double(cfg_.cache_entries_per_table);
+        if (hit) {
+            ++report_.cache_hits;
+            continue;
+        }
+        report_.energy_pj += energy_.cache_fill;
+        PhysAddr pa = mapping_.map(lu, requester_rr_++);
+        uint32_t slot = port_base_[pa.table] + pa.port;
+        if (batch_port_load_[slot] == 0)
+            touched_ports_.push_back(slot);
+        batch_port_load_[slot]++;
+        ++report_.mem_reads;
+        report_.energy_pj += energy_.mem_read_row;
+    }
+
+    if (++batch_points_ >= cfg_.batch_points)
+        flushBatch();
+}
+
+void
+EncodingEngine::flushBatch()
+{
+    if (batch_points_ == 0)
+        return;
+
+    uint64_t gen_cycles =
+        (batch_addrs_ + uint64_t(cfg_.ag_lanes) - 1) /
+        uint64_t(cfg_.ag_lanes);
+
+    uint64_t mem_cycles = 0;
+    for (uint32_t slot : touched_ports_) {
+        uint64_t c = uint64_t(batch_port_load_[slot]) *
+                     uint64_t(latency_.mem_read_cycles);
+        mem_cycles = std::max(mem_cycles, c);
+        batch_port_load_[slot] = 0;
+    }
+    touched_ports_.clear();
+
+    uint64_t fusion_cycles =
+        (batch_fusion_ops_ + uint64_t(cfg_.fusion_units) - 1) /
+        uint64_t(cfg_.fusion_units);
+    report_.energy_pj +=
+        double(batch_fusion_ops_) * 8.0 * 2.0 * energy_.fusion_mac;
+
+    uint64_t batch_cycles =
+        std::max({gen_cycles, mem_cycles, fusion_cycles, uint64_t(1)});
+    report_.cycles += batch_cycles;
+    if (mem_cycles > gen_cycles)
+        report_.conflict_stall_cycles += mem_cycles - gen_cycles;
+
+    batch_points_ = 0;
+    batch_addrs_ = 0;
+    batch_fusion_ops_ = 0;
+}
+
+EncodingReport
+EncodingEngine::finish()
+{
+    flushBatch();
+    return report_;
+}
+
+void
+EncodingEngine::reset()
+{
+    flushBatch();
+    std::fill(batch_port_load_.begin(), batch_port_load_.end(), 0);
+    touched_ports_.clear();
+    caches_.reset();
+    report_ = EncodingReport();
+    batch_points_ = 0;
+    batch_addrs_ = 0;
+    batch_fusion_ops_ = 0;
+    requester_rr_ = 0;
+}
+
+} // namespace asdr::sim

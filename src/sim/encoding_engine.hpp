@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Cycle-level model of the encoding engine (paper §5.2): hybrid address
+ * generator, register-based cache, memory crossbars, fusion unit.
+ *
+ * Points are processed in batches (a pipeline wavefront). Per batch the
+ * engine's stages run concurrently, so the batch costs the maximum of:
+ *   - address generation:  ceil(addresses / ag_lanes)
+ *   - memory reads:        max over tables of
+ *                          ceil(misses_t * read_cycles / ports_t)
+ *   - fusion:              ceil(level-interpolations / fusion_units)
+ * Cache hits bypass the memory crossbars; the hybrid mapping multiplies
+ * a table's read ports (replication + bit reordering), which is exactly
+ * how the paper's data-reuse microarchitecture removes conflicts.
+ */
+
+#ifndef ASDR_SIM_ENCODING_ENGINE_HPP
+#define ASDR_SIM_ENCODING_ENGINE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "nerf/field.hpp"
+#include "sim/address_mapping.hpp"
+#include "sim/config.hpp"
+#include "sim/register_cache.hpp"
+#include "sim/tech_params.hpp"
+
+namespace asdr::sim {
+
+/** Cycle/energy totals of the encoding engine for one frame. */
+struct EncodingReport
+{
+    uint64_t cycles = 0;
+    double energy_pj = 0.0;
+    uint64_t lookups = 0;
+    uint64_t cache_hits = 0;
+    uint64_t mem_reads = 0;
+    uint64_t conflict_stall_cycles = 0; ///< memory cycles beyond 1/batch
+    double cacheHitRate() const
+    {
+        return lookups ? double(cache_hits) / double(lookups) : 0.0;
+    }
+};
+
+class EncodingEngine
+{
+  public:
+    EncodingEngine(const nerf::TableSchema &schema, const AccelConfig &cfg);
+
+    /** Feed one point's lookups (table-major, 8 per table-level). */
+    void onPointLookups(const nerf::VertexLookup *lookups, size_t count);
+
+    /** Flush the pending partial batch and return the frame report. */
+    EncodingReport finish();
+
+    void reset();
+
+    const RegisterCacheBank &cacheBank() const { return caches_; }
+    const AddressMapping &mapping() const { return mapping_; }
+
+  private:
+    void flushBatch();
+
+    AccelConfig cfg_;
+    AddressMapping mapping_;
+    RegisterCacheBank caches_;
+    EnergyParams energy_;
+    LatencyParams latency_;
+
+    // Current batch state.
+    int batch_points_ = 0;
+    uint64_t batch_addrs_ = 0;
+    uint64_t batch_fusion_ops_ = 0;
+    std::vector<uint32_t> batch_port_load_; ///< per (table, port) reads
+    std::vector<uint32_t> touched_ports_;
+    uint32_t requester_rr_ = 0; ///< rotating replica selector
+
+    // Per-table port-load bookkeeping layout.
+    std::vector<uint32_t> port_base_;
+
+    EncodingReport report_;
+};
+
+} // namespace asdr::sim
+
+#endif // ASDR_SIM_ENCODING_ENGINE_HPP

@@ -1,0 +1,101 @@
+#include "sim/mlp_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace asdr::sim {
+
+MlpEngine::MlpEngine(const nerf::FieldCosts &costs, const AccelConfig &cfg)
+    : costs_(costs), cfg_(cfg),
+      energy_(EnergyParams::forBackend(cfg.mem_backend, cfg.mlp_backend)),
+      latency_(LatencyParams::forBackend(cfg.mem_backend, cfg.mlp_backend))
+{
+}
+
+uint64_t
+MlpEngine::cyclesPerExec(const std::vector<nerf::LayerShape> &layers) const
+{
+    if (layers.empty())
+        return 1; // e.g. TensoRF's rank-reduction "density network"
+
+    if (cfg_.mlp_backend == MlpBackend::Systolic) {
+        // Weight-stationary systolic array: throughput-bound at
+        // dim^2 MACs/cycle with imperfect utilization on small layers.
+        double macs = 0.0;
+        for (const auto &l : layers)
+            macs += double(l.in) * double(l.out);
+        double util = 0.22; // small NeRF layers leave much of the array idle
+        double tput = double(cfg_.systolic_dim) * double(cfg_.systolic_dim) *
+                      util;
+        return uint64_t(std::ceil(macs / tput));
+    }
+
+    // CIM: the slowest layer bounds the pipeline's initiation interval.
+    uint64_t worst = 1;
+    for (const auto &l : layers) {
+        uint64_t blocks_row =
+            uint64_t((l.in + cfg_.xbar_dim - 1) / cfg_.xbar_dim);
+        uint64_t c = uint64_t(
+            std::ceil(double(cfg_.act_bits) * double(blocks_row) *
+                      latency_.mvm_cycle_scale));
+        worst = std::max(worst, c);
+    }
+    return worst;
+}
+
+double
+MlpEngine::energyPerExec(const std::vector<nerf::LayerShape> &layers) const
+{
+    double e = 0.0;
+    if (cfg_.mlp_backend == MlpBackend::Systolic) {
+        for (const auto &l : layers)
+            e += double(l.in) * double(l.out) * energy_.systolic_mac;
+    } else {
+        const int outputs_per_xbar =
+            std::max(1, cfg_.xbar_dim / cfg_.weight_bits);
+        for (const auto &l : layers) {
+            double blocks =
+                std::ceil(double(l.in) / cfg_.xbar_dim) *
+                std::ceil(double(l.out) / outputs_per_xbar);
+            e += blocks * double(cfg_.act_bits) * energy_.mvm_block_cycle;
+        }
+    }
+    for (const auto &l : layers)
+        e += double(l.out) * energy_.nonlinear_op;
+    return e;
+}
+
+MlpReport
+MlpEngine::finish() const
+{
+    MlpReport report;
+    report.density_execs = density_execs_;
+    report.color_execs = color_execs_;
+
+    uint64_t den_ii = cyclesPerExec(costs_.density_layers);
+    uint64_t col_ii = cyclesPerExec(costs_.color_layers);
+
+    report.density_cycles =
+        (density_execs_ * den_ii + uint64_t(cfg_.density_pipelines) - 1) /
+        uint64_t(cfg_.density_pipelines);
+    report.color_cycles =
+        (color_execs_ * col_ii + uint64_t(cfg_.color_pipelines) - 1) /
+        uint64_t(cfg_.color_pipelines);
+
+    report.density_energy_pj =
+        double(density_execs_) * energyPerExec(costs_.density_layers);
+    report.color_energy_pj =
+        double(color_execs_) * energyPerExec(costs_.color_layers);
+    return report;
+}
+
+void
+MlpEngine::reset()
+{
+    density_execs_ = 0;
+    color_execs_ = 0;
+}
+
+} // namespace asdr::sim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Cycle-level model of the MLP engine (paper §5.3): density and color
+ * sub-engines built from CIM PEs (64x64 crossbars with MAC capability).
+ *
+ * CIM mapping: a layer of shape in x out occupies ceil(in/64) block
+ * rows and ceil(out * weight_bits / 64) block columns. Inputs stream
+ * bit-serially (act_bits cycles); partial sums across block rows
+ * accumulate digitally, so one execution occupies a pipeline for
+ *   act_bits * ceil(in/64)
+ * cycles at its slowest layer; layers are pipelined, and each
+ * sub-engine has `pipelines` independent PE groups. The color path is
+ * skippable (the decoupling optimization simply issues fewer color
+ * executions).
+ *
+ * The systolic-array variant (§6.9) processes macs at dim^2 MACs/cycle
+ * with a fixed utilization factor instead.
+ */
+
+#ifndef ASDR_SIM_MLP_ENGINE_HPP
+#define ASDR_SIM_MLP_ENGINE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "nerf/field.hpp"
+#include "sim/config.hpp"
+#include "sim/tech_params.hpp"
+
+namespace asdr::sim {
+
+/** Cycle/energy totals of one sub-engine for a frame. */
+struct MlpReport
+{
+    uint64_t density_cycles = 0;
+    uint64_t color_cycles = 0;
+    double density_energy_pj = 0.0;
+    double color_energy_pj = 0.0;
+    uint64_t density_execs = 0;
+    uint64_t color_execs = 0;
+
+    uint64_t cycles() const
+    {
+        // Sub-engines run concurrently; the engine is bound by the
+        // slower of the two.
+        return density_cycles > color_cycles ? density_cycles
+                                             : color_cycles;
+    }
+    double energyPj() const { return density_energy_pj + color_energy_pj; }
+};
+
+class MlpEngine
+{
+  public:
+    MlpEngine(const nerf::FieldCosts &costs, const AccelConfig &cfg);
+
+    void onDensityExec() { ++density_execs_; }
+    void onColorExec() { ++color_execs_; }
+
+    MlpReport finish() const;
+    void reset();
+
+    /** Pipeline-occupancy cycles of one execution of `layers`. */
+    uint64_t cyclesPerExec(const std::vector<nerf::LayerShape> &layers) const;
+    /** Dynamic energy of one execution of `layers` (pJ). */
+    double energyPerExec(const std::vector<nerf::LayerShape> &layers) const;
+
+  private:
+    nerf::FieldCosts costs_;
+    AccelConfig cfg_;
+    EnergyParams energy_;
+    LatencyParams latency_;
+    uint64_t density_execs_ = 0;
+    uint64_t color_execs_ = 0;
+};
+
+} // namespace asdr::sim
+
+#endif // ASDR_SIM_MLP_ENGINE_HPP

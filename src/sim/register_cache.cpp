@@ -1,0 +1,112 @@
+#include "sim/register_cache.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace asdr::sim {
+
+RegisterCache::RegisterCache(int capacity) : capacity_(capacity)
+{
+    ASDR_ASSERT(capacity >= 0, "negative cache capacity");
+    entries_.reserve(size_t(capacity));
+}
+
+bool
+RegisterCache::access(uint32_t key)
+{
+    if (capacity_ == 0) {
+        ++misses_;
+        return false;
+    }
+    auto it = std::find(entries_.begin(), entries_.end(), key);
+    if (it != entries_.end()) {
+        ++hits_;
+        // Move to MRU position.
+        entries_.erase(it);
+        entries_.insert(entries_.begin(), key);
+        return true;
+    }
+    ++misses_;
+    if (int(entries_.size()) >= capacity_)
+        entries_.pop_back(); // evict LRU
+    entries_.insert(entries_.begin(), key);
+    return false;
+}
+
+bool
+RegisterCache::contains(uint32_t key) const
+{
+    return std::find(entries_.begin(), entries_.end(), key) !=
+           entries_.end();
+}
+
+double
+RegisterCache::hitRate() const
+{
+    uint64_t total = hits_ + misses_;
+    return total ? double(hits_) / double(total) : 0.0;
+}
+
+void
+RegisterCache::reset()
+{
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+RegisterCacheBank::RegisterCacheBank(int tables, int entries_per_table)
+{
+    ASDR_ASSERT(tables > 0, "need at least one table");
+    caches_.reserve(size_t(tables));
+    for (int t = 0; t < tables; ++t)
+        caches_.emplace_back(entries_per_table);
+}
+
+RegisterCacheBank::RegisterCacheBank(const std::vector<int> &capacities,
+                                     int tables)
+{
+    ASDR_ASSERT(tables > 0, "need at least one table");
+    ASDR_ASSERT(!capacities.empty(), "need at least one capacity");
+    caches_.reserve(size_t(tables));
+    for (int t = 0; t < tables; ++t) {
+        size_t idx = std::min(size_t(t), capacities.size() - 1);
+        caches_.emplace_back(capacities[idx]);
+    }
+}
+
+int
+RegisterCacheBank::totalEntries() const
+{
+    int total = 0;
+    for (const auto &c : caches_)
+        total += c.capacity();
+    return total;
+}
+
+bool
+RegisterCacheBank::access(int table, uint32_t key)
+{
+    return caches_.at(size_t(table)).access(key);
+}
+
+double
+RegisterCacheBank::overallHitRate() const
+{
+    uint64_t hits = 0, total = 0;
+    for (const auto &c : caches_) {
+        hits += c.hits();
+        total += c.hits() + c.misses();
+    }
+    return total ? double(hits) / double(total) : 0.0;
+}
+
+void
+RegisterCacheBank::reset()
+{
+    for (auto &c : caches_)
+        c.reset();
+}
+
+} // namespace asdr::sim

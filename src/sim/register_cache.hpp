@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Register-based cache (paper §5.2.2): per embedding table, a handful of
+ * registers hold the most recently fetched entries; every generated
+ * address is compared against all of them in parallel (all-to-all
+ * comparison circuit), and hits bypass the memory crossbars entirely.
+ * LRU replacement.
+ */
+
+#ifndef ASDR_SIM_REGISTER_CACHE_HPP
+#define ASDR_SIM_REGISTER_CACHE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace asdr::sim {
+
+/** One table's register cache. */
+class RegisterCache
+{
+  public:
+    /** capacity == 0 disables the cache (every access misses). */
+    explicit RegisterCache(int capacity);
+
+    /**
+     * Look up `key`; on miss the entry is filled (evicting the LRU
+     * entry when full). @return true on hit
+     */
+    bool access(uint32_t key);
+
+    /** Hit test without side effects. */
+    bool contains(uint32_t key) const;
+
+    int capacity() const { return capacity_; }
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    double hitRate() const;
+    void reset();
+
+  private:
+    int capacity_;
+    // MRU-first order; tiny capacities make linear search the right
+    // structure (it is also what the comparison circuit does).
+    std::vector<uint32_t> entries_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/** The per-table cache bank of the encoding engine. */
+class RegisterCacheBank
+{
+  public:
+    RegisterCacheBank(int tables, int entries_per_table);
+
+    /**
+     * Per-table capacities (paper §5.2.2: "cache sizes vary for
+     * different resolution embedded tables based on the locality of
+     * sampling points"). `capacities` may be shorter than the table
+     * count; missing entries reuse the last value.
+     */
+    explicit RegisterCacheBank(const std::vector<int> &capacities,
+                               int tables);
+
+    bool access(int table, uint32_t key);
+    const RegisterCache &table(int t) const { return caches_.at(size_t(t)); }
+    double overallHitRate() const;
+    /** Total registers across all tables (the Table 2 budget). */
+    int totalEntries() const;
+    void reset();
+
+  private:
+    std::vector<RegisterCache> caches_;
+};
+
+} // namespace asdr::sim
+
+#endif // ASDR_SIM_REGISTER_CACHE_HPP

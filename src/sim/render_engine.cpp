@@ -1,0 +1,51 @@
+#include "sim/render_engine.hpp"
+
+namespace asdr::sim {
+
+RenderEngine::RenderEngine(const AccelConfig &cfg)
+    : cfg_(cfg),
+      energy_(EnergyParams::forBackend(cfg.mem_backend, cfg.mlp_backend))
+{
+}
+
+RenderEngineReport
+RenderEngine::finish() const
+{
+    RenderEngineReport report;
+    report.composited_points = points_;
+    report.approx_colors = approx_;
+    report.probe_evaluations = probe_ops_;
+
+    // Each unit retires one operation per cycle; the three unit groups
+    // run concurrently.
+    uint64_t rgb_cycles =
+        (points_ + uint64_t(cfg_.rgb_units) - 1) / uint64_t(cfg_.rgb_units);
+    uint64_t approx_cycles = (approx_ + uint64_t(cfg_.approx_units) - 1) /
+                             uint64_t(cfg_.approx_units);
+    uint64_t as_cycles =
+        (probe_ops_ + uint64_t(cfg_.adaptive_sample_units) - 1) /
+        uint64_t(cfg_.adaptive_sample_units);
+    report.cycles = rgb_cycles;
+    if (approx_cycles > report.cycles)
+        report.cycles = approx_cycles;
+    if (as_cycles > report.cycles)
+        report.cycles = as_cycles;
+
+    // Compositing: alpha computation + weighted accumulate, 3 channels.
+    report.energy_pj += double(points_) * 8.0 * energy_.render_op;
+    // Interpolation: one lerp per channel.
+    report.energy_pj += double(approx_) * 6.0 * energy_.render_op;
+    // Difficulty metric: subtract + compare tree per candidate.
+    report.energy_pj += double(probe_ops_) * 6.0 * energy_.render_op;
+    return report;
+}
+
+void
+RenderEngine::reset()
+{
+    points_ = 0;
+    approx_ = 0;
+    probe_ops_ = 0;
+}
+
+} // namespace asdr::sim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Cycle-level model of the volume rendering engine (paper §5.4):
+ * approximation unit (linear color interpolation), RGB computation unit
+ * (Eq. 1 compositing), and adaptive sampling unit (Eq. 3 subtract/
+ * compare trees for probe rays).
+ */
+
+#ifndef ASDR_SIM_RENDER_ENGINE_HPP
+#define ASDR_SIM_RENDER_ENGINE_HPP
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "sim/tech_params.hpp"
+
+namespace asdr::sim {
+
+struct RenderEngineReport
+{
+    uint64_t cycles = 0;
+    double energy_pj = 0.0;
+    uint64_t composited_points = 0;
+    uint64_t approx_colors = 0;
+    uint64_t probe_evaluations = 0;
+};
+
+class RenderEngine
+{
+  public:
+    explicit RenderEngine(const AccelConfig &cfg);
+
+    void onPointComposited() { ++points_; }
+    void onApproxColor() { ++approx_; }
+    /** One probe ray's difficulty evaluation (all candidates). */
+    void onProbeEvaluation(int candidates) { probe_ops_ += uint64_t(candidates); }
+
+    RenderEngineReport finish() const;
+    void reset();
+
+  private:
+    AccelConfig cfg_;
+    EnergyParams energy_;
+    uint64_t points_ = 0;
+    uint64_t approx_ = 0;
+    uint64_t probe_ops_ = 0;
+};
+
+} // namespace asdr::sim
+
+#endif // ASDR_SIM_RENDER_ENGINE_HPP

@@ -1,0 +1,96 @@
+#include "sim/tech_params.hpp"
+
+namespace asdr::sim {
+
+EnergyParams
+EnergyParams::forBackend(MemBackend mem, MlpBackend mlp)
+{
+    EnergyParams p;
+    if (mem == MemBackend::Sram) {
+        // SRAM macro reads burn more dynamic energy per access at this
+        // capacity (leakier arrays, longer bitlines) than ReRAM reads.
+        p.mem_read_row = 2.6;
+    }
+    switch (mlp) {
+      case MlpBackend::ReramCim:
+        break;
+      case MlpBackend::SramCim:
+        p.mvm_block_cycle = 20.5;
+        break;
+      case MlpBackend::Systolic:
+        break; // systolic path bills per-MAC instead of per-block
+    }
+    return p;
+}
+
+LatencyParams
+LatencyParams::forBackend(MemBackend mem, MlpBackend mlp)
+{
+    LatencyParams p;
+    // ReRAM sensing takes several ns; at the 1 GHz synthesis point a
+    // row read occupies its port for 4 cycles. SRAM macros of this
+    // capacity resolve in 3.
+    p.mem_read_cycles = (mem == MemBackend::Sram) ? 3 : 4;
+    if (mlp == MlpBackend::SramCim)
+        p.mvm_cycle_scale = 1.25; // extra precision/margining cycles
+    return p;
+}
+
+namespace {
+
+const ComponentBudget kBudgets[] = {
+    {"Address Generator", 0.013, 0.003, 8.04, 2.01},
+    {"Reg-based Cache", 0.007, 0.002, 2.66, 0.67},
+    {"Mem Xbars", 5.03, 1.26, 5.33, 1.33},
+    {"Fusion Unit", 0.220, 0.055, 107.99, 27.00},
+    {"Density SubEngine", 3.44, 0.86, 28.44, 7.11},
+    {"Color SubEngine", 5.76, 1.44, 47.30, 11.82},
+    {"Approximation Unit", 0.118, 0.029, 52.21, 13.05},
+    {"RGB Unit", 0.013, 0.003, 5.40, 1.35},
+    {"Adaptive Sample Unit", 0.0007, 0.0002, 0.27, 0.07},
+    {"Buffers", 0.27, 0.06, 79.0, 19.55},
+};
+
+} // namespace
+
+const ComponentBudget *
+componentBudgets(int &count)
+{
+    count = int(sizeof(kBudgets) / sizeof(kBudgets[0]));
+    return kBudgets;
+}
+
+double
+totalAreaMm2(bool edge)
+{
+    int n = 0;
+    const ComponentBudget *rows = componentBudgets(n);
+    double total = 0.0;
+    for (int i = 0; i < n; ++i)
+        total += edge ? rows[i].area_edge_mm2 : rows[i].area_server_mm2;
+    return total;
+}
+
+double
+sumComponentPowerW(bool edge)
+{
+    int n = 0;
+    const ComponentBudget *rows = componentBudgets(n);
+    double total = 0.0;
+    for (int i = 0; i < n; ++i)
+        total += edge ? rows[i].power_edge_mw : rows[i].power_server_mw;
+    return total / 1000.0;
+}
+
+double
+totalPowerW(bool edge)
+{
+    // Table 2 quotes 5.77 W / 1.44 W as the design totals. Unlike the
+    // area column, the per-row power figures are per *unit instance*
+    // (they do not sum to the quoted total); we therefore carry the
+    // quoted totals explicitly and keep the rows for the per-component
+    // table reproduction. See EXPERIMENTS.md (Table 2 notes).
+    return edge ? 1.44 : 5.77;
+}
+
+} // namespace asdr::sim

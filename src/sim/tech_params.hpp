@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Technology constants of the cycle-level model: per-event energies
+ * (NeuroSim/CACTI-style, 28 nm class) and per-component area/power
+ * (paper Table 2, which we encode verbatim and validate in tests).
+ *
+ * Only *ratios* between platforms are claimed by the evaluation; the
+ * absolute constants are published ballpark values, with the ReRAM /
+ * SRAM / systolic relations chosen to reproduce the ordering the paper
+ * reports in Figs. 26-27 (ReRAM fastest and most efficient, SRAM CIM
+ * next, SRAM+systolic last).
+ */
+
+#ifndef ASDR_SIM_TECH_PARAMS_HPP
+#define ASDR_SIM_TECH_PARAMS_HPP
+
+#include "sim/config.hpp"
+
+namespace asdr::sim {
+
+/** Per-event dynamic energies in picojoules. */
+struct EnergyParams
+{
+    // Encoding engine
+    double mem_read_row = 2.0;    ///< ReRAM crossbar row read (64 b + SA)
+    double cache_probe = 0.05;    ///< one all-to-all compare lane
+    double cache_fill = 0.2;
+    double fusion_mac = 0.4;      ///< one interpolation MAC
+    double addr_gen = 0.3;        ///< one address (hash or reorder)
+
+    // MLP engine (per 64x64 block, per input-bit cycle; includes DAC,
+    // array activation and the 5-bit ADC conversions of one read)
+    double mvm_block_cycle = 16.0;
+    double systolic_mac = 1.1;    ///< one digital fp16 MAC (SA variant)
+    double nonlinear_op = 0.5;
+
+    // Volume rendering engine
+    double render_op = 0.5;       ///< one approx/RGB/AS-unit operation
+
+    // Buffers
+    double buffer_access = 1.0;   ///< per 8 B
+
+    /** Constants for one storage/datapath technology choice. */
+    static EnergyParams forBackend(MemBackend mem, MlpBackend mlp);
+};
+
+/** Per-cycle latency scaling of the technology variants. */
+struct LatencyParams
+{
+    /** Port-occupancy cycles per memory row read (ReRAM sensing). */
+    int mem_read_cycles = 4;
+    /** Multiplier on MVM block-cycles (SRAM CIM streams more bits). */
+    double mvm_cycle_scale = 1.0;
+
+    static LatencyParams forBackend(MemBackend mem, MlpBackend mlp);
+};
+
+/** One Table 2 row: component area and power for Server / Edge. */
+struct ComponentBudget
+{
+    const char *component;
+    double area_server_mm2;
+    double area_edge_mm2;
+    double power_server_mw;
+    double power_edge_mw;
+};
+
+/** The full Table 2, in paper order. */
+const ComponentBudget *componentBudgets(int &count);
+
+/** Total die area: sum of the Table 2 rows (paper: 15.09 / 3.77 mm^2). */
+double totalAreaMm2(bool edge);
+
+/** Design power as quoted by Table 2 (5.77 / 1.44 W). The per-row power
+ *  figures are per unit instance and do not sum to this. */
+double totalPowerW(bool edge);
+
+/** Sum of the per-row (per-unit) power figures, for the table bench. */
+double sumComponentPowerW(bool edge);
+
+} // namespace asdr::sim
+
+#endif // ASDR_SIM_TECH_PARAMS_HPP

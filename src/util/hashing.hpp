@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The Instant-NGP spatial hash (paper Eq. 2): index = (x*pi1 XOR y*pi2
+ * XOR z*pi3) mod T, with the canonical prime multipliers of Mueller et
+ * al. 2022. Shared by the renderer (feature lookups) and the simulator
+ * (address generation), so both sides agree on addresses by construction.
+ */
+
+#ifndef ASDR_UTIL_HASHING_HPP
+#define ASDR_UTIL_HASHING_HPP
+
+#include <cstdint>
+
+#include "util/vec.hpp"
+
+namespace asdr {
+
+/** Prime multipliers from Instant-NGP (pi1 = 1 keeps x-major coherence). */
+constexpr uint32_t kHashPrime1 = 1u;
+constexpr uint32_t kHashPrime2 = 2654435761u;
+constexpr uint32_t kHashPrime3 = 805459861u;
+
+/** Eq. (2): XOR-of-products spatial hash onto a table of size 2^log2t. */
+inline uint32_t
+spatialHash(const Vec3i &v, uint32_t log2_table_size)
+{
+    uint32_t h = static_cast<uint32_t>(v.x) * kHashPrime1 ^
+                 static_cast<uint32_t>(v.y) * kHashPrime2 ^
+                 static_cast<uint32_t>(v.z) * kHashPrime3;
+    return h & ((1u << log2_table_size) - 1u);
+}
+
+/**
+ * Dense (injective) index for low-resolution grids: x-major linearization
+ * of the (res+1)^3 vertex lattice. Valid only when the lattice fits the
+ * table; the hash grid asserts this at construction.
+ */
+inline uint32_t
+denseIndex(const Vec3i &v, uint32_t verts_per_axis)
+{
+    return (static_cast<uint32_t>(v.z) * verts_per_axis +
+            static_cast<uint32_t>(v.y)) * verts_per_axis +
+           static_cast<uint32_t>(v.x);
+}
+
+/** Bit-interleave helper (Morton order), used in mapping experiments. */
+inline uint32_t
+expandBits3(uint32_t v)
+{
+    v &= 0x3FF;
+    v = (v | (v << 16)) & 0x030000FF;
+    v = (v | (v << 8)) & 0x0300F00F;
+    v = (v | (v << 4)) & 0x030C30C3;
+    v = (v | (v << 2)) & 0x09249249;
+    return v;
+}
+
+inline uint32_t
+mortonIndex(const Vec3i &v)
+{
+    return expandBits3(static_cast<uint32_t>(v.x)) |
+           (expandBits3(static_cast<uint32_t>(v.y)) << 1) |
+           (expandBits3(static_cast<uint32_t>(v.z)) << 2);
+}
+
+} // namespace asdr
+
+#endif // ASDR_UTIL_HASHING_HPP

@@ -1,0 +1,43 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace asdr {
+
+namespace {
+LogLevel g_level = LogLevel::Info;
+std::mutex g_log_mutex;
+} // namespace
+
+void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel logLevel() { return g_level; }
+
+namespace detail {
+
+void
+logMessage(LogLevel level, const std::string &tag, const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(g_level))
+        return;
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fprintf(stderr, "[%s] %s\n", tag.c_str(), msg.c_str());
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "[fatal] %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+panicImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "[panic] %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace detail
+} // namespace asdr

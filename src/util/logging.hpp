@@ -1,0 +1,81 @@
+/**
+ * @file
+ * gem5-style status and error reporting. `fatal` is for user error (bad
+ * configuration), `panic` for internal invariant violations; `inform` and
+ * `warn` never stop execution.
+ */
+
+#ifndef ASDR_UTIL_LOGGING_HPP
+#define ASDR_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace asdr {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Set the process-wide verbosity (default: Info). */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+namespace detail {
+void logMessage(LogLevel level, const std::string &tag, const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+[[noreturn]] void panicImpl(const std::string &msg);
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+} // namespace detail
+
+/** Status message with no connotation of incorrect behaviour. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::logMessage(LogLevel::Info, "info",
+                       detail::concat(std::forward<Args>(args)...));
+}
+
+/** Something might be off but execution can continue. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::logMessage(LogLevel::Warn, "warn",
+                       detail::concat(std::forward<Args>(args)...));
+}
+
+/** Unrecoverable user/configuration error; exits with status 1. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Internal invariant violation; aborts (core-dump friendly). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless the condition holds. */
+#define ASDR_ASSERT(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::asdr::panic("assertion failed: ", #cond, " ", ##__VA_ARGS__);  \
+    } while (0)
+
+} // namespace asdr
+
+#endif // ASDR_UTIL_LOGGING_HPP

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fixed-point quantization helpers for the CIM datapath model: symmetric
+ * per-tensor quantization of weights/activations to b bits, and the
+ * bit-slicing math used by the bit-serial ReRAM MVM model.
+ */
+
+#ifndef ASDR_UTIL_QUANT_HPP
+#define ASDR_UTIL_QUANT_HPP
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace asdr {
+
+/** Symmetric linear quantizer: float -> signed integer of `bits` bits. */
+struct Quantizer
+{
+    float scale = 1.0f; ///< real value represented by one LSB
+    int bits = 8;
+
+    /** Build a quantizer covering [-absmax, absmax] with `bits` bits. */
+    static Quantizer
+    forAbsMax(float absmax, int bits)
+    {
+        Quantizer q;
+        q.bits = bits;
+        float qmax = float((1 << (bits - 1)) - 1);
+        q.scale = absmax > 0.0f ? absmax / qmax : 1.0f;
+        return q;
+    }
+
+    int32_t
+    quantize(float x) const
+    {
+        int32_t qmax = (1 << (bits - 1)) - 1;
+        int32_t v = static_cast<int32_t>(std::lround(x / scale));
+        return std::clamp(v, -qmax, qmax);
+    }
+
+    float dequantize(int32_t q) const { return float(q) * scale; }
+
+    /** Round-trip a float through the quantizer. */
+    float roundTrip(float x) const { return dequantize(quantize(x)); }
+};
+
+/** Largest |x| of a buffer; the per-tensor range for Quantizer. */
+inline float
+absMax(const std::vector<float> &v)
+{
+    float m = 0.0f;
+    for (float x : v)
+        m = std::max(m, std::fabs(x));
+    return m;
+}
+
+/** Number of 1-valued cells needed to store `bits`-bit weights per cell
+ *  of `cell_bits` bits (ReRAM SLC: cell_bits = 1). */
+inline int
+cellsPerWeight(int weight_bits, int cell_bits)
+{
+    return (weight_bits + cell_bits - 1) / cell_bits;
+}
+
+} // namespace asdr
+
+#endif // ASDR_UTIL_QUANT_HPP

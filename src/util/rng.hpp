@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic random number generation. Every stochastic component of
+ * the repository (scene synthesis, network initialization, training batch
+ * selection) draws from these generators so that builds are reproducible
+ * bit-for-bit across runs.
+ */
+
+#ifndef ASDR_UTIL_RNG_HPP
+#define ASDR_UTIL_RNG_HPP
+
+#include <cstdint>
+
+#include "util/vec.hpp"
+
+namespace asdr {
+
+/** SplitMix64: tiny, high-quality 64-bit mixer, used for seeding. */
+inline uint64_t
+splitmix64(uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * PCG32 generator (O'Neill, 2014). Small state, good statistical quality,
+ * cheap to copy; one instance per subsystem keeps streams independent.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x853C49E6748FEA9Bull, uint64_t stream = 1)
+    {
+        state_ = 0u;
+        inc_ = (stream << 1u) | 1u;
+        nextU32();
+        state_ += seed;
+        nextU32();
+    }
+
+    /** Uniform 32-bit integer. */
+    uint32_t
+    nextU32()
+    {
+        uint64_t oldstate = state_;
+        state_ = oldstate * 6364136223846793005ull + inc_;
+        uint32_t xorshifted =
+            static_cast<uint32_t>(((oldstate >> 18u) ^ oldstate) >> 27u);
+        uint32_t rot = static_cast<uint32_t>(oldstate >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint32_t
+    nextBounded(uint32_t bound)
+    {
+        // Lemire's nearly-divisionless method would be overkill here; the
+        // classic rejection loop keeps the distribution exact.
+        uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            uint32_t r = nextU32();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(nextU32() >> 8) * 0x1.0p-24f;
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    nextRange(float lo, float hi)
+    {
+        return lo + (hi - lo) * nextFloat();
+    }
+
+    /** Standard normal via Box-Muller (one value per call; simple). */
+    float
+    nextGaussian()
+    {
+        if (have_spare_) {
+            have_spare_ = false;
+            return spare_;
+        }
+        float u1 = 0.0f;
+        do {
+            u1 = nextFloat();
+        } while (u1 <= 1e-12f);
+        float u2 = nextFloat();
+        float mag = std::sqrt(-2.0f * std::log(u1));
+        spare_ = mag * std::sin(6.28318530718f * u2);
+        have_spare_ = true;
+        return mag * std::cos(6.28318530718f * u2);
+    }
+
+    /** Uniform point in the unit cube. */
+    Vec3
+    nextVec3()
+    {
+        return {nextFloat(), nextFloat(), nextFloat()};
+    }
+
+    /** Uniform direction on the unit sphere. */
+    Vec3
+    nextDirection()
+    {
+        float z = nextRange(-1.0f, 1.0f);
+        float phi = nextRange(0.0f, 6.28318530718f);
+        float r = std::sqrt(std::max(0.0f, 1.0f - z * z));
+        return {r * std::cos(phi), r * std::sin(phi), z};
+    }
+
+  private:
+    uint64_t state_ = 0;
+    uint64_t inc_ = 0;
+    float spare_ = 0.0f;
+    bool have_spare_ = false;
+};
+
+} // namespace asdr
+
+#endif // ASDR_UTIL_RNG_HPP

@@ -1,0 +1,136 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace asdr {
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mean_ - mean_;
+    uint64_t total = n_ + other.n_;
+    m2_ += other.m2_ +
+           delta * delta * double(n_) * double(other.n_) / double(total);
+    mean_ += delta * double(other.n_) / double(total);
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ = total;
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    ASDR_ASSERT(bins > 0 && hi > lo, "bad histogram bounds");
+}
+
+void
+Histogram::add(double x, uint64_t weight)
+{
+    double t = (x - lo_) / (hi_ - lo_);
+    long bin = static_cast<long>(t * double(counts_.size()));
+    bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+    counts_[static_cast<size_t>(bin)] += weight;
+    total_ += weight;
+}
+
+double
+Histogram::binLo(size_t bin) const
+{
+    return lo_ + (hi_ - lo_) * double(bin) / double(counts_.size());
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    double target = q * double(total_);
+    double cum = 0.0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        double next = cum + double(counts_[i]);
+        if (next >= target) {
+            double frac =
+                counts_[i] ? (target - cum) / double(counts_[i]) : 0.0;
+            return binLo(i) + frac * (binHi(i) - binLo(i));
+        }
+        cum = next;
+    }
+    return hi_;
+}
+
+double
+Histogram::fractionAtLeast(double x) const
+{
+    if (total_ == 0)
+        return 0.0;
+    uint64_t mass = 0;
+    for (size_t i = 0; i < counts_.size(); ++i)
+        if (binLo(i) >= x)
+            mass += counts_[i];
+    return double(mass) / double(total_);
+}
+
+void
+CounterGroup::inc(const std::string &name, uint64_t delta)
+{
+    for (auto &entry : entries_) {
+        if (entry.first == name) {
+            entry.second += delta;
+            return;
+        }
+    }
+    entries_.emplace_back(name, delta);
+}
+
+uint64_t
+CounterGroup::get(const std::string &name) const
+{
+    for (const auto &entry : entries_)
+        if (entry.first == name)
+            return entry.second;
+    return 0;
+}
+
+void
+CounterGroup::merge(const CounterGroup &other)
+{
+    for (const auto &entry : other.entries_)
+        inc(entry.first, entry.second);
+}
+
+} // namespace asdr

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Statistics primitives used by the profilers, the cycle-level simulator
+ * and the benchmark harness: streaming scalar statistics, fixed-bin
+ * histograms and a percentile sketch backed by a sample reservoir.
+ */
+
+#ifndef ASDR_UTIL_STATS_HPP
+#define ASDR_UTIL_STATS_HPP
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace asdr {
+
+/** Streaming mean/variance/min/max accumulator (Welford's algorithm). */
+class RunningStat
+{
+  public:
+    void add(double x);
+    void merge(const RunningStat &other);
+    void reset();
+
+    uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const { return n_ > 1 ? m2_ / double(n_ - 1) : 0.0; }
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-width-bin histogram over [lo, hi); out-of-range goes to end bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t bins);
+
+    void add(double x, uint64_t weight = 1);
+    uint64_t binCount(size_t bin) const { return counts_.at(bin); }
+    size_t bins() const { return counts_.size(); }
+    double binLo(size_t bin) const;
+    double binHi(size_t bin) const { return binLo(bin + 1); }
+    uint64_t total() const { return total_; }
+
+    /** Value below which `q` (0..1) of the mass lies, by bin interpolation. */
+    double quantile(double q) const;
+
+    /** Fraction of mass in bins whose lower edge is >= x. */
+    double fractionAtLeast(double x) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/** Named counter group; the simulator's per-component event counters. */
+class CounterGroup
+{
+  public:
+    /** Add `delta` to counter `name`, creating it at zero if absent. */
+    void inc(const std::string &name, uint64_t delta = 1);
+    uint64_t get(const std::string &name) const;
+    void merge(const CounterGroup &other);
+
+    const std::vector<std::pair<std::string, uint64_t>> &entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    // Small and ordered by first use; linear search keeps iteration order
+    // deterministic for reports without a separate key list.
+    std::vector<std::pair<std::string, uint64_t>> entries_;
+};
+
+} // namespace asdr
+
+#endif // ASDR_UTIL_STATS_HPP

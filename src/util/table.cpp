@@ -1,0 +1,106 @@
+#include "util/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace asdr {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    ASDR_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    ASDR_ASSERT(cells.size() == header_.size(),
+                "row width ", cells.size(), " != header width ",
+                header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addRule()
+{
+    rows_.emplace_back(); // sentinel
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_rule = [&]() {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            os << "+" << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    print_rule();
+    print_cells(header_);
+    print_rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            print_rule();
+        else
+            print_cells(row);
+    }
+    print_rule();
+}
+
+std::string
+fmt(double v, int decimals)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << v;
+    return oss.str();
+}
+
+std::string
+fmtTimes(double v, int decimals)
+{
+    return fmt(v, decimals) + "x";
+}
+
+std::string
+fmtPercent(double v, int decimals)
+{
+    return fmt(v * 100.0, decimals) + "%";
+}
+
+std::string
+fmtBytes(double bytes)
+{
+    const char *units[] = {"B", "KB", "MB", "GB"};
+    int u = 0;
+    while (bytes >= 1024.0 && u < 3) {
+        bytes /= 1024.0;
+        ++u;
+    }
+    return fmt(bytes, bytes < 10 ? 2 : 1) + units[u];
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n=== " << title << " ===\n";
+}
+
+} // namespace asdr

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harness so every reproduced
+ * paper table/figure prints in a uniform, diff-friendly format.
+ */
+
+#ifndef ASDR_UTIL_TABLE_HPP
+#define ASDR_UTIL_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace asdr {
+
+/**
+ * Column-aligned text table. Build rows with addRow(); print() pads each
+ * column to its widest cell. Numeric formatting is the caller's job
+ * (use fmt1/fmt2/fmtX helpers below).
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+    /** Insert a horizontal rule before the next row. */
+    void addRule();
+    void print(std::ostream &os) const;
+
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_; // empty vector == rule
+};
+
+/** Format helpers: fixed-point with N decimals, and "x.xx×" speedups. */
+std::string fmt(double v, int decimals);
+std::string fmtTimes(double v, int decimals = 2);
+std::string fmtPercent(double v, int decimals = 1);
+std::string fmtBytes(double bytes);
+
+/** Print a section banner: the artifact being reproduced. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace asdr
+
+#endif // ASDR_UTIL_TABLE_HPP

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Small fixed-size vector math used throughout the renderer and the
+ * simulator. Only the operations the codebase needs are provided; this is
+ * deliberately not a general linear-algebra library.
+ */
+
+#ifndef ASDR_UTIL_VEC_HPP
+#define ASDR_UTIL_VEC_HPP
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace asdr {
+
+/** Three-component float vector (positions, directions, RGB colors). */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float xv, float yv, float zv) : x(xv), y(yv), z(zv) {}
+    constexpr explicit Vec3(float s) : x(s), y(s), z(s) {}
+
+    constexpr float operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+    constexpr Vec3 operator+(const Vec3 &o) const { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(const Vec3 &o) const { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator*(const Vec3 &o) const { return {x * o.x, y * o.y, z * o.z}; }
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    Vec3 &operator+=(const Vec3 &o) { x += o.x; y += o.y; z += o.z; return *this; }
+    Vec3 &operator-=(const Vec3 &o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+    Vec3 &operator*=(float s) { x *= s; y *= s; z *= s; return *this; }
+
+    constexpr bool operator==(const Vec3 &o) const
+    {
+        return x == o.x && y == o.y && z == o.z;
+    }
+};
+
+constexpr Vec3 operator*(float s, const Vec3 &v) { return v * s; }
+
+inline float dot(const Vec3 &a, const Vec3 &b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+inline Vec3
+cross(const Vec3 &a, const Vec3 &b)
+{
+    return {a.y * b.z - a.z * b.y,
+            a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+inline float length(const Vec3 &v) { return std::sqrt(dot(v, v)); }
+
+inline Vec3
+normalize(const Vec3 &v)
+{
+    float len = length(v);
+    return len > 0.0f ? v / len : Vec3(0.0f, 0.0f, 0.0f);
+}
+
+inline Vec3
+vmin(const Vec3 &a, const Vec3 &b)
+{
+    return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)};
+}
+
+inline Vec3
+vmax(const Vec3 &a, const Vec3 &b)
+{
+    return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)};
+}
+
+inline Vec3
+clamp01(const Vec3 &v)
+{
+    return {std::clamp(v.x, 0.0f, 1.0f), std::clamp(v.y, 0.0f, 1.0f),
+            std::clamp(v.z, 0.0f, 1.0f)};
+}
+
+inline Vec3
+lerp(const Vec3 &a, const Vec3 &b, float t)
+{
+    return a + (b - a) * t;
+}
+
+inline float lerp(float a, float b, float t) { return a + (b - a) * t; }
+
+/** Largest absolute per-channel difference; the paper's Eq. (3) metric. */
+inline float
+maxAbsDiff(const Vec3 &a, const Vec3 &b)
+{
+    return std::max({std::fabs(a.x - b.x), std::fabs(a.y - b.y),
+                     std::fabs(a.z - b.z)});
+}
+
+inline float
+cosineSimilarity(const Vec3 &a, const Vec3 &b)
+{
+    float la = length(a), lb = length(b);
+    if (la == 0.0f && lb == 0.0f)
+        return 1.0f;
+    if (la == 0.0f || lb == 0.0f)
+        return 0.0f;
+    return std::clamp(dot(a, b) / (la * lb), -1.0f, 1.0f);
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, const Vec3 &v)
+{
+    return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+/** Two-component float vector (pixel coordinates, image-plane offsets). */
+struct Vec2
+{
+    float x = 0.0f;
+    float y = 0.0f;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(float xv, float yv) : x(xv), y(yv) {}
+
+    constexpr Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(float s) const { return {x * s, y * s}; }
+};
+
+/** Integer 3-vector (voxel/vertex coordinates on the multiresolution grid). */
+struct Vec3i
+{
+    int32_t x = 0;
+    int32_t y = 0;
+    int32_t z = 0;
+
+    constexpr Vec3i() = default;
+    constexpr Vec3i(int32_t xv, int32_t yv, int32_t zv) : x(xv), y(yv), z(zv) {}
+
+    constexpr bool operator==(const Vec3i &o) const
+    {
+        return x == o.x && y == o.y && z == o.z;
+    }
+    constexpr Vec3i operator+(const Vec3i &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const Vec3i &v)
+{
+    return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+} // namespace asdr
+
+#endif // ASDR_UTIL_VEC_HPP

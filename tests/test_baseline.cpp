@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the baseline platform models: GPU roofline (monotonicity,
+ * compute/bandwidth regimes, device ordering), the NeuRex-like model
+ * (workload scaling, server/edge), and the quantized-field quality
+ * wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/gpu_model.hpp"
+#include "baseline/neurex.hpp"
+#include "baseline/quantized_field.hpp"
+#include "core/ground_truth.hpp"
+#include "core/renderer.hpp"
+#include "image/metrics.hpp"
+#include "nerf/procedural_field.hpp"
+#include "scene/scene_library.hpp"
+
+using namespace asdr;
+using namespace asdr::baseline;
+
+namespace {
+
+core::WorkloadProfile
+syntheticProfile(uint64_t points)
+{
+    core::WorkloadProfile p;
+    p.rays = points / 128;
+    p.points = points;
+    p.density_execs = points;
+    p.color_execs = points;
+    p.lookups = points * 128;
+    return p;
+}
+
+nerf::FieldCosts
+referenceCosts()
+{
+    nerf::FieldCosts costs;
+    costs.encode_flops = 1600;
+    costs.density_flops = 2 * (32 * 64 + 64 * 16);
+    costs.color_flops = 2 * (31 * 128 + 128 * 128 * 2 + 128 * 3);
+    costs.density_layers = {{32, 64}, {64, 16}};
+    costs.color_layers = {{31, 128}, {128, 128}, {128, 128}, {128, 3}};
+    costs.lookups_per_point = 128;
+    return costs;
+}
+
+} // namespace
+
+TEST(GpuModel, TimeScalesWithWork)
+{
+    GpuModel gpu(GpuSpec::rtx3070());
+    auto small = gpu.run(syntheticProfile(100000), referenceCosts());
+    auto large = gpu.run(syntheticProfile(1000000), referenceCosts());
+    EXPECT_NEAR(large.seconds / small.seconds, 10.0, 0.5);
+    EXPECT_GT(small.seconds, 0.0);
+}
+
+TEST(GpuModel, EdgeDeviceMuchSlower)
+{
+    GpuModel desktop(GpuSpec::rtx3070());
+    GpuModel jetson(GpuSpec::xavierNx());
+    auto profile = syntheticProfile(500000);
+    auto d = desktop.run(profile, referenceCosts());
+    auto j = jetson.run(profile, referenceCosts());
+    // Xavier NX is an order of magnitude slower (the paper's edge gap).
+    EXPECT_GT(j.seconds / d.seconds, 5.0);
+}
+
+TEST(GpuModel, PhaseBreakdownSumsToTotal)
+{
+    GpuModel gpu(GpuSpec::rtx3070());
+    auto r = gpu.run(syntheticProfile(200000), referenceCosts());
+    EXPECT_NEAR(r.seconds,
+                r.enc_seconds + r.mlp_seconds + r.render_seconds, 1e-12);
+    EXPECT_GT(r.mlp_seconds, 0.0);
+    EXPECT_GT(r.enc_seconds, 0.0);
+}
+
+TEST(GpuModel, ColorDecouplingReducesTime)
+{
+    GpuModel gpu(GpuSpec::rtx3070());
+    auto full = syntheticProfile(500000);
+    auto decoupled = full;
+    decoupled.color_execs /= 2;
+    decoupled.approx_colors = full.color_execs / 2;
+    auto rf = gpu.run(full, referenceCosts());
+    auto rd = gpu.run(decoupled, referenceCosts());
+    EXPECT_LT(rd.seconds, rf.seconds);
+}
+
+TEST(GpuModel, EnergyTracksPowerAndTime)
+{
+    GpuSpec spec = GpuSpec::rtx3070();
+    GpuModel gpu(spec);
+    auto r = gpu.run(syntheticProfile(300000), referenceCosts());
+    EXPECT_NEAR(r.energy_j, r.seconds * spec.board_power_w, 1e-9);
+}
+
+TEST(Neurex, WorkloadScaling)
+{
+    // Time grows with workload, sublinearly at the small end because
+    // the per-frame subgrid reload cost is constant.
+    NeurexModel neurex(NeurexConfig::server());
+    auto small = neurex.run(syntheticProfile(100000), referenceCosts());
+    auto large = neurex.run(syntheticProfile(800000), referenceCosts());
+    EXPECT_GT(large.seconds, small.seconds * 2);
+    EXPECT_LT(large.seconds, small.seconds * 8);
+}
+
+TEST(Neurex, EdgeSlowerThanServer)
+{
+    auto profile = syntheticProfile(500000);
+    auto server =
+        NeurexModel(NeurexConfig::server()).run(profile, referenceCosts());
+    auto edge =
+        NeurexModel(NeurexConfig::edge()).run(profile, referenceCosts());
+    EXPECT_GT(edge.seconds, server.seconds * 2);
+}
+
+TEST(Neurex, FasterThanGpuSlowerThanNothing)
+{
+    // The paper's hierarchy: NeuRex beats the GPU on the full workload.
+    auto profile = syntheticProfile(1000000);
+    auto gpu = GpuModel(GpuSpec::rtx3070()).run(profile, referenceCosts());
+    auto neurex =
+        NeurexModel(NeurexConfig::server()).run(profile, referenceCosts());
+    EXPECT_GT(gpu.seconds / neurex.seconds, 1.5);
+    EXPECT_LT(gpu.seconds / neurex.seconds, 8.0);
+}
+
+TEST(Neurex, NoAdaptiveSamplingBenefitFromFewerColorExecs)
+{
+    // NeuRex executes whatever workload it is given -- but its report
+    // must respond to the MLP exec counts (it runs the full model).
+    NeurexModel neurex(NeurexConfig::server());
+    auto full = syntheticProfile(500000);
+    auto reduced = full;
+    reduced.color_execs /= 4;
+    auto rf = neurex.run(full, referenceCosts());
+    auto rr = neurex.run(reduced, referenceCosts());
+    EXPECT_LT(rr.mlp_seconds, rf.mlp_seconds);
+}
+
+TEST(QuantizedField, SmallQualityLoss)
+{
+    auto scene = scene::createScene("Lego");
+    nerf::ProceduralField field(*scene, nerf::NgpModelConfig::fast());
+    QuantizedField quantized(field, /*color_bits=*/5, /*sigma_step=*/0.5f);
+
+    nerf::Camera cam = nerf::cameraForScene(scene->info(), 24, 24);
+    core::RenderConfig cfg = core::RenderConfig::baseline(24, 24, 64);
+    Image exact = core::AsdrRenderer(field, cfg).render(cam);
+    Image quant = core::AsdrRenderer(quantized, cfg).render(cam);
+
+    double p = psnr(quant, exact);
+    // Loses a little quality (the paper's NeuRex row), but not much.
+    EXPECT_LT(p, 70.0);
+    EXPECT_GT(p, 28.0);
+}
+
+TEST(QuantizedField, PreservesWorkloadStructure)
+{
+    auto scene = scene::createScene("Lego");
+    nerf::ProceduralField field(*scene);
+    QuantizedField quantized(field, 7, 0.25f);
+    EXPECT_EQ(quantized.costs().lookups_per_point,
+              field.costs().lookups_per_point);
+    EXPECT_EQ(quantized.tableSchema().tables.size(),
+              field.tableSchema().tables.size());
+}
+
+TEST(QuantizedField, CoarserQuantizationDegradesMore)
+{
+    auto scene = scene::createScene("Chair");
+    nerf::ProceduralField field(*scene, nerf::NgpModelConfig::fast());
+    nerf::Camera cam = nerf::cameraForScene(scene->info(), 20, 20);
+    core::RenderConfig cfg = core::RenderConfig::baseline(20, 20, 48);
+    Image exact = core::AsdrRenderer(field, cfg).render(cam);
+
+    QuantizedField fine(field, 8, 0.1f);
+    QuantizedField coarse(field, 3, 2.0f);
+    double p_fine =
+        psnr(core::AsdrRenderer(fine, cfg).render(cam), exact);
+    double p_coarse =
+        psnr(core::AsdrRenderer(coarse, cfg).render(cam), exact);
+    EXPECT_GT(p_fine, p_coarse);
+}

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Failure-injection and boundary tests across the stack: degenerate
+ * frames and budgets, extreme configuration knobs, saturated and empty
+ * scenes, and invariants that must hold at the limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/renderer.hpp"
+#include "image/metrics.hpp"
+#include "nerf/procedural_field.hpp"
+#include "nerf/volume_render.hpp"
+#include "scene/scene_library.hpp"
+#include "sim/accelerator.hpp"
+
+using namespace asdr;
+using namespace asdr::core;
+
+namespace {
+
+struct Fixture
+{
+    std::unique_ptr<scene::AnalyticScene> scene;
+    std::unique_ptr<nerf::ProceduralField> field;
+
+    explicit Fixture(const std::string &name = "Lego")
+        : scene(scene::createScene(name)),
+          field(std::make_unique<nerf::ProceduralField>(
+              *scene, nerf::NgpModelConfig::fast()))
+    {
+    }
+};
+
+} // namespace
+
+TEST(EdgeCases, MinimumFrameRenders)
+{
+    Fixture fx;
+    nerf::Camera cam = nerf::cameraForScene(fx.scene->info(), 1, 1);
+    RenderConfig cfg = RenderConfig::baseline(1, 1, 8);
+    RenderStats stats;
+    Image img = AsdrRenderer(*fx.field, cfg).render(cam, &stats);
+    EXPECT_EQ(img.pixels(), 1u);
+    EXPECT_EQ(stats.profile.rays, 1u);
+}
+
+TEST(EdgeCases, AdaptiveSamplingOnTinyFrame)
+{
+    // Probe stride larger than the frame: a single probe cell must
+    // still produce a full budget map.
+    Fixture fx;
+    nerf::Camera cam = nerf::cameraForScene(fx.scene->info(), 3, 3);
+    RenderConfig cfg = RenderConfig::asdr(3, 3, 32);
+    cfg.probe_stride = 8;
+    RenderStats stats;
+    Image img = AsdrRenderer(*fx.field, cfg).render(cam, &stats);
+    EXPECT_EQ(img.pixels(), 9u);
+    EXPECT_EQ(stats.sample_count_map.size(), 9u);
+}
+
+TEST(EdgeCases, ProbeStrideOne)
+{
+    // d=1 probes every pixel: Phase II has nothing left to do and all
+    // pixels keep their full-budget colors.
+    Fixture fx;
+    nerf::Camera cam = nerf::cameraForScene(fx.scene->info(), 8, 8);
+    RenderConfig base = RenderConfig::baseline(8, 8, 32);
+    RenderConfig as = base;
+    as.adaptive_sampling = true;
+    as.probe_stride = 1;
+    Image ib = AsdrRenderer(*fx.field, base).render(cam);
+    Image ia = AsdrRenderer(*fx.field, as).render(cam);
+    EXPECT_DOUBLE_EQ(psnr(ia, ib), 99.0);
+}
+
+TEST(EdgeCases, TwoSampleBudget)
+{
+    Fixture fx;
+    nerf::Camera cam = nerf::cameraForScene(fx.scene->info(), 4, 4);
+    RenderConfig cfg = RenderConfig::baseline(4, 4, 2);
+    cfg.color_approx = true;
+    cfg.approx_group = 4; // group larger than the budget
+    RenderStats stats;
+    Image img = AsdrRenderer(*fx.field, cfg).render(cam, &stats);
+    EXPECT_GT(stats.profile.points, 0u);
+    EXPECT_EQ(stats.profile.color_execs + stats.profile.approx_colors,
+              stats.profile.points);
+    (void)img;
+}
+
+TEST(EdgeCases, HugeApproxGroup)
+{
+    // n >> ns degenerates to two anchors per ray (first + last).
+    Fixture fx;
+    nerf::Camera cam = nerf::cameraForScene(fx.scene->info(), 8, 8);
+    RenderConfig cfg = RenderConfig::baseline(8, 8, 64);
+    cfg.color_approx = true;
+    cfg.approx_group = 1000;
+    RenderStats stats;
+    AsdrRenderer(*fx.field, cfg).render(cam, &stats);
+    // Exactly 2 color execs per volume-hitting ray.
+    uint64_t volume_rays = stats.profile.color_execs / 2;
+    EXPECT_GT(volume_rays, 0u);
+    EXPECT_EQ(stats.profile.color_execs % volume_rays, 0u);
+}
+
+TEST(EdgeCases, EarlyTerminationEpsilonExtremes)
+{
+    Fixture fx("Fox");
+    nerf::Camera cam = nerf::cameraForScene(fx.scene->info(), 8, 8);
+    RenderConfig tight = RenderConfig::baseline(8, 8, 64);
+    tight.early_termination = true;
+    tight.et_eps = 1e-9f; // nearly never terminates
+    RenderConfig loose = tight;
+    loose.et_eps = 0.5f; // terminates aggressively
+
+    RenderStats st, sl;
+    AsdrRenderer(*fx.field, tight).render(cam, &st);
+    AsdrRenderer(*fx.field, loose).render(cam, &sl);
+    EXPECT_LT(sl.profile.points, st.profile.points);
+}
+
+TEST(EdgeCases, SigmaFloorZeroKeepsEverything)
+{
+    Fixture fx;
+    nerf::Camera cam = nerf::cameraForScene(fx.scene->info(), 8, 8);
+    RenderConfig with_floor = RenderConfig::baseline(8, 8, 32);
+    RenderConfig no_floor = with_floor;
+    no_floor.sigma_floor = 0.0f;
+    Image a = AsdrRenderer(*fx.field, with_floor).render(cam);
+    Image b = AsdrRenderer(*fx.field, no_floor).render(cam);
+    // The floor only strips near-zero density; images barely differ.
+    EXPECT_GT(psnr(a, b), 40.0);
+}
+
+TEST(EdgeCases, CompositeZeroPoints)
+{
+    nerf::CompositeResult r = nerf::composite(nullptr, nullptr, 0, 0.1f);
+    EXPECT_EQ(r.color, Vec3(0.0f));
+    EXPECT_FLOAT_EQ(r.opacity, 0.0f);
+}
+
+TEST(EdgeCases, SaturatedMediumOpacityOne)
+{
+    std::vector<float> sigma(8, 1e6f);
+    std::vector<Vec3> color(8, Vec3(1.0f, 0.0f, 0.0f));
+    auto r = nerf::composite(sigma.data(), color.data(), 8, 1.0f);
+    EXPECT_NEAR(r.opacity, 1.0f, 1e-6f);
+    EXPECT_NEAR(r.color.x, 1.0f, 1e-6f);
+}
+
+TEST(EdgeCases, AcceleratorHandlesEmptyFrame)
+{
+    // A camera looking away from the volume: no lookups at all.
+    Fixture fx;
+    nerf::Camera away(Vec3(0.5f, 0.5f, -2.0f), Vec3(0.5f, 0.5f, -5.0f),
+                      Vec3(0, 1, 0), 30.0f, 4, 4);
+    sim::AsdrAccelerator accel(fx.field->tableSchema(), fx.field->costs(),
+                               sim::AccelConfig::server(), false);
+    RenderConfig cfg = RenderConfig::baseline(4, 4, 16);
+    AsdrRenderer(*fx.field, cfg).render(away, nullptr, &accel);
+    EXPECT_EQ(accel.report().enc.lookups, 0u);
+    EXPECT_EQ(accel.report().mlp.density_execs, 0u);
+    // Cycles stay zero -- an empty frame costs nothing.
+    EXPECT_EQ(accel.report().total_cycles, 0u);
+}
+
+TEST(EdgeCases, AcceleratorReusableAcrossFrames)
+{
+    Fixture fx;
+    nerf::Camera cam = nerf::cameraForScene(fx.scene->info(), 6, 6);
+    sim::AsdrAccelerator accel(fx.field->tableSchema(), fx.field->costs(),
+                               sim::AccelConfig::server(), false);
+    RenderConfig cfg = RenderConfig::baseline(6, 6, 16);
+    AsdrRenderer renderer(*fx.field, cfg);
+    renderer.render(cam, nullptr, &accel);
+    uint64_t first = accel.report().total_cycles;
+    renderer.render(cam, nullptr, &accel);
+    uint64_t second = accel.report().total_cycles;
+    // Same frame, freshly reset engines: identical cycle count.
+    EXPECT_EQ(first, second);
+}
+
+TEST(EdgeCases, MismatchedSubsetStridesClampToBudget)
+{
+    // Candidate strides not dividing ns still select valid counts.
+    Fixture fx("Mic");
+    nerf::Camera cam = nerf::cameraForScene(fx.scene->info(), 8, 8);
+    RenderConfig cfg = RenderConfig::asdr(8, 8, 50); // odd budget
+    cfg.subset_strides = {7, 3, 2};
+    RenderStats stats;
+    AsdrRenderer(*fx.field, cfg).render(cam, &stats);
+    for (float c : stats.sample_count_map) {
+        EXPECT_GE(c, float(cfg.min_samples));
+        EXPECT_LE(c, 50.0f);
+    }
+}

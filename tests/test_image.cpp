@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the image buffer and the quality metrics (PSNR, SSIM,
+ * perceptual distance) used across the evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "image/image.hpp"
+#include "image/metrics.hpp"
+#include "util/rng.hpp"
+
+using namespace asdr;
+
+namespace {
+
+Image
+noiseImage(int w, int h, uint64_t seed)
+{
+    Image img(w, h);
+    Rng rng(seed);
+    for (auto &p : img.data())
+        p = rng.nextVec3();
+    return img;
+}
+
+Image
+addNoise(const Image &img, float amp, uint64_t seed)
+{
+    Image out = img;
+    Rng rng(seed);
+    for (auto &p : out.data()) {
+        p += Vec3(rng.nextGaussian(), rng.nextGaussian(),
+                  rng.nextGaussian()) *
+             amp;
+        p = clamp01(p);
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Image, ConstructionAndAccess)
+{
+    Image img(8, 4, Vec3(0.5f, 0.25f, 0.125f));
+    EXPECT_EQ(img.width(), 8);
+    EXPECT_EQ(img.height(), 4);
+    EXPECT_EQ(img.pixels(), 32u);
+    EXPECT_EQ(img.at(7, 3), Vec3(0.5f, 0.25f, 0.125f));
+    img.at(2, 1) = Vec3(1, 0, 0);
+    EXPECT_EQ(img.at(2, 1), Vec3(1, 0, 0));
+}
+
+TEST(Image, BilinearSampleInterpolates)
+{
+    Image img(2, 2);
+    img.at(0, 0) = Vec3(0.0f);
+    img.at(1, 0) = Vec3(1.0f);
+    img.at(0, 1) = Vec3(0.0f);
+    img.at(1, 1) = Vec3(1.0f);
+    Vec3 mid = img.sampleBilinear(0.5f, 0.5f);
+    EXPECT_NEAR(mid.x, 0.5f, 1e-6f);
+    // Clamps outside the frame.
+    EXPECT_EQ(img.sampleBilinear(-5.0f, -5.0f), img.at(0, 0));
+}
+
+TEST(Image, ClampBoundsChannels)
+{
+    Image img(1, 1, Vec3(2.0f, -1.0f, 0.5f));
+    img.clamp();
+    EXPECT_EQ(img.at(0, 0), Vec3(1.0f, 0.0f, 0.5f));
+}
+
+TEST(Image, MeanLuminance)
+{
+    Image img(2, 1);
+    img.at(0, 0) = Vec3(1.0f);
+    img.at(1, 0) = Vec3(0.0f);
+    EXPECT_NEAR(img.meanLuminance(), 0.5, 1e-9);
+}
+
+TEST(Image, PpmWriteProducesFile)
+{
+    Image img = noiseImage(16, 8, 3);
+    std::string path = "test_img_tmp.ppm";
+    EXPECT_TRUE(img.writePpm(path));
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char magic[3] = {};
+    ASSERT_EQ(std::fread(magic, 1, 2, f), 2u);
+    EXPECT_EQ(magic[0], 'P');
+    EXPECT_EQ(magic[1], '6');
+    std::fclose(f);
+    std::remove(path.c_str());
+}
+
+TEST(Heatmap, ColdToHot)
+{
+    std::vector<float> values = {0.0f, 1.0f};
+    Image img = heatmap(values, 2, 1, 0.0f, 1.0f);
+    // Cold pixel is blue-dominant, hot pixel red-dominant (Fig. 7 style).
+    EXPECT_GT(img.at(0, 0).z, img.at(0, 0).x);
+    EXPECT_GT(img.at(1, 0).x, img.at(1, 0).z);
+}
+
+TEST(Psnr, IdenticalSaturates)
+{
+    Image img = noiseImage(32, 32, 1);
+    EXPECT_DOUBLE_EQ(psnr(img, img), 99.0);
+}
+
+TEST(Psnr, KnownUniformError)
+{
+    Image a(16, 16, Vec3(0.5f));
+    Image b(16, 16, Vec3(0.6f));
+    // MSE = 0.01 exactly -> PSNR = 20 dB.
+    EXPECT_NEAR(psnr(a, b), 20.0, 1e-4);
+}
+
+TEST(Psnr, MonotoneInNoise)
+{
+    Image img = noiseImage(48, 48, 2);
+    double p1 = psnr(img, addNoise(img, 0.01f, 7));
+    double p2 = psnr(img, addNoise(img, 0.05f, 7));
+    EXPECT_GT(p1, p2);
+    EXPECT_GT(p1, 30.0);
+}
+
+TEST(Psnr, Symmetric)
+{
+    Image a = noiseImage(24, 24, 4);
+    Image b = noiseImage(24, 24, 5);
+    EXPECT_NEAR(psnr(a, b), psnr(b, a), 1e-9);
+}
+
+TEST(Ssim, IdenticalIsOne)
+{
+    Image img = noiseImage(40, 40, 6);
+    EXPECT_NEAR(ssim(img, img), 1.0, 1e-6);
+}
+
+TEST(Ssim, DegradesWithNoise)
+{
+    Image img = noiseImage(40, 40, 8);
+    double s1 = ssim(img, addNoise(img, 0.02f, 9));
+    double s2 = ssim(img, addNoise(img, 0.10f, 9));
+    EXPECT_GT(s1, s2);
+    EXPECT_LT(s2, 1.0);
+    EXPECT_GT(s2, 0.0);
+}
+
+TEST(Ssim, ConstantImagesMatch)
+{
+    Image a(20, 20, Vec3(0.3f));
+    Image b(20, 20, Vec3(0.3f));
+    EXPECT_NEAR(ssim(a, b), 1.0, 1e-6);
+}
+
+TEST(Perceptual, ZeroForIdentical)
+{
+    Image img = noiseImage(32, 32, 10);
+    EXPECT_NEAR(perceptualDistance(img, img), 0.0, 1e-9);
+}
+
+TEST(Perceptual, MonotoneInNoise)
+{
+    Image img = noiseImage(64, 64, 11);
+    double d1 = perceptualDistance(img, addNoise(img, 0.02f, 12));
+    double d2 = perceptualDistance(img, addNoise(img, 0.10f, 12));
+    EXPECT_LT(d1, d2);
+    EXPECT_GT(d1, 0.0);
+    EXPECT_LT(d2, 1.0);
+}
+
+TEST(Perceptual, Symmetric)
+{
+    Image a = noiseImage(32, 32, 13);
+    Image b = addNoise(a, 0.05f, 14);
+    EXPECT_NEAR(perceptualDistance(a, b), perceptualDistance(b, a), 1e-9);
+}
+
+TEST(Metrics, RejectsMismatchedSizes)
+{
+    Image a(8, 8), b(9, 8);
+    EXPECT_DEATH({ mse(a, b); }, "identical dimensions");
+}

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Tests for the two-phase renderer: workload accounting, equivalence of
+ * configurations that should agree, early-termination and decoupling
+ * behaviour, trace-sink event consistency, ground-truth rendering, and
+ * the workload analysis tools (Figs. 4/8/15).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/ground_truth.hpp"
+#include "core/renderer.hpp"
+#include "image/metrics.hpp"
+#include "nerf/procedural_field.hpp"
+#include "scene/scene_library.hpp"
+
+using namespace asdr;
+using namespace asdr::core;
+
+namespace {
+
+struct Fixture
+{
+    std::unique_ptr<scene::AnalyticScene> scene;
+    std::unique_ptr<nerf::ProceduralField> field;
+    nerf::Camera camera;
+
+    explicit Fixture(const std::string &name, int w = 24, int h = 24)
+        : scene(scene::createScene(name)),
+          field(std::make_unique<nerf::ProceduralField>(
+              *scene, nerf::NgpModelConfig::fast())),
+          camera(nerf::cameraForScene(scene->info(), w, h))
+    {
+    }
+};
+
+/** Counts every trace event for cross-checking against the profile. */
+class CountingSink : public TraceSink
+{
+  public:
+    uint64_t frames = 0, rays = 0, probe_rays = 0, points = 0,
+             lookups = 0, density = 0, color = 0, approx = 0, ray_ends = 0;
+    int frame_w = 0, frame_h = 0;
+    bool frame_open = false;
+
+    void
+    onFrameBegin(int w, int h) override
+    {
+        ++frames;
+        frame_w = w;
+        frame_h = h;
+        frame_open = true;
+    }
+    void
+    onRayBegin(int, int, bool probe) override
+    {
+        ++rays;
+        if (probe)
+            ++probe_rays;
+    }
+    void
+    onPointLookups(const nerf::VertexLookup *, size_t count) override
+    {
+        ++points;
+        lookups += count;
+    }
+    void onDensityExec() override { ++density; }
+    void onColorExec() override { ++color; }
+    void onApproxColor() override { ++approx; }
+    void onRayEnd() override { ++ray_ends; }
+    void onFrameEnd() override { frame_open = false; }
+};
+
+} // namespace
+
+TEST(Renderer, BaselineWorkloadAccounting)
+{
+    Fixture fx("Lego");
+    RenderConfig cfg = RenderConfig::baseline(24, 24, 32);
+    RenderStats stats;
+    AsdrRenderer renderer(*fx.field, cfg);
+    Image img = renderer.render(fx.camera, &stats);
+
+    EXPECT_EQ(img.width(), 24);
+    EXPECT_EQ(stats.profile.rays, 24u * 24u);
+    EXPECT_EQ(stats.profile.probe_rays, 0u);
+    // Without AS/ET every cube-hitting ray takes exactly 32 points.
+    EXPECT_EQ(stats.profile.points % 32, 0u);
+    EXPECT_EQ(stats.profile.density_execs, stats.profile.points);
+    // Without decoupling, every point gets a real color execution.
+    EXPECT_EQ(stats.profile.color_execs, stats.profile.points);
+    EXPECT_EQ(stats.profile.approx_colors, 0u);
+    EXPECT_EQ(stats.profile.lookups,
+              stats.profile.points *
+                  uint64_t(fx.field->costs().lookups_per_point));
+}
+
+TEST(Renderer, TraceSinkMatchesProfile)
+{
+    Fixture fx("Chair");
+    RenderConfig cfg = RenderConfig::asdr(24, 24, 32);
+    cfg.probe_stride = 4;
+    RenderStats stats;
+    CountingSink sink;
+    AsdrRenderer renderer(*fx.field, cfg);
+    renderer.render(fx.camera, &stats, &sink);
+
+    EXPECT_EQ(sink.frames, 1u);
+    EXPECT_FALSE(sink.frame_open);
+    EXPECT_EQ(sink.frame_w, 24);
+    EXPECT_EQ(sink.rays, stats.profile.rays);
+    EXPECT_EQ(sink.ray_ends, sink.rays);
+    EXPECT_EQ(sink.probe_rays, stats.profile.probe_rays);
+    EXPECT_EQ(sink.points, stats.profile.points);
+    EXPECT_EQ(sink.density, stats.profile.density_execs);
+    EXPECT_EQ(sink.color, stats.profile.color_execs);
+    EXPECT_EQ(sink.approx, stats.profile.approx_colors);
+    EXPECT_EQ(sink.lookups, stats.profile.lookups);
+}
+
+TEST(Renderer, AdaptiveSamplingReducesWork)
+{
+    Fixture fx("Mic"); // sparse scene: biggest AS win (Fig. 23)
+    RenderConfig base = RenderConfig::baseline(24, 24, 64);
+    RenderConfig as = base;
+    as.adaptive_sampling = true;
+    as.delta = 1.0f / 2048.0f;
+    as.probe_stride = 5;
+
+    RenderStats sb, sa;
+    Image ib = AsdrRenderer(*fx.field, base).render(fx.camera, &sb);
+    Image ia = AsdrRenderer(*fx.field, as).render(fx.camera, &sa);
+
+    EXPECT_LT(sa.profile.points, sb.profile.points / 2);
+    EXPECT_LT(sa.avg_points_per_pixel, sb.avg_points_per_pixel / 2);
+    // And the images stay close (the paper's near-lossless claim).
+    EXPECT_GT(psnr(ia, ib), 30.0);
+}
+
+TEST(Renderer, DecouplingHalvesColorExecs)
+{
+    Fixture fx("Lego");
+    RenderConfig cfg = RenderConfig::baseline(24, 24, 64);
+    cfg.color_approx = true;
+    cfg.approx_group = 2;
+    RenderStats stats;
+    Image img = AsdrRenderer(*fx.field, cfg).render(fx.camera, &stats);
+
+    double ratio = double(stats.profile.color_execs) /
+                   double(stats.profile.density_execs);
+    EXPECT_NEAR(ratio, 0.5, 0.05); // n=2 -> ~54% FLOPs (Fig. 9c)
+    EXPECT_EQ(stats.profile.color_execs + stats.profile.approx_colors,
+              stats.profile.points);
+    (void)img;
+}
+
+TEST(Renderer, GroupSizeSweepMonotone)
+{
+    Fixture fx("Hotdog");
+    uint64_t prev = UINT64_MAX;
+    for (int n : {1, 2, 3, 4}) {
+        RenderConfig cfg = RenderConfig::baseline(24, 24, 64);
+        cfg.color_approx = n > 1;
+        cfg.approx_group = n;
+        RenderStats stats;
+        AsdrRenderer(*fx.field, cfg).render(fx.camera, &stats);
+        EXPECT_LT(stats.profile.color_execs, prev);
+        prev = stats.profile.color_execs;
+    }
+}
+
+TEST(Renderer, EarlyTerminationCutsPointsNotQuality)
+{
+    Fixture fx("Fox"); // dense scene: ET bites early
+    RenderConfig base = RenderConfig::baseline(24, 24, 96);
+    RenderConfig et = base;
+    et.early_termination = true;
+
+    RenderStats sb, se;
+    Image ib = AsdrRenderer(*fx.field, base).render(fx.camera, &sb);
+    Image ie = AsdrRenderer(*fx.field, et).render(fx.camera, &se);
+
+    EXPECT_LT(se.profile.points, sb.profile.points);
+    // ET is exact up to the termination epsilon (§6.6: "rendering
+    // quality remains unaffected").
+    EXPECT_GT(psnr(ie, ib), 45.0);
+}
+
+TEST(Renderer, EquivalentConfigsProduceIdenticalImages)
+{
+    // approx_group=1 with color_approx on must equal plain rendering.
+    Fixture fx("Ship");
+    RenderConfig a = RenderConfig::baseline(20, 20, 48);
+    RenderConfig b = a;
+    b.color_approx = true;
+    b.approx_group = 1;
+    Image ia = AsdrRenderer(*fx.field, a).render(fx.camera);
+    Image ib = AsdrRenderer(*fx.field, b).render(fx.camera);
+    EXPECT_DOUBLE_EQ(psnr(ia, ib), 99.0);
+}
+
+TEST(Renderer, ProbePixelsKeepFullQualityColor)
+{
+    Fixture fx("Lego");
+    RenderConfig base = RenderConfig::baseline(24, 24, 64);
+    RenderConfig as = base;
+    as.adaptive_sampling = true;
+    as.probe_stride = 6;
+    as.delta = 0.0f;
+    Image ib = AsdrRenderer(*fx.field, base).render(fx.camera);
+    Image ia = AsdrRenderer(*fx.field, as).render(fx.camera);
+    // Probe pixels (multiples of the stride) were rendered with the
+    // full budget, so they match the baseline bitwise.
+    for (int y = 0; y < 24; y += 6)
+        for (int x = 0; x < 24; x += 6)
+            EXPECT_EQ(ia.at(x, y), ib.at(x, y)) << x << "," << y;
+}
+
+TEST(Renderer, SampleCountMapShape)
+{
+    Fixture fx("Mic");
+    RenderConfig cfg = RenderConfig::asdr(24, 24, 64);
+    RenderStats stats;
+    AsdrRenderer(*fx.field, cfg).render(fx.camera, &stats);
+    ASSERT_EQ(stats.sample_count_map.size(), 24u * 24u);
+    for (float c : stats.sample_count_map) {
+        EXPECT_GE(c, float(cfg.min_samples));
+        EXPECT_LE(c, 64.0f);
+    }
+    EXPECT_GT(stats.avg_points_per_pixel, 0.0);
+}
+
+TEST(Renderer, RenderRaySinglePipeline)
+{
+    Fixture fx("Lego");
+    RenderConfig cfg = RenderConfig::baseline(24, 24, 32);
+    AsdrRenderer renderer(*fx.field, cfg);
+    AsdrRenderer::RayWorkspace ws;
+    WorkloadProfile profile;
+
+    nerf::Ray hit = fx.camera.ray(12.0f, 12.0f);
+    auto rr = renderer.renderRay(hit, 32, false, ws, profile, nullptr);
+    EXPECT_TRUE(rr.hit_volume);
+    EXPECT_EQ(rr.points_used, 32);
+    EXPECT_EQ(profile.points, 32u);
+
+    nerf::Ray miss{{5.0f, 5.0f, -1.0f}, {0, 0, 1}};
+    auto rm = renderer.renderRay(miss, 32, false, ws, profile, nullptr);
+    EXPECT_FALSE(rm.hit_volume);
+    EXPECT_EQ(rm.points_used, 0);
+    EXPECT_EQ(rm.color, Vec3(0.0f));
+}
+
+// --------------------------------------------------------- GroundTruth
+
+TEST(GroundTruth, ConvergesWithSampleCount)
+{
+    auto scene = scene::createScene("Lego");
+    nerf::Camera cam = nerf::cameraForScene(scene->info(), 20, 20);
+    Image coarse = renderGroundTruth(*scene, cam, 128);
+    Image fine = renderGroundTruth(*scene, cam, 512);
+    EXPECT_GT(psnr(coarse, fine), 32.0); // discretization error is small
+}
+
+TEST(GroundTruth, ProceduralFieldRenderMatchesGt)
+{
+    // The procedural field *is* the scene, so a dense field render must
+    // match the analytic ground truth closely.
+    Fixture fx("Chair", 20, 20);
+    Image gt = renderGroundTruth(*fx.scene, fx.camera, 256);
+    RenderConfig cfg = RenderConfig::baseline(20, 20, 256);
+    Image render = AsdrRenderer(*fx.field, cfg).render(fx.camera);
+    EXPECT_GT(psnr(render, gt), 45.0);
+}
+
+// ------------------------------------------------------------ analysis
+
+TEST(Analysis, AddressTraceIrregularity)
+{
+    Fixture fx("Lego");
+    auto trace = sampleAddressTrace(*fx.field, fx.camera, 32, 200);
+    EXPECT_FALSE(trace.records.empty());
+    EXPECT_GT(trace.address_space, 0u);
+    // Hash-driven addressing makes the mean jump span thousands of
+    // entries -- no cache line or row buffer covers that (Fig. 4).
+    EXPECT_GT(trace.mean_jump, 1000.0);
+    EXPECT_GT(trace.mean_jump, double(trace.address_space) * 0.01);
+}
+
+TEST(Analysis, ColorSimilarityIsHigh)
+{
+    // Fig. 8: >= 95% of adjacent-point color pairs have cosine
+    // similarity ~1 on our scenes too.
+    Fixture fx("Lego");
+    Histogram hist(0.0, 1.0, 200);
+    double close = colorSimilarityDistribution(*fx.field, fx.camera, 48,
+                                               hist, 128);
+    EXPECT_GT(close, 0.90);
+    EXPECT_GT(hist.total(), 100u);
+}
+
+TEST(Analysis, RepetitionProfileShape)
+{
+    // Inter-ray locality depends on pixel pitch, so profile at a more
+    // paper-like frame size (the bench uses the full perf preset).
+    Fixture fx("Lego", 64, 64);
+    auto profile = profileRepetition(*fx.field, fx.camera, 128, 48);
+    const int levels = int(profile.inter_ray.size());
+    ASSERT_EQ(levels, 16);
+
+    // Fig. 15a: inter-ray repetition is very high at low resolution and
+    // decreases toward the finest level.
+    EXPECT_GT(profile.inter_ray[0], 0.75);
+    EXPECT_GT(profile.inter_ray[0],
+              profile.inter_ray[size_t(levels - 1)] + 0.1);
+
+    // Fig. 15b: at the lowest resolution many points share one voxel;
+    // at the highest, only a few.
+    EXPECT_GT(profile.intra_ray_max_points[0], 6.0);
+    EXPECT_GT(profile.intra_ray_max_points[0],
+              profile.intra_ray_max_points[size_t(levels - 1)] * 2.0);
+}

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the analytic scene substrate: primitive SDFs, scene
+ * composition, and the Table-1 scene registry (names, resolutions,
+ * sparsity profiles).
+ */
+
+#include <gtest/gtest.h>
+
+#include "scene/analytic_scene.hpp"
+#include "scene/scene_library.hpp"
+#include "util/rng.hpp"
+
+using namespace asdr;
+using namespace asdr::scene;
+
+TEST(Primitive, SphereSdfSigns)
+{
+    Primitive p;
+    p.shape = Primitive::Shape::Sphere;
+    p.center = {0.5f, 0.5f, 0.5f};
+    p.params = {0.2f, 0, 0};
+    EXPECT_LT(p.sdf({0.5f, 0.5f, 0.5f}), 0.0f);               // inside
+    EXPECT_NEAR(p.sdf({0.7f, 0.5f, 0.5f}), 0.0f, 1e-6f);      // surface
+    EXPECT_GT(p.sdf({0.9f, 0.5f, 0.5f}), 0.0f);               // outside
+    EXPECT_NEAR(p.sdf({0.9f, 0.5f, 0.5f}), 0.2f, 1e-6f);      // distance
+}
+
+TEST(Primitive, BoxSdfSigns)
+{
+    Primitive p;
+    p.shape = Primitive::Shape::Box;
+    p.params = {0.1f, 0.2f, 0.3f};
+    EXPECT_LT(p.sdf({0.5f, 0.5f, 0.5f}), 0.0f);
+    EXPECT_GT(p.sdf({0.7f, 0.5f, 0.5f}), 0.0f);
+    EXPECT_NEAR(p.sdf({0.65f, 0.5f, 0.5f}), 0.05f, 1e-5f);
+}
+
+TEST(Primitive, TorusSdfRing)
+{
+    Primitive p;
+    p.shape = Primitive::Shape::Torus;
+    p.params = {0.2f, 0.05f, 0};
+    // On the ring circle -> deep inside the tube.
+    EXPECT_NEAR(p.sdf({0.7f, 0.5f, 0.5f}), -0.05f, 1e-5f);
+    // Center of the hole -> outside.
+    EXPECT_GT(p.sdf({0.5f, 0.5f, 0.5f}), 0.0f);
+}
+
+TEST(Primitive, CylinderSdf)
+{
+    Primitive p;
+    p.shape = Primitive::Shape::CylinderY;
+    p.params = {0.1f, 0.2f, 0};
+    EXPECT_LT(p.sdf({0.5f, 0.5f, 0.5f}), 0.0f);
+    EXPECT_GT(p.sdf({0.5f, 0.75f, 0.5f}), 0.0f); // above the cap
+    EXPECT_GT(p.sdf({0.65f, 0.5f, 0.5f}), 0.0f); // outside radius
+}
+
+TEST(Primitive, EllipsoidSdf)
+{
+    Primitive p;
+    p.shape = Primitive::Shape::Ellipsoid;
+    p.params = {0.2f, 0.1f, 0.1f};
+    EXPECT_LT(p.sdf({0.5f, 0.5f, 0.5f}), 0.0f);
+    EXPECT_GT(p.sdf({0.75f, 0.5f, 0.5f}), 0.0f);
+    EXPECT_GT(p.sdf({0.5f, 0.65f, 0.5f}), 0.0f);
+}
+
+TEST(Primitive, PatternsProduceDifferentColors)
+{
+    Primitive p;
+    p.pattern = Primitive::Pattern::Checker;
+    p.pattern_scale = 8.0f;
+    p.color_a = {1, 1, 1};
+    p.color_b = {0, 0, 0};
+    Vec3 a = p.baseColor({0.01f, 0.01f, 0.01f});
+    Vec3 b = p.baseColor({0.01f + 1.0f / 8.0f, 0.01f, 0.01f});
+    EXPECT_NE(a.x, b.x);
+
+    p.pattern = Primitive::Pattern::GradientY;
+    EXPECT_EQ(p.baseColor({0.5f, 0.0f, 0.5f}), p.color_a);
+    EXPECT_EQ(p.baseColor({0.5f, 1.0f, 0.5f}), p.color_b);
+}
+
+TEST(AnalyticScene, DensityNonNegativeAndBounded)
+{
+    auto scene = createScene("Lego");
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        float d = scene->density(rng.nextVec3());
+        EXPECT_GE(d, 0.0f);
+        EXPECT_LE(d, 200.0f);
+    }
+}
+
+TEST(AnalyticScene, ColorsInUnitRange)
+{
+    auto scene = createScene("Fountain");
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        SceneSample s = scene->sample(rng.nextVec3(), rng.nextDirection());
+        for (int c = 0; c < 3; ++c) {
+            EXPECT_GE(s.color[c], 0.0f);
+            EXPECT_LE(s.color[c], 1.0f);
+        }
+    }
+}
+
+TEST(AnalyticScene, Deterministic)
+{
+    auto a = createScene("Ficus");
+    auto b = createScene("Ficus");
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        Vec3 pos = rng.nextVec3();
+        Vec3 dir = rng.nextDirection();
+        SceneSample sa = a->sample(pos, dir);
+        SceneSample sb = b->sample(pos, dir);
+        EXPECT_FLOAT_EQ(sa.sigma, sb.sigma);
+        EXPECT_EQ(sa.color, sb.color);
+    }
+}
+
+TEST(AnalyticScene, ViewDependenceIsMild)
+{
+    // Color-wise locality (Fig. 8) requires view dependence to be a
+    // modulation, not a discontinuity.
+    auto scene = createScene("Lego");
+    Vec3 pos{0.5f, 0.22f, 0.5f}; // inside the base plate
+    SceneSample s1 = scene->sample(pos, normalize(Vec3(1, 0, 0)));
+    SceneSample s2 = scene->sample(pos, normalize(Vec3(0, 0, 1)));
+    EXPECT_FLOAT_EQ(s1.sigma, s2.sigma); // density is view-independent
+    EXPECT_LT(maxAbsDiff(s1.color, s2.color), 0.35f);
+}
+
+TEST(SceneLibrary, TableOneComplete)
+{
+    auto infos = sceneList();
+    ASSERT_EQ(infos.size(), 10u);
+    // Spot-check the Table 1 rows.
+    SceneInfo lego = sceneInfo("Lego");
+    EXPECT_EQ(lego.dataset, "Synthetic-NeRF");
+    EXPECT_EQ(lego.full_width, 800);
+    EXPECT_EQ(lego.full_height, 800);
+    EXPECT_TRUE(lego.synthetic);
+
+    SceneInfo family = sceneInfo("Family");
+    EXPECT_EQ(family.dataset, "Tanks&Temples");
+    EXPECT_EQ(family.full_width, 1920);
+    EXPECT_EQ(family.full_height, 1080);
+    EXPECT_FALSE(family.synthetic);
+
+    SceneInfo fox = sceneInfo("Fox");
+    EXPECT_EQ(fox.full_width, 1080);
+    EXPECT_EQ(fox.full_height, 1920);
+
+    SceneInfo fountain = sceneInfo("Fountain");
+    EXPECT_EQ(fountain.full_width, 768);
+    EXPECT_EQ(fountain.full_height, 576);
+}
+
+TEST(SceneLibrary, AllScenesInstantiate)
+{
+    for (const auto &name : allSceneNames()) {
+        auto scene = createScene(name);
+        EXPECT_EQ(scene->info().name, name);
+        EXPECT_FALSE(scene->primitives().empty());
+    }
+}
+
+TEST(SceneLibrary, UnknownSceneIsFatal)
+{
+    EXPECT_DEATH({ createScene("NoSuchScene"); }, "unknown scene");
+}
+
+TEST(SceneLibrary, SubsetListsConsistent)
+{
+    EXPECT_EQ(perfSceneNames().size(), 5u);
+    EXPECT_EQ(allSceneNames().size(), 10u);
+    EXPECT_EQ(syntheticSceneNames().size(), 6u);
+    auto all = allSceneNames();
+    for (const auto &name : perfSceneNames())
+        EXPECT_NE(std::find(all.begin(), all.end(), name), all.end());
+}
+
+TEST(SceneLibrary, SparsityProfilesMatchRoles)
+{
+    // Mic is the sparse scene (largest adaptive-sampling win in
+    // Fig. 23); Fox fills the frame (smallest win).
+    double mic_empty = createScene("Mic")->emptyFraction();
+    double fox_empty = createScene("Fox")->emptyFraction();
+    EXPECT_GT(mic_empty, 0.85);
+    EXPECT_LT(fox_empty, mic_empty);
+
+    // The paper quotes ~40%+ background pixels on synthetic scenes;
+    // volumetrically, all our scenes keep most of the cube empty.
+    for (const auto &name : allSceneNames())
+        EXPECT_GT(createScene(name)->emptyFraction(), 0.5) << name;
+}

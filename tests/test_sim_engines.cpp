@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Tests for the cycle-level engines: encoding engine (conflict
+ * serialization, cache benefit, mapping benefit), MLP engine (CIM
+ * mapping arithmetic, pipeline scaling, skippable color path, hardware
+ * variants), render engine, the Table-2 technology model, and the
+ * accelerator end-to-end orderings the paper's ablation relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/renderer.hpp"
+#include "nerf/procedural_field.hpp"
+#include "scene/scene_library.hpp"
+#include "sim/accelerator.hpp"
+#include "sim/tech_params.hpp"
+
+using namespace asdr;
+using namespace asdr::sim;
+
+namespace {
+
+nerf::TableSchema
+paperSchema()
+{
+    nerf::HashGridConfig cfg;
+    cfg.levels = 16;
+    cfg.log2_table_size = 19;
+    cfg.base_resolution = 16;
+    cfg.max_resolution = 512;
+    return nerf::schemaFromGeometry(nerf::GridGeometry(cfg));
+}
+
+/** Feed `points` synthetic sample points marching along a ray. */
+void
+feedRayPoints(EncodingEngine &engine, const nerf::TableSchema &schema,
+              int points, uint32_t salt = 0)
+{
+    nerf::GridGeometry geom([] {
+        nerf::HashGridConfig cfg;
+        cfg.levels = 16;
+        cfg.log2_table_size = 19;
+        cfg.base_resolution = 16;
+        cfg.max_resolution = 512;
+        return cfg;
+    }());
+    (void)schema;
+    for (int p = 0; p < points; ++p) {
+        float t = (float(p) + 0.5f) / float(points);
+        Vec3 pos{0.2f + 0.6f * t, 0.3f + 0.3f * t,
+                 0.1f + 0.7f * t + float(salt) * 1e-3f};
+        nerf::VertexLookup lookups[16 * 8];
+        size_t n = 0;
+        for (int l = 0; l < geom.levels(); ++l) {
+            Vec3i voxel;
+            Vec3 frac;
+            geom.locate(l, pos, voxel, frac);
+            Vec3i verts[8];
+            nerf::GridGeometry::voxelVertices(voxel, verts);
+            for (int i = 0; i < 8; ++i) {
+                lookups[n].level = uint16_t(l);
+                lookups[n].vertex = verts[i];
+                lookups[n].index = geom.index(l, verts[i]);
+                ++n;
+            }
+        }
+        engine.onPointLookups(lookups, n);
+    }
+}
+
+} // namespace
+
+// ------------------------------------------------------ EncodingEngine
+
+TEST(EncodingEngine, CountsLookups)
+{
+    auto schema = paperSchema();
+    EncodingEngine engine(schema, AccelConfig::server());
+    feedRayPoints(engine, schema, 32);
+    auto report = engine.finish();
+    EXPECT_EQ(report.lookups, 32u * 128u);
+    EXPECT_GT(report.cycles, 0u);
+    EXPECT_GT(report.energy_pj, 0.0);
+}
+
+TEST(EncodingEngine, CacheCutsMemoryReads)
+{
+    auto schema = paperSchema();
+    AccelConfig with_cache = AccelConfig::server();
+    AccelConfig no_cache = AccelConfig::server();
+    no_cache.cache_enabled = false;
+
+    EncodingEngine a(schema, with_cache), b(schema, no_cache);
+    feedRayPoints(a, schema, 64);
+    feedRayPoints(b, schema, 64);
+    auto ra = a.finish(), rb = b.finish();
+
+    EXPECT_GT(ra.cacheHitRate(), 0.2); // intra-ray locality exists
+    EXPECT_LT(ra.mem_reads, rb.mem_reads);
+    EXPECT_EQ(rb.cache_hits, 0u);
+}
+
+TEST(EncodingEngine, HybridMappingBeatsHashOnly)
+{
+    // The central HW claim: hybrid mapping + cache remove read
+    // conflicts, so the strawman needs several times more cycles for
+    // the same lookup stream.
+    auto schema = paperSchema();
+    EncodingEngine opt(schema, AccelConfig::server());
+    EncodingEngine straw(schema, AccelConfig::strawman(false));
+    feedRayPoints(opt, schema, 128);
+    feedRayPoints(straw, schema, 128);
+    auto ro = opt.finish(), rs = straw.finish();
+
+    EXPECT_GT(rs.cycles, ro.cycles * 3);
+    EXPECT_GT(rs.conflict_stall_cycles, ro.conflict_stall_cycles);
+}
+
+TEST(EncodingEngine, CyclesScaleWithPoints)
+{
+    auto schema = paperSchema();
+    EncodingEngine a(schema, AccelConfig::server());
+    EncodingEngine b(schema, AccelConfig::server());
+    feedRayPoints(a, schema, 32);
+    feedRayPoints(b, schema, 128);
+    auto ra = a.finish(), rb = b.finish();
+    EXPECT_GT(rb.cycles, ra.cycles * 2);
+}
+
+TEST(EncodingEngine, EdgeConfigIsSlower)
+{
+    auto schema = paperSchema();
+    EncodingEngine server(schema, AccelConfig::server());
+    EncodingEngine edge(schema, AccelConfig::edge());
+    feedRayPoints(server, schema, 64);
+    feedRayPoints(edge, schema, 64);
+    EXPECT_GT(edge.finish().cycles, server.finish().cycles);
+}
+
+TEST(EncodingEngine, ResetClearsState)
+{
+    auto schema = paperSchema();
+    EncodingEngine engine(schema, AccelConfig::server());
+    feedRayPoints(engine, schema, 16);
+    engine.reset();
+    auto report = engine.finish();
+    EXPECT_EQ(report.lookups, 0u);
+    EXPECT_EQ(report.cycles, 0u);
+}
+
+// ----------------------------------------------------------- MlpEngine
+
+namespace {
+
+nerf::FieldCosts
+referenceCosts()
+{
+    nerf::FieldCosts costs;
+    costs.density_layers = {{32, 64}, {64, 16}};
+    costs.color_layers = {{31, 128}, {128, 128}, {128, 128}, {128, 3}};
+    costs.density_flops = 2 * (32 * 64 + 64 * 16);
+    costs.color_flops = 2 * (31 * 128 + 128 * 128 * 2 + 128 * 3);
+    costs.lookups_per_point = 128;
+    return costs;
+}
+
+} // namespace
+
+TEST(MlpEngine, CimCyclesPerExec)
+{
+    MlpEngine engine(referenceCosts(), AccelConfig::server());
+    // Density: widest layer has ceil(32/64)=1 block row -> 8 bit-serial
+    // cycles. Color: 128-wide layers need 2 block rows -> 16 cycles.
+    EXPECT_EQ(engine.cyclesPerExec(referenceCosts().density_layers), 8u);
+    EXPECT_EQ(engine.cyclesPerExec(referenceCosts().color_layers), 16u);
+}
+
+TEST(MlpEngine, ThroughputScalesWithPipelines)
+{
+    AccelConfig one = AccelConfig::server();
+    one.density_pipelines = 1;
+    one.color_pipelines = 1;
+    AccelConfig four = AccelConfig::server();
+
+    MlpEngine e1(referenceCosts(), one), e4(referenceCosts(), four);
+    for (int i = 0; i < 1000; ++i) {
+        e1.onDensityExec();
+        e4.onDensityExec();
+        e1.onColorExec();
+        e4.onColorExec();
+    }
+    auto r1 = e1.finish(), r4 = e4.finish();
+    EXPECT_NEAR(double(r1.cycles()) / double(r4.cycles()), 4.0, 0.1);
+}
+
+TEST(MlpEngine, SkippedColorExecsCostNothing)
+{
+    MlpEngine full(referenceCosts(), AccelConfig::server());
+    MlpEngine half(referenceCosts(), AccelConfig::server());
+    for (int i = 0; i < 1000; ++i) {
+        full.onDensityExec();
+        half.onDensityExec();
+        full.onColorExec();
+        if (i % 2 == 0)
+            half.onColorExec();
+    }
+    auto rf = full.finish(), rh = half.finish();
+    EXPECT_NEAR(double(rf.color_cycles) / double(rh.color_cycles), 2.0,
+                0.05);
+    EXPECT_NEAR(rf.color_energy_pj / rh.color_energy_pj, 2.0, 0.05);
+    EXPECT_EQ(rf.density_cycles, rh.density_cycles);
+}
+
+TEST(MlpEngine, SystolicVariantDiffers)
+{
+    AccelConfig sa = AccelConfig::withVariant(
+        AccelConfig::server(), MlpBackend::Systolic, MemBackend::Sram);
+    MlpEngine cim(referenceCosts(), AccelConfig::server());
+    MlpEngine systolic(referenceCosts(), sa);
+    // The color network (38k MACs) takes longer per exec on the array
+    // than the CIM pipeline's 16-cycle initiation interval.
+    EXPECT_GT(systolic.cyclesPerExec(referenceCosts().color_layers),
+              cim.cyclesPerExec(referenceCosts().color_layers));
+}
+
+TEST(MlpEngine, SramCimSlowerThanReram)
+{
+    AccelConfig sram = AccelConfig::withVariant(
+        AccelConfig::server(), MlpBackend::SramCim, MemBackend::Sram);
+    MlpEngine reram(referenceCosts(), AccelConfig::server());
+    MlpEngine sram_engine(referenceCosts(), sram);
+    EXPECT_GT(sram_engine.cyclesPerExec(referenceCosts().color_layers),
+              reram.cyclesPerExec(referenceCosts().color_layers));
+}
+
+TEST(MlpEngine, EmptyLayersAreCheap)
+{
+    nerf::FieldCosts costs = referenceCosts();
+    costs.density_layers.clear(); // TensoRF-style rank reduction
+    MlpEngine engine(costs, AccelConfig::server());
+    EXPECT_EQ(engine.cyclesPerExec(costs.density_layers), 1u);
+}
+
+// -------------------------------------------------------- RenderEngine
+
+TEST(RenderEngine, UnitThroughput)
+{
+    AccelConfig cfg = AccelConfig::server(); // 8 RGB units
+    RenderEngine engine(cfg);
+    for (int i = 0; i < 800; ++i)
+        engine.onPointComposited();
+    auto report = engine.finish();
+    EXPECT_EQ(report.cycles, 100u);
+    EXPECT_EQ(report.composited_points, 800u);
+    EXPECT_GT(report.energy_pj, 0.0);
+}
+
+TEST(RenderEngine, ApproxAndProbeTracked)
+{
+    RenderEngine engine(AccelConfig::edge());
+    engine.onApproxColor();
+    engine.onProbeEvaluation(4);
+    auto report = engine.finish();
+    EXPECT_EQ(report.approx_colors, 1u);
+    EXPECT_EQ(report.probe_evaluations, 4u);
+}
+
+// ----------------------------------------------------------- TechModel
+
+TEST(TechModel, Table2Totals)
+{
+    // Paper Table 2: 15.09 mm^2 / 5.77 W (server), 3.77 mm^2 / 1.44 W
+    // (edge). Area rows sum to the quoted total; power totals are
+    // quoted directly (the per-row power figures are per unit).
+    EXPECT_NEAR(totalAreaMm2(false), 15.09, 0.3);
+    EXPECT_NEAR(totalAreaMm2(true), 3.77, 0.15);
+    EXPECT_DOUBLE_EQ(totalPowerW(false), 5.77);
+    EXPECT_DOUBLE_EQ(totalPowerW(true), 1.44);
+    EXPECT_GT(sumComponentPowerW(false), sumComponentPowerW(true));
+}
+
+TEST(TechModel, ComponentRowsComplete)
+{
+    int n = 0;
+    const ComponentBudget *rows = componentBudgets(n);
+    EXPECT_EQ(n, 10);
+    for (int i = 0; i < n; ++i) {
+        EXPECT_GT(rows[i].area_server_mm2, rows[i].area_edge_mm2 * 0.99);
+        EXPECT_GT(rows[i].power_server_mw, 0.0);
+    }
+}
+
+TEST(TechModel, VariantEnergiesOrdered)
+{
+    EnergyParams reram =
+        EnergyParams::forBackend(MemBackend::Reram, MlpBackend::ReramCim);
+    EnergyParams sram =
+        EnergyParams::forBackend(MemBackend::Sram, MlpBackend::SramCim);
+    EXPECT_LT(reram.mem_read_row, sram.mem_read_row);
+    EXPECT_LT(reram.mvm_block_cycle, sram.mvm_block_cycle);
+}
+
+// --------------------------------------------------------- Accelerator
+
+namespace {
+
+struct SimFixture
+{
+    std::unique_ptr<scene::AnalyticScene> scene;
+    std::unique_ptr<nerf::ProceduralField> field;
+    nerf::Camera camera;
+
+    SimFixture()
+        : scene(scene::createScene("Lego")),
+          field(std::make_unique<nerf::ProceduralField>(*scene)),
+          camera(nerf::cameraForScene(scene->info(), 20, 20))
+    {
+    }
+
+    SimReport
+    run(const core::RenderConfig &render_cfg, const AccelConfig &hw_cfg)
+    {
+        AsdrAccelerator accel(field->tableSchema(), field->costs(), hw_cfg,
+                              false);
+        core::AsdrRenderer renderer(*field, render_cfg);
+        renderer.render(camera, nullptr, &accel);
+        return accel.report();
+    }
+};
+
+} // namespace
+
+TEST(Accelerator, FullSystemBeatsStrawman)
+{
+    SimFixture fx;
+    core::RenderConfig base = core::RenderConfig::baseline(20, 20, 64);
+    core::RenderConfig asdr = core::RenderConfig::asdr(20, 20, 64);
+
+    SimReport strawman = fx.run(base, AccelConfig::strawman(false));
+    SimReport full = fx.run(asdr, AccelConfig::server());
+
+    // The paper's ablation (Fig. 20): software + hardware combined give
+    // a large gap over the strawman CIM design.
+    EXPECT_GT(double(strawman.total_cycles) / double(full.total_cycles),
+              4.0);
+}
+
+TEST(Accelerator, AblationOrdering)
+{
+    SimFixture fx;
+    core::RenderConfig base = core::RenderConfig::baseline(20, 20, 64);
+    core::RenderConfig sw = core::RenderConfig::asdr(20, 20, 64);
+
+    SimReport strawman = fx.run(base, AccelConfig::strawman(false));
+    SimReport sw_only = fx.run(sw, AccelConfig::strawman(false));
+    SimReport hw_only = fx.run(base, AccelConfig::server());
+    SimReport full = fx.run(sw, AccelConfig::server());
+
+    // Each optimization alone helps; both together are best (Fig. 20).
+    EXPECT_LT(sw_only.total_cycles, strawman.total_cycles);
+    EXPECT_LT(hw_only.total_cycles, strawman.total_cycles);
+    EXPECT_LT(full.total_cycles, sw_only.total_cycles);
+    EXPECT_LT(full.total_cycles, hw_only.total_cycles);
+}
+
+TEST(Accelerator, EdgeSlowerThanServer)
+{
+    SimFixture fx;
+    core::RenderConfig asdr = core::RenderConfig::asdr(20, 20, 64);
+    SimReport server = fx.run(asdr, AccelConfig::server());
+    SimReport edge = fx.run(asdr, AccelConfig::edge());
+    EXPECT_GT(double(edge.total_cycles), double(server.total_cycles) * 1.5);
+}
+
+TEST(Accelerator, ReportInternallyConsistent)
+{
+    SimFixture fx;
+    SimReport report = fx.run(core::RenderConfig::asdr(20, 20, 64),
+                              AccelConfig::server());
+    EXPECT_EQ(report.total_cycles,
+              std::max({report.enc.cycles, report.mlp.cycles(),
+                        report.render.cycles}));
+    EXPECT_GT(report.seconds, 0.0);
+    EXPECT_GT(report.energy_j, 0.0);
+    EXPECT_NEAR(report.energy_j,
+                report.dynamic_energy_j + report.static_energy_j, 1e-12);
+    EXPECT_GT(report.mlp.density_execs, report.mlp.color_execs);
+}
+
+TEST(Accelerator, HardwareVariantOrdering)
+{
+    // Fig. 26: ReRAM fastest, SRAM CIM next, systolic array last.
+    SimFixture fx;
+    core::RenderConfig asdr = core::RenderConfig::asdr(20, 20, 64);
+    SimReport reram = fx.run(asdr, AccelConfig::server());
+    SimReport sram = fx.run(
+        asdr, AccelConfig::withVariant(AccelConfig::server(),
+                                       MlpBackend::SramCim,
+                                       MemBackend::Sram));
+    SimReport sa = fx.run(
+        asdr, AccelConfig::withVariant(AccelConfig::server(),
+                                       MlpBackend::Systolic,
+                                       MemBackend::Sram));
+    EXPECT_LE(reram.total_cycles, sram.total_cycles);
+    EXPECT_LE(sram.total_cycles, sa.total_cycles);
+}
