@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <iostream>
+#include <sstream>
 
 namespace asdr::bench {
 
@@ -85,6 +86,63 @@ geomean(const std::vector<double> &values)
     for (double v : values)
         acc += std::log(v);
     return std::exp(acc / double(values.size()));
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+JsonLine::JsonLine(const std::string &bench)
+    : body_("\"bench\": \"" + jsonEscape(bench) + "\"")
+{
+}
+
+JsonLine &
+JsonLine::field(const std::string &key, const std::string &value)
+{
+    body_ += ", \"" + jsonEscape(key) + "\": \"" + jsonEscape(value) + "\"";
+    return *this;
+}
+
+JsonLine &
+JsonLine::field(const std::string &key, const char *value)
+{
+    return field(key, std::string(value));
+}
+
+JsonLine &
+JsonLine::field(const std::string &key, double value)
+{
+    std::ostringstream num;
+    num << value;
+    body_ += ", \"" + jsonEscape(key) + "\": " + num.str();
+    return *this;
+}
+
+JsonLine &
+JsonLine::field(const std::string &key, int value)
+{
+    body_ += ", \"" + jsonEscape(key) + "\": " + std::to_string(value);
+    return *this;
+}
+
+void
+JsonLine::emit(std::ostream &os) const
+{
+    os << "{" << body_ << "}\n";
 }
 
 void

@@ -80,6 +80,26 @@ double geomean(const std::vector<double> &values);
 /** Standard banner + reproduction note for a paper artifact. */
 void benchHeader(const std::string &artifact, const std::string &note);
 
+/**
+ * One machine-readable result line: {"bench": <name>, ...} printed on
+ * its own line so the perf-trajectory harness can grep and parse
+ * results across PRs. Values are escaped minimally (quotes/backslash).
+ */
+class JsonLine
+{
+  public:
+    explicit JsonLine(const std::string &bench);
+    JsonLine &field(const std::string &key, const std::string &value);
+    JsonLine &field(const std::string &key, const char *value);
+    JsonLine &field(const std::string &key, double value);
+    JsonLine &field(const std::string &key, int value);
+    /** Print `{...}` followed by a newline. */
+    void emit(std::ostream &os) const;
+
+  private:
+    std::string body_;
+};
+
 } // namespace asdr::bench
 
 #endif // ASDR_BENCH_HARNESS_HPP

@@ -48,7 +48,7 @@ main(int argc, char **argv)
         core::AsdrRenderer(perf_field, cfg)
             .render(camera, &stats, &accel);
         table.addRow({label, fmt(psnr(img, gt), 2) + " dB",
-                      fmt(stats.avg_points_per_pixel, 1),
+                      fmt(stats.avg_actual_points_per_pixel, 1),
                       fmt(accel.report().seconds * 1e3, 3) + " ms",
                       fmt(accel.report().energy_j * 1e3, 2) + " mJ"});
     };

@@ -53,12 +53,12 @@ main(int argc, char **argv)
                      "colorMLP execs", "wall(s)"});
     table.addRow({"full sampling", fmt(psnr(base_img, gt), 2),
                   fmt(ssim(base_img, gt), 3),
-                  fmt(base_stats.avg_points_per_pixel, 1),
+                  fmt(base_stats.avg_actual_points_per_pixel, 1),
                   std::to_string(base_stats.profile.color_execs),
                   fmt(base_stats.wall_seconds, 2)});
     table.addRow({"ASDR (AS+RA+ET)", fmt(psnr(asdr_img, gt), 2),
                   fmt(ssim(asdr_img, gt), 3),
-                  fmt(asdr_stats.avg_points_per_pixel, 1),
+                  fmt(asdr_stats.avg_actual_points_per_pixel, 1),
                   std::to_string(asdr_stats.profile.color_execs),
                   fmt(asdr_stats.wall_seconds, 2)});
     printBanner(std::cout, "Quickstart: " + scene_name + " (" +

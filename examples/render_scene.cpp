@@ -93,7 +93,9 @@ main(int argc, char **argv)
     TextTable table({"metric", "value"});
     table.addRow({"PSNR vs ground truth", fmt(psnr(img, gt), 2) + " dB"});
     table.addRow({"SSIM", fmt(ssim(img, gt), 4)});
-    table.addRow({"avg points/pixel", fmt(stats.avg_points_per_pixel, 1)});
+    table.addRow({"avg points/pixel (marched)",
+                  fmt(stats.avg_actual_points_per_pixel, 1)});
+    table.addRow({"avg budget/pixel", fmt(stats.avg_points_per_pixel, 1)});
     table.addRow({"density execs",
                   std::to_string(stats.profile.density_execs)});
     table.addRow({"color execs",

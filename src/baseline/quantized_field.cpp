@@ -36,6 +36,30 @@ QuantizedField::color(const Vec3 &pos, const Vec3 &dir,
 }
 
 void
+QuantizedField::densityBatch(const Vec3 *pos, int count,
+                             nerf::DensityOutput *out) const
+{
+    inner_.densityBatch(pos, count, out);
+    if (sigma_step_ > 0.0f)
+        for (int p = 0; p < count; ++p)
+            out[p].sigma =
+                std::round(out[p].sigma / sigma_step_) * sigma_step_;
+}
+
+void
+QuantizedField::colorBatch(const Vec3 *pos, const Vec3 &dir,
+                           const nerf::DensityOutput *den, int count,
+                           Vec3 *out) const
+{
+    inner_.colorBatch(pos, dir, den, count, out);
+    auto q = [&](float v) {
+        return std::round(v * color_scale_) / color_scale_;
+    };
+    for (int p = 0; p < count; ++p)
+        out[p] = {q(out[p].x), q(out[p].y), q(out[p].z)};
+}
+
+void
 QuantizedField::traceLookups(const Vec3 &pos, nerf::LookupSink &sink) const
 {
     inner_.traceLookups(pos, sink);

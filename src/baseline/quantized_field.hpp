@@ -28,6 +28,13 @@ class QuantizedField : public nerf::RadianceField
     nerf::DensityOutput density(const Vec3 &pos) const override;
     Vec3 color(const Vec3 &pos, const Vec3 &dir,
                const nerf::DensityOutput &den) const override;
+    /** Delegate to the wrapped field's batch path, then quantize, so a
+     *  quantized NGP model keeps the fast batched pipeline. */
+    void densityBatch(const Vec3 *pos, int count,
+                      nerf::DensityOutput *out) const override;
+    void colorBatch(const Vec3 *pos, const Vec3 &dir,
+                    const nerf::DensityOutput *den, int count,
+                    Vec3 *out) const override;
     void traceLookups(const Vec3 &pos,
                       nerf::LookupSink &sink) const override;
     nerf::TableSchema tableSchema() const override;

@@ -47,6 +47,22 @@ struct RenderConfig
     /** Terminate the march once transmittance falls below this. */
     float et_eps = 1e-3f;
 
+    // --- Host execution (batching + threading) ---
+    /**
+     * Worker threads for the tile-parallel frame loop. 0 = auto: the
+     * ASDR_NUM_THREADS environment variable when set, otherwise the
+     * hardware concurrency. Frames are bit-identical for every value;
+     * an attached trace sink forces the serial path regardless.
+     */
+    int num_threads = 0;
+    /**
+     * Points per batched field evaluation. Rays are marched in chunks
+     * of this size so early termination stays exact (the march stops at
+     * the same point the one-at-a-time path would). Values <= 1 select
+     * the legacy point-at-a-time path (the bench's scalar reference).
+     */
+    int eval_batch = 32;
+
     /**
      * Densities below this are treated as exactly zero -- the software
      * equivalent of Instant-NGP's occupancy grid masking empty space.

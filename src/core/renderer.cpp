@@ -2,16 +2,39 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <thread>
 
 #include "core/color_approximator.hpp"
 #include "nerf/volume_render.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace asdr::core {
 
+namespace {
+
+/** 0 = auto: ASDR_NUM_THREADS when set, else hardware concurrency. */
+int
+resolveThreadCount(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("ASDR_NUM_THREADS")) {
+        int v = std::atoi(env);
+        if (v > 0)
+            return v;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? int(hw) : 1;
+}
+
+} // namespace
+
 AsdrRenderer::AsdrRenderer(const nerf::RadianceField &field,
                            const RenderConfig &cfg)
-    : field_(field), cfg_(cfg), sampler_(cfg)
+    : field_(field), cfg_(cfg), sampler_(cfg),
+      lookups_per_point_(field.costs().lookups_per_point)
 {
     ASDR_ASSERT(cfg.samples_per_ray >= 2, "need at least 2 samples per ray");
     ASDR_ASSERT(cfg.approx_group >= 1, "approximation group must be >= 1");
@@ -32,55 +55,114 @@ AsdrRenderer::renderRay(const nerf::Ray &ray, int budget, bool probe,
 
     const int n = budget;
     const float dt = (t1 - t0) / float(n);
-    const int lookups_per_point = field_.costs().lookups_per_point;
 
     ws.positions.resize(size_t(n));
     ws.sigma.resize(size_t(n));
     ws.density.resize(size_t(n));
     ws.colors.resize(size_t(n));
 
+    // All sample positions up front; the evaluation below consumes them
+    // batch-at-a-time.
+    for (int i = 0; i < n; ++i)
+        ws.positions[size_t(i)] =
+            ray.origin + ray.dir * (t0 + (float(i) + 0.5f) * dt);
+
+    // Trace sinks need the exact per-point event stream, so they force
+    // the scalar path; eval_batch <= 1 selects it explicitly (it is the
+    // bench's point-at-a-time reference).
+    const bool scalar = sink != nullptr || cfg_.eval_batch <= 1;
+    const bool use_et = cfg_.early_termination && !probe;
+
     // ---- density pass (with early termination) ----
-    bool use_et = cfg_.early_termination && !probe;
-    float transmittance = 1.0f;
     int cut = n;
-    for (int i = 0; i < n; ++i) {
-        Vec3 pos = ray.origin + ray.dir * (t0 + (float(i) + 0.5f) * dt);
-        ws.positions[size_t(i)] = pos;
-        if (sink) {
-            field_.traceLookups(pos, *sink);
-            sink->onDensityExec();
-        }
-        profile.points++;
-        profile.density_execs++;
-        profile.lookups += uint64_t(lookups_per_point);
-
-        ws.density[size_t(i)] = field_.density(pos);
-        float sigma = ws.density[size_t(i)].sigma;
-        if (sigma < cfg_.sigma_floor)
-            sigma = 0.0f; // occupancy-grid-style empty-space masking
-        ws.sigma[size_t(i)] = sigma;
-
-        if (use_et) {
-            transmittance *=
-                1.0f - nerf::alphaFromSigma(ws.sigma[size_t(i)], dt);
-            if (transmittance < cfg_.et_eps) {
-                cut = i + 1;
-                break;
+    float transmittance = 1.0f;
+    if (scalar) {
+        for (int i = 0; i < n; ++i) {
+            const Vec3 &pos = ws.positions[size_t(i)];
+            if (sink) {
+                field_.traceLookups(pos, *sink);
+                sink->onDensityExec();
             }
+            ws.density[size_t(i)] = field_.density(pos);
+            float sigma = ws.density[size_t(i)].sigma;
+            if (sigma < cfg_.sigma_floor)
+                sigma = 0.0f; // occupancy-grid-style empty-space masking
+            ws.sigma[size_t(i)] = sigma;
+
+            if (use_et) {
+                transmittance *= 1.0f - nerf::alphaFromSigma(sigma, dt);
+                if (transmittance < cfg_.et_eps) {
+                    cut = i + 1;
+                    break;
+                }
+            }
+        }
+    } else {
+        // Under early termination the first chunks are small (16, then
+        // doubling up to eval_batch) so a ray that saturates after a
+        // few samples does not host-evaluate a full-width chunk tail.
+        int chunk = use_et ? std::min(16, cfg_.eval_batch)
+                           : cfg_.eval_batch;
+        int c0 = 0;
+        while (c0 < n && cut == n) {
+            const int cn = std::min(chunk, n - c0);
+            field_.densityBatch(ws.positions.data() + c0, cn,
+                                ws.density.data() + c0);
+            for (int i = c0; i < c0 + cn; ++i) {
+                float sigma = ws.density[size_t(i)].sigma;
+                if (sigma < cfg_.sigma_floor)
+                    sigma = 0.0f;
+                ws.sigma[size_t(i)] = sigma;
+
+                if (use_et) {
+                    transmittance *=
+                        1.0f - nerf::alphaFromSigma(sigma, dt);
+                    if (transmittance < cfg_.et_eps) {
+                        cut = i + 1;
+                        break;
+                    }
+                }
+            }
+            c0 += cn;
+            chunk = std::min(chunk * 2, cfg_.eval_batch);
         }
     }
     result.points_used = cut;
+    // Both paths charge exactly the points the modeled pipeline executes.
+    // The batch path may host-evaluate a chunk tail past the termination
+    // index; that is host slack, not workload, so it is not counted.
+    profile.points += uint64_t(cut);
+    profile.density_execs += uint64_t(cut);
+    profile.lookups += uint64_t(cut) * uint64_t(lookups_per_point_);
 
     // ---- color pass at anchors ----
     int group = cfg_.color_approx ? cfg_.approx_group : 1;
     ColorApproximator::anchorIndices(cut, group, ws.anchors);
-    for (int a : ws.anchors) {
-        ws.colors[size_t(a)] = field_.color(ws.positions[size_t(a)], ray.dir,
-                                            ws.density[size_t(a)]);
-        profile.color_execs++;
-        if (sink)
-            sink->onColorExec();
+    if (scalar) {
+        for (int a : ws.anchors) {
+            ws.colors[size_t(a)] = field_.color(ws.positions[size_t(a)],
+                                                ray.dir,
+                                                ws.density[size_t(a)]);
+            if (sink)
+                sink->onColorExec();
+        }
+    } else {
+        const int na = int(ws.anchors.size());
+        ws.anchor_pos.resize(size_t(na));
+        ws.anchor_den.resize(size_t(na));
+        ws.anchor_col.resize(size_t(na));
+        for (int k = 0; k < na; ++k) {
+            const size_t a = size_t(ws.anchors[size_t(k)]);
+            ws.anchor_pos[size_t(k)] = ws.positions[a];
+            ws.anchor_den[size_t(k)] = ws.density[a];
+        }
+        field_.colorBatch(ws.anchor_pos.data(), ray.dir,
+                          ws.anchor_den.data(), na, ws.anchor_col.data());
+        for (int k = 0; k < na; ++k)
+            ws.colors[size_t(ws.anchors[size_t(k)])] =
+                ws.anchor_col[size_t(k)];
     }
+    profile.color_execs += uint64_t(ws.anchors.size());
 
     // ---- approximation unit fills the gaps ----
     int filled =
@@ -107,10 +189,14 @@ AsdrRenderer::render(const nerf::Camera &camera, RenderStats *stats,
     const int h = camera.height();
     Image img(w, h);
 
+    // Trace sinks observe a strictly ordered event stream -> serial.
+    const int threads = sink ? 1 : resolveThreadCount(cfg_.num_threads);
+    ThreadPool pool(threads);
+
     WorkloadProfile profile;
-    std::vector<float> count_map(size_t(w) * size_t(h),
-                                 float(cfg_.samples_per_ray));
-    RayWorkspace ws;
+    std::vector<float> budget_map(size_t(w) * size_t(h),
+                                  float(cfg_.samples_per_ray));
+    std::vector<float> actual_map(size_t(w) * size_t(h), 0.0f);
 
     if (sink)
         sink->onFrameBegin(w, h);
@@ -120,12 +206,18 @@ AsdrRenderer::render(const nerf::Camera &camera, RenderStats *stats,
 
     if (cfg_.adaptive_sampling) {
         // ---- Phase I: probe every d-th pixel with the full budget ----
+        // Probe-grid rows are independent jobs; every (gx, gy) cell maps
+        // to a unique pixel (floor((h-1)/d)*d <= h-1), so all writes are
+        // disjoint. Per-row profiles are merged in row order below.
         const int d = cfg_.probe_stride;
         int gw, gh;
         AdaptiveSampler::probeGridDims(w, h, d, gw, gh);
         std::vector<int> probe_counts(size_t(gw) * size_t(gh),
                                       cfg_.samples_per_ray);
-        for (int gy = 0; gy < gh; ++gy) {
+        std::vector<WorkloadProfile> row_profiles(static_cast<size_t>(gh));
+        pool.parallelFor(0, gh, [&](int gy) {
+            static thread_local RayWorkspace ws;
+            WorkloadProfile &rp = row_profiles[size_t(gy)];
             for (int gx = 0; gx < gw; ++gx) {
                 int px = std::min(gx * d, w - 1);
                 int py = std::min(gy * d, h - 1);
@@ -134,9 +226,9 @@ AsdrRenderer::render(const nerf::Camera &camera, RenderStats *stats,
                 nerf::Ray ray =
                     camera.ray(float(px) + 0.5f, float(py) + 0.5f);
                 RayResult rr = renderRay(ray, cfg_.samples_per_ray,
-                                         /*probe=*/true, ws, profile, sink);
-                profile.rays++;
-                profile.probe_rays++;
+                                         /*probe=*/true, ws, rp, sink);
+                rp.rays++;
+                rp.probe_rays++;
                 if (sink)
                     sink->onRayEnd();
 
@@ -156,32 +248,43 @@ AsdrRenderer::render(const nerf::Camera &camera, RenderStats *stats,
                 // hardware holds it in the render buffer already.
                 img.at(px, py) = rr.color;
                 probed[size_t(py) * w + px] = 1;
-                count_map[size_t(py) * w + px] = float(chosen);
+                budget_map[size_t(py) * w + px] = float(chosen);
+                actual_map[size_t(py) * w + px] = float(rr.points_used);
             }
-        }
+        });
+        for (const auto &rp : row_profiles)
+            profile.merge(rp);
         budgets = sampler_.interpolateCounts(probe_counts, gw, gh, w, h);
     }
 
     // ---- Phase II: render every (remaining) pixel with its budget ----
-    for (int y = 0; y < h; ++y) {
-        for (int x = 0; x < w; ++x) {
-            if (cfg_.adaptive_sampling && probed[size_t(y) * w + x])
-                continue;
-            int budget = cfg_.adaptive_sampling
-                             ? budgets[size_t(y) * w + x]
-                             : cfg_.samples_per_ray;
-            if (sink)
-                sink->onRayBegin(x, y, /*probe=*/false);
-            nerf::Ray ray = camera.ray(float(x) + 0.5f, float(y) + 0.5f);
-            RayResult rr =
-                renderRay(ray, budget, /*probe=*/false, ws, profile, sink);
-            profile.rays++;
-            if (sink)
-                sink->onRayEnd();
-            img.at(x, y) = rr.color;
-            count_map[size_t(y) * w + x] =
-                float(cfg_.adaptive_sampling ? budget : rr.points_used);
-        }
+    {
+        std::vector<WorkloadProfile> row_profiles(static_cast<size_t>(h));
+        pool.parallelFor(0, h, [&](int y) {
+            static thread_local RayWorkspace ws;
+            WorkloadProfile &rp = row_profiles[size_t(y)];
+            for (int x = 0; x < w; ++x) {
+                if (cfg_.adaptive_sampling && probed[size_t(y) * w + x])
+                    continue;
+                int budget = cfg_.adaptive_sampling
+                                 ? budgets[size_t(y) * w + x]
+                                 : cfg_.samples_per_ray;
+                if (sink)
+                    sink->onRayBegin(x, y, /*probe=*/false);
+                nerf::Ray ray =
+                    camera.ray(float(x) + 0.5f, float(y) + 0.5f);
+                RayResult rr = renderRay(ray, budget, /*probe=*/false, ws,
+                                         rp, sink);
+                rp.rays++;
+                if (sink)
+                    sink->onRayEnd();
+                img.at(x, y) = rr.color;
+                budget_map[size_t(y) * w + x] = float(budget);
+                actual_map[size_t(y) * w + x] = float(rr.points_used);
+            }
+        });
+        for (const auto &rp : row_profiles)
+            profile.merge(rp);
     }
 
     if (sink)
@@ -189,11 +292,16 @@ AsdrRenderer::render(const nerf::Camera &camera, RenderStats *stats,
 
     if (stats) {
         stats->profile = profile;
-        double sum = 0.0;
-        for (float c : count_map)
-            sum += c;
-        stats->avg_points_per_pixel = sum / double(count_map.size());
-        stats->sample_count_map = std::move(count_map);
+        double budget_sum = 0.0, actual_sum = 0.0;
+        for (float c : budget_map)
+            budget_sum += c;
+        for (float c : actual_map)
+            actual_sum += c;
+        const double pixels = double(budget_map.size());
+        stats->avg_points_per_pixel = budget_sum / pixels;
+        stats->avg_actual_points_per_pixel = actual_sum / pixels;
+        stats->sample_count_map = std::move(budget_map);
+        stats->actual_points_map = std::move(actual_map);
         stats->wall_seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           start)

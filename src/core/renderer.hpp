@@ -13,6 +13,14 @@
  *          interpolation of missing colors, (4) Eq. (1) compositing --
  *          exactly the hardware's engine ordering, so software counts
  *          and simulated cycles describe the same work.
+ *
+ * Host execution is batch-at-a-time and tile-parallel: sample positions
+ * are generated up front and evaluated through the field's batch API in
+ * eval_batch-sized chunks (early termination stays exact), and both
+ * phases are split into row jobs over a thread pool with per-job
+ * workspaces, merged in row order. Frames are bit-identical for every
+ * thread count and batch size; an attached trace sink forces the serial
+ * scalar path so the event stream keeps the seed ordering.
  */
 
 #ifndef ASDR_CORE_RENDERER_HPP
@@ -33,10 +41,20 @@ namespace asdr::core {
 struct RenderStats
 {
     WorkloadProfile profile;
-    /** Per-pixel sample budgets (the Fig. 7 heatmap source). */
+    /**
+     * Per-pixel *assigned* sample budgets (the Fig. 7 heatmap source):
+     * the adaptive budget when adaptive sampling is on, samples_per_ray
+     * otherwise. Consistent across modes, unlike the actual-points map
+     * below which reflects early termination and cube misses.
+     */
     std::vector<float> sample_count_map;
+    /** Per-pixel points actually marched (post early termination; 0 for
+     *  rays that miss the volume). */
+    std::vector<float> actual_points_map;
     /** Mean of sample_count_map (the paper's "average points/pixel"). */
     double avg_points_per_pixel = 0.0;
+    /** Mean of actual_points_map. */
+    double avg_actual_points_per_pixel = 0.0;
     /** Host wall-clock of the render (used by the Fig. 24 experiment). */
     double wall_seconds = 0.0;
 };
@@ -63,6 +81,10 @@ class AsdrRenderer
         std::vector<nerf::DensityOutput> density;
         std::vector<Vec3> colors;
         std::vector<int> anchors;
+        // Gathered anchor rows for the batched color pass.
+        std::vector<Vec3> anchor_pos;
+        std::vector<nerf::DensityOutput> anchor_den;
+        std::vector<Vec3> anchor_col;
     };
 
     /** Result of marching a single ray. */
@@ -87,6 +109,7 @@ class AsdrRenderer
     const nerf::RadianceField &field_;
     RenderConfig cfg_;
     AdaptiveSampler sampler_;
+    int lookups_per_point_; ///< hoisted from costs() (hot path)
 };
 
 } // namespace asdr::core

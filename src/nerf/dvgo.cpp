@@ -181,6 +181,35 @@ DvgoField::color(const Vec3 &pos, const Vec3 &dir,
 }
 
 void
+DvgoField::colorBatch(const Vec3 *pos, const Vec3 &dir,
+                      const DensityOutput *den, int count, Vec3 *out) const
+{
+    (void)den;
+    const int ci = featureDim() + kShCoeffs;
+    thread_local std::vector<float> cin, logits;
+    cin.resize(size_t(ci) * size_t(count));
+    logits.resize(3 * size_t(count));
+
+    float sh[kShCoeffs];
+    shEncode(dir, sh);
+    for (int p = 0; p < count; ++p) {
+        float *row = cin.data() + size_t(p) * size_t(ci);
+        int offset = 0;
+        for (const auto &grid : feature_grids_) {
+            grid.read(pos[p], row + offset);
+            offset += grid.features;
+        }
+        std::copy(sh, sh + kShCoeffs, row + offset);
+    }
+
+    color_mlp_.forwardBatch(cin.data(), count, ci, logits.data(), 3);
+    for (int p = 0; p < count; ++p) {
+        const float *l = logits.data() + size_t(p) * 3;
+        out[p] = {sigmoid(l[0]), sigmoid(l[1]), sigmoid(l[2])};
+    }
+}
+
+void
 DvgoField::traceLookups(const Vec3 &pos, LookupSink &sink) const
 {
     // Tables: 0..L-1 feature grids, L = density grid; 8 vertex reads

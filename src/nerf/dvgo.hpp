@@ -38,6 +38,10 @@ class DvgoField : public RadianceField
     DensityOutput density(const Vec3 &pos) const override;
     Vec3 color(const Vec3 &pos, const Vec3 &dir,
                const DensityOutput &den) const override;
+    /** Batched color: grid reads per point, one blocked MLP forward. */
+    void colorBatch(const Vec3 *pos, const Vec3 &dir,
+                    const DensityOutput *den, int count,
+                    Vec3 *out) const override;
     void traceLookups(const Vec3 &pos, LookupSink &sink) const override;
     TableSchema tableSchema() const override;
     FieldCosts costs() const override;

@@ -4,6 +4,23 @@
 
 namespace asdr::nerf {
 
+void
+RadianceField::densityBatch(const Vec3 *pos, int count,
+                            DensityOutput *out) const
+{
+    for (int p = 0; p < count; ++p)
+        out[p] = density(pos[p]);
+}
+
+void
+RadianceField::colorBatch(const Vec3 *pos, const Vec3 &dir,
+                          const DensityOutput *den, int count,
+                          Vec3 *out) const
+{
+    for (int p = 0; p < count; ++p)
+        out[p] = color(pos[p], dir, den[p]);
+}
+
 TableSchema
 schemaFromGeometry(const GridGeometry &geom)
 {

@@ -112,6 +112,25 @@ class RadianceField
     virtual Vec3 color(const Vec3 &pos, const Vec3 &dir,
                        const DensityOutput &den) const = 0;
 
+    /**
+     * Batched density: `out[p] = density(pos[p])` for p in [0, count).
+     * The base implementation loops; fields with batchable internals
+     * (hash-grid encode + MLP) override it to amortize weight and table
+     * streaming across the batch. Overrides must stay bit-identical to
+     * the per-point path -- the renderer mixes both freely.
+     */
+    virtual void densityBatch(const Vec3 *pos, int count,
+                              DensityOutput *out) const;
+
+    /**
+     * Batched color for `count` points sharing one view direction (the
+     * samples of a single ray). Same equivalence contract as
+     * densityBatch().
+     */
+    virtual void colorBatch(const Vec3 *pos, const Vec3 &dir,
+                            const DensityOutput *den, int count,
+                            Vec3 *out) const;
+
     /** Emit the embedding-table lookups querying `pos` implies. */
     virtual void traceLookups(const Vec3 &pos, LookupSink &sink) const = 0;
 

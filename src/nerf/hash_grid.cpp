@@ -140,6 +140,35 @@ HashGrid::encode(const Vec3 &pos, float *out) const
 }
 
 void
+HashGrid::encodeBatch(const Vec3 *pos, int count, float *out,
+                      int out_stride) const
+{
+    const int F = geom_.config().features_per_level;
+    for (int l = 0; l < geom_.levels(); ++l) {
+        const float *base = params_.data() + geom_.level(l).param_offset;
+        for (int p = 0; p < count; ++p) {
+            Vec3i voxel;
+            Vec3 frac;
+            geom_.locate(l, pos[p], voxel, frac);
+            Vec3i verts[8];
+            GridGeometry::voxelVertices(voxel, verts);
+            float w[8];
+            GridGeometry::trilinearWeights(frac, w);
+            float *dst = out + size_t(p) * size_t(out_stride) +
+                         size_t(l) * size_t(F);
+            for (int f = 0; f < F; ++f)
+                dst[f] = 0.0f;
+            for (int i = 0; i < 8; ++i) {
+                const float *entry =
+                    base + size_t(geom_.index(l, verts[i])) * size_t(F);
+                for (int f = 0; f < F; ++f)
+                    dst[f] += w[i] * entry[f];
+            }
+        }
+    }
+}
+
+void
 HashGrid::encode(const Vec3 &pos, float *out, EncodeCache &cache) const
 {
     const int F = geom_.config().features_per_level;

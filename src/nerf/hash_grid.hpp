@@ -101,6 +101,16 @@ class HashGrid
      */
     void encode(const Vec3 &pos, float *out) const;
 
+    /**
+     * Encode `count` positions into a row-major feature matrix: point p
+     * writes featureDim() floats at `out + p * out_stride`. Levels are
+     * walked in the outer loop so one level's table region stays hot
+     * across the whole batch (ray samples are spatially clustered).
+     * Bit-identical to per-point encode() calls.
+     */
+    void encodeBatch(const Vec3 *pos, int count, float *out,
+                     int out_stride) const;
+
     /** Cache of one encode() call, enough to backpropagate through it. */
     struct EncodeCache
     {

@@ -42,6 +42,18 @@ class Mlp
     /** Inference forward; `out` must hold outputDim() floats. */
     void forward(const float *in, float *out) const;
 
+    /**
+     * Batched inference forward over `count` points. Point p reads its
+     * input at `in + p * in_stride` and writes its output at
+     * `out + p * out_stride` (strides in floats, so SoA matrices and
+     * strided struct members both work). Results are bit-identical to
+     * `count` forward() calls; the win is data movement: points are
+     * processed in cache-sized blocks and each weight row is streamed
+     * once per block instead of once per point.
+     */
+    void forwardBatch(const float *in, int count, int in_stride, float *out,
+                      int out_stride) const;
+
     /** Training forward retaining activations for backward(). */
     void forward(const float *in, float *out, MlpWorkspace &ws) const;
 
@@ -78,6 +90,7 @@ class Mlp
 
     MlpConfig cfg_;
     std::vector<Layer> layers_;
+    size_t widest_ = 0; ///< widest layer output, for scratch sizing
     int adam_t_ = 0;
 };
 

@@ -83,6 +83,57 @@ InstantNgpField::density(const Vec3 &pos) const
     return out;
 }
 
+void
+InstantNgpField::densityBatch(const Vec3 *pos, int count,
+                              DensityOutput *out) const
+{
+    const int fd = grid_.featureDim();
+    thread_local std::vector<float> feat, geo;
+    feat.resize(size_t(fd) * size_t(count));
+    geo.resize(size_t(kGeoFeatures) * size_t(count));
+
+    grid_.encodeBatch(pos, count, feat.data(), fd);
+    density_mlp_.forwardBatch(feat.data(), count, fd, geo.data(),
+                              kGeoFeatures);
+
+    for (int p = 0; p < count; ++p) {
+        const float *g = geo.data() + size_t(p) * size_t(kGeoFeatures);
+        std::copy(g, g + kGeoFeatures, out[p].geo.begin());
+        std::fill(out[p].geo.begin() + kGeoFeatures, out[p].geo.end(),
+                  0.0f);
+        out[p].sigma = sigmaActivation(g[0]);
+    }
+}
+
+void
+InstantNgpField::colorBatch(const Vec3 *pos, const Vec3 &dir,
+                            const DensityOutput *den, int count,
+                            Vec3 *out) const
+{
+    (void)pos;
+    constexpr int kColorIn = (kGeoFeatures - 1) + kShCoeffs;
+    thread_local std::vector<float> cin, logits;
+    cin.resize(size_t(kColorIn) * size_t(count));
+    logits.resize(3 * size_t(count));
+
+    // One shared direction: the SH encoding is computed once and copied
+    // into every row (bit-identical to re-running shEncode per point).
+    float sh[kShCoeffs];
+    shEncode(dir, sh);
+    for (int p = 0; p < count; ++p) {
+        float *row = cin.data() + size_t(p) * size_t(kColorIn);
+        for (int i = 0; i < kGeoFeatures - 1; ++i)
+            row[i] = den[p].geo[size_t(i + 1)];
+        std::copy(sh, sh + kShCoeffs, row + (kGeoFeatures - 1));
+    }
+
+    color_mlp_.forwardBatch(cin.data(), count, kColorIn, logits.data(), 3);
+    for (int p = 0; p < count; ++p) {
+        const float *l = logits.data() + size_t(p) * 3;
+        out[p] = {sigmoid(l[0]), sigmoid(l[1]), sigmoid(l[2])};
+    }
+}
+
 Vec3
 InstantNgpField::color(const Vec3 &pos, const Vec3 &dir,
                        const DensityOutput &den) const

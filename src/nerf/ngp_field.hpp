@@ -47,6 +47,13 @@ class InstantNgpField : public RadianceField
     DensityOutput density(const Vec3 &pos) const override;
     Vec3 color(const Vec3 &pos, const Vec3 &dir,
                const DensityOutput &den) const override;
+    /** Fast path: batch hash-grid encode into a contiguous feature
+     *  matrix, then a cache-blocked batched MLP forward. */
+    void densityBatch(const Vec3 *pos, int count,
+                      DensityOutput *out) const override;
+    void colorBatch(const Vec3 *pos, const Vec3 &dir,
+                    const DensityOutput *den, int count,
+                    Vec3 *out) const override;
     void traceLookups(const Vec3 &pos, LookupSink &sink) const override;
     TableSchema tableSchema() const override;
     FieldCosts costs() const override;

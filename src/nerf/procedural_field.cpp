@@ -75,6 +75,23 @@ ProceduralField::color(const Vec3 &pos, const Vec3 &dir,
 }
 
 void
+ProceduralField::densityBatch(const Vec3 *pos, int count,
+                              DensityOutput *out) const
+{
+    for (int p = 0; p < count; ++p)
+        out[p] = density(pos[p]);
+}
+
+void
+ProceduralField::colorBatch(const Vec3 *pos, const Vec3 &dir,
+                            const DensityOutput *den, int count,
+                            Vec3 *out) const
+{
+    for (int p = 0; p < count; ++p)
+        out[p] = color(pos[p], dir, den[p]);
+}
+
+void
 ProceduralField::traceLookups(const Vec3 &pos, LookupSink &sink) const
 {
     VertexLookup lookups[32 * 8];

@@ -34,6 +34,13 @@ class ProceduralField : public RadianceField
     DensityOutput density(const Vec3 &pos) const override;
     Vec3 color(const Vec3 &pos, const Vec3 &dir,
                const DensityOutput &den) const override;
+    /** Loop in-place over the analytic scene (no virtual dispatch per
+     *  point; the scene query itself is the whole cost here). */
+    void densityBatch(const Vec3 *pos, int count,
+                      DensityOutput *out) const override;
+    void colorBatch(const Vec3 *pos, const Vec3 &dir,
+                    const DensityOutput *den, int count,
+                    Vec3 *out) const override;
     void traceLookups(const Vec3 &pos, LookupSink &sink) const override;
     TableSchema tableSchema() const override;
     FieldCosts costs() const override;

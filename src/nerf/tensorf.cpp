@@ -221,6 +221,41 @@ TensorfField::color(const Vec3 &pos, const Vec3 &dir,
 }
 
 void
+TensorfField::colorBatch(const Vec3 *pos, const Vec3 &dir,
+                         const DensityOutput *den, int count,
+                         Vec3 *out) const
+{
+    (void)den;
+    const int C = cfg_.appearance_components;
+    const int ci = 3 * C + kShCoeffs;
+    thread_local std::vector<float> cin, logits;
+    cin.resize(size_t(ci) * size_t(count));
+    logits.resize(3 * size_t(count));
+
+    float sh[kShCoeffs];
+    shEncode(dir, sh);
+    float pv[32], lv[32];
+    for (int p = 0; p < count; ++p) {
+        float *row = cin.data() + size_t(p) * size_t(ci);
+        for (int o = 0; o < 3; ++o) {
+            float u, v, w;
+            orientationCoords(o, pos[p], u, v, w);
+            readPlane(app_planes_[o], C, u, v, pv);
+            readLine(app_lines_[o], C, w, lv);
+            for (int c = 0; c < C; ++c)
+                row[o * C + c] = pv[c] * lv[c];
+        }
+        std::copy(sh, sh + kShCoeffs, row + 3 * C);
+    }
+
+    color_mlp_.forwardBatch(cin.data(), count, ci, logits.data(), 3);
+    for (int p = 0; p < count; ++p) {
+        const float *l = logits.data() + size_t(p) * 3;
+        out[p] = {sigmoid(l[0]), sigmoid(l[1]), sigmoid(l[2])};
+    }
+}
+
+void
 TensorfField::traceLookups(const Vec3 &pos, LookupSink &sink) const
 {
     // Table ids: 0-2 density planes, 3-5 density lines, 6-8 appearance

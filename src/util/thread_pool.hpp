@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Minimal worker pool for the tile-parallel frame loop. One pool is
+ * created per parallel region; the calling thread participates, so a
+ * 1-thread pool degenerates to an inline loop with zero overhead.
+ *
+ * parallelFor() hands out indices dynamically (atomic claim), which
+ * balances uneven tiles (early-terminated background rows vs. dense
+ * object rows). Determinism is the *caller's* contract: jobs must write
+ * disjoint outputs, and any per-job results that are order-sensitive
+ * must be stored per index and merged in index order after the loop.
+ */
+
+#ifndef ASDR_UTIL_THREAD_POOL_HPP
+#define ASDR_UTIL_THREAD_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace asdr {
+
+class ThreadPool
+{
+  public:
+    /** Spawns `threads - 1` workers (the caller is the final lane). */
+    explicit ThreadPool(int threads)
+    {
+        for (int t = 1; t < threads; ++t)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threadCount() const { return int(workers_.size()) + 1; }
+
+    /**
+     * Run fn(i) for every i in [begin, end); returns when all calls
+     * completed. Indices are claimed dynamically across the pool and
+     * the calling thread.
+     */
+    void
+    parallelFor(int begin, int end, const std::function<void(int)> &fn)
+    {
+        const int total = end - begin;
+        if (total <= 0)
+            return;
+        if (workers_.empty() || total == 1) {
+            for (int i = begin; i < end; ++i)
+                fn(i);
+            return;
+        }
+        uint32_t gen;
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            ++generation_;
+            gen = uint32_t(generation_);
+            fn_ = &fn;
+            end_.store(end, std::memory_order_relaxed);
+            total_ = total;
+            completed_.store(0, std::memory_order_relaxed);
+            // Workers synchronize on this release store: a claim whose
+            // generation tag matches also sees fn_/end_/total_ above.
+            ticket_.store(pack(gen, begin), std::memory_order_release);
+        }
+        cv_.notify_all();
+        runChunks(gen);
+        std::unique_lock<std::mutex> lock(m_);
+        done_cv_.wait(lock, [&] {
+            return completed_.load(std::memory_order_acquire) == total_;
+        });
+        fn_ = nullptr;
+    }
+
+  private:
+    static uint64_t
+    pack(uint32_t gen, int index)
+    {
+        return (uint64_t(gen) << 32) | uint32_t(index);
+    }
+
+    /**
+     * Claim-and-run loop for region `gen`. The ticket counter carries
+     * the generation in its high bits and is advanced by CAS, so a
+     * straggler from an earlier region can neither execute nor consume
+     * an index of the current one: its generation check fails before
+     * it touches the counter, fn_, or completed_.
+     */
+    void
+    runChunks(uint32_t gen)
+    {
+        uint64_t cur = ticket_.load(std::memory_order_acquire);
+        for (;;) {
+            if (uint32_t(cur >> 32) != gen)
+                return;
+            const int i = int(uint32_t(cur));
+            if (i >= end_.load(std::memory_order_relaxed))
+                return;
+            if (!ticket_.compare_exchange_weak(cur, cur + 1,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire))
+                continue; // cur was reloaded; re-check generation
+            (*fn_)(i);
+            if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                total_) {
+                std::lock_guard<std::mutex> lock(m_);
+                done_cv_.notify_all();
+            }
+            cur = ticket_.load(std::memory_order_acquire);
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        uint64_t seen = 0;
+        for (;;) {
+            uint32_t gen;
+            {
+                std::unique_lock<std::mutex> lock(m_);
+                cv_.wait(lock,
+                         [&] { return stop_ || generation_ != seen; });
+                if (stop_)
+                    return;
+                seen = generation_;
+                gen = uint32_t(seen);
+            }
+            runChunks(gen);
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::mutex m_;
+    std::condition_variable cv_;      ///< wakes workers for a new region
+    std::condition_variable done_cv_; ///< wakes the caller on completion
+    const std::function<void(int)> *fn_ = nullptr;
+    /** generation << 32 | next index (see runChunks). */
+    std::atomic<uint64_t> ticket_{0};
+    std::atomic<int> completed_{0};
+    // Atomic because a straggler from an earlier region may read it
+    // concurrently with the next region's setup (the value it sees is
+    // irrelevant: its generation check fails on the following CAS).
+    std::atomic<int> end_{0};
+    int total_ = 0;
+    uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace asdr
+
+#endif // ASDR_UTIL_THREAD_POOL_HPP

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Equivalence guarantees of the batched, multi-threaded pipeline: for
+ * every field type the batch evaluation API must be bit-identical to
+ * per-point calls, and a rendered frame must be bit-identical across
+ * thread counts, batch sizes, and the scalar fallback path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/quantized_field.hpp"
+#include "core/renderer.hpp"
+#include "nerf/dvgo.hpp"
+#include "nerf/hash_grid.hpp"
+#include "nerf/mlp.hpp"
+#include "nerf/ngp_field.hpp"
+#include "nerf/procedural_field.hpp"
+#include "nerf/tensorf.hpp"
+#include "scene/scene_library.hpp"
+#include "util/rng.hpp"
+
+using namespace asdr;
+using namespace asdr::core;
+using namespace asdr::nerf;
+
+namespace {
+
+std::vector<Vec3>
+randomPositions(int count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Vec3> pos;
+    pos.reserve(size_t(count));
+    for (int i = 0; i < count; ++i)
+        pos.push_back({rng.nextRange(0.0f, 1.0f), rng.nextRange(0.0f, 1.0f),
+                       rng.nextRange(0.0f, 1.0f)});
+    return pos;
+}
+
+/** Batch results must equal per-point results bit for bit. */
+void
+expectBatchEqualsScalar(const RadianceField &field, int count,
+                        uint64_t seed)
+{
+    SCOPED_TRACE(field.describe() + " count=" + std::to_string(count));
+    std::vector<Vec3> pos = randomPositions(count, seed);
+    const Vec3 dir = normalize(Vec3{0.3f, -0.5f, 0.8f});
+
+    std::vector<DensityOutput> batch_den(static_cast<size_t>(count));
+    field.densityBatch(pos.data(), count, batch_den.data());
+    for (int i = 0; i < count; ++i) {
+        DensityOutput ref = field.density(pos[size_t(i)]);
+        ASSERT_EQ(batch_den[size_t(i)].sigma, ref.sigma) << "point " << i;
+        for (int f = 0; f < kMaxGeoFeatures; ++f)
+            ASSERT_EQ(batch_den[size_t(i)].geo[size_t(f)],
+                      ref.geo[size_t(f)])
+                << "point " << i << " geo " << f;
+    }
+
+    std::vector<Vec3> batch_col(static_cast<size_t>(count));
+    field.colorBatch(pos.data(), dir, batch_den.data(), count,
+                     batch_col.data());
+    for (int i = 0; i < count; ++i) {
+        Vec3 ref = field.color(pos[size_t(i)], dir, batch_den[size_t(i)]);
+        ASSERT_EQ(batch_col[size_t(i)], ref) << "point " << i;
+    }
+}
+
+} // namespace
+
+TEST(BatchEquivalence, Mlp)
+{
+    Mlp mlp({32, {64, 64}, 16}, 7);
+    const int count = 77; // crosses the internal block size
+    Rng rng(8);
+    std::vector<float> in(size_t(count) * 32);
+    for (auto &x : in)
+        x = rng.nextGaussian();
+
+    std::vector<float> batch(size_t(count) * 16);
+    mlp.forwardBatch(in.data(), count, 32, batch.data(), 16);
+    for (int p = 0; p < count; ++p) {
+        float ref[16];
+        mlp.forward(in.data() + size_t(p) * 32, ref);
+        for (int o = 0; o < 16; ++o)
+            ASSERT_EQ(batch[size_t(p) * 16 + size_t(o)], ref[o])
+                << "point " << p << " out " << o;
+    }
+}
+
+TEST(BatchEquivalence, MlpStridedOutput)
+{
+    // Outputs laid out with a gap between rows (struct-member style).
+    Mlp mlp({8, {16}, 4}, 9);
+    const int count = 5, stride = 11;
+    Rng rng(10);
+    std::vector<float> in(size_t(count) * 8);
+    for (auto &x : in)
+        x = rng.nextGaussian();
+    std::vector<float> out(size_t(count) * size_t(stride), -1.0f);
+    mlp.forwardBatch(in.data(), count, 8, out.data(), stride);
+    for (int p = 0; p < count; ++p) {
+        float ref[4];
+        mlp.forward(in.data() + size_t(p) * 8, ref);
+        for (int o = 0; o < 4; ++o)
+            ASSERT_EQ(out[size_t(p) * size_t(stride) + size_t(o)], ref[o]);
+        // The gap must be untouched.
+        for (int o = 4; o < stride; ++o)
+            ASSERT_EQ(out[size_t(p) * size_t(stride) + size_t(o)], -1.0f);
+    }
+}
+
+TEST(BatchEquivalence, HashGridEncode)
+{
+    HashGridConfig cfg;
+    cfg.levels = 8;
+    cfg.log2_table_size = 12;
+    HashGrid grid(cfg, 0x5EED);
+    const int fd = grid.featureDim();
+    std::vector<Vec3> pos = randomPositions(50, 11);
+
+    std::vector<float> batch(size_t(50) * size_t(fd));
+    grid.encodeBatch(pos.data(), 50, batch.data(), fd);
+    std::vector<float> ref(static_cast<size_t>(fd));
+    for (int p = 0; p < 50; ++p) {
+        grid.encode(pos[size_t(p)], ref.data());
+        for (int f = 0; f < fd; ++f)
+            ASSERT_EQ(batch[size_t(p) * size_t(fd) + size_t(f)],
+                      ref[size_t(f)])
+                << "point " << p << " feature " << f;
+    }
+}
+
+TEST(BatchEquivalence, AllFieldTypes)
+{
+    auto scene = scene::createScene("Lego");
+    ProceduralField procedural(*scene, NgpModelConfig::fast());
+    InstantNgpField ngp(NgpModelConfig::fast(), 21);
+    DvgoField dvgo(DvgoConfig{}, 22);
+    TensorfField tensorf(TensorfConfig{}, 23);
+    baseline::QuantizedField quantized(ngp, 8, 0.05f);
+
+    for (int count : {1, 5, 32, 100}) {
+        expectBatchEqualsScalar(procedural, count, 100 + uint64_t(count));
+        expectBatchEqualsScalar(ngp, count, 200 + uint64_t(count));
+        expectBatchEqualsScalar(dvgo, count, 300 + uint64_t(count));
+        expectBatchEqualsScalar(tensorf, count, 400 + uint64_t(count));
+        expectBatchEqualsScalar(quantized, count, 500 + uint64_t(count));
+    }
+}
+
+namespace {
+
+struct RenderFixture
+{
+    std::unique_ptr<scene::AnalyticScene> scene;
+    std::unique_ptr<ProceduralField> field;
+    Camera camera;
+
+    explicit RenderFixture(const std::string &name, int w = 20, int h = 20)
+        : scene(scene::createScene(name)),
+          field(std::make_unique<ProceduralField>(*scene,
+                                                  NgpModelConfig::fast())),
+          camera(cameraForScene(scene->info(), w, h))
+    {
+    }
+};
+
+void
+expectFramesIdentical(const Image &a, const Image &b, const char *what)
+{
+    ASSERT_EQ(a.pixels(), b.pixels());
+    for (size_t i = 0; i < a.pixels(); ++i)
+        ASSERT_EQ(a.data()[i], b.data()[i]) << what << " pixel " << i;
+}
+
+} // namespace
+
+TEST(ParallelRender, ThreadCountDoesNotChangeTheFrame)
+{
+    RenderFixture fx("Lego");
+    RenderConfig cfg = RenderConfig::asdr(20, 20, 48);
+    cfg.probe_stride = 4;
+
+    cfg.num_threads = 1;
+    RenderStats s1;
+    Image one = AsdrRenderer(*fx.field, cfg).render(fx.camera, &s1);
+
+    for (int threads : {2, 4, 7}) {
+        cfg.num_threads = threads;
+        RenderStats sn;
+        Image many = AsdrRenderer(*fx.field, cfg).render(fx.camera, &sn);
+        expectFramesIdentical(one, many, "threads");
+        EXPECT_EQ(s1.profile.rays, sn.profile.rays);
+        EXPECT_EQ(s1.profile.points, sn.profile.points);
+        EXPECT_EQ(s1.profile.color_execs, sn.profile.color_execs);
+        EXPECT_EQ(s1.profile.lookups, sn.profile.lookups);
+        EXPECT_EQ(s1.sample_count_map, sn.sample_count_map);
+        EXPECT_EQ(s1.actual_points_map, sn.actual_points_map);
+    }
+}
+
+TEST(ParallelRender, BatchSizeDoesNotChangeTheFrame)
+{
+    RenderFixture fx("Chair");
+    RenderConfig cfg = RenderConfig::asdr(20, 20, 48);
+    cfg.num_threads = 1;
+
+    cfg.eval_batch = 1; // legacy point-at-a-time path
+    RenderStats ss;
+    Image scalar = AsdrRenderer(*fx.field, cfg).render(fx.camera, &ss);
+
+    for (int batch : {2, 7, 32, 1024}) {
+        cfg.eval_batch = batch;
+        RenderStats sb;
+        Image batched = AsdrRenderer(*fx.field, cfg).render(fx.camera, &sb);
+        expectFramesIdentical(scalar, batched, "eval_batch");
+        EXPECT_EQ(ss.profile.points, sb.profile.points);
+        EXPECT_EQ(ss.profile.density_execs, sb.profile.density_execs);
+        EXPECT_EQ(ss.profile.color_execs, sb.profile.color_execs);
+        EXPECT_EQ(ss.profile.approx_colors, sb.profile.approx_colors);
+        EXPECT_EQ(ss.actual_points_map, sb.actual_points_map);
+    }
+}
+
+TEST(ParallelRender, NgpFieldBatchedFrameMatchesScalar)
+{
+    // The real network exercises the fast InstantNgpField overrides.
+    InstantNgpField ngp(NgpModelConfig::fast(), 33);
+    auto scene = scene::createScene("Lego");
+    Camera camera = cameraForScene(scene->info(), 12, 12);
+
+    RenderConfig cfg = RenderConfig::baseline(12, 12, 24);
+    cfg.early_termination = true;
+    cfg.color_approx = true;
+    cfg.approx_group = 2;
+    cfg.num_threads = 1;
+
+    cfg.eval_batch = 1;
+    Image scalar = AsdrRenderer(ngp, cfg).render(camera);
+    cfg.eval_batch = 16;
+    Image batched = AsdrRenderer(ngp, cfg).render(camera);
+    cfg.num_threads = 3;
+    Image threaded = AsdrRenderer(ngp, cfg).render(camera);
+
+    expectFramesIdentical(scalar, batched, "ngp eval_batch");
+    expectFramesIdentical(scalar, threaded, "ngp threads");
+}
+
+TEST(ParallelRender, SinkForcesSerialButSameFrame)
+{
+    RenderFixture fx("Mic");
+    RenderConfig cfg = RenderConfig::asdr(20, 20, 48);
+    cfg.num_threads = 4;
+
+    RenderStats plain_stats;
+    Image plain = AsdrRenderer(*fx.field, cfg).render(fx.camera,
+                                                      &plain_stats);
+
+    TraceSink sink; // base sink: no-op hooks, still forces serial
+    RenderStats traced_stats;
+    Image traced =
+        AsdrRenderer(*fx.field, cfg).render(fx.camera, &traced_stats, &sink);
+
+    expectFramesIdentical(plain, traced, "sink");
+    EXPECT_EQ(plain_stats.profile.points, traced_stats.profile.points);
+    EXPECT_EQ(plain_stats.profile.color_execs,
+              traced_stats.profile.color_execs);
+}
+
+TEST(ParallelRender, StatsMapsAreConsistent)
+{
+    RenderFixture fx("Hotdog", 16, 16);
+    // Non-adaptive with ET: budgets are the fixed ns, actual points
+    // reflect termination and misses.
+    RenderConfig cfg = RenderConfig::baseline(16, 16, 32);
+    cfg.early_termination = true;
+    RenderStats stats;
+    AsdrRenderer(*fx.field, cfg).render(fx.camera, &stats);
+
+    ASSERT_EQ(stats.sample_count_map.size(), 16u * 16u);
+    ASSERT_EQ(stats.actual_points_map.size(), 16u * 16u);
+    for (size_t i = 0; i < stats.sample_count_map.size(); ++i) {
+        EXPECT_EQ(stats.sample_count_map[i], 32.0f);
+        EXPECT_LE(stats.actual_points_map[i], stats.sample_count_map[i]);
+        EXPECT_GE(stats.actual_points_map[i], 0.0f);
+    }
+    EXPECT_DOUBLE_EQ(stats.avg_points_per_pixel, 32.0);
+    EXPECT_LE(stats.avg_actual_points_per_pixel,
+              stats.avg_points_per_pixel);
+    // The profile's point count is exactly the actual map's sum.
+    double actual_sum = 0.0;
+    for (float c : stats.actual_points_map)
+        actual_sum += c;
+    EXPECT_EQ(stats.profile.points, uint64_t(actual_sum));
+}
