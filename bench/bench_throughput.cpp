@@ -1,20 +1,30 @@
 /**
  * @file
  * Host rendering throughput: rays/sec and Msamples/sec of the scalar
- * (point-at-a-time) path vs. the batched path vs. batched + tile-
- * parallel, at several resolutions. Frames are bit-identical across the
- * three modes, so every row measures the same workload. Each row is
- * also emitted as a JSON line so the perf trajectory is tracked across
- * PRs. The InstantNGP field runs the real hash-grid + MLP network --
- * this is the path batching accelerates (the paper's CIM arrays
- * amortize exactly this weight/table streaming in hardware).
+ * (point-at-a-time) path vs. the batched path (with and without
+ * Morton/tile-coherent ray ordering) vs. batched + tile-parallel, at
+ * several resolutions, plus a hash-encode microbenchmark (scalar vs
+ * two-pass SIMD vs SIMD over Morton-ordered input). Frames are
+ * bit-identical across all render modes, so every row measures the
+ * same workload. Each row is emitted as a JSON line to stdout *and*
+ * appended to BENCH_throughput.json in the working directory, so the
+ * perf trajectory accumulates across PRs. The InstantNGP field runs
+ * the real hash-grid + MLP network -- this is the path batching
+ * accelerates (the paper's CIM arrays amortize exactly this
+ * weight/table streaming in hardware).
  */
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "core/analysis.hpp"
 #include "nerf/ngp_field.hpp"
 
 using namespace asdr;
@@ -27,6 +37,7 @@ struct Mode
     const char *name;
     int eval_batch;
     int num_threads; // 0 = auto
+    int morton;      // RenderConfig::morton_order
 };
 
 struct Measured
@@ -42,6 +53,7 @@ measure(const nerf::RadianceField &field, const nerf::Camera &camera,
 {
     cfg.eval_batch = mode.eval_batch;
     cfg.num_threads = mode.num_threads;
+    cfg.morton_order = mode.morton;
     core::AsdrRenderer renderer(field, cfg);
     core::RenderStats stats;
     renderer.render(camera, &stats);
@@ -54,20 +66,67 @@ measure(const nerf::RadianceField &field, const nerf::Camera &camera,
     return m;
 }
 
+/** Emit a JSON line to stdout and the BENCH_throughput.json artifact. */
+void
+emitBoth(const JsonLine &line, std::ofstream &artifact)
+{
+    line.emit(std::cout);
+    if (artifact.is_open())
+        line.emit(artifact);
+}
+
+/**
+ * Sample positions of a w x h frame's rays (ns points each), with rays
+ * walked row-major or in the renderer's 8x8-tile Z-curve order.
+ */
+std::vector<Vec3>
+frameSamples(const nerf::Camera &camera, int ns, bool morton)
+{
+    std::vector<Vec3> samples;
+    for (const auto &[x, y] :
+         core::frameRayOrder(camera.width(), camera.height(), morton)) {
+        nerf::Ray ray = camera.ray(float(x) + 0.5f, float(y) + 0.5f);
+        bool hit = false;
+        auto positions = core::rayPositions(ray, ns, hit);
+        samples.insert(samples.end(), positions.begin(), positions.end());
+    }
+    return samples;
+}
+
+double
+secondsOf(const std::function<void()> &fn)
+{
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
 } // namespace
 
 int
 main()
 {
     benchHeader(
-        "Throughput: scalar vs batched vs batched+threaded host pipeline",
+        "Throughput: scalar vs batched (+Morton ordering) vs "
+        "batched+threaded host pipeline, plus the hash-encode kernel",
         "Same frame, bit-identical output in all modes; speedups come "
-        "from weight/table streaming amortization and tile parallelism.");
+        "from weight/table streaming amortization, cache-coherent ray "
+        "ordering, and tile parallelism.");
+
+    // The perf-trajectory artifact accumulates where ASDR_ARTIFACT_DIR
+    // points (the repo root, where it is committed), else the cwd.
+    const char *artifact_dir = std::getenv("ASDR_ARTIFACT_DIR");
+    std::ofstream artifact(std::string(artifact_dir ? artifact_dir : ".") +
+                               "/BENCH_throughput.json",
+                           std::ios::app);
 
     const Mode modes[] = {
-        {"scalar", 1, 1},
-        {"batched", 32, 1},
-        {"batched+threads", 32, 0},
+        {"scalar", 1, 1, 0},
+        {"batched", 32, 1, 0},
+        {"batched+morton", 32, 1, 1},
+        {"batched+morton+threads", 32, 0, 1},
     };
 
     struct Shape
@@ -110,23 +169,131 @@ main()
                           fmt(m.rays_per_s, 0), fmt(m.msamples_per_s, 2),
                           fmtTimes(speedup)});
 
-            JsonLine("throughput")
-                .field("scene", "Lego")
-                .field("field", field.describe())
-                .field("width", shape.w)
-                .field("height", shape.h)
-                .field("samples_per_ray", shape.ns)
-                .field("mode", mode.name)
-                .field("eval_batch", mode.eval_batch)
-                .field("num_threads", mode.num_threads)
-                .field("wall_s", m.wall_s)
-                .field("rays_per_s", m.rays_per_s)
-                .field("msamples_per_s", m.msamples_per_s)
-                .field("speedup_vs_scalar", speedup)
-                .emit(std::cout);
+            emitBoth(JsonLine("throughput")
+                         .field("scene", "Lego")
+                         .field("field", field.describe())
+                         .field("width", shape.w)
+                         .field("height", shape.h)
+                         .field("samples_per_ray", shape.ns)
+                         .field("mode", mode.name)
+                         .field("eval_batch", mode.eval_batch)
+                         .field("num_threads", mode.num_threads)
+                         .field("morton", mode.morton)
+                         .field("wall_s", m.wall_s)
+                         .field("rays_per_s", m.rays_per_s)
+                         .field("msamples_per_s", m.msamples_per_s)
+                         .field("speedup_vs_scalar", speedup),
+                     artifact);
         }
         table.addRule();
     }
     table.print(std::cout);
+
+    // ---- hash-encode microbenchmark: the kernel the two-pass SIMD
+    // restructure targets, isolated from the MLP. "morton" feeds the
+    // same points in the renderer's tile-Z-curve ray order, measuring
+    // what cache-coherent ordering buys the gather pass.
+    {
+        const nerf::HashGrid &grid = field.grid();
+        const int fd = grid.featureDim();
+        nerf::Camera camera = nerf::cameraForScene(scene->info(), 64, 64);
+        std::vector<Vec3> rows = frameSamples(camera, 32, /*morton=*/false);
+        std::vector<Vec3> morton = frameSamples(camera, 32, /*morton=*/true);
+        const int count = int(rows.size());
+        std::vector<float> feat(size_t(count) * size_t(fd));
+        const int reps = 5;
+
+        struct EncMode
+        {
+            const char *name;
+            std::function<void()> run;
+        };
+        const EncMode enc_modes[] = {
+            {"scalar", [&] {
+                 for (int p = 0; p < count; ++p)
+                     grid.encode(rows[size_t(p)],
+                                 feat.data() + size_t(p) * size_t(fd));
+             }},
+            {"simd", [&] {
+                 grid.encodeBatch(rows.data(), count, feat.data(), fd);
+             }},
+            {"simd+morton", [&] {
+                 grid.encodeBatch(morton.data(), count, feat.data(), fd);
+             }},
+        };
+
+        TextTable enc_table({"encode mode", "points", "wall (s)",
+                             "Msamples/s", "speedup"});
+        double scalar_s = 0.0;
+        for (const EncMode &mode : enc_modes) {
+            mode.run(); // warm caches and thread-local workspaces
+            // Min-of-reps: the kernel is deterministic, so the fastest
+            // pass is the least-perturbed measurement.
+            double per_pass = 1e30;
+            for (int r = 0; r < reps; ++r)
+                per_pass = std::min(per_pass, secondsOf(mode.run));
+            if (std::string(mode.name) == "scalar")
+                scalar_s = per_pass;
+            double msps = double(count) / per_pass / 1e6;
+            double speedup = per_pass > 0.0 ? scalar_s / per_pass : 1.0;
+            enc_table.addRow({mode.name, std::to_string(count),
+                              fmt(per_pass, 4), fmt(msps, 2),
+                              fmtTimes(speedup)});
+            emitBoth(JsonLine("encode_micro")
+                         .field("field", field.describe())
+                         .field("mode", mode.name)
+                         .field("points", count)
+                         .field("wall_s", per_pass)
+                         .field("msamples_per_s", msps)
+                         .field("speedup_vs_scalar", speedup),
+                     artifact);
+        }
+        enc_table.print(std::cout);
+
+        // Measured host-side reuse (Fig. 15 tie-in), two ways: the raw
+        // sample streams above, and the renderer's actual densityBatch
+        // stream via the field's reuse-stats hook (single-threaded, as
+        // the hook requires).
+        for (bool use_morton : {false, true}) {
+            core::EncodeReuseReport reuse = core::measureEncodeReuse(
+                field, camera, 32, 64 * 64, use_morton);
+            double coherent = 0.0;
+            for (double c : reuse.coherent_fraction)
+                coherent += c;
+            coherent /= double(reuse.coherent_fraction.size());
+            emitBoth(
+                JsonLine("encode_reuse")
+                    .field("order", use_morton ? "morton" : "rows")
+                    .field("mean_coherent_fraction", coherent)
+                    .field("reuse_factor",
+                           double(reuse.total_lookups) /
+                               double(std::max<uint64_t>(1,
+                                                         reuse.total_unique))),
+                artifact);
+        }
+        for (int use_morton : {0, 1}) {
+            nerf::EncodeReuseStats stats;
+            field.setEncodeReuseStats(&stats);
+            core::RenderConfig cfg = core::RenderConfig::baseline(48, 48, 32);
+            cfg.early_termination = true;
+            cfg.num_threads = 1;
+            cfg.morton_order = use_morton;
+            core::AsdrRenderer(field, cfg).render(
+                nerf::cameraForScene(scene->info(), 48, 48));
+            field.setEncodeReuseStats(nullptr);
+            uint64_t lookups = 0, unique = 0;
+            for (size_t l = 0; l < stats.lookups.size(); ++l) {
+                lookups += stats.lookups[l];
+                unique += stats.unique[l];
+            }
+            emitBoth(JsonLine("render_reuse")
+                         .field("order", use_morton ? "morton" : "rows")
+                         .field("lookups", double(lookups))
+                         .field("reuse_factor",
+                                double(lookups) /
+                                    double(std::max<uint64_t>(1, unique))),
+                     artifact);
+        }
+    }
     return 0;
 }

@@ -10,6 +10,7 @@ namespace asdr::core {
 AdaptiveSampler::AdaptiveSampler(const RenderConfig &cfg) : cfg_(cfg)
 {
     ASDR_ASSERT(cfg.probe_stride >= 1, "probe stride must be >= 1");
+    ASDR_ASSERT(cfg.subset_strides.size() <= 31, "too many subset strides");
     for (int s : cfg.subset_strides)
         ASDR_ASSERT(s >= 2, "subset strides must be >= 2");
 }
@@ -25,19 +26,25 @@ int
 AdaptiveSampler::selectCount(const float *sigma, const Vec3 *color, int ns,
                              float dt) const
 {
-    nerf::CompositeResult full =
-        nerf::composite(sigma, color, ns, dt, /*stride=*/1);
+    // The full render and every candidate subset composite in a single
+    // pass over the probe ray's already-batched sigma/color buffers
+    // (results bit-identical to one composite() call per candidate).
+    int strides[32];
+    int count = 0;
+    strides[count++] = 1;
+    for (int stride : cfg_.subset_strides)
+        if (stride < ns)
+            strides[count++] = stride;
+    nerf::CompositeResult res[32];
+    nerf::compositeMulti(sigma, color, ns, dt, strides, count, res);
 
     // Strides are tried largest-first (fewest points first); the first
     // candidate within the threshold wins, giving the smallest budget.
-    for (int stride : cfg_.subset_strides) {
-        if (stride >= ns)
-            continue;
-        nerf::CompositeResult subset =
-            nerf::composite(sigma, color, ns, dt, stride);
-        float rd = renderingDifficulty(full.color, subset.color);
+    for (int k = 1; k < count; ++k) {
+        float rd = renderingDifficulty(res[0].color, res[k].color);
         if (rd <= cfg_.delta)
-            return std::max(cfg_.min_samples, (ns + stride - 1) / stride);
+            return std::max(cfg_.min_samples,
+                            (ns + strides[k] - 1) / strides[k]);
     }
     return ns;
 }

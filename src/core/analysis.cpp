@@ -4,7 +4,9 @@
 #include <map>
 #include <set>
 
+#include "nerf/ngp_field.hpp"
 #include "nerf/volume_render.hpp"
+#include "util/hashing.hpp"
 #include "util/logging.hpp"
 
 namespace asdr::core {
@@ -43,7 +45,15 @@ class PointCapture : public nerf::LookupSink
     }
 };
 
-/** Marches a ray's positions without any network work. */
+uint64_t
+voxelKey(const Vec3i &v)
+{
+    return (uint64_t(uint32_t(v.x)) << 42) ^
+           (uint64_t(uint32_t(v.y)) << 21) ^ uint64_t(uint32_t(v.z));
+}
+
+} // namespace
+
 std::vector<Vec3>
 rayPositions(const nerf::Ray &ray, int n, bool &hit)
 {
@@ -58,15 +68,6 @@ rayPositions(const nerf::Ray &ray, int n, bool &hit)
         out.push_back(ray.origin + ray.dir * (t0 + (float(i) + 0.5f) * dt));
     return out;
 }
-
-uint64_t
-voxelKey(const Vec3i &v)
-{
-    return (uint64_t(uint32_t(v.x)) << 42) ^
-           (uint64_t(uint32_t(v.y)) << 21) ^ uint64_t(uint32_t(v.z));
-}
-
-} // namespace
 
 AddressTraceResult
 sampleAddressTrace(const nerf::RadianceField &field,
@@ -257,6 +258,81 @@ profileRepetition(const nerf::RadianceField &field,
             intra_samples ? intra_acc[size_t(l)] / intra_samples : 0.0;
     }
     return out;
+}
+
+std::vector<std::pair<int, int>>
+frameRayOrder(int width, int height, bool morton, int tile)
+{
+    std::vector<std::pair<int, int>> order;
+    order.reserve(size_t(width) * size_t(height));
+    if (morton) {
+        for (int ty = 0; ty < (height + tile - 1) / tile; ++ty)
+            for (int tx = 0; tx < (width + tile - 1) / tile; ++tx) {
+                // Clipped edge-tile dims, exactly as renderTile sees them.
+                const int tw = std::min(tile, width - tx * tile);
+                const int th = std::min(tile, height - ty * tile);
+                forEachMorton2D(tw, th, [&](int ux, int uy) {
+                    order.push_back({tx * tile + ux, ty * tile + uy});
+                });
+            }
+    } else {
+        for (int y = 0; y < height; ++y)
+            for (int x = 0; x < width; ++x)
+                order.push_back({x, y});
+    }
+    return order;
+}
+
+EncodeReuseReport
+measureEncodeReuse(const nerf::InstantNgpField &field,
+                   const nerf::Camera &camera, int samples_per_ray,
+                   int max_rays, bool morton_order, int batch, int tile)
+{
+    std::vector<std::pair<int, int>> order = frameRayOrder(
+        camera.width(), camera.height(), morton_order, tile);
+
+    const nerf::HashGrid &grid = field.grid();
+    const int fd = grid.featureDim();
+    nerf::EncodeReuseStats stats;
+    stats.reset(grid.geometry().levels());
+    std::vector<Vec3> pending;
+    std::vector<float> feat;
+    auto flush = [&]() {
+        if (pending.empty())
+            return;
+        feat.resize(pending.size() * size_t(fd));
+        grid.encodeBatch(pending.data(), int(pending.size()), feat.data(),
+                         fd, &stats);
+        pending.clear();
+    };
+
+    int rays_done = 0;
+    for (const auto &[x, y] : order) {
+        if (rays_done >= max_rays)
+            break;
+        nerf::Ray ray = camera.ray(float(x) + 0.5f, float(y) + 0.5f);
+        bool hit = false;
+        auto positions = rayPositions(ray, samples_per_ray, hit);
+        if (!hit)
+            continue;
+        ++rays_done;
+        for (const auto &pos : positions) {
+            pending.push_back(pos);
+            if (int(pending.size()) >= batch)
+                flush();
+        }
+    }
+    flush();
+
+    EncodeReuseReport report;
+    const int levels = int(stats.lookups.size());
+    for (int l = 0; l < levels; ++l) {
+        report.reuse_factor.push_back(stats.reuseFactor(l));
+        report.coherent_fraction.push_back(stats.coherentFraction(l));
+        report.total_lookups += stats.lookups[size_t(l)];
+        report.total_unique += stats.unique[size_t(l)];
+    }
+    return report;
 }
 
 } // namespace asdr::core

@@ -12,9 +12,15 @@
 #include <cstdint>
 #include <vector>
 
+#include <utility>
+
 #include "nerf/camera.hpp"
 #include "nerf/field.hpp"
 #include "util/stats.hpp"
+
+namespace asdr::nerf {
+class InstantNgpField;
+}
 
 namespace asdr::core {
 
@@ -69,6 +75,50 @@ RepetitionProfile profileRepetition(const nerf::RadianceField &field,
                                     const nerf::Camera &camera,
                                     int samples_per_ray,
                                     int max_ray_pairs = 256);
+
+/** Host-measured data reuse of the batched hash-grid encode (the
+ *  software counterpart of Fig. 15's repetition statistics). */
+struct EncodeReuseReport
+{
+    /** Per level: average lookups per distinct table entry per batch. */
+    std::vector<double> reuse_factor;
+    /** Per level: fraction of lookups hitting the previous point's
+     *  same-corner entry (what coherent ordering buys). */
+    std::vector<double> coherent_fraction;
+    uint64_t total_lookups = 0;
+    uint64_t total_unique = 0;
+};
+
+/**
+ * Pixel traversal of a w x h frame: row-major, or tile-Z-curve order
+ * with tile edge `tile` (built on the same forEachMorton2D traversal
+ * the renderer's Phase II tile loop uses). Shared by the reuse
+ * analysis and the encode benches.
+ */
+std::vector<std::pair<int, int>> frameRayOrder(int width, int height,
+                                               bool morton, int tile = 8);
+
+/**
+ * Uniform sample positions along `ray` through the unit cube (the
+ * renderer's marching formula). Empty when the ray misses.
+ */
+std::vector<Vec3> rayPositions(const nerf::Ray &ray, int n, bool &hit);
+
+/**
+ * Feed the first `max_rays` rays' sample positions through
+ * HashGrid::encodeBatch with reuse counters attached, batching `batch`
+ * points at a time. `morton_order` walks the frame's rays in
+ * tile-Z-curve order (tile edge `tile`) instead of row-major, so the
+ * two orderings' measured reuse can be compared. Samples stay ray-major
+ * within a ray -- an upper bound on the renderer's reuse per ray, not a
+ * replay of its depth-major tile batches (bench_throughput's
+ * `render_reuse` rows measure those through the field's stats hook).
+ */
+EncodeReuseReport measureEncodeReuse(const nerf::InstantNgpField &field,
+                                     const nerf::Camera &camera,
+                                     int samples_per_ray, int max_rays,
+                                     bool morton_order, int batch = 4096,
+                                     int tile = 8);
 
 } // namespace asdr::core
 

@@ -62,6 +62,21 @@ struct RenderConfig
      * the legacy point-at-a-time path (the bench's scalar reference).
      */
     int eval_batch = 32;
+    /**
+     * Cache-coherent Phase II ray ordering: tile the frame, walk each
+     * tile's rays along a Z-curve, and march the whole tile depth-major
+     * through the batch API, so consecutive points in a density batch
+     * come from adjacent rays at similar depths and hit overlapping
+     * hash-table cache lines (Cicero-style memory-order optimization).
+     * Results are scattered back to pixel order, so frames stay
+     * bit-identical to the row-order path. -1 = auto: the ASDR_MORTON
+     * environment variable when set, otherwise on. Only the batched
+     * path reorders; the scalar reference and traced renders keep
+     * pixel order.
+     */
+    int morton_order = -1;
+    /** Tile edge (pixels) of the Morton-ordered Phase II loop. */
+    int tile_size = 8;
 
     /**
      * Densities below this are treated as exactly zero -- the software

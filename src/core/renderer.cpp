@@ -7,6 +7,7 @@
 
 #include "core/color_approximator.hpp"
 #include "nerf/volume_render.hpp"
+#include "util/hashing.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
@@ -27,6 +28,17 @@ resolveThreadCount(int requested)
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? int(hw) : 1;
+}
+
+/** -1 = auto: ASDR_MORTON when set, else on. */
+bool
+resolveMorton(int requested)
+{
+    if (requested >= 0)
+        return requested != 0;
+    if (const char *env = std::getenv("ASDR_MORTON"))
+        return std::atoi(env) != 0;
+    return true;
 }
 
 } // namespace
@@ -135,14 +147,26 @@ AsdrRenderer::renderRay(const nerf::Ray &ray, int budget, bool probe,
     profile.density_execs += uint64_t(cut);
     profile.lookups += uint64_t(cut) * uint64_t(lookups_per_point_);
 
+    result.color = shadePoints(ray, ws.positions.data(), ws.density.data(),
+                               ws.sigma.data(), ws.colors.data(), cut, dt,
+                               scalar, ws, profile, sink);
+    return result;
+}
+
+Vec3
+AsdrRenderer::shadePoints(const nerf::Ray &ray, const Vec3 *positions,
+                          const nerf::DensityOutput *density,
+                          const float *sigma, Vec3 *colors, int cut,
+                          float dt, bool scalar, RayWorkspace &ws,
+                          WorkloadProfile &profile, TraceSink *sink) const
+{
     // ---- color pass at anchors ----
     int group = cfg_.color_approx ? cfg_.approx_group : 1;
     ColorApproximator::anchorIndices(cut, group, ws.anchors);
     if (scalar) {
         for (int a : ws.anchors) {
-            ws.colors[size_t(a)] = field_.color(ws.positions[size_t(a)],
-                                                ray.dir,
-                                                ws.density[size_t(a)]);
+            colors[size_t(a)] = field_.color(positions[size_t(a)], ray.dir,
+                                             density[size_t(a)]);
             if (sink)
                 sink->onColorExec();
         }
@@ -153,30 +177,184 @@ AsdrRenderer::renderRay(const nerf::Ray &ray, int budget, bool probe,
         ws.anchor_col.resize(size_t(na));
         for (int k = 0; k < na; ++k) {
             const size_t a = size_t(ws.anchors[size_t(k)]);
-            ws.anchor_pos[size_t(k)] = ws.positions[a];
-            ws.anchor_den[size_t(k)] = ws.density[a];
+            ws.anchor_pos[size_t(k)] = positions[a];
+            ws.anchor_den[size_t(k)] = density[a];
         }
         field_.colorBatch(ws.anchor_pos.data(), ray.dir,
                           ws.anchor_den.data(), na, ws.anchor_col.data());
         for (int k = 0; k < na; ++k)
-            ws.colors[size_t(ws.anchors[size_t(k)])] =
+            colors[size_t(ws.anchors[size_t(k)])] =
                 ws.anchor_col[size_t(k)];
     }
     profile.color_execs += uint64_t(ws.anchors.size());
 
     // ---- approximation unit fills the gaps ----
-    int filled =
-        ColorApproximator::interpolate(ws.colors.data(), ws.anchors, cut);
+    int filled = ColorApproximator::interpolate(colors, ws.anchors, cut);
     profile.approx_colors += uint64_t(filled);
     if (sink)
         for (int i = 0; i < filled; ++i)
             sink->onApproxColor();
 
     // ---- RGB unit: Eq. (1) compositing ----
-    nerf::CompositeResult comp =
-        nerf::composite(ws.sigma.data(), ws.colors.data(), cut, dt);
-    result.color = comp.color;
-    return result;
+    nerf::CompositeResult comp = nerf::composite(sigma, colors, cut, dt);
+    return comp.color;
+}
+
+void
+AsdrRenderer::renderTile(const nerf::Camera &camera, int x0, int y0,
+                         int tw, int th, const int *budgets,
+                         const char *probed, TileWorkspace &tws, Image &img,
+                         float *budget_map, float *actual_map,
+                         WorkloadProfile &profile) const
+{
+    const int w = camera.width();
+    const bool use_et = cfg_.early_termination;
+
+    // ---- enumerate the tile's rays along the Z-curve ----
+    tws.rays.clear();
+    tws.px.clear();
+    tws.py.clear();
+    tws.budget.clear();
+    forEachMorton2D(tw, th, [&](int ux, int uy) {
+        const int x = x0 + ux;
+        const int y = y0 + uy;
+        if (probed && probed[size_t(y) * w + x])
+            return;
+        tws.px.push_back(x);
+        tws.py.push_back(y);
+        tws.budget.push_back(budgets ? budgets[size_t(y) * w + x]
+                                     : cfg_.samples_per_ray);
+        tws.rays.push_back(camera.ray(float(x) + 0.5f, float(y) + 0.5f));
+    });
+    const int R = int(tws.rays.size());
+    if (R == 0)
+        return;
+
+    // ---- per-ray march setup (identical formulas to renderRay) ----
+    tws.n.assign(size_t(R), 0);
+    tws.t0.assign(size_t(R), 0.0f);
+    tws.dt.assign(size_t(R), 0.0f);
+    tws.offset.assign(size_t(R), 0);
+    tws.cut.assign(size_t(R), 0);
+    tws.scanned.assign(size_t(R), 0);
+    tws.transmittance.assign(size_t(R), 1.0f);
+    tws.alive.assign(size_t(R), 0);
+    int total = 0;
+    for (int r = 0; r < R; ++r) {
+        float a, b;
+        const int bud = tws.budget[size_t(r)];
+        tws.offset[size_t(r)] = total;
+        if (!nerf::intersectUnitCube(tws.rays[size_t(r)], a, b) || bud < 1)
+            continue;
+        tws.n[size_t(r)] = bud;
+        tws.cut[size_t(r)] = bud;
+        tws.t0[size_t(r)] = a;
+        tws.dt[size_t(r)] = (b - a) / float(bud);
+        tws.alive[size_t(r)] = 1;
+        total += bud;
+    }
+    tws.positions.resize(size_t(total));
+    tws.sigma.resize(size_t(total));
+    tws.density.resize(size_t(total));
+    tws.colors.resize(size_t(total));
+    for (int r = 0; r < R; ++r) {
+        const nerf::Ray &ray = tws.rays[size_t(r)];
+        Vec3 *seg = tws.positions.data() + tws.offset[size_t(r)];
+        const float t0 = tws.t0[size_t(r)];
+        const float dt = tws.dt[size_t(r)];
+        for (int i = 0; i < tws.n[size_t(r)]; ++i)
+            seg[i] = ray.origin + ray.dir * (t0 + (float(i) + 0.5f) * dt);
+    }
+
+    // ---- depth-major chunked density pass: each batch holds all
+    // surviving rays at a band of consecutive depths, in Z-curve ray
+    // order, so consecutive batch points are spatially adjacent and
+    // share hash-table cache lines. The band narrows to a single depth
+    // while many rays march (batch width = survivors) and widens as
+    // rays terminate, keeping batches near eval_batch points.
+    int d0 = 0;
+    for (;;) {
+        int marching = 0;
+        for (int r = 0; r < R; ++r)
+            if (tws.alive[size_t(r)])
+                ++marching;
+        if (marching == 0)
+            break;
+        const int D = std::max(1, cfg_.eval_batch / marching);
+
+        tws.batch_pos.clear();
+        tws.batch_slot.clear();
+        for (int d = d0; d < d0 + D; ++d)
+            for (int r = 0; r < R; ++r)
+                if (tws.alive[size_t(r)] && d < tws.n[size_t(r)]) {
+                    const int slot = tws.offset[size_t(r)] + d;
+                    tws.batch_pos.push_back(tws.positions[size_t(slot)]);
+                    tws.batch_slot.push_back(slot);
+                }
+        const int bn = int(tws.batch_pos.size());
+        tws.batch_den.resize(size_t(bn));
+        field_.densityBatch(tws.batch_pos.data(), bn, tws.batch_den.data());
+        for (int k = 0; k < bn; ++k)
+            tws.density[size_t(tws.batch_slot[size_t(k)])] =
+                tws.batch_den[size_t(k)];
+
+        // Per-ray sigma floor + early-termination scan over the band;
+        // the cut lands at exactly the per-ray path's index (points of
+        // this band past the cut are host slack, not workload).
+        for (int r = 0; r < R; ++r) {
+            if (!tws.alive[size_t(r)])
+                continue;
+            const int off = tws.offset[size_t(r)];
+            const int dmax = std::min(d0 + D, tws.n[size_t(r)]);
+            for (int d = tws.scanned[size_t(r)]; d < dmax; ++d) {
+                float sigma = tws.density[size_t(off + d)].sigma;
+                if (sigma < cfg_.sigma_floor)
+                    sigma = 0.0f;
+                tws.sigma[size_t(off + d)] = sigma;
+                if (use_et) {
+                    tws.transmittance[size_t(r)] *=
+                        1.0f - nerf::alphaFromSigma(sigma,
+                                                    tws.dt[size_t(r)]);
+                    if (tws.transmittance[size_t(r)] < cfg_.et_eps) {
+                        tws.cut[size_t(r)] = d + 1;
+                        tws.alive[size_t(r)] = 0;
+                        break;
+                    }
+                }
+            }
+            if (tws.alive[size_t(r)]) {
+                tws.scanned[size_t(r)] = dmax;
+                if (dmax == tws.n[size_t(r)])
+                    tws.alive[size_t(r)] = 0;
+            }
+        }
+        d0 += D;
+    }
+
+    // ---- shade + scatter back to pixel order ----
+    for (int r = 0; r < R; ++r) {
+        profile.rays++;
+        Vec3 color(0.0f);
+        const int cut = tws.cut[size_t(r)];
+        if (tws.n[size_t(r)] > 0) {
+            profile.points += uint64_t(cut);
+            profile.density_execs += uint64_t(cut);
+            profile.lookups += uint64_t(cut) * uint64_t(lookups_per_point_);
+            const int off = tws.offset[size_t(r)];
+            color = shadePoints(tws.rays[size_t(r)],
+                                tws.positions.data() + off,
+                                tws.density.data() + off,
+                                tws.sigma.data() + off,
+                                tws.colors.data() + off, cut,
+                                tws.dt[size_t(r)], /*scalar=*/false,
+                                tws.shade, profile, nullptr);
+        }
+        const int x = tws.px[size_t(r)];
+        const int y = tws.py[size_t(r)];
+        img.at(x, y) = color;
+        budget_map[size_t(y) * w + x] = float(tws.budget[size_t(r)]);
+        actual_map[size_t(y) * w + x] = float(cut);
+    }
 }
 
 Image
@@ -258,7 +436,33 @@ AsdrRenderer::render(const nerf::Camera &camera, RenderStats *stats,
     }
 
     // ---- Phase II: render every (remaining) pixel with its budget ----
-    {
+    // The batched path defaults to Morton/tile-coherent ray ordering
+    // (cache-line reuse across adjacent rays); the scalar reference and
+    // traced renders keep row-major pixel order. Frames are
+    // bit-identical either way.
+    const bool morton =
+        !sink && cfg_.eval_batch > 1 && resolveMorton(cfg_.morton_order);
+    if (morton) {
+        const int T = std::max(1, cfg_.tile_size);
+        const int tiles_x = (w + T - 1) / T;
+        const int tiles_y = (h + T - 1) / T;
+        const int tiles = tiles_x * tiles_y;
+        std::vector<WorkloadProfile> tile_profiles(
+            static_cast<size_t>(tiles));
+        pool.parallelFor(0, tiles, [&](int t) {
+            static thread_local TileWorkspace tws;
+            const int tx = t % tiles_x;
+            const int ty = t / tiles_x;
+            renderTile(camera, tx * T, ty * T, std::min(T, w - tx * T),
+                       std::min(T, h - ty * T),
+                       cfg_.adaptive_sampling ? budgets.data() : nullptr,
+                       cfg_.adaptive_sampling ? probed.data() : nullptr,
+                       tws, img, budget_map.data(), actual_map.data(),
+                       tile_profiles[size_t(t)]);
+        });
+        for (const auto &tp : tile_profiles)
+            profile.merge(tp);
+    } else {
         std::vector<WorkloadProfile> row_profiles(static_cast<size_t>(h));
         pool.parallelFor(0, h, [&](int y) {
             static thread_local RayWorkspace ws;

@@ -105,7 +105,62 @@ class AsdrRenderer
                         RayWorkspace &ws, WorkloadProfile &profile,
                         TraceSink *sink) const;
 
+    /**
+     * Per-tile scratch of the Morton-ordered Phase II loop: SoA ray
+     * state plus flat ray-major sample buffers (per-ray segments at
+     * `offset[r]`), reused across tiles per thread.
+     */
+    struct TileWorkspace
+    {
+        // Per-ray state, in Z-curve traversal order.
+        std::vector<nerf::Ray> rays;
+        std::vector<int> px, py;
+        std::vector<int> budget;   ///< assigned samples (the budget map)
+        std::vector<int> n;        ///< marched samples (0 = cube miss)
+        std::vector<float> t0, dt;
+        std::vector<int> offset;   ///< segment start in the flat buffers
+        std::vector<int> cut;      ///< early-termination index (== n if none)
+        std::vector<int> scanned;  ///< sigma/ET progress along the ray
+        std::vector<float> transmittance;
+        std::vector<char> alive;
+        // Flat per-ray sample segments.
+        std::vector<Vec3> positions;
+        std::vector<float> sigma;
+        std::vector<nerf::DensityOutput> density;
+        std::vector<Vec3> colors;
+        // Depth-major evaluation chunk (gather order + scatter targets).
+        std::vector<Vec3> batch_pos;
+        std::vector<int> batch_slot;
+        std::vector<nerf::DensityOutput> batch_den;
+        RayWorkspace shade; ///< anchor scratch for the color pass
+    };
+
   private:
+    /**
+     * The color + approximation + compositing tail of a marched ray
+     * (shared by renderRay and renderTile): color network at anchors,
+     * gap interpolation, Eq. (1) compositing. `scalar` selects the
+     * per-point color path (trace sinks / eval_batch <= 1).
+     */
+    Vec3 shadePoints(const nerf::Ray &ray, const Vec3 *positions,
+                     const nerf::DensityOutput *density,
+                     const float *sigma, Vec3 *colors, int cut, float dt,
+                     bool scalar, RayWorkspace &ws,
+                     WorkloadProfile &profile, TraceSink *sink) const;
+
+    /**
+     * March one tile of Phase II rays in Z-curve order, depth-major:
+     * each density batch holds the tile's surviving rays at a band of
+     * consecutive depths, maximizing hash-table cache-line sharing.
+     * Early termination cuts each ray at exactly the index the per-ray
+     * path would, and results are scattered to pixel order, so the
+     * frame is bit-identical to renderRay over the same pixels.
+     */
+    void renderTile(const nerf::Camera &camera, int x0, int y0, int tw,
+                    int th, const int *budgets, const char *probed,
+                    TileWorkspace &tws, Image &img, float *budget_map,
+                    float *actual_map, WorkloadProfile &profile) const;
+
     const nerf::RadianceField &field_;
     RenderConfig cfg_;
     AdaptiveSampler sampler_;

@@ -77,9 +77,46 @@ class GridGeometry
     /** Trilinear weights matching voxelVertices() order. */
     static void trilinearWeights(const Vec3 &frac, float out[8]);
 
+    /**
+     * The complete per-level lookup setup for one position: the 8 table
+     * indices and trilinear weights in voxelVertices() order. Exactly
+     * locate + voxelVertices + trilinearWeights + index per vertex, but
+     * the 8 indices are built from shared per-axis partial products
+     * (x*pi1, y*pi2, z*pi3 and their +1 neighbors), so the hash costs 3
+     * multiplies instead of 24. Bit-identical to index() by the
+     * associativity of uint32 arithmetic. Every encode path and the
+     * batched kernel's setup pass go through this one implementation.
+     */
+    void gatherSetup(int l, const Vec3 &pos, uint32_t idx[8],
+                     float w[8]) const;
+
   private:
     HashGridConfig cfg_;
     std::vector<GridLevelInfo> levels_;
+};
+
+/**
+ * Per-level reuse statistics of batched encodes: the software-path
+ * counterpart of the paper's Fig. 15 repetition measurements. `unique`
+ * counts distinct table entries touched inside each encodeBatch call
+ * (order-independent); `coherent` counts lookups whose index equals the
+ * same corner's index of the immediately preceding point, i.e. hits
+ * that a stream buffer or cache line would serve for free -- this is
+ * what Morton/tile-coherent ray ordering maximizes. Stats accumulate
+ * across calls; reset() clears them.
+ */
+struct EncodeReuseStats
+{
+    std::vector<uint64_t> lookups;  ///< 8 * points per level
+    std::vector<uint64_t> unique;   ///< distinct entries per batch, summed
+    std::vector<uint64_t> coherent; ///< same-corner previous-point hits
+
+    void reset(int levels);
+    void merge(const EncodeReuseStats &o);
+    /** Average lookups per distinct entry (>= 1; higher = more reuse). */
+    double reuseFactor(int level) const;
+    /** Fraction of lookups hitting the previous point's entry. */
+    double coherentFraction(int level) const;
 };
 
 /**
@@ -106,10 +143,21 @@ class HashGrid
      * writes featureDim() floats at `out + p * out_stride`. Levels are
      * walked in the outer loop so one level's table region stays hot
      * across the whole batch (ray samples are spatially clustered).
-     * Bit-identical to per-point encode() calls.
+     *
+     * Internally a two-pass kernel per level: (1) a setup pass computes
+     * all 8 lattice indices + trilinear weights for the whole batch
+     * into corner-major SoA workspaces, then (2) a gather/interpolate
+     * pass runs `#pragma omp simd` across points in register-blocked
+     * lanes (Mlp::forwardBatch style) with a specialized F=2 path, so
+     * each corner's weight lane streams unit-stride and the accumulators
+     * stay in registers. Bit-identical to per-point encode() calls.
+     *
+     * `stats`, when non-null, accumulates per-level reuse counters for
+     * this batch (measured host-side data reuse; see EncodeReuseStats).
      */
     void encodeBatch(const Vec3 *pos, int count, float *out,
-                     int out_stride) const;
+                     int out_stride,
+                     EncodeReuseStats *stats = nullptr) const;
 
     /** Cache of one encode() call, enough to backpropagate through it. */
     struct EncodeCache
@@ -136,6 +184,11 @@ class HashGrid
     double encodeFlops() const;
 
   private:
+    /** dst[0..F) = sum_i w[i] * table[idx[i]] at level `l` -- the one
+     *  scalar interpolate shared by every encode() variant. */
+    void levelInterpolate(int l, const uint32_t idx[8], const float w[8],
+                          float *dst) const;
+
     GridGeometry geom_;
     std::vector<float> params_;
     std::vector<float> grads_;

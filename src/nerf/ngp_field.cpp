@@ -92,7 +92,13 @@ InstantNgpField::densityBatch(const Vec3 *pos, int count,
     feat.resize(size_t(fd) * size_t(count));
     geo.resize(size_t(kGeoFeatures) * size_t(count));
 
-    grid_.encodeBatch(pos, count, feat.data(), fd);
+    if (encode_stats_) {
+        if (stats_thread_ == std::thread::id())
+            stats_thread_ = std::this_thread::get_id();
+        ASDR_ASSERT(stats_thread_ == std::this_thread::get_id(),
+                    "reuse-stats hook requires a single-threaded render");
+    }
+    grid_.encodeBatch(pos, count, feat.data(), fd, encode_stats_);
     density_mlp_.forwardBatch(feat.data(), count, fd, geo.data(),
                               kGeoFeatures);
 

@@ -10,6 +10,7 @@
 #define ASDR_NERF_NGP_FIELD_HPP
 
 #include <memory>
+#include <thread>
 
 #include "nerf/field.hpp"
 #include "nerf/hash_grid.hpp"
@@ -91,11 +92,29 @@ class InstantNgpField : public RadianceField
     /** sigma = softplus(raw - 1): small initial density, smooth grads. */
     static float sigmaActivation(float raw);
 
+    /**
+     * Attach a reuse-stats accumulator to the batched encode path: every
+     * densityBatch() call adds its per-level lookup/unique/coherent
+     * counts, so a render measures the host-side data reuse the paper's
+     * Fig. 15 predicts. The accumulator is written without locking --
+     * attach only for single-threaded renders (densityBatch panics if a
+     * second thread calls in while the hook is attached). nullptr
+     * detaches.
+     */
+    void setEncodeReuseStats(EncodeReuseStats *stats)
+    {
+        encode_stats_ = stats;
+        stats_thread_ = std::thread::id();
+    }
+
   private:
     NgpModelConfig cfg_;
     HashGrid grid_;
     Mlp density_mlp_;
     Mlp color_mlp_;
+    EncodeReuseStats *encode_stats_ = nullptr;
+    /** First thread to run densityBatch while the hook is attached. */
+    mutable std::thread::id stats_thread_;
 };
 
 } // namespace asdr::nerf

@@ -34,6 +34,15 @@ CompositeResult composite(const float *sigma, const Vec3 *color, int n,
                           float dt, int stride = 1);
 
 /**
+ * Composite the same point buffers at `count` strides in a single pass
+ * over sigma/color (one memory walk instead of one per candidate --
+ * Phase I evaluates all its candidate subsets this way). out[k] is
+ * bit-identical to composite(sigma, color, n, dt, strides[k]).
+ */
+void compositeMulti(const float *sigma, const Vec3 *color, int n, float dt,
+                    const int *strides, int count, CompositeResult *out);
+
+/**
  * First index at which transmittance drops below `eps` (the paper's
  * early termination: stop once accumulated opacity saturates). Returns
  * `n` when the ray never saturates.

@@ -43,6 +43,69 @@ denseIndex(const Vec3i &v, uint32_t verts_per_axis)
            static_cast<uint32_t>(v.x);
 }
 
+/** Spread the low 16 bits of `v` into the even bit positions. */
+inline uint32_t
+expandBits2(uint32_t v)
+{
+    v &= 0xFFFF;
+    v = (v | (v << 8)) & 0x00FF00FF;
+    v = (v | (v << 4)) & 0x0F0F0F0F;
+    v = (v | (v << 2)) & 0x33333333;
+    v = (v | (v << 1)) & 0x55555555;
+    return v;
+}
+
+/** Collapse the even bit positions of `v` back into the low 16 bits
+ *  (inverse of expandBits2). */
+inline uint32_t
+compactBits2(uint32_t v)
+{
+    v &= 0x55555555;
+    v = (v | (v >> 1)) & 0x33333333;
+    v = (v | (v >> 2)) & 0x0F0F0F0F;
+    v = (v | (v >> 4)) & 0x00FF00FF;
+    v = (v | (v >> 8)) & 0x0000FFFF;
+    return v;
+}
+
+/** 2D Morton (Z-curve) code; the renderer walks tile pixels in this
+ *  order so consecutive rays are spatially adjacent. */
+inline uint32_t
+morton2D(uint32_t x, uint32_t y)
+{
+    return expandBits2(x) | (expandBits2(y) << 1);
+}
+
+inline void
+morton2DDecode(uint32_t code, uint32_t &x, uint32_t &y)
+{
+    x = compactBits2(code);
+    y = compactBits2(code >> 1);
+}
+
+/**
+ * Visit every (x, y) in [0, w) x [0, h) in Z-curve order (w, h up to
+ * 65536). The one traversal shared by the renderer's tile loop and the
+ * analysis/bench frame orderings, so their streams match by
+ * construction. Points keep their relative Morton-code order whatever
+ * the bounding box, so clipped edge tiles order identically to full
+ * ones.
+ */
+template <typename Fn>
+inline void
+forEachMorton2D(int w, int h, Fn &&fn)
+{
+    uint64_t side = 1;
+    while (int64_t(side) < w || int64_t(side) < h)
+        side <<= 1;
+    for (uint64_t code = 0; code < side * side; ++code) {
+        uint32_t x, y;
+        morton2DDecode(uint32_t(code), x, y);
+        if (int(x) < w && int(y) < h)
+            fn(int(x), int(y));
+    }
+}
+
 /** Bit-interleave helper (Morton order), used in mapping experiments. */
 inline uint32_t
 expandBits3(uint32_t v)

@@ -249,6 +249,72 @@ TEST(ParallelRender, NgpFieldBatchedFrameMatchesScalar)
     expectFramesIdentical(scalar, threaded, "ngp threads");
 }
 
+TEST(ParallelRender, MortonOrderDoesNotChangeTheFrame)
+{
+    // The Morton/tile-coherent Phase II ordering must scatter results
+    // back to exactly the pixel-order frame, for every thread count and
+    // both batched paths (per-ray rows vs depth-major tiles).
+    RenderFixture fx("Lego", 21, 19); // non-multiple of tile_size
+    RenderConfig cfg = RenderConfig::asdr(21, 19, 48);
+    cfg.probe_stride = 4;
+
+    cfg.morton_order = 0;
+    cfg.num_threads = 1;
+    RenderStats s_rows;
+    Image rows = AsdrRenderer(*fx.field, cfg).render(fx.camera, &s_rows);
+
+    for (int threads : {1, 2, 5}) {
+        cfg.morton_order = 1;
+        cfg.num_threads = threads;
+        RenderStats s_tiles;
+        Image tiles = AsdrRenderer(*fx.field, cfg).render(fx.camera,
+                                                          &s_tiles);
+        expectFramesIdentical(rows, tiles, "morton");
+        EXPECT_EQ(s_rows.profile.rays, s_tiles.profile.rays);
+        EXPECT_EQ(s_rows.profile.points, s_tiles.profile.points);
+        EXPECT_EQ(s_rows.profile.density_execs,
+                  s_tiles.profile.density_execs);
+        EXPECT_EQ(s_rows.profile.color_execs, s_tiles.profile.color_execs);
+        EXPECT_EQ(s_rows.profile.approx_colors,
+                  s_tiles.profile.approx_colors);
+        EXPECT_EQ(s_rows.profile.lookups, s_tiles.profile.lookups);
+        EXPECT_EQ(s_rows.sample_count_map, s_tiles.sample_count_map);
+        EXPECT_EQ(s_rows.actual_points_map, s_tiles.actual_points_map);
+    }
+}
+
+TEST(ParallelRender, MortonOrderMatchesScalarOnNgpField)
+{
+    // The real hash-grid + MLP network through the depth-major tile
+    // march must reproduce the point-at-a-time reference bitwise.
+    InstantNgpField ngp(NgpModelConfig::fast(), 77);
+    auto scene = scene::createScene("Lego");
+    Camera camera = cameraForScene(scene->info(), 13, 11);
+
+    RenderConfig cfg = RenderConfig::baseline(13, 11, 24);
+    cfg.early_termination = true;
+    cfg.color_approx = true;
+    cfg.approx_group = 2;
+    cfg.num_threads = 1;
+
+    cfg.eval_batch = 1; // scalar reference (never reordered)
+    Image scalar = AsdrRenderer(ngp, cfg).render(camera);
+
+    cfg.eval_batch = 16;
+    for (int morton : {0, 1}) {
+        for (int tile : {4, 8}) {
+            cfg.morton_order = morton;
+            cfg.tile_size = tile;
+            Image frame = AsdrRenderer(ngp, cfg).render(camera);
+            expectFramesIdentical(scalar, frame, "ngp morton");
+        }
+    }
+    cfg.morton_order = 1;
+    cfg.num_threads = 3;
+    Image threaded = AsdrRenderer(ngp, cfg).render(camera);
+    expectFramesIdentical(scalar, threaded, "ngp morton threads");
+}
+
 TEST(ParallelRender, SinkForcesSerialButSameFrame)
 {
     RenderFixture fx("Mic");

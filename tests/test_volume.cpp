@@ -118,6 +118,41 @@ TEST(Composite, StridePreservesOpticalDepth)
     EXPECT_NEAR(full.color.x, eighth.color.x, 2e-2f);
 }
 
+TEST(Composite, MultiStrideMatchesSeparateCalls)
+{
+    // The one-pass multi-stride composite (Phase I's candidate
+    // evaluation) must be bit-identical to one composite() call per
+    // stride, including the early break on saturated transmittance.
+    Rng rng(42);
+    const int n = 96;
+    std::vector<float> sigma(n);
+    std::vector<Vec3> color(n);
+    for (int i = 0; i < n; ++i) {
+        sigma[size_t(i)] = rng.nextRange(0.0f, 30.0f);
+        color[size_t(i)] = {rng.nextRange(0.0f, 1.0f),
+                            rng.nextRange(0.0f, 1.0f),
+                            rng.nextRange(0.0f, 1.0f)};
+    }
+    // Dense wall so some candidates saturate mid-ray.
+    for (int i = 40; i < 48; ++i)
+        sigma[size_t(i)] = 400.0f;
+
+    const int strides[] = {1, 16, 8, 4, 2, 3};
+    const int count = 6;
+    CompositeResult multi[6];
+    for (float dt : {0.004f, 0.05f}) {
+        compositeMulti(sigma.data(), color.data(), n, dt, strides, count,
+                       multi);
+        for (int k = 0; k < count; ++k) {
+            CompositeResult ref =
+                composite(sigma.data(), color.data(), n, dt, strides[k]);
+            EXPECT_EQ(multi[k].color, ref.color) << "stride " << strides[k];
+            EXPECT_EQ(multi[k].opacity, ref.opacity)
+                << "stride " << strides[k];
+        }
+    }
+}
+
 TEST(Composite, StrideDivergesOnThinFeatures)
 {
     // A thin occluder hit by only one of the samples: subsets differ,
