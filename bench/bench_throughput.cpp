@@ -25,6 +25,7 @@
 
 #include "bench/harness.hpp"
 #include "core/analysis.hpp"
+#include "engine/frame_engine.hpp"
 #include "nerf/ngp_field.hpp"
 
 using namespace asdr;
@@ -106,14 +107,23 @@ secondsOf(const std::function<void()> &fn)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --smoke: a minutes-to-seconds variant registered in ctest, so the
+    // whole bench pipeline (every JSON row kind, including the
+    // frames_pipelined engine path) is exercised on every CI run.
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--smoke")
+            smoke = true;
+
     benchHeader(
         "Throughput: scalar vs batched (+Morton ordering) vs "
-        "batched+threaded host pipeline, plus the hash-encode kernel",
+        "batched+threaded host pipeline, the hash-encode kernel, and "
+        "multi-frame pipelining through the streaming engine",
         "Same frame, bit-identical output in all modes; speedups come "
         "from weight/table streaming amortization, cache-coherent ray "
-        "ordering, and tile parallelism.");
+        "ordering, tile parallelism, and frame-level pipelining.");
 
     // The perf-trajectory artifact accumulates where ASDR_ARTIFACT_DIR
     // points (the repo root, where it is committed), else the cwd.
@@ -133,7 +143,10 @@ main()
     {
         int w, h, ns;
     };
-    const Shape shapes[] = {{48, 48, 64}, {64, 64, 96}, {96, 96, 128}};
+    const std::vector<Shape> shapes =
+        smoke ? std::vector<Shape>{{32, 32, 32}}
+              : std::vector<Shape>{{48, 48, 64}, {64, 64, 96},
+                                   {96, 96, 128}};
 
     nerf::InstantNgpField field(nerf::NgpModelConfig::fast(), 1234);
     auto scene = scene::createScene("Lego");
@@ -201,7 +214,7 @@ main()
         std::vector<Vec3> morton = frameSamples(camera, 32, /*morton=*/true);
         const int count = int(rows.size());
         std::vector<float> feat(size_t(count) * size_t(fd));
-        const int reps = 5;
+        const int reps = smoke ? 2 : 5;
 
         struct EncMode
         {
@@ -294,6 +307,102 @@ main()
                                     double(std::max<uint64_t>(1, unique))),
                      artifact);
         }
+    }
+
+    // ---- multi-frame pipelining: a camera path served through the
+    // streaming FrameEngine vs. blocking sequential render() calls,
+    // same thread count, frames verified bit-identical. Sequential
+    // frames stall their workers at every stage barrier (probe join,
+    // serial planning, tile-straggler tails, serial finalize);
+    // pipelining covers those gaps with neighboring frames' stages.
+    {
+        const int pf = smoke ? 8 : 16;          // frames on the path
+        const int pw = smoke ? 32 : 48;
+        const int pns = smoke ? 32 : 96;
+        const int threads =
+            std::max(2, std::min(4, core::resolveThreadCount(0)));
+        core::RenderConfig pcfg = core::RenderConfig::asdr(pw, pw, pns);
+        pcfg.num_threads = threads;
+        auto path = nerf::orbitCameraPath(scene->info(), pw, pw, pf,
+                                          smoke ? 0.08f : 0.04f);
+
+        // Sequential baseline: one renderer, blocking render() per
+        // frame (its internal engine persists, so no thread churn --
+        // this measures pipelining, not pool construction).
+        core::AsdrRenderer seq_renderer(field, pcfg);
+        seq_renderer.render(path[0]); // warm pool + workspaces
+        std::vector<Image> seq_frames;
+        seq_frames.reserve(path.size());
+        const double seq_s = secondsOf([&] {
+            for (const auto &cam : path)
+                seq_frames.push_back(seq_renderer.render(cam));
+        });
+        const double seq_fps = double(pf) / seq_s;
+
+        TextTable ptable({"mode", "frames", "threads", "wall (s)",
+                          "frames/s", "speedup", "identical"});
+        ptable.addRow({"sequential render()", std::to_string(pf),
+                       std::to_string(threads), fmt(seq_s, 3),
+                       fmt(seq_fps, 2), fmtTimes(1.0), "ref"});
+
+        for (int in_flight : {2, 4}) {
+            engine::EngineConfig ec;
+            ec.num_threads = threads;
+            ec.max_frames_in_flight = in_flight;
+            engine::FrameEngine eng(ec);
+            { // warm the engine's pool and thread-local workspaces
+                engine::FrameRequest warm(path[0]);
+                warm.field = &field;
+                warm.config = pcfg;
+                eng.submit(std::move(warm)).get();
+            }
+            std::vector<Image> pipe_frames(path.size());
+            const double pipe_s = secondsOf([&] {
+                std::vector<std::future<engine::Frame>> futs;
+                futs.reserve(path.size());
+                for (const auto &cam : path) {
+                    engine::FrameRequest req(cam);
+                    req.field = &field;
+                    req.config = pcfg;
+                    futs.push_back(eng.submit(std::move(req)));
+                }
+                for (size_t f = 0; f < futs.size(); ++f)
+                    pipe_frames[f] = futs[f].get().image;
+            });
+            const double pipe_fps = double(pf) / pipe_s;
+
+            bool identical = true;
+            for (size_t f = 0; f < pipe_frames.size(); ++f)
+                if (pipe_frames[f].data() != seq_frames[f].data())
+                    identical = false;
+            if (!identical)
+                std::cerr << "WARNING: pipelined frames diverged from "
+                             "sequential render()\n";
+
+            ptable.addRow({"pipelined x" + std::to_string(in_flight),
+                           std::to_string(pf), std::to_string(threads),
+                           fmt(pipe_s, 3), fmt(pipe_fps, 2),
+                           fmtTimes(pipe_fps / seq_fps),
+                           identical ? "yes" : "NO"});
+            emitBoth(JsonLine("frames_pipelined")
+                         .field("scene", "Lego")
+                         .field("field", field.describe())
+                         .field("width", pw)
+                         .field("height", pw)
+                         .field("samples_per_ray", pns)
+                         .field("frames", pf)
+                         .field("threads", threads)
+                         .field("max_frames_in_flight", in_flight)
+                         .field("seq_wall_s", seq_s)
+                         .field("seq_frames_per_s", seq_fps)
+                         .field("wall_s", pipe_s)
+                         .field("frames_per_s", pipe_fps)
+                         .field("speedup_vs_sequential",
+                                pipe_fps / seq_fps)
+                         .field("identical", identical ? 1 : 0),
+                     artifact);
+        }
+        ptable.print(std::cout);
     }
     return 0;
 }

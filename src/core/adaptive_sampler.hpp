@@ -15,6 +15,7 @@
 #ifndef ASDR_CORE_ADAPTIVE_SAMPLER_HPP
 #define ASDR_CORE_ADAPTIVE_SAMPLER_HPP
 
+#include <algorithm>
 #include <vector>
 
 #include "core/render_config.hpp"
@@ -43,6 +44,21 @@ class AdaptiveSampler
     /** Probe-grid dimensions for a frame. */
     static void probeGridDims(int width, int height, int stride, int &gw,
                               int &gh);
+
+    /**
+     * Pixel probed by cell (gx, gy); every cell maps to a unique pixel
+     * (floor((h-1)/d)*d <= h-1). The ONE cell-to-pixel mapping shared
+     * by Phase I probing, the probe-cache splat, and the cache
+     * capture, which must agree exactly for probe reuse to be
+     * bit-identical.
+     */
+    static void
+    probePixel(int gx, int gy, int stride, int width, int height, int &px,
+               int &py)
+    {
+        px = std::min(gx * stride, width - 1);
+        py = std::min(gy * stride, height - 1);
+    }
 
     /**
      * Bilinearly interpolate per-pixel budgets from the probe grid

@@ -9,9 +9,43 @@
 #ifndef ASDR_CORE_RENDER_CONFIG_HPP
 #define ASDR_CORE_RENDER_CONFIG_HPP
 
+#include <cstdlib>
+#include <thread>
 #include <vector>
 
 namespace asdr::core {
+
+/**
+ * Resolve RenderConfig::num_threads. 0 = auto: the ASDR_NUM_THREADS
+ * environment variable when set, else the hardware concurrency.
+ * Shared by the renderer facade and the frame engine so both size
+ * their pools identically.
+ */
+inline int
+resolveThreadCount(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("ASDR_NUM_THREADS")) {
+        int v = std::atoi(env);
+        if (v > 0)
+            return v;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? int(hw) : 1;
+}
+
+/** Resolve RenderConfig::morton_order. -1 = auto: ASDR_MORTON when
+ *  set, else on. */
+inline bool
+resolveMorton(int requested)
+{
+    if (requested >= 0)
+        return requested != 0;
+    if (const char *env = std::getenv("ASDR_MORTON"))
+        return std::atoi(env) != 0;
+    return true;
+}
 
 struct RenderConfig
 {

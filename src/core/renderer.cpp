@@ -3,45 +3,14 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
-#include <thread>
 
 #include "core/color_approximator.hpp"
+#include "engine/frame_engine.hpp"
 #include "nerf/volume_render.hpp"
 #include "util/hashing.hpp"
 #include "util/logging.hpp"
-#include "util/thread_pool.hpp"
 
 namespace asdr::core {
-
-namespace {
-
-/** 0 = auto: ASDR_NUM_THREADS when set, else hardware concurrency. */
-int
-resolveThreadCount(int requested)
-{
-    if (requested > 0)
-        return requested;
-    if (const char *env = std::getenv("ASDR_NUM_THREADS")) {
-        int v = std::atoi(env);
-        if (v > 0)
-            return v;
-    }
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? int(hw) : 1;
-}
-
-/** -1 = auto: ASDR_MORTON when set, else on. */
-bool
-resolveMorton(int requested)
-{
-    if (requested >= 0)
-        return requested != 0;
-    if (const char *env = std::getenv("ASDR_MORTON"))
-        return std::atoi(env) != 0;
-    return true;
-}
-
-} // namespace
 
 AsdrRenderer::AsdrRenderer(const nerf::RadianceField &field,
                            const RenderConfig &cfg)
@@ -51,6 +20,9 @@ AsdrRenderer::AsdrRenderer(const nerf::RadianceField &field,
     ASDR_ASSERT(cfg.samples_per_ray >= 2, "need at least 2 samples per ray");
     ASDR_ASSERT(cfg.approx_group >= 1, "approximation group must be >= 1");
 }
+
+// Out of line: engine::FrameEngine is incomplete in the header.
+AsdrRenderer::~AsdrRenderer() = default;
 
 AsdrRenderer::RayResult
 AsdrRenderer::renderRay(const nerf::Ray &ray, int budget, bool probe,
@@ -357,161 +329,256 @@ AsdrRenderer::renderTile(const nerf::Camera &camera, int x0, int y0,
     }
 }
 
+FrameShape
+AsdrRenderer::frameShape(int w, int h) const
+{
+    FrameShape s;
+    s.adaptive = cfg_.adaptive_sampling;
+    if (s.adaptive)
+        AdaptiveSampler::probeGridDims(w, h, cfg_.probe_stride, s.gw, s.gh);
+    s.morton = cfg_.eval_batch > 1 && resolveMorton(cfg_.morton_order);
+    const int T = std::max(1, cfg_.tile_size);
+    s.tiles_x = (w + T - 1) / T;
+    s.tiles_y = (h + T - 1) / T;
+    s.jobs = s.morton ? s.tiles_x * s.tiles_y : h;
+    return s;
+}
+
+void
+AsdrRenderer::beginFrame(FrameState &fs) const
+{
+    // The engine stamps `start` at submission (queue wait counts
+    // toward the frame's wall clock); traced renders reach here with
+    // it unset.
+    if (fs.start == std::chrono::steady_clock::time_point())
+        fs.start = std::chrono::steady_clock::now();
+    const int w = fs.camera.width();
+    const int h = fs.camera.height();
+    // The engine derives the shape once at admission (the graph is
+    // sized from it) and stores it into fs; only non-engine frames
+    // (traced renders) reach here without one.
+    if (fs.shape.jobs == 0) {
+        fs.shape = frameShape(w, h);
+        if (fs.force_row_order) { // traced renders keep pixel order
+            fs.shape.morton = false;
+            fs.shape.jobs = h;
+        }
+    }
+    fs.img = Image(w, h);
+    fs.budget_map.assign(size_t(w) * size_t(h),
+                         float(cfg_.samples_per_ray));
+    fs.actual_map.assign(size_t(w) * size_t(h), 0.0f);
+    fs.probed.assign(size_t(w) * size_t(h), 0);
+    if (fs.shape.adaptive && !fs.probes_reused) {
+        fs.probe_counts.assign(size_t(fs.shape.gw) * size_t(fs.shape.gh),
+                               cfg_.samples_per_ray);
+        fs.probe_profiles.assign(size_t(fs.shape.gh), WorkloadProfile{});
+    }
+    fs.job_profiles.assign(size_t(fs.shape.jobs), WorkloadProfile{});
+}
+
+void
+AsdrRenderer::probeRow(FrameState &fs, int gy) const
+{
+    // Phase I: probe every d-th pixel with the full budget. Every
+    // (gx, gy) cell maps to a unique pixel (floor((h-1)/d)*d <= h-1),
+    // so rows write disjoint outputs; per-row profiles are merged in
+    // row order by finalizeFrame.
+    thread_local RayWorkspace ws;
+    const int w = fs.camera.width();
+    const int h = fs.camera.height();
+    const int d = cfg_.probe_stride;
+    const int gw = fs.shape.gw;
+    WorkloadProfile &rp = fs.probe_profiles[size_t(gy)];
+    for (int gx = 0; gx < gw; ++gx) {
+        int px, py;
+        AdaptiveSampler::probePixel(gx, gy, d, w, h, px, py);
+        if (fs.sink)
+            fs.sink->onRayBegin(px, py, /*probe=*/true);
+        nerf::Ray ray = fs.camera.ray(float(px) + 0.5f, float(py) + 0.5f);
+        RayResult rr = renderRay(ray, cfg_.samples_per_ray, /*probe=*/true,
+                                 ws, rp, fs.sink);
+        rp.rays++;
+        rp.probe_rays++;
+        if (fs.sink)
+            fs.sink->onRayEnd();
+
+        int chosen = cfg_.samples_per_ray;
+        if (rr.hit_volume) {
+            float t0, t1;
+            intersectUnitCube(ray, t0, t1);
+            float dt = (t1 - t0) / float(cfg_.samples_per_ray);
+            chosen = sampler_.selectCount(ws.sigma.data(), ws.colors.data(),
+                                          cfg_.samples_per_ray, dt);
+        } else {
+            chosen = cfg_.min_samples;
+        }
+        fs.probe_counts[size_t(gy) * gw + gx] = chosen;
+        // Probe pixels keep their full-budget color; the hardware holds
+        // it in the render buffer already.
+        fs.img.at(px, py) = rr.color;
+        fs.probed[size_t(py) * w + px] = 1;
+        fs.budget_map[size_t(py) * w + px] = float(chosen);
+        fs.actual_map[size_t(py) * w + px] = float(rr.points_used);
+    }
+}
+
+void
+AsdrRenderer::planBudgets(FrameState &fs) const
+{
+    if (!fs.shape.adaptive)
+        return;
+    const int w = fs.camera.width();
+    const int h = fs.camera.height();
+    const int gw = fs.shape.gw;
+    const int gh = fs.shape.gh;
+    if (fs.probes_reused) {
+        // RenderSession probe reuse: splat the cached per-cell probe
+        // results (color, chosen budget, marched points) exactly where
+        // a fresh Phase I would have written them, then interpolate
+        // budgets from the cached counts. With an unchanged camera this
+        // reproduces the fresh frame bit for bit at zero probe cost.
+        ASDR_ASSERT(int(fs.reused_counts.size()) == gw * gh,
+                    "probe cache does not match the probe grid");
+        const int d = cfg_.probe_stride;
+        for (int gy = 0; gy < gh; ++gy)
+            for (int gx = 0; gx < gw; ++gx) {
+                const size_t cell = size_t(gy) * gw + gx;
+                int px, py;
+                AdaptiveSampler::probePixel(gx, gy, d, w, h, px, py);
+                fs.img.at(px, py) = fs.reused_colors[cell];
+                fs.probed[size_t(py) * w + px] = 1;
+                fs.budget_map[size_t(py) * w + px] =
+                    float(fs.reused_counts[cell]);
+                fs.actual_map[size_t(py) * w + px] = fs.reused_actual[cell];
+            }
+        fs.budgets =
+            sampler_.interpolateCounts(fs.reused_counts, gw, gh, w, h);
+    } else {
+        fs.budgets =
+            sampler_.interpolateCounts(fs.probe_counts, gw, gh, w, h);
+    }
+}
+
+void
+AsdrRenderer::phase2Job(FrameState &fs, int j) const
+{
+    // Phase II: render every remaining pixel with its budget. The
+    // batched path defaults to Morton/tile-coherent ray ordering
+    // (cache-line reuse across adjacent rays); the scalar reference
+    // keeps row-major pixel order. Frames are bit-identical either way.
+    const int w = fs.camera.width();
+    const int h = fs.camera.height();
+    const bool adaptive = fs.shape.adaptive;
+    WorkloadProfile &jp = fs.job_profiles[size_t(j)];
+    if (fs.shape.morton) {
+        thread_local TileWorkspace tws;
+        const int T = std::max(1, cfg_.tile_size);
+        const int tx = j % fs.shape.tiles_x;
+        const int ty = j / fs.shape.tiles_x;
+        renderTile(fs.camera, tx * T, ty * T, std::min(T, w - tx * T),
+                   std::min(T, h - ty * T),
+                   adaptive ? fs.budgets.data() : nullptr,
+                   adaptive ? fs.probed.data() : nullptr, tws, fs.img,
+                   fs.budget_map.data(), fs.actual_map.data(), jp);
+    } else {
+        thread_local RayWorkspace ws;
+        const int y = j;
+        for (int x = 0; x < w; ++x) {
+            if (adaptive && fs.probed[size_t(y) * w + x])
+                continue;
+            int budget = adaptive ? fs.budgets[size_t(y) * w + x]
+                                  : cfg_.samples_per_ray;
+            if (fs.sink)
+                fs.sink->onRayBegin(x, y, /*probe=*/false);
+            nerf::Ray ray = fs.camera.ray(float(x) + 0.5f, float(y) + 0.5f);
+            RayResult rr =
+                renderRay(ray, budget, /*probe=*/false, ws, jp, fs.sink);
+            jp.rays++;
+            if (fs.sink)
+                fs.sink->onRayEnd();
+            fs.img.at(x, y) = rr.color;
+            fs.budget_map[size_t(y) * w + x] = float(budget);
+            fs.actual_map[size_t(y) * w + x] = float(rr.points_used);
+        }
+    }
+}
+
+void
+AsdrRenderer::finalizeFrame(FrameState &fs, RenderStats *stats) const
+{
+    if (!stats)
+        return;
+    WorkloadProfile profile;
+    for (const auto &rp : fs.probe_profiles)
+        profile.merge(rp);
+    for (const auto &jp : fs.job_profiles)
+        profile.merge(jp);
+    stats->profile = profile;
+    double budget_sum = 0.0, actual_sum = 0.0;
+    for (float c : fs.budget_map)
+        budget_sum += c;
+    for (float c : fs.actual_map)
+        actual_sum += c;
+    const double pixels = double(fs.budget_map.size());
+    stats->avg_points_per_pixel = budget_sum / pixels;
+    stats->avg_actual_points_per_pixel = actual_sum / pixels;
+    stats->sample_count_map = std::move(fs.budget_map);
+    stats->actual_points_map = std::move(fs.actual_map);
+    stats->wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - fs.start)
+                              .count();
+}
+
+Image
+AsdrRenderer::renderTraced(const nerf::Camera &camera, RenderStats *stats,
+                           TraceSink &sink) const
+{
+    // Serial in-thread render over the same stage functions the engine
+    // pipelines: trace sinks observe a strictly ordered per-point event
+    // stream, so stages run one after another on this thread, Phase II
+    // keeps row-major pixel order, and renderRay selects the scalar
+    // path whenever the sink is attached.
+    FrameState fs(camera);
+    fs.force_row_order = true;
+    fs.sink = &sink;
+    beginFrame(fs);
+    sink.onFrameBegin(camera.width(), camera.height());
+    if (fs.shape.adaptive)
+        for (int gy = 0; gy < fs.shape.gh; ++gy)
+            probeRow(fs, gy);
+    planBudgets(fs);
+    for (int j = 0; j < fs.shape.jobs; ++j)
+        phase2Job(fs, j);
+    sink.onFrameEnd();
+    finalizeFrame(fs, stats);
+    return std::move(fs.img);
+}
+
 Image
 AsdrRenderer::render(const nerf::Camera &camera, RenderStats *stats,
                      TraceSink *sink) const
 {
-    auto start = std::chrono::steady_clock::now();
-
-    const int w = camera.width();
-    const int h = camera.height();
-    Image img(w, h);
-
-    // Trace sinks observe a strictly ordered event stream -> serial.
-    const int threads = sink ? 1 : resolveThreadCount(cfg_.num_threads);
-    ThreadPool pool(threads);
-
-    WorkloadProfile profile;
-    std::vector<float> budget_map(size_t(w) * size_t(h),
-                                  float(cfg_.samples_per_ray));
-    std::vector<float> actual_map(size_t(w) * size_t(h), 0.0f);
-
     if (sink)
-        sink->onFrameBegin(w, h);
+        return renderTraced(camera, stats, *sink);
 
-    std::vector<int> budgets;
-    std::vector<char> probed(size_t(w) * size_t(h), 0);
-
-    if (cfg_.adaptive_sampling) {
-        // ---- Phase I: probe every d-th pixel with the full budget ----
-        // Probe-grid rows are independent jobs; every (gx, gy) cell maps
-        // to a unique pixel (floor((h-1)/d)*d <= h-1), so all writes are
-        // disjoint. Per-row profiles are merged in row order below.
-        const int d = cfg_.probe_stride;
-        int gw, gh;
-        AdaptiveSampler::probeGridDims(w, h, d, gw, gh);
-        std::vector<int> probe_counts(size_t(gw) * size_t(gh),
-                                      cfg_.samples_per_ray);
-        std::vector<WorkloadProfile> row_profiles(static_cast<size_t>(gh));
-        pool.parallelFor(0, gh, [&](int gy) {
-            static thread_local RayWorkspace ws;
-            WorkloadProfile &rp = row_profiles[size_t(gy)];
-            for (int gx = 0; gx < gw; ++gx) {
-                int px = std::min(gx * d, w - 1);
-                int py = std::min(gy * d, h - 1);
-                if (sink)
-                    sink->onRayBegin(px, py, /*probe=*/true);
-                nerf::Ray ray =
-                    camera.ray(float(px) + 0.5f, float(py) + 0.5f);
-                RayResult rr = renderRay(ray, cfg_.samples_per_ray,
-                                         /*probe=*/true, ws, rp, sink);
-                rp.rays++;
-                rp.probe_rays++;
-                if (sink)
-                    sink->onRayEnd();
-
-                int chosen = cfg_.samples_per_ray;
-                if (rr.hit_volume) {
-                    float t0, t1;
-                    intersectUnitCube(ray, t0, t1);
-                    float dt = (t1 - t0) / float(cfg_.samples_per_ray);
-                    chosen = sampler_.selectCount(ws.sigma.data(),
-                                                  ws.colors.data(),
-                                                  cfg_.samples_per_ray, dt);
-                } else {
-                    chosen = cfg_.min_samples;
-                }
-                probe_counts[size_t(gy) * gw + gx] = chosen;
-                // Probe pixels keep their full-budget color; the
-                // hardware holds it in the render buffer already.
-                img.at(px, py) = rr.color;
-                probed[size_t(py) * w + px] = 1;
-                budget_map[size_t(py) * w + px] = float(chosen);
-                actual_map[size_t(py) * w + px] = float(rr.points_used);
-            }
-        });
-        for (const auto &rp : row_profiles)
-            profile.merge(rp);
-        budgets = sampler_.interpolateCounts(probe_counts, gw, gh, w, h);
-    }
-
-    // ---- Phase II: render every (remaining) pixel with its budget ----
-    // The batched path defaults to Morton/tile-coherent ray ordering
-    // (cache-line reuse across adjacent rays); the scalar reference and
-    // traced renders keep row-major pixel order. Frames are
-    // bit-identical either way.
-    const bool morton =
-        !sink && cfg_.eval_batch > 1 && resolveMorton(cfg_.morton_order);
-    if (morton) {
-        const int T = std::max(1, cfg_.tile_size);
-        const int tiles_x = (w + T - 1) / T;
-        const int tiles_y = (h + T - 1) / T;
-        const int tiles = tiles_x * tiles_y;
-        std::vector<WorkloadProfile> tile_profiles(
-            static_cast<size_t>(tiles));
-        pool.parallelFor(0, tiles, [&](int t) {
-            static thread_local TileWorkspace tws;
-            const int tx = t % tiles_x;
-            const int ty = t / tiles_x;
-            renderTile(camera, tx * T, ty * T, std::min(T, w - tx * T),
-                       std::min(T, h - ty * T),
-                       cfg_.adaptive_sampling ? budgets.data() : nullptr,
-                       cfg_.adaptive_sampling ? probed.data() : nullptr,
-                       tws, img, budget_map.data(), actual_map.data(),
-                       tile_profiles[size_t(t)]);
-        });
-        for (const auto &tp : tile_profiles)
-            profile.merge(tp);
-    } else {
-        std::vector<WorkloadProfile> row_profiles(static_cast<size_t>(h));
-        pool.parallelFor(0, h, [&](int y) {
-            static thread_local RayWorkspace ws;
-            WorkloadProfile &rp = row_profiles[size_t(y)];
-            for (int x = 0; x < w; ++x) {
-                if (cfg_.adaptive_sampling && probed[size_t(y) * w + x])
-                    continue;
-                int budget = cfg_.adaptive_sampling
-                                 ? budgets[size_t(y) * w + x]
-                                 : cfg_.samples_per_ray;
-                if (sink)
-                    sink->onRayBegin(x, y, /*probe=*/false);
-                nerf::Ray ray =
-                    camera.ray(float(x) + 0.5f, float(y) + 0.5f);
-                RayResult rr = renderRay(ray, budget, /*probe=*/false, ws,
-                                         rp, sink);
-                rp.rays++;
-                if (sink)
-                    sink->onRayEnd();
-                img.at(x, y) = rr.color;
-                budget_map[size_t(y) * w + x] = float(budget);
-                actual_map[size_t(y) * w + x] = float(rr.points_used);
-            }
-        });
-        for (const auto &rp : row_profiles)
-            profile.merge(rp);
-    }
-
-    if (sink)
-        sink->onFrameEnd();
-
-    if (stats) {
-        stats->profile = profile;
-        double budget_sum = 0.0, actual_sum = 0.0;
-        for (float c : budget_map)
-            budget_sum += c;
-        for (float c : actual_map)
-            actual_sum += c;
-        const double pixels = double(budget_map.size());
-        stats->avg_points_per_pixel = budget_sum / pixels;
-        stats->avg_actual_points_per_pixel = actual_sum / pixels;
-        stats->sample_count_map = std::move(budget_map);
-        stats->actual_points_map = std::move(actual_map);
-        stats->wall_seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          start)
-                .count();
-    }
-    return img;
+    // Thin synchronous facade over the streaming engine: the worker
+    // pool persists across render() calls instead of being rebuilt per
+    // frame, and one frame's stages flow through the same FrameGraph
+    // the pipelined path uses (max_frames_in_flight = 1 here -- the
+    // caller blocks on the frame anyway).
+    std::call_once(engine_once_, [&] {
+        engine::EngineConfig ec;
+        ec.num_threads = cfg_.num_threads;
+        ec.max_frames_in_flight = 1;
+        engine_ = std::make_unique<engine::FrameEngine>(ec);
+    });
+    engine::FrameRequest req(camera);
+    req.renderer = this;
+    engine::Frame frame = engine_->submit(std::move(req)).get();
+    if (stats)
+        *stats = std::move(frame.stats);
+    return std::move(frame.image);
 }
 
 } // namespace asdr::core

@@ -26,6 +26,9 @@
 #ifndef ASDR_CORE_RENDERER_HPP
 #define ASDR_CORE_RENDERER_HPP
 
+#include <chrono>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/adaptive_sampler.hpp"
@@ -34,6 +37,10 @@
 #include "image/image.hpp"
 #include "nerf/camera.hpp"
 #include "nerf/field.hpp"
+
+namespace asdr::engine {
+class FrameEngine;
+}
 
 namespace asdr::core {
 
@@ -59,19 +66,123 @@ struct RenderStats
     double wall_seconds = 0.0;
 };
 
+/**
+ * Static shape of one frame's stage graph, derivable from the config
+ * and resolution alone (before any rendering): how many Phase I probe
+ * rows and Phase II jobs the frame decomposes into. The engine sizes
+ * its task graph from this without touching the field.
+ */
+struct FrameShape
+{
+    int gw = 0, gh = 0;           ///< probe grid (0x0 when not adaptive)
+    int tiles_x = 0, tiles_y = 0; ///< Morton tile grid
+    int jobs = 0;                 ///< Phase II job count (tiles or rows)
+    bool morton = false;          ///< tile-Z-curve Phase II ordering
+    bool adaptive = false;        ///< Phase I runs this frame
+};
+
+/**
+ * All per-frame state of one render pass, threaded through the stage
+ * API below. One FrameState corresponds to one in-flight frame of the
+ * streaming engine; the synchronous render() facade uses exactly the
+ * same stages, so both paths are bit-identical by construction.
+ */
+struct FrameState
+{
+    explicit FrameState(const nerf::Camera &cam) : camera(cam) {}
+
+    nerf::Camera camera;
+    FrameShape shape;
+    Image img;
+    std::vector<float> budget_map;
+    std::vector<float> actual_map;
+    std::vector<char> probed;
+    std::vector<int> probe_counts; ///< per probe cell, gw x gh
+    std::vector<int> budgets;      ///< per pixel, after planBudgets
+    /** Per-job profiles, merged in index order at finalize. */
+    std::vector<WorkloadProfile> probe_profiles;
+    std::vector<WorkloadProfile> job_profiles;
+
+    /**
+     * Injected probe plan (RenderSession probe reuse): when
+     * `probes_reused` is set, Phase I is skipped entirely and
+     * planBudgets() splats these cached per-cell results instead --
+     * probe-pixel colors into the image and the counts into the
+     * interpolation. Bit-identical to a fresh render when the camera
+     * is unchanged; an approximation across small camera deltas.
+     */
+    bool probes_reused = false;
+    std::vector<int> reused_counts;
+    std::vector<Vec3> reused_colors;
+    std::vector<float> reused_actual;
+
+    /**
+     * Traced renders (renderTraced) force row-major Phase II jobs and
+     * attach the sink; both must stay unset for engine frames (stages
+     * would race on the sink's ordered event stream).
+     */
+    bool force_row_order = false;
+    TraceSink *sink = nullptr;
+
+    std::chrono::steady_clock::time_point start;
+};
+
 class AsdrRenderer
 {
   public:
     AsdrRenderer(const nerf::RadianceField &field, const RenderConfig &cfg);
+    ~AsdrRenderer();
 
     const RenderConfig &config() const { return cfg_; }
 
     /**
      * Render a frame. `stats` and `sink` may be null; attaching a sink
      * streams the full lookup/execution trace through it.
+     *
+     * This is a thin synchronous facade over the streaming frame
+     * engine: the first non-traced render lazily starts a per-renderer
+     * engine::FrameEngine (one persistent worker pool sized by
+     * cfg.num_threads), and every subsequent render reuses it -- no
+     * per-frame thread construction. Traced renders (`sink` attached)
+     * run the serial in-thread path so the event stream keeps its
+     * exact ordering.
      */
     Image render(const nerf::Camera &camera, RenderStats *stats = nullptr,
                  TraceSink *sink = nullptr) const;
+
+    // ------------------------------------------------------------------
+    // Frame-stage API (the engine's view of a render): a bit-exact
+    // decomposition of render() into graph nodes
+    //
+    //   beginFrame -> probeRow* -> planBudgets -> phase2Job* -> finalize
+    //
+    // Stages of one frame must respect that order (the engine's
+    // FrameGraph encodes it as dependencies); stages of *different*
+    // frames may interleave freely, which is what multi-frame
+    // pipelining exploits. probeRow/phase2Job calls with distinct
+    // indices are independent and may run concurrently.
+    // ------------------------------------------------------------------
+
+    /** Stage-graph shape for a frame at `w` x `h` under this config. */
+    FrameShape frameShape(int w, int h) const;
+
+    /** Ray/buffer setup: allocates the image and per-pixel maps. */
+    void beginFrame(FrameState &fs) const;
+
+    /** Phase I: probe row `gy` of the probe grid (full-budget rays +
+     *  Eq. (3) difficulty -> per-cell budgets). */
+    void probeRow(FrameState &fs, int gy) const;
+
+    /** Sample-count planning: bilinear budget interpolation (or the
+     *  cached-probe splat when `fs.probes_reused`). */
+    void planBudgets(FrameState &fs) const;
+
+    /** Phase II job `j`: one Morton tile (or one image row when tile
+     *  ordering is off). */
+    void phase2Job(FrameState &fs, int j) const;
+
+    /** Merge per-job profiles (index order) and fill `stats`. */
+    void finalizeFrame(FrameState &fs, RenderStats *stats) const;
 
     /** Reusable per-ray scratch buffers. */
     struct RayWorkspace
@@ -161,10 +272,19 @@ class AsdrRenderer
                     TileWorkspace &tws, Image &img, float *budget_map,
                     float *actual_map, WorkloadProfile &profile) const;
 
+    /** Serial in-thread render used when a trace sink is attached. */
+    Image renderTraced(const nerf::Camera &camera, RenderStats *stats,
+                       TraceSink &sink) const;
+
     const nerf::RadianceField &field_;
     RenderConfig cfg_;
     AdaptiveSampler sampler_;
     int lookups_per_point_; ///< hoisted from costs() (hot path)
+
+    /** Lazily-started engine behind the synchronous facade (one
+     *  persistent pool per renderer, shared by all its frames). */
+    mutable std::unique_ptr<engine::FrameEngine> engine_;
+    mutable std::once_flag engine_once_;
 };
 
 } // namespace asdr::core

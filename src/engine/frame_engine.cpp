@@ -1,0 +1,223 @@
+#include "engine/frame_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "engine/frame_graph.hpp"
+#include "engine/render_session.hpp"
+#include "util/logging.hpp"
+
+namespace asdr::engine {
+
+/** One admitted frame: request, state, stage graph, and the renderer
+ *  executing its stages. Lives in FrameEngine::frames_ until the
+ *  graph's on_done erases it. */
+struct FrameEngine::InFlight
+{
+    InFlight(FrameRequest r, uint64_t frame_id)
+        : req(std::move(r)), fs(req.camera), id(frame_id)
+    {
+    }
+
+    FrameRequest req;
+    core::FrameState fs;
+    std::unique_ptr<core::AsdrRenderer> owned_renderer;
+    const core::AsdrRenderer *renderer = nullptr;
+    FrameGraph graph;
+    std::promise<Frame> promise;
+    uint64_t id;
+    bool fresh_probes = false; ///< update the session cache on completion
+    bool ran_probes = false;   ///< a fresh Phase I ran (session stats)
+    bool track_reuse = false;  ///< encode-reuse hook attached
+    uint64_t session_epoch = 0; ///< session probe epoch at admission
+    std::atomic<bool> delivered{false}; ///< promise satisfied
+};
+
+FrameEngine::FrameEngine(const EngineConfig &cfg) : cfg_(cfg)
+{
+    ASDR_ASSERT(cfg.max_frames_in_flight >= 1,
+                "need at least one pipeline slot");
+    pool_.start(std::max(1, core::resolveThreadCount(cfg.num_threads)));
+}
+
+FrameEngine::~FrameEngine()
+{
+    drain();
+    pool_.stop();
+}
+
+std::future<Frame>
+FrameEngine::submit(FrameRequest req)
+{
+    ASDR_ASSERT(req.renderer != nullptr || req.field != nullptr,
+                "request needs a renderer or a field");
+    std::future<Frame> fut;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        const uint64_t id = next_id_++;
+        auto inf = std::make_unique<InFlight>(std::move(req), id);
+        // Wall clock starts at submission: time queued behind other
+        // frames counts toward the frame's reported latency.
+        inf->fs.start = std::chrono::steady_clock::now();
+        fut = inf->promise.get_future();
+        frames_.emplace(id, std::move(inf));
+        queue_.push_back(id);
+        pumpLocked();
+    }
+    return fut;
+}
+
+std::future<Frame>
+FrameEngine::submit(RenderSession &session, const nerf::Camera &camera)
+{
+    FrameRequest req(camera);
+    req.renderer = &session.renderer();
+    req.session = &session;
+    return submit(std::move(req));
+}
+
+void
+FrameEngine::drain()
+{
+    std::unique_lock<std::mutex> lock(m_);
+    idle_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void
+FrameEngine::pumpLocked()
+{
+    while (in_flight_ < cfg_.max_frames_in_flight && !queue_.empty()) {
+        const uint64_t id = queue_.front();
+        queue_.pop_front();
+        ++in_flight_;
+        InFlight *f = frames_.at(id).get();
+        try {
+            launchLocked(f);
+        } catch (...) {
+            // Admission failed (e.g. allocation) before any task was
+            // queued: undo the hook claim, fail this frame's future,
+            // and free its slot instead of wedging the queue.
+            if (f->track_reuse && f->req.session)
+                f->req.session->detachReuseHook();
+            auto it = frames_.find(id);
+            it->second->promise.set_exception(std::current_exception());
+            frames_.erase(it);
+            --in_flight_;
+            continue;
+        }
+        // Frame id as execution priority: older frames' ready stages
+        // always outrank newer frames', so pipelining fills idle
+        // workers without inverting the pipeline (ThreadPool::submit).
+        // A throw mid-run would leave queued tasks referencing a frame
+        // we can no longer safely discard, so treat it as fatal rather
+        // than wedging the engine (it only throws under allocation
+        // failure).
+        try {
+            f->graph.run(pool_, [this, id] { frameDone(id); }, id);
+        } catch (...) {
+            panic("frame graph submission failed mid-run");
+        }
+    }
+}
+
+void
+FrameEngine::launchLocked(InFlight *f)
+{
+    if (f->req.renderer) {
+        f->renderer = f->req.renderer;
+    } else {
+        f->owned_renderer = std::make_unique<core::AsdrRenderer>(
+            *f->req.field, f->req.config);
+        f->renderer = f->owned_renderer.get();
+    }
+    const core::AsdrRenderer *r = f->renderer;
+    // Derive the stage-graph shape once and store it: beginFrame must
+    // see exactly the shape the graph was sized from (frameShape reads
+    // env-dependent state, so re-deriving it later could disagree).
+    const core::FrameShape shape =
+        r->frameShape(f->req.camera.width(), f->req.camera.height());
+    f->fs.shape = shape;
+
+    RenderSession *session = f->req.session;
+    if (session) {
+        session->tryReuseProbes(shape, f->fs);
+        f->ran_probes = shape.adaptive && !f->fs.probes_reused;
+        f->fresh_probes =
+            f->ran_probes && session->sessionConfig().reuse_probes;
+        f->session_epoch = session->probeEpoch();
+        // The encode-reuse hook needs a strictly single-threaded,
+        // one-frame-at-a-time render; ignore the request otherwise.
+        if (session->sessionConfig().track_encode_reuse &&
+            pool_.workerCount() == 1 && cfg_.max_frames_in_flight == 1)
+            f->track_reuse = session->attachReuseHook();
+    }
+
+    // ---- the frame's stage graph ----
+    FrameGraph &g = f->graph;
+    const int setup = g.addNode("ray setup", 1,
+                                [f, r](int) { r->beginFrame(f->fs); });
+    int prev = setup;
+    if (shape.adaptive && !f->fs.probes_reused) {
+        const int probe =
+            g.addNode("phase1 probes", shape.gh,
+                      [f, r](int gy) { r->probeRow(f->fs, gy); });
+        g.addEdge(setup, probe);
+        prev = probe;
+    }
+    const int plan = g.addNode("sample planning", 1,
+                               [f, r](int) { r->planBudgets(f->fs); });
+    g.addEdge(prev, plan);
+    const int phase2 = g.addNode("phase2 tiles", shape.jobs,
+                                 [f, r](int j) { r->phase2Job(f->fs, j); });
+    g.addEdge(plan, phase2);
+    const int fin = g.addNode("finalize", 1, [f, r](int) {
+        RenderSession *s = f->req.session;
+        if (s) {
+            if (f->track_reuse)
+                s->detachReuseHook();
+            if (f->fresh_probes)
+                s->storeProbeCache(f->fs, f->id, f->session_epoch);
+            s->onFrameDone(f->ran_probes, f->fs.probes_reused);
+        }
+        Frame frame;
+        frame.id = f->id;
+        r->finalizeFrame(f->fs, &frame.stats);
+        frame.image = std::move(f->fs.img);
+        f->promise.set_value(std::move(frame));
+        f->delivered.store(true, std::memory_order_release);
+    });
+    g.addEdge(phase2, fin);
+    // The caller (pumpLocked) starts the graph once this throwing
+    // preparation phase is over.
+}
+
+void
+FrameEngine::frameDone(uint64_t id)
+{
+    std::unique_ptr<InFlight> dead;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        auto it = frames_.find(id);
+        dead = std::move(it->second);
+        frames_.erase(it);
+        --in_flight_;
+        pumpLocked();
+    }
+    // A stage threw: the finalize node was skipped (promise untouched),
+    // so deliver the error to the future and undo the hook attachment.
+    if (!dead->delivered.load(std::memory_order_acquire)) {
+        if (dead->track_reuse && dead->req.session)
+            dead->req.session->detachReuseHook();
+        std::exception_ptr err = dead->graph.error();
+        dead->promise.set_exception(
+            err ? err
+                : std::make_exception_ptr(
+                      std::runtime_error("frame abandoned")));
+    }
+    idle_cv_.notify_all();
+    // `dead` (graph included) is destroyed here, on the worker that ran
+    // the graph's final task; the executing on_done closure was moved
+    // out of the graph before the call, so this is safe.
+}
+
+} // namespace asdr::engine

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Streaming frame-serving engine: the pipelined execution model behind
+ * continuous rendering traffic (camera paths, many concurrent viewers).
+ *
+ * The engine owns ONE long-lived worker pool for its whole lifetime --
+ * no per-frame thread construction -- and accepts FrameRequests on a
+ * queue, returning a std::future<Frame> per request. Up to
+ * `max_frames_in_flight` admitted frames execute concurrently, each as
+ * a FrameGraph of explicit stages
+ *
+ *   ray setup -> Phase I probe rows -> sample-count planning
+ *             -> Phase II Morton tiles -> composite/finalize
+ *
+ * over the shared pool. Because the stage graph encodes only
+ * *intra-frame* dependencies, frame N's Phase II tiles overlap frame
+ * N+1's Phase I probes on idle workers: the serial planning/finalize
+ * stages and the straggler tails at each stage boundary -- dead time in
+ * the blocking path -- are covered by neighboring frames' work. This
+ * mirrors the paper's hardware, which pipelines the Phase I and
+ * Phase II engines over shared CIM arrays (§5.5).
+ *
+ * Every stage is a bit-exact decomposition of AsdrRenderer::render()
+ * (which is itself a one-frame facade over this engine), so pipelined
+ * frames are bit-identical to sequential render() calls -- enforced by
+ * tests/test_engine.cpp.
+ */
+
+#ifndef ASDR_ENGINE_FRAME_ENGINE_HPP
+#define ASDR_ENGINE_FRAME_ENGINE_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/renderer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace asdr::engine {
+
+class RenderSession;
+
+struct EngineConfig
+{
+    /** Worker threads of the engine's pool. 0 = auto: ASDR_NUM_THREADS
+     *  when set, else the hardware concurrency. */
+    int num_threads = 0;
+    /** Frames pipelined concurrently; 1 = strictly sequential frames
+     *  (still no per-frame thread churn). */
+    int max_frames_in_flight = 2;
+};
+
+/** A completed frame: the image plus its render stats. */
+struct Frame
+{
+    Image image;
+    core::RenderStats stats;
+    uint64_t id = 0; ///< submission order, 1-based
+};
+
+struct FrameRequest
+{
+    explicit FrameRequest(const nerf::Camera &cam) : camera(cam) {}
+
+    nerf::Camera camera;
+    /** Scene + knobs when the engine should build the renderer itself
+     *  (ignored when `renderer` is set). */
+    const nerf::RadianceField *field = nullptr;
+    core::RenderConfig config;
+    /** Render through an existing renderer (the synchronous facade and
+     *  RenderSession submissions use this). Must outlive the frame. */
+    const core::AsdrRenderer *renderer = nullptr;
+    /** Optional per-viewer session (probe cache, session stats). */
+    RenderSession *session = nullptr;
+};
+
+class FrameEngine
+{
+  public:
+    explicit FrameEngine(const EngineConfig &cfg = {});
+    /** Drains all in-flight frames, then stops the pool. */
+    ~FrameEngine();
+
+    FrameEngine(const FrameEngine &) = delete;
+    FrameEngine &operator=(const FrameEngine &) = delete;
+
+    const EngineConfig &config() const { return cfg_; }
+    int threadCount() const { return pool_.workerCount(); }
+
+    /**
+     * Enqueue a frame; admission happens as soon as a pipeline slot
+     * frees up. The returned future delivers the finished frame (and
+     * rethrows any render error).
+     */
+    std::future<Frame> submit(FrameRequest req);
+
+    /** Stream a frame through a session (probe cache + session stats). */
+    std::future<Frame> submit(RenderSession &session,
+                              const nerf::Camera &camera);
+
+    /** Block until every submitted frame completed. */
+    void drain();
+
+    /** The engine's persistent pool (exposed for diagnostics/tests). */
+    ThreadPool &pool() { return pool_; }
+
+  private:
+    struct InFlight;
+
+    /** Admit queued frames while pipeline slots are free (m_ held). */
+    void pumpLocked();
+    void launchLocked(InFlight *f);
+    void frameDone(uint64_t id);
+
+    EngineConfig cfg_;
+    ThreadPool pool_;
+
+    std::mutex m_;
+    std::condition_variable idle_cv_;
+    std::deque<uint64_t> queue_; ///< submitted, not yet admitted
+    std::unordered_map<uint64_t, std::unique_ptr<InFlight>> frames_;
+    int in_flight_ = 0;
+    uint64_t next_id_ = 1;
+};
+
+} // namespace asdr::engine
+
+#endif // ASDR_ENGINE_FRAME_ENGINE_HPP

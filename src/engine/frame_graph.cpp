@@ -1,0 +1,107 @@
+#include "engine/frame_graph.hpp"
+
+#include "util/logging.hpp"
+
+namespace asdr::engine {
+
+int
+FrameGraph::addNode(const char *label, int count, TaskFn fn)
+{
+    ASDR_ASSERT(!started_, "graph already running");
+    ASDR_ASSERT(count >= 0, "negative task count");
+    nodes_.emplace_back(label, count, std::move(fn));
+    return int(nodes_.size()) - 1;
+}
+
+void
+FrameGraph::addEdge(int from, int to)
+{
+    ASDR_ASSERT(!started_, "graph already running");
+    ASDR_ASSERT(from >= 0 && from < int(nodes_.size()) && to >= 0 &&
+                    to < int(nodes_.size()) && from != to,
+                "bad edge");
+    nodes_[size_t(from)].out.push_back(to);
+    nodes_[size_t(to)].dep_count++;
+}
+
+void
+FrameGraph::run(ThreadPool &pool, std::function<void()> on_done,
+                uint64_t key)
+{
+    ASDR_ASSERT(!started_, "graph already running");
+    started_ = true;
+    pool_ = &pool;
+    key_ = key;
+    on_done_ = std::move(on_done);
+    nodes_left_.store(int(nodes_.size()), std::memory_order_relaxed);
+    for (auto &n : nodes_)
+        n.deps_left.store(n.dep_count, std::memory_order_relaxed);
+    if (nodes_.empty()) {
+        auto done = std::move(on_done_);
+        done(); // may destroy this graph; nothing after
+        return;
+    }
+    // Collect roots first: scheduling can complete nodes inline (empty
+    // bundles on a stopped pool) and free the graph under us otherwise.
+    std::vector<int> roots;
+    for (int id = 0; id < int(nodes_.size()); ++id)
+        if (nodes_[size_t(id)].dep_count == 0)
+            roots.push_back(id);
+    for (int id : roots)
+        scheduleNode(id);
+}
+
+void
+FrameGraph::scheduleNode(int id)
+{
+    Node &n = nodes_[size_t(id)];
+    if (n.count == 0) {
+        nodeDone(id); // pure synchronization point
+        return;
+    }
+    n.tasks_left.store(n.count, std::memory_order_release);
+    for (int i = 0; i < n.count; ++i)
+        pool_->submit(
+            [this, id, i] {
+                Node &node = nodes_[size_t(id)];
+                // After a failure the rest of the frame is abandoned
+                // (its inputs may be unusable, e.g. beginFrame threw
+                // before allocating the buffers); nodes still complete
+                // so on_done fires and the error reaches the future.
+                if (!failed_.load(std::memory_order_acquire)) {
+                    try {
+                        node.fn(i);
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lock(error_m_);
+                        if (!error_)
+                            error_ = std::current_exception();
+                        failed_.store(true, std::memory_order_release);
+                    }
+                }
+                // The last task completes the node; afterwards this
+                // closure never touches the graph again (it may already
+                // be freed by the time a *sibling* finishes on_done).
+                if (node.tasks_left.fetch_sub(
+                        1, std::memory_order_acq_rel) == 1)
+                    nodeDone(id);
+            },
+            key_);
+}
+
+void
+FrameGraph::nodeDone(int id)
+{
+    // Successors first: nodes_left_ still counts them, so on_done_
+    // cannot fire until the whole graph -- including everything
+    // scheduled here -- has drained.
+    for (int succ : nodes_[size_t(id)].out)
+        if (nodes_[size_t(succ)].deps_left.fetch_sub(
+                1, std::memory_order_acq_rel) == 1)
+            scheduleNode(succ);
+    if (nodes_left_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        auto done = std::move(on_done_);
+        done(); // may destroy this graph; nothing after
+    }
+}
+
+} // namespace asdr::engine

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Dependency graph of one frame's render stages, executed on the
+ * engine's shared ThreadPool.
+ *
+ * A node is a *bundle* of `count` independent tasks (e.g. "Phase II" is
+ * one node of `tiles` tasks); the node completes when every task of the
+ * bundle has run, and a node becomes eligible the moment all of its
+ * predecessors completed. Nodes of *different* frames share the same
+ * pool, so there is no global barrier anywhere: while one frame's
+ * Phase II tiles drain, the next frame's Phase I probes are already
+ * claiming idle workers -- that inter-frame overlap is where the
+ * pipelined throughput comes from.
+ *
+ * Lifetime: the graph object must outlive run(); `on_done` is invoked
+ * exactly once, from the worker that finished the last task, and is
+ * the graph's final self-access -- it may destroy the graph.
+ */
+
+#ifndef ASDR_ENGINE_FRAME_GRAPH_HPP
+#define ASDR_ENGINE_FRAME_GRAPH_HPP
+
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace asdr::engine {
+
+class FrameGraph
+{
+  public:
+    /** Task fn receives its index within the node's bundle. */
+    using TaskFn = std::function<void(int)>;
+
+    FrameGraph() = default;
+    FrameGraph(const FrameGraph &) = delete;
+    FrameGraph &operator=(const FrameGraph &) = delete;
+
+    /**
+     * Add a node of `count` independent tasks (count 0 = a pure
+     * synchronization point that completes immediately when eligible).
+     * Returns the node id used by addEdge. `label` must outlive the
+     * graph (string literals).
+     */
+    int addNode(const char *label, int count, TaskFn fn);
+
+    /** Node `to` may not start until node `from` completed. */
+    void addEdge(int from, int to);
+
+    /**
+     * Submit all eligible nodes and return immediately; `on_done` runs
+     * on a worker once every node completed. One-shot: a graph cannot
+     * be run twice. `key` is the pool's execution priority (smaller
+     * first); the engine passes the frame id so older frames' stages
+     * drain before newer frames' whenever both are ready.
+     */
+    void run(ThreadPool &pool, std::function<void()> on_done,
+             uint64_t key = 0);
+
+    int nodeCount() const { return int(nodes_.size()); }
+
+    /**
+     * First exception thrown by any task, null when the run succeeded.
+     * Once a task throws, remaining tasks are skipped (their nodes
+     * still complete, so on_done always fires); read from on_done.
+     */
+    std::exception_ptr error() const
+    {
+        return failed_.load(std::memory_order_acquire) ? error_ : nullptr;
+    }
+
+  private:
+    struct Node
+    {
+        Node(const char *l, int c, TaskFn f)
+            : label(l), count(c), fn(std::move(f))
+        {
+        }
+        const char *label;
+        int count;
+        TaskFn fn;
+        std::vector<int> out; ///< successor node ids
+        int dep_count = 0;
+        std::atomic<int> deps_left{0};
+        std::atomic<int> tasks_left{0};
+    };
+
+    void scheduleNode(int id);
+    void nodeDone(int id);
+
+    std::deque<Node> nodes_; ///< deque: stable addresses, atomics inside
+    ThreadPool *pool_ = nullptr;
+    std::function<void()> on_done_;
+    std::atomic<int> nodes_left_{0};
+    uint64_t key_ = 0;
+    bool started_ = false;
+    std::mutex error_m_;
+    std::exception_ptr error_;  ///< first failure (error_m_ to write)
+    std::atomic<bool> failed_{false};
+};
+
+} // namespace asdr::engine
+
+#endif // ASDR_ENGINE_FRAME_GRAPH_HPP

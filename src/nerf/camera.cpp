@@ -62,6 +62,25 @@ cameraForScene(const scene::SceneInfo &info, int width, int height)
                   info.fov_deg, width, height);
 }
 
+std::vector<Camera>
+orbitCameraPath(const scene::SceneInfo &info, int width, int height,
+                int frames, float step_rad)
+{
+    std::vector<Camera> path;
+    path.reserve(size_t(std::max(0, frames)));
+    for (int f = 0; f < frames; ++f) {
+        const float angle = step_rad * float(f);
+        Vec3 pos = info.cam_pos;
+        const float dx = pos.x - 0.5f;
+        const float dz = pos.z - 0.5f;
+        pos.x = 0.5f + dx * std::cos(angle) - dz * std::sin(angle);
+        pos.z = 0.5f + dx * std::sin(angle) + dz * std::cos(angle);
+        path.emplace_back(pos, info.look_at, Vec3(0.0f, 1.0f, 0.0f),
+                          info.fov_deg, width, height);
+    }
+    return path;
+}
+
 void
 scaledResolution(const scene::SceneInfo &info, float scale, int &width,
                  int &height)

@@ -7,6 +7,8 @@
 #ifndef ASDR_NERF_CAMERA_HPP
 #define ASDR_NERF_CAMERA_HPP
 
+#include <vector>
+
 #include "scene/analytic_scene.hpp"
 #include "util/vec.hpp"
 
@@ -28,6 +30,8 @@ class Camera
     int width() const { return width_; }
     int height() const { return height_; }
     const Vec3 &position() const { return pos_; }
+    /** Unit view direction (used by the engine's camera-delta checks). */
+    const Vec3 &forward() const { return forward_; }
 
     /** Ray through fractional pixel coordinates (px+0.5, py+0.5 for the
      *  pixel center). */
@@ -52,6 +56,15 @@ bool intersectUnitCube(const Ray &ray, float &t0, float &t1);
 
 /** Camera for a named scene at the given render resolution. */
 Camera cameraForScene(const scene::SceneInfo &info, int width, int height);
+
+/**
+ * A `frames`-step orbit for streaming benchmarks and examples: the
+ * scene's default viewpoint rotated about the volume's vertical center
+ * axis in `step_rad` increments (element 0 is the default camera).
+ */
+std::vector<Camera> orbitCameraPath(const scene::SceneInfo &info, int width,
+                                    int height, int frames,
+                                    float step_rad = 0.15f);
 
 /**
  * Render resolution for a scene at a given scale: the paper-resolution

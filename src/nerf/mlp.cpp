@@ -8,6 +8,37 @@
 
 namespace asdr::nerf {
 
+namespace {
+
+/** Lane width of the register-blocked batch kernels. */
+constexpr int kLaneBlock = 16;
+
+/**
+ * acc[p] = bias + wrow[0]*lanes0[p] + wrow[1]*lanes1[p] + ... -- THE
+ * matvec micro-kernel shared by both forwardBatch variants. Lanes are
+ * independent points, so within-point rounding matches the scalar
+ * forward()'s accumulation order exactly; this one function is the
+ * whole bit-identity contract. The pragma (a no-op without
+ * -fopenmp-simd) keeps the lanes in vector registers; without it GCC
+ * emits 16 scalar FMA chains.
+ */
+inline void
+accumulateLanes(const float *__restrict wrow, float bias, int in,
+                const float *__restrict lanes, float acc[kLaneBlock])
+{
+    for (int p = 0; p < kLaneBlock; ++p)
+        acc[p] = bias;
+    for (int i = 0; i < in; ++i) {
+        const float wv = wrow[i];
+        const float *__restrict lane = lanes + size_t(i) * kLaneBlock;
+#pragma omp simd
+        for (int p = 0; p < kLaneBlock; ++p)
+            acc[p] += wv * lane[p];
+    }
+}
+
+} // namespace
+
 Mlp::Mlp(const MlpConfig &cfg, uint64_t seed) : cfg_(cfg)
 {
     ASDR_ASSERT(cfg.input > 0 && cfg.output > 0, "bad MLP dimensions");
@@ -76,10 +107,9 @@ Mlp::forwardBatch(const float *in, int count, int in_stride, float *out,
     // points are held feature-major (lane p of feature i at
     // acts[i * kBlock + p]), so the inner loop runs *across points* --
     // independent accumulator lanes the compiler vectorizes -- while
-    // each weight row streams exactly once per block. Every point still
-    // accumulates bias + w[0]*x0 + w[1]*x1 + ... in forward()'s order,
-    // so results are bit-identical to the scalar path.
-    constexpr int kBlock = 16;
+    // each weight row streams exactly once per block (see
+    // accumulateLanes; results are bit-identical to the scalar path).
+    constexpr int kBlock = kLaneBlock;
     const size_t lane_w = std::max(size_t(cfg_.input), widest_);
     thread_local std::vector<float> acts_a, acts_b;
     acts_a.resize(lane_w * size_t(kBlock));
@@ -103,24 +133,9 @@ Mlp::forwardBatch(const float *in, int count, int in_stride, float *out,
             const Layer &layer = layers_[li];
             const bool last = li + 1 == layers_.size();
             for (int o = 0; o < layer.out; ++o) {
-                const float *__restrict wrow =
-                    layer.w.data() + size_t(o) * layer.in;
                 float acc[kBlock];
-                const float bias = layer.b[size_t(o)];
-                for (int p = 0; p < kBlock; ++p)
-                    acc[p] = bias;
-                for (int i = 0; i < layer.in; ++i) {
-                    const float wv = wrow[i];
-                    const float *__restrict lane =
-                        src_t + size_t(i) * kBlock;
-                    // The pragma (a no-op without -fopenmp-simd) keeps
-                    // the lanes in vector registers; without it GCC
-                    // emits 16 scalar FMA chains. Lanes are independent
-                    // points, so within-point rounding is untouched.
-#pragma omp simd
-                    for (int p = 0; p < kBlock; ++p)
-                        acc[p] += wv * lane[p];
-                }
+                accumulateLanes(layer.w.data() + size_t(o) * layer.in,
+                                layer.b[size_t(o)], layer.in, src_t, acc);
                 if (last) {
                     for (int p = 0; p < bn; ++p)
                         out[size_t(p0 + p) * size_t(out_stride) +
@@ -159,10 +174,69 @@ Mlp::forward(const float *in, float *out, MlpWorkspace &ws) const
 }
 
 void
-Mlp::backward(const MlpWorkspace &ws, const float *dout, float *din)
+Mlp::forwardBatch(const float *in, int count, int in_stride, float *out,
+                  int out_stride, MlpBatchWorkspace &ws) const
 {
-    ASDR_ASSERT(ws.acts.size() == layers_.size() + 1,
-                "workspace does not match a forward pass");
+    ASDR_ASSERT(count >= 0 && in_stride >= cfg_.input &&
+                    out_stride >= cfg_.output,
+                "bad forwardBatch geometry");
+    // Same accumulateLanes kernel as the inference forwardBatch above
+    // -- identical accumulation order, so outputs are bit-identical to
+    // per-sample forward() -- except every layer's activations are
+    // written out row-major so backward(ws, p, ...) can replay any
+    // sample.
+    constexpr int kBlock = kLaneBlock;
+    ws.count = count;
+    ws.acts.resize(layers_.size() + 1);
+    ws.acts[0].resize(size_t(count) * size_t(cfg_.input));
+    for (int p = 0; p < count; ++p)
+        std::copy(in + size_t(p) * size_t(in_stride),
+                  in + size_t(p) * size_t(in_stride) + size_t(cfg_.input),
+                  ws.acts[0].data() + size_t(p) * size_t(cfg_.input));
+
+    thread_local std::vector<float> lanes;
+    for (size_t li = 0; li < layers_.size(); ++li) {
+        const Layer &layer = layers_[li];
+        const bool last = li + 1 == layers_.size();
+        ws.acts[li + 1].resize(size_t(count) * size_t(layer.out));
+        const float *src = ws.acts[li].data();
+        float *dst = ws.acts[li + 1].data();
+        lanes.resize(size_t(layer.in) * size_t(kBlock));
+
+        for (int p0 = 0; p0 < count; p0 += kBlock) {
+            const int bn = std::min(kBlock, count - p0);
+            // Transpose the block's rows into feature-major lanes; dead
+            // lanes are zeroed so the arithmetic stays finite.
+            for (int i = 0; i < layer.in; ++i) {
+                float *lane = lanes.data() + size_t(i) * kBlock;
+                for (int p = 0; p < bn; ++p)
+                    lane[p] =
+                        src[size_t(p0 + p) * size_t(layer.in) + size_t(i)];
+                for (int p = bn; p < kBlock; ++p)
+                    lane[p] = 0.0f;
+            }
+            for (int o = 0; o < layer.out; ++o) {
+                float acc[kBlock];
+                accumulateLanes(layer.w.data() + size_t(o) * layer.in,
+                                layer.b[size_t(o)], layer.in,
+                                lanes.data(), acc);
+                for (int p = 0; p < bn; ++p)
+                    dst[size_t(p0 + p) * size_t(layer.out) + size_t(o)] =
+                        last ? acc[p] : std::max(acc[p], 0.0f);
+            }
+        }
+    }
+
+    const std::vector<float> &last_acts = ws.acts.back();
+    for (int p = 0; p < count; ++p)
+        std::copy(last_acts.data() + size_t(p) * size_t(cfg_.output),
+                  last_acts.data() + size_t(p + 1) * size_t(cfg_.output),
+                  out + size_t(p) * size_t(out_stride));
+}
+
+void
+Mlp::backwardImpl(const float *const *acts, const float *dout, float *din)
+{
     for (auto &layer : layers_) {
         if (layer.gw.empty()) {
             layer.gw.assign(layer.w.size(), 0.0f);
@@ -170,13 +244,21 @@ Mlp::backward(const MlpWorkspace &ws, const float *dout, float *din)
         }
     }
 
-    std::vector<float> delta(ws.acts.back().size());
-    std::copy(dout, dout + delta.size(), delta.begin());
+    // Ping-pong delta buffers, reused across calls: backward runs once
+    // per sample inside the training loop, so per-call heap traffic
+    // would dominate the small per-layer matvecs.
+    const size_t buf_w = std::max(size_t(cfg_.input), widest_);
+    thread_local std::vector<float> delta_buf, prev_buf;
+    delta_buf.resize(buf_w);
+    prev_buf.resize(buf_w);
+    float *delta = delta_buf.data();
+    float *prev = prev_buf.data();
+    std::copy(dout, dout + layers_.back().out, delta);
 
     for (size_t li = layers_.size(); li-- > 0;) {
         Layer &layer = layers_[li];
-        const std::vector<float> &input = ws.acts[li];
-        const std::vector<float> &output = ws.acts[li + 1];
+        const float *input = acts[li];
+        const float *output = acts[li + 1];
         bool last = li + 1 == layers_.size();
 
         // ReLU gate on hidden layers (output layer is linear).
@@ -197,7 +279,7 @@ Mlp::backward(const MlpWorkspace &ws, const float *dout, float *din)
         }
 
         if (li > 0 || din) {
-            std::vector<float> prev(size_t(layer.in), 0.0f);
+            std::fill(prev, prev + layer.in, 0.0f);
             for (int o = 0; o < layer.out; ++o) {
                 float d = delta[size_t(o)];
                 if (d == 0.0f)
@@ -207,12 +289,45 @@ Mlp::backward(const MlpWorkspace &ws, const float *dout, float *din)
                     prev[size_t(i)] += d * wrow[i];
             }
             if (li == 0) {
-                std::copy(prev.begin(), prev.end(), din);
+                std::copy(prev, prev + layer.in, din);
                 break;
             }
-            delta = std::move(prev);
+            std::swap(delta, prev);
         }
     }
+}
+
+namespace {
+/** Activation-pointer scratch bound (layers + 1; deepest net is 5). */
+constexpr size_t kMaxBackwardDepth = 16;
+} // namespace
+
+void
+Mlp::backward(const MlpWorkspace &ws, const float *dout, float *din)
+{
+    ASDR_ASSERT(ws.acts.size() == layers_.size() + 1,
+                "workspace does not match a forward pass");
+    ASDR_ASSERT(ws.acts.size() <= kMaxBackwardDepth, "MLP too deep");
+    const float *acts[kMaxBackwardDepth];
+    for (size_t li = 0; li < ws.acts.size(); ++li)
+        acts[li] = ws.acts[li].data();
+    backwardImpl(acts, dout, din);
+}
+
+void
+Mlp::backward(const MlpBatchWorkspace &ws, int p, const float *dout,
+              float *din)
+{
+    ASDR_ASSERT(ws.acts.size() == layers_.size() + 1 && p >= 0 &&
+                    p < ws.count,
+                "workspace does not match a batched forward pass");
+    ASDR_ASSERT(ws.acts.size() <= kMaxBackwardDepth, "MLP too deep");
+    const float *acts[kMaxBackwardDepth];
+    acts[0] = ws.acts[0].data() + size_t(p) * size_t(cfg_.input);
+    for (size_t li = 0; li < layers_.size(); ++li)
+        acts[li + 1] = ws.acts[li + 1].data() +
+                       size_t(p) * size_t(layers_[li].out);
+    backwardImpl(acts, dout, din);
 }
 
 void

@@ -30,6 +30,18 @@ struct MlpWorkspace
     std::vector<std::vector<float>> acts; ///< acts[0]=input, acts.back()=out
 };
 
+/**
+ * Activations of a batched *training* forward: acts[li] holds `count`
+ * row-major rows (point p's activation of layer li at row p), so the
+ * per-sample backward can replay any point. acts[0] is the packed
+ * input matrix, acts.back() the linear outputs.
+ */
+struct MlpBatchWorkspace
+{
+    std::vector<std::vector<float>> acts;
+    int count = 0;
+};
+
 class Mlp
 {
   public:
@@ -58,11 +70,27 @@ class Mlp
     void forward(const float *in, float *out, MlpWorkspace &ws) const;
 
     /**
+     * Batched training forward: the same register-blocked lane kernel
+     * as the inference forwardBatch (bit-identical outputs), but every
+     * layer's activations are retained in `ws` so backward(ws, p, ...)
+     * can replay any sample of the batch. This is what lets the
+     * distillation trainer stream its whole batch through the fast
+     * kernel and still run exact per-sample backprop.
+     */
+    void forwardBatch(const float *in, int count, int in_stride, float *out,
+                      int out_stride, MlpBatchWorkspace &ws) const;
+
+    /**
      * Backpropagate dL/d(out); accumulates weight gradients and, when
      * `din` is non-null, writes dL/d(in) (for chaining into the encoder
      * or an upstream network).
      */
     void backward(const MlpWorkspace &ws, const float *dout, float *din);
+
+    /** Backward for sample `p` of a batched training forward;
+     *  bit-identical to backward() on the per-sample workspace. */
+    void backward(const MlpBatchWorkspace &ws, int p, const float *dout,
+                  float *din);
 
     void zeroGrad();
     void adamStep(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
@@ -77,6 +105,11 @@ class Mlp
     void deserializeParams(const std::vector<float> &flat);
 
   private:
+    /** Shared backward core: acts[li] points at layer li's input
+     *  activation vector (acts[layer count] = the linear output). */
+    void backwardImpl(const float *const *acts, const float *dout,
+                      float *din);
+
     struct Layer
     {
         int in = 0;

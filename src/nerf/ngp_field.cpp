@@ -24,6 +24,46 @@ sigmoid(float x)
     return 1.0f / (1.0f + std::exp(-x));
 }
 
+/** Loss + output-side gradients of one distillation sample. */
+struct SampleGrads
+{
+    float loss = 0.0f;
+    float dlogits[3] = {};
+    float dsigma_raw = 0.0f; ///< dL/d(raw density logit geo[0])
+};
+
+/**
+ * The ONE place the distillation loss math lives -- trainStep and
+ * trainBatch both call it, which is what keeps them bit-identical.
+ * Density: squared error in log1p space keeps the wide sigma range
+ * well-conditioned. Color: squared error weighted by target occupancy,
+ * so the color network spends capacity where matter is.
+ */
+SampleGrads
+sampleLossGrads(const InstantNgpField::TrainSample &s, float geo0,
+                const float logits[3])
+{
+    const float sigma = InstantNgpField::sigmaActivation(geo0);
+    const Vec3 c{sigmoid(logits[0]), sigmoid(logits[1]),
+                 sigmoid(logits[2])};
+
+    const float dlog = std::log1p(sigma) - std::log1p(s.sigma_target);
+    const float occ = 1.0f - std::exp(-s.sigma_target * 0.05f);
+    const float cw = 0.02f + occ;
+    const Vec3 cdiff = c - s.color_target;
+
+    SampleGrads g;
+    g.loss = dlog * dlog + cw * (cdiff.x * cdiff.x + cdiff.y * cdiff.y +
+                                 cdiff.z * cdiff.z);
+    g.dlogits[0] = cw * 2.0f * cdiff.x * c.x * (1.0f - c.x);
+    g.dlogits[1] = cw * 2.0f * cdiff.y * c.y * (1.0f - c.y);
+    g.dlogits[2] = cw * 2.0f * cdiff.z * c.z * (1.0f - c.z);
+    // dL/d(raw sigma): chain through log1p and softplus.
+    const float dsigma = 2.0f * dlog / (1.0f + sigma);
+    g.dsigma_raw = dsigma * sigmoid(geo0 - 1.0f);
+    return g;
+}
+
 } // namespace
 
 NgpModelConfig
@@ -92,13 +132,15 @@ InstantNgpField::densityBatch(const Vec3 *pos, int count,
     feat.resize(size_t(fd) * size_t(count));
     geo.resize(size_t(kGeoFeatures) * size_t(count));
 
-    if (encode_stats_) {
+    EncodeReuseStats *stats =
+        encode_stats_.load(std::memory_order_acquire);
+    if (stats) {
         if (stats_thread_ == std::thread::id())
             stats_thread_ = std::this_thread::get_id();
         ASDR_ASSERT(stats_thread_ == std::this_thread::get_id(),
                     "reuse-stats hook requires a single-threaded render");
     }
-    grid_.encodeBatch(pos, count, feat.data(), fd, encode_stats_);
+    grid_.encodeBatch(pos, count, feat.data(), fd, stats);
     density_mlp_.forwardBatch(feat.data(), count, fd, geo.data(),
                               kGeoFeatures);
 
@@ -227,7 +269,6 @@ InstantNgpField::trainStep(const TrainSample &s)
     MlpWorkspace ws_density;
     float geo[kGeoFeatures];
     density_mlp_.forward(feat.data(), geo, ws_density);
-    float sigma = sigmaActivation(geo[0]);
 
     constexpr int kColorIn = (kGeoFeatures - 1) + kShCoeffs;
     float cin[kColorIn];
@@ -238,33 +279,15 @@ InstantNgpField::trainStep(const TrainSample &s)
     MlpWorkspace ws_color;
     float logits[3];
     color_mlp_.forward(cin, logits, ws_color);
-    Vec3 c{sigmoid(logits[0]), sigmoid(logits[1]), sigmoid(logits[2])};
 
-    // ---- loss ----
-    // Density: squared error in log1p space keeps the wide sigma range
-    // well-conditioned. Color: squared error weighted by target
-    // occupancy, so the color network spends capacity where matter is.
-    float dlog = std::log1p(sigma) - std::log1p(s.sigma_target);
-    float occ = 1.0f - std::exp(-s.sigma_target * 0.05f);
-    float cw = 0.02f + occ;
-    Vec3 cdiff = c - s.color_target;
-    float loss = dlog * dlog +
-                 cw * (cdiff.x * cdiff.x + cdiff.y * cdiff.y +
-                       cdiff.z * cdiff.z);
-
-    // ---- backward ----
-    float dlogits[3];
-    dlogits[0] = cw * 2.0f * cdiff.x * c.x * (1.0f - c.x);
-    dlogits[1] = cw * 2.0f * cdiff.y * c.y * (1.0f - c.y);
-    dlogits[2] = cw * 2.0f * cdiff.z * c.z * (1.0f - c.z);
+    // ---- loss + backward (shared math: sampleLossGrads) ----
+    const SampleGrads g = sampleLossGrads(s, geo[0], logits);
 
     float dcin[kColorIn];
-    color_mlp_.backward(ws_color, dlogits, dcin);
+    color_mlp_.backward(ws_color, g.dlogits, dcin);
 
     float dgeo[kGeoFeatures];
-    // d(loss)/d(raw sigma): chain through log1p and softplus.
-    float dsigma = 2.0f * dlog / (1.0f + sigma);
-    dgeo[0] = dsigma * sigmoid(geo[0] - 1.0f);
+    dgeo[0] = g.dsigma_raw;
     for (int i = 1; i < kGeoFeatures; ++i)
         dgeo[i] = dcin[i - 1];
 
@@ -273,7 +296,69 @@ InstantNgpField::trainStep(const TrainSample &s)
     density_mlp_.backward(ws_density, dgeo, dfeat.data());
     grid_.backward(enc_cache, dfeat.data());
 
-    return loss;
+    return g.loss;
+}
+
+double
+InstantNgpField::trainBatch(const TrainSample *samples, int count)
+{
+    constexpr int kColorIn = (kGeoFeatures - 1) + kShCoeffs;
+    const int fd = grid_.featureDim();
+
+    // ---- batched forward ----
+    // Encoding stays per-sample (backward needs each sample's corner
+    // indices/weights in its EncodeCache), writing rows of one feature
+    // matrix; both MLPs then run the batched lane kernel over it.
+    thread_local std::vector<HashGrid::EncodeCache> caches;
+    thread_local std::vector<float> feat, geo, cin, logits;
+    thread_local MlpBatchWorkspace ws_density, ws_color;
+    if (int(caches.size()) < count)
+        caches.resize(size_t(count));
+    feat.resize(size_t(fd) * size_t(count));
+    geo.resize(size_t(kGeoFeatures) * size_t(count));
+    cin.resize(size_t(kColorIn) * size_t(count));
+    logits.resize(3 * size_t(count));
+
+    for (int p = 0; p < count; ++p)
+        grid_.encode(samples[p].pos, feat.data() + size_t(p) * size_t(fd),
+                     caches[size_t(p)]);
+    density_mlp_.forwardBatch(feat.data(), count, fd, geo.data(),
+                              kGeoFeatures, ws_density);
+    for (int p = 0; p < count; ++p) {
+        const float *g = geo.data() + size_t(p) * size_t(kGeoFeatures);
+        float *row = cin.data() + size_t(p) * size_t(kColorIn);
+        for (int i = 0; i < kGeoFeatures - 1; ++i)
+            row[i] = g[i + 1];
+        shEncode(samples[p].dir, row + (kGeoFeatures - 1));
+    }
+    color_mlp_.forwardBatch(cin.data(), count, kColorIn, logits.data(), 3,
+                            ws_color);
+
+    // ---- per-sample loss + backward, in sample order ----
+    // Gradients accumulate in exactly trainStep()'s order, so the
+    // resulting optimizer state is bit-identical to the scalar loop.
+    double total_loss = 0.0;
+    thread_local std::vector<float> dfeat;
+    dfeat.resize(size_t(fd));
+    for (int p = 0; p < count; ++p) {
+        const float *gp = geo.data() + size_t(p) * size_t(kGeoFeatures);
+        const SampleGrads g =
+            sampleLossGrads(samples[p], gp[0],
+                            logits.data() + size_t(p) * 3);
+        total_loss += g.loss;
+
+        float dcin[kColorIn];
+        color_mlp_.backward(ws_color, p, g.dlogits, dcin);
+
+        float dgeo[kGeoFeatures];
+        dgeo[0] = g.dsigma_raw;
+        for (int i = 1; i < kGeoFeatures; ++i)
+            dgeo[i] = dcin[i - 1];
+
+        density_mlp_.backward(ws_density, p, dgeo, dfeat.data());
+        grid_.backward(caches[size_t(p)], dfeat.data());
+    }
+    return total_loss;
 }
 
 void

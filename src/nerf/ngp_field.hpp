@@ -9,6 +9,7 @@
 #ifndef ASDR_NERF_NGP_FIELD_HPP
 #define ASDR_NERF_NGP_FIELD_HPP
 
+#include <atomic>
 #include <memory>
 #include <thread>
 
@@ -78,6 +79,16 @@ class InstantNgpField : public RadianceField
      */
     float trainStep(const TrainSample &s);
 
+    /**
+     * A whole batch of supervised samples: both MLP forwards stream
+     * through Mlp::forwardBatch (register-blocked lanes) while the
+     * backward replays each sample in order from the retained batch
+     * activations. Losses, gradients, and therefore the trained field
+     * are bit-identical to `count` trainStep() calls in the same order;
+     * only the data movement changes. Returns the summed loss.
+     */
+    double trainBatch(const TrainSample *samples, int count);
+
     void zeroGrads();
     void applyAdam(float lr);
 
@@ -99,12 +110,37 @@ class InstantNgpField : public RadianceField
      * Fig. 15 predicts. The accumulator is written without locking --
      * attach only for single-threaded renders (densityBatch panics if a
      * second thread calls in while the hook is attached). nullptr
-     * detaches.
+     * detaches. Const: the hook observes the encode, it does not alter
+     * the field (engine sessions attach through a const reference).
      */
-    void setEncodeReuseStats(EncodeReuseStats *stats)
+    void setEncodeReuseStats(EncodeReuseStats *stats) const
     {
-        encode_stats_ = stats;
+        encode_stats_.store(stats, std::memory_order_release);
         stats_thread_ = std::thread::id();
+    }
+
+    /**
+     * Claim the hook iff no accumulator is currently attached -- engine
+     * sessions sharing one field race for it, and only one may win
+     * (the hook is a single pointer and strictly single-threaded).
+     * Release with detachEncodeReuseStats(the same pointer).
+     */
+    bool tryAttachEncodeReuseStats(EncodeReuseStats *stats) const
+    {
+        EncodeReuseStats *expected = nullptr;
+        if (!encode_stats_.compare_exchange_strong(
+                expected, stats, std::memory_order_acq_rel))
+            return false;
+        stats_thread_ = std::thread::id();
+        return true;
+    }
+
+    /** Release a tryAttach claim (no-op when `stats` does not hold it). */
+    void detachEncodeReuseStats(EncodeReuseStats *stats) const
+    {
+        EncodeReuseStats *expected = stats;
+        encode_stats_.compare_exchange_strong(expected, nullptr,
+                                              std::memory_order_acq_rel);
     }
 
   private:
@@ -112,7 +148,7 @@ class InstantNgpField : public RadianceField
     HashGrid grid_;
     Mlp density_mlp_;
     Mlp color_mlp_;
-    EncodeReuseStats *encode_stats_ = nullptr;
+    mutable std::atomic<EncodeReuseStats *> encode_stats_{nullptr};
     /** First thread to run densityBatch while the hook is attached. */
     mutable std::thread::id stats_thread_;
 };

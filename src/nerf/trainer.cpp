@@ -40,14 +40,18 @@ fitField(InstantNgpField &field, const scene::AnalyticScene &scene,
 
     TrainReport report;
     report.steps = cfg.steps;
+    std::vector<InstantNgpField::TrainSample> batch(size_t(cfg.batch));
     for (int step = 0; step < cfg.steps; ++step) {
         field.zeroGrads();
-        double batch_loss = 0.0;
-        for (int b = 0; b < cfg.batch; ++b) {
-            auto s = drawSample(scene, rng, cfg.surface_bias);
-            batch_loss += field.trainStep(s);
-        }
-        batch_loss /= double(cfg.batch);
+        // Draw the whole batch first (the RNG stream is consumed in the
+        // same order as the per-sample loop), then stream it through
+        // the batched forward/backward: losses, gradients, and the
+        // fitted field are bit-identical to per-sample trainStep()
+        // calls; the batched MLP kernels just move less data.
+        for (int b = 0; b < cfg.batch; ++b)
+            batch[size_t(b)] = drawSample(scene, rng, cfg.surface_bias);
+        double batch_loss =
+            field.trainBatch(batch.data(), cfg.batch) / double(cfg.batch);
         // Step-decayed learning rate: full, then 1/3, then 1/9.
         float lr = cfg.lr;
         if (step > cfg.steps * 2 / 3)

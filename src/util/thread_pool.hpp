@@ -1,14 +1,28 @@
 /**
  * @file
- * Minimal worker pool for the tile-parallel frame loop. One pool is
- * created per parallel region; the calling thread participates, so a
- * 1-thread pool degenerates to an inline loop with zero overhead.
+ * Persistent worker pool behind the streaming frame engine
+ * (engine/frame_engine): fire-and-forget task execution over
+ * per-worker deques with key-ordered, work-stealing pops.
  *
- * parallelFor() hands out indices dynamically (atomic claim), which
- * balances uneven tiles (early-terminated background rows vs. dense
- * object rows). Determinism is the *caller's* contract: jobs must write
- * disjoint outputs, and any per-job results that are order-sensitive
- * must be stored per index and merged in index order after the loop.
+ * submit(task, key) places the task round-robin into a worker's deque.
+ * A worker popping work scans every deque's cached front key (one
+ * relaxed atomic load per queue -- no locks on the scan path) and
+ * takes the smallest; taking from another worker's deque is the
+ * steal, so uneven stage tasks (cheap background tiles vs. dense
+ * object tiles) re-balance without a central queue bottleneck. The
+ * key order is why multi-frame pipelining doesn't invert: the engine
+ * keys every task with its frame id, so an older frame's ready stages
+ * always drain before a newer frame's, and overlap only fills
+ * genuinely idle workers. Ordering is best-effort (fronts move
+ * between scan and pop) and tasks sharing a key are mutually
+ * unordered -- completion and dependencies are the submitter's job
+ * (the engine's FrameGraph counts them).
+ *
+ * The pool has an explicit start()/stop() lifecycle so one pool
+ * outlives many frames: the engine starts it once and reuses it for
+ * its whole lifetime (no per-frame thread construction). stop()
+ * drains already-submitted tasks, joins the workers, and leaves the
+ * pool restartable. A stopped pool runs submitted tasks inline.
  */
 
 #ifndef ASDR_UTIL_THREAD_POOL_HPP
@@ -16,9 +30,13 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace asdr {
@@ -26,14 +44,37 @@ namespace asdr {
 class ThreadPool
 {
   public:
-    /** Spawns `threads - 1` workers (the caller is the final lane). */
-    explicit ThreadPool(int threads)
+    /** Creates a stopped pool; call start() to spawn workers. */
+    ThreadPool() = default;
+
+    ~ThreadPool() { stop(); }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Spawn exactly `workers` worker threads (no-op when already
+     * running or `workers <= 0`). Restartable after stop().
+     */
+    void
+    start(int workers)
     {
-        for (int t = 1; t < threads; ++t)
-            workers_.emplace_back([this] { workerLoop(); });
+        if (!workers_.empty() || workers <= 0)
+            return;
+        stop_ = false;
+        queues_.clear();
+        for (int t = 0; t < workers; ++t)
+            queues_.push_back(std::make_unique<TaskQueue>());
+        for (int t = 0; t < workers; ++t)
+            workers_.emplace_back([this, t] { workerLoop(t); });
     }
 
-    ~ThreadPool()
+    /**
+     * Drain submitted tasks, join all workers, and return the pool to
+     * the stopped (restartable) state. Safe to call repeatedly.
+     */
+    void
+    stop()
     {
         {
             std::lock_guard<std::mutex> lock(m_);
@@ -42,122 +83,122 @@ class ThreadPool
         cv_.notify_all();
         for (auto &w : workers_)
             w.join();
+        workers_.clear();
+        queues_.clear();
+        stop_ = false;
     }
 
-    ThreadPool(const ThreadPool &) = delete;
-    ThreadPool &operator=(const ThreadPool &) = delete;
-
-    int threadCount() const { return int(workers_.size()) + 1; }
+    bool running() const { return !workers_.empty(); }
+    int workerCount() const { return int(workers_.size()); }
 
     /**
-     * Run fn(i) for every i in [begin, end); returns when all calls
-     * completed. Indices are claimed dynamically across the pool and
-     * the calling thread.
+     * Run `task` asynchronously on a worker (inline when the pool is
+     * stopped). Smaller `key` runs sooner (best-effort; see the file
+     * header); tasks sharing a key are mutually unordered.
      */
     void
-    parallelFor(int begin, int end, const std::function<void(int)> &fn)
+    submit(std::function<void()> task, uint64_t key = 0)
     {
-        const int total = end - begin;
-        if (total <= 0)
-            return;
-        if (workers_.empty() || total == 1) {
-            for (int i = begin; i < end; ++i)
-                fn(i);
+        if (workers_.empty()) {
+            task();
             return;
         }
-        uint32_t gen;
+        const size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                         queues_.size();
         {
-            std::lock_guard<std::mutex> lock(m_);
-            ++generation_;
-            gen = uint32_t(generation_);
-            fn_ = &fn;
-            end_.store(end, std::memory_order_relaxed);
-            total_ = total;
-            completed_.store(0, std::memory_order_relaxed);
-            // Workers synchronize on this release store: a claim whose
-            // generation tag matches also sees fn_/end_/total_ above.
-            ticket_.store(pack(gen, begin), std::memory_order_release);
+            TaskQueue &tq = *queues_[q];
+            std::lock_guard<std::mutex> lock(tq.m);
+            tq.q.emplace_back(key, std::move(task));
+            if (tq.q.size() == 1) // was empty: this task is the front
+                tq.front_key.store(key, std::memory_order_release);
         }
-        cv_.notify_all();
-        runChunks(gen);
-        std::unique_lock<std::mutex> lock(m_);
-        done_cv_.wait(lock, [&] {
-            return completed_.load(std::memory_order_acquire) == total_;
-        });
-        fn_ = nullptr;
+        pending_.fetch_add(1, std::memory_order_release);
+        // Empty critical section: a worker that evaluated the wait
+        // predicate before the increment above cannot fall asleep until
+        // we have passed through the mutex, so the notify reaches it.
+        { std::lock_guard<std::mutex> lock(m_); }
+        cv_.notify_one();
     }
 
   private:
-    static uint64_t
-    pack(uint32_t gen, int index)
+    static constexpr uint64_t kEmptyKey = ~uint64_t(0);
+
+    struct TaskQueue
     {
-        return (uint64_t(gen) << 32) | uint32_t(index);
-    }
+        std::mutex m;
+        std::deque<std::pair<uint64_t, std::function<void()>>> q;
+        /** Key of q.front(), kEmptyKey when empty -- the lock-free
+         *  scan target of runOneTask. */
+        std::atomic<uint64_t> front_key{kEmptyKey};
+    };
 
     /**
-     * Claim-and-run loop for region `gen`. The ticket counter carries
-     * the generation in its high bits and is advanced by CAS, so a
-     * straggler from an earlier region can neither execute nor consume
-     * an index of the current one: its generation check fails before
-     * it touches the counter, fn_, or completed_.
+     * Pop and run one task: scan every deque's cached front key (no
+     * locks), lock only the winner, and take its front. Preferring
+     * this worker's own deque on ties keeps its stream cache-warm;
+     * taking another deque's front is the steal. The scan is a
+     * best-effort snapshot -- fronts may move between scan and pop,
+     * which only relaxes the ordering, never loses a task. Returns
+     * false when every deque looked empty.
      */
-    void
-    runChunks(uint32_t gen)
+    bool
+    runOneTask(int self)
     {
-        uint64_t cur = ticket_.load(std::memory_order_acquire);
+        const int nq = int(queues_.size());
         for (;;) {
-            if (uint32_t(cur >> 32) != gen)
-                return;
-            const int i = int(uint32_t(cur));
-            if (i >= end_.load(std::memory_order_relaxed))
-                return;
-            if (!ticket_.compare_exchange_weak(cur, cur + 1,
-                                               std::memory_order_acq_rel,
-                                               std::memory_order_acquire))
-                continue; // cur was reloaded; re-check generation
-            (*fn_)(i);
-            if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-                total_) {
-                std::lock_guard<std::mutex> lock(m_);
-                done_cv_.notify_all();
+            int best = -1;
+            uint64_t best_key = kEmptyKey;
+            for (int k = 0; k < nq; ++k) {
+                const int qi = (self + k) % nq;
+                const uint64_t key = queues_[size_t(qi)]->front_key.load(
+                    std::memory_order_acquire);
+                if (key < best_key) {
+                    best = qi;
+                    best_key = key;
+                }
             }
-            cur = ticket_.load(std::memory_order_acquire);
+            if (best < 0)
+                return false;
+            std::function<void()> task;
+            {
+                TaskQueue &tq = *queues_[size_t(best)];
+                std::lock_guard<std::mutex> lock(tq.m);
+                if (tq.q.empty())
+                    continue; // raced with another worker; rescan
+                task = std::move(tq.q.front().second);
+                tq.q.pop_front();
+                tq.front_key.store(tq.q.empty() ? kEmptyKey
+                                                : tq.q.front().first,
+                                   std::memory_order_release);
+            }
+            pending_.fetch_sub(1, std::memory_order_acq_rel);
+            task();
+            return true;
         }
     }
 
     void
-    workerLoop()
+    workerLoop(int self)
     {
-        uint64_t seen = 0;
         for (;;) {
-            uint32_t gen;
-            {
-                std::unique_lock<std::mutex> lock(m_);
-                cv_.wait(lock,
-                         [&] { return stop_ || generation_ != seen; });
-                if (stop_)
-                    return;
-                seen = generation_;
-                gen = uint32_t(seen);
+            while (runOneTask(self)) {
             }
-            runChunks(gen);
+            std::unique_lock<std::mutex> lock(m_);
+            cv_.wait(lock, [&] {
+                return stop_ ||
+                       pending_.load(std::memory_order_acquire) > 0;
+            });
+            if (stop_ && pending_.load(std::memory_order_acquire) == 0)
+                return;
         }
     }
 
     std::vector<std::thread> workers_;
+    std::vector<std::unique_ptr<TaskQueue>> queues_;
     std::mutex m_;
-    std::condition_variable cv_;      ///< wakes workers for a new region
-    std::condition_variable done_cv_; ///< wakes the caller on completion
-    const std::function<void(int)> *fn_ = nullptr;
-    /** generation << 32 | next index (see runChunks). */
-    std::atomic<uint64_t> ticket_{0};
-    std::atomic<int> completed_{0};
-    // Atomic because a straggler from an earlier region may read it
-    // concurrently with the next region's setup (the value it sees is
-    // irrelevant: its generation check fails on the following CAS).
-    std::atomic<int> end_{0};
-    int total_ = 0;
-    uint64_t generation_ = 0;
+    std::condition_variable cv_; ///< wakes idle workers for new tasks
+    std::atomic<size_t> next_queue_{0}; ///< round-robin submission target
+    std::atomic<int> pending_{0};       ///< tasks sitting in deques
     bool stop_ = false;
 };
 

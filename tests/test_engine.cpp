@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Guarantees of the streaming frame engine (engine/frame_engine):
+ *
+ *  - N frames pipelined through a FrameEngine are bit-identical to N
+ *    sequential AsdrRenderer::render() calls, for every thread count,
+ *    max_frames_in_flight, and both Phase II orderings.
+ *  - RenderSession probe reuse: with an unchanged camera the cached
+ *    Phase I plan reproduces the fresh frame bit for bit at zero probe
+ *    cost; across a small camera delta it stays a close approximation.
+ *  - The batched distillation trainer (Mlp::forwardBatch through
+ *    fitField) produces a bit-identical field to the per-sample loop.
+ *  - ThreadPool start()/stop() lifecycle and FrameGraph dependency
+ *    ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "engine/frame_engine.hpp"
+#include "engine/frame_graph.hpp"
+#include "engine/render_session.hpp"
+#include "image/metrics.hpp"
+#include "nerf/ngp_field.hpp"
+#include "nerf/procedural_field.hpp"
+#include "nerf/trainer.hpp"
+#include "scene/scene_library.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace asdr;
+using namespace asdr::core;
+using namespace asdr::nerf;
+
+namespace {
+
+void
+expectFramesIdentical(const Image &a, const Image &b, const char *what)
+{
+    ASSERT_EQ(a.pixels(), b.pixels());
+    for (size_t i = 0; i < a.pixels(); ++i)
+        ASSERT_EQ(a.data()[i], b.data()[i]) << what << " pixel " << i;
+}
+
+} // namespace
+
+TEST(ThreadPoolLifecycle, StartStopRestart)
+{
+    ThreadPool pool;
+    EXPECT_FALSE(pool.running());
+    // submit on a stopped pool runs inline
+    int inline_runs = 0;
+    pool.submit([&] { ++inline_runs; });
+    EXPECT_EQ(inline_runs, 1);
+
+    for (int round = 0; round < 2; ++round) {
+        pool.start(3);
+        ASSERT_TRUE(pool.running());
+        EXPECT_EQ(pool.workerCount(), 3);
+
+        std::atomic<int> ran{0};
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&] { ran.fetch_add(1); });
+        std::vector<int> squares(100, 0);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&, i] { squares[size_t(i)] = i * i; },
+                        uint64_t(i));
+
+        pool.stop(); // drains remaining tasks before joining
+        EXPECT_EQ(ran.load(), 64);
+        for (int i = 0; i < 100; ++i)
+            EXPECT_EQ(squares[size_t(i)], i * i);
+        EXPECT_FALSE(pool.running());
+    }
+}
+
+TEST(FrameGraphExec, DependenciesAreRespected)
+{
+    ThreadPool pool;
+    pool.start(4);
+
+    std::atomic<int> a_done{0};
+    std::atomic<int> b_done{0};
+    std::atomic<bool> order_ok{true};
+    std::atomic<bool> finished{false};
+    std::promise<void> done;
+
+    engine::FrameGraph g;
+    int a = g.addNode("a", 16, [&](int) { a_done.fetch_add(1); });
+    int b = g.addNode("b", 1, [&](int) {
+        if (a_done.load() != 16)
+            order_ok = false;
+        b_done.fetch_add(1);
+    });
+    int c = g.addNode("c", 8, [&](int) {
+        if (b_done.load() != 1)
+            order_ok = false;
+    });
+    int sync = g.addNode("sync", 0, engine::FrameGraph::TaskFn());
+    g.addEdge(a, b);
+    g.addEdge(b, c);
+    g.addEdge(c, sync);
+    g.run(pool, [&] {
+        finished = true;
+        done.set_value();
+    });
+    done.get_future().wait();
+    EXPECT_TRUE(finished.load());
+    EXPECT_TRUE(order_ok.load());
+    EXPECT_EQ(a_done.load(), 16);
+    pool.stop();
+}
+
+TEST(FrameEnginePipeline, InFlightFramesMatchSequentialBitwise)
+{
+    auto scene = scene::createScene("Lego");
+    ProceduralField field(*scene, NgpModelConfig::fast());
+
+    const int W = 20, H = 20, FRAMES = 5;
+    auto path = orbitCameraPath(scene->info(), W, H, FRAMES);
+
+    for (int morton : {0, 1}) {
+        RenderConfig cfg = RenderConfig::asdr(W, H, 48);
+        cfg.probe_stride = 4;
+        cfg.morton_order = morton;
+        cfg.num_threads = 1;
+
+        // Reference: sequential synchronous render() calls.
+        AsdrRenderer reference(field, cfg);
+        std::vector<Image> seq;
+        std::vector<RenderStats> seq_stats{size_t(FRAMES)};
+        for (int f = 0; f < FRAMES; ++f)
+            seq.push_back(
+                reference.render(path[size_t(f)], &seq_stats[size_t(f)]));
+
+        for (int threads : {1, 2, 4}) {
+            for (int in_flight : {1, 2, 4}) {
+                SCOPED_TRACE("morton=" + std::to_string(morton) +
+                             " threads=" + std::to_string(threads) +
+                             " in_flight=" + std::to_string(in_flight));
+                engine::EngineConfig ec;
+                ec.num_threads = threads;
+                ec.max_frames_in_flight = in_flight;
+                engine::FrameEngine eng(ec);
+
+                std::vector<std::future<engine::Frame>> futs;
+                for (int f = 0; f < FRAMES; ++f) {
+                    engine::FrameRequest req(path[size_t(f)]);
+                    req.field = &field;
+                    req.config = cfg;
+                    futs.push_back(eng.submit(std::move(req)));
+                }
+                for (int f = 0; f < FRAMES; ++f) {
+                    engine::Frame frame = futs[size_t(f)].get();
+                    EXPECT_EQ(frame.id, uint64_t(f + 1));
+                    expectFramesIdentical(seq[size_t(f)], frame.image,
+                                          "pipelined frame");
+                    const RenderStats &a = seq_stats[size_t(f)];
+                    const RenderStats &b = frame.stats;
+                    EXPECT_EQ(a.profile.rays, b.profile.rays);
+                    EXPECT_EQ(a.profile.probe_rays, b.profile.probe_rays);
+                    EXPECT_EQ(a.profile.points, b.profile.points);
+                    EXPECT_EQ(a.profile.color_execs, b.profile.color_execs);
+                    EXPECT_EQ(a.profile.lookups, b.profile.lookups);
+                    EXPECT_EQ(a.sample_count_map, b.sample_count_map);
+                    EXPECT_EQ(a.actual_points_map, b.actual_points_map);
+                }
+                eng.drain();
+            }
+        }
+    }
+}
+
+namespace {
+
+/** A field whose evaluation throws: drives the engine's error path. */
+struct ThrowingField : ProceduralField
+{
+    using ProceduralField::ProceduralField;
+    DensityOutput density(const Vec3 &) const override
+    {
+        throw std::runtime_error("field exploded");
+    }
+    void densityBatch(const Vec3 *, int, DensityOutput *) const override
+    {
+        throw std::runtime_error("field exploded");
+    }
+};
+
+} // namespace
+
+TEST(FrameEnginePipeline, StageFailureReachesTheFutureAndFreesTheSlot)
+{
+    auto scene = scene::createScene("Lego");
+    ThrowingField bad(*scene, NgpModelConfig::fast());
+    ProceduralField good(*scene, NgpModelConfig::fast());
+    Camera camera = cameraForScene(scene->info(), 12, 12);
+
+    RenderConfig cfg = RenderConfig::asdr(12, 12, 24);
+    cfg.num_threads = 2;
+
+    engine::EngineConfig ec;
+    ec.num_threads = 2;
+    ec.max_frames_in_flight = 2;
+    engine::FrameEngine eng(ec);
+
+    // The failing frame's error propagates through its future...
+    engine::FrameRequest bad_req(camera);
+    bad_req.field = &bad;
+    bad_req.config = cfg;
+    auto bad_fut = eng.submit(std::move(bad_req));
+    EXPECT_THROW(bad_fut.get(), std::runtime_error);
+
+    // ...and the engine keeps serving: the slot is freed, later frames
+    // complete, and drain() returns.
+    engine::FrameRequest good_req(camera);
+    good_req.field = &good;
+    good_req.config = cfg;
+    engine::Frame frame = eng.submit(std::move(good_req)).get();
+    EXPECT_EQ(frame.image.width(), 12);
+    eng.drain();
+}
+
+TEST(FrameEnginePipeline, NonAdaptiveAndScalarConfigsToo)
+{
+    // eval_batch <= 1 (scalar row path) and adaptive off (no Phase I
+    // node) exercise the degenerate graph shapes.
+    auto scene = scene::createScene("Chair");
+    ProceduralField field(*scene, NgpModelConfig::fast());
+    Camera camera = cameraForScene(scene->info(), 16, 16);
+
+    for (int eval_batch : {1, 32}) {
+        RenderConfig cfg = RenderConfig::baseline(16, 16, 32);
+        cfg.early_termination = true;
+        cfg.eval_batch = eval_batch;
+        cfg.num_threads = 2;
+        AsdrRenderer reference(field, cfg);
+        Image want = reference.render(camera);
+
+        engine::EngineConfig ec;
+        ec.num_threads = 2;
+        ec.max_frames_in_flight = 2;
+        engine::FrameEngine eng(ec);
+        engine::FrameRequest req(camera);
+        req.field = &field;
+        req.config = cfg;
+        engine::Frame frame = eng.submit(std::move(req)).get();
+        expectFramesIdentical(want, frame.image, "non-adaptive/scalar");
+    }
+}
+
+TEST(RenderSessionReuse, UnchangedCameraIsBitIdenticalAndProbeFree)
+{
+    auto scene = scene::createScene("Lego");
+    ProceduralField field(*scene, NgpModelConfig::fast());
+    Camera camera = cameraForScene(scene->info(), 20, 20);
+
+    RenderConfig cfg = RenderConfig::asdr(20, 20, 48);
+    cfg.probe_stride = 4;
+    cfg.num_threads = 2;
+
+    engine::SessionConfig scfg;
+    scfg.reuse_probes = true; // zero deltas: only an identical camera
+    engine::RenderSession session(field, cfg, scfg);
+
+    engine::EngineConfig ec;
+    ec.num_threads = 2;
+    ec.max_frames_in_flight = 1;
+    engine::FrameEngine eng(ec);
+
+    engine::Frame fresh = eng.submit(session, camera).get();
+    engine::Frame reused = eng.submit(session, camera).get();
+
+    expectFramesIdentical(fresh.image, reused.image, "probe reuse");
+    EXPECT_EQ(fresh.stats.sample_count_map, reused.stats.sample_count_map);
+    EXPECT_EQ(fresh.stats.actual_points_map,
+              reused.stats.actual_points_map);
+    // The reused frame ran no probe rays at all.
+    EXPECT_GT(fresh.stats.profile.probe_rays, 0u);
+    EXPECT_EQ(reused.stats.profile.probe_rays, 0u);
+    EXPECT_LT(reused.stats.profile.points, fresh.stats.profile.points);
+
+    engine::SessionStats st = session.stats();
+    EXPECT_EQ(st.frames, 2u);
+    EXPECT_EQ(st.probe_frames, 1u);
+    EXPECT_EQ(st.probe_reuses, 1u);
+}
+
+TEST(RenderSessionReuse, SmallCameraDeltaStaysClose)
+{
+    auto scene = scene::createScene("Lego");
+    ProceduralField field(*scene, NgpModelConfig::fast());
+    const auto &info = scene->info();
+    Camera cam_a = cameraForScene(info, 20, 20);
+    Vec3 moved = info.cam_pos + Vec3(0.004f, 0.0f, -0.003f);
+    Camera cam_b(moved, info.look_at, Vec3(0.0f, 1.0f, 0.0f), info.fov_deg,
+                 20, 20);
+
+    RenderConfig cfg = RenderConfig::asdr(20, 20, 48);
+    cfg.probe_stride = 4;
+    cfg.num_threads = 1;
+
+    engine::SessionConfig scfg;
+    scfg.reuse_probes = true;
+    scfg.max_position_delta = 0.02f;
+    scfg.max_forward_delta = 0.01f;
+    engine::RenderSession session(field, cfg, scfg);
+
+    engine::EngineConfig ec;
+    ec.num_threads = 1;
+    ec.max_frames_in_flight = 1;
+    engine::FrameEngine eng(ec);
+
+    engine::Frame first = eng.submit(session, cam_a).get();
+    engine::Frame reused = eng.submit(session, cam_b).get();
+    EXPECT_EQ(reused.stats.profile.probe_rays, 0u);
+    EXPECT_EQ(session.stats().probe_reuses, 1u);
+
+    // Against a fresh adaptive render at the moved camera, the reused
+    // plan is an approximation -- but a close one at this delta.
+    AsdrRenderer reference(field, cfg);
+    Image fresh_b = reference.render(cam_b);
+    EXPECT_GT(psnr(fresh_b, reused.image), 30.0);
+
+    // A large move falls back to fresh probing.
+    Vec3 far = info.cam_pos + Vec3(0.3f, 0.1f, 0.2f);
+    Camera cam_c(far, info.look_at, Vec3(0.0f, 1.0f, 0.0f), info.fov_deg,
+                 20, 20);
+    engine::Frame fresh2 = eng.submit(session, cam_c).get();
+    EXPECT_GT(fresh2.stats.profile.probe_rays, 0u);
+    (void)first;
+}
+
+TEST(RenderSessionReuse, InvalidateForcesFreshProbes)
+{
+    auto scene = scene::createScene("Chair");
+    ProceduralField field(*scene, NgpModelConfig::fast());
+    Camera camera = cameraForScene(scene->info(), 16, 16);
+
+    RenderConfig cfg = RenderConfig::asdr(16, 16, 32);
+    cfg.num_threads = 1;
+    engine::SessionConfig scfg;
+    scfg.reuse_probes = true;
+    engine::RenderSession session(field, cfg, scfg);
+
+    engine::FrameEngine eng(engine::EngineConfig{1, 1});
+    eng.submit(session, camera).get();
+    session.invalidateProbeCache();
+    engine::Frame after = eng.submit(session, camera).get();
+    EXPECT_GT(after.stats.profile.probe_rays, 0u);
+    EXPECT_EQ(session.stats().probe_reuses, 0u);
+}
+
+TEST(BatchedTrainer, BitIdenticalToPerSampleLoop)
+{
+    auto scene = scene::createScene("Lego");
+    TrainConfig tcfg;
+    tcfg.steps = 4;
+    tcfg.batch = 37; // not a multiple of the 16-lane block
+    tcfg.lr = 4e-3f;
+    tcfg.seed = 0xBEEF;
+
+    // Reference: the per-sample loop fitField used to run.
+    InstantNgpField ref(NgpModelConfig::fast(), 77);
+    {
+        Rng rng(tcfg.seed, 0xDA7A);
+        for (int step = 0; step < tcfg.steps; ++step) {
+            ref.zeroGrads();
+            for (int b = 0; b < tcfg.batch; ++b) {
+                auto s = drawSample(*scene, rng, tcfg.surface_bias);
+                ref.trainStep(s);
+            }
+            float lr = tcfg.lr;
+            if (step > tcfg.steps * 2 / 3)
+                lr *= 1.0f / 9.0f;
+            else if (step > tcfg.steps / 3)
+                lr *= 1.0f / 3.0f;
+            ref.applyAdam(lr);
+        }
+    }
+
+    InstantNgpField batched(NgpModelConfig::fast(), 77);
+    fitField(batched, *scene, tcfg);
+
+    EXPECT_EQ(ref.grid().params(), batched.grid().params());
+    EXPECT_EQ(ref.densityMlp().serializeParams(),
+              batched.densityMlp().serializeParams());
+    EXPECT_EQ(ref.colorMlp().serializeParams(),
+              batched.colorMlp().serializeParams());
+}
+
+TEST(BatchedTrainer, BatchForwardMatchesPerSampleForward)
+{
+    // The batched training forward must agree with the per-sample
+    // training forward bit for bit, including the retained activations
+    // driving backward.
+    Mlp a({10, {24, 16}, 5}, 99);
+    Mlp b({10, {24, 16}, 5}, 99);
+
+    const int count = 21;
+    Rng rng(0x5EED);
+    std::vector<float> in(size_t(count) * 10);
+    for (auto &v : in)
+        v = rng.nextRange(-1.0f, 1.0f);
+
+    MlpBatchWorkspace bws;
+    std::vector<float> out_batch(size_t(count) * 5);
+    a.forwardBatch(in.data(), count, 10, out_batch.data(), 5, bws);
+
+    std::vector<float> dout(5, 0.25f);
+    std::vector<float> din_a(10), din_b(10);
+    for (int p = 0; p < count; ++p) {
+        MlpWorkspace ws;
+        float out_one[5];
+        b.forward(in.data() + size_t(p) * 10, out_one, ws);
+        for (int o = 0; o < 5; ++o)
+            ASSERT_EQ(out_batch[size_t(p) * 5 + size_t(o)], out_one[o])
+                << "point " << p << " output " << o;
+        a.backward(bws, p, dout.data(), din_a.data());
+        b.backward(ws, dout.data(), din_b.data());
+        ASSERT_EQ(din_a, din_b) << "point " << p;
+    }
+    EXPECT_EQ(a.serializeParams(), b.serializeParams());
+}
