@@ -4,7 +4,10 @@
  * (point-at-a-time) path vs. the batched path (with and without
  * Morton/tile-coherent ray ordering) vs. batched + tile-parallel, at
  * several resolutions, plus a hash-encode microbenchmark (scalar vs
- * two-pass SIMD vs SIMD over Morton-ordered input). Frames are
+ * two-pass SIMD vs SIMD over Morton-ordered input), multi-frame
+ * pipelining through the streaming engine, and multi-tenant serving
+ * latency (per-QoS-class percentiles and drop rates through the
+ * sharded FrameServer). Frames are
  * bit-identical across all render modes, so every row measures the
  * same workload. Each row is emitted as a JSON line to stdout *and*
  * appended to BENCH_throughput.json in the working directory, so the
@@ -27,6 +30,8 @@
 #include "core/analysis.hpp"
 #include "engine/frame_engine.hpp"
 #include "nerf/ngp_field.hpp"
+#include "server/frame_server.hpp"
+#include "server/workload.hpp"
 
 using namespace asdr;
 using namespace asdr::bench;
@@ -403,6 +408,84 @@ main(int argc, char **argv)
                      artifact);
         }
         ptable.print(std::cout);
+    }
+
+    // ---- multi-tenant serving latency: the closed-loop workload
+    // generator (N viewers x M scenes x mixed QoS) through the sharded
+    // FrameServer; per-class p50/p95/p99 submit->delivery latency and
+    // drop rate. The interactive burst deliberately exceeds the class
+    // backlog so the drop-oldest path shows up in the rows.
+    {
+        const int sw = smoke ? 16 : 32;      // frame edge
+        const int sns = smoke ? 24 : 48;     // samples per ray
+        const int sframes = smoke ? 8 : 16;  // submissions per viewer
+        core::RenderConfig scfg_render =
+            core::RenderConfig::asdr(sw, sw, sns);
+        scfg_render.probe_stride = 4;
+
+        server::SceneRegistry registry;
+        registry.addProcedural("Lego", "Lego", nerf::NgpModelConfig::fast(),
+                               scfg_render);
+        registry.addProcedural("Chair", "Chair",
+                               nerf::NgpModelConfig::fast(), scfg_render);
+
+        server::ServerConfig scfg;
+        scfg.shards = 2;
+        scfg.threads_per_shard =
+            std::max(1, std::min(2, core::resolveThreadCount(0)));
+        scfg.frames_in_flight_per_shard = 2;
+        server::FrameServer srv(registry, scfg);
+
+        server::WorkloadSpec spec;
+        spec.scenes = {"Lego", "Chair"};
+        spec.clients[int(server::QosClass::Interactive)] = smoke ? 2 : 3;
+        spec.clients[int(server::QosClass::Standard)] = smoke ? 1 : 2;
+        spec.clients[int(server::QosClass::Batch)] = smoke ? 1 : 2;
+        spec.frames_per_client = sframes;
+        spec.width = sw;
+        spec.height = sw;
+        spec.burst = 6; // above the interactive backlog of 4 -> drops
+        server::WorkloadReport report =
+            server::runWorkload(srv, registry, spec);
+
+        TextTable stable({"class", "submitted", "served", "dropped",
+                          "p50 (ms)", "p95 (ms)", "p99 (ms)",
+                          "queue (ms)"});
+        for (int c = 0; c < server::kQosClasses; ++c) {
+            const server::QosClassStats &s = report.stats.cls[c];
+            const char *cls = server::qosClassName(server::QosClass(c));
+            stable.addRow({cls, std::to_string(s.submitted),
+                           std::to_string(s.served),
+                           std::to_string(s.dropped), fmt(s.p50_ms, 2),
+                           fmt(s.p95_ms, 2), fmt(s.p99_ms, 2),
+                           fmt(s.mean_queue_ms, 2)});
+            emitBoth(JsonLine("serve_latency")
+                         .field("qos", cls)
+                         .field("shards", scfg.shards)
+                         .field("threads_per_shard",
+                                scfg.threads_per_shard)
+                         .field("viewers", int(report.viewers))
+                         .field("frames_per_viewer", sframes)
+                         .field("width", sw)
+                         .field("samples_per_ray", sns)
+                         .field("submitted", int(s.submitted))
+                         .field("served", int(s.served))
+                         .field("dropped", int(s.dropped))
+                         .field("failed", int(s.failed))
+                         .field("drop_rate", s.dropRate())
+                         .field("p50_ms", s.p50_ms)
+                         .field("p95_ms", s.p95_ms)
+                         .field("p99_ms", s.p99_ms)
+                         .field("mean_queue_ms", s.mean_queue_ms)
+                         .field("wall_s", report.wall_s)
+                         .field("served_frames_per_s",
+                                report.frames_per_s),
+                     artifact);
+        }
+        stable.print(std::cout);
+        std::cout << report.stats.totalServed()
+                  << " frames served across " << report.viewers
+                  << " viewers in " << report.wall_s << " s\n";
     }
     return 0;
 }

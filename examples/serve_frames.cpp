@@ -4,25 +4,21 @@
  * FrameEngine the way a viewer session would -- submit every frame of
  * the path up front, keep `max_frames_in_flight` frames executing
  * concurrently over one persistent worker pool, and consume finished
- * frames in order as their futures resolve. Compares against blocking
+ * frames through the engine's non-blocking poll/drain API (the serving
+ * loop never blocks in a future get()). Compares against blocking
  * sequential render() calls (bit-identical frames), and demonstrates
- * RenderSession probe reuse across small camera deltas.
- *
- * Usage:
- *   serve_frames [scene] [options]
- *     --frames <n>     camera-path length (default 12)
- *     --width <px>     frame edge (default 48)
- *     --samples <n>    samples per ray (default 96)
- *     --threads <n>    engine workers (default: auto)
- *     --in-flight <n>  frames pipelined concurrently (default 4)
- *     --reuse          enable RenderSession probe reuse on the path
+ * callback-driven closed-loop streaming with RenderSession probe reuse
+ * across small camera deltas.
  */
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <future>
 #include <iostream>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/frame_engine.hpp"
@@ -44,6 +40,26 @@ seconds(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+void
+usage(const char *argv0)
+{
+    std::cout << "Usage: " << argv0
+              << " [scene] [options]\n"
+                 "Stream a camera path through the pipelined FrameEngine "
+                 "(async consumption)\nand compare against blocking "
+                 "sequential render() calls.\n\n"
+                 "  [scene]          scene name (default Lego)\n"
+                 "  --frames <n>     camera-path length (default 12)\n"
+                 "  --width <px>     frame edge (default 48)\n"
+                 "  --samples <n>    samples per ray (default 96)\n"
+                 "  --threads <n>    engine workers (default: auto)\n"
+                 "  --in-flight <n>  frames pipelined concurrently "
+                 "(default 4)\n"
+                 "  --reuse          demo RenderSession probe reuse on "
+                 "the path\n"
+                 "  --help           this message\n";
+}
+
 } // namespace
 
 int
@@ -59,7 +75,10 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&] { return std::atoi(argv[++i]); };
-        if (arg == "--frames" && i + 1 < argc)
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--frames" && i + 1 < argc)
             frames = next();
         else if (arg == "--width" && i + 1 < argc)
             width = next();
@@ -73,6 +92,11 @@ main(int argc, char **argv)
             reuse = true;
         else if (arg[0] != '-')
             scene_name = arg;
+        else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage(argv[0]);
+            return 1;
+        }
     }
 
     auto scene = scene::createScene(scene_name);
@@ -95,8 +119,9 @@ main(int argc, char **argv)
         seq.push_back(renderer.render(cam));
     const double seq_s = seconds(t0);
 
-    // ---- pipelined: all frames in the engine's queue, up to
-    // `in_flight` executing at once ----
+    // ---- pipelined: all frames queued at once, up to `in_flight`
+    // executing; the consumer loop drains outcomes as they complete
+    // (poll/drain API -- no future get() anywhere) ----
     engine::EngineConfig ec;
     ec.num_threads = threads;
     ec.max_frames_in_flight = in_flight;
@@ -105,20 +130,43 @@ main(int argc, char **argv)
         engine::FrameRequest warm(path[0]);
         warm.field = &field;
         warm.config = cfg;
-        eng.submit(std::move(warm)).get();
+        warm.collect = true;
+        eng.submitAsync(std::move(warm));
+        eng.drain();
+        engine::FrameOutcome unused;
+        eng.poll(unused);
     }
-    std::vector<engine::Frame> served;
+    std::vector<engine::Frame> served(path.size());
     t0 = std::chrono::steady_clock::now();
     {
-        std::vector<std::future<engine::Frame>> futs;
-        for (const auto &cam : path) {
-            engine::FrameRequest req(cam);
+        std::map<uint64_t, size_t> id_to_frame;
+        for (size_t f = 0; f < path.size(); ++f) {
+            engine::FrameRequest req(path[f]);
             req.field = &field;
             req.config = cfg;
-            futs.push_back(eng.submit(std::move(req)));
+            req.collect = true;
+            id_to_frame[eng.submitAsync(std::move(req))] = f;
         }
-        for (auto &fut : futs)
-            served.push_back(fut.get());
+        // The serving loop: non-blocking poll, then whatever other
+        // work the server has (here: yield). Outcomes arrive in
+        // completion order; the ids returned at submission map them
+        // back to the path.
+        size_t got = 0;
+        std::vector<engine::FrameOutcome> batch;
+        while (got < path.size()) {
+            batch.clear();
+            if (eng.drainCompleted(batch) == 0) {
+                std::this_thread::yield();
+                continue;
+            }
+            for (auto &out : batch) {
+                if (out.error)
+                    std::rethrow_exception(out.error);
+                served[id_to_frame.at(out.frame.id)] =
+                    std::move(out.frame);
+                ++got;
+            }
+        }
     }
     const double pipe_s = seconds(t0);
 
@@ -137,11 +185,11 @@ main(int argc, char **argv)
     std::cout << "frames bit-identical to sequential: "
               << (identical ? "yes" : "NO") << "\n";
 
-    // ---- session streaming with probe reuse ----
-    // A viewer consuming frames one at a time: each completed frame
-    // refreshes the session's probe cache, so the next small camera
-    // step can skip Phase I entirely (the cache refreshes on every
-    // fresh probe, so reuse alternates with probing along the orbit).
+    // ---- session streaming with probe reuse, callback-driven ----
+    // A closed-loop viewer: each completion callback submits the next
+    // camera pose, and each completed frame refreshes the session's
+    // probe cache, so the next small camera step can skip Phase I
+    // entirely (reuse alternates with probing along the orbit).
     if (reuse) {
         engine::SessionConfig scfg;
         scfg.reuse_probes = true;
@@ -149,18 +197,45 @@ main(int argc, char **argv)
         scfg.max_forward_delta = 0.05f;
         engine::RenderSession session(field, cfg, scfg);
 
+        // Exactly one frame is outstanding at a time (each callback
+        // submits the next pose), so plain counters are safe here.
+        size_t done_frames = 0;
+        double psnr_sum = 0.0;
+        std::promise<void> all_done;
+        std::function<void(engine::Frame &&, std::exception_ptr)>
+            on_frame;
+        on_frame = [&](engine::Frame &&frame, std::exception_ptr err) {
+            if (err) {
+                all_done.set_exception(err);
+                return;
+            }
+            psnr_sum += psnr(frame.image, seq[done_frames]);
+            if (++done_frames >= path.size()) {
+                all_done.set_value();
+                return;
+            }
+            engine::FrameRequest req(path[done_frames]);
+            req.renderer = &session.renderer();
+            req.session = &session;
+            req.on_complete = on_frame;
+            eng.submitAsync(std::move(req));
+        };
+
         t0 = std::chrono::steady_clock::now();
-        double mean_psnr = 0.0;
-        for (size_t f = 0; f < path.size(); ++f)
-            mean_psnr += psnr(eng.submit(session, path[f]).get().image,
-                              seq[f]);
-        mean_psnr /= double(frames);
+        engine::FrameRequest first(path[0]);
+        first.renderer = &session.renderer();
+        first.session = &session;
+        first.on_complete = on_frame;
+        eng.submitAsync(std::move(first));
+        all_done.get_future().get();
         const double sess_s = seconds(t0);
+        const double mean_psnr = psnr_sum / double(frames);
 
         engine::SessionStats st = session.stats();
-        std::cout << "\nsession with probe reuse: " << fmt(sess_s, 3)
-                  << " s (" << fmt(double(frames) / sess_s, 2)
-                  << " frames/s), " << st.probe_reuses << "/" << st.frames
+        std::cout << "\ncallback-driven session with probe reuse: "
+                  << fmt(sess_s, 3) << " s ("
+                  << fmt(double(frames) / sess_s, 2) << " frames/s), "
+                  << st.probe_reuses << "/" << st.frames
                   << " frames served from the probe cache, mean "
                   << fmt(mean_psnr, 1)
                   << " dB vs fresh probing (inf = bit-identical)\n";

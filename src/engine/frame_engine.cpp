@@ -26,11 +26,13 @@ struct FrameEngine::InFlight
     FrameGraph graph;
     std::promise<Frame> promise;
     uint64_t id;
+    bool async = false; ///< deliver via callback/completed queue, no promise
     bool fresh_probes = false; ///< update the session cache on completion
     bool ran_probes = false;   ///< a fresh Phase I ran (session stats)
     bool track_reuse = false;  ///< encode-reuse hook attached
     uint64_t session_epoch = 0; ///< session probe epoch at admission
-    std::atomic<bool> delivered{false}; ///< promise satisfied
+    std::chrono::steady_clock::time_point started_at; ///< admission time
+    std::atomic<bool> delivered{false}; ///< outcome handed to a consumer
 };
 
 FrameEngine::FrameEngine(const EngineConfig &cfg) : cfg_(cfg)
@@ -49,20 +51,51 @@ FrameEngine::~FrameEngine()
 std::future<Frame>
 FrameEngine::submit(FrameRequest req)
 {
+    return enqueue(std::move(req), /*async=*/false);
+}
+
+uint64_t
+FrameEngine::submitAsync(FrameRequest req)
+{
+    ASDR_ASSERT(req.on_complete || req.collect,
+                "async submission needs a callback or collect");
+    uint64_t id = 0;
+    enqueue(std::move(req), /*async=*/true, &id);
+    return id;
+}
+
+std::future<Frame>
+FrameEngine::enqueue(FrameRequest req, bool async, uint64_t *id_out)
+{
     ASDR_ASSERT(req.renderer != nullptr || req.field != nullptr,
                 "request needs a renderer or a field");
     std::future<Frame> fut;
+    std::vector<std::unique_ptr<InFlight>> failed;
     {
         std::lock_guard<std::mutex> lock(m_);
         const uint64_t id = next_id_++;
+        if (id_out)
+            *id_out = id;
         auto inf = std::make_unique<InFlight>(std::move(req), id);
+        inf->async = async;
         // Wall clock starts at submission: time queued behind other
         // frames counts toward the frame's reported latency.
         inf->fs.start = std::chrono::steady_clock::now();
-        fut = inf->promise.get_future();
+        if (!async)
+            fut = inf->promise.get_future();
         frames_.emplace(id, std::move(inf));
         queue_.push_back(id);
-        pumpLocked();
+        pumpLocked(failed);
+        undelivered_ += int(failed.size());
+    }
+    // Admission failures are delivered outside m_: the consumer may be
+    // a callback that submits again (which takes m_).
+    if (!failed.empty()) {
+        for (auto &f : failed)
+            deliver(f.get(), Frame{}, f->graph.error());
+        std::lock_guard<std::mutex> lock(m_);
+        undelivered_ -= int(failed.size());
+        idle_cv_.notify_all();
     }
     return fut;
 }
@@ -76,15 +109,74 @@ FrameEngine::submit(RenderSession &session, const nerf::Camera &camera)
     return submit(std::move(req));
 }
 
+bool
+FrameEngine::poll(FrameOutcome &out)
+{
+    std::lock_guard<std::mutex> lock(done_m_);
+    if (done_.empty())
+        return false;
+    out = std::move(done_.front());
+    done_.pop_front();
+    return true;
+}
+
+size_t
+FrameEngine::drainCompleted(std::vector<FrameOutcome> &out)
+{
+    std::lock_guard<std::mutex> lock(done_m_);
+    const size_t n = done_.size();
+    out.reserve(out.size() + n);
+    for (auto &o : done_)
+        out.push_back(std::move(o));
+    done_.clear();
+    return n;
+}
+
+size_t
+FrameEngine::completedCount() const
+{
+    std::lock_guard<std::mutex> lock(done_m_);
+    return done_.size();
+}
+
 void
 FrameEngine::drain()
 {
     std::unique_lock<std::mutex> lock(m_);
-    idle_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+    idle_cv_.wait(lock, [&] {
+        return queue_.empty() && in_flight_ == 0 && undelivered_ == 0;
+    });
 }
 
 void
-FrameEngine::pumpLocked()
+FrameEngine::deliver(InFlight *f, Frame &&frame, std::exception_ptr err)
+{
+    frame.id = f->id;
+    frame.submitted_at = f->fs.start;
+    frame.started_at = f->started_at;
+    if (frame.finished_at == std::chrono::steady_clock::time_point())
+        frame.finished_at = std::chrono::steady_clock::now();
+    f->delivered.store(true, std::memory_order_release);
+    if (!f->async) {
+        if (err)
+            f->promise.set_exception(err);
+        else
+            f->promise.set_value(std::move(frame));
+        return;
+    }
+    if (f->req.on_complete) {
+        f->req.on_complete(std::move(frame), err);
+        return;
+    }
+    FrameOutcome out;
+    out.frame = std::move(frame);
+    out.error = err;
+    std::lock_guard<std::mutex> lock(done_m_);
+    done_.push_back(std::move(out));
+}
+
+void
+FrameEngine::pumpLocked(std::vector<std::unique_ptr<InFlight>> &failed)
 {
     while (in_flight_ < cfg_.max_frames_in_flight && !queue_.empty()) {
         const uint64_t id = queue_.front();
@@ -95,25 +187,29 @@ FrameEngine::pumpLocked()
             launchLocked(f);
         } catch (...) {
             // Admission failed (e.g. allocation) before any task was
-            // queued: undo the hook claim, fail this frame's future,
-            // and free its slot instead of wedging the queue.
+            // queued: undo the hook claim, hand the frame to the caller
+            // to fail outside the lock, and free its slot instead of
+            // wedging the queue.
             if (f->track_reuse && f->req.session)
                 f->req.session->detachReuseHook();
             auto it = frames_.find(id);
-            it->second->promise.set_exception(std::current_exception());
+            it->second->graph.setError(std::current_exception());
+            failed.push_back(std::move(it->second));
             frames_.erase(it);
             --in_flight_;
             continue;
         }
-        // Frame id as execution priority: older frames' ready stages
-        // always outrank newer frames', so pipelining fills idle
-        // workers without inverting the pipeline (ThreadPool::submit).
-        // A throw mid-run would leave queued tasks referencing a frame
-        // we can no longer safely discard, so treat it as fatal rather
-        // than wedging the engine (it only throws under allocation
-        // failure).
+        // Execution priority: QoS class first, frame id second
+        // (ThreadPool::composeKey) -- a lower class's ready stages
+        // always outrank a higher class's in the worker scan, and
+        // within a class older frames drain first, so pipelining fills
+        // idle workers without inverting the pipeline. A throw mid-run
+        // would leave queued tasks referencing a frame we can no longer
+        // safely discard, so treat it as fatal rather than wedging the
+        // engine (it only throws under allocation failure).
         try {
-            f->graph.run(pool_, [this, id] { frameDone(id); }, id);
+            f->graph.run(pool_, [this, id] { frameDone(id); },
+                         ThreadPool::composeKey(f->req.priority, id));
         } catch (...) {
             panic("frame graph submission failed mid-run");
         }
@@ -130,6 +226,7 @@ FrameEngine::launchLocked(InFlight *f)
             *f->req.field, f->req.config);
         f->renderer = f->owned_renderer.get();
     }
+    f->started_at = std::chrono::steady_clock::now();
     const core::AsdrRenderer *r = f->renderer;
     // Derive the stage-graph shape once and store it: beginFrame must
     // see exactly the shape the graph was sized from (frameShape reads
@@ -170,7 +267,7 @@ FrameEngine::launchLocked(InFlight *f)
     const int phase2 = g.addNode("phase2 tiles", shape.jobs,
                                  [f, r](int j) { r->phase2Job(f->fs, j); });
     g.addEdge(plan, phase2);
-    const int fin = g.addNode("finalize", 1, [f, r](int) {
+    const int fin = g.addNode("finalize", 1, [this, f, r](int) {
         RenderSession *s = f->req.session;
         if (s) {
             if (f->track_reuse)
@@ -180,11 +277,10 @@ FrameEngine::launchLocked(InFlight *f)
             s->onFrameDone(f->ran_probes, f->fs.probes_reused);
         }
         Frame frame;
-        frame.id = f->id;
         r->finalizeFrame(f->fs, &frame.stats);
         frame.image = std::move(f->fs.img);
-        f->promise.set_value(std::move(frame));
-        f->delivered.store(true, std::memory_order_release);
+        frame.finished_at = std::chrono::steady_clock::now();
+        deliver(f, std::move(frame), nullptr);
     });
     g.addEdge(phase2, fin);
     // The caller (pumpLocked) starts the graph once this throwing
@@ -195,24 +291,42 @@ void
 FrameEngine::frameDone(uint64_t id)
 {
     std::unique_ptr<InFlight> dead;
+    std::vector<std::unique_ptr<InFlight>> failed;
+    bool dead_needs_delivery = false;
     {
         std::lock_guard<std::mutex> lock(m_);
         auto it = frames_.find(id);
         dead = std::move(it->second);
         frames_.erase(it);
         --in_flight_;
-        pumpLocked();
+        pumpLocked(failed);
+        // Claim the post-unlock deliveries while still inside m_ so a
+        // concurrent drain() cannot observe the engine idle between
+        // the slot release and the outcome reaching its consumer.
+        dead_needs_delivery =
+            !dead->delivered.load(std::memory_order_acquire);
+        undelivered_ += int(failed.size()) + (dead_needs_delivery ? 1 : 0);
     }
-    // A stage threw: the finalize node was skipped (promise untouched),
-    // so deliver the error to the future and undo the hook attachment.
-    if (!dead->delivered.load(std::memory_order_acquire)) {
+    // A stage threw: the finalize node was skipped (nothing delivered),
+    // so hand the error to the consumer and undo the hook attachment.
+    int delivered_now = 0;
+    if (dead_needs_delivery) {
         if (dead->track_reuse && dead->req.session)
             dead->req.session->detachReuseHook();
         std::exception_ptr err = dead->graph.error();
-        dead->promise.set_exception(
-            err ? err
-                : std::make_exception_ptr(
-                      std::runtime_error("frame abandoned")));
+        deliver(dead.get(), Frame{},
+                err ? err
+                    : std::make_exception_ptr(
+                          std::runtime_error("frame abandoned")));
+        ++delivered_now;
+    }
+    for (auto &f : failed) {
+        deliver(f.get(), Frame{}, f->graph.error());
+        ++delivered_now;
+    }
+    if (delivered_now) {
+        std::lock_guard<std::mutex> lock(m_);
+        undelivered_ -= delivered_now;
     }
     idle_cv_.notify_all();
     // `dead` (graph included) is destroyed here, on the worker that ran

@@ -74,6 +74,17 @@ class FrameGraph
         return failed_.load(std::memory_order_acquire) ? error_ : nullptr;
     }
 
+    /** Record a failure that happened outside the graph's own tasks
+     *  (e.g. the engine's admission path threw before run()); keeps the
+     *  error reporting channel uniform for the consumer. */
+    void setError(std::exception_ptr err)
+    {
+        std::lock_guard<std::mutex> lock(error_m_);
+        if (!error_)
+            error_ = err;
+        failed_.store(true, std::memory_order_release);
+    }
+
   private:
     struct Node
     {

@@ -1,0 +1,344 @@
+#include "server/frame_server.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace asdr::server {
+
+namespace {
+
+double
+secondsBetween(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+/** splitmix64: the sticky session -> shard hash. Client ids are
+ *  sequential, so they need a real mix to spread across shards. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+FrameServer::FrameServer(const SceneRegistry &registry,
+                         const ServerConfig &cfg)
+    : registry_(registry), cfg_(cfg)
+{
+    ASDR_ASSERT(cfg.shards >= 1, "need at least one shard");
+    ASDR_ASSERT(cfg.frames_in_flight_per_shard >= 1,
+                "need at least one pipeline slot per shard");
+    shards_.resize(size_t(cfg.shards));
+    for (Shard &s : shards_) {
+        engine::EngineConfig ec;
+        ec.num_threads = cfg.threads_per_shard;
+        ec.max_frames_in_flight = cfg.frames_in_flight_per_shard;
+        s.engine = std::make_unique<engine::FrameEngine>(ec);
+        s.sched = std::make_unique<QosScheduler>(cfg.qos);
+    }
+}
+
+FrameServer::~FrameServer()
+{
+    // Stop admitting, shed every pending frame, then wait for the
+    // in-flight tail: engine callbacks reference this object, so no
+    // state may die before the last outcome is delivered.
+    std::vector<PendingFrame> dropped;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        for (auto &entry : clients_)
+            entry.second->closing = true;
+        for (auto &entry : clients_)
+            shards_[size_t(entry.second->shard)].sched->dropClient(
+                entry.first, dropped);
+    }
+    dropFrames(std::move(dropped));
+    waitIdle();
+    clients_.clear();
+    shards_.clear(); // engine destructors drain + stop their pools
+}
+
+int
+FrameServer::pickShardLocked(uint64_t client_id) const
+{
+    const int n = int(shards_.size());
+    if (n == 1)
+        return 0;
+    const int preferred = int(mix64(client_id) % uint64_t(n));
+    int least = 0;
+    for (int s = 1; s < n; ++s)
+        if (shards_[size_t(s)].sessions < shards_[size_t(least)].sessions)
+            least = s;
+    // Sticky hashing spreads sessions statistically; the fallback
+    // catches the unlucky tail (hash collisions piling onto one shard).
+    if (shards_[size_t(preferred)].sessions >
+        shards_[size_t(least)].sessions + cfg_.rebalance_threshold)
+        return least;
+    return preferred;
+}
+
+uint64_t
+FrameServer::openSession(const std::string &scene, QosClass qos,
+                         const SessionOptions &opt, ResultCallback callback)
+{
+    const SceneEntry *entry = registry_.find(scene);
+    if (!entry)
+        return 0;
+    auto client = std::make_unique<Client>();
+    client->scene = entry;
+    client->qos = qos;
+    client->callback = std::move(callback);
+    client->session = std::make_unique<engine::RenderSession>(
+        *entry->field, entry->config, opt.session);
+
+    std::lock_guard<std::mutex> lock(m_);
+    client->id = next_client_++;
+    client->shard = pickShardLocked(client->id);
+    shards_[size_t(client->shard)].sessions++;
+    const uint64_t id = client->id;
+    clients_.emplace(id, std::move(client));
+    return id;
+}
+
+uint64_t
+FrameServer::submitFrame(uint64_t client_id, const nerf::Camera &camera)
+{
+    std::vector<PendingFrame> dropped;
+    std::vector<Launch> launches;
+    uint64_t ticket = 0;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        auto it = clients_.find(client_id);
+        if (it == clients_.end() || it->second->closing)
+            return 0;
+        Client &c = *it->second;
+        ticket = next_ticket_++;
+        stats_.recordSubmitted(c.qos);
+        c.outstanding++;
+        outstanding_total_++;
+
+        PendingFrame pf;
+        pf.ticket = ticket;
+        pf.client = client_id;
+        pf.qos = c.qos;
+        pf.camera = camera;
+        pf.submitted_at = std::chrono::steady_clock::now();
+        shards_[size_t(c.shard)].sched->push(std::move(pf), dropped);
+        pumpLocked(c.shard, launches);
+    }
+    for (const Launch &l : launches)
+        launch(l);
+    dropFrames(std::move(dropped));
+    return ticket;
+}
+
+void
+FrameServer::pumpLocked(int shard, std::vector<Launch> &launches)
+{
+    Shard &s = shards_[size_t(shard)];
+    PendingFrame pf;
+    while (s.total_in_flight < cfg_.frames_in_flight_per_shard &&
+           s.sched->pop(s.in_flight, pf)) {
+        s.in_flight[int(pf.qos)]++;
+        s.total_in_flight++;
+        stats_.recordAdmitted(
+            pf.qos, secondsBetween(pf.submitted_at,
+                                   std::chrono::steady_clock::now()));
+        // The client is alive: its pending frame counts toward
+        // `outstanding`, and sessions are only freed at zero.
+        Client &c = *clients_.at(pf.client);
+        launches.push_back(Launch{shard, std::move(pf), c.session.get()});
+    }
+}
+
+void
+FrameServer::launch(const Launch &l)
+{
+    engine::FrameRequest req(l.frame.camera);
+    req.renderer = &l.session->renderer();
+    req.session = l.session;
+    req.priority = qosPoolPriority(l.frame.qos);
+    const int shard = l.shard;
+    const uint64_t client = l.frame.client;
+    const uint64_t ticket = l.frame.ticket;
+    const QosClass qos = l.frame.qos;
+    const auto submitted_at = l.frame.submitted_at;
+    req.on_complete = [this, shard, client, ticket, qos,
+                       submitted_at](engine::Frame &&frame,
+                                     std::exception_ptr err) {
+        onFrameDone(shard, client, ticket, qos, submitted_at,
+                    std::move(frame), err);
+    };
+    shards_[size_t(shard)].engine->submitAsync(std::move(req));
+}
+
+void
+FrameServer::onFrameDone(int shard, uint64_t client, uint64_t ticket,
+                         QosClass qos,
+                         std::chrono::steady_clock::time_point submitted_at,
+                         engine::Frame &&frame, std::exception_ptr err)
+{
+    const double latency = secondsBetween(
+        submitted_at, std::chrono::steady_clock::now());
+    std::vector<Launch> launches;
+    ResultCallback cb;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        Shard &s = shards_[size_t(shard)];
+        s.in_flight[int(qos)]--;
+        s.total_in_flight--;
+        pumpLocked(shard, launches);
+        cb = clients_.at(client)->callback;
+    }
+    // Refill the freed slot before delivery: the next frame renders
+    // while this one's consumer runs.
+    for (const Launch &l : launches)
+        launch(l);
+
+    if (err)
+        stats_.recordFailed(qos);
+    else
+        stats_.recordServed(qos, latency);
+
+    FrameResult result;
+    result.client = client;
+    result.ticket = ticket;
+    result.qos = qos;
+    result.frame = std::move(frame);
+    result.error = err;
+    result.latency_s = latency;
+    deliverResult(std::move(result), cb);
+}
+
+void
+FrameServer::deliverResult(FrameResult &&result, const ResultCallback &cb)
+{
+    const uint64_t client = result.client;
+    if (cb) {
+        cb(std::move(result));
+    } else {
+        std::lock_guard<std::mutex> lock(done_m_);
+        done_.push_back(std::move(result));
+    }
+    // Retire AFTER the consumer ran: a closed-loop callback that
+    // submits the next frame does so before the count can reach zero,
+    // so waitIdle() cannot report idle mid-loop.
+    std::lock_guard<std::mutex> lock(m_);
+    retireLocked(client);
+}
+
+void
+FrameServer::retireLocked(uint64_t client)
+{
+    auto it = clients_.find(client);
+    ASDR_ASSERT(it != clients_.end(), "retiring a frame of a freed client");
+    ASDR_ASSERT(it->second->outstanding > 0, "outstanding underflow");
+    it->second->outstanding--;
+    outstanding_total_--;
+    idle_cv_.notify_all();
+}
+
+void
+FrameServer::dropFrames(std::vector<PendingFrame> &&dropped)
+{
+    for (PendingFrame &pf : dropped) {
+        stats_.recordDropped(pf.qos);
+        ResultCallback cb;
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            cb = clients_.at(pf.client)->callback;
+        }
+        FrameResult result;
+        result.client = pf.client;
+        result.ticket = pf.ticket;
+        result.qos = pf.qos;
+        result.dropped = true;
+        deliverResult(std::move(result), cb);
+    }
+}
+
+void
+FrameServer::closeSession(uint64_t client)
+{
+    std::vector<PendingFrame> dropped;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        auto it = clients_.find(client);
+        if (it == clients_.end() || it->second->closing)
+            return;
+        it->second->closing = true;
+        shards_[size_t(it->second->shard)].sched->dropClient(client,
+                                                             dropped);
+    }
+    dropFrames(std::move(dropped));
+    std::unique_lock<std::mutex> lock(m_);
+    auto it = clients_.find(client);
+    if (it == clients_.end())
+        return;
+    // Wait on the stable Client object, not the map iterator: a
+    // concurrent openSession may rehash the table mid-wait.
+    Client *c = it->second.get();
+    idle_cv_.wait(lock, [&] { return c->outstanding == 0; });
+    shards_[size_t(c->shard)].sessions--;
+    clients_.erase(client);
+}
+
+bool
+FrameServer::poll(FrameResult &out)
+{
+    std::lock_guard<std::mutex> lock(done_m_);
+    if (done_.empty())
+        return false;
+    out = std::move(done_.front());
+    done_.pop_front();
+    return true;
+}
+
+size_t
+FrameServer::drainResults(std::vector<FrameResult> &out)
+{
+    std::lock_guard<std::mutex> lock(done_m_);
+    const size_t n = done_.size();
+    out.reserve(out.size() + n);
+    for (auto &r : done_)
+        out.push_back(std::move(r));
+    done_.clear();
+    return n;
+}
+
+void
+FrameServer::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(m_);
+    idle_cv_.wait(lock, [&] { return outstanding_total_ == 0; });
+}
+
+int
+FrameServer::shardOf(uint64_t client) const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = clients_.find(client);
+    return it == clients_.end() ? -1 : it->second->shard;
+}
+
+engine::FrameEngine &
+FrameServer::shardEngine(int shard)
+{
+    return *shards_.at(size_t(shard)).engine;
+}
+
+int
+FrameServer::shardSessions(int shard) const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return shards_.at(size_t(shard)).sessions;
+}
+
+} // namespace asdr::server

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Multi-tenant serving front end over the streaming frame engine: many
+ * clients, many scenes, mixed QoS, shared compute.
+ *
+ * Layering (the host analog of serving many viewers from shared CIM
+ * arrays, generalizing the paper's §5.5 engine pipelining from "frames
+ * of one viewer" to "frames of many viewers over shared workers"):
+ *
+ *   SceneRegistry    named (field, config) entries, loaded once,
+ *                    shared read-only by every client of a scene.
+ *   FrameServer      owns a shard set of FrameEngines (each with its
+ *                    own worker pool and pipeline slots). A client
+ *                    session is pinned to a shard at open time by a
+ *                    sticky hash of its id, falling back to the least-
+ *                    loaded shard when the hashed one is overloaded --
+ *                    sticky placement keeps a session's probe cache
+ *                    and its scene's tables warm in one pool's caches.
+ *   QosScheduler     per-shard admission (replaces FIFO): weighted-
+ *                    fair across {interactive, standard, batch},
+ *                    per-class in-flight caps, bounded per-client
+ *                    backlogs (drop-oldest for interactive), aging so
+ *                    batch never starves. The server keeps each
+ *                    engine's own queue EMPTY -- frames wait in the
+ *                    scheduler, not the engine, so admission order is
+ *                    always the scheduler's decision.
+ *   delivery         fully async: per-client completion callbacks or
+ *                    the server's poll()/drainResults() mailbox; a
+ *                    serving loop never blocks in a future get().
+ *                    Callbacks may submit follow-up frames (closed
+ *                    loop) -- waitIdle() only returns once a finished
+ *                    frame's callback has run AND submitted nothing.
+ *
+ * Frames served through any shard/QoS mix are bit-identical to the
+ * client's own sequential AsdrRenderer::render() calls (sessions
+ * default to no probe reuse; the engine stages are bit-exact), so
+ * multiplexing is purely a scheduling concern -- enforced by
+ * tests/test_server.cpp.
+ */
+
+#ifndef ASDR_SERVER_FRAME_SERVER_HPP
+#define ASDR_SERVER_FRAME_SERVER_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/frame_engine.hpp"
+#include "engine/render_session.hpp"
+#include "server/qos.hpp"
+#include "server/qos_scheduler.hpp"
+#include "server/scene_registry.hpp"
+#include "server/server_stats.hpp"
+
+namespace asdr::server {
+
+struct ServerConfig
+{
+    /** Independent FrameEngines, each with its own worker pool. */
+    int shards = 1;
+    /** Workers per shard engine; 0 = auto (ASDR_NUM_THREADS / cores).
+     *  With multiple shards, prefer explicit sizing: auto on every
+     *  shard oversubscribes the host. */
+    int threads_per_shard = 0;
+    /** Pipeline slots per shard (frames executing concurrently). */
+    int frames_in_flight_per_shard = 2;
+    /** Admission policy knobs (weights, caps, backlogs, aging). */
+    QosParams qos;
+    /** Sticky-hash fallback: when the hashed shard already has this
+     *  many more sessions than the least-loaded shard, the new session
+     *  goes to the least-loaded one instead. */
+    int rebalance_threshold = 2;
+};
+
+/** Per-session options beyond the QoS class. */
+struct SessionOptions
+{
+    /** Probe-cache behavior of the wrapped engine::RenderSession.
+     *  Defaults preserve bit-exactness (no cross-frame reuse). */
+    engine::SessionConfig session;
+};
+
+/** One delivered frame (or its drop/failure notice). */
+struct FrameResult
+{
+    uint64_t client = 0;
+    uint64_t ticket = 0;
+    QosClass qos = QosClass::Standard;
+    /** The rendered frame; empty image on drop/failure. */
+    engine::Frame frame;
+    /** Set when the render threw; the frame is invalid. */
+    std::exception_ptr error;
+    /** Shed by the backlog policy before rendering. */
+    bool dropped = false;
+    /** Submit -> delivery latency, seconds (0 for drops). */
+    double latency_s = 0.0;
+
+    bool ok() const { return !dropped && error == nullptr; }
+};
+
+class FrameServer
+{
+  public:
+    using ResultCallback = std::function<void(FrameResult &&)>;
+
+    /** The registry must outlive the server. */
+    FrameServer(const SceneRegistry &registry, const ServerConfig &cfg);
+    /** Sheds pending frames, waits out in-flight ones, stops shards. */
+    ~FrameServer();
+
+    FrameServer(const FrameServer &) = delete;
+    FrameServer &operator=(const FrameServer &) = delete;
+
+    /**
+     * Open a client session viewing a registered scene. Returns the
+     * client id (nonzero), or 0 when the scene is unknown. When
+     * `callback` is set, the client's results are delivered through it
+     * (on engine workers; it may call submitFrame -- closed-loop
+     * streaming); otherwise they land in the server mailbox for
+     * poll()/drainResults(). A callback must NOT call closeSession or
+     * waitIdle: the result it is handling still counts as outstanding
+     * until the callback returns, so either call would wait on itself.
+     */
+    uint64_t openSession(const std::string &scene, QosClass qos,
+                         const SessionOptions &opt = {},
+                         ResultCallback callback = nullptr);
+
+    /** Shed the client's pending frames, wait for its in-flight ones,
+     *  then free the session. Safe against concurrent submissions. */
+    void closeSession(uint64_t client);
+
+    /**
+     * Submit one frame for `client` at `camera`. Never blocks; returns
+     * the frame's ticket (nonzero), or 0 when the client is unknown or
+     * closing. A ticket always produces exactly one FrameResult
+     * (served, dropped, or failed).
+     */
+    uint64_t submitFrame(uint64_t client, const nerf::Camera &camera);
+
+    /** Pop one delivered result of callback-less clients; non-blocking.
+     *  Results arrive in completion order -- correlate by ticket. */
+    bool poll(FrameResult &out);
+    /** Pop everything delivered so far; returns how many. */
+    size_t drainResults(std::vector<FrameResult> &out);
+
+    /**
+     * Block until no frame is pending, in flight, or mid-delivery.
+     * A result's callback runs to completion BEFORE the frame stops
+     * counting, so closed-loop clients (callbacks submitting the next
+     * frame) keep the server non-idle until their last callback
+     * submits nothing.
+     */
+    void waitIdle();
+
+    ServerStatsSnapshot stats() const { return stats_.snapshot(); }
+
+    int shardCount() const { return int(shards_.size()); }
+    /** Shard a client was pinned to (-1 when unknown). */
+    int shardOf(uint64_t client) const;
+    /** A shard's engine (diagnostics/tests). */
+    engine::FrameEngine &shardEngine(int shard);
+    /** Open sessions pinned to a shard. */
+    int shardSessions(int shard) const;
+
+  private:
+    struct Shard
+    {
+        std::unique_ptr<engine::FrameEngine> engine;
+        std::unique_ptr<QosScheduler> sched;
+        int in_flight[kQosClasses] = {0, 0, 0};
+        int total_in_flight = 0;
+        int sessions = 0;
+    };
+
+    struct Client
+    {
+        uint64_t id = 0;
+        const SceneEntry *scene = nullptr;
+        QosClass qos = QosClass::Standard;
+        int shard = 0;
+        std::unique_ptr<engine::RenderSession> session;
+        ResultCallback callback;
+        /** Frames pending + in flight + mid-delivery. */
+        uint64_t outstanding = 0;
+        bool closing = false;
+    };
+
+    /** A scheduler decision to hand one frame to a shard engine;
+     *  executed outside m_ (engine submission can deliver failures
+     *  straight into user callbacks). */
+    struct Launch
+    {
+        int shard = 0;
+        PendingFrame frame;
+        engine::RenderSession *session = nullptr;
+    };
+
+    int pickShardLocked(uint64_t client_id) const;
+    /** Admit frames while the shard has free slots (m_ held). */
+    void pumpLocked(int shard, std::vector<Launch> &launches);
+    void launch(const Launch &l);
+    void onFrameDone(int shard, uint64_t client, uint64_t ticket,
+                     QosClass qos,
+                     std::chrono::steady_clock::time_point submitted_at,
+                     engine::Frame &&frame, std::exception_ptr err);
+    /** Invoke the callback / fill the mailbox, then retire the frame
+     *  from the outstanding counts. Never called under m_. */
+    void deliverResult(FrameResult &&result, const ResultCallback &cb);
+    void retireLocked(uint64_t client);
+    void dropFrames(std::vector<PendingFrame> &&dropped);
+
+    const SceneRegistry &registry_;
+    ServerConfig cfg_;
+    std::vector<Shard> shards_;
+
+    mutable std::mutex m_;
+    std::condition_variable idle_cv_;
+    std::unordered_map<uint64_t, std::unique_ptr<Client>> clients_;
+    uint64_t next_client_ = 1;
+    uint64_t next_ticket_ = 1;
+    uint64_t outstanding_total_ = 0;
+
+    std::mutex done_m_;
+    std::deque<FrameResult> done_;
+
+    ServerStats stats_;
+};
+
+} // namespace asdr::server
+
+#endif // ASDR_SERVER_FRAME_SERVER_HPP

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Quality-of-service vocabulary of the multi-tenant render server.
+ *
+ * Every client session carries one of three QoS classes:
+ *
+ *  - interactive: a live viewer dragging a camera. Lowest latency,
+ *    highest admission weight, and a *drop-oldest* backlog -- when the
+ *    viewer submits faster than the server renders, stale camera poses
+ *    are discarded so the stream stays current.
+ *  - standard: normal streaming traffic. Middle weight, drop-newest
+ *    backlog (a full queue rejects further frames).
+ *  - batch: offline/bulk work (dataset renders, previews). Lowest
+ *    weight, but starvation-free: a batch frame repeatedly passed over
+ *    at admission ages into the next free slot.
+ *
+ * The class maps onto two mechanisms: the admission scheduler's
+ * weighted-fair ordering (server/qos_scheduler), and the engine pool's
+ * task keys (ThreadPool::composeKey(class, frame id)) -- so once
+ * admitted, an interactive frame's ready stages still outrank co-
+ * resident batch stages in every worker's scan.
+ */
+
+#ifndef ASDR_SERVER_QOS_HPP
+#define ASDR_SERVER_QOS_HPP
+
+namespace asdr::server {
+
+enum class QosClass
+{
+    Interactive = 0,
+    Standard = 1,
+    Batch = 2,
+};
+
+constexpr int kQosClasses = 3;
+
+inline const char *
+qosClassName(QosClass c)
+{
+    switch (c) {
+    case QosClass::Interactive:
+        return "interactive";
+    case QosClass::Standard:
+        return "standard";
+    case QosClass::Batch:
+        return "batch";
+    }
+    return "?";
+}
+
+/** Pool-scan priority of a class's frame tasks (smaller runs sooner);
+ *  composed with the frame id via ThreadPool::composeKey. */
+inline unsigned
+qosPoolPriority(QosClass c)
+{
+    return unsigned(c);
+}
+
+/** Per-class admission knobs (see QosParams for the defaults). */
+struct QosClassParams
+{
+    /** Weighted-fair admission share: a class receives weight/(sum of
+     *  backlogged classes' weights) of admissions over time. */
+    double weight = 1.0;
+    /** Frames of this class in flight per shard; 0 = no cap (bounded
+     *  only by the shard's pipeline slots). */
+    int max_in_flight = 0;
+    /** Pending frames per client before the backlog policy kicks in. */
+    int max_backlog = 8;
+    /** Backlog overflow policy: drop the oldest pending frame (live
+     *  interactive streams) instead of rejecting the newest. */
+    bool drop_oldest = false;
+};
+
+struct QosParams
+{
+    QosClassParams cls[kQosClasses];
+    /**
+     * Starvation-free aging: an eligible head frame passed over this
+     * many times at admission is granted the next slot regardless of
+     * its class's weighted-fair position. Bounds any backlogged class's
+     * wait to aging_limit admissions.
+     */
+    int aging_limit = 16;
+
+    QosParams()
+    {
+        cls[int(QosClass::Interactive)] = {8.0, 0, 4, /*drop_oldest=*/true};
+        cls[int(QosClass::Standard)] = {3.0, 0, 8, false};
+        cls[int(QosClass::Batch)] = {1.0, 0, 16, false};
+    }
+};
+
+} // namespace asdr::server
+
+#endif // ASDR_SERVER_QOS_HPP

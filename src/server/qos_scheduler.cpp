@@ -1,0 +1,127 @@
+#include "server/qos_scheduler.hpp"
+
+#include <algorithm>
+
+namespace asdr::server {
+
+void
+QosScheduler::push(PendingFrame frame, std::vector<PendingFrame> &dropped)
+{
+    const int c = int(frame.qos);
+    const QosClassParams &cp = p_.cls[c];
+    std::deque<PendingFrame> &q = q_[c];
+
+    int &client_pending = client_pending_[c][frame.client];
+
+    if (cp.max_backlog > 0 && client_pending >= cp.max_backlog) {
+        if (!cp.drop_oldest) {
+            dropped.push_back(std::move(frame)); // reject the newest
+            return;
+        }
+        // Drop-oldest: shed the client's stalest pose so the stream
+        // stays current (queue order preserved for everyone else).
+        for (auto it = q.begin(); it != q.end(); ++it) {
+            if (it->client == frame.client) {
+                dropped.push_back(std::move(*it));
+                q.erase(it);
+                --client_pending;
+                break;
+            }
+        }
+    }
+
+    if (q.empty())
+        vtime_[c] = std::max(vtime_[c], vclock_);
+    ++client_pending;
+    q.push_back(std::move(frame));
+}
+
+bool
+QosScheduler::pop(const int (&in_flight)[kQosClasses], PendingFrame &out)
+{
+    // Eligible: backlogged and below the class's in-flight cap.
+    bool eligible[kQosClasses];
+    bool any = false;
+    for (int c = 0; c < kQosClasses; ++c) {
+        const QosClassParams &cp = p_.cls[c];
+        eligible[c] = !q_[c].empty() &&
+                      (cp.max_in_flight <= 0 ||
+                       in_flight[c] < cp.max_in_flight);
+        any = any || eligible[c];
+    }
+    if (!any)
+        return false;
+
+    // Aging first: a head passed over aging_limit times takes the slot
+    // outright (earliest submission wins among aged heads).
+    int sel = -1;
+    for (int c = 0; c < kQosClasses; ++c) {
+        if (!eligible[c] || q_[c].front().passed_over < p_.aging_limit)
+            continue;
+        if (sel < 0 ||
+            q_[c].front().submitted_at < q_[sel].front().submitted_at)
+            sel = c;
+    }
+    // Otherwise weighted-fair: smallest virtual time; ties go to the
+    // higher-priority (lower-index) class.
+    if (sel < 0)
+        for (int c = 0; c < kQosClasses; ++c) {
+            if (!eligible[c])
+                continue;
+            if (sel < 0 || vtime_[c] < vtime_[sel])
+                sel = c;
+        }
+
+    vtime_[sel] += 1.0 / std::max(1e-9, p_.cls[sel].weight);
+    vclock_ = vtime_[sel];
+    for (int c = 0; c < kQosClasses; ++c)
+        if (c != sel && eligible[c])
+            q_[c].front().passed_over++;
+
+    out = std::move(q_[sel].front());
+    q_[sel].pop_front();
+    auto it = client_pending_[sel].find(out.client);
+    if (--it->second == 0)
+        client_pending_[sel].erase(it);
+    return true;
+}
+
+void
+QosScheduler::dropClient(uint64_t client, std::vector<PendingFrame> &dropped)
+{
+    for (auto &q : q_) {
+        for (auto it = q.begin(); it != q.end();) {
+            if (it->client == client) {
+                dropped.push_back(std::move(*it));
+                it = q.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (auto &counts : client_pending_)
+        counts.erase(client);
+}
+
+size_t
+QosScheduler::pending() const
+{
+    size_t n = 0;
+    for (const auto &q : q_)
+        n += q.size();
+    return n;
+}
+
+size_t
+QosScheduler::pendingOfClient(uint64_t client) const
+{
+    size_t n = 0;
+    for (const auto &counts : client_pending_) {
+        auto it = counts.find(client);
+        if (it != counts.end())
+            n += size_t(it->second);
+    }
+    return n;
+}
+
+} // namespace asdr::server

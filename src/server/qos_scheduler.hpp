@@ -1,0 +1,102 @@
+/**
+ * @file
+ * QoS-aware admission scheduler: the per-shard pending queue that
+ * replaces the engine's FIFO for multi-tenant traffic.
+ *
+ * Ordering is weighted-fair across the three QoS classes: each class
+ * keeps a virtual time advanced by 1/weight per admission, and the
+ * eligible class with the smallest virtual time wins, so backlogged
+ * classes share admissions in proportion to their weights (8:3:1 by
+ * default) rather than first-come-first-served. Three guards shape the
+ * fairness:
+ *
+ *  - per-class in-flight caps: a class at its cap is ineligible until
+ *    one of its frames completes, reserving pipeline slots for others;
+ *  - bounded per-client backlogs: an interactive client that submits
+ *    faster than the server renders sheds its OLDEST pending poses
+ *    (the stream stays current); standard/batch clients have the
+ *    newest submission rejected instead;
+ *  - starvation-free aging: an eligible head frame passed over
+ *    `aging_limit` times is granted the next admission outright, so a
+ *    weight-starved batch queue still makes progress under sustained
+ *    interactive load.
+ *
+ * The scheduler is a plain data structure (no locks, no threads); the
+ * FrameServer drives it under its own mutex and owns the in-flight
+ * accounting passed into pop().
+ */
+
+#ifndef ASDR_SERVER_QOS_SCHEDULER_HPP
+#define ASDR_SERVER_QOS_SCHEDULER_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "nerf/camera.hpp"
+#include "server/qos.hpp"
+
+namespace asdr::server {
+
+/** One frame waiting for admission. */
+struct PendingFrame
+{
+    uint64_t ticket = 0; ///< server-wide submission id
+    uint64_t client = 0; ///< owning client session
+    QosClass qos = QosClass::Standard;
+    nerf::Camera camera{Vec3(0.0f), Vec3(0.0f, 0.0f, 1.0f),
+                        Vec3(0.0f, 1.0f, 0.0f), 45.0f, 1, 1};
+    std::chrono::steady_clock::time_point submitted_at;
+    /** Admissions that selected another class while this frame was an
+     *  eligible head (the aging trigger). */
+    int passed_over = 0;
+};
+
+class QosScheduler
+{
+  public:
+    explicit QosScheduler(const QosParams &params) : p_(params) {}
+
+    /**
+     * Queue a frame. When the client's backlog in its class is full,
+     * the shed frame(s) are appended to `dropped`: the client's oldest
+     * pending frame for drop-oldest classes, the pushed frame itself
+     * otherwise (check `dropped[i].ticket`).
+     */
+    void push(PendingFrame frame, std::vector<PendingFrame> &dropped);
+
+    /**
+     * Select the next frame to admit given the shard's per-class
+     * in-flight counts; false when nothing is eligible (empty, or all
+     * backlogged classes are at their caps).
+     */
+    bool pop(const int (&in_flight)[kQosClasses], PendingFrame &out);
+
+    /** Remove every pending frame of `client` (session teardown);
+     *  removed frames are appended to `dropped`. */
+    void dropClient(uint64_t client, std::vector<PendingFrame> &dropped);
+
+    size_t pending() const;
+    size_t pendingOf(QosClass c) const { return q_[int(c)].size(); }
+    size_t pendingOfClient(uint64_t client) const;
+
+  private:
+    QosParams p_;
+    std::deque<PendingFrame> q_[kQosClasses];
+    /** Pending frames per client, per class (the backlog bound is a
+     *  per-(client, class) limit) -- keeps push()'s backlog check O(1)
+     *  instead of scanning the class queue (the check runs under the
+     *  server mutex on every submission). */
+    std::unordered_map<uint64_t, int> client_pending_[kQosClasses];
+    double vtime_[kQosClasses] = {0.0, 0.0, 0.0};
+    /** Virtual time of the last admission: a class going from empty to
+     *  backlogged restarts at max(its vtime, vclock_) so idle periods
+     *  don't bank credit. */
+    double vclock_ = 0.0;
+};
+
+} // namespace asdr::server
+
+#endif // ASDR_SERVER_QOS_SCHEDULER_HPP

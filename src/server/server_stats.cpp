@@ -1,0 +1,133 @@
+#include "server/server_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace asdr::server {
+
+namespace {
+
+/** Nearest-rank percentile over a sorted sample vector. */
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = q * double(sorted.size() - 1);
+    const size_t lo = size_t(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - double(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+} // namespace
+
+void
+ServerStats::recordSubmitted(QosClass c)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    cls_[int(c)].submitted++;
+}
+
+void
+ServerStats::recordAdmitted(QosClass c, double queue_s)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    ClassCollector &cc = cls_[int(c)];
+    cc.admitted++;
+    cc.queue_sum += queue_s;
+}
+
+void
+ServerStats::recordServed(QosClass c, double latency_s)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    ClassCollector &cc = cls_[int(c)];
+    cc.served++;
+    cc.latency_sum += latency_s;
+    cc.reservoir_seen++;
+    if (cc.reservoir.size() < kReservoir) {
+        cc.reservoir.push_back(latency_s);
+    } else {
+        // Algorithm R with a 64-bit LCG: slot = U(0, seen); keep the
+        // sample only when the slot lands inside the reservoir.
+        cc.rng = cc.rng * 6364136223846793005ull + 1442695040888963407ull;
+        const uint64_t slot = (cc.rng >> 16) % cc.reservoir_seen;
+        if (slot < kReservoir)
+            cc.reservoir[size_t(slot)] = latency_s;
+    }
+}
+
+void
+ServerStats::recordDropped(QosClass c)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    cls_[int(c)].dropped++;
+}
+
+void
+ServerStats::recordFailed(QosClass c)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    cls_[int(c)].failed++;
+}
+
+ServerStatsSnapshot
+ServerStats::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    ServerStatsSnapshot snap;
+    for (int c = 0; c < kQosClasses; ++c) {
+        const ClassCollector &cc = cls_[c];
+        QosClassStats &out = snap.cls[c];
+        out.submitted = cc.submitted;
+        out.admitted = cc.admitted;
+        out.served = cc.served;
+        out.dropped = cc.dropped;
+        out.failed = cc.failed;
+        if (cc.served) {
+            out.mean_ms = cc.latency_sum / double(cc.served) * 1e3;
+            std::vector<double> sorted = cc.reservoir;
+            std::sort(sorted.begin(), sorted.end());
+            out.p50_ms = percentile(sorted, 0.50) * 1e3;
+            out.p95_ms = percentile(sorted, 0.95) * 1e3;
+            out.p99_ms = percentile(sorted, 0.99) * 1e3;
+        }
+        if (cc.admitted)
+            out.mean_queue_ms = cc.queue_sum / double(cc.admitted) * 1e3;
+    }
+    return snap;
+}
+
+void
+ServerStats::reset()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    for (auto &cc : cls_)
+        cc = ClassCollector{};
+}
+
+std::string
+ServerStatsSnapshot::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"classes\":{";
+    for (int c = 0; c < kQosClasses; ++c) {
+        const QosClassStats &s = cls[c];
+        if (c)
+            os << ",";
+        os << "\"" << qosClassName(QosClass(c)) << "\":{"
+           << "\"submitted\":" << s.submitted
+           << ",\"admitted\":" << s.admitted << ",\"served\":" << s.served
+           << ",\"dropped\":" << s.dropped << ",\"failed\":" << s.failed
+           << ",\"drop_rate\":" << s.dropRate()
+           << ",\"p50_ms\":" << s.p50_ms << ",\"p95_ms\":" << s.p95_ms
+           << ",\"p99_ms\":" << s.p99_ms << ",\"mean_ms\":" << s.mean_ms
+           << ",\"mean_queue_ms\":" << s.mean_queue_ms << "}";
+    }
+    os << "}}";
+    return os.str();
+}
+
+} // namespace asdr::server

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Serving telemetry of the multi-tenant render server: per-QoS-class
+ * submitted/admitted/served/dropped/failed counts plus latency
+ * percentiles built from monotonic-clock timestamps taken at submit
+ * (enters the server), admit (handed to a shard engine), and finish
+ * (outcome delivered).
+ *
+ * Latency samples go through a fixed-size reservoir per class, so the
+ * collector's memory stays bounded on arbitrarily long serving runs
+ * while the percentiles remain an unbiased estimate of the whole run.
+ * snapshot() returns a plain value; toJson() renders it for dashboards
+ * and the bench harness's serve_latency rows.
+ */
+
+#ifndef ASDR_SERVER_SERVER_STATS_HPP
+#define ASDR_SERVER_SERVER_STATS_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "server/qos.hpp"
+
+namespace asdr::server {
+
+/** One class's aggregated serving record. */
+struct QosClassStats
+{
+    uint64_t submitted = 0; ///< frames entering the server
+    uint64_t admitted = 0;  ///< frames handed to a shard engine
+    uint64_t served = 0;    ///< frames delivered successfully
+    uint64_t dropped = 0;   ///< frames shed by the backlog policy
+    uint64_t failed = 0;    ///< frames whose render threw
+
+    // Latency percentiles over served frames, submit -> finish,
+    // milliseconds. Zero when no frame of the class was served.
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double mean_ms = 0.0;
+    /** Mean submit -> admit wait (scheduler queue time), milliseconds. */
+    double mean_queue_ms = 0.0;
+
+    double dropRate() const
+    {
+        return submitted ? double(dropped) / double(submitted) : 0.0;
+    }
+};
+
+struct ServerStatsSnapshot
+{
+    QosClassStats cls[kQosClasses];
+
+    uint64_t totalServed() const
+    {
+        uint64_t n = 0;
+        for (const auto &c : cls)
+            n += c.served;
+        return n;
+    }
+
+    /** {"classes":{"interactive":{...},...}} -- a dashboard/bench dump. */
+    std::string toJson() const;
+};
+
+/** Thread-safe collector; the FrameServer records into one of these. */
+class ServerStats
+{
+  public:
+    void recordSubmitted(QosClass c);
+    /** `queue_s`: submit -> admit wait in seconds. */
+    void recordAdmitted(QosClass c, double queue_s);
+    /** `latency_s`: submit -> finish in seconds. */
+    void recordServed(QosClass c, double latency_s);
+    void recordDropped(QosClass c);
+    void recordFailed(QosClass c);
+
+    ServerStatsSnapshot snapshot() const;
+    void reset();
+
+  private:
+    struct ClassCollector
+    {
+        uint64_t submitted = 0, admitted = 0, served = 0, dropped = 0,
+                 failed = 0;
+        double latency_sum = 0.0;
+        double queue_sum = 0.0;
+        /** Latency reservoir (seconds): first kReservoir samples kept
+         *  verbatim, later ones replace a pseudo-random slot with
+         *  probability kReservoir/served (Vitter's algorithm R). */
+        std::vector<double> reservoir;
+        uint64_t reservoir_seen = 0;
+        uint64_t rng = 0x9E3779B97F4A7C15ull; ///< per-class LCG state
+    };
+
+    static constexpr size_t kReservoir = 4096;
+
+    mutable std::mutex m_;
+    ClassCollector cls_[kQosClasses];
+};
+
+} // namespace asdr::server
+
+#endif // ASDR_SERVER_SERVER_STATS_HPP

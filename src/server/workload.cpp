@@ -1,0 +1,103 @@
+#include "server/workload.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "nerf/camera.hpp"
+#include "util/logging.hpp"
+
+namespace asdr::server {
+
+namespace {
+
+struct Viewer
+{
+    uint64_t id = 0;
+    std::vector<nerf::Camera> path;
+    std::atomic<int> issued{0}; ///< submissions made so far
+    int total = 0;
+};
+
+} // namespace
+
+WorkloadReport
+runWorkload(FrameServer &server, const SceneRegistry &registry,
+            const WorkloadSpec &spec)
+{
+    ASDR_ASSERT(!spec.scenes.empty(), "workload needs at least one scene");
+    ASDR_ASSERT(spec.frames_per_client >= 1 && spec.burst >= 1,
+                "degenerate workload");
+
+    std::vector<std::unique_ptr<Viewer>> viewers;
+    std::atomic<uint64_t> results{0};
+
+    // One viewer = one client session + one orbit path over its scene,
+    // phase-shifted per viewer so concurrent viewers of one scene look
+    // at genuinely different poses.
+    int viewer_index = 0;
+    for (int c = 0; c < kQosClasses; ++c) {
+        for (int v = 0; v < spec.clients[c]; ++v, ++viewer_index) {
+            const std::string &scene_name =
+                spec.scenes[size_t(viewer_index) % spec.scenes.size()];
+            const SceneEntry *entry = registry.find(scene_name);
+            ASDR_ASSERT(entry != nullptr, "workload scene not registered: ",
+                        scene_name);
+            auto viewer = std::make_unique<Viewer>();
+            const int phase = viewer_index % 5;
+            auto full = nerf::orbitCameraPath(
+                entry->info, spec.width, spec.height,
+                spec.frames_per_client + phase, spec.orbit_step);
+            viewer->path.assign(full.begin() + phase, full.end());
+            viewer->total = spec.frames_per_client;
+            Viewer *vp = viewer.get();
+            // Closed loop: every delivered result (served, dropped, or
+            // failed) triggers the viewer's next submission until its
+            // budget is spent. Dropped content is not re-submitted, so
+            // the loop always terminates.
+            auto on_result = [&server, &results, vp](FrameResult &&r) {
+                (void)r;
+                results.fetch_add(1, std::memory_order_relaxed);
+                const int next =
+                    vp->issued.fetch_add(1, std::memory_order_relaxed);
+                if (next < vp->total)
+                    server.submitFrame(vp->id, vp->path[size_t(next)]);
+            };
+            viewer->id = server.openSession(scene_name, QosClass(c), {},
+                                            std::move(on_result));
+            ASDR_ASSERT(viewer->id != 0, "openSession failed");
+            viewers.push_back(std::move(viewer));
+        }
+    }
+
+    const ServerStatsSnapshot before = server.stats();
+    const auto t0 = std::chrono::steady_clock::now();
+
+    // Prime each viewer's burst; completions keep the loop running.
+    for (auto &v : viewers) {
+        const int prime = std::min(spec.burst, v->total);
+        v->issued.store(prime, std::memory_order_relaxed);
+        for (int f = 0; f < prime; ++f)
+            server.submitFrame(v->id, v->path[size_t(f)]);
+    }
+    server.waitIdle();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    // Free the sessions: their callbacks capture this stack frame, so
+    // they must not outlive the run (instant at zero outstanding).
+    for (auto &v : viewers)
+        server.closeSession(v->id);
+
+    WorkloadReport report;
+    report.stats = server.stats();
+    report.wall_s = wall;
+    report.results = results.load();
+    report.viewers = uint64_t(viewers.size());
+    const uint64_t served_delta =
+        report.stats.totalServed() - before.totalServed();
+    report.frames_per_s = wall > 0.0 ? double(served_delta) / wall : 0.0;
+    return report;
+}
+
+} // namespace asdr::server

@@ -4,19 +4,23 @@
  * (engine/frame_engine): fire-and-forget task execution over
  * per-worker deques with key-ordered, work-stealing pops.
  *
- * submit(task, key) places the task round-robin into a worker's deque.
- * A worker popping work scans every deque's cached front key (one
- * relaxed atomic load per queue -- no locks on the scan path) and
- * takes the smallest; taking from another worker's deque is the
- * steal, so uneven stage tasks (cheap background tiles vs. dense
- * object tiles) re-balance without a central queue bottleneck. The
- * key order is why multi-frame pipelining doesn't invert: the engine
- * keys every task with its frame id, so an older frame's ready stages
- * always drain before a newer frame's, and overlap only fills
- * genuinely idle workers. Ordering is best-effort (fronts move
- * between scan and pop) and tasks sharing a key are mutually
- * unordered -- completion and dependencies are the submitter's job
- * (the engine's FrameGraph counts them).
+ * submit(task, key) places the task round-robin into a worker's
+ * key-ordered queue. A worker popping work scans every queue's cached
+ * front key (one relaxed atomic load per queue -- no locks on the
+ * scan path) and takes the smallest; taking from another worker's
+ * queue is the steal, so uneven stage tasks (cheap background tiles
+ * vs. dense object tiles) re-balance without a central queue
+ * bottleneck. Each queue itself is sorted by key (FIFO within a key),
+ * so the smallest key wins even when later submissions carry smaller
+ * keys -- which is exactly what QoS priorities do: the engine keys
+ * every task with (class priority, frame id) via composeKey, so an
+ * interactive frame's ready stages always outrank batch stages no
+ * matter the submission order, older frames drain before newer ones
+ * within a class, and multi-frame pipelining can't invert. Cross-queue
+ * ordering is best-effort (fronts move between scan and pop) and
+ * tasks sharing a key are mutually unordered -- completion and
+ * dependencies are the submitter's job (the engine's FrameGraph
+ * counts them).
  *
  * The pool has an explicit start()/stop() lifecycle so one pool
  * outlives many frames: the engine starts it once and reuses it for
@@ -31,8 +35,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -44,6 +48,23 @@ namespace asdr {
 class ThreadPool
 {
   public:
+    /**
+     * Compose a scan key from a class priority and a sequence number:
+     * priority in the high bits, sequence in the low 48. The worker
+     * scan takes the smallest key, so a lower-priority-class task (e.g.
+     * an interactive frame's stage) always outranks a higher class's
+     * (batch) regardless of submission order, and within a class the
+     * sequence (the engine's frame id) keeps older frames draining
+     * first. 48 bits of sequence never wrap in practice (centuries of
+     * frames at any real rate).
+     */
+    static constexpr uint64_t
+    composeKey(uint32_t priority, uint64_t seq)
+    {
+        return (uint64_t(priority) << 48) |
+               (seq & ((uint64_t(1) << 48) - 1));
+    }
+
     /** Creates a stopped pool; call start() to spawn workers. */
     ThreadPool() = default;
 
@@ -108,9 +129,12 @@ class ThreadPool
         {
             TaskQueue &tq = *queues_[q];
             std::lock_guard<std::mutex> lock(tq.m);
-            tq.q.emplace_back(key, std::move(task));
-            if (tq.q.size() == 1) // was empty: this task is the front
-                tq.front_key.store(key, std::memory_order_release);
+            // multimap keeps the queue key-sorted with FIFO order
+            // inside a key; the new task is the front iff its key
+            // undercuts everything queued.
+            tq.q.emplace(key, std::move(task));
+            tq.front_key.store(tq.q.begin()->first,
+                               std::memory_order_release);
         }
         pending_.fetch_add(1, std::memory_order_release);
         // Empty critical section: a worker that evaluated the wait
@@ -126,9 +150,12 @@ class ThreadPool
     struct TaskQueue
     {
         std::mutex m;
-        std::deque<std::pair<uint64_t, std::function<void()>>> q;
-        /** Key of q.front(), kEmptyKey when empty -- the lock-free
-         *  scan target of runOneTask. */
+        /** Key-sorted (stable within a key): begin() is always the
+         *  queue's best task, so a late low-key (high-priority)
+         *  submission overtakes everything already queued here. */
+        std::multimap<uint64_t, std::function<void()>> q;
+        /** Key of the best task, kEmptyKey when empty -- the
+         *  lock-free scan target of runOneTask. */
         std::atomic<uint64_t> front_key{kEmptyKey};
     };
 
@@ -165,10 +192,11 @@ class ThreadPool
                 std::lock_guard<std::mutex> lock(tq.m);
                 if (tq.q.empty())
                     continue; // raced with another worker; rescan
-                task = std::move(tq.q.front().second);
-                tq.q.pop_front();
+                auto it = tq.q.begin();
+                task = std::move(it->second);
+                tq.q.erase(it);
                 tq.front_key.store(tq.q.empty() ? kEmptyKey
-                                                : tq.q.front().first,
+                                                : tq.q.begin()->first,
                                    std::memory_order_release);
             }
             pending_.fetch_sub(1, std::memory_order_acq_rel);

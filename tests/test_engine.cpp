@@ -19,6 +19,8 @@
 #include <atomic>
 #include <cmath>
 #include <future>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -223,6 +225,193 @@ TEST(FrameEnginePipeline, StageFailureReachesTheFutureAndFreesTheSlot)
     engine::Frame frame = eng.submit(std::move(good_req)).get();
     EXPECT_EQ(frame.image.width(), 12);
     eng.drain();
+}
+
+TEST(FrameEngineAsync, CallbackAndPollDeliverBitIdenticalFrames)
+{
+    auto scene = scene::createScene("Lego");
+    ProceduralField field(*scene, NgpModelConfig::fast());
+    const int W = 16, FRAMES = 4;
+    auto path = orbitCameraPath(scene->info(), W, W, FRAMES);
+
+    RenderConfig cfg = RenderConfig::asdr(W, W, 32);
+    cfg.probe_stride = 4;
+    cfg.num_threads = 1;
+    AsdrRenderer reference(field, cfg);
+    std::vector<Image> seq;
+    for (const auto &cam : path)
+        seq.push_back(reference.render(cam));
+
+    engine::EngineConfig ec;
+    ec.num_threads = 2;
+    ec.max_frames_in_flight = 2;
+    engine::FrameEngine eng(ec);
+
+    // Callback path: outcomes land on engine workers; ids map them
+    // back to submission order.
+    std::mutex m;
+    std::vector<engine::Frame> via_cb;
+    via_cb.resize(size_t(FRAMES));
+    for (const auto &cam : path) {
+        engine::FrameRequest req(cam);
+        req.field = &field;
+        req.config = cfg;
+        req.on_complete = [&](engine::Frame &&frame,
+                              std::exception_ptr err) {
+            ASSERT_EQ(err, nullptr);
+            std::lock_guard<std::mutex> lock(m);
+            via_cb[size_t(frame.id - 1)] = std::move(frame);
+        };
+        eng.submitAsync(std::move(req));
+    }
+    eng.drain();
+    for (int f = 0; f < FRAMES; ++f) {
+        expectFramesIdentical(seq[size_t(f)],
+                              via_cb[size_t(f)].image, "callback frame");
+        // Timestamps are monotone: submitted <= started <= finished.
+        EXPECT_LE(via_cb[size_t(f)].submitted_at,
+                  via_cb[size_t(f)].started_at);
+        EXPECT_LE(via_cb[size_t(f)].started_at,
+                  via_cb[size_t(f)].finished_at);
+    }
+
+    // Poll path: collect outcomes through the completed queue without
+    // ever blocking in a future get(); the ids submitAsync returns
+    // correlate completion-ordered outcomes back to submissions.
+    std::map<uint64_t, size_t> id_to_frame;
+    for (size_t f = 0; f < path.size(); ++f) {
+        engine::FrameRequest req(path[f]);
+        req.field = &field;
+        req.config = cfg;
+        req.collect = true;
+        const uint64_t id = eng.submitAsync(std::move(req));
+        EXPECT_GT(id, 0u);
+        id_to_frame[id] = f;
+    }
+    eng.drain();
+    EXPECT_EQ(eng.completedCount(), size_t(FRAMES));
+    std::vector<engine::FrameOutcome> outcomes;
+    EXPECT_EQ(eng.drainCompleted(outcomes), size_t(FRAMES));
+    for (auto &out : outcomes) {
+        ASSERT_TRUE(out.ok());
+        const size_t f = id_to_frame.at(out.frame.id);
+        expectFramesIdentical(seq[f], out.frame.image, "polled frame");
+    }
+    engine::FrameOutcome none;
+    EXPECT_FALSE(eng.poll(none)); // queue drained
+}
+
+TEST(FrameEngineAsync, StageFailureReachesCallbackAndPollWithoutWedging)
+{
+    auto scene = scene::createScene("Lego");
+    ThrowingField bad(*scene, NgpModelConfig::fast());
+    ProceduralField good(*scene, NgpModelConfig::fast());
+    Camera camera = cameraForScene(scene->info(), 12, 12);
+    RenderConfig cfg = RenderConfig::asdr(12, 12, 24);
+    cfg.num_threads = 2;
+
+    engine::EngineConfig ec;
+    ec.num_threads = 2;
+    ec.max_frames_in_flight = 2;
+    engine::FrameEngine eng(ec);
+
+    // More failing frames than pipeline slots: every slot must be
+    // reclaimed and every consumer notified, on both async paths.
+    std::atomic<int> cb_errors{0};
+    for (int f = 0; f < 3; ++f) {
+        engine::FrameRequest req(camera);
+        req.field = &bad;
+        req.config = cfg;
+        req.on_complete = [&](engine::Frame &&frame,
+                              std::exception_ptr err) {
+            EXPECT_NE(err, nullptr);
+            EXPECT_GT(frame.id, 0u); // failures still identify themselves
+            cb_errors.fetch_add(1);
+        };
+        eng.submitAsync(std::move(req));
+    }
+    for (int f = 0; f < 3; ++f) {
+        engine::FrameRequest req(camera);
+        req.field = &bad;
+        req.config = cfg;
+        req.collect = true;
+        eng.submitAsync(std::move(req));
+    }
+    eng.drain();
+    EXPECT_EQ(cb_errors.load(), 3);
+    std::vector<engine::FrameOutcome> outcomes;
+    EXPECT_EQ(eng.drainCompleted(outcomes), 3u);
+    for (const auto &out : outcomes) {
+        EXPECT_FALSE(out.ok());
+        EXPECT_THROW(std::rethrow_exception(out.error),
+                     std::runtime_error);
+    }
+
+    // The engine is not wedged: the future path still errors cleanly
+    // and a good frame still renders.
+    engine::FrameRequest bad_req(camera);
+    bad_req.field = &bad;
+    bad_req.config = cfg;
+    EXPECT_THROW(eng.submit(std::move(bad_req)).get(),
+                 std::runtime_error);
+    engine::FrameRequest good_req(camera);
+    good_req.field = &good;
+    good_req.config = cfg;
+    engine::Frame frame = eng.submit(std::move(good_req)).get();
+    EXPECT_EQ(frame.image.width(), 12);
+    eng.drain();
+}
+
+TEST(FrameEngineAsync, PoolKeysComposeClassPriorityThenFrameId)
+{
+    // The key layout behind QoS execution ordering: any priority-0 key
+    // sorts below any priority-1 key, and within a priority the
+    // sequence (frame id) orders.
+    EXPECT_LT(ThreadPool::composeKey(0, 1000), ThreadPool::composeKey(1, 1));
+    EXPECT_LT(ThreadPool::composeKey(1, 7), ThreadPool::composeKey(1, 8));
+    EXPECT_LT(ThreadPool::composeKey(2, 1),
+              ThreadPool::composeKey(3, 0));
+
+    // An interactive frame submitted AFTER a batch frame still runs
+    // first on the engine's single worker: the batch frame parks
+    // behind a gate, both graphs queue, and the key scan drains the
+    // interactive frame's stages first.
+    auto scene = scene::createScene("Lego");
+    ProceduralField field(*scene, NgpModelConfig::fast());
+    Camera camera = cameraForScene(scene->info(), 12, 12);
+    RenderConfig cfg = RenderConfig::asdr(12, 12, 24);
+
+    engine::EngineConfig ec;
+    ec.num_threads = 1;
+    ec.max_frames_in_flight = 2;
+    engine::FrameEngine eng(ec);
+
+    std::promise<void> gate;
+    std::shared_future<void> gate_fut = gate.get_future().share();
+    eng.pool().submit([gate_fut] { gate_fut.wait(); });
+
+    std::mutex m;
+    std::vector<uint32_t> completion_order;
+    auto submitWithPriority = [&](uint32_t prio) {
+        engine::FrameRequest req(camera);
+        req.field = &field;
+        req.config = cfg;
+        req.priority = prio;
+        req.on_complete = [&m, &completion_order,
+                           prio](engine::Frame &&, std::exception_ptr) {
+            std::lock_guard<std::mutex> lock(m);
+            completion_order.push_back(prio);
+        };
+        eng.submitAsync(std::move(req));
+    };
+    submitWithPriority(2); // batch first...
+    submitWithPriority(0); // ...interactive second
+    gate.set_value();
+    eng.drain();
+    ASSERT_EQ(completion_order.size(), 2u);
+    EXPECT_EQ(completion_order[0], 0u) << "interactive must not queue "
+                                          "behind batch";
+    EXPECT_EQ(completion_order[1], 2u);
 }
 
 TEST(FrameEnginePipeline, NonAdaptiveAndScalarConfigsToo)

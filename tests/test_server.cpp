@@ -1,0 +1,828 @@
+/**
+ * @file
+ * Guarantees of the multi-tenant render server (src/server):
+ *
+ *  - Bit-exactness under multiplexing: every frame served through the
+ *    FrameServer -- any shard count, worker count, or concurrent QoS
+ *    mix -- is bitwise identical to the client's own sequential
+ *    AsdrRenderer::render() call.
+ *  - Scheduler properties: weighted-fair admission, interactive frames
+ *    never reordered behind batch frames of the same engine (pool-key
+ *    ordering), batch progress under sustained interactive load
+ *    (aging), bounded backlogs dropping oldest-first for interactive /
+ *    newest for batch, drops reported in ServerStats.
+ *  - Failure isolation: a client whose field throws gets its error in
+ *    the FrameResult; the server keeps serving everyone else.
+ *  - Registry sharing and sticky-hash shard placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "nerf/ngp_field.hpp"
+#include "nerf/procedural_field.hpp"
+#include "scene/scene_library.hpp"
+#include "server/frame_server.hpp"
+#include "server/qos_scheduler.hpp"
+#include "server/scene_registry.hpp"
+#include "server/workload.hpp"
+
+using namespace asdr;
+using namespace asdr::server;
+
+namespace {
+
+core::RenderConfig
+smallConfig()
+{
+    core::RenderConfig cfg = core::RenderConfig::asdr(16, 16, 32);
+    cfg.probe_stride = 4;
+    cfg.num_threads = 1;
+    return cfg;
+}
+
+void
+expectFramesIdentical(const Image &a, const Image &b, const char *what)
+{
+    ASSERT_EQ(a.pixels(), b.pixels()) << what;
+    for (size_t i = 0; i < a.pixels(); ++i)
+        ASSERT_EQ(a.data()[i], b.data()[i]) << what << " pixel " << i;
+}
+
+/** Park a shard's only workers behind a gate so submissions pile up in
+ *  the scheduler/engine deterministically. */
+struct PoolGate
+{
+    std::promise<void> gate;
+    std::shared_future<void> fut{gate.get_future().share()};
+
+    void block(engine::FrameEngine &eng, int workers)
+    {
+        for (int w = 0; w < workers; ++w)
+            eng.pool().submit([f = fut] { f.wait(); });
+    }
+    void release() { gate.set_value(); }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------- registry
+
+TEST(SceneRegistry, EntriesAreSharedAndNamesUnique)
+{
+    SceneRegistry reg;
+    const SceneEntry *lego = reg.addProcedural(
+        "lego", "Lego", nerf::NgpModelConfig::fast(), smallConfig());
+    ASSERT_NE(lego, nullptr);
+    EXPECT_EQ(lego->name, "lego");
+    EXPECT_NE(lego->field, nullptr);
+
+    // Duplicate names are rejected.
+    EXPECT_EQ(reg.addProcedural("lego", "Chair",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+
+    // Shared (externally-owned) fields register without a copy.
+    auto chair_scene = scene::createScene("Chair");
+    nerf::ProceduralField chair_field(*chair_scene,
+                                      nerf::NgpModelConfig::fast());
+    const SceneEntry *chair = reg.addShared(
+        "chair", chair_field, smallConfig(), chair_scene->info());
+    ASSERT_NE(chair, nullptr);
+    EXPECT_EQ(chair->field, &chair_field);
+
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_EQ(reg.find("lego"), lego);
+    EXPECT_EQ(reg.find("nope"), nullptr);
+    EXPECT_EQ(reg.names().size(), 2u);
+}
+
+// --------------------------------------------------------------- scheduler
+
+TEST(QosSchedulerUnit, WeightedFairSharesAndPriorityTies)
+{
+    QosParams params; // weights 8 : 3 : 1
+    QosScheduler sched(params);
+    std::vector<PendingFrame> dropped;
+    const auto now = std::chrono::steady_clock::now();
+
+    // Two clients per class, plenty of frames each (below backlog).
+    uint64_t ticket = 1;
+    for (int f = 0; f < 3; ++f)
+        for (int c = 0; c < kQosClasses; ++c)
+            for (uint64_t client = 1; client <= 2; ++client) {
+                PendingFrame pf;
+                pf.ticket = ticket++;
+                pf.client = client * 10 + uint64_t(c);
+                pf.qos = QosClass(c);
+                pf.submitted_at = now;
+                sched.push(std::move(pf), dropped);
+            }
+    ASSERT_TRUE(dropped.empty());
+
+    // Admit 12 with nothing in flight: weighted-fair gives interactive
+    // the first admission (vtime tie -> highest priority) and roughly
+    // an 8:3:1 spread overall.
+    int counts[kQosClasses] = {0, 0, 0};
+    int in_flight[kQosClasses] = {0, 0, 0};
+    PendingFrame pf;
+    for (int k = 0; k < 12; ++k) {
+        ASSERT_TRUE(sched.pop(in_flight, pf));
+        counts[int(pf.qos)]++;
+        if (k == 0) {
+            EXPECT_EQ(pf.qos, QosClass::Interactive);
+        }
+    }
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GE(counts[1], counts[2]);
+    EXPECT_GT(counts[2], 0); // weight 1 still gets a share
+}
+
+TEST(QosSchedulerUnit, InFlightCapsGateAdmission)
+{
+    QosParams params;
+    params.cls[int(QosClass::Interactive)].max_in_flight = 1;
+    QosScheduler sched(params);
+    std::vector<PendingFrame> dropped;
+
+    PendingFrame pf;
+    for (int f = 0; f < 2; ++f) {
+        pf.ticket = uint64_t(f + 1);
+        pf.client = 7;
+        pf.qos = QosClass::Interactive;
+        sched.push(pf, dropped);
+    }
+    int at_cap[kQosClasses] = {1, 0, 0};
+    PendingFrame out;
+    EXPECT_FALSE(sched.pop(at_cap, out)); // interactive capped, rest empty
+    int free_slots[kQosClasses] = {0, 0, 0};
+    EXPECT_TRUE(sched.pop(free_slots, out));
+    EXPECT_EQ(out.ticket, 1u);
+}
+
+TEST(QosSchedulerUnit, AgingBeatsWeights)
+{
+    QosParams params;
+    params.cls[int(QosClass::Interactive)].weight = 1000.0;
+    params.cls[int(QosClass::Batch)].weight = 1.0;
+    params.aging_limit = 3;
+    QosScheduler sched(params);
+    std::vector<PendingFrame> dropped;
+
+    auto pushOne = [&](QosClass c, uint64_t ticket) {
+        PendingFrame pf;
+        pf.ticket = ticket;
+        pf.client = uint64_t(c) + 1;
+        pf.qos = c;
+        pf.submitted_at = std::chrono::steady_clock::now();
+        sched.push(std::move(pf), dropped);
+    };
+    for (uint64_t t = 1; t <= 10; ++t)
+        pushOne(QosClass::Interactive, t);
+    pushOne(QosClass::Batch, 100);
+    pushOne(QosClass::Batch, 101);
+
+    // One busy period. Batch's FIRST admission is its fair share
+    // (virtual time 0); its second would take ~1000 interactive
+    // admissions at weight 1000:1 -- aging (limit 3) must grant it
+    // after being passed over 3 times instead.
+    int in_flight[kQosClasses] = {0, 0, 0};
+    PendingFrame out;
+    std::vector<QosClass> order;
+    std::vector<uint64_t> batch_tickets;
+    for (int k = 0; k < 6; ++k) {
+        ASSERT_TRUE(sched.pop(in_flight, out));
+        order.push_back(out.qos);
+        if (out.qos == QosClass::Batch)
+            batch_tickets.push_back(out.ticket);
+    }
+    EXPECT_EQ(order, (std::vector<QosClass>{
+                         QosClass::Interactive, QosClass::Batch,
+                         QosClass::Interactive, QosClass::Interactive,
+                         QosClass::Interactive, QosClass::Batch}));
+    EXPECT_EQ(batch_tickets, (std::vector<uint64_t>{100, 101}));
+}
+
+TEST(QosSchedulerUnit, BacklogPoliciesDropOldestOrNewest)
+{
+    QosParams params;
+    params.cls[int(QosClass::Interactive)].max_backlog = 2;
+    params.cls[int(QosClass::Batch)].max_backlog = 2;
+    QosScheduler sched(params);
+    std::vector<PendingFrame> dropped;
+
+    auto pushTicket = [&](QosClass c, uint64_t ticket) {
+        PendingFrame pf;
+        pf.ticket = ticket;
+        pf.client = 1;
+        pf.qos = c;
+        sched.push(std::move(pf), dropped);
+    };
+
+    // Interactive: drop-oldest keeps the stream current.
+    for (uint64_t t = 1; t <= 4; ++t)
+        pushTicket(QosClass::Interactive, t);
+    ASSERT_EQ(dropped.size(), 2u);
+    EXPECT_EQ(dropped[0].ticket, 1u);
+    EXPECT_EQ(dropped[1].ticket, 2u);
+    EXPECT_EQ(sched.pendingOf(QosClass::Interactive), 2u);
+
+    // Batch: the newest submission is rejected instead.
+    dropped.clear();
+    for (uint64_t t = 11; t <= 14; ++t)
+        pushTicket(QosClass::Batch, t);
+    ASSERT_EQ(dropped.size(), 2u);
+    EXPECT_EQ(dropped[0].ticket, 13u);
+    EXPECT_EQ(dropped[1].ticket, 14u);
+
+    // dropClient clears both queues.
+    dropped.clear();
+    sched.dropClient(1, dropped);
+    EXPECT_EQ(dropped.size(), 4u);
+    EXPECT_EQ(sched.pending(), 0u);
+}
+
+// ------------------------------------------------------------- bit-exactness
+
+TEST(FrameServerMultiplex, BitExactAcrossShardsQosMixesAndThreads)
+{
+    SceneRegistry reg;
+    ASSERT_NE(reg.addProcedural("lego", "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    ASSERT_NE(reg.addProcedural("chair", "Chair",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    const char *scenes[] = {"lego", "chair"};
+
+    const int FRAMES = 3;
+    for (int shards : {1, 2}) {
+        for (int threads : {1, 2}) {
+            SCOPED_TRACE("shards=" + std::to_string(shards) +
+                         " threads=" + std::to_string(threads));
+            ServerConfig cfg;
+            cfg.shards = shards;
+            cfg.threads_per_shard = threads;
+            cfg.frames_in_flight_per_shard = 2;
+            FrameServer srv(reg, cfg);
+
+            // One client of every QoS class on every scene, all
+            // submitting concurrently: 6 interleaved streams.
+            struct Stream
+            {
+                uint64_t client;
+                const SceneEntry *entry;
+                std::vector<nerf::Camera> path;
+                std::map<uint64_t, int> ticket_to_frame;
+            };
+            std::vector<Stream> streams;
+            for (const char *scene : scenes)
+                for (int c = 0; c < kQosClasses; ++c) {
+                    Stream s;
+                    s.entry = reg.find(scene);
+                    s.client = srv.openSession(scene, QosClass(c));
+                    ASSERT_NE(s.client, 0u);
+                    s.path = nerf::orbitCameraPath(s.entry->info, 16, 16,
+                                                   FRAMES,
+                                                   0.07f + 0.01f * c);
+                    streams.push_back(std::move(s));
+                }
+            size_t expected = 0;
+            for (auto &s : streams)
+                for (int f = 0; f < FRAMES; ++f) {
+                    uint64_t t = srv.submitFrame(s.client,
+                                                 s.path[size_t(f)]);
+                    ASSERT_NE(t, 0u);
+                    s.ticket_to_frame[t] = f;
+                    ++expected;
+                }
+
+            srv.waitIdle();
+            std::vector<FrameResult> results;
+            srv.drainResults(results);
+            ASSERT_EQ(results.size(), expected);
+
+            // Every served frame must equal the client's own
+            // sequential render of the same camera.
+            for (const FrameResult &r : results) {
+                ASSERT_TRUE(r.ok());
+                auto stream = std::find_if(
+                    streams.begin(), streams.end(),
+                    [&](const Stream &s) { return s.client == r.client; });
+                ASSERT_NE(stream, streams.end());
+                const int f = stream->ticket_to_frame.at(r.ticket);
+                core::AsdrRenderer ref(*stream->entry->field,
+                                       stream->entry->config);
+                Image want = ref.render(stream->path[size_t(f)]);
+                expectFramesIdentical(want, r.frame.image, "served frame");
+            }
+
+            ServerStatsSnapshot snap = srv.stats();
+            EXPECT_EQ(snap.totalServed(), expected);
+            for (int c = 0; c < kQosClasses; ++c) {
+                EXPECT_EQ(snap.cls[c].served, uint64_t(2 * FRAMES));
+                EXPECT_EQ(snap.cls[c].dropped, 0u);
+                EXPECT_EQ(snap.cls[c].failed, 0u);
+                EXPECT_GT(snap.cls[c].p50_ms, 0.0);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------- QoS properties
+
+TEST(FrameServerQos, InteractiveNeverReorderedBehindBatchOnOneEngine)
+{
+    SceneRegistry reg;
+    ASSERT_NE(reg.addProcedural("lego", "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.threads_per_shard = 1;
+    cfg.frames_in_flight_per_shard = 2;
+    FrameServer srv(reg, cfg);
+
+    uint64_t batch = srv.openSession("lego", QosClass::Batch);
+    uint64_t inter = srv.openSession("lego", QosClass::Interactive);
+    const SceneEntry *entry = reg.find("lego");
+    nerf::Camera cam = nerf::cameraForScene(entry->info, 16, 16);
+
+    // Park the single worker, then queue a batch frame FIRST and an
+    // interactive frame second; both admit into the 2 pipeline slots.
+    // On release the worker's key scan must drain the interactive
+    // frame's stages before the batch frame's (class priority beats
+    // submission order), so the interactive frame completes first.
+    PoolGate gate;
+    gate.block(srv.shardEngine(0), 1);
+    uint64_t bt = srv.submitFrame(batch, cam);
+    uint64_t it = srv.submitFrame(inter, cam);
+    ASSERT_NE(bt, 0u);
+    ASSERT_NE(it, 0u);
+    gate.release();
+    srv.waitIdle();
+
+    std::vector<FrameResult> results;
+    srv.drainResults(results);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].ticket, it) << "interactive must finish first";
+    EXPECT_EQ(results[1].ticket, bt);
+    EXPECT_TRUE(results[0].ok());
+    EXPECT_TRUE(results[1].ok());
+}
+
+TEST(FrameServerQos, WeightedFairAdmissionInterleavesClasses)
+{
+    SceneRegistry reg;
+    ASSERT_NE(reg.addProcedural("lego", "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.threads_per_shard = 1;
+    cfg.frames_in_flight_per_shard = 1; // admissions fully serialized
+    FrameServer srv(reg, cfg);
+
+    uint64_t batch = srv.openSession("lego", QosClass::Batch);
+    uint64_t inter = srv.openSession("lego", QosClass::Interactive);
+    const SceneEntry *entry = reg.find("lego");
+    nerf::Camera cam = nerf::cameraForScene(entry->info, 16, 16);
+
+    // b1 occupies the only slot; b2 plus two interactive frames wait
+    // in the scheduler. Weighted-fair admission resumes the newly-
+    // backlogged interactive class at the virtual clock (tie -> the
+    // higher-priority class wins), then interleaves: i1, b2 (batch's
+    // banked share), i2 -- not FIFO (which would run both batch frames
+    // first) and not strict priority (which would starve b2).
+    PoolGate gate;
+    gate.block(srv.shardEngine(0), 1);
+    uint64_t b1 = srv.submitFrame(batch, cam);
+    uint64_t b2 = srv.submitFrame(batch, cam);
+    uint64_t i1 = srv.submitFrame(inter, cam);
+    uint64_t i2 = srv.submitFrame(inter, cam);
+    gate.release();
+    srv.waitIdle();
+
+    std::vector<FrameResult> results;
+    srv.drainResults(results);
+    ASSERT_EQ(results.size(), 4u);
+    std::vector<uint64_t> order;
+    for (const FrameResult &r : results)
+        order.push_back(r.ticket);
+    EXPECT_EQ(order, (std::vector<uint64_t>{b1, i1, b2, i2}));
+}
+
+TEST(FrameServerQos, BatchProgressesUnderSustainedInteractiveLoad)
+{
+    SceneRegistry reg;
+    core::RenderConfig rc = smallConfig();
+    rc.width = 12;
+    rc.height = 12;
+    rc.samples_per_ray = 16;
+    ASSERT_NE(reg.addProcedural("lego", "Lego",
+                                nerf::NgpModelConfig::fast(), rc),
+              nullptr);
+
+    ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.threads_per_shard = 1;
+    cfg.frames_in_flight_per_shard = 1;
+    // Interactive essentially always wins weighted-fair; only aging
+    // lets batch through.
+    cfg.qos.cls[int(QosClass::Interactive)].weight = 1000.0;
+    cfg.qos.cls[int(QosClass::Batch)].weight = 1.0;
+    cfg.qos.aging_limit = 4;
+    FrameServer srv(reg, cfg);
+
+    const SceneEntry *entry = reg.find("lego");
+    const int INTERACTIVE_FRAMES = 24;
+    const int BATCH_FRAMES = 2;
+    auto path = nerf::orbitCameraPath(entry->info, 12, 12,
+                                      INTERACTIVE_FRAMES, 0.05f);
+
+    // Completion sequence across all results, recorded in callbacks.
+    std::mutex seq_m;
+    std::vector<std::pair<QosClass, uint64_t>> sequence;
+    std::atomic<int> issued{2};
+    uint64_t inter = 0;
+    auto on_inter = [&](FrameResult &&r) {
+        {
+            std::lock_guard<std::mutex> lock(seq_m);
+            sequence.emplace_back(r.qos, r.ticket);
+        }
+        const int next = issued.fetch_add(1);
+        if (next < INTERACTIVE_FRAMES)
+            srv.submitFrame(inter, path[size_t(next)]);
+    };
+    auto on_batch = [&](FrameResult &&r) {
+        std::lock_guard<std::mutex> lock(seq_m);
+        sequence.emplace_back(r.qos, r.ticket);
+    };
+    inter = srv.openSession("lego", QosClass::Interactive, {}, on_inter);
+    uint64_t batch = srv.openSession("lego", QosClass::Batch, {}, on_batch);
+
+    // Sustained interactive pressure (closed loop, 2 outstanding)
+    // with the batch frames queued behind it.
+    PoolGate gate;
+    gate.block(srv.shardEngine(0), 1);
+    srv.submitFrame(inter, path[0]);
+    srv.submitFrame(inter, path[1]);
+    for (int f = 0; f < BATCH_FRAMES; ++f)
+        srv.submitFrame(batch, nerf::cameraForScene(entry->info, 12, 12));
+    gate.release();
+    srv.waitIdle();
+
+    ServerStatsSnapshot snap = srv.stats();
+    EXPECT_EQ(snap.cls[int(QosClass::Batch)].served,
+              uint64_t(BATCH_FRAMES));
+    EXPECT_EQ(snap.cls[int(QosClass::Interactive)].served,
+              uint64_t(INTERACTIVE_FRAMES));
+
+    // No starvation: every batch frame completed before the final
+    // stretch of interactive traffic (aging bounds its wait to
+    // aging_limit admissions per frame).
+    std::lock_guard<std::mutex> lock(seq_m);
+    int last_batch = -1;
+    for (int k = 0; k < int(sequence.size()); ++k)
+        if (sequence[size_t(k)].first == QosClass::Batch)
+            last_batch = k;
+    ASSERT_GE(last_batch, 0);
+    EXPECT_LT(last_batch,
+              2 * (cfg.qos.aging_limit + 1) * BATCH_FRAMES + 4)
+        << "batch frames were starved behind interactive load";
+}
+
+TEST(FrameServerQos, BoundedBacklogDropsOldestAndReportsThem)
+{
+    SceneRegistry reg;
+    ASSERT_NE(reg.addProcedural("lego", "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.threads_per_shard = 1;
+    cfg.frames_in_flight_per_shard = 1;
+    cfg.qos.cls[int(QosClass::Interactive)].max_backlog = 2;
+    FrameServer srv(reg, cfg);
+
+    uint64_t client = srv.openSession("lego", QosClass::Interactive);
+    const SceneEntry *entry = reg.find("lego");
+    nerf::Camera cam = nerf::cameraForScene(entry->info, 16, 16);
+
+    // t1 renders (stuck behind the gate); t2..t6 hit the backlog of 2:
+    // each overflow sheds the OLDEST pending pose.
+    PoolGate gate;
+    gate.block(srv.shardEngine(0), 1);
+    std::vector<uint64_t> tickets;
+    for (int f = 0; f < 6; ++f)
+        tickets.push_back(srv.submitFrame(client, cam));
+
+    // The three drops are delivered immediately, before any render
+    // completes -- a live stream learns about shed poses right away.
+    std::vector<FrameResult> shed;
+    srv.drainResults(shed);
+    ASSERT_EQ(shed.size(), 3u);
+    EXPECT_EQ(shed[0].ticket, tickets[1]);
+    EXPECT_EQ(shed[1].ticket, tickets[2]);
+    EXPECT_EQ(shed[2].ticket, tickets[3]);
+    for (const FrameResult &r : shed) {
+        EXPECT_TRUE(r.dropped);
+        EXPECT_FALSE(r.ok());
+    }
+
+    gate.release();
+    srv.waitIdle();
+    std::vector<FrameResult> served;
+    srv.drainResults(served);
+    ASSERT_EQ(served.size(), 3u); // t1 (in flight) + newest two
+    EXPECT_EQ(served[0].ticket, tickets[0]);
+    EXPECT_EQ(served[1].ticket, tickets[4]);
+    EXPECT_EQ(served[2].ticket, tickets[5]);
+
+    ServerStatsSnapshot snap = srv.stats();
+    const QosClassStats &s = snap.cls[int(QosClass::Interactive)];
+    EXPECT_EQ(s.submitted, 6u);
+    EXPECT_EQ(s.served, 3u);
+    EXPECT_EQ(s.dropped, 3u);
+    EXPECT_NEAR(s.dropRate(), 0.5, 1e-9);
+}
+
+TEST(FrameServerQos, BatchBacklogRejectsNewest)
+{
+    SceneRegistry reg;
+    ASSERT_NE(reg.addProcedural("lego", "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.threads_per_shard = 1;
+    cfg.frames_in_flight_per_shard = 1;
+    cfg.qos.cls[int(QosClass::Batch)].max_backlog = 2;
+    FrameServer srv(reg, cfg);
+
+    uint64_t client = srv.openSession("lego", QosClass::Batch);
+    const SceneEntry *entry = reg.find("lego");
+    nerf::Camera cam = nerf::cameraForScene(entry->info, 16, 16);
+
+    PoolGate gate;
+    gate.block(srv.shardEngine(0), 1);
+    std::vector<uint64_t> tickets;
+    for (int f = 0; f < 5; ++f)
+        tickets.push_back(srv.submitFrame(client, cam));
+    std::vector<FrameResult> shed;
+    srv.drainResults(shed);
+    ASSERT_EQ(shed.size(), 2u);
+    EXPECT_EQ(shed[0].ticket, tickets[3]); // newest rejected
+    EXPECT_EQ(shed[1].ticket, tickets[4]);
+
+    gate.release();
+    srv.waitIdle();
+    ServerStatsSnapshot snap = srv.stats();
+    EXPECT_EQ(snap.cls[int(QosClass::Batch)].served, 3u);
+    EXPECT_EQ(snap.cls[int(QosClass::Batch)].dropped, 2u);
+}
+
+// ------------------------------------------------------------ failure paths
+
+namespace {
+
+/** A field whose evaluation throws: a tenant with a corrupt scene. */
+struct ThrowingField : nerf::ProceduralField
+{
+    using ProceduralField::ProceduralField;
+    nerf::DensityOutput density(const Vec3 &) const override
+    {
+        throw std::runtime_error("tenant field exploded");
+    }
+    void densityBatch(const Vec3 *, int,
+                      nerf::DensityOutput *) const override
+    {
+        throw std::runtime_error("tenant field exploded");
+    }
+};
+
+} // namespace
+
+TEST(FrameServerFailure, TenantErrorsDoNotWedgeTheServer)
+{
+    auto lego = scene::createScene("Lego");
+    ThrowingField bad(*lego, nerf::NgpModelConfig::fast());
+
+    SceneRegistry reg;
+    ASSERT_NE(reg.addShared("bad", bad, smallConfig(), lego->info()),
+              nullptr);
+    ASSERT_NE(reg.addProcedural("good", "Chair",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+
+    ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.threads_per_shard = 2;
+    cfg.frames_in_flight_per_shard = 2;
+    FrameServer srv(reg, cfg);
+
+    uint64_t bad_client = srv.openSession("bad", QosClass::Standard);
+    uint64_t good_client = srv.openSession("good", QosClass::Standard);
+    const SceneEntry *good_entry = reg.find("good");
+    nerf::Camera cam = nerf::cameraForScene(good_entry->info, 16, 16);
+
+    for (int f = 0; f < 2; ++f) {
+        ASSERT_NE(srv.submitFrame(bad_client, cam), 0u);
+        ASSERT_NE(srv.submitFrame(good_client, cam), 0u);
+    }
+    srv.waitIdle();
+
+    std::vector<FrameResult> results;
+    srv.drainResults(results);
+    ASSERT_EQ(results.size(), 4u);
+    int failed = 0, served = 0;
+    for (FrameResult &r : results) {
+        if (r.client == bad_client) {
+            EXPECT_FALSE(r.ok());
+            ASSERT_NE(r.error, nullptr);
+            EXPECT_THROW(std::rethrow_exception(r.error),
+                         std::runtime_error);
+            ++failed;
+        } else {
+            EXPECT_TRUE(r.ok());
+            EXPECT_EQ(r.frame.image.width(), 16);
+            ++served;
+        }
+    }
+    EXPECT_EQ(failed, 2);
+    EXPECT_EQ(served, 2);
+
+    ServerStatsSnapshot snap = srv.stats();
+    EXPECT_EQ(snap.cls[int(QosClass::Standard)].failed, 2u);
+    EXPECT_EQ(snap.cls[int(QosClass::Standard)].served, 2u);
+
+    // The server still serves after the failures.
+    ASSERT_NE(srv.submitFrame(good_client, cam), 0u);
+    srv.waitIdle();
+    results.clear();
+    srv.drainResults(results);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok());
+}
+
+// ------------------------------------------------------- sharding & lifecycle
+
+TEST(FrameServerSharding, StickyPlacementStaysBalanced)
+{
+    SceneRegistry reg;
+    ASSERT_NE(reg.addProcedural("lego", "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    ServerConfig cfg;
+    cfg.shards = 4;
+    cfg.threads_per_shard = 1;
+    cfg.rebalance_threshold = 1;
+    FrameServer srv(reg, cfg);
+
+    std::vector<uint64_t> clients;
+    for (int k = 0; k < 32; ++k) {
+        uint64_t id = srv.openSession("lego", QosClass::Standard);
+        ASSERT_NE(id, 0u);
+        clients.push_back(id);
+    }
+    // Placement is sticky (stable across queries) and bounded-skew:
+    // the fallback caps any shard at min + threshold + 1 sessions.
+    int per_shard[4] = {0, 0, 0, 0};
+    for (uint64_t id : clients) {
+        const int s = srv.shardOf(id);
+        ASSERT_GE(s, 0);
+        ASSERT_LT(s, 4);
+        EXPECT_EQ(s, srv.shardOf(id));
+        per_shard[s]++;
+    }
+    int lo = per_shard[0], hi = per_shard[0], total = 0;
+    for (int s = 0; s < 4; ++s) {
+        lo = std::min(lo, per_shard[s]);
+        hi = std::max(hi, per_shard[s]);
+        total += per_shard[s];
+        EXPECT_EQ(per_shard[s], srv.shardSessions(s));
+    }
+    EXPECT_EQ(total, 32);
+    EXPECT_LE(hi, lo + cfg.rebalance_threshold + 1);
+
+    EXPECT_EQ(srv.openSession("unknown-scene", QosClass::Standard), 0u);
+}
+
+TEST(FrameServerSharding, CloseSessionShedsPendingAndFreesTheSlot)
+{
+    SceneRegistry reg;
+    ASSERT_NE(reg.addProcedural("lego", "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.threads_per_shard = 1;
+    cfg.frames_in_flight_per_shard = 1;
+    FrameServer srv(reg, cfg);
+
+    uint64_t a = srv.openSession("lego", QosClass::Standard);
+    uint64_t b = srv.openSession("lego", QosClass::Standard);
+    const SceneEntry *entry = reg.find("lego");
+    nerf::Camera cam = nerf::cameraForScene(entry->info, 16, 16);
+
+    PoolGate gate;
+    gate.block(srv.shardEngine(0), 1);
+    uint64_t a1 = srv.submitFrame(a, cam); // in flight, gated
+    uint64_t a2 = srv.submitFrame(a, cam); // pending -> shed by close
+    uint64_t b1 = srv.submitFrame(b, cam);
+    ASSERT_NE(a1, 0u);
+    ASSERT_NE(a2, 0u);
+    ASSERT_NE(b1, 0u);
+
+    std::thread closer([&] { srv.closeSession(a); });
+    // closeSession sheds a2 synchronously before it waits for a1;
+    // hold the gate until the shed notice is visible so a2 cannot
+    // sneak into the freed slot instead.
+    FrameResult shed;
+    while (!srv.poll(shed))
+        std::this_thread::yield();
+    EXPECT_TRUE(shed.dropped);
+    EXPECT_EQ(shed.ticket, a2);
+    gate.release();
+    closer.join();
+    EXPECT_EQ(srv.submitFrame(a, cam), 0u); // session gone
+    srv.waitIdle();
+
+    std::vector<FrameResult> results;
+    srv.drainResults(results);
+    ASSERT_EQ(results.size(), 2u);
+    int a_served = 0, b_served = 0;
+    for (const FrameResult &r : results) {
+        if (r.client == a && r.ok())
+            ++a_served;
+        if (r.client == b && r.ok())
+            ++b_served;
+    }
+    EXPECT_EQ(a_served, 1);
+    EXPECT_EQ(b_served, 1);
+    EXPECT_EQ(srv.shardSessions(0), 1);
+}
+
+// ------------------------------------------------------------- workload gen
+
+TEST(ServeWorkload, ClosedLoopServesEveryClassAndTerminates)
+{
+    SceneRegistry reg;
+    core::RenderConfig rc = smallConfig();
+    rc.width = 12;
+    rc.height = 12;
+    rc.samples_per_ray = 16;
+    ASSERT_NE(reg.addProcedural("lego", "Lego",
+                                nerf::NgpModelConfig::fast(), rc),
+              nullptr);
+    ASSERT_NE(reg.addProcedural("chair", "Chair",
+                                nerf::NgpModelConfig::fast(), rc),
+              nullptr);
+
+    ServerConfig cfg;
+    cfg.shards = 2;
+    cfg.threads_per_shard = 1;
+    cfg.frames_in_flight_per_shard = 2;
+    FrameServer srv(reg, cfg);
+
+    WorkloadSpec spec;
+    spec.scenes = {"lego", "chair"};
+    spec.clients[int(QosClass::Interactive)] = 2;
+    spec.clients[int(QosClass::Standard)] = 1;
+    spec.clients[int(QosClass::Batch)] = 1;
+    spec.frames_per_client = 4;
+    spec.width = 12;
+    spec.height = 12;
+    spec.burst = 2;
+    WorkloadReport report = runWorkload(srv, reg, spec);
+
+    EXPECT_EQ(report.viewers, 4u);
+    EXPECT_EQ(report.results, uint64_t(4 * spec.frames_per_client));
+    for (int c = 0; c < kQosClasses; ++c) {
+        const QosClassStats &s = report.stats.cls[c];
+        EXPECT_EQ(s.submitted, uint64_t(spec.clients[c]) *
+                                   uint64_t(spec.frames_per_client));
+        EXPECT_EQ(s.submitted, s.served + s.dropped + s.failed);
+        EXPECT_GT(s.served, 0u);
+    }
+    EXPECT_GT(report.frames_per_s, 0.0);
+}
