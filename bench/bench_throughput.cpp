@@ -29,6 +29,8 @@
 #include "bench/harness.hpp"
 #include "core/analysis.hpp"
 #include "engine/frame_engine.hpp"
+#include "net/client.hpp"
+#include "net/render_service.hpp"
 #include "nerf/ngp_field.hpp"
 #include "server/frame_server.hpp"
 #include "server/workload.hpp"
@@ -486,6 +488,159 @@ main(int argc, char **argv)
         std::cout << report.stats.totalServed()
                   << " frames served across " << report.viewers
                   << " viewers in " << report.wall_s << " s\n";
+    }
+
+    // ---- wire serving: the same closed-loop workload through the TCP
+    // front end (net/render_service + net/client over loopback).
+    // wire_latency rows: client-observed p50/p95/p99 round trip per
+    // QoS class. wire_bytes rows: bytes/frame per frame encoding on a
+    // single-viewer orbit -- the smoke run ASSERTS that quantized and
+    // delta stream >= 2x fewer bytes than raw (the delivery-path
+    // data-reuse target), failing the bench (and ctest) otherwise.
+    {
+        const int ww = smoke ? 16 : 32;      // frame edge
+        const int wns = smoke ? 24 : 48;     // samples per ray
+        const int wframes = smoke ? 6 : 12;  // frames per viewer
+        core::RenderConfig wcfg = core::RenderConfig::asdr(ww, ww, wns);
+        wcfg.probe_stride = 4;
+
+        server::SceneRegistry registry;
+        registry.addProcedural("Lego", "Lego", nerf::NgpModelConfig::fast(),
+                               wcfg);
+        registry.addProcedural("Chair", "Chair",
+                               nerf::NgpModelConfig::fast(), wcfg);
+        server::ServerConfig scfg;
+        scfg.shards = 2;
+        scfg.threads_per_shard =
+            std::max(1, std::min(2, core::resolveThreadCount(0)));
+        scfg.frames_in_flight_per_shard = 2;
+        server::FrameServer srv(registry, scfg);
+        net::RenderService service(srv);
+        std::string nerr;
+        if (!service.start(&nerr)) {
+            std::cerr << "wire bench: service start failed: " << nerr
+                      << "\n";
+            return 1;
+        }
+
+        // (a) Round-trip latency under a mixed-QoS wire workload.
+        server::WorkloadSpec spec;
+        spec.scenes = {"Lego", "Chair"};
+        spec.clients[int(server::QosClass::Interactive)] = 2;
+        spec.clients[int(server::QosClass::Standard)] = 1;
+        spec.clients[int(server::QosClass::Batch)] = 1;
+        spec.frames_per_client = wframes;
+        spec.width = ww;
+        spec.height = ww;
+        spec.burst = 2;
+        server::WireWorkloadOptions wire;
+        wire.port = service.port();
+        wire.encoding = net::FrameEncoding::Raw;
+        server::WorkloadReport wreport =
+            server::runWorkloadOverWire(registry, spec, wire);
+
+        TextTable wtable({"class", "served", "rtt p50 (ms)",
+                          "rtt p95 (ms)", "rtt p99 (ms)", "rtt mean (ms)"});
+        for (int c = 0; c < server::kQosClasses; ++c) {
+            const server::ClientRttStats &r = wreport.client_rtt[c];
+            const server::QosClassStats &s = wreport.stats.cls[c];
+            const char *cls = server::qosClassName(server::QosClass(c));
+            wtable.addRow({cls, std::to_string(r.samples), fmt(r.p50_ms, 2),
+                           fmt(r.p95_ms, 2), fmt(r.p99_ms, 2),
+                           fmt(r.mean_ms, 2)});
+            emitBoth(JsonLine("wire_latency")
+                         .field("qos", cls)
+                         .field("encoding", "raw")
+                         .field("viewers", int(wreport.viewers))
+                         .field("frames_per_viewer", wframes)
+                         .field("width", ww)
+                         .field("samples_per_ray", wns)
+                         .field("served", int(r.samples))
+                         .field("submitted", int(s.submitted))
+                         .field("dropped", int(s.dropped))
+                         .field("rtt_p50_ms", r.p50_ms)
+                         .field("rtt_p95_ms", r.p95_ms)
+                         .field("rtt_p99_ms", r.p99_ms)
+                         .field("rtt_mean_ms", r.mean_ms)
+                         .field("server_p50_ms", s.p50_ms)
+                         .field("server_p99_ms", s.p99_ms)
+                         .field("wall_s", wreport.wall_s)
+                         .field("served_frames_per_s",
+                                wreport.frames_per_s),
+                     artifact);
+        }
+        wtable.print(std::cout);
+
+        // (b) Bytes per frame per encoding: one standard viewer on a
+        // small-step orbit, so consecutive frames resemble each other
+        // the way a live viewer's do (DeltaPrev's target regime).
+        server::WorkloadSpec orbit;
+        orbit.scenes = {"Lego"};
+        orbit.clients[int(server::QosClass::Interactive)] = 0;
+        orbit.clients[int(server::QosClass::Standard)] = 1;
+        orbit.clients[int(server::QosClass::Batch)] = 0;
+        orbit.frames_per_client = smoke ? 10 : 60;
+        orbit.width = ww;
+        orbit.height = ww;
+        orbit.orbit_step = 0.02f;
+        orbit.burst = 2;
+
+        TextTable btable({"encoding", "frames", "payload (B)", "raw (B)",
+                          "bytes/frame", "vs raw"});
+        bool bytes_ok = true;
+        for (net::FrameEncoding enc :
+             {net::FrameEncoding::Raw, net::FrameEncoding::Quantized8,
+              net::FrameEncoding::DeltaPrev}) {
+            server::WireWorkloadOptions owire;
+            owire.port = service.port();
+            owire.encoding = enc;
+            server::WorkloadReport oreport =
+                server::runWorkloadOverWire(registry, orbit, owire);
+            const double per_frame =
+                oreport.wire_frames
+                    ? double(oreport.wire_payload_bytes) /
+                          double(oreport.wire_frames)
+                    : 0.0;
+            const double ratio =
+                oreport.wire_payload_bytes
+                    ? double(oreport.wire_raw_bytes) /
+                          double(oreport.wire_payload_bytes)
+                    : 0.0;
+            btable.addRow({net::encodingName(enc),
+                           std::to_string(oreport.wire_frames),
+                           std::to_string(oreport.wire_payload_bytes),
+                           std::to_string(oreport.wire_raw_bytes),
+                           fmt(per_frame, 0), fmtTimes(ratio)});
+            emitBoth(JsonLine("wire_bytes")
+                         .field("encoding", net::encodingName(enc))
+                         .field("scene", "Lego")
+                         .field("width", ww)
+                         .field("samples_per_ray", wns)
+                         .field("frames", int(oreport.wire_frames))
+                         .field("orbit_step", double(orbit.orbit_step))
+                         .field("payload_bytes",
+                                double(oreport.wire_payload_bytes))
+                         .field("raw_bytes",
+                                double(oreport.wire_raw_bytes))
+                         .field("bytes_per_frame", per_frame)
+                         .field("reduction_vs_raw", ratio),
+                     artifact);
+            // The acceptance gate: compressed delivery must at least
+            // halve the stream on an orbit (smoke-asserted in ctest).
+            if (smoke && enc != net::FrameEncoding::Raw && ratio < 2.0) {
+                std::cerr << "FAIL: " << net::encodingName(enc)
+                          << " streamed only " << ratio
+                          << "x fewer bytes than raw (need >= 2x)\n";
+                bytes_ok = false;
+            }
+        }
+        btable.print(std::cout);
+        const net::WireCounters wc = service.counters();
+        std::cout << wc.frames_sent << " frames over the wire, "
+                  << wc.bytes_tx << " B tx / " << wc.bytes_rx
+                  << " B rx total\n";
+        if (!bytes_ok)
+            return 1;
     }
     return 0;
 }

@@ -62,6 +62,17 @@ cameraForScene(const scene::SceneInfo &info, int width, int height)
                   info.fov_deg, width, height);
 }
 
+Vec3
+orbitPosition(const scene::SceneInfo &info, float angle)
+{
+    Vec3 pos = info.cam_pos;
+    const float dx = pos.x - 0.5f;
+    const float dz = pos.z - 0.5f;
+    pos.x = 0.5f + dx * std::cos(angle) - dz * std::sin(angle);
+    pos.z = 0.5f + dx * std::sin(angle) + dz * std::cos(angle);
+    return pos;
+}
+
 std::vector<Camera>
 orbitCameraPath(const scene::SceneInfo &info, int width, int height,
                 int frames, float step_rad)
@@ -69,13 +80,8 @@ orbitCameraPath(const scene::SceneInfo &info, int width, int height,
     std::vector<Camera> path;
     path.reserve(size_t(std::max(0, frames)));
     for (int f = 0; f < frames; ++f) {
-        const float angle = step_rad * float(f);
-        Vec3 pos = info.cam_pos;
-        const float dx = pos.x - 0.5f;
-        const float dz = pos.z - 0.5f;
-        pos.x = 0.5f + dx * std::cos(angle) - dz * std::sin(angle);
-        pos.z = 0.5f + dx * std::sin(angle) + dz * std::cos(angle);
-        path.emplace_back(pos, info.look_at, Vec3(0.0f, 1.0f, 0.0f),
+        path.emplace_back(orbitPosition(info, step_rad * float(f)),
+                          info.look_at, Vec3(0.0f, 1.0f, 0.0f),
                           info.fov_deg, width, height);
     }
     return path;

@@ -58,6 +58,15 @@ bool intersectUnitCube(const Ray &ray, float &t0, float &t1);
 Camera cameraForScene(const scene::SceneInfo &info, int width, int height);
 
 /**
+ * Camera position of the standard orbit at `angle` radians: the
+ * scene's default viewpoint rotated about the volume's vertical center
+ * axis. The ONE source of orbit geometry -- the wire workload and
+ * examples rebuild bit-identical cameras from it, so every orbit
+ * consumer must derive positions here rather than re-rotating by hand.
+ */
+Vec3 orbitPosition(const scene::SceneInfo &info, float angle);
+
+/**
  * A `frames`-step orbit for streaming benchmarks and examples: the
  * scene's default viewpoint rotated about the volume's vertical center
  * axis in `step_rad` increments (element 0 is the default camera).

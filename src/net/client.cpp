@@ -1,0 +1,290 @@
+#include "net/client.hpp"
+
+namespace asdr::net {
+
+namespace {
+
+void
+setErr(std::string *err, const std::string &what)
+{
+    if (err)
+        *err = what;
+}
+
+} // namespace
+
+bool
+Client::connect(const std::string &host, uint16_t port, std::string *err,
+                double recv_timeout_s)
+{
+    disconnect();
+    sock_ = Socket::connectTo(host, port, err);
+    if (!sock_.valid())
+        return false;
+    if (recv_timeout_s > 0.0)
+        sock_.setRecvTimeout(recv_timeout_s);
+
+    HelloMsg hello;
+    if (!send(MsgType::Hello, packMessage(MsgType::Hello, hello), err))
+        return false;
+    std::vector<uint8_t> payload;
+    if (!waitReply(MsgType::HelloOk, payload, err)) {
+        disconnect();
+        return false;
+    }
+    HelloOkMsg ok;
+    if (!decodePayload(payload.data(), payload.size(), ok) ||
+        ok.version != kProtocolVersion) {
+        setErr(err, "handshake: bad HelloOk");
+        disconnect();
+        return false;
+    }
+    return true;
+}
+
+void
+Client::disconnect()
+{
+    sock_.close();
+    results_.clear();
+    refs_.clear();
+}
+
+uint64_t
+Client::openSession(const std::string &scene, server::QosClass qos,
+                    FrameEncoding encoding, std::string *err)
+{
+    OpenSessionMsg msg;
+    msg.scene = scene;
+    msg.qos = uint8_t(qos);
+    msg.encoding = uint8_t(encoding);
+    if (!send(MsgType::OpenSession,
+              packMessage(MsgType::OpenSession, msg), err))
+        return 0;
+    std::vector<uint8_t> payload;
+    if (!waitReply(MsgType::OpenSessionOk, payload, err))
+        return 0;
+    OpenSessionOkMsg ok;
+    if (!decodePayload(payload.data(), payload.size(), ok) ||
+        ok.session == 0) {
+        setErr(err, "bad OpenSessionOk");
+        return 0;
+    }
+    return ok.session;
+}
+
+bool
+Client::closeSession(uint64_t session, std::string *err)
+{
+    CloseSessionMsg msg;
+    msg.session = session;
+    if (!send(MsgType::CloseSession,
+              packMessage(MsgType::CloseSession, msg), err))
+        return false;
+    std::vector<uint8_t> payload;
+    if (!waitReply(MsgType::CloseSessionOk, payload, err))
+        return false;
+    CloseSessionOkMsg ok;
+    if (!decodePayload(payload.data(), payload.size(), ok)) {
+        setErr(err, "bad CloseSessionOk");
+        return false;
+    }
+    refs_.erase(session);
+    return true;
+}
+
+uint64_t
+Client::submitFrame(uint64_t session, const CameraSpec &camera,
+                    std::string *err)
+{
+    SubmitFrameMsg msg;
+    msg.session = session;
+    msg.camera = camera;
+    if (!send(MsgType::SubmitFrame,
+              packMessage(MsgType::SubmitFrame, msg), err))
+        return 0;
+    std::vector<uint8_t> payload;
+    if (!waitReply(MsgType::SubmitFrameOk, payload, err))
+        return 0;
+    SubmitFrameOkMsg ok;
+    if (!decodePayload(payload.data(), payload.size(), ok) ||
+        ok.ticket == 0) {
+        setErr(err, "bad SubmitFrameOk");
+        return 0;
+    }
+    return ok.ticket;
+}
+
+bool
+Client::nextFrame(ClientFrame &out, std::string *err)
+{
+    while (results_.empty()) {
+        MsgType type;
+        std::vector<uint8_t> payload;
+        if (!readMessage(type, payload, err))
+            return false;
+        if (type == MsgType::FrameResult) {
+            if (!takeFrameResult(payload, err))
+                return false;
+        } else {
+            setErr(err, std::string("unexpected ") + msgTypeName(type) +
+                            " while waiting for a frame");
+            return false;
+        }
+    }
+    out = std::move(results_.front());
+    results_.pop_front();
+    return true;
+}
+
+bool
+Client::fetchStats(StatsReplyMsg &out, std::string *err)
+{
+    GetStatsMsg msg;
+    if (!send(MsgType::GetStats, packMessage(MsgType::GetStats, msg), err))
+        return false;
+    std::vector<uint8_t> payload;
+    if (!waitReply(MsgType::StatsReply, payload, err))
+        return false;
+    if (!decodePayload(payload.data(), payload.size(), out)) {
+        setErr(err, "bad StatsReply");
+        return false;
+    }
+    return true;
+}
+
+// ------------------------------------------------------------- internals
+
+bool
+Client::send(MsgType, const std::vector<uint8_t> &packed, std::string *err)
+{
+    if (!sock_.valid()) {
+        setErr(err, "not connected");
+        return false;
+    }
+    if (!sock_.sendAll(packed.data(), packed.size())) {
+        setErr(err, "connection lost while sending");
+        disconnect();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::readMessage(MsgType &type, std::vector<uint8_t> &payload,
+                    std::string *err)
+{
+    if (!sock_.valid()) {
+        setErr(err, "not connected");
+        return false;
+    }
+    uint8_t hdr_bytes[kHeaderSize];
+    size_t got = 0;
+    while (got < kHeaderSize) {
+        const ssize_t k =
+            sock_.recvSome(hdr_bytes + got, kHeaderSize - got);
+        if (k <= 0) {
+            setErr(err, k == kRecvClosed ? "connection closed"
+                                         : "receive failed (timeout?)");
+            disconnect();
+            return false;
+        }
+        got += size_t(k);
+    }
+    MsgHeader hdr;
+    const WireError ferr = decodeHeader(hdr_bytes, kHeaderSize, hdr);
+    if (ferr != WireError::None || hdr.version != kProtocolVersion) {
+        setErr(err, "corrupt framing from service");
+        disconnect();
+        return false;
+    }
+    payload.resize(hdr.length);
+    got = 0;
+    while (got < payload.size()) {
+        const ssize_t k =
+            sock_.recvSome(payload.data() + got, payload.size() - got);
+        if (k <= 0) {
+            setErr(err, "connection lost mid-message");
+            disconnect();
+            return false;
+        }
+        got += size_t(k);
+    }
+    type = hdr.type;
+    return true;
+}
+
+bool
+Client::waitReply(MsgType want, std::vector<uint8_t> &payload,
+                  std::string *err)
+{
+    for (;;) {
+        MsgType type;
+        if (!readMessage(type, payload, err))
+            return false;
+        if (type == want)
+            return true;
+        if (type == MsgType::FrameResult) {
+            if (!takeFrameResult(payload, err))
+                return false;
+            continue;
+        }
+        if (type == MsgType::Error) {
+            ErrorMsg msg;
+            if (decodePayload(payload.data(), payload.size(), msg))
+                setErr(err, "service error " + std::to_string(msg.code) +
+                                ": " + msg.message);
+            else
+                setErr(err, "undecodable service error");
+            return false;
+        }
+        setErr(err, std::string("unexpected reply ") + msgTypeName(type));
+        return false;
+    }
+}
+
+bool
+Client::takeFrameResult(const std::vector<uint8_t> &payload,
+                        std::string *err)
+{
+    FrameResultMsg msg;
+    if (!decodePayload(payload.data(), payload.size(), msg)) {
+        setErr(err, "corrupt FrameResult");
+        disconnect();
+        return false;
+    }
+    ClientFrame frame;
+    frame.session = msg.session;
+    frame.ticket = msg.ticket;
+    frame.status = FrameStatus(msg.status);
+    frame.encoding = FrameEncoding(msg.encoding);
+    frame.latency_ms = msg.latency_ms;
+    frame.payload_bytes = msg.payload.size();
+
+    if (frame.status == FrameStatus::Ok) {
+        const FrameEncoding enc = frame.encoding;
+        auto rit = refs_.find(msg.session);
+        const Image *ref = rit == refs_.end() ? nullptr : &rit->second;
+        std::string derr;
+        if (!decodeFramePayload(msg.payload.data(), msg.payload.size(),
+                                enc, msg.width, msg.height, ref,
+                                frame.image, &derr)) {
+            setErr(err, "frame decode failed: " + derr);
+            disconnect();
+            return false;
+        }
+        // Advance the delta reference in receive order -- the mirror
+        // of the service's encode-order update.
+        if (enc == FrameEncoding::DeltaPrev)
+            refs_[msg.session] = frame.image;
+        transfer_.frames++;
+        transfer_.payload_bytes += msg.payload.size();
+        transfer_.raw_bytes += rawFrameBytes(msg.width, msg.height);
+    } else if (frame.status == FrameStatus::Failed) {
+        frame.error.assign(msg.payload.begin(), msg.payload.end());
+    }
+    results_.push_back(std::move(frame));
+    return true;
+}
+
+} // namespace asdr::net

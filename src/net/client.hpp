@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Blocking client of the wire render service -- the library behind
+ * examples/render_client and the workload generator's over-the-wire
+ * mode, and the reference implementation of the client side of the
+ * protocol (handshake, session management, frame decode, delta
+ * reference tracking).
+ *
+ * The client is single-threaded and strictly ordered: control calls
+ * (openSession, submitFrame, ...) send the request and block for its
+ * reply; FrameResult messages that arrive while waiting are decoded
+ * and buffered, so nextFrame() and control calls interleave freely on
+ * one connection. Frames are decoded in receive order, which the
+ * service guarantees matches its per-session encode order -- that
+ * lockstep is what keeps the DeltaPrev reference chain bit-exact.
+ *
+ * Not thread-safe: drive one Client from one thread (open several
+ * connections for concurrency, as the wire workload does).
+ */
+
+#ifndef ASDR_NET_CLIENT_HPP
+#define ASDR_NET_CLIENT_HPP
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "image/image.hpp"
+#include "net/frame_codec.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "server/qos.hpp"
+
+namespace asdr::net {
+
+/** One received frame (or its drop/failure/shed notice), decoded. */
+struct ClientFrame
+{
+    uint64_t session = 0;
+    uint64_t ticket = 0;
+    FrameStatus status = FrameStatus::Ok;
+    FrameEncoding encoding = FrameEncoding::Raw;
+    /** Decoded image (Ok results only). */
+    Image image;
+    /** Error text (Failed results only). */
+    std::string error;
+    /** Server-side submit -> delivery latency, milliseconds. */
+    double latency_ms = 0.0;
+    /** Encoded payload size on the wire (the compression numerator). */
+    size_t payload_bytes = 0;
+
+    bool ok() const { return status == FrameStatus::Ok; }
+};
+
+/** Received-frame byte accounting across a connection's lifetime. */
+struct ClientTransferStats
+{
+    uint64_t frames = 0;        ///< Ok frames decoded
+    uint64_t payload_bytes = 0; ///< their encoded wire payload bytes
+    uint64_t raw_bytes = 0;     ///< what raw float would have cost
+};
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client() = default;
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+    Client(Client &&) = default;
+    Client &operator=(Client &&) = default;
+
+    /**
+     * Connect + version handshake. `recv_timeout_s` bounds every
+     * blocking read so a dead service surfaces as an error, not a
+     * hang (0 disables the timeout).
+     */
+    bool connect(const std::string &host, uint16_t port,
+                 std::string *err = nullptr, double recv_timeout_s = 30.0);
+    void disconnect();
+    bool connected() const { return sock_.valid(); }
+
+    /** Open a session on a registered scene; 0 + `err` on failure. */
+    uint64_t openSession(const std::string &scene, server::QosClass qos,
+                         FrameEncoding encoding,
+                         std::string *err = nullptr);
+    /** Close a session; buffered/late results of it are discarded. */
+    bool closeSession(uint64_t session, std::string *err = nullptr);
+
+    /** Submit one camera pose; returns the ticket (0 + `err` when
+     *  refused). Never waits for the render, only for the ack. */
+    uint64_t submitFrame(uint64_t session, const CameraSpec &camera,
+                         std::string *err = nullptr);
+
+    /**
+     * Block until the next FrameResult (buffered or from the wire) and
+     * decode it. False on connection loss / protocol error. Results
+     * arrive in server completion order; correlate by ticket.
+     */
+    bool nextFrame(ClientFrame &out, std::string *err = nullptr);
+
+    /** Fetch the service's ServerStats + wire counters. */
+    bool fetchStats(StatsReplyMsg &out, std::string *err = nullptr);
+
+    const ClientTransferStats &transfer() const { return transfer_; }
+
+  private:
+    /** Read exactly one framed message (blocking). */
+    bool readMessage(MsgType &type, std::vector<uint8_t> &payload,
+                     std::string *err);
+    /** Read until a `want` reply arrives, buffering FrameResults and
+     *  turning Error replies into a false return. */
+    bool waitReply(MsgType want, std::vector<uint8_t> &payload,
+                   std::string *err);
+    bool send(MsgType type, const std::vector<uint8_t> &packed,
+              std::string *err);
+    /** Decode + buffer one FrameResult payload. */
+    bool takeFrameResult(const std::vector<uint8_t> &payload,
+                         std::string *err);
+
+    Socket sock_;
+    std::deque<ClientFrame> results_;
+    /** Per-session delta reference: last Ok frame, receive order. */
+    std::unordered_map<uint64_t, Image> refs_;
+    ClientTransferStats transfer_;
+};
+
+} // namespace asdr::net
+
+#endif // ASDR_NET_CLIENT_HPP

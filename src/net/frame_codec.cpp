@@ -1,0 +1,304 @@
+#include "net/frame_codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace asdr::net {
+
+namespace {
+
+// The codec views Image pixels as a tight float[3n] array.
+static_assert(sizeof(Vec3) == 3 * sizeof(float),
+              "Vec3 must be tightly packed for the frame codec");
+
+constexpr uint8_t kDeltaAbsolute = 0; ///< no usable reference: raw floats
+constexpr uint8_t kDeltaXor = 1;      ///< zero-RLE of frame XOR reference
+
+void
+setErr(std::string *err, const char *what)
+{
+    if (err)
+        *err = what;
+}
+
+/** The frame's float channels as explicit little-endian bytes (the
+ *  byte stream every lossless encoding is defined over). */
+std::vector<uint8_t>
+floatBytesLE(const Image &img)
+{
+    if (img.empty())
+        return {};
+    const float *f = &img.data()[0].x;
+    const size_t n = img.pixels() * 3;
+    std::vector<uint8_t> bytes(n * 4);
+    for (size_t i = 0; i < n; ++i) {
+        uint32_t bits;
+        std::memcpy(&bits, f + i, sizeof bits);
+        bytes[i * 4 + 0] = uint8_t(bits);
+        bytes[i * 4 + 1] = uint8_t(bits >> 8);
+        bytes[i * 4 + 2] = uint8_t(bits >> 16);
+        bytes[i * 4 + 3] = uint8_t(bits >> 24);
+    }
+    return bytes;
+}
+
+void
+floatsFromBytesLE(const uint8_t *bytes, Image &img)
+{
+    float *f = &img.data()[0].x;
+    const size_t n = img.pixels() * 3;
+    for (size_t i = 0; i < n; ++i) {
+        const uint32_t bits = uint32_t(bytes[i * 4 + 0]) |
+                              uint32_t(bytes[i * 4 + 1]) << 8 |
+                              uint32_t(bytes[i * 4 + 2]) << 16 |
+                              uint32_t(bytes[i * 4 + 3]) << 24;
+        std::memcpy(f + i, &bits, sizeof bits);
+    }
+}
+
+void
+appendF32LE(std::vector<uint8_t> &buf, float v)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(uint8_t(bits >> (8 * i)));
+}
+
+float
+readF32LE(const uint8_t *p)
+{
+    const uint32_t bits = uint32_t(p[0]) | uint32_t(p[1]) << 8 |
+                          uint32_t(p[2]) << 16 | uint32_t(p[3]) << 24;
+    float v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+bool
+sameGeometry(const Image &a, int width, int height)
+{
+    return a.width() == width && a.height() == height;
+}
+
+} // namespace
+
+const char *
+encodingName(FrameEncoding e)
+{
+    switch (e) {
+    case FrameEncoding::Raw:
+        return "raw";
+    case FrameEncoding::Quantized8:
+        return "quantized8";
+    case FrameEncoding::DeltaPrev:
+        return "delta";
+    }
+    return "?";
+}
+
+// -------------------------------------------------------------------- RLE
+
+void
+rleCompress(const uint8_t *in, size_t n, std::vector<uint8_t> &out)
+{
+    out.clear();
+    out.reserve(n / 8 + 16);
+    size_t i = 0;
+    while (i < n) {
+        if (in[i] == 0) {
+            size_t run = 1;
+            while (i + run < n && run < 128 && in[i + run] == 0)
+                ++run;
+            out.push_back(uint8_t(127 + run)); // 128..255 -> 1..128 zeros
+            i += run;
+        } else {
+            // Literal run: extend until a zero run worth a token (>= 2
+            // zeros) starts, so isolated zero bytes don't fragment it.
+            size_t run = 1;
+            while (i + run < n && run < 128) {
+                if (in[i + run] == 0 &&
+                    (i + run + 1 >= n || in[i + run + 1] == 0))
+                    break;
+                ++run;
+            }
+            out.push_back(uint8_t(run - 1)); // 0..127 -> 1..128 literals
+            out.insert(out.end(), in + i, in + i + run);
+            i += run;
+        }
+    }
+}
+
+bool
+rleDecompress(const uint8_t *in, size_t n, size_t expected,
+              std::vector<uint8_t> &out, std::string *err)
+{
+    out.clear();
+    out.reserve(expected);
+    size_t i = 0;
+    while (i < n) {
+        const uint8_t c = in[i++];
+        if (c >= 128) {
+            const size_t run = size_t(c) - 127;
+            if (out.size() + run > expected) {
+                setErr(err, "rle: zero run overflows frame");
+                return false;
+            }
+            out.resize(out.size() + run, 0);
+        } else {
+            const size_t run = size_t(c) + 1;
+            if (i + run > n) {
+                setErr(err, "rle: literal run truncated");
+                return false;
+            }
+            if (out.size() + run > expected) {
+                setErr(err, "rle: literal run overflows frame");
+                return false;
+            }
+            out.insert(out.end(), in + i, in + i + run);
+            i += run;
+        }
+    }
+    if (out.size() != expected) {
+        setErr(err, "rle: stream ends short of the frame");
+        return false;
+    }
+    return true;
+}
+
+// --------------------------------------------------------------- encoders
+
+std::vector<uint8_t>
+encodeFramePayload(const Image &img, FrameEncoding enc,
+                   const Image *reference)
+{
+    if (img.empty())
+        return {};
+    switch (enc) {
+    case FrameEncoding::Raw:
+        return floatBytesLE(img);
+
+    case FrameEncoding::Quantized8: {
+        const float *f = &img.data()[0].x;
+        const size_t n = img.pixels() * 3;
+        float lo = f[0], hi = f[0];
+        for (size_t i = 1; i < n; ++i) {
+            lo = std::min(lo, f[i]);
+            hi = std::max(hi, f[i]);
+        }
+        std::vector<uint8_t> out;
+        out.reserve(8 + n);
+        appendF32LE(out, lo);
+        appendF32LE(out, hi);
+        const float scale = hi > lo ? 255.0f / (hi - lo) : 0.0f;
+        for (size_t i = 0; i < n; ++i)
+            out.push_back(uint8_t(std::lround((f[i] - lo) * scale)));
+        return out;
+    }
+
+    case FrameEncoding::DeltaPrev: {
+        if (!reference || reference->empty() ||
+            !sameGeometry(*reference, img.width(), img.height())) {
+            std::vector<uint8_t> out;
+            out.push_back(kDeltaAbsolute);
+            std::vector<uint8_t> raw = floatBytesLE(img);
+            out.insert(out.end(), raw.begin(), raw.end());
+            return out;
+        }
+        std::vector<uint8_t> cur = floatBytesLE(img);
+        const std::vector<uint8_t> ref = floatBytesLE(*reference);
+        for (size_t i = 0; i < cur.size(); ++i)
+            cur[i] ^= ref[i];
+        std::vector<uint8_t> out;
+        out.push_back(kDeltaXor);
+        std::vector<uint8_t> rle;
+        rleCompress(cur.data(), cur.size(), rle);
+        out.insert(out.end(), rle.begin(), rle.end());
+        return out;
+    }
+    }
+    return {};
+}
+
+bool
+decodeFramePayload(const uint8_t *data, size_t size, FrameEncoding enc,
+                   int width, int height, const Image *reference, Image &out,
+                   std::string *err)
+{
+    if (width < 1 || height < 1) {
+        setErr(err, "frame: non-positive geometry");
+        return false;
+    }
+    const size_t raw = rawFrameBytes(width, height);
+    const size_t channels = size_t(width) * size_t(height) * 3;
+
+    switch (enc) {
+    case FrameEncoding::Raw:
+        if (size != raw) {
+            setErr(err, "raw: payload size != w*h*12");
+            return false;
+        }
+        out = Image(width, height);
+        floatsFromBytesLE(data, out);
+        return true;
+
+    case FrameEncoding::Quantized8: {
+        if (size != 8 + channels) {
+            setErr(err, "quantized8: payload size != 8 + w*h*3");
+            return false;
+        }
+        const float lo = readF32LE(data);
+        const float hi = readF32LE(data + 4);
+        if (!std::isfinite(lo) || !std::isfinite(hi) || hi < lo) {
+            setErr(err, "quantized8: corrupt range header");
+            return false;
+        }
+        const float step = (hi - lo) / 255.0f;
+        out = Image(width, height);
+        float *f = &out.data()[0].x;
+        for (size_t i = 0; i < channels; ++i)
+            f[i] = lo + float(data[8 + i]) * step;
+        return true;
+    }
+
+    case FrameEncoding::DeltaPrev: {
+        if (size < 1) {
+            setErr(err, "delta: empty payload");
+            return false;
+        }
+        const uint8_t flag = data[0];
+        if (flag == kDeltaAbsolute) {
+            if (size - 1 != raw) {
+                setErr(err, "delta(absolute): payload size != w*h*12");
+                return false;
+            }
+            out = Image(width, height);
+            floatsFromBytesLE(data + 1, out);
+            return true;
+        }
+        if (flag != kDeltaXor) {
+            setErr(err, "delta: unknown flag");
+            return false;
+        }
+        if (!reference || reference->empty() ||
+            !sameGeometry(*reference, width, height)) {
+            setErr(err, "delta: no matching reference frame");
+            return false;
+        }
+        std::vector<uint8_t> xored;
+        if (!rleDecompress(data + 1, size - 1, raw, xored, err))
+            return false;
+        const std::vector<uint8_t> ref = floatBytesLE(*reference);
+        for (size_t i = 0; i < xored.size(); ++i)
+            xored[i] ^= ref[i];
+        out = Image(width, height);
+        floatsFromBytesLE(xored.data(), out);
+        return true;
+    }
+    }
+    setErr(err, "frame: unknown encoding");
+    return false;
+}
+
+} // namespace asdr::net

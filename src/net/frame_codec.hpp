@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Frame-delivery codec: how a rendered Image travels inside a
+ * FrameResult payload. Three encodings trade bytes for fidelity:
+ *
+ *  - Raw: little-endian float RGB, w*h*12 bytes. Lossless, byte-exact.
+ *  - Quantized8: per-frame [lo, hi] range + one byte per channel
+ *    (w*h*3 + 8 bytes, ~4x smaller). Bounded error: every decoded
+ *    channel is within (hi - lo) / 255 of the original.
+ *  - DeltaPrev: XOR against the session's previous frame, then zero-run
+ *    RLE. Consecutive frames of an orbiting viewer share their exact
+ *    background bytes and the high (sign/exponent) bytes of slowly-
+ *    moving foreground floats, so the XOR stream is mostly zeros --
+ *    the delivery-path extension of the paper's inter-frame data-reuse
+ *    observation (ASDR Fig. 15). Lossless: decoding against the same
+ *    reference reproduces the frame byte-exactly. A session's first
+ *    frame (no reference yet) is carried absolute inside the delta
+ *    payload, flagged in-band.
+ *
+ * Both endpoints must advance their reference identically: the
+ * reference is the previous *successfully delivered* frame of the
+ * session, in wire order -- updated on every FrameStatus::Ok result,
+ * untouched on dropped/failed/shed results. The service encodes under
+ * the session's ordering lock and the client decodes in receive order,
+ * so the two references stay in lockstep.
+ *
+ * Every decoder is hardened like the protocol layer: explicit bounds
+ * checks, no trust in counts carried by the payload, and a strict
+ * consumed-exactly rule.
+ */
+
+#ifndef ASDR_NET_FRAME_CODEC_HPP
+#define ASDR_NET_FRAME_CODEC_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace asdr::net {
+
+enum class FrameEncoding : uint8_t
+{
+    Raw = 0,
+    Quantized8 = 1,
+    DeltaPrev = 2,
+};
+
+const char *encodingName(FrameEncoding e);
+
+/** Bytes a raw float transport of a w x h frame costs (the baseline
+ *  every other encoding's savings are measured against). */
+inline size_t
+rawFrameBytes(int width, int height)
+{
+    return size_t(width) * size_t(height) * 3 * sizeof(float);
+}
+
+/**
+ * Encode `img` for the wire. `reference` is consulted only by
+ * DeltaPrev: null or geometry-mismatched references fall back to the
+ * in-band absolute form (still lossless).
+ */
+std::vector<uint8_t> encodeFramePayload(const Image &img, FrameEncoding enc,
+                                        const Image *reference);
+
+/**
+ * Decode a payload produced by encodeFramePayload for a w x h frame.
+ * Rejects malformed input (wrong size, corrupt RLE, out-of-range
+ * counts, delta without the reference it needs) with false and a
+ * human-readable reason in `err`; never reads out of bounds.
+ */
+bool decodeFramePayload(const uint8_t *data, size_t size, FrameEncoding enc,
+                        int width, int height, const Image *reference,
+                        Image &out, std::string *err);
+
+/**
+ * Zero-run RLE over an arbitrary byte stream (the DeltaPrev back end,
+ * exposed for direct testing). Token stream: a control byte c encodes
+ * either a literal run (c in [0, 127]: c+1 raw bytes follow) or a zero
+ * run (c in [128, 255]: c-127 zeros, no bytes follow). Worst case
+ * (no zeros) costs 1/128 overhead; a background-heavy XOR stream
+ * collapses 128 zeros into one byte.
+ */
+void rleCompress(const uint8_t *in, size_t n, std::vector<uint8_t> &out);
+
+/**
+ * Inverse of rleCompress. `expected` is the exact decoded size; a
+ * stream that under- or over-produces, or ends mid-token, is rejected.
+ */
+bool rleDecompress(const uint8_t *in, size_t n, size_t expected,
+                   std::vector<uint8_t> &out, std::string *err);
+
+} // namespace asdr::net
+
+#endif // ASDR_NET_FRAME_CODEC_HPP

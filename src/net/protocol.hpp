@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Versioned binary wire protocol of the render service: the message
+ * vocabulary a client and the socket front end exchange over TCP.
+ *
+ * Every message is one frame on the wire:
+ *
+ *   header (12 bytes, little-endian):
+ *     u32 magic    'ASDR' (0x52445341)
+ *     u16 version  protocol revision; mismatches are rejected at Hello
+ *     u16 type     MsgType
+ *     u32 length   payload bytes following the header (<= kMaxPayload)
+ *   payload: the message struct's explicit little-endian encoding.
+ *
+ * All codecs are explicit byte-at-a-time little-endian (no struct
+ * memcpy, no host-endian assumptions) and decoding is hardened: every
+ * read is bounds-checked through WireReader (fail-stick: the first
+ * out-of-range read poisons the reader), strings and payloads carry
+ * length prefixes validated against hard caps, enums are range-checked,
+ * and a decoder accepts a buffer only when it consumes it exactly --
+ * truncated, oversized, or trailing-garbage buffers are rejected
+ * without reading out of bounds (fuzz-exercised by
+ * tests/test_net_protocol.cpp).
+ *
+ * The conversation (client -> service unless noted):
+ *
+ *   Hello / HelloOk          version handshake; must come first
+ *   OpenSession / -Ok        scene + QoS class + frame encoding
+ *   SubmitFrame / -Ok        one camera pose; replies with the ticket
+ *   FrameResult (service)    async, any time after SubmitFrame: the
+ *                            encoded frame (or its drop/failure notice)
+ *   CloseSession / -Ok       sheds pending frames, waits in-flight ones
+ *   GetStats / StatsReply    ServerStats snapshot + wire counters
+ *   Error (service)          failed request, or protocol violation
+ *                            (violations are followed by a close)
+ */
+
+#ifndef ASDR_NET_PROTOCOL_HPP
+#define ASDR_NET_PROTOCOL_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nerf/camera.hpp"
+#include "server/server_stats.hpp"
+#include "util/vec.hpp"
+
+namespace asdr::net {
+
+constexpr uint32_t kMagic = 0x52445341u; // 'A','S','D','R' on the wire
+constexpr uint16_t kProtocolVersion = 1;
+constexpr size_t kHeaderSize = 12;
+/** Hard cap on one message's payload; oversized headers are a protocol
+ *  violation (a 4K frame is ~200 MB raw -- far beyond this service's
+ *  scope, and an unchecked length field is a memory-exhaustion vector). */
+constexpr uint32_t kMaxPayload = 64u << 20;
+/**
+ * Cap on CLIENT -> SERVICE payloads, enforced before buffering: every
+ * request message is tiny (the largest, SubmitFrame, is ~70 bytes), so
+ * a header claiming more is an attack on the service's input buffers,
+ * not a real request. Only service -> client frames need kMaxPayload.
+ */
+constexpr uint32_t kMaxRequestPayload = 64u * 1024;
+/** Cap on one frame's RAW bytes (w*h*12). Kept well under kMaxPayload
+ *  so every encoding of an admitted frame -- including the delta RLE's
+ *  ~n/128 worst-case expansion -- still fits a single message. */
+constexpr uint32_t kMaxFrameBytes = 32u << 20;
+/** Cap on any string field (scene names, error text). */
+constexpr uint32_t kMaxString = 4096;
+
+enum class MsgType : uint16_t
+{
+    Hello = 1,
+    HelloOk = 2,
+    OpenSession = 3,
+    OpenSessionOk = 4,
+    CloseSession = 5,
+    CloseSessionOk = 6,
+    SubmitFrame = 7,
+    SubmitFrameOk = 8,
+    FrameResult = 9,
+    GetStats = 10,
+    StatsReply = 11,
+    Error = 12,
+};
+
+const char *msgTypeName(MsgType t);
+
+/** Error codes carried by ErrorMsg. */
+enum class WireError : uint32_t
+{
+    None = 0,
+    BadMagic = 1,
+    BadVersion = 2,
+    BadMessage = 3,    ///< undecodable payload (protocol violation)
+    NeedHello = 4,     ///< non-Hello message before the handshake
+    UnknownScene = 5,
+    UnknownSession = 6,
+    Rejected = 7,      ///< submit refused (session closing)
+    Oversized = 8,     ///< header length beyond kMaxPayload
+    ServerShutdown = 9,
+};
+
+// ------------------------------------------------------------- primitives
+
+/** Append-only little-endian encoder over a byte vector. */
+class WireWriter
+{
+  public:
+    void u8(uint8_t v) { buf_.push_back(v); }
+    void u16(uint16_t v)
+    {
+        buf_.push_back(uint8_t(v));
+        buf_.push_back(uint8_t(v >> 8));
+    }
+    void u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(uint8_t(v >> (8 * i)));
+    }
+    void u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(uint8_t(v >> (8 * i)));
+    }
+    void f32(float v)
+    {
+        uint32_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u32(bits);
+    }
+    void f64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+    void vec3(const Vec3 &v)
+    {
+        f32(v.x);
+        f32(v.y);
+        f32(v.z);
+    }
+    /** u32 length + raw bytes. */
+    void str(const std::string &s)
+    {
+        u32(uint32_t(s.size()));
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+    void bytes(const std::vector<uint8_t> &b)
+    {
+        u32(uint32_t(b.size()));
+        buf_.insert(buf_.end(), b.begin(), b.end());
+    }
+
+    const std::vector<uint8_t> &data() const { return buf_; }
+    std::vector<uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+/**
+ * Bounds-checked little-endian decoder. Fail-stick: the first read past
+ * the end (or past a cap) sets the error flag, and every subsequent
+ * read returns false, so decoders can chain reads and check once.
+ */
+class WireReader
+{
+  public:
+    WireReader(const uint8_t *data, size_t size) : p_(data), n_(size) {}
+
+    bool u8(uint8_t &v)
+    {
+        if (!need(1))
+            return false;
+        v = p_[off_++];
+        return true;
+    }
+    bool u16(uint16_t &v)
+    {
+        if (!need(2))
+            return false;
+        v = uint16_t(p_[off_]) | uint16_t(p_[off_ + 1]) << 8;
+        off_ += 2;
+        return true;
+    }
+    bool u32(uint32_t &v)
+    {
+        if (!need(4))
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= uint32_t(p_[off_ + size_t(i)]) << (8 * i);
+        off_ += 4;
+        return true;
+    }
+    bool u64(uint64_t &v)
+    {
+        if (!need(8))
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= uint64_t(p_[off_ + size_t(i)]) << (8 * i);
+        off_ += 8;
+        return true;
+    }
+    bool f32(float &v)
+    {
+        uint32_t bits;
+        if (!u32(bits))
+            return false;
+        std::memcpy(&v, &bits, sizeof v);
+        return true;
+    }
+    bool f64(double &v)
+    {
+        uint64_t bits;
+        if (!u64(bits))
+            return false;
+        std::memcpy(&v, &bits, sizeof v);
+        return true;
+    }
+    bool vec3(Vec3 &v) { return f32(v.x) && f32(v.y) && f32(v.z); }
+    bool str(std::string &s)
+    {
+        uint32_t len;
+        if (!u32(len) || len > kMaxString || !need(len))
+            return fail();
+        s.assign(reinterpret_cast<const char *>(p_ + off_), len);
+        off_ += len;
+        return true;
+    }
+    bool bytes(std::vector<uint8_t> &b)
+    {
+        uint32_t len;
+        if (!u32(len) || len > kMaxPayload || !need(len))
+            return fail();
+        b.assign(p_ + off_, p_ + off_ + len);
+        off_ += len;
+        return true;
+    }
+
+    bool ok() const { return !failed_; }
+    size_t remaining() const { return failed_ ? 0 : n_ - off_; }
+    /** A strict decoder requires the buffer consumed exactly. */
+    bool atEnd() const { return !failed_ && off_ == n_; }
+
+  private:
+    bool need(size_t k)
+    {
+        if (failed_ || n_ - off_ < k)
+            return fail();
+        return true;
+    }
+    bool fail()
+    {
+        failed_ = true;
+        return false;
+    }
+
+    const uint8_t *p_;
+    size_t n_;
+    size_t off_ = 0;
+    bool failed_ = false;
+};
+
+// ---------------------------------------------------------------- framing
+
+struct MsgHeader
+{
+    uint16_t version = kProtocolVersion;
+    MsgType type = MsgType::Error;
+    uint32_t length = 0; ///< payload bytes after the header
+};
+
+/** Serialize a header (always kHeaderSize bytes). */
+void encodeHeader(const MsgHeader &h, WireWriter &w);
+
+/**
+ * Parse a header from the first kHeaderSize bytes of `data`. Magic and
+ * length are validated here (framing integrity); the version is left to
+ * the Hello handshake so a mismatch gets a proper Error reply.
+ * @return WireError::None, or why the framing is unusable.
+ */
+WireError decodeHeader(const uint8_t *data, size_t size, MsgHeader &out);
+
+/** header + payload, ready to send. */
+template <typename Msg>
+std::vector<uint8_t>
+packMessage(MsgType type, const Msg &msg)
+{
+    WireWriter payload;
+    msg.encode(payload);
+    MsgHeader h;
+    h.type = type;
+    h.length = uint32_t(payload.data().size());
+    WireWriter out;
+    encodeHeader(h, out);
+    std::vector<uint8_t> buf = out.take();
+    const std::vector<uint8_t> &p = payload.data();
+    buf.insert(buf.end(), p.begin(), p.end());
+    return buf;
+}
+
+/** Strict payload decode: every field read AND the buffer consumed
+ *  exactly. The template keeps call sites one-line. */
+template <typename Msg>
+bool
+decodePayload(const uint8_t *data, size_t size, Msg &out)
+{
+    WireReader r(data, size);
+    return out.decode(r) && r.atEnd();
+}
+
+// --------------------------------------------------------------- messages
+
+struct HelloMsg
+{
+    uint16_t version = kProtocolVersion;
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+struct HelloOkMsg
+{
+    uint16_t version = kProtocolVersion;
+    std::string server; ///< human-readable service banner
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+/** Camera pose + frame geometry: everything needed to reconstruct the
+ *  nerf::Camera server-side (resolution is camera-borne end to end). */
+struct CameraSpec
+{
+    Vec3 pos{0.0f, 0.0f, 0.0f};
+    Vec3 look_at{0.0f, 0.0f, 1.0f};
+    Vec3 up{0.0f, 1.0f, 0.0f};
+    float fov_deg = 45.0f;
+    uint16_t width = 1;
+    uint16_t height = 1;
+
+    nerf::Camera toCamera() const
+    {
+        return nerf::Camera(pos, look_at, up, fov_deg, width, height);
+    }
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+struct OpenSessionMsg
+{
+    std::string scene;
+    uint8_t qos = 1;      ///< server::QosClass, range-checked on decode
+    uint8_t encoding = 0; ///< FrameEncoding, range-checked on decode
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+struct OpenSessionOkMsg
+{
+    uint64_t session = 0;
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+struct CloseSessionMsg
+{
+    uint64_t session = 0;
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+struct CloseSessionOkMsg
+{
+    uint64_t session = 0;
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+struct SubmitFrameMsg
+{
+    uint64_t session = 0;
+    CameraSpec camera;
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+struct SubmitFrameOkMsg
+{
+    uint64_t session = 0;
+    uint64_t ticket = 0;
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+/** Outcome of one FrameResult on the wire. */
+enum class FrameStatus : uint8_t
+{
+    Ok = 0,      ///< payload holds the encoded frame
+    Dropped = 1, ///< shed by the QoS backlog policy; no payload
+    Failed = 2,  ///< render threw; payload holds the error text
+    Shed = 3,    ///< payload shed by connection backpressure
+};
+
+struct FrameResultMsg
+{
+    uint64_t session = 0;
+    uint64_t ticket = 0;
+    uint8_t status = 0;   ///< FrameStatus, range-checked on decode
+    uint8_t encoding = 0; ///< FrameEncoding of the payload
+    uint16_t width = 0;
+    uint16_t height = 0;
+    /** Server-side submit -> delivery latency, milliseconds. */
+    double latency_ms = 0.0;
+    /** Encoded frame (Ok), error text bytes (Failed), else empty. */
+    std::vector<uint8_t> payload;
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+struct GetStatsMsg
+{
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+/** Socket front-end counters, served next to the render stats. */
+struct WireCounters
+{
+    uint64_t connections_accepted = 0;
+    uint64_t connections_open = 0;
+    uint64_t sessions_opened = 0;
+    uint64_t frames_sent = 0;    ///< FrameResult messages written
+    uint64_t results_shed = 0;   ///< payloads dropped by backpressure
+    uint64_t bytes_tx = 0;
+    uint64_t bytes_rx = 0;
+    /** Encoded frame payload bytes vs what raw float would have cost:
+     *  the delivery-path analog of the paper's data-reuse savings. */
+    uint64_t frame_payload_bytes = 0;
+    uint64_t frame_raw_bytes = 0;
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+struct StatsReplyMsg
+{
+    server::ServerStatsSnapshot server;
+    WireCounters wire;
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+struct ErrorMsg
+{
+    uint32_t code = 0; ///< WireError
+    std::string message;
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+} // namespace asdr::net
+
+#endif // ASDR_NET_PROTOCOL_HPP

@@ -1,0 +1,538 @@
+#include "net/render_service.hpp"
+
+#include <poll.h>
+
+#include "util/logging.hpp"
+
+namespace asdr::net {
+
+namespace {
+
+std::string
+errorText(std::exception_ptr err)
+{
+    try {
+        std::rethrow_exception(err);
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "unknown render error";
+    }
+}
+
+} // namespace
+
+RenderService::RenderService(server::FrameServer &server,
+                             const ServiceConfig &cfg)
+    : server_(server), cfg_(cfg)
+{
+}
+
+RenderService::~RenderService()
+{
+    stop();
+}
+
+bool
+RenderService::start(std::string *err)
+{
+    ASDR_ASSERT(!running_, "service already started");
+    if (!wake_.valid()) {
+        if (err)
+            *err = "wake pipe construction failed";
+        return false;
+    }
+    if (!listener_.bind(cfg_.host, cfg_.port, err))
+        return false;
+    running_ = true;
+    thread_ = std::thread([this] { run(); });
+    return true;
+}
+
+void
+RenderService::stop()
+{
+    if (running_.exchange(false)) {
+        wake_.wake();
+        if (thread_.joinable())
+            thread_.join();
+    } else if (thread_.joinable()) {
+        thread_.join();
+    }
+    // The service thread is gone; tear down surviving connections from
+    // here (closes their FrameServer sessions, draining in-flight
+    // frames before any session state dies).
+    std::vector<std::shared_ptr<Connection>> leftover;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        for (auto &entry : conns_)
+            leftover.push_back(entry.second);
+    }
+    for (auto &conn : leftover)
+        teardown(conn);
+    listener_.close();
+}
+
+WireCounters
+RenderService::counters() const
+{
+    std::lock_guard<std::mutex> lock(cnt_m_);
+    return counters_;
+}
+
+// -------------------------------------------------------------- the loop
+
+void
+RenderService::run()
+{
+    std::vector<pollfd> fds;
+    std::vector<std::shared_ptr<Connection>> polled;
+    while (running_) {
+        fds.clear();
+        polled.clear();
+        fds.push_back({wake_.readFd(), POLLIN, 0});
+        fds.push_back({listener_.fd(), POLLIN, 0});
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            for (auto &entry : conns_) {
+                short events = POLLIN;
+                {
+                    std::lock_guard<std::mutex> out(entry.second->out_m);
+                    if (entry.second->out_bytes > 0)
+                        events |= POLLOUT;
+                }
+                fds.push_back({entry.second->sock.fd(), events, 0});
+                polled.push_back(entry.second);
+            }
+        }
+        if (::poll(fds.data(), nfds_t(fds.size()), -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (!running_)
+            break;
+        if (fds[0].revents & POLLIN)
+            wake_.drain();
+        if (fds[1].revents & POLLIN)
+            acceptNew();
+        for (size_t i = 0; i < polled.size(); ++i) {
+            const short re = fds[i + 2].revents;
+            if (re & POLLOUT)
+                flushOut(polled[i]);
+            if (re & (POLLIN | POLLHUP | POLLERR))
+                readInput(polled[i]);
+        }
+        // Reap connections marked dead this pass (handler errors, peer
+        // hangups): best-effort flush of a queued Error, then close.
+        for (auto &conn : polled) {
+            bool dead;
+            {
+                std::lock_guard<std::mutex> out(conn->out_m);
+                dead = conn->dead;
+            }
+            if (dead) {
+                flushOut(conn);
+                teardown(conn);
+            }
+        }
+    }
+}
+
+void
+RenderService::acceptNew()
+{
+    for (;;) {
+        Socket s = listener_.accept();
+        if (!s.valid())
+            return;
+        size_t open;
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            open = conns_.size();
+        }
+        if (int(open) >= cfg_.max_connections) {
+            // Refuse politely: a one-shot Error, then close.
+            ErrorMsg msg;
+            msg.code = uint32_t(WireError::Rejected);
+            msg.message = "connection limit reached";
+            auto bytes = packMessage(MsgType::Error, msg);
+            s.sendAll(bytes.data(), bytes.size());
+            continue;
+        }
+        s.setNonBlocking(true);
+        s.setNoDelay(true);
+        auto conn = std::make_shared<Connection>();
+        conn->sock = std::move(s);
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            conn->id = next_conn_++;
+            conns_.emplace(conn->id, conn);
+        }
+        std::lock_guard<std::mutex> lock(cnt_m_);
+        counters_.connections_accepted++;
+        counters_.connections_open++;
+    }
+}
+
+void
+RenderService::readInput(const std::shared_ptr<Connection> &conn)
+{
+    uint8_t buf[64 * 1024];
+    for (;;) {
+        const ssize_t k = conn->sock.recvSome(buf, sizeof buf);
+        if (k == kRecvWouldBlock)
+            break;
+        if (k == kRecvClosed || k == kRecvError) {
+            std::lock_guard<std::mutex> out(conn->out_m);
+            conn->dead = true;
+            return;
+        }
+        conn->in.insert(conn->in.end(), buf, buf + k);
+        {
+            std::lock_guard<std::mutex> lock(cnt_m_);
+            counters_.bytes_rx += uint64_t(k);
+        }
+    }
+
+    size_t off = 0;
+    bool violated = false;
+    while (conn->in.size() - off >= kHeaderSize) {
+        MsgHeader hdr;
+        const WireError ferr =
+            decodeHeader(conn->in.data() + off, kHeaderSize, hdr);
+        if (ferr != WireError::None) {
+            sendError(*conn, ferr, "unusable framing");
+            violated = true;
+            break;
+        }
+        if (hdr.version != kProtocolVersion) {
+            sendError(*conn, WireError::BadVersion,
+                      "unsupported protocol version");
+            violated = true;
+            break;
+        }
+        // Inbound cap, checked BEFORE waiting for (= buffering) the
+        // payload: request messages are tiny; a bigger claim only
+        // exists to fill the input buffer.
+        if (hdr.length > kMaxRequestPayload) {
+            sendError(*conn, WireError::Oversized, "request too large");
+            violated = true;
+            break;
+        }
+        if (conn->in.size() - off < kHeaderSize + hdr.length)
+            break; // incomplete message; wait for more bytes
+        if (!handleMessage(conn, hdr, conn->in.data() + off + kHeaderSize)) {
+            violated = true;
+            break;
+        }
+        off += kHeaderSize + hdr.length;
+    }
+    if (off > 0)
+        conn->in.erase(conn->in.begin(),
+                       conn->in.begin() + std::ptrdiff_t(off));
+    if (violated) {
+        std::lock_guard<std::mutex> out(conn->out_m);
+        conn->dead = true;
+    }
+}
+
+void
+RenderService::flushOut(const std::shared_ptr<Connection> &conn)
+{
+    std::lock_guard<std::mutex> out(conn->out_m);
+    while (!conn->outq.empty()) {
+        const std::vector<uint8_t> &front = conn->outq.front();
+        const ssize_t k = conn->sock.sendSome(front.data() + conn->out_off,
+                                              front.size() - conn->out_off);
+        if (k == kRecvWouldBlock)
+            return;
+        if (k == kRecvError) {
+            conn->dead = true;
+            conn->outq.clear();
+            conn->out_bytes = 0;
+            conn->out_off = 0;
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(cnt_m_);
+            counters_.bytes_tx += uint64_t(k);
+        }
+        conn->out_off += size_t(k);
+        conn->out_bytes -= size_t(k);
+        if (conn->out_off == front.size()) {
+            conn->outq.pop_front();
+            conn->out_off = 0;
+        }
+    }
+}
+
+// ------------------------------------------------------------- dispatch
+
+template <typename Msg>
+void
+RenderService::sendControl(Connection &conn, MsgType type, const Msg &msg)
+{
+    std::lock_guard<std::mutex> out(conn.out_m);
+    enqueueLocked(conn, packMessage(type, msg));
+}
+
+void
+RenderService::enqueueLocked(Connection &conn, std::vector<uint8_t> &&bytes)
+{
+    if (conn.dead)
+        return;
+    conn.out_bytes += bytes.size();
+    conn.outq.push_back(std::move(bytes));
+    wake_.wake();
+}
+
+void
+RenderService::sendError(Connection &conn, WireError code,
+                         const std::string &message)
+{
+    ErrorMsg msg;
+    msg.code = uint32_t(code);
+    // Clamp to the protocol's string cap: an error carrying a client-
+    // supplied name must not itself be undecodable on the far side.
+    msg.message = message.size() > kMaxString
+                      ? message.substr(0, kMaxString)
+                      : message;
+    sendControl(conn, MsgType::Error, msg);
+}
+
+bool
+RenderService::handleMessage(const std::shared_ptr<Connection> &conn,
+                             const MsgHeader &hdr, const uint8_t *payload)
+{
+    const size_t len = hdr.length;
+    if (!conn->hello_done && hdr.type != MsgType::Hello) {
+        sendError(*conn, WireError::NeedHello, "handshake required");
+        return false;
+    }
+
+    switch (hdr.type) {
+    case MsgType::Hello: {
+        HelloMsg msg;
+        if (!decodePayload(payload, len, msg)) {
+            sendError(*conn, WireError::BadMessage, "bad Hello");
+            return false;
+        }
+        if (msg.version != kProtocolVersion) {
+            sendError(*conn, WireError::BadVersion,
+                      "unsupported protocol version");
+            return false;
+        }
+        conn->hello_done = true;
+        HelloOkMsg ok;
+        ok.server = cfg_.banner;
+        sendControl(*conn, MsgType::HelloOk, ok);
+        return true;
+    }
+
+    case MsgType::OpenSession: {
+        OpenSessionMsg msg;
+        if (!decodePayload(payload, len, msg)) {
+            sendError(*conn, WireError::BadMessage, "bad OpenSession");
+            return false;
+        }
+        auto ws = std::make_unique<WireSession>();
+        ws->qos = server::QosClass(msg.qos);
+        ws->encoding = FrameEncoding(msg.encoding);
+        WireSession *raw = ws.get();
+        const uint64_t id = server_.openSession(
+            msg.scene, ws->qos, {},
+            [this, conn, raw](server::FrameResult &&r) {
+                onResult(conn, raw, std::move(r));
+            });
+        if (id == 0) {
+            sendError(*conn, WireError::UnknownScene,
+                      "scene not registered: " + msg.scene);
+            return true; // client error, not a protocol violation
+        }
+        raw->id = id;
+        conn->sessions.emplace(id, std::move(ws));
+        {
+            std::lock_guard<std::mutex> lock(cnt_m_);
+            counters_.sessions_opened++;
+        }
+        OpenSessionOkMsg ok;
+        ok.session = id;
+        sendControl(*conn, MsgType::OpenSessionOk, ok);
+        return true;
+    }
+
+    case MsgType::CloseSession: {
+        CloseSessionMsg msg;
+        if (!decodePayload(payload, len, msg)) {
+            sendError(*conn, WireError::BadMessage, "bad CloseSession");
+            return false;
+        }
+        auto it = conn->sessions.find(msg.session);
+        if (it == conn->sessions.end()) {
+            sendError(*conn, WireError::UnknownSession,
+                      "no such session");
+            return true;
+        }
+        // Blocks until the session's pending frames are shed and its
+        // in-flight ones delivered -- their FrameResult messages are
+        // queued (via the engine callbacks) before the Ok below, so
+        // the client never sees a result after the close reply.
+        server_.closeSession(msg.session);
+        conn->sessions.erase(it);
+        CloseSessionOkMsg ok;
+        ok.session = msg.session;
+        sendControl(*conn, MsgType::CloseSessionOk, ok);
+        return true;
+    }
+
+    case MsgType::SubmitFrame: {
+        SubmitFrameMsg msg;
+        if (!decodePayload(payload, len, msg)) {
+            sendError(*conn, WireError::BadMessage, "bad SubmitFrame");
+            return false;
+        }
+        auto it = conn->sessions.find(msg.session);
+        if (it == conn->sessions.end()) {
+            sendError(*conn, WireError::UnknownSession,
+                      "no such session");
+            return true;
+        }
+        // Admission-side size gate: past this, the frame could not be
+        // delivered in one message (and rendering it would be a
+        // memory-exhaustion vector anyway).
+        if (rawFrameBytes(msg.camera.width, msg.camera.height) >
+            kMaxFrameBytes) {
+            sendError(*conn, WireError::Oversized, "frame too large");
+            return true;
+        }
+        const uint64_t ticket =
+            server_.submitFrame(msg.session, msg.camera.toCamera());
+        if (ticket == 0) {
+            sendError(*conn, WireError::Rejected, "session is closing");
+            return true;
+        }
+        SubmitFrameOkMsg ok;
+        ok.session = msg.session;
+        ok.ticket = ticket;
+        sendControl(*conn, MsgType::SubmitFrameOk, ok);
+        return true;
+    }
+
+    case MsgType::GetStats: {
+        GetStatsMsg msg;
+        if (!decodePayload(payload, len, msg)) {
+            sendError(*conn, WireError::BadMessage, "bad GetStats");
+            return false;
+        }
+        StatsReplyMsg reply;
+        reply.server = server_.stats();
+        reply.wire = counters();
+        sendControl(*conn, MsgType::StatsReply, reply);
+        return true;
+    }
+
+    default:
+        // Server-to-client types or unknown ids from a client are a
+        // protocol violation either way.
+        sendError(*conn, WireError::BadMessage, "unexpected message type");
+        return false;
+    }
+}
+
+// -------------------------------------------------- completion delivery
+
+void
+RenderService::onResult(const std::shared_ptr<Connection> &conn,
+                        WireSession *ws, server::FrameResult &&result)
+{
+    FrameResultMsg msg;
+    msg.session = result.client;
+    msg.ticket = result.ticket;
+    msg.latency_ms = result.latency_s * 1e3;
+    msg.encoding = uint8_t(ws->encoding);
+
+    bool shed = false;
+    uint64_t payload_bytes = 0, raw_bytes = 0;
+    {
+        std::lock_guard<std::mutex> out(conn->out_m);
+        if (conn->dead)
+            return; // socket gone; the session is being torn down
+        if (result.dropped) {
+            msg.status = uint8_t(FrameStatus::Dropped);
+        } else if (result.error) {
+            msg.status = uint8_t(FrameStatus::Failed);
+            const std::string text = errorText(result.error);
+            msg.payload.assign(text.begin(), text.end());
+        } else {
+            Image &img = result.frame.image;
+            msg.width = uint16_t(img.width());
+            msg.height = uint16_t(img.height());
+            raw_bytes = rawFrameBytes(img.width(), img.height());
+            if (conn->out_bytes >= cfg_.max_outbound_bytes) {
+                // Bounded backpressure: keep the ticket accounting,
+                // shed the payload, leave the delta reference alone
+                // (the client skips its update too).
+                msg.status = uint8_t(FrameStatus::Shed);
+                shed = true;
+            } else {
+                msg.status = uint8_t(FrameStatus::Ok);
+                const Image *ref =
+                    ws->encoding == FrameEncoding::DeltaPrev &&
+                            !ws->reference.empty()
+                        ? &ws->reference
+                        : nullptr;
+                msg.payload =
+                    encodeFramePayload(img, ws->encoding, ref);
+                // The result is ours (rvalue); stealing the image
+                // avoids a full-frame copy inside the ordering lock.
+                if (ws->encoding == FrameEncoding::DeltaPrev)
+                    ws->reference = std::move(img);
+                payload_bytes = msg.payload.size();
+            }
+        }
+        // Count BEFORE enqueueing: once the message is on the queue the
+        // client may see it, fetch stats, and expect this frame there.
+        {
+            std::lock_guard<std::mutex> lock(cnt_m_);
+            counters_.frames_sent++;
+            if (shed)
+                counters_.results_shed++;
+            counters_.frame_payload_bytes += payload_bytes;
+            counters_.frame_raw_bytes += raw_bytes;
+        }
+        enqueueLocked(*conn, packMessage(MsgType::FrameResult, msg));
+    }
+    wake_.wake();
+}
+
+void
+RenderService::teardown(const std::shared_ptr<Connection> &conn)
+{
+    // Stop the socket side first: no more reads, no more writes, and
+    // engine callbacks that race this teardown see `dead` and discard.
+    {
+        std::lock_guard<std::mutex> out(conn->out_m);
+        conn->dead = true;
+        conn->outq.clear();
+        conn->out_bytes = 0;
+        conn->out_off = 0;
+    }
+    conn->sock.close();
+    // Closing a session blocks until its frames drained; do it with no
+    // service locks held (the callbacks those frames trigger take m_).
+    for (auto &entry : conn->sessions)
+        server_.closeSession(entry.first);
+    conn->sessions.clear();
+    bool erased = false;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        erased = conns_.erase(conn->id) > 0;
+    }
+    if (erased) {
+        std::lock_guard<std::mutex> lock(cnt_m_);
+        counters_.connections_open--;
+    }
+}
+
+} // namespace asdr::net

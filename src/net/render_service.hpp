@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The wire front end of the multi-tenant render server: a poll-based
+ * TCP service that maps protocol sessions 1:1 onto FrameServer tickets.
+ *
+ * Threading model (one service, any number of connections):
+ *
+ *  - ONE service thread runs the whole socket side: non-blocking
+ *    accept, request parsing/dispatch, and draining per-connection
+ *    outbound queues when sockets turn writable. Steady-state control
+ *    handling is cheap (FrameServer::submitFrame never blocks), so a
+ *    single poll loop keeps up with many connections. KNOWN
+ *    LIMITATION: CloseSession and disconnect teardown drain the
+ *    session's in-flight frames synchronously on this thread, so a
+ *    close can stall other connections' I/O for the tail of a render
+ *    (bounded by frame time; deferring drains to a reaper is the
+ *    listed follow-up in ROADMAP.md).
+ *  - Render completions arrive on ENGINE workers via the FrameServer's
+ *    per-session callbacks. A callback never touches a socket: it
+ *    encodes the frame (per the session's chosen FrameEncoding),
+ *    appends the FrameResult message to the connection's outbound
+ *    queue, and wakes the poll loop through a pipe. Frame encode order
+ *    and queue order are serialized per connection, so the client's
+ *    receive order matches the server's delta-reference order exactly.
+ *  - Backpressure is bounded per connection: when a connection's
+ *    queued outbound bytes exceed ServiceConfig::max_outbound_bytes
+ *    (a slow or stalled reader), further frame PAYLOADS are shed --
+ *    the FrameResult still arrives, flagged FrameStatus::Shed, so
+ *    ticket accounting stays exact ("every ticket produces exactly
+ *    one result" survives the wire) while queue memory stays bounded.
+ *    Control replies are never shed. Shed frames do not advance the
+ *    delta reference on either endpoint.
+ *
+ * Robustness: malformed framing (bad magic, oversized length),
+ * undecodable payloads, wrong protocol versions, and pre-handshake
+ * traffic all get an Error message and a close -- the service never
+ * trusts a length or enum from the wire (see net/protocol). A
+ * disconnect mid-stream closes the connection's FrameServer sessions,
+ * shedding its pending frames and waiting out in-flight ones.
+ *
+ * Lifetime: the FrameServer and SceneRegistry must outlive the
+ * service; stop() (or destruction) quiesces the socket side first.
+ */
+
+#ifndef ASDR_NET_RENDER_SERVICE_HPP
+#define ASDR_NET_RENDER_SERVICE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame_codec.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "server/frame_server.hpp"
+
+namespace asdr::net {
+
+struct ServiceConfig
+{
+    /** Bind address; loopback by default (tests, benches, examples). */
+    std::string host = "127.0.0.1";
+    /** 0 = ephemeral; the bound port is readable via port(). */
+    uint16_t port = 0;
+    /** Accepted connections beyond this are refused at accept time. */
+    int max_connections = 64;
+    /**
+     * Per-connection outbound-queue bound (bytes). While a connection
+     * has at least this much queued, frame payloads are shed
+     * (FrameStatus::Shed) instead of growing the queue -- the slow-
+     * reader analog of the QoS backlog drop policies.
+     */
+    size_t max_outbound_bytes = size_t(64) << 20;
+    /** HelloOk banner. */
+    std::string banner = "asdr-render-service";
+};
+
+class RenderService
+{
+  public:
+    /** `server` (and the registry it serves) must outlive the service. */
+    RenderService(server::FrameServer &server, const ServiceConfig &cfg = {});
+    ~RenderService();
+
+    RenderService(const RenderService &) = delete;
+    RenderService &operator=(const RenderService &) = delete;
+
+    /** Bind + listen + start the service thread. */
+    bool start(std::string *err = nullptr);
+    /** Close every connection (their sessions included), then stop the
+     *  service thread. Idempotent. */
+    void stop();
+
+    bool running() const { return running_; }
+    uint16_t port() const { return listener_.port(); }
+    WireCounters counters() const;
+
+  private:
+    struct WireSession
+    {
+        uint64_t id = 0; ///< FrameServer client id == wire session id
+        server::QosClass qos = server::QosClass::Standard;
+        FrameEncoding encoding = FrameEncoding::Raw;
+        /** Last Ok frame sent (DeltaPrev sessions only); guarded by
+         *  the connection's out_m so encode order == wire order. */
+        Image reference;
+    };
+
+    struct Connection
+    {
+        uint64_t id = 0;
+        Socket sock;
+        std::vector<uint8_t> in;
+        /** Wire sessions keyed by session id (service thread only). */
+        std::unordered_map<uint64_t, std::unique_ptr<WireSession>> sessions;
+        bool hello_done = false;
+
+        /** out_m guards everything below plus session references --
+         *  shared between the service thread and engine callbacks. */
+        std::mutex out_m;
+        std::deque<std::vector<uint8_t>> outq;
+        size_t out_off = 0; ///< bytes of outq.front() already written
+        size_t out_bytes = 0;
+        bool dead = false;
+    };
+
+    void run();
+    void acceptNew();
+    /** Drain readable bytes + dispatch complete messages. */
+    void readInput(const std::shared_ptr<Connection> &conn);
+    /** Write queued bytes until the socket would block. */
+    void flushOut(const std::shared_ptr<Connection> &conn);
+    /** Dispatch one message; false = protocol violation (Error already
+     *  queued; the caller closes the connection). */
+    bool handleMessage(const std::shared_ptr<Connection> &conn,
+                       const MsgHeader &hdr, const uint8_t *payload);
+    /** Close the connection's sessions (blocking until their frames
+     *  drained) and forget it. */
+    void teardown(const std::shared_ptr<Connection> &conn);
+    /** Engine-callback path: encode + enqueue one frame result. */
+    void onResult(const std::shared_ptr<Connection> &conn, WireSession *ws,
+                  server::FrameResult &&result);
+
+    template <typename Msg>
+    void sendControl(Connection &conn, MsgType type, const Msg &msg);
+    void enqueueLocked(Connection &conn, std::vector<uint8_t> &&bytes);
+    void sendError(Connection &conn, WireError code,
+                   const std::string &message);
+
+    server::FrameServer &server_;
+    ServiceConfig cfg_;
+    TcpListener listener_;
+    WakePipe wake_;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+
+    /** Connection table; mutated only by the service thread, read by
+     *  engine callbacks -- both under m_. */
+    mutable std::mutex m_;
+    std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_;
+    uint64_t next_conn_ = 1;
+
+    mutable std::mutex cnt_m_;
+    WireCounters counters_;
+};
+
+} // namespace asdr::net
+
+#endif // ASDR_NET_RENDER_SERVICE_HPP

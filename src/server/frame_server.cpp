@@ -121,12 +121,14 @@ FrameServer::submitFrame(uint64_t client_id, const nerf::Camera &camera)
         Client &c = *it->second;
         ticket = next_ticket_++;
         stats_.recordSubmitted(c.qos);
+        stats_.recordSceneSubmitted(c.scene->name);
         c.outstanding++;
         outstanding_total_++;
 
         PendingFrame pf;
         pf.ticket = ticket;
         pf.client = client_id;
+        pf.scene = c.scene->id;
         pf.qos = c.qos;
         pf.camera = camera;
         pf.submitted_at = std::chrono::steady_clock::now();
@@ -145,15 +147,17 @@ FrameServer::pumpLocked(int shard, std::vector<Launch> &launches)
     Shard &s = shards_[size_t(shard)];
     PendingFrame pf;
     while (s.total_in_flight < cfg_.frames_in_flight_per_shard &&
-           s.sched->pop(s.in_flight, pf)) {
+           s.sched->pop(s.in_flight, s.scene_in_flight, pf)) {
         s.in_flight[int(pf.qos)]++;
         s.total_in_flight++;
+        const int scene_now = ++s.scene_in_flight[pf.scene];
         stats_.recordAdmitted(
             pf.qos, secondsBetween(pf.submitted_at,
                                    std::chrono::steady_clock::now()));
         // The client is alive: its pending frame counts toward
         // `outstanding`, and sessions are only freed at zero.
         Client &c = *clients_.at(pf.client);
+        stats_.recordSceneAdmitted(c.scene->name, scene_now);
         launches.push_back(Launch{shard, std::move(pf), c.session.get()});
     }
 }
@@ -189,23 +193,32 @@ FrameServer::onFrameDone(int shard, uint64_t client, uint64_t ticket,
         submitted_at, std::chrono::steady_clock::now());
     std::vector<Launch> launches;
     ResultCallback cb;
+    std::string scene_name;
     {
         std::lock_guard<std::mutex> lock(m_);
         Shard &s = shards_[size_t(shard)];
         s.in_flight[int(qos)]--;
         s.total_in_flight--;
+        Client &c = *clients_.at(client);
+        scene_name = c.scene->name;
+        auto sit = s.scene_in_flight.find(c.scene->id);
+        if (sit != s.scene_in_flight.end() && --sit->second == 0)
+            s.scene_in_flight.erase(sit);
         pumpLocked(shard, launches);
-        cb = clients_.at(client)->callback;
+        cb = c.callback;
     }
     // Refill the freed slot before delivery: the next frame renders
     // while this one's consumer runs.
     for (const Launch &l : launches)
         launch(l);
 
-    if (err)
+    if (err) {
         stats_.recordFailed(qos);
-    else
+        stats_.recordSceneFailed(scene_name);
+    } else {
         stats_.recordServed(qos, latency);
+        stats_.recordSceneServed(scene_name);
+    }
 
     FrameResult result;
     result.client = client;
@@ -253,7 +266,9 @@ FrameServer::dropFrames(std::vector<PendingFrame> &&dropped)
         ResultCallback cb;
         {
             std::lock_guard<std::mutex> lock(m_);
-            cb = clients_.at(pf.client)->callback;
+            const Client &c = *clients_.at(pf.client);
+            stats_.recordSceneDropped(c.scene->name);
+            cb = c.callback;
         }
         FrameResult result;
         result.client = pf.client;
@@ -339,6 +354,18 @@ FrameServer::shardSessions(int shard) const
 {
     std::lock_guard<std::mutex> lock(m_);
     return shards_.at(size_t(shard)).sessions;
+}
+
+int
+FrameServer::sceneInFlight(int shard, const std::string &scene) const
+{
+    const SceneEntry *entry = registry_.find(scene);
+    if (!entry)
+        return 0;
+    std::lock_guard<std::mutex> lock(m_);
+    const auto &counts = shards_.at(size_t(shard)).scene_in_flight;
+    auto it = counts.find(entry->id);
+    return it == counts.end() ? 0 : it->second;
 }
 
 } // namespace asdr::server

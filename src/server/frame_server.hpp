@@ -166,6 +166,9 @@ class FrameServer
     engine::FrameEngine &shardEngine(int shard);
     /** Open sessions pinned to a shard. */
     int shardSessions(int shard) const;
+    /** A scene's current in-flight frames on a shard (0 when none;
+     *  quota observability for tests/diagnostics). */
+    int sceneInFlight(int shard, const std::string &scene) const;
 
   private:
     struct Shard
@@ -175,6 +178,9 @@ class FrameServer
         int in_flight[kQosClasses] = {0, 0, 0};
         int total_in_flight = 0;
         int sessions = 0;
+        /** In-flight frames per SceneEntry::id (the per-scene-quota
+         *  accounting handed to QosScheduler::pop). */
+        std::unordered_map<uint32_t, int> scene_in_flight;
     };
 
     struct Client

@@ -83,6 +83,15 @@ struct QosParams
      * wait to aging_limit admissions.
      */
     int aging_limit = 16;
+    /**
+     * Per-scene admission quota: at most this many frames of any one
+     * scene in flight per shard (0 = uncapped). A hot scene at its
+     * quota is skipped over -- later frames of other scenes in the
+     * same class queue admit ahead of it -- so one scene's burst
+     * cannot monopolize a shard's pipeline slots. Skipped frames age
+     * normally, so the hot scene is served the moment a slot frees.
+     */
+    int max_in_flight_per_scene = 0;
 
     QosParams()
     {

@@ -1,6 +1,7 @@
 #include "server/qos_scheduler.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
 namespace asdr::server {
 
@@ -39,27 +40,55 @@ QosScheduler::push(PendingFrame frame, std::vector<PendingFrame> &dropped)
 bool
 QosScheduler::pop(const int (&in_flight)[kQosClasses], PendingFrame &out)
 {
-    // Eligible: backlogged and below the class's in-flight cap.
+    static const std::unordered_map<uint32_t, int> no_scenes;
+    return pop(in_flight, no_scenes, out);
+}
+
+bool
+QosScheduler::pop(const int (&in_flight)[kQosClasses],
+                  const std::unordered_map<uint32_t, int> &scene_in_flight,
+                  PendingFrame &out)
+{
+    // Eligible: backlogged, below the class's in-flight cap, and
+    // holding at least one frame whose scene is under the per-scene
+    // quota. The class's candidate is its oldest such frame -- frames
+    // of saturated scenes are skipped, not blocked behind.
+    const int scene_cap = p_.max_in_flight_per_scene;
+    size_t cand[kQosClasses] = {0, 0, 0};
     bool eligible[kQosClasses];
     bool any = false;
     for (int c = 0; c < kQosClasses; ++c) {
+        eligible[c] = false;
         const QosClassParams &cp = p_.cls[c];
-        eligible[c] = !q_[c].empty() &&
-                      (cp.max_in_flight <= 0 ||
-                       in_flight[c] < cp.max_in_flight);
+        if (q_[c].empty() ||
+            (cp.max_in_flight > 0 && in_flight[c] >= cp.max_in_flight))
+            continue;
+        for (size_t i = 0; i < q_[c].size(); ++i) {
+            if (scene_cap > 0) {
+                auto it = scene_in_flight.find(q_[c][i].scene);
+                if (it != scene_in_flight.end() &&
+                    it->second >= scene_cap) {
+                    ++quota_deferrals_;
+                    continue;
+                }
+            }
+            cand[c] = i;
+            eligible[c] = true;
+            break;
+        }
         any = any || eligible[c];
     }
     if (!any)
         return false;
 
-    // Aging first: a head passed over aging_limit times takes the slot
-    // outright (earliest submission wins among aged heads).
+    // Aging first: a candidate passed over aging_limit times takes the
+    // slot outright (earliest submission wins among aged candidates).
     int sel = -1;
     for (int c = 0; c < kQosClasses; ++c) {
-        if (!eligible[c] || q_[c].front().passed_over < p_.aging_limit)
+        if (!eligible[c] || q_[c][cand[c]].passed_over < p_.aging_limit)
             continue;
         if (sel < 0 ||
-            q_[c].front().submitted_at < q_[sel].front().submitted_at)
+            q_[c][cand[c]].submitted_at < q_[sel][cand[sel]].submitted_at)
             sel = c;
     }
     // Otherwise weighted-fair: smallest virtual time; ties go to the
@@ -76,10 +105,10 @@ QosScheduler::pop(const int (&in_flight)[kQosClasses], PendingFrame &out)
     vclock_ = vtime_[sel];
     for (int c = 0; c < kQosClasses; ++c)
         if (c != sel && eligible[c])
-            q_[c].front().passed_over++;
+            q_[c][cand[c]].passed_over++;
 
-    out = std::move(q_[sel].front());
-    q_[sel].pop_front();
+    out = std::move(q_[sel][cand[sel]]);
+    q_[sel].erase(q_[sel].begin() + std::ptrdiff_t(cand[sel]));
     auto it = client_pending_[sel].find(out.client);
     if (--it->second == 0)
         client_pending_[sel].erase(it);

@@ -45,6 +45,7 @@ struct PendingFrame
 {
     uint64_t ticket = 0; ///< server-wide submission id
     uint64_t client = 0; ///< owning client session
+    uint32_t scene = 0;  ///< SceneEntry::id (the per-scene-quota key)
     QosClass qos = QosClass::Standard;
     nerf::Camera camera{Vec3(0.0f), Vec3(0.0f, 0.0f, 1.0f),
                         Vec3(0.0f, 1.0f, 0.0f), 45.0f, 1, 1};
@@ -74,6 +75,24 @@ class QosScheduler
      */
     bool pop(const int (&in_flight)[kQosClasses], PendingFrame &out);
 
+    /**
+     * Scene-quota-aware variant: `scene_in_flight` maps SceneEntry::id
+     * to the shard's current in-flight count for that scene. With
+     * QosParams::max_in_flight_per_scene set, a class's candidate is
+     * its OLDEST frame whose scene is under quota -- frames of a
+     * saturated scene are skipped (and counted in quotaDeferrals()),
+     * so a hot scene cannot monopolize the shard while colder scenes
+     * have work queued. Skipping preserves per-scene FIFO order and
+     * the skipped frames' aging credit.
+     */
+    bool pop(const int (&in_flight)[kQosClasses],
+             const std::unordered_map<uint32_t, int> &scene_in_flight,
+             PendingFrame &out);
+
+    /** Times a pending frame was passed over because its scene was at
+     *  quota (an admission-pressure signal for dashboards/tests). */
+    uint64_t quotaDeferrals() const { return quota_deferrals_; }
+
     /** Remove every pending frame of `client` (session teardown);
      *  removed frames are appended to `dropped`. */
     void dropClient(uint64_t client, std::vector<PendingFrame> &dropped);
@@ -91,6 +110,7 @@ class QosScheduler
      *  server mutex on every submission). */
     std::unordered_map<uint64_t, int> client_pending_[kQosClasses];
     double vtime_[kQosClasses] = {0.0, 0.0, 0.0};
+    uint64_t quota_deferrals_ = 0;
     /** Virtual time of the last admission: a class going from empty to
      *  backlogged restarts at max(its vtime, vclock_) so idle periods
      *  don't bank credit. */

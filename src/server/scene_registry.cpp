@@ -12,6 +12,7 @@ SceneRegistry::insertLocked(std::unique_ptr<SceneEntry> entry)
     for (const auto &e : entries_)
         if (e->name == entry->name)
             return nullptr;
+    entry->id = uint32_t(entries_.size());
     entries_.push_back(std::move(entry));
     return entries_.back().get();
 }

@@ -33,6 +33,9 @@ namespace asdr::server {
 struct SceneEntry
 {
     std::string name;
+    /** Dense per-registry id (registration order) -- the key the
+     *  per-scene admission quotas count in-flight frames under. */
+    uint32_t id = 0;
     /** The shared radiance field (owned_field when registry-owned). */
     const nerf::RadianceField *field = nullptr;
     /** Default render knobs for sessions of this scene. */

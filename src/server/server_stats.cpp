@@ -2,23 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
+
+#include "util/stats.hpp"
 
 namespace asdr::server {
 
 namespace {
 
-/** Nearest-rank percentile over a sorted sample vector. */
-double
-percentile(const std::vector<double> &sorted, double q)
+/** Minimal JSON string escaping: scene names are arbitrary registry
+ *  strings, so quotes/backslashes/control bytes must not leak into
+ *  the dump verbatim. */
+std::string
+jsonEscape(const std::string &s)
 {
-    if (sorted.empty())
-        return 0.0;
-    const double rank = q * double(sorted.size() - 1);
-    const size_t lo = size_t(rank);
-    const size_t hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = rank - double(lo);
-    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(char(c));
+        } else if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+        } else {
+            out.push_back(char(c));
+        }
+    }
+    return out;
 }
 
 } // namespace
@@ -73,6 +86,51 @@ ServerStats::recordFailed(QosClass c)
     cls_[int(c)].failed++;
 }
 
+void
+ServerStats::recordSceneSubmitted(const std::string &scene)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto &s = scenes_[scene];
+    s.name = scene;
+    s.submitted++;
+}
+
+void
+ServerStats::recordSceneServed(const std::string &scene)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto &s = scenes_[scene];
+    s.name = scene;
+    s.served++;
+}
+
+void
+ServerStats::recordSceneDropped(const std::string &scene)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto &s = scenes_[scene];
+    s.name = scene;
+    s.dropped++;
+}
+
+void
+ServerStats::recordSceneFailed(const std::string &scene)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto &s = scenes_[scene];
+    s.name = scene;
+    s.failed++;
+}
+
+void
+ServerStats::recordSceneAdmitted(const std::string &scene, int in_flight)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto &s = scenes_[scene];
+    s.name = scene;
+    s.peak_in_flight = std::max(s.peak_in_flight, in_flight);
+}
+
 ServerStatsSnapshot
 ServerStats::snapshot() const
 {
@@ -90,13 +148,16 @@ ServerStats::snapshot() const
             out.mean_ms = cc.latency_sum / double(cc.served) * 1e3;
             std::vector<double> sorted = cc.reservoir;
             std::sort(sorted.begin(), sorted.end());
-            out.p50_ms = percentile(sorted, 0.50) * 1e3;
-            out.p95_ms = percentile(sorted, 0.95) * 1e3;
-            out.p99_ms = percentile(sorted, 0.99) * 1e3;
+            out.p50_ms = percentileOfSorted(sorted, 0.50) * 1e3;
+            out.p95_ms = percentileOfSorted(sorted, 0.95) * 1e3;
+            out.p99_ms = percentileOfSorted(sorted, 0.99) * 1e3;
         }
         if (cc.admitted)
             out.mean_queue_ms = cc.queue_sum / double(cc.admitted) * 1e3;
     }
+    snap.scenes.reserve(scenes_.size());
+    for (const auto &entry : scenes_)
+        snap.scenes.push_back(entry.second);
     return snap;
 }
 
@@ -106,6 +167,7 @@ ServerStats::reset()
     std::lock_guard<std::mutex> lock(m_);
     for (auto &cc : cls_)
         cc = ClassCollector{};
+    scenes_.clear();
 }
 
 std::string
@@ -125,6 +187,17 @@ ServerStatsSnapshot::toJson() const
            << ",\"p50_ms\":" << s.p50_ms << ",\"p95_ms\":" << s.p95_ms
            << ",\"p99_ms\":" << s.p99_ms << ",\"mean_ms\":" << s.mean_ms
            << ",\"mean_queue_ms\":" << s.mean_queue_ms << "}";
+    }
+    os << "},\"scenes\":{";
+    for (size_t i = 0; i < scenes.size(); ++i) {
+        const SceneServeStats &s = scenes[i];
+        if (i)
+            os << ",";
+        os << "\"" << jsonEscape(s.name) << "\":{"
+           << "\"submitted\":" << s.submitted
+           << ",\"served\":" << s.served << ",\"dropped\":" << s.dropped
+           << ",\"failed\":" << s.failed
+           << ",\"peak_in_flight\":" << s.peak_in_flight << "}";
     }
     os << "}}";
     return os.str();

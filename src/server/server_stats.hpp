@@ -17,6 +17,7 @@
 #define ASDR_SERVER_SERVER_STATS_HPP
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -49,9 +50,24 @@ struct QosClassStats
     }
 };
 
+/** One scene's aggregated serving record (the per-scene-quota view:
+ *  who is hot, and how much of a shard it peaked at). */
+struct SceneServeStats
+{
+    std::string name;
+    uint64_t submitted = 0;
+    uint64_t served = 0;
+    uint64_t dropped = 0;
+    uint64_t failed = 0;
+    /** Peak concurrent in-flight frames observed on any one shard. */
+    int peak_in_flight = 0;
+};
+
 struct ServerStatsSnapshot
 {
     QosClassStats cls[kQosClasses];
+    /** Per-scene records, sorted by scene name. */
+    std::vector<SceneServeStats> scenes;
 
     uint64_t totalServed() const
     {
@@ -77,6 +93,15 @@ class ServerStats
     void recordDropped(QosClass c);
     void recordFailed(QosClass c);
 
+    // Per-scene accounting (the admission-quota observability):
+    void recordSceneSubmitted(const std::string &scene);
+    void recordSceneServed(const std::string &scene);
+    void recordSceneDropped(const std::string &scene);
+    void recordSceneFailed(const std::string &scene);
+    /** `in_flight`: the scene's post-admission in-flight count on its
+     *  shard; the snapshot keeps the peak. */
+    void recordSceneAdmitted(const std::string &scene, int in_flight);
+
     ServerStatsSnapshot snapshot() const;
     void reset();
 
@@ -99,6 +124,8 @@ class ServerStats
 
     mutable std::mutex m_;
     ClassCollector cls_[kQosClasses];
+    /** Ordered by name so snapshots list scenes deterministically. */
+    std::map<std::string, SceneServeStats> scenes_;
 };
 
 } // namespace asdr::server

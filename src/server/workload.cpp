@@ -1,11 +1,17 @@
 #include "server/workload.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 
+#include "net/client.hpp"
 #include "nerf/camera.hpp"
 #include "util/logging.hpp"
+#include "util/stats.hpp"
 
 namespace asdr::server {
 
@@ -18,6 +24,46 @@ struct Viewer
     std::atomic<int> issued{0}; ///< submissions made so far
     int total = 0;
 };
+
+/** The workload's camera path for one viewer: the scene's orbit,
+ *  phase-shifted per viewer so concurrent viewers of one scene look
+ *  at genuinely different poses (shared by both drive modes). */
+std::vector<nerf::Camera>
+viewerPath(const SceneEntry &entry, const WorkloadSpec &spec,
+           int viewer_index)
+{
+    const int phase = viewer_index % 5;
+    auto full = nerf::orbitCameraPath(entry.info, spec.width, spec.height,
+                                      spec.frames_per_client + phase,
+                                      spec.orbit_step);
+    return {full.begin() + phase, full.end()};
+}
+
+/**
+ * The same orbit as viewerPath, but as wire CameraSpecs: the
+ * constructor parameters travel (pos/look_at/up/fov), so the service
+ * rebuilds cameras bit-identical to the in-process path's.
+ */
+std::vector<net::CameraSpec>
+wireViewerPath(const SceneEntry &entry, const WorkloadSpec &spec,
+               int viewer_index)
+{
+    const int phase = viewer_index % 5;
+    const scene::SceneInfo &info = entry.info;
+    std::vector<net::CameraSpec> path;
+    path.reserve(size_t(spec.frames_per_client));
+    for (int f = phase; f < spec.frames_per_client + phase; ++f) {
+        net::CameraSpec cs;
+        cs.pos = nerf::orbitPosition(info, spec.orbit_step * float(f));
+        cs.look_at = info.look_at;
+        cs.up = Vec3(0.0f, 1.0f, 0.0f);
+        cs.fov_deg = info.fov_deg;
+        cs.width = uint16_t(spec.width);
+        cs.height = uint16_t(spec.height);
+        path.push_back(cs);
+    }
+    return path;
+}
 
 } // namespace
 
@@ -44,11 +90,7 @@ runWorkload(FrameServer &server, const SceneRegistry &registry,
             ASDR_ASSERT(entry != nullptr, "workload scene not registered: ",
                         scene_name);
             auto viewer = std::make_unique<Viewer>();
-            const int phase = viewer_index % 5;
-            auto full = nerf::orbitCameraPath(
-                entry->info, spec.width, spec.height,
-                spec.frames_per_client + phase, spec.orbit_step);
-            viewer->path.assign(full.begin() + phase, full.end());
+            viewer->path = viewerPath(*entry, spec, viewer_index);
             viewer->total = spec.frames_per_client;
             Viewer *vp = viewer.get();
             // Closed loop: every delivered result (served, dropped, or
@@ -94,6 +136,184 @@ runWorkload(FrameServer &server, const SceneRegistry &registry,
     report.wall_s = wall;
     report.results = results.load();
     report.viewers = uint64_t(viewers.size());
+    const uint64_t served_delta =
+        report.stats.totalServed() - before.totalServed();
+    report.frames_per_s = wall > 0.0 ? double(served_delta) / wall : 0.0;
+    return report;
+}
+
+WorkloadReport
+runWorkloadOverWire(const SceneRegistry &registry, const WorkloadSpec &spec,
+                    const WireWorkloadOptions &wire)
+{
+    ASDR_ASSERT(!spec.scenes.empty(), "workload needs at least one scene");
+    ASDR_ASSERT(spec.frames_per_client >= 1 && spec.burst >= 1,
+                "degenerate workload");
+    ASDR_ASSERT(wire.port != 0, "wire workload needs the service port");
+
+    struct WireViewer
+    {
+        int qos = 0;
+        std::string scene;
+        std::vector<net::CameraSpec> path;
+    };
+    std::vector<WireViewer> viewers;
+    int viewer_index = 0;
+    for (int c = 0; c < kQosClasses; ++c)
+        for (int v = 0; v < spec.clients[c]; ++v, ++viewer_index) {
+            WireViewer wv;
+            wv.qos = c;
+            wv.scene = spec.scenes[size_t(viewer_index) % spec.scenes.size()];
+            const SceneEntry *entry = registry.find(wv.scene);
+            ASDR_ASSERT(entry != nullptr, "workload scene not registered: ",
+                        wv.scene);
+            wv.path = wireViewerPath(*entry, spec, viewer_index);
+            viewers.push_back(std::move(wv));
+        }
+
+    // Baseline snapshot for the served-frames/s delta.
+    ServerStatsSnapshot before;
+    {
+        net::Client probe;
+        std::string err;
+        ASDR_ASSERT(probe.connect(wire.host, wire.port, &err),
+                    "wire workload: connect failed: ", err);
+        net::StatsReplyMsg reply;
+        ASDR_ASSERT(probe.fetchStats(reply, &err), "stats failed: ", err);
+        before = reply.server;
+    }
+
+    std::mutex agg_m;
+    std::vector<double> rtt_ms[kQosClasses];
+    std::atomic<uint64_t> results{0};
+    net::ClientTransferStats transfer_total;
+    std::atomic<bool> failed{false};
+    std::string fail_reason;
+
+    // One connection per viewer, each a blocking closed loop on its
+    // own thread: submit `burst` frames, then one new submission per
+    // delivered result -- the same traffic shape runWorkload drives
+    // through the in-process callback path.
+    auto drive = [&](const WireViewer &wv) {
+        net::Client client;
+        std::string err;
+        if (!client.connect(wire.host, wire.port, &err)) {
+            std::lock_guard<std::mutex> lock(agg_m);
+            failed = true;
+            fail_reason = "connect: " + err;
+            return;
+        }
+        const uint64_t session = client.openSession(
+            wv.scene, QosClass(wv.qos), wire.encoding, &err);
+        if (session == 0) {
+            std::lock_guard<std::mutex> lock(agg_m);
+            failed = true;
+            fail_reason = "openSession: " + err;
+            return;
+        }
+        using clock = std::chrono::steady_clock;
+        std::unordered_map<uint64_t, clock::time_point> sent;
+        const int total = spec.frames_per_client;
+        int issued = 0, received = 0;
+        std::vector<double> my_rtt;
+        auto submitNext = [&]() -> bool {
+            const uint64_t ticket =
+                client.submitFrame(session, wv.path[size_t(issued)], &err);
+            if (ticket == 0)
+                return false;
+            sent.emplace(ticket, clock::now());
+            ++issued;
+            return true;
+        };
+        auto submitFailed = [&] {
+            std::lock_guard<std::mutex> lock(agg_m);
+            failed = true;
+            fail_reason = "submitFrame: " + err;
+        };
+        const int prime = std::min(spec.burst, total);
+        for (int f = 0; f < prime; ++f)
+            if (!submitNext()) {
+                submitFailed();
+                return;
+            }
+        net::ClientFrame frame;
+        while (received < issued) {
+            if (!client.nextFrame(frame, &err)) {
+                std::lock_guard<std::mutex> lock(agg_m);
+                failed = true;
+                fail_reason = "nextFrame: " + err;
+                return;
+            }
+            ++received;
+            results.fetch_add(1, std::memory_order_relaxed);
+            auto it = sent.find(frame.ticket);
+            if (it != sent.end()) {
+                if (frame.ok())
+                    my_rtt.push_back(
+                        std::chrono::duration<double>(clock::now() -
+                                                      it->second)
+                            .count() *
+                        1e3);
+                sent.erase(it);
+            }
+            if (issued < total && !submitNext()) {
+                submitFailed();
+                return;
+            }
+        }
+        client.closeSession(session, &err);
+        std::lock_guard<std::mutex> lock(agg_m);
+        auto &bucket = rtt_ms[wv.qos];
+        bucket.insert(bucket.end(), my_rtt.begin(), my_rtt.end());
+        transfer_total.frames += client.transfer().frames;
+        transfer_total.payload_bytes += client.transfer().payload_bytes;
+        transfer_total.raw_bytes += client.transfer().raw_bytes;
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(viewers.size());
+    for (const WireViewer &wv : viewers)
+        threads.emplace_back(drive, std::cref(wv));
+    for (auto &t : threads)
+        t.join();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    ASDR_ASSERT(!failed, "wire workload viewer failed: ", fail_reason);
+
+    WorkloadReport report;
+    report.over_wire = true;
+    report.wall_s = wall;
+    report.results = results.load();
+    report.viewers = uint64_t(viewers.size());
+    report.wire_frames = transfer_total.frames;
+    report.wire_payload_bytes = transfer_total.payload_bytes;
+    report.wire_raw_bytes = transfer_total.raw_bytes;
+    for (int c = 0; c < kQosClasses; ++c) {
+        ClientRttStats &r = report.client_rtt[c];
+        std::vector<double> &samples = rtt_ms[c];
+        r.samples = samples.size();
+        if (!samples.empty()) {
+            double sum = 0.0;
+            for (double s : samples)
+                sum += s;
+            r.mean_ms = sum / double(samples.size());
+            std::sort(samples.begin(), samples.end());
+            r.p50_ms = percentileOfSorted(samples, 0.50);
+            r.p95_ms = percentileOfSorted(samples, 0.95);
+            r.p99_ms = percentileOfSorted(samples, 0.99);
+        }
+    }
+    {
+        net::Client probe;
+        std::string err;
+        ASDR_ASSERT(probe.connect(wire.host, wire.port, &err),
+                    "wire workload: reconnect failed: ", err);
+        net::StatsReplyMsg reply;
+        ASDR_ASSERT(probe.fetchStats(reply, &err), "stats failed: ", err);
+        report.stats = reply.server;
+    }
     const uint64_t served_delta =
         report.stats.totalServed() - before.totalServed();
     report.frames_per_s = wall > 0.0 ? double(served_delta) / wall : 0.0;

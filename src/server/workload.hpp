@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "net/frame_codec.hpp"
 #include "server/frame_server.hpp"
 #include "server/scene_registry.hpp"
 #include "server/server_stats.hpp"
@@ -46,6 +47,16 @@ struct WorkloadSpec
     int burst = 1;
 };
 
+/** Client-observed round-trip latency of one QoS class (wire runs). */
+struct ClientRttStats
+{
+    uint64_t samples = 0; ///< served frames measured
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double mean_ms = 0.0;
+};
+
 struct WorkloadReport
 {
     ServerStatsSnapshot stats;
@@ -54,6 +65,15 @@ struct WorkloadReport
     uint64_t viewers = 0;
     /** Served frames per wall second across all viewers. */
     double frames_per_s = 0.0;
+
+    // ---- wire runs only (runWorkloadOverWire) ----
+    bool over_wire = false;
+    /** submit -> result round trip as the clients measured it. */
+    ClientRttStats client_rtt[kQosClasses];
+    /** Ok-frame byte accounting summed over every viewer connection. */
+    uint64_t wire_frames = 0;
+    uint64_t wire_payload_bytes = 0; ///< encoded bytes on the wire
+    uint64_t wire_raw_bytes = 0;     ///< raw-float cost of those frames
 };
 
 /**
@@ -65,6 +85,29 @@ struct WorkloadReport
  */
 WorkloadReport runWorkload(FrameServer &server, const SceneRegistry &registry,
                            const WorkloadSpec &spec);
+
+/** Connection parameters of the over-the-wire workload mode. */
+struct WireWorkloadOptions
+{
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    net::FrameEncoding encoding = net::FrameEncoding::Raw;
+};
+
+/**
+ * The same closed-loop workload driven through net::Client connections
+ * (one per viewer, each on its own thread) against a RenderService at
+ * host:port -- identical traffic shape to runWorkload, plus the wire:
+ * framing, encode/decode, and socket scheduling. `registry` is only
+ * consulted for camera framing (the scenes must also be registered in
+ * the server behind the service). The report adds client-observed
+ * round-trip percentiles per class and per-encoding byte totals; its
+ * `stats` snapshot is fetched from the service (cumulative, like
+ * runWorkload's).
+ */
+WorkloadReport runWorkloadOverWire(const SceneRegistry &registry,
+                                   const WorkloadSpec &spec,
+                                   const WireWorkloadOptions &wire);
 
 } // namespace asdr::server
 

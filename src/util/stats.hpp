@@ -66,6 +66,14 @@ class Histogram
     uint64_t total_ = 0;
 };
 
+/**
+ * Linearly-interpolated percentile of an ASCENDING-sorted sample
+ * vector; q in [0, 1]. 0 on empty input. The one percentile
+ * definition shared by the serving stats and the wire workload, so
+ * client- and server-side latency rows are comparable.
+ */
+double percentileOfSorted(const std::vector<double> &sorted, double q);
+
 /** Named counter group; the simulator's per-component event counters. */
 class CounterGroup
 {

@@ -826,3 +826,176 @@ TEST(ServeWorkload, ClosedLoopServesEveryClassAndTerminates)
     }
     EXPECT_GT(report.frames_per_s, 0.0);
 }
+
+// ------------------------------------------------------ per-scene quotas
+
+TEST(QosSchedulerUnit, SceneQuotaSkipsSaturatedScene)
+{
+    QosParams params;
+    params.max_in_flight_per_scene = 1;
+    QosScheduler sched(params);
+    std::vector<PendingFrame> dropped;
+
+    auto pushOne = [&](uint64_t ticket, uint64_t client, uint32_t scene) {
+        PendingFrame pf;
+        pf.ticket = ticket;
+        pf.client = client;
+        pf.scene = scene;
+        pf.qos = QosClass::Standard;
+        pf.submitted_at = std::chrono::steady_clock::now();
+        sched.push(std::move(pf), dropped);
+    };
+    // Scene 0 queued twice before scene 1 shows up at all.
+    pushOne(1, 10, 0);
+    pushOne(2, 10, 0);
+    pushOne(3, 20, 1);
+    ASSERT_TRUE(dropped.empty());
+
+    int in_flight[kQosClasses] = {0, 0, 0};
+    std::unordered_map<uint32_t, int> scene_in_flight;
+    PendingFrame out;
+
+    ASSERT_TRUE(sched.pop(in_flight, scene_in_flight, out));
+    EXPECT_EQ(out.ticket, 1u);
+    scene_in_flight[0] = 1;
+
+    // Scene 0 is at quota: ticket 2 is skipped, ticket 3 admits ahead
+    // of it even though it was submitted later.
+    ASSERT_TRUE(sched.pop(in_flight, scene_in_flight, out));
+    EXPECT_EQ(out.ticket, 3u);
+    EXPECT_GE(sched.quotaDeferrals(), 1u);
+    scene_in_flight[1] = 1;
+
+    // Both scenes saturated: nothing eligible despite a pending frame.
+    EXPECT_FALSE(sched.pop(in_flight, scene_in_flight, out));
+    EXPECT_EQ(sched.pending(), 1u);
+
+    // Scene 0 frees a slot: its deferred frame admits immediately.
+    scene_in_flight.erase(0);
+    ASSERT_TRUE(sched.pop(in_flight, scene_in_flight, out));
+    EXPECT_EQ(out.ticket, 2u);
+    EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(FrameServerQuota, HotSceneCannotMonopolizeShard)
+{
+    SceneRegistry reg;
+    ASSERT_NE(reg.addProcedural("lego", "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    ASSERT_NE(reg.addProcedural("chair", "Chair",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+
+    auto runOnce = [&](int quota) {
+        ServerConfig cfg;
+        cfg.shards = 1;
+        cfg.threads_per_shard = 1;
+        cfg.frames_in_flight_per_shard = 2;
+        cfg.qos.max_in_flight_per_scene = quota;
+        FrameServer srv(reg, cfg);
+
+        const uint64_t hot = srv.openSession("lego", QosClass::Standard);
+        const uint64_t cold = srv.openSession("chair", QosClass::Standard);
+        EXPECT_NE(hot, 0u);
+        EXPECT_NE(cold, 0u);
+        const auto lego_path = nerf::orbitCameraPath(
+            reg.find("lego")->info, 12, 12, 2, 0.07f);
+        const auto chair_path = nerf::orbitCameraPath(
+            reg.find("chair")->info, 12, 12, 1, 0.07f);
+
+        // Park the only worker so admission decisions are observable.
+        PoolGate gate;
+        gate.block(srv.shardEngine(0), 1);
+
+        std::vector<uint64_t> tickets;
+        tickets.push_back(srv.submitFrame(hot, lego_path[0]));
+        tickets.push_back(srv.submitFrame(hot, lego_path[1]));
+        tickets.push_back(srv.submitFrame(cold, chair_path[0]));
+
+        const int lego_in_flight = srv.sceneInFlight(0, "lego");
+        const int chair_in_flight = srv.sceneInFlight(0, "chair");
+
+        gate.release();
+        srv.waitIdle();
+        std::vector<FrameResult> results;
+        srv.drainResults(results);
+        EXPECT_EQ(results.size(), 3u);
+        std::vector<uint64_t> completion;
+        for (const FrameResult &r : results) {
+            EXPECT_TRUE(r.ok());
+            completion.push_back(r.ticket);
+        }
+        const ServerStatsSnapshot snap = srv.stats();
+        srv.closeSession(hot);
+        srv.closeSession(cold);
+        struct Observed
+        {
+            int lego_in_flight, chair_in_flight;
+            std::vector<uint64_t> completion;
+            std::vector<uint64_t> tickets;
+            ServerStatsSnapshot snap;
+        };
+        return Observed{lego_in_flight, chair_in_flight, completion,
+                        tickets, snap};
+    };
+
+    // Quota 1: the hot scene's second frame must NOT take the second
+    // pipeline slot -- the cold scene's frame is admitted instead,
+    // ahead of an earlier-submitted hot frame.
+    auto with_quota = runOnce(1);
+    EXPECT_EQ(with_quota.lego_in_flight, 1);
+    EXPECT_EQ(with_quota.chair_in_flight, 1);
+    ASSERT_EQ(with_quota.completion.size(), 3u);
+    EXPECT_EQ(with_quota.completion[0], with_quota.tickets[0]); // hot #1
+    EXPECT_EQ(with_quota.completion[1], with_quota.tickets[2]); // cold
+    EXPECT_EQ(with_quota.completion[2], with_quota.tickets[1]); // hot #2
+    for (const SceneServeStats &s : with_quota.snap.scenes)
+        EXPECT_LE(s.peak_in_flight, 1) << s.name;
+
+    // Uncapped control: the hot scene takes both slots and the cold
+    // frame waits behind it.
+    auto uncapped = runOnce(0);
+    EXPECT_EQ(uncapped.lego_in_flight, 2);
+    EXPECT_EQ(uncapped.chair_in_flight, 0);
+    ASSERT_EQ(uncapped.completion.size(), 3u);
+    EXPECT_EQ(uncapped.completion[0], uncapped.tickets[0]);
+    EXPECT_EQ(uncapped.completion[1], uncapped.tickets[1]);
+    EXPECT_EQ(uncapped.completion[2], uncapped.tickets[2]);
+    bool lego_peaked = false;
+    for (const SceneServeStats &s : uncapped.snap.scenes)
+        if (s.name == "lego" && s.peak_in_flight == 2)
+            lego_peaked = true;
+    EXPECT_TRUE(lego_peaked);
+}
+
+TEST(ServerStatsScenes, PerSceneCountsAndJson)
+{
+    ServerStats stats;
+    stats.recordSceneSubmitted("lego");
+    stats.recordSceneSubmitted("lego");
+    stats.recordSceneSubmitted("chair");
+    stats.recordSceneAdmitted("lego", 2);
+    stats.recordSceneAdmitted("lego", 1);
+    stats.recordSceneServed("lego");
+    stats.recordSceneDropped("lego");
+    stats.recordSceneFailed("chair");
+
+    const ServerStatsSnapshot snap = stats.snapshot();
+    ASSERT_EQ(snap.scenes.size(), 2u);
+    // Sorted by name: chair, lego.
+    EXPECT_EQ(snap.scenes[0].name, "chair");
+    EXPECT_EQ(snap.scenes[0].failed, 1u);
+    EXPECT_EQ(snap.scenes[1].name, "lego");
+    EXPECT_EQ(snap.scenes[1].submitted, 2u);
+    EXPECT_EQ(snap.scenes[1].served, 1u);
+    EXPECT_EQ(snap.scenes[1].dropped, 1u);
+    EXPECT_EQ(snap.scenes[1].peak_in_flight, 2);
+
+    const std::string json = snap.toJson();
+    EXPECT_NE(json.find("\"scenes\""), std::string::npos);
+    EXPECT_NE(json.find("\"lego\""), std::string::npos);
+    EXPECT_NE(json.find("\"peak_in_flight\":2"), std::string::npos);
+}
