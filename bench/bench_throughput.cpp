@@ -32,6 +32,7 @@
 #include "net/client.hpp"
 #include "net/render_service.hpp"
 #include "nerf/ngp_field.hpp"
+#include "nerf/procedural_field.hpp"
 #include "server/frame_server.hpp"
 #include "server/workload.hpp"
 
@@ -100,6 +101,22 @@ frameSamples(const nerf::Camera &camera, int ns, bool morton)
     }
     return samples;
 }
+
+/** A tenant whose field always throws: the circuit-breaker bench's
+ *  poisoned scene. */
+struct PoisonField : nerf::ProceduralField
+{
+    using ProceduralField::ProceduralField;
+    nerf::DensityOutput density(const Vec3 &) const override
+    {
+        throw std::runtime_error("poisoned tenant");
+    }
+    void densityBatch(const Vec3 *, int,
+                      nerf::DensityOutput *) const override
+    {
+        throw std::runtime_error("poisoned tenant");
+    }
+};
 
 double
 secondsOf(const std::function<void()> &fn)
@@ -641,6 +658,168 @@ main(int argc, char **argv)
                   << " B rx total\n";
         if (!bytes_ok)
             return 1;
+    }
+
+    // ---- fault tolerance: (a) time-to-resume after a connection kill
+    // (the reconnect-and-resume path end to end), and (b) what the
+    // per-scene circuit breaker buys a healthy tenant sharing the
+    // server with a poisoned one (p99 with the breaker open vs. the
+    // bad scene burning pipeline slots on every doomed render).
+    {
+        const int fw = smoke ? 16 : 32;  // frame edge
+        const int fns = smoke ? 24 : 48; // samples per ray
+        core::RenderConfig fcfg = core::RenderConfig::asdr(fw, fw, fns);
+        fcfg.probe_stride = 4;
+
+        // (a) reconnect-and-resume over the wire: stream, kill the
+        // connection, measure redial+resume and the first frame after.
+        {
+            server::SceneRegistry registry;
+            registry.addProcedural("Lego", "Lego",
+                                   nerf::NgpModelConfig::fast(), fcfg);
+            server::ServerConfig scfg;
+            scfg.threads_per_shard =
+                std::max(1, std::min(2, core::resolveThreadCount(0)));
+            server::FrameServer srv(registry, scfg);
+            net::ServiceConfig ncfg;
+            ncfg.resume_grace_s = 10.0;
+            net::RenderService service(srv, ncfg);
+            std::string nerr;
+            if (!service.start(&nerr)) {
+                std::cerr << "fault bench: service start failed: " << nerr
+                          << "\n";
+                return 1;
+            }
+            const scene::SceneInfo &info = registry.find("Lego")->info;
+            auto spec_at = [&](float angle) {
+                net::CameraSpec cs;
+                cs.pos = nerf::orbitPosition(info, angle);
+                cs.look_at = info.look_at;
+                cs.fov_deg = info.fov_deg;
+                cs.width = uint16_t(fw);
+                cs.height = uint16_t(fw);
+                return cs;
+            };
+
+            const int reps = smoke ? 3 : 5;
+            double resume_sum = 0.0, resume_min = 1e30;
+            double first_sum = 0.0;
+            for (int rep = 0; rep < reps; ++rep) {
+                net::Client client;
+                std::string err;
+                if (!client.connect("127.0.0.1", service.port(), &err)) {
+                    std::cerr << "fault bench: " << err << "\n";
+                    return 1;
+                }
+                const uint64_t session = client.openSession(
+                    "Lego", server::QosClass::Standard,
+                    net::FrameEncoding::DeltaPrev, &err);
+                net::ClientFrame frame;
+                for (int f = 0; f < 3; ++f) {
+                    client.submitFrame(session, spec_at(0.08f * float(f)),
+                                       &err);
+                    client.nextFrame(frame, &err);
+                }
+                client.dropConnection();
+                const double resume_s =
+                    secondsOf([&] { client.reconnect(&err); });
+                const double first_s = secondsOf([&] {
+                    client.submitFrame(session, spec_at(0.24f), &err);
+                    client.nextFrame(frame, &err);
+                });
+                client.closeSession(session, &err);
+                resume_sum += resume_s;
+                resume_min = std::min(resume_min, resume_s);
+                first_sum += first_s;
+            }
+            const double resume_ms = resume_sum / double(reps) * 1e3;
+            const double first_ms = first_sum / double(reps) * 1e3;
+            std::cout << "reconnect-and-resume: " << fmt(resume_ms, 2)
+                      << " ms to resume (min " << fmt(resume_min * 1e3, 2)
+                      << "), " << fmt(first_ms, 2)
+                      << " ms to the first post-resume frame ("
+                      << service.counters().sessions_resumed
+                      << " resumes)\n";
+            emitBoth(JsonLine("fault_recovery")
+                         .field("metric", "resume")
+                         .field("width", fw)
+                         .field("samples_per_ray", fns)
+                         .field("reps", reps)
+                         .field("time_to_resume_ms", resume_ms)
+                         .field("time_to_resume_min_ms", resume_min * 1e3)
+                         .field("first_frame_after_resume_ms", first_ms),
+                     artifact);
+        }
+
+        // (b) breaker off vs. on: one healthy viewer and one poisoned
+        // viewer share a shard; the breaker quarantines the poisoned
+        // scene after 3 failures, so its frames fail fast at admission
+        // instead of occupying pipeline slots.
+        TextTable ftable({"breaker", "good p99 (ms)", "good served",
+                          "bad failed", "fast fails", "wall (s)"});
+        for (int breaker_on : {0, 1}) {
+            server::SceneRegistry registry;
+            registry.addProcedural("good", "Lego",
+                                   nerf::NgpModelConfig::fast(), fcfg);
+            auto bad_scene = scene::createScene("Chair");
+            PoisonField bad(*bad_scene, nerf::NgpModelConfig::fast());
+            registry.addShared("bad", bad, fcfg, bad_scene->info());
+
+            server::ServerConfig scfg;
+            scfg.shards = 1;
+            scfg.threads_per_shard =
+                std::max(1, std::min(2, core::resolveThreadCount(0)));
+            scfg.frames_in_flight_per_shard = 2;
+            if (breaker_on) {
+                scfg.breaker.failure_threshold = 3;
+                scfg.breaker.open_s = 30.0; // stays open for the run
+            }
+            server::FrameServer srv(registry, scfg);
+
+            server::WorkloadSpec spec;
+            spec.scenes = {"good", "bad"};
+            spec.clients[int(server::QosClass::Interactive)] = 0;
+            spec.clients[int(server::QosClass::Standard)] = 2;
+            spec.clients[int(server::QosClass::Batch)] = 0;
+            spec.frames_per_client = smoke ? 10 : 40;
+            spec.width = fw;
+            spec.height = fw;
+            spec.burst = 2;
+            server::WorkloadReport report =
+                server::runWorkload(srv, registry, spec);
+
+            // Only served (good-scene) frames carry latency samples,
+            // so the class p99 is the healthy tenant's.
+            const server::QosClassStats &s =
+                report.stats.cls[int(server::QosClass::Standard)];
+            uint64_t fast_fails = 0, opens = 0;
+            for (const auto &sc : report.stats.scenes)
+                if (sc.name == "bad") {
+                    fast_fails = sc.breaker_fast_fails;
+                    opens = sc.breaker_opens;
+                }
+            ftable.addRow({breaker_on ? "on" : "off", fmt(s.p99_ms, 2),
+                           std::to_string(s.served),
+                           std::to_string(s.failed),
+                           std::to_string(fast_fails),
+                           fmt(report.wall_s, 3)});
+            emitBoth(JsonLine("fault_recovery")
+                         .field("metric", "breaker")
+                         .field("breaker", breaker_on ? "on" : "off")
+                         .field("width", fw)
+                         .field("samples_per_ray", fns)
+                         .field("frames_per_viewer",
+                                spec.frames_per_client)
+                         .field("good_p99_ms", s.p99_ms)
+                         .field("good_p50_ms", s.p50_ms)
+                         .field("good_served", int(s.served))
+                         .field("bad_failed", int(s.failed))
+                         .field("breaker_opens", double(opens))
+                         .field("breaker_fast_fails", double(fast_fails))
+                         .field("wall_s", report.wall_s),
+                     artifact);
+        }
+        ftable.print(std::cout);
     }
     return 0;
 }

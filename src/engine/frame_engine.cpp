@@ -5,6 +5,7 @@
 
 #include "engine/frame_graph.hpp"
 #include "engine/render_session.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 
 namespace asdr::engine {
@@ -251,8 +252,16 @@ FrameEngine::launchLocked(InFlight *f)
 
     // ---- the frame's stage graph ----
     FrameGraph &g = f->graph;
-    const int setup = g.addNode("ray setup", 1,
-                                [f, r](int) { r->beginFrame(f->fs); });
+    // The fault sites fire once per frame (first stage), so a seeded
+    // injector maps deterministically onto a frame sequence: a stall
+    // models a stuck stage for the watchdog, a throw a compute fault
+    // surfacing through the one-result-per-ticket path.
+    const int setup = g.addNode("ray setup", 1, [f, r](int) {
+        fault::fire(fault::kEngineStageStall); // sleeps when armed
+        if (fault::fire(fault::kEngineStageThrow))
+            throw std::runtime_error("injected: engine stage fault");
+        r->beginFrame(f->fs);
+    });
     int prev = setup;
     if (shape.adaptive && !f->fs.probes_reused) {
         const int probe =

@@ -1,5 +1,9 @@
 #include "net/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace asdr::net {
 
 namespace {
@@ -11,34 +15,122 @@ setErr(std::string *err, const std::string &what)
         *err = what;
 }
 
+uint64_t
+splitmix64(uint64_t &s)
+{
+    uint64_t z = (s += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
 } // namespace
+
+const char *
+clientErrorName(ClientError e)
+{
+    switch (e) {
+    case ClientError::None:
+        return "none";
+    case ClientError::Timeout:
+        return "timeout";
+    case ClientError::PeerClosed:
+        return "peer-closed";
+    case ClientError::IoError:
+        return "io-error";
+    case ClientError::Protocol:
+        return "protocol";
+    case ClientError::Refused:
+        return "refused";
+    }
+    return "?";
+}
+
+double
+retryBackoff(const RetryPolicy &policy, int attempt, uint64_t &rng_state)
+{
+    double d = policy.base_delay_s;
+    for (int i = 0; i < attempt; ++i) {
+        d *= policy.multiplier;
+        if (d >= policy.max_delay_s)
+            break;
+    }
+    d = std::min(d, policy.max_delay_s);
+    if (policy.jitter > 0.0) {
+        // u in [0,1); shift the delay by +-(jitter/2) of itself.
+        const double u =
+            double(splitmix64(rng_state) >> 11) * 0x1.0p-53;
+        d *= 1.0 + policy.jitter * (u - 0.5);
+    }
+    return std::max(d, 0.0);
+}
+
+bool
+Client::fail(std::string *err, ClientError cls, const std::string &what)
+{
+    last_error_ = cls;
+    setErr(err, what);
+    return false;
+}
 
 bool
 Client::connect(const std::string &host, uint16_t port, std::string *err,
                 double recv_timeout_s)
 {
     disconnect();
-    sock_ = Socket::connectTo(host, port, err);
+    host_ = host;
+    port_ = port;
+    recv_timeout_s_ = recv_timeout_s;
+    return dial(err);
+}
+
+bool
+Client::connectWithRetry(const std::string &host, uint16_t port,
+                         const RetryPolicy &policy, std::string *err,
+                         double recv_timeout_s)
+{
+    disconnect();
+    host_ = host;
+    port_ = port;
+    recv_timeout_s_ = recv_timeout_s;
+    uint64_t rng = policy.seed ^ (uint64_t(port) << 16);
+    const int attempts = std::max(1, policy.max_attempts);
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0)
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                retryBackoff(policy, attempt - 1, rng)));
+        if (dial(err))
+            return true;
+    }
+    return false;
+}
+
+bool
+Client::dial(std::string *err)
+{
+    sock_.close();
+    std::string serr;
+    sock_ = Socket::connectTo(host_, port_, &serr);
     if (!sock_.valid())
-        return false;
-    if (recv_timeout_s > 0.0)
-        sock_.setRecvTimeout(recv_timeout_s);
+        return fail(err, ClientError::IoError, serr);
+    if (recv_timeout_s_ > 0.0)
+        sock_.setRecvTimeout(recv_timeout_s_);
 
     HelloMsg hello;
     if (!send(MsgType::Hello, packMessage(MsgType::Hello, hello), err))
         return false;
     std::vector<uint8_t> payload;
     if (!waitReply(MsgType::HelloOk, payload, err)) {
-        disconnect();
+        sock_.close();
         return false;
     }
     HelloOkMsg ok;
     if (!decodePayload(payload.data(), payload.size(), ok) ||
         ok.version != kProtocolVersion) {
-        setErr(err, "handshake: bad HelloOk");
-        disconnect();
-        return false;
+        sock_.close();
+        return fail(err, ClientError::Protocol, "handshake: bad HelloOk");
     }
+    last_error_ = ClientError::None;
     return true;
 }
 
@@ -48,6 +140,89 @@ Client::disconnect()
     sock_.close();
     results_.clear();
     refs_.clear();
+    sessions_.clear();
+}
+
+void
+Client::dropConnection()
+{
+    // No protocol goodbye, no state loss: the service sees an abrupt
+    // disconnect; we keep everything needed to resume.
+    sock_.close();
+}
+
+bool
+Client::reconnect(std::string *err, const RetryPolicy &policy)
+{
+    if (host_.empty())
+        return fail(err, ClientError::IoError, "never connected");
+    sock_.close();
+    uint64_t rng = policy.seed ^ 0x5EC0DE5ECull;
+    const int attempts = std::max(1, policy.max_attempts);
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0)
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                retryBackoff(policy, attempt - 1, rng)));
+        if (!dial(err))
+            continue;
+        if (resumeAll(err))
+            return true;
+        if (!isTransient(last_error_))
+            return false; // e.g. a session expired server-side
+        sock_.close(); // connection died again; back off and re-dial
+    }
+    return false;
+}
+
+bool
+Client::resumeAll(std::string *err)
+{
+    std::vector<uint64_t> ids;
+    ids.reserve(sessions_.size());
+    for (const auto &entry : sessions_)
+        ids.push_back(entry.first);
+    std::sort(ids.begin(), ids.end());
+    for (uint64_t id : ids)
+        if (!resumeSession(id, err))
+            return false;
+    return true;
+}
+
+bool
+Client::resumeSession(uint64_t session, std::string *err, uint32_t *parked)
+{
+    auto it = sessions_.find(session);
+    if (it == sessions_.end())
+        return fail(err, ClientError::Refused,
+                    "unknown session (never opened or already closed)");
+    ResumeSessionMsg msg;
+    msg.session = session;
+    msg.token = it->second.token;
+    if (!send(MsgType::ResumeSession,
+              packMessage(MsgType::ResumeSession, msg), err))
+        return false;
+    std::vector<uint8_t> payload;
+    if (!waitReply(MsgType::ResumeSessionOk, payload, err)) {
+        if (last_error_ == ClientError::Refused) {
+            // The service no longer knows the session (grace expired,
+            // bad token): forget it locally so a later reconnect can
+            // succeed for the surviving sessions.
+            sessions_.erase(session);
+            refs_.erase(session);
+        }
+        return false;
+    }
+    ResumeSessionOkMsg ok;
+    if (!decodePayload(payload.data(), payload.size(), ok) ||
+        ok.session != session)
+        return fail(err, ClientError::Protocol, "bad ResumeSessionOk");
+    // Mirror the server's re-seed: our next Ok frame arrives in
+    // absolute form and restarts the delta chain.
+    refs_.erase(session);
+    if (parked)
+        *parked = ok.parked;
+    last_error_ = ClientError::None;
+    return true;
 }
 
 uint64_t
@@ -67,9 +242,11 @@ Client::openSession(const std::string &scene, server::QosClass qos,
     OpenSessionOkMsg ok;
     if (!decodePayload(payload.data(), payload.size(), ok) ||
         ok.session == 0) {
-        setErr(err, "bad OpenSessionOk");
+        fail(err, ClientError::Protocol, "bad OpenSessionOk");
         return 0;
     }
+    sessions_[ok.session] = {ok.token, encoding};
+    last_error_ = ClientError::None;
     return ok.session;
 }
 
@@ -85,11 +262,11 @@ Client::closeSession(uint64_t session, std::string *err)
     if (!waitReply(MsgType::CloseSessionOk, payload, err))
         return false;
     CloseSessionOkMsg ok;
-    if (!decodePayload(payload.data(), payload.size(), ok)) {
-        setErr(err, "bad CloseSessionOk");
-        return false;
-    }
+    if (!decodePayload(payload.data(), payload.size(), ok))
+        return fail(err, ClientError::Protocol, "bad CloseSessionOk");
     refs_.erase(session);
+    sessions_.erase(session);
+    last_error_ = ClientError::None;
     return true;
 }
 
@@ -109,10 +286,43 @@ Client::submitFrame(uint64_t session, const CameraSpec &camera,
     SubmitFrameOkMsg ok;
     if (!decodePayload(payload.data(), payload.size(), ok) ||
         ok.ticket == 0) {
-        setErr(err, "bad SubmitFrameOk");
+        fail(err, ClientError::Protocol, "bad SubmitFrameOk");
         return 0;
     }
+    last_error_ = ClientError::None;
     return ok.ticket;
+}
+
+uint64_t
+Client::submitFrameRetry(uint64_t session, const CameraSpec &camera,
+                         const RetryPolicy &policy, std::string *err)
+{
+    uint64_t rng = policy.seed ^ session;
+    const int attempts = std::max(1, policy.max_attempts);
+    std::string werr;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0)
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                retryBackoff(policy, attempt - 1, rng)));
+        if (!connected()) {
+            // Single re-dial + resume per attempt; the outer loop is
+            // the backoff schedule.
+            RetryPolicy once = policy;
+            once.max_attempts = 1;
+            if (!reconnect(&werr, once)) {
+                if (!isTransient(last_error_))
+                    break;
+                continue;
+            }
+        }
+        const uint64_t ticket = submitFrame(session, camera, &werr);
+        if (ticket)
+            return ticket;
+        if (!isTransient(last_error_))
+            break;
+    }
+    setErr(err, werr.empty() ? "submit retries exhausted" : werr);
+    return 0;
 }
 
 bool
@@ -127,13 +337,14 @@ Client::nextFrame(ClientFrame &out, std::string *err)
             if (!takeFrameResult(payload, err))
                 return false;
         } else {
-            setErr(err, std::string("unexpected ") + msgTypeName(type) +
+            return fail(err, ClientError::Protocol,
+                        std::string("unexpected ") + msgTypeName(type) +
                             " while waiting for a frame");
-            return false;
         }
     }
     out = std::move(results_.front());
     results_.pop_front();
+    last_error_ = ClientError::None;
     return true;
 }
 
@@ -146,10 +357,9 @@ Client::fetchStats(StatsReplyMsg &out, std::string *err)
     std::vector<uint8_t> payload;
     if (!waitReply(MsgType::StatsReply, payload, err))
         return false;
-    if (!decodePayload(payload.data(), payload.size(), out)) {
-        setErr(err, "bad StatsReply");
-        return false;
-    }
+    if (!decodePayload(payload.data(), payload.size(), out))
+        return fail(err, ClientError::Protocol, "bad StatsReply");
+    last_error_ = ClientError::None;
     return true;
 }
 
@@ -158,14 +368,12 @@ Client::fetchStats(StatsReplyMsg &out, std::string *err)
 bool
 Client::send(MsgType, const std::vector<uint8_t> &packed, std::string *err)
 {
-    if (!sock_.valid()) {
-        setErr(err, "not connected");
-        return false;
-    }
+    if (!sock_.valid())
+        return fail(err, ClientError::IoError, "not connected");
     if (!sock_.sendAll(packed.data(), packed.size())) {
-        setErr(err, "connection lost while sending");
-        disconnect();
-        return false;
+        sock_.close();
+        return fail(err, ClientError::IoError,
+                    "connection lost while sending");
     }
     return true;
 }
@@ -174,29 +382,31 @@ bool
 Client::readMessage(MsgType &type, std::vector<uint8_t> &payload,
                     std::string *err)
 {
-    if (!sock_.valid()) {
-        setErr(err, "not connected");
-        return false;
-    }
+    if (!sock_.valid())
+        return fail(err, ClientError::IoError, "not connected");
     uint8_t hdr_bytes[kHeaderSize];
     size_t got = 0;
     while (got < kHeaderSize) {
         const ssize_t k =
             sock_.recvSome(hdr_bytes + got, kHeaderSize - got);
         if (k <= 0) {
-            setErr(err, k == kRecvClosed ? "connection closed"
-                                         : "receive failed (timeout?)");
-            disconnect();
-            return false;
+            sock_.close();
+            if (k == kRecvClosed)
+                return fail(err, ClientError::PeerClosed,
+                            "connection closed by service");
+            if (k == kRecvWouldBlock)
+                return fail(err, ClientError::Timeout,
+                            "receive timed out");
+            return fail(err, ClientError::IoError, "receive failed");
         }
         got += size_t(k);
     }
     MsgHeader hdr;
     const WireError ferr = decodeHeader(hdr_bytes, kHeaderSize, hdr);
     if (ferr != WireError::None || hdr.version != kProtocolVersion) {
-        setErr(err, "corrupt framing from service");
-        disconnect();
-        return false;
+        sock_.close();
+        return fail(err, ClientError::Protocol,
+                    "corrupt framing from service");
     }
     payload.resize(hdr.length);
     got = 0;
@@ -204,9 +414,15 @@ Client::readMessage(MsgType &type, std::vector<uint8_t> &payload,
         const ssize_t k =
             sock_.recvSome(payload.data() + got, payload.size() - got);
         if (k <= 0) {
-            setErr(err, "connection lost mid-message");
-            disconnect();
-            return false;
+            sock_.close();
+            if (k == kRecvClosed)
+                return fail(err, ClientError::PeerClosed,
+                            "connection closed mid-message");
+            if (k == kRecvWouldBlock)
+                return fail(err, ClientError::Timeout,
+                            "receive timed out mid-message");
+            return fail(err, ClientError::IoError,
+                        "receive failed mid-message");
         }
         got += size_t(k);
     }
@@ -232,14 +448,14 @@ Client::waitReply(MsgType want, std::vector<uint8_t> &payload,
         if (type == MsgType::Error) {
             ErrorMsg msg;
             if (decodePayload(payload.data(), payload.size(), msg))
-                setErr(err, "service error " + std::to_string(msg.code) +
+                return fail(err, ClientError::Refused,
+                            "service error " + std::to_string(msg.code) +
                                 ": " + msg.message);
-            else
-                setErr(err, "undecodable service error");
-            return false;
+            return fail(err, ClientError::Protocol,
+                        "undecodable service error");
         }
-        setErr(err, std::string("unexpected reply ") + msgTypeName(type));
-        return false;
+        return fail(err, ClientError::Protocol,
+                    std::string("unexpected reply ") + msgTypeName(type));
     }
 }
 
@@ -249,9 +465,8 @@ Client::takeFrameResult(const std::vector<uint8_t> &payload,
 {
     FrameResultMsg msg;
     if (!decodePayload(payload.data(), payload.size(), msg)) {
-        setErr(err, "corrupt FrameResult");
-        disconnect();
-        return false;
+        sock_.close();
+        return fail(err, ClientError::Protocol, "corrupt FrameResult");
     }
     ClientFrame frame;
     frame.session = msg.session;
@@ -269,12 +484,14 @@ Client::takeFrameResult(const std::vector<uint8_t> &payload,
         if (!decodeFramePayload(msg.payload.data(), msg.payload.size(),
                                 enc, msg.width, msg.height, ref,
                                 frame.image, &derr)) {
-            setErr(err, "frame decode failed: " + derr);
-            disconnect();
-            return false;
+            sock_.close();
+            return fail(err, ClientError::Protocol,
+                        "frame decode failed: " + derr);
         }
         // Advance the delta reference in receive order -- the mirror
-        // of the service's encode-order update.
+        // of the service's encode-order update. Keyed off the MESSAGE
+        // encoding, so degraded (Quantized8) frames of a DeltaPrev
+        // session leave the chain alone, exactly like the server.
         if (enc == FrameEncoding::DeltaPrev)
             refs_[msg.session] = frame.image;
         transfer_.frames++;

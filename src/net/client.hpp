@@ -4,7 +4,7 @@
  * examples/render_client and the workload generator's over-the-wire
  * mode, and the reference implementation of the client side of the
  * protocol (handshake, session management, frame decode, delta
- * reference tracking).
+ * reference tracking, reconnect-and-resume).
  *
  * The client is single-threaded and strictly ordered: control calls
  * (openSession, submitFrame, ...) send the request and block for its
@@ -13,6 +13,16 @@
  * one connection. Frames are decoded in receive order, which the
  * service guarantees matches its per-session encode order -- that
  * lockstep is what keeps the DeltaPrev reference chain bit-exact.
+ *
+ * Fault handling: every failure is classified (lastError()) so callers
+ * can tell transient faults -- Timeout, PeerClosed, IoError, all worth
+ * a reconnect -- from fatal ones (Protocol corruption, service
+ * refusals). openSession() records the server's resume token; after a
+ * connection loss, dropConnection() + reconnect() re-dials with
+ * exponential backoff and presents ResumeSession{id, token} for every
+ * open session, clearing the local delta reference so the server's
+ * re-seeded (absolute) first frame decodes byte-exactly.
+ * submitFrameRetry() wraps the whole loop for closed-loop drivers.
  *
  * Not thread-safe: drive one Client from one thread (open several
  * connections for concurrency, as the wire workload does).
@@ -62,6 +72,55 @@ struct ClientTransferStats
     uint64_t raw_bytes = 0;     ///< what raw float would have cost
 };
 
+/** Why the last client call failed (None after a success). */
+enum class ClientError
+{
+    None = 0,
+    /** Blocking read hit the receive timeout; the peer may be slow or
+     *  gone. Transient: worth a retry/reconnect. */
+    Timeout,
+    /** The peer closed (or reset) the connection. Transient. */
+    PeerClosed,
+    /** A socket-level send/recv error (or calling while not
+     *  connected). Transient. */
+    IoError,
+    /** Corrupt framing or an undecodable payload from the service --
+     *  a bug or a version skew; retrying cannot help. Fatal. */
+    Protocol,
+    /** The service answered with an Error message (unknown scene,
+     *  rejected submit, failed resume, ...). Fatal for this request. */
+    Refused,
+};
+
+const char *clientErrorName(ClientError e);
+
+/** Transient errors are connection-level faults a reconnect (or plain
+ *  retry, for Timeout) can heal; fatal ones cannot. */
+inline bool
+isTransient(ClientError e)
+{
+    return e == ClientError::Timeout || e == ClientError::PeerClosed ||
+           e == ClientError::IoError;
+}
+
+/** Exponential backoff with jitter for reconnect/retry loops. */
+struct RetryPolicy
+{
+    int max_attempts = 5;
+    double base_delay_s = 0.05;
+    double multiplier = 2.0;
+    double max_delay_s = 2.0;
+    /** Fraction of the delay randomized (0 = deterministic, 1 = the
+     *  delay varies +-50%); decorrelates clients retrying in sync. */
+    double jitter = 0.5;
+    uint64_t seed = 0x243F6A8885A308D3ull;
+};
+
+/** Delay before retry number `attempt` (0-based): base * mult^attempt,
+ *  capped at max, jittered via `rng_state` (splitmix64, advanced). */
+double retryBackoff(const RetryPolicy &policy, int attempt,
+                    uint64_t &rng_state);
+
 class Client
 {
   public:
@@ -73,16 +132,49 @@ class Client
     Client &operator=(Client &&) = default;
 
     /**
-     * Connect + version handshake. `recv_timeout_s` bounds every
+     * Connect + version handshake; forgets any previous session state
+     * (use reconnect() to keep it). `recv_timeout_s` bounds every
      * blocking read so a dead service surfaces as an error, not a
-     * hang (0 disables the timeout).
+     * hang (0 disables the timeout). The endpoint is remembered for
+     * reconnect().
      */
     bool connect(const std::string &host, uint16_t port,
                  std::string *err = nullptr, double recv_timeout_s = 30.0);
+    /** connect() with backoff across `policy.max_attempts` dials. */
+    bool connectWithRetry(const std::string &host, uint16_t port,
+                          const RetryPolicy &policy = {},
+                          std::string *err = nullptr,
+                          double recv_timeout_s = 30.0);
+    /** Graceful full teardown: socket, buffered results, references,
+     *  and session/resume state all dropped. */
     void disconnect();
+    /**
+     * Abrupt connection kill: closes the socket WITHOUT the protocol
+     * goodbye, keeping buffered results, delta references, and resume
+     * tokens -- what a crash or cable pull looks like to the service.
+     * Follow with reconnect() (or connect-to-resume by hand) to pick
+     * the sessions back up; also the fault-test/bench kill switch.
+     */
+    void dropConnection();
     bool connected() const { return sock_.valid(); }
 
-    /** Open a session on a registered scene; 0 + `err` on failure. */
+    /**
+     * Re-dial the remembered endpoint with backoff and resume every
+     * open session (ResumeSession with the stored token; the local
+     * delta reference is cleared to mirror the server's re-seed).
+     * Sessions the service no longer knows are forgotten locally and
+     * fail the call -- the caller decides whether to reopen them.
+     * Buffered results and transfer stats survive.
+     */
+    bool reconnect(std::string *err = nullptr,
+                   const RetryPolicy &policy = {});
+    /** Resume one detached session on the current connection; fills
+     *  `parked` (when set) with the number of replayed results. */
+    bool resumeSession(uint64_t session, std::string *err = nullptr,
+                       uint32_t *parked = nullptr);
+
+    /** Open a session on a registered scene; 0 + `err` on failure.
+     *  The resume token from OpenSessionOk is stored internally. */
     uint64_t openSession(const std::string &scene, server::QosClass qos,
                          FrameEncoding encoding,
                          std::string *err = nullptr);
@@ -93,6 +185,16 @@ class Client
      *  refused). Never waits for the render, only for the ack. */
     uint64_t submitFrame(uint64_t session, const CameraSpec &camera,
                          std::string *err = nullptr);
+    /**
+     * submitFrame with transparent fault recovery: on a TRANSIENT
+     * failure (timeout, peer closed, I/O error) the connection is
+     * re-dialed, sessions resumed, and the submit retried, up to
+     * `policy.max_attempts` tries with backoff. Fatal errors (refusal,
+     * protocol corruption) return 0 immediately.
+     */
+    uint64_t submitFrameRetry(uint64_t session, const CameraSpec &camera,
+                              const RetryPolicy &policy = {},
+                              std::string *err = nullptr);
 
     /**
      * Block until the next FrameResult (buffered or from the wire) and
@@ -105,8 +207,21 @@ class Client
     bool fetchStats(StatsReplyMsg &out, std::string *err = nullptr);
 
     const ClientTransferStats &transfer() const { return transfer_; }
+    /** Classification of the most recent failure (None on success). */
+    ClientError lastError() const { return last_error_; }
 
   private:
+    /** Per-open-session resume state. */
+    struct SessionState
+    {
+        uint64_t token = 0;
+        FrameEncoding encoding = FrameEncoding::Raw;
+    };
+
+    /** One dial + handshake; touches no session state. */
+    bool dial(std::string *err);
+    /** Resume every known session; expired ones are forgotten. */
+    bool resumeAll(std::string *err);
     /** Read exactly one framed message (blocking). */
     bool readMessage(MsgType &type, std::vector<uint8_t> &payload,
                      std::string *err);
@@ -119,12 +234,20 @@ class Client
     /** Decode + buffer one FrameResult payload. */
     bool takeFrameResult(const std::vector<uint8_t> &payload,
                          std::string *err);
+    bool fail(std::string *err, ClientError cls, const std::string &what);
 
     Socket sock_;
     std::deque<ClientFrame> results_;
     /** Per-session delta reference: last Ok frame, receive order. */
     std::unordered_map<uint64_t, Image> refs_;
+    /** Resume tokens + encodings of open sessions. */
+    std::unordered_map<uint64_t, SessionState> sessions_;
     ClientTransferStats transfer_;
+    ClientError last_error_ = ClientError::None;
+
+    std::string host_;
+    uint16_t port_ = 0;
+    double recv_timeout_s_ = 30.0;
 };
 
 } // namespace asdr::net

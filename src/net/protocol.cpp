@@ -47,6 +47,10 @@ msgTypeName(MsgType t)
         return "StatsReply";
     case MsgType::Error:
         return "Error";
+    case MsgType::ResumeSession:
+        return "ResumeSession";
+    case MsgType::ResumeSessionOk:
+        return "ResumeSessionOk";
     }
     return "?";
 }
@@ -150,12 +154,39 @@ void
 OpenSessionOkMsg::encode(WireWriter &w) const
 {
     w.u64(session);
+    w.u64(token);
 }
 
 bool
 OpenSessionOkMsg::decode(WireReader &r)
 {
-    return r.u64(session);
+    return r.u64(session) && r.u64(token);
+}
+
+void
+ResumeSessionMsg::encode(WireWriter &w) const
+{
+    w.u64(session);
+    w.u64(token);
+}
+
+bool
+ResumeSessionMsg::decode(WireReader &r)
+{
+    return r.u64(session) && r.u64(token);
+}
+
+void
+ResumeSessionOkMsg::encode(WireWriter &w) const
+{
+    w.u64(session);
+    w.u32(parked);
+}
+
+bool
+ResumeSessionOkMsg::decode(WireReader &r)
+{
+    return r.u64(session) && r.u32(parked);
 }
 
 void
@@ -228,7 +259,7 @@ FrameResultMsg::decode(WireReader &r)
           r.u8(encoding) && r.u16(width) && r.u16(height) &&
           r.f64(latency_ms) && r.bytes(payload)))
         return false;
-    return status <= uint8_t(FrameStatus::Shed) &&
+    return status <= uint8_t(FrameStatus::DeadlineExceeded) &&
            encoding <= uint8_t(FrameEncoding::DeltaPrev);
 }
 
@@ -251,6 +282,10 @@ WireCounters::encode(WireWriter &w) const
     w.u64(sessions_opened);
     w.u64(frames_sent);
     w.u64(results_shed);
+    w.u64(results_degraded);
+    w.u64(results_parked);
+    w.u64(sessions_resumed);
+    w.u64(sessions_expired);
     w.u64(bytes_tx);
     w.u64(bytes_rx);
     w.u64(frame_payload_bytes);
@@ -262,7 +297,9 @@ WireCounters::decode(WireReader &r)
 {
     return r.u64(connections_accepted) && r.u64(connections_open) &&
            r.u64(sessions_opened) && r.u64(frames_sent) &&
-           r.u64(results_shed) && r.u64(bytes_tx) && r.u64(bytes_rx) &&
+           r.u64(results_shed) && r.u64(results_degraded) &&
+           r.u64(results_parked) && r.u64(sessions_resumed) &&
+           r.u64(sessions_expired) && r.u64(bytes_tx) && r.u64(bytes_rx) &&
            r.u64(frame_payload_bytes) && r.u64(frame_raw_bytes);
 }
 
@@ -276,6 +313,7 @@ StatsReplyMsg::encode(WireWriter &w) const
         w.u64(s.served);
         w.u64(s.dropped);
         w.u64(s.failed);
+        w.u64(s.expired);
         w.f64(s.p50_ms);
         w.f64(s.p95_ms);
         w.f64(s.p99_ms);
@@ -289,8 +327,14 @@ StatsReplyMsg::encode(WireWriter &w) const
         w.u64(s.served);
         w.u64(s.dropped);
         w.u64(s.failed);
+        w.u64(s.expired);
         w.u32(uint32_t(s.peak_in_flight));
+        w.u8(s.breaker_state);
+        w.u64(s.breaker_opens);
+        w.u64(s.breaker_fast_fails);
     }
+    w.u64(server.stuck_in_flight);
+    w.u64(server.stuck_events);
     wire.encode(w);
 }
 
@@ -300,9 +344,9 @@ StatsReplyMsg::decode(WireReader &r)
     for (int c = 0; c < server::kQosClasses; ++c) {
         server::QosClassStats &s = server.cls[c];
         if (!(r.u64(s.submitted) && r.u64(s.admitted) && r.u64(s.served) &&
-              r.u64(s.dropped) && r.u64(s.failed) && r.f64(s.p50_ms) &&
-              r.f64(s.p95_ms) && r.f64(s.p99_ms) && r.f64(s.mean_ms) &&
-              r.f64(s.mean_queue_ms)))
+              r.u64(s.dropped) && r.u64(s.failed) && r.u64(s.expired) &&
+              r.f64(s.p50_ms) && r.f64(s.p95_ms) && r.f64(s.p99_ms) &&
+              r.f64(s.mean_ms) && r.f64(s.mean_queue_ms)))
             return false;
     }
     uint32_t scenes = 0;
@@ -314,11 +358,15 @@ StatsReplyMsg::decode(WireReader &r)
         server::SceneServeStats s;
         uint32_t peak = 0;
         if (!(r.str(s.name) && r.u64(s.submitted) && r.u64(s.served) &&
-              r.u64(s.dropped) && r.u64(s.failed) && r.u32(peak)))
+              r.u64(s.dropped) && r.u64(s.failed) && r.u64(s.expired) &&
+              r.u32(peak) && r.u8(s.breaker_state) &&
+              r.u64(s.breaker_opens) && r.u64(s.breaker_fast_fails)))
             return false;
         s.peak_in_flight = int(peak);
         server.scenes.push_back(std::move(s));
     }
+    if (!(r.u64(server.stuck_in_flight) && r.u64(server.stuck_events)))
+        return false;
     return wire.decode(r);
 }
 

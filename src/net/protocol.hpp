@@ -25,10 +25,19 @@
  * The conversation (client -> service unless noted):
  *
  *   Hello / HelloOk          version handshake; must come first
- *   OpenSession / -Ok        scene + QoS class + frame encoding
+ *   OpenSession / -Ok        scene + QoS class + frame encoding; the
+ *                            reply carries the session's resume token
  *   SubmitFrame / -Ok        one camera pose; replies with the ticket
  *   FrameResult (service)    async, any time after SubmitFrame: the
  *                            encoded frame (or its drop/failure notice)
+ *   ResumeSession / -Ok      re-attach a session that lost its TCP
+ *                            connection (token-authenticated, within
+ *                            the service's resume grace period). The
+ *                            delta reference chain restarts: the first
+ *                            Ok frame after a resume travels absolute
+ *                            in-band, so the resumed stream is byte-
+ *                            exact regardless of what the old
+ *                            connection lost in flight.
  *   CloseSession / -Ok       sheds pending frames, waits in-flight ones
  *   GetStats / StatsReply    ServerStats snapshot + wire counters
  *   Error (service)          failed request, or protocol violation
@@ -50,7 +59,9 @@
 namespace asdr::net {
 
 constexpr uint32_t kMagic = 0x52445341u; // 'A','S','D','R' on the wire
-constexpr uint16_t kProtocolVersion = 1;
+/** v2: ResumeSession/-Ok, resume tokens in OpenSessionOk, the
+ *  DeadlineExceeded frame status, and fault-model stats fields. */
+constexpr uint16_t kProtocolVersion = 2;
 constexpr size_t kHeaderSize = 12;
 /** Hard cap on one message's payload; oversized headers are a protocol
  *  violation (a 4K frame is ~200 MB raw -- far beyond this service's
@@ -84,6 +95,8 @@ enum class MsgType : uint16_t
     GetStats = 10,
     StatsReply = 11,
     Error = 12,
+    ResumeSession = 13,
+    ResumeSessionOk = 14,
 };
 
 const char *msgTypeName(MsgType t);
@@ -101,6 +114,7 @@ enum class WireError : uint32_t
     Rejected = 7,      ///< submit refused (session closing)
     Oversized = 8,     ///< header length beyond kMaxPayload
     ServerShutdown = 9,
+    ResumeFailed = 10, ///< unknown/expired session or bad resume token
 };
 
 // ------------------------------------------------------------- primitives
@@ -367,6 +381,29 @@ struct OpenSessionMsg
 struct OpenSessionOkMsg
 {
     uint64_t session = 0;
+    /** Resume credential: presented by ResumeSession to re-attach the
+     *  session after a connection loss. */
+    uint64_t token = 0;
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+struct ResumeSessionMsg
+{
+    uint64_t session = 0;
+    uint64_t token = 0;
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+struct ResumeSessionOkMsg
+{
+    uint64_t session = 0;
+    /** FrameResults that completed while detached; they are replayed,
+     *  in order, immediately after this reply. */
+    uint32_t parked = 0;
 
     void encode(WireWriter &w) const;
     bool decode(WireReader &r);
@@ -413,6 +450,9 @@ enum class FrameStatus : uint8_t
     Dropped = 1, ///< shed by the QoS backlog policy; no payload
     Failed = 2,  ///< render threw; payload holds the error text
     Shed = 3,    ///< payload shed by connection backpressure
+    /** Expired in the admission queue past its QoS-class deadline;
+     *  never rendered, no payload. */
+    DeadlineExceeded = 4,
 };
 
 struct FrameResultMsg
@@ -446,6 +486,15 @@ struct WireCounters
     uint64_t sessions_opened = 0;
     uint64_t frames_sent = 0;    ///< FrameResult messages written
     uint64_t results_shed = 0;   ///< payloads dropped by backpressure
+    /** Interactive payloads downgraded to quantized8 by backpressure
+     *  (the rung BELOW shedding on the degradation ladder). */
+    uint64_t results_degraded = 0;
+    /** Results completed while their session was detached, held for a
+     *  resume. */
+    uint64_t results_parked = 0;
+    uint64_t sessions_resumed = 0; ///< successful ResumeSession
+    /** Detached sessions whose resume grace expired (closed). */
+    uint64_t sessions_expired = 0;
     uint64_t bytes_tx = 0;
     uint64_t bytes_rx = 0;
     /** Encoded frame payload bytes vs what raw float would have cost:

@@ -2,6 +2,9 @@
 
 #include <poll.h>
 
+#include <random>
+#include <stdexcept>
+
 #include "util/logging.hpp"
 
 namespace asdr::net {
@@ -20,12 +23,26 @@ errorText(std::exception_ptr err)
     }
 }
 
+uint64_t
+splitmix64(uint64_t &s)
+{
+    uint64_t z = (s += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/** Poll granularity while detached sessions await resume/expiry. */
+constexpr int kGracePollMs = 50;
+
 } // namespace
 
 RenderService::RenderService(server::FrameServer &server,
                              const ServiceConfig &cfg)
     : server_(server), cfg_(cfg)
 {
+    std::random_device rd;
+    token_rng_ = (uint64_t(rd()) << 32) ^ uint64_t(rd());
 }
 
 RenderService::~RenderService()
@@ -45,6 +62,11 @@ RenderService::start(std::string *err)
     if (!listener_.bind(cfg_.host, cfg_.port, err))
         return false;
     running_ = true;
+    {
+        std::lock_guard<std::mutex> lock(reap_m_);
+        reap_stop_ = false;
+    }
+    reaper_ = std::thread([this] { reaperRun(); });
     thread_ = std::thread([this] { run(); });
     return true;
 }
@@ -60,8 +82,8 @@ RenderService::stop()
         thread_.join();
     }
     // The service thread is gone; tear down surviving connections from
-    // here (closes their FrameServer sessions, draining in-flight
-    // frames before any session state dies).
+    // here. No grace windows at shutdown: every session (attached or
+    // detached) goes to the reaper, which drains it before exiting.
     std::vector<std::shared_ptr<Connection>> leftover;
     {
         std::lock_guard<std::mutex> lock(m_);
@@ -69,7 +91,35 @@ RenderService::stop()
             leftover.push_back(entry.second);
     }
     for (auto &conn : leftover)
-        teardown(conn);
+        teardown(conn, /*allow_grace=*/false);
+    std::vector<std::shared_ptr<WireSession>> orphans;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        for (auto &entry : sessions_)
+            orphans.push_back(entry.second);
+        detached_sessions_ = 0;
+    }
+    for (auto &ws : orphans) {
+        bool enqueue = false;
+        {
+            std::lock_guard<std::mutex> lock(ws->m);
+            if (!ws->closing) {
+                ws->closing = true;
+                ws->conn = nullptr;
+                enqueue = true;
+            }
+        }
+        if (enqueue)
+            enqueueClose({ws, nullptr, false});
+    }
+    if (reaper_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(reap_m_);
+            reap_stop_ = true;
+        }
+        reap_cv_.notify_all();
+        reaper_.join();
+    }
     listener_.close();
 }
 
@@ -92,6 +142,7 @@ RenderService::run()
         polled.clear();
         fds.push_back({wake_.readFd(), POLLIN, 0});
         fds.push_back({listener_.fd(), POLLIN, 0});
+        int timeout = -1;
         {
             std::lock_guard<std::mutex> lock(m_);
             for (auto &entry : conns_) {
@@ -104,8 +155,10 @@ RenderService::run()
                 fds.push_back({entry.second->sock.fd(), events, 0});
                 polled.push_back(entry.second);
             }
+            if (detached_sessions_ > 0)
+                timeout = kGracePollMs;
         }
-        if (::poll(fds.data(), nfds_t(fds.size()), -1) < 0) {
+        if (::poll(fds.data(), nfds_t(fds.size()), timeout) < 0) {
             if (errno == EINTR)
                 continue;
             break;
@@ -133,9 +186,10 @@ RenderService::run()
             }
             if (dead) {
                 flushOut(conn);
-                teardown(conn);
+                teardown(conn, /*allow_grace=*/true);
             }
         }
+        expireDetached();
     }
 }
 
@@ -162,6 +216,8 @@ RenderService::acceptNew()
         }
         s.setNonBlocking(true);
         s.setNoDelay(true);
+        if (cfg_.sndbuf_bytes > 0)
+            s.setSendBuffer(cfg_.sndbuf_bytes);
         auto conn = std::make_shared<Connection>();
         conn->sock = std::move(s);
         {
@@ -249,10 +305,7 @@ RenderService::flushOut(const std::shared_ptr<Connection> &conn)
             return;
         if (k == kRecvError) {
             conn->dead = true;
-            conn->outq.clear();
-            conn->out_bytes = 0;
-            conn->out_off = 0;
-            return;
+            return; // teardown scavenges the unsent queue
         }
         {
             std::lock_guard<std::mutex> lock(cnt_m_);
@@ -336,29 +389,110 @@ RenderService::handleMessage(const std::shared_ptr<Connection> &conn,
             sendError(*conn, WireError::BadMessage, "bad OpenSession");
             return false;
         }
-        auto ws = std::make_unique<WireSession>();
+        auto ws = std::make_shared<WireSession>();
         ws->qos = server::QosClass(msg.qos);
         ws->encoding = FrameEncoding(msg.encoding);
-        WireSession *raw = ws.get();
         const uint64_t id = server_.openSession(
             msg.scene, ws->qos, {},
-            [this, conn, raw](server::FrameResult &&r) {
-                onResult(conn, raw, std::move(r));
+            [this, ws](server::FrameResult &&r) {
+                onResult(ws, std::move(r));
             });
         if (id == 0) {
             sendError(*conn, WireError::UnknownScene,
                       "scene not registered: " + msg.scene);
             return true; // client error, not a protocol violation
         }
-        raw->id = id;
-        conn->sessions.emplace(id, std::move(ws));
+        ws->id = id;
+        ws->conn = conn;
+        conn->sessions.emplace(id, ws);
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            ws->token = splitmix64(token_rng_);
+            if (ws->token == 0)
+                ws->token = 1;
+            sessions_.emplace(id, ws);
+        }
         {
             std::lock_guard<std::mutex> lock(cnt_m_);
             counters_.sessions_opened++;
         }
         OpenSessionOkMsg ok;
         ok.session = id;
+        ok.token = ws->token;
         sendControl(*conn, MsgType::OpenSessionOk, ok);
+        return true;
+    }
+
+    case MsgType::ResumeSession: {
+        ResumeSessionMsg msg;
+        if (!decodePayload(payload, len, msg)) {
+            sendError(*conn, WireError::BadMessage, "bad ResumeSession");
+            return false;
+        }
+        std::shared_ptr<WireSession> ws;
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            auto it = sessions_.find(msg.session);
+            if (it != sessions_.end())
+                ws = it->second;
+        }
+        if (!ws) {
+            sendError(*conn, WireError::ResumeFailed,
+                      "unknown or expired session");
+            return true;
+        }
+        bool was_detached = false;
+        {
+            std::lock_guard<std::mutex> lock(ws->m);
+            if (ws->token != msg.token || ws->closing) {
+                sendError(*conn, WireError::ResumeFailed,
+                          ws->closing ? "session is closing"
+                                      : "bad resume token");
+                return true;
+            }
+            if (ws->conn) {
+                // Stale attachment: the old socket died but its
+                // teardown has not run yet. Steal the session -- the
+                // poll thread (us) owns both connections' maps.
+                ws->conn->sessions.erase(ws->id);
+                ws->conn = nullptr;
+            } else {
+                was_detached = true;
+            }
+            ws->conn = conn;
+            conn->sessions[ws->id] = ws;
+            // Re-seed the delta chain in-band: with no reference, the
+            // next Ok frame is encoded in absolute form, so the resumed
+            // stream decodes byte-exactly regardless of which frames
+            // the dead connection actually delivered.
+            ws->reference = Image();
+            ResumeSessionOkMsg ok;
+            ok.session = ws->id;
+            ok.parked = uint32_t(ws->parked.size());
+            sendControl(*conn, MsgType::ResumeSessionOk, ok);
+            // Replay parked results in completion order, AFTER the Ok.
+            while (!ws->parked.empty()) {
+                ParkedResult p = std::move(ws->parked.front());
+                ws->parked.pop_front();
+                const bool had_payload = !p.shed && p.result.ok();
+                if (!deliverLocked(conn, *ws, std::move(p.result),
+                                   p.shed)) {
+                    ws->parked.push_front(std::move(p));
+                    break; // conn died mid-replay; teardown re-parks
+                }
+                if (had_payload && ws->parked_payloads > 0)
+                    ws->parked_payloads--;
+            }
+        }
+        if (was_detached) {
+            std::lock_guard<std::mutex> lock(m_);
+            if (detached_sessions_ > 0)
+                detached_sessions_--;
+        }
+        {
+            std::lock_guard<std::mutex> lock(cnt_m_);
+            counters_.sessions_resumed++;
+        }
         return true;
     }
 
@@ -374,15 +508,17 @@ RenderService::handleMessage(const std::shared_ptr<Connection> &conn,
                       "no such session");
             return true;
         }
-        // Blocks until the session's pending frames are shed and its
-        // in-flight ones delivered -- their FrameResult messages are
-        // queued (via the engine callbacks) before the Ok below, so
-        // the client never sees a result after the close reply.
-        server_.closeSession(msg.session);
+        std::shared_ptr<WireSession> ws = it->second;
         conn->sessions.erase(it);
-        CloseSessionOkMsg ok;
-        ok.session = msg.session;
-        sendControl(*conn, MsgType::CloseSessionOk, ok);
+        {
+            // Stays attached: in-flight results keep delivering to the
+            // client until the reaper's drain returns, and only then
+            // does the reaper queue CloseSessionOk -- so the client
+            // never sees a result after the close reply.
+            std::lock_guard<std::mutex> lock(ws->m);
+            ws->closing = true;
+        }
+        enqueueClose({std::move(ws), conn, false});
         return true;
     }
 
@@ -442,96 +578,333 @@ RenderService::handleMessage(const std::shared_ptr<Connection> &conn,
 
 // -------------------------------------------------- completion delivery
 
-void
-RenderService::onResult(const std::shared_ptr<Connection> &conn,
-                        WireSession *ws, server::FrameResult &&result)
+bool
+RenderService::deliverLocked(const std::shared_ptr<Connection> &conn,
+                             WireSession &ws, server::FrameResult &&result,
+                             bool pre_shed)
 {
-    FrameResultMsg msg;
-    msg.session = result.client;
-    msg.ticket = result.ticket;
-    msg.latency_ms = result.latency_s * 1e3;
-    msg.encoding = uint8_t(ws->encoding);
-
-    bool shed = false;
-    uint64_t payload_bytes = 0, raw_bytes = 0;
+    size_t out_bytes;
     {
         std::lock_guard<std::mutex> out(conn->out_m);
         if (conn->dead)
-            return; // socket gone; the session is being torn down
-        if (result.dropped) {
-            msg.status = uint8_t(FrameStatus::Dropped);
-        } else if (result.error) {
-            msg.status = uint8_t(FrameStatus::Failed);
-            const std::string text = errorText(result.error);
-            msg.payload.assign(text.begin(), text.end());
+            return false; // result untouched; the caller parks it
+        out_bytes = conn->out_bytes;
+    }
+    FrameResultMsg msg;
+    msg.session = ws.id;
+    msg.ticket = result.ticket;
+    msg.latency_ms = result.latency_s * 1e3;
+    msg.encoding = uint8_t(ws.encoding);
+
+    bool shed = false, degraded = false;
+    uint64_t payload_bytes = 0, raw_bytes = 0;
+    if (result.dropped) {
+        msg.status = uint8_t(FrameStatus::Dropped);
+    } else if (result.expired) {
+        msg.status = uint8_t(FrameStatus::DeadlineExceeded);
+    } else if (result.error) {
+        msg.status = uint8_t(FrameStatus::Failed);
+        const std::string text = errorText(result.error);
+        msg.payload.assign(text.begin(), text.end());
+    } else if (pre_shed) {
+        // Payload already dropped (parked bound / scavenged queue);
+        // the ticket still gets its one result.
+        msg.status = uint8_t(FrameStatus::Shed);
+        shed = true;
+    } else {
+        Image &img = result.frame.image;
+        msg.width = uint16_t(img.width());
+        msg.height = uint16_t(img.height());
+        raw_bytes = rawFrameBytes(img.width(), img.height());
+        if (out_bytes >= cfg_.max_outbound_bytes) {
+            // Bounded backpressure: keep the ticket accounting, shed
+            // the payload, leave the delta reference alone (the client
+            // skips its update too).
+            msg.status = uint8_t(FrameStatus::Shed);
+            shed = true;
         } else {
-            Image &img = result.frame.image;
-            msg.width = uint16_t(img.width());
-            msg.height = uint16_t(img.height());
-            raw_bytes = rawFrameBytes(img.width(), img.height());
-            if (conn->out_bytes >= cfg_.max_outbound_bytes) {
-                // Bounded backpressure: keep the ticket accounting,
-                // shed the payload, leave the delta reference alone
-                // (the client skips its update too).
-                msg.status = uint8_t(FrameStatus::Shed);
-                shed = true;
-            } else {
-                msg.status = uint8_t(FrameStatus::Ok);
-                const Image *ref =
-                    ws->encoding == FrameEncoding::DeltaPrev &&
-                            !ws->reference.empty()
-                        ? &ws->reference
-                        : nullptr;
-                msg.payload =
-                    encodeFramePayload(img, ws->encoding, ref);
-                // The result is ours (rvalue); stealing the image
-                // avoids a full-frame copy inside the ordering lock.
-                if (ws->encoding == FrameEncoding::DeltaPrev)
-                    ws->reference = std::move(img);
-                payload_bytes = msg.payload.size();
+            msg.status = uint8_t(FrameStatus::Ok);
+            FrameEncoding enc = ws.encoding;
+            if (cfg_.degrade_outbound_bytes > 0 &&
+                out_bytes >= cfg_.degrade_outbound_bytes &&
+                ws.qos == server::QosClass::Interactive &&
+                enc != FrameEncoding::Quantized8) {
+                // Degrade before shedding: a lossy-but-small frame
+                // beats a payload-less Shed for an interactive viewer.
+                // The MESSAGE carries Quantized8, so neither endpoint
+                // advances its delta reference off this frame.
+                enc = FrameEncoding::Quantized8;
+                degraded = true;
             }
+            msg.encoding = uint8_t(enc);
+            const Image *ref =
+                enc == FrameEncoding::DeltaPrev && !ws.reference.empty()
+                    ? &ws.reference
+                    : nullptr;
+            msg.payload = encodeFramePayload(img, enc, ref);
+            // The result is ours (rvalue); stealing the image avoids a
+            // full-frame copy inside the ordering lock.
+            if (enc == FrameEncoding::DeltaPrev)
+                ws.reference = std::move(img);
+            payload_bytes = msg.payload.size();
         }
-        // Count BEFORE enqueueing: once the message is on the queue the
-        // client may see it, fetch stats, and expect this frame there.
-        {
-            std::lock_guard<std::mutex> lock(cnt_m_);
-            counters_.frames_sent++;
-            if (shed)
-                counters_.results_shed++;
-            counters_.frame_payload_bytes += payload_bytes;
-            counters_.frame_raw_bytes += raw_bytes;
-        }
+    }
+    // Count BEFORE enqueueing: once the message is on the queue the
+    // client may see it, fetch stats, and expect this frame there.
+    {
+        std::lock_guard<std::mutex> lock(cnt_m_);
+        counters_.frames_sent++;
+        if (shed)
+            counters_.results_shed++;
+        if (degraded)
+            counters_.results_degraded++;
+        counters_.frame_payload_bytes += payload_bytes;
+        counters_.frame_raw_bytes += raw_bytes;
+    }
+    {
+        std::lock_guard<std::mutex> out(conn->out_m);
         enqueueLocked(*conn, packMessage(MsgType::FrameResult, msg));
     }
     wake_.wake();
+    return true;
 }
 
 void
-RenderService::teardown(const std::shared_ptr<Connection> &conn)
+RenderService::onResult(const std::shared_ptr<WireSession> &ws,
+                        server::FrameResult &&result)
 {
-    // Stop the socket side first: no more reads, no more writes, and
-    // engine callbacks that race this teardown see `dead` and discard.
+    std::lock_guard<std::mutex> lock(ws->m);
+    if (ws->conn &&
+        deliverLocked(ws->conn, *ws, std::move(result), false))
+        return;
+    // Detached (or the socket died under us). Park for resume when a
+    // grace window exists; otherwise the session is going away and the
+    // result has nowhere to land.
+    if (ws->closing || cfg_.resume_grace_s <= 0.0)
+        return;
+    ParkedResult p;
+    p.result = std::move(result);
+    const bool has_payload = p.result.ok();
+    if (has_payload) {
+        if (ws->parked_payloads >= cfg_.max_parked_results) {
+            // Payload bound hit: shed the OLDEST parked payload so the
+            // freshest frames survive the resume (with a zero bound,
+            // shed the newcomer). The result entry stays -- only the
+            // pixels go.
+            bool shed_old = false;
+            for (ParkedResult &q : ws->parked) {
+                if (!q.shed && q.result.ok()) {
+                    q.result.frame.image = Image();
+                    q.shed = true;
+                    shed_old = true;
+                    break;
+                }
+            }
+            if (shed_old) {
+                // counter unchanged: one payload in, one shed
+            } else {
+                p.result.frame.image = Image();
+                p.shed = true;
+            }
+            std::lock_guard<std::mutex> cnt(cnt_m_);
+            counters_.results_shed++;
+        } else {
+            ws->parked_payloads++;
+        }
+    }
+    ws->parked.push_back(std::move(p));
+    std::lock_guard<std::mutex> cnt(cnt_m_);
+    counters_.results_parked++;
+}
+
+void
+RenderService::teardown(const std::shared_ptr<Connection> &conn,
+                        bool allow_grace)
+{
+    // Stop the socket side first: no more reads, no more writes.
+    // Steal the unsent outbound queue -- complete FrameResult messages
+    // still in it are scavenged below so their tickets keep their
+    // one-result guarantee across a resume.
+    std::deque<std::vector<uint8_t>> unsent;
+    size_t front_off = 0;
     {
         std::lock_guard<std::mutex> out(conn->out_m);
         conn->dead = true;
+        unsent = std::move(conn->outq);
+        front_off = conn->out_off;
         conn->outq.clear();
         conn->out_bytes = 0;
         conn->out_off = 0;
     }
     conn->sock.close();
-    // Closing a session blocks until its frames drained; do it with no
-    // service locks held (the callbacks those frames trigger take m_).
-    for (auto &entry : conn->sessions)
-        server_.closeSession(entry.first);
+
+    const bool grace =
+        allow_grace && cfg_.resume_grace_s > 0.0 && running_;
+
+    // Scavenge queued-but-untransmitted results per session: the
+    // client never saw them (a partially written front message is
+    // discarded by the peer), so re-park them as payload-less Shed
+    // results. Only the delta payloads are unrecoverable -- dropping
+    // them is exactly what Shed means. (void)front_off: even the
+    // partially sent front message is re-parked; the client cannot
+    // have decoded a partial frame.
+    (void)front_off;
+    std::unordered_map<uint64_t, std::vector<ParkedResult>> scavenged;
+    if (grace) {
+        for (const std::vector<uint8_t> &bytes : unsent) {
+            if (bytes.size() < kHeaderSize)
+                continue;
+            MsgHeader hdr;
+            if (decodeHeader(bytes.data(), kHeaderSize, hdr) !=
+                    WireError::None ||
+                hdr.type != MsgType::FrameResult ||
+                bytes.size() != kHeaderSize + hdr.length)
+                continue;
+            FrameResultMsg msg;
+            if (!decodePayload(bytes.data() + kHeaderSize, hdr.length, msg))
+                continue;
+            if (!conn->sessions.count(msg.session))
+                continue;
+            ParkedResult p;
+            p.result.client = msg.session;
+            p.result.ticket = msg.ticket;
+            p.result.latency_s = msg.latency_ms / 1e3;
+            switch (FrameStatus(msg.status)) {
+            case FrameStatus::Dropped:
+                p.result.dropped = true;
+                break;
+            case FrameStatus::DeadlineExceeded:
+                p.result.expired = true;
+                break;
+            case FrameStatus::Failed:
+                p.result.error = std::make_exception_ptr(
+                    std::runtime_error(std::string(msg.payload.begin(),
+                                                   msg.payload.end())));
+                break;
+            case FrameStatus::Ok:
+            case FrameStatus::Shed:
+                p.shed = true; // pixels gone; the ticket survives
+                break;
+            }
+            scavenged[msg.session].push_back(std::move(p));
+        }
+    }
+
+    size_t newly_detached = 0;
+    std::vector<CloseJob> closes;
+    for (auto &entry : conn->sessions) {
+        const std::shared_ptr<WireSession> &ws = entry.second;
+        std::lock_guard<std::mutex> lock(ws->m);
+        if (ws->conn != conn)
+            continue; // already resumed onto another connection
+        ws->conn = nullptr;
+        if (grace && !ws->closing) {
+            auto sc = scavenged.find(ws->id);
+            if (sc != scavenged.end()) {
+                // Older than anything parked after `dead` flipped on.
+                for (auto it = sc->second.rbegin();
+                     it != sc->second.rend(); ++it)
+                    ws->parked.push_front(std::move(*it));
+                std::lock_guard<std::mutex> cnt(cnt_m_);
+                counters_.results_parked += sc->second.size();
+            }
+            ws->detached_at = std::chrono::steady_clock::now();
+            newly_detached++;
+        } else {
+            ws->closing = true;
+            closes.push_back({ws, nullptr, false});
+        }
+    }
     conn->sessions.clear();
+
     bool erased = false;
     {
         std::lock_guard<std::mutex> lock(m_);
         erased = conns_.erase(conn->id) > 0;
+        detached_sessions_ += newly_detached;
     }
+    for (auto &job : closes)
+        enqueueClose(std::move(job));
     if (erased) {
         std::lock_guard<std::mutex> lock(cnt_m_);
         counters_.connections_open--;
+    }
+}
+
+void
+RenderService::expireDetached()
+{
+    if (cfg_.resume_grace_s <= 0.0)
+        return;
+    std::vector<CloseJob> expired;
+    const auto now = std::chrono::steady_clock::now();
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        if (detached_sessions_ == 0)
+            return;
+        for (auto &entry : sessions_) {
+            const std::shared_ptr<WireSession> &ws = entry.second;
+            std::lock_guard<std::mutex> wl(ws->m);
+            if (ws->conn || ws->closing)
+                continue;
+            const double waited =
+                std::chrono::duration<double>(now - ws->detached_at)
+                    .count();
+            if (waited < cfg_.resume_grace_s)
+                continue;
+            ws->closing = true;
+            expired.push_back({ws, nullptr, true});
+            if (detached_sessions_ > 0)
+                detached_sessions_--;
+        }
+    }
+    for (auto &job : expired)
+        enqueueClose(std::move(job));
+}
+
+void
+RenderService::enqueueClose(CloseJob &&job)
+{
+    {
+        std::lock_guard<std::mutex> lock(reap_m_);
+        reap_q_.push_back(std::move(job));
+    }
+    reap_cv_.notify_one();
+}
+
+void
+RenderService::reaperRun()
+{
+    for (;;) {
+        CloseJob job;
+        {
+            std::unique_lock<std::mutex> lock(reap_m_);
+            reap_cv_.wait(lock, [this] {
+                return reap_stop_ || !reap_q_.empty();
+            });
+            if (reap_q_.empty())
+                return; // reap_stop_ and fully drained
+            job = std::move(reap_q_.front());
+            reap_q_.pop_front();
+        }
+        // The blocking drain, off the poll thread: sheds the session's
+        // pending frames and waits out in-flight ones. Their result
+        // callbacks run before closeSession returns, so everything the
+        // client is owed is queued before the Ok below.
+        server_.closeSession(job.ws->id);
+        if (job.reply_to) {
+            CloseSessionOkMsg ok;
+            ok.session = job.ws->id;
+            sendControl(*job.reply_to, MsgType::CloseSessionOk, ok);
+        }
+        if (job.expired) {
+            std::lock_guard<std::mutex> lock(cnt_m_);
+            counters_.sessions_expired++;
+        }
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            sessions_.erase(job.ws->id);
+        }
     }
 }
 

@@ -8,44 +8,64 @@
  *  - ONE service thread runs the whole socket side: non-blocking
  *    accept, request parsing/dispatch, and draining per-connection
  *    outbound queues when sockets turn writable. Steady-state control
- *    handling is cheap (FrameServer::submitFrame never blocks), so a
- *    single poll loop keeps up with many connections. KNOWN
- *    LIMITATION: CloseSession and disconnect teardown drain the
- *    session's in-flight frames synchronously on this thread, so a
- *    close can stall other connections' I/O for the tail of a render
- *    (bounded by frame time; deferring drains to a reaper is the
- *    listed follow-up in ROADMAP.md).
+ *    handling is cheap (FrameServer::submitFrame never blocks), and
+ *    the poll thread never blocks on session drains either: session
+ *    teardown (CloseSession, disconnects, resume-grace expiry) is
+ *    handed to a REAPER thread that runs the blocking
+ *    FrameServer::closeSession and replies CloseSessionOk afterwards,
+ *    so a close never stalls other connections' I/O.
  *  - Render completions arrive on ENGINE workers via the FrameServer's
  *    per-session callbacks. A callback never touches a socket: it
  *    encodes the frame (per the session's chosen FrameEncoding),
  *    appends the FrameResult message to the connection's outbound
  *    queue, and wakes the poll loop through a pipe. Frame encode order
- *    and queue order are serialized per connection, so the client's
+ *    is serialized per session (the session mutex), so the client's
  *    receive order matches the server's delta-reference order exactly.
- *  - Backpressure is bounded per connection: when a connection's
- *    queued outbound bytes exceed ServiceConfig::max_outbound_bytes
- *    (a slow or stalled reader), further frame PAYLOADS are shed --
- *    the FrameResult still arrives, flagged FrameStatus::Shed, so
- *    ticket accounting stays exact ("every ticket produces exactly
- *    one result" survives the wire) while queue memory stays bounded.
- *    Control replies are never shed. Shed frames do not advance the
- *    delta reference on either endpoint.
+ *  - Backpressure is bounded per connection and degrades before it
+ *    sheds: past ServiceConfig::degrade_outbound_bytes of queued
+ *    output, interactive-class frames fall back to Quantized8 encoding
+ *    (the message carries the downgraded encoding, so both endpoints
+ *    key their delta-reference updates off the MESSAGE, not the
+ *    session); past max_outbound_bytes, frame PAYLOADS are shed -- the
+ *    FrameResult still arrives, flagged FrameStatus::Shed, so ticket
+ *    accounting stays exact ("every ticket produces exactly one
+ *    result" survives the wire) while queue memory stays bounded.
+ *    Control replies are never shed or degraded. Shed and degraded
+ *    frames do not advance the delta reference on either endpoint.
+ *
+ * Reconnect-and-resume: sessions are owned by the SERVICE, not the
+ * connection. OpenSessionOk carries a resume token; when a connection
+ * dies and ServiceConfig::resume_grace_s > 0, its sessions detach and
+ * park completed results (payload-bounded) instead of closing. A new
+ * connection presenting ResumeSession{id, token} within the grace
+ * window re-attaches the session, gets ResumeSessionOk{parked} and the
+ * parked results replayed in submission order. The delta-reference
+ * chain is re-seeded in-band: the server clears its reference at
+ * resume, so the first Ok frame travels in absolute form (the DeltaPrev
+ * codec's null-reference fallback) and the resumed stream stays
+ * byte-exact without any out-of-band state. Sessions that outlive the
+ * grace window are closed by the reaper and counted sessions_expired.
  *
  * Robustness: malformed framing (bad magic, oversized length),
  * undecodable payloads, wrong protocol versions, and pre-handshake
  * traffic all get an Error message and a close -- the service never
  * trusts a length or enum from the wire (see net/protocol). A
- * disconnect mid-stream closes the connection's FrameServer sessions,
- * shedding its pending frames and waiting out in-flight ones.
+ * disconnect mid-stream with no grace window closes the connection's
+ * FrameServer sessions, shedding its pending frames and waiting out
+ * in-flight ones (on the reaper).
  *
  * Lifetime: the FrameServer and SceneRegistry must outlive the
  * service; stop() (or destruction) quiesces the socket side first.
+ * Lock order: service m_ -> WireSession::m -> Connection::out_m ->
+ * cnt_m_ (each optional, never taken in reverse).
  */
 
 #ifndef ASDR_NET_RENDER_SERVICE_HPP
 #define ASDR_NET_RENDER_SERVICE_HPP
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -77,6 +97,29 @@ struct ServiceConfig
      * reader analog of the QoS backlog drop policies.
      */
     size_t max_outbound_bytes = size_t(64) << 20;
+    /**
+     * Degrade-before-shed threshold (bytes of queued output); 0 = off.
+     * At or past this (but below max_outbound_bytes), interactive-class
+     * frames are re-encoded Quantized8 instead of the session encoding,
+     * trading fidelity for queue headroom before anything is shed.
+     */
+    size_t degrade_outbound_bytes = 0;
+    /**
+     * How long a disconnected connection's sessions stay resumable
+     * before the reaper closes them. 0 (default) = resume disabled:
+     * a disconnect closes sessions immediately, as before.
+     */
+    double resume_grace_s = 0.0;
+    /** Max parked frame PAYLOADS per detached session; older payloads
+     *  shed (result kept, flagged Shed) when the bound is hit. */
+    size_t max_parked_results = 256;
+    /**
+     * Fixed kernel send-buffer size per connection; 0 = kernel default
+     * (autotuned). A small fixed buffer makes slow consumers visible
+     * to the degrade/shed thresholds promptly instead of letting the
+     * kernel absorb megabytes of queued output first.
+     */
+    size_t sndbuf_bytes = 0;
     /** HelloOk banner. */
     std::string banner = "asdr-render-service";
 };
@@ -91,10 +134,10 @@ class RenderService
     RenderService(const RenderService &) = delete;
     RenderService &operator=(const RenderService &) = delete;
 
-    /** Bind + listen + start the service thread. */
+    /** Bind + listen + start the service + reaper threads. */
     bool start(std::string *err = nullptr);
     /** Close every connection (their sessions included), then stop the
-     *  service thread. Idempotent. */
+     *  service and reaper threads. Idempotent. */
     void stop();
 
     bool running() const { return running_; }
@@ -102,14 +145,37 @@ class RenderService
     WireCounters counters() const;
 
   private:
+    struct Connection;
+
+    /** One parked frame outcome awaiting resume (payload raw, encoded
+     *  only at replay so the re-seeded reference chain stays exact). */
+    struct ParkedResult
+    {
+        server::FrameResult result;
+        bool shed = false; ///< payload dropped by the parked bound
+    };
+
+    /** Service-owned session state; outlives the connection that
+     *  opened it while a resume grace window is running. */
     struct WireSession
     {
         uint64_t id = 0; ///< FrameServer client id == wire session id
+        uint64_t token = 0; ///< resume credential (OpenSessionOk)
         server::QosClass qos = server::QosClass::Standard;
         FrameEncoding encoding = FrameEncoding::Raw;
-        /** Last Ok frame sent (DeltaPrev sessions only); guarded by
-         *  the connection's out_m so encode order == wire order. */
+
+        /** Guards everything below; serializes the session's encode
+         *  order (== wire order == delta-reference order). */
+        std::mutex m;
+        /** Attached connection; null while detached (resumable). */
+        std::shared_ptr<Connection> conn;
+        /** Last Ok frame sent (DeltaPrev messages only). */
         Image reference;
+        /** Results completed while detached, replayed on resume. */
+        std::deque<ParkedResult> parked;
+        size_t parked_payloads = 0;
+        bool closing = false; ///< handed to the reaper; no resume
+        std::chrono::steady_clock::time_point detached_at{};
     };
 
     struct Connection
@@ -117,17 +183,26 @@ class RenderService
         uint64_t id = 0;
         Socket sock;
         std::vector<uint8_t> in;
-        /** Wire sessions keyed by session id (service thread only). */
-        std::unordered_map<uint64_t, std::unique_ptr<WireSession>> sessions;
+        /** Attached wire sessions by id (service thread only). */
+        std::unordered_map<uint64_t, std::shared_ptr<WireSession>> sessions;
         bool hello_done = false;
 
-        /** out_m guards everything below plus session references --
-         *  shared between the service thread and engine callbacks. */
+        /** out_m guards everything below -- shared between the service
+         *  thread, engine callbacks, and the reaper. */
         std::mutex out_m;
         std::deque<std::vector<uint8_t>> outq;
         size_t out_off = 0; ///< bytes of outq.front() already written
         size_t out_bytes = 0;
         bool dead = false;
+    };
+
+    /** One blocking drain for the reaper thread. */
+    struct CloseJob
+    {
+        std::shared_ptr<WireSession> ws;
+        /** Non-null: reply CloseSessionOk here after the drain. */
+        std::shared_ptr<Connection> reply_to;
+        bool expired = false; ///< grace-window expiry (counted)
     };
 
     void run();
@@ -140,12 +215,24 @@ class RenderService
      *  queued; the caller closes the connection). */
     bool handleMessage(const std::shared_ptr<Connection> &conn,
                        const MsgHeader &hdr, const uint8_t *payload);
-    /** Close the connection's sessions (blocking until their frames
-     *  drained) and forget it. */
-    void teardown(const std::shared_ptr<Connection> &conn);
-    /** Engine-callback path: encode + enqueue one frame result. */
-    void onResult(const std::shared_ptr<Connection> &conn, WireSession *ws,
+    /** Detach (grace window) or enqueue-close the connection's
+     *  sessions and forget it; never blocks on a drain (the reaper
+     *  does). `allow_grace=false` at shutdown: everything closes. */
+    void teardown(const std::shared_ptr<Connection> &conn,
+                  bool allow_grace);
+    /** Engine-callback path: deliver (attached) or park (detached). */
+    void onResult(const std::shared_ptr<WireSession> &ws,
                   server::FrameResult &&result);
+    /** Encode + enqueue one result on `conn`; ws->m must be held.
+     *  `pre_shed`: payload already dropped by the parked bound.
+     *  False (result untouched) when the connection is dead. */
+    bool deliverLocked(const std::shared_ptr<Connection> &conn,
+                       WireSession &ws, server::FrameResult &&result,
+                       bool pre_shed);
+    /** Detached sessions past the grace window -> reaper close. */
+    void expireDetached();
+    void enqueueClose(CloseJob &&job);
+    void reaperRun();
 
     template <typename Msg>
     void sendControl(Connection &conn, MsgType type, const Msg &msg);
@@ -160,11 +247,20 @@ class RenderService
     std::thread thread_;
     std::atomic<bool> running_{false};
 
-    /** Connection table; mutated only by the service thread, read by
-     *  engine callbacks -- both under m_. */
+    /** Connection + session tables; mutated only by the service
+     *  thread, read by engine callbacks and the reaper -- under m_. */
     mutable std::mutex m_;
     std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_;
+    std::unordered_map<uint64_t, std::shared_ptr<WireSession>> sessions_;
     uint64_t next_conn_ = 1;
+    size_t detached_sessions_ = 0; ///< sessions awaiting resume
+    uint64_t token_rng_ = 0;       ///< resume-token stream state
+
+    std::mutex reap_m_;
+    std::condition_variable reap_cv_;
+    std::deque<CloseJob> reap_q_;
+    bool reap_stop_ = false;
+    std::thread reaper_;
 
     mutable std::mutex cnt_m_;
     WireCounters counters_;

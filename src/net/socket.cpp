@@ -10,6 +10,8 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include "util/fault.hpp"
+
 namespace asdr::net {
 
 namespace {
@@ -85,8 +87,19 @@ Socket::setRecvTimeout(double seconds)
 }
 
 bool
+Socket::setSendBuffer(size_t bytes)
+{
+    const int v = int(bytes);
+    return ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &v, sizeof v) == 0;
+}
+
+bool
 Socket::sendAll(const void *data, size_t n)
 {
+    if (fault::fire(fault::kSocketSend)) {
+        close(); // an injected tear leaves the fd unusable, like a RST
+        return false;
+    }
     const uint8_t *p = static_cast<const uint8_t *>(data);
     while (n > 0) {
         const ssize_t k = ::send(fd_, p, n, MSG_NOSIGNAL);
@@ -104,6 +117,8 @@ Socket::sendAll(const void *data, size_t n)
 ssize_t
 Socket::sendSome(const void *data, size_t n)
 {
+    if (fault::fire(fault::kSocketSend))
+        return kRecvError;
     for (;;) {
         const ssize_t k = ::send(fd_, data, n, MSG_NOSIGNAL);
         if (k >= 0)
@@ -119,6 +134,8 @@ Socket::sendSome(const void *data, size_t n)
 ssize_t
 Socket::recvSome(void *data, size_t n)
 {
+    if (fault::fire(fault::kSocketRecv))
+        return kRecvError;
     for (;;) {
         const ssize_t k = ::recv(fd_, data, n, 0);
         if (k > 0)

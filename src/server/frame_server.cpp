@@ -1,7 +1,9 @@
 #include "server/frame_server.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 
 namespace asdr::server {
@@ -43,10 +45,27 @@ FrameServer::FrameServer(const SceneRegistry &registry,
         s.engine = std::make_unique<engine::FrameEngine>(ec);
         s.sched = std::make_unique<QosScheduler>(cfg.qos);
     }
+    for (int c = 0; c < kQosClasses; ++c)
+        deadlines_enabled_ =
+            deadlines_enabled_ || cfg.qos.cls[c].deadline_ms > 0.0;
+    // The watchdog only exists for time-driven work: expiring queued
+    // frames with nobody pumping, and the stuck scan. Breakers alone
+    // don't need it (their transitions happen at admission time).
+    if (cfg.watchdog_period_ms > 0 &&
+        (deadlines_enabled_ || cfg.stuck_after_ms > 0.0))
+        watchdog_ = std::thread([this] { watchdogRun(); });
 }
 
 FrameServer::~FrameServer()
 {
+    if (watchdog_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(wd_m_);
+            wd_stop_ = true;
+        }
+        wd_cv_.notify_all();
+        watchdog_.join();
+    }
     // Stop admitting, shed every pending frame, then wait for the
     // in-flight tail: engine callbacks reference this object, so no
     // state may die before the last outcome is delivered.
@@ -112,6 +131,7 @@ FrameServer::submitFrame(uint64_t client_id, const nerf::Camera &camera)
 {
     std::vector<PendingFrame> dropped;
     std::vector<Launch> launches;
+    std::vector<Deliverable> rejects;
     uint64_t ticket = 0;
     {
         std::lock_guard<std::mutex> lock(m_);
@@ -133,31 +153,111 @@ FrameServer::submitFrame(uint64_t client_id, const nerf::Camera &camera)
         pf.camera = camera;
         pf.submitted_at = std::chrono::steady_clock::now();
         shards_[size_t(c.shard)].sched->push(std::move(pf), dropped);
-        pumpLocked(c.shard, launches);
+        pumpLocked(c.shard, launches, rejects);
     }
     for (const Launch &l : launches)
         launch(l);
     dropFrames(std::move(dropped));
+    deliverAll(std::move(rejects));
     return ticket;
 }
 
+FrameServer::Deliverable
+FrameServer::expireLocked(PendingFrame &&pf)
+{
+    Client &c = *clients_.at(pf.client);
+    stats_.recordExpired(pf.qos);
+    stats_.recordSceneExpired(c.scene->name);
+    Deliverable d;
+    d.result.client = pf.client;
+    d.result.ticket = pf.ticket;
+    d.result.qos = pf.qos;
+    d.result.expired = true;
+    d.result.latency_s = secondsBetween(
+        pf.submitted_at, std::chrono::steady_clock::now());
+    d.cb = c.callback;
+    return d;
+}
+
+FrameServer::Deliverable
+FrameServer::breakerRejectLocked(PendingFrame &&pf,
+                                 const std::string &scene_name)
+{
+    Client &c = *clients_.at(pf.client);
+    stats_.recordFailed(pf.qos);
+    stats_.recordSceneFailed(scene_name);
+    stats_.recordSceneBreakerFastFail(scene_name);
+    Deliverable d;
+    d.result.client = pf.client;
+    d.result.ticket = pf.ticket;
+    d.result.qos = pf.qos;
+    d.result.error = std::make_exception_ptr(std::runtime_error(
+        "scene quarantined: circuit breaker open (" + scene_name + ")"));
+    d.result.latency_s = secondsBetween(
+        pf.submitted_at, std::chrono::steady_clock::now());
+    d.cb = c.callback;
+    return d;
+}
+
 void
-FrameServer::pumpLocked(int shard, std::vector<Launch> &launches)
+FrameServer::deliverAll(std::vector<Deliverable> &&rejects)
+{
+    for (Deliverable &d : rejects)
+        deliverResult(std::move(d.result), d.cb);
+    rejects.clear();
+}
+
+void
+FrameServer::pumpLocked(int shard, std::vector<Launch> &launches,
+                        std::vector<Deliverable> &rejects)
 {
     Shard &s = shards_[size_t(shard)];
+    const auto now = std::chrono::steady_clock::now();
+    // Fail-fast before admission: a pose that waited past its class
+    // deadline is stale -- rendering it would waste a slot to deliver
+    // an image the viewer has already moved beyond.
+    if (deadlines_enabled_) {
+        std::vector<PendingFrame> overdue;
+        s.sched->expireOverdue(now, overdue);
+        for (PendingFrame &pf : overdue)
+            rejects.push_back(expireLocked(std::move(pf)));
+    }
     PendingFrame pf;
     while (s.total_in_flight < cfg_.frames_in_flight_per_shard &&
            s.sched->pop(s.in_flight, s.scene_in_flight, pf)) {
-        s.in_flight[int(pf.qos)]++;
-        s.total_in_flight++;
-        const int scene_now = ++s.scene_in_flight[pf.scene];
-        stats_.recordAdmitted(
-            pf.qos, secondsBetween(pf.submitted_at,
-                                   std::chrono::steady_clock::now()));
         // The client is alive: its pending frame counts toward
         // `outstanding`, and sessions are only freed at zero.
         Client &c = *clients_.at(pf.client);
+        bool probe = false;
+        if (cfg_.breaker.failure_threshold > 0) {
+            Breaker &b = breakers_[pf.scene];
+            b.scene_name = c.scene->name;
+            if (b.state == BreakerState::Open &&
+                secondsBetween(b.opened_at, now) >= cfg_.breaker.open_s) {
+                b.state = BreakerState::HalfOpen;
+                b.probes_out = 0;
+            }
+            if (b.state == BreakerState::Open ||
+                (b.state == BreakerState::HalfOpen &&
+                 b.probes_out >= cfg_.breaker.half_open_probes)) {
+                rejects.push_back(
+                    breakerRejectLocked(std::move(pf), b.scene_name));
+                continue; // no slot consumed; keep pumping
+            }
+            if (b.state == BreakerState::HalfOpen) {
+                probe = true;
+                b.probes_out++;
+            }
+        }
+        s.in_flight[int(pf.qos)]++;
+        s.total_in_flight++;
+        const int scene_now = ++s.scene_in_flight[pf.scene];
+        stats_.recordAdmitted(pf.qos,
+                              secondsBetween(pf.submitted_at, now));
         stats_.recordSceneAdmitted(c.scene->name, scene_now);
+        s.running.emplace(pf.ticket,
+                          InFlightFrame{now, pf.qos, pf.scene, probe,
+                                        /*stuck_flagged=*/false});
         launches.push_back(Launch{shard, std::move(pf), c.session.get()});
     }
 }
@@ -189,11 +289,13 @@ FrameServer::onFrameDone(int shard, uint64_t client, uint64_t ticket,
                          std::chrono::steady_clock::time_point submitted_at,
                          engine::Frame &&frame, std::exception_ptr err)
 {
-    const double latency = secondsBetween(
-        submitted_at, std::chrono::steady_clock::now());
+    const auto now = std::chrono::steady_clock::now();
+    const double latency = secondsBetween(submitted_at, now);
     std::vector<Launch> launches;
+    std::vector<Deliverable> rejects;
     ResultCallback cb;
     std::string scene_name;
+    bool breaker_opened = false;
     {
         std::lock_guard<std::mutex> lock(m_);
         Shard &s = shards_[size_t(shard)];
@@ -204,13 +306,49 @@ FrameServer::onFrameDone(int shard, uint64_t client, uint64_t ticket,
         auto sit = s.scene_in_flight.find(c.scene->id);
         if (sit != s.scene_in_flight.end() && --sit->second == 0)
             s.scene_in_flight.erase(sit);
-        pumpLocked(shard, launches);
+        bool was_probe = false;
+        auto rit = s.running.find(ticket);
+        if (rit != s.running.end()) {
+            was_probe = rit->second.probe;
+            s.running.erase(rit);
+        }
+        if (cfg_.breaker.failure_threshold > 0) {
+            Breaker &b = breakers_[c.scene->id];
+            b.scene_name = scene_name;
+            if (err) {
+                if (b.state == BreakerState::HalfOpen) {
+                    // A failure while probing (probe or straggler)
+                    // restarts the quarantine clock.
+                    b.state = BreakerState::Open;
+                    b.opened_at = now;
+                    b.consecutive_failures = 0;
+                    breaker_opened = true;
+                } else if (b.state == BreakerState::Closed &&
+                           ++b.consecutive_failures >=
+                               cfg_.breaker.failure_threshold) {
+                    b.state = BreakerState::Open;
+                    b.opened_at = now;
+                    b.consecutive_failures = 0;
+                    breaker_opened = true;
+                }
+            } else {
+                b.consecutive_failures = 0;
+                if (b.state == BreakerState::HalfOpen && was_probe) {
+                    b.state = BreakerState::Closed;
+                    b.probes_out = 0;
+                }
+            }
+        }
+        pumpLocked(shard, launches, rejects);
         cb = c.callback;
     }
+    if (breaker_opened)
+        stats_.recordSceneBreakerOpened(scene_name);
     // Refill the freed slot before delivery: the next frame renders
     // while this one's consumer runs.
     for (const Launch &l : launches)
         launch(l);
+    deliverAll(std::move(rejects));
 
     if (err) {
         stats_.recordFailed(qos);
@@ -233,6 +371,9 @@ FrameServer::onFrameDone(int shard, uint64_t client, uint64_t ticket,
 void
 FrameServer::deliverResult(FrameResult &&result, const ResultCallback &cb)
 {
+    // Injection: a slow consumer between engine and client (the
+    // delivery-path analog of a stalled socket reader).
+    fault::fire(fault::kServerDeliverStall);
     const uint64_t client = result.client;
     if (cb) {
         cb(std::move(result));
@@ -333,6 +474,78 @@ FrameServer::waitIdle()
 {
     std::unique_lock<std::mutex> lock(m_);
     idle_cv_.wait(lock, [&] { return outstanding_total_ == 0; });
+}
+
+void
+FrameServer::watchdogRun()
+{
+    std::unique_lock<std::mutex> lock(wd_m_);
+    while (!wd_stop_) {
+        wd_cv_.wait_for(
+            lock, std::chrono::milliseconds(cfg_.watchdog_period_ms));
+        if (wd_stop_)
+            break;
+        lock.unlock();
+        watchdogTick();
+        lock.lock();
+    }
+}
+
+void
+FrameServer::watchdogTick()
+{
+    std::vector<Launch> launches;
+    std::vector<Deliverable> rejects;
+    uint64_t stuck_now = 0, new_events = 0;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        const auto now = std::chrono::steady_clock::now();
+        for (int sh = 0; sh < int(shards_.size()); ++sh) {
+            pumpLocked(sh, launches, rejects);
+            if (cfg_.stuck_after_ms <= 0.0)
+                continue;
+            for (auto &entry : shards_[size_t(sh)].running) {
+                InFlightFrame &f = entry.second;
+                if (secondsBetween(f.launched_at, now) * 1e3 >
+                    cfg_.stuck_after_ms) {
+                    stuck_now++;
+                    if (!f.stuck_flagged) {
+                        f.stuck_flagged = true;
+                        new_events++;
+                    }
+                }
+            }
+        }
+    }
+    if (cfg_.stuck_after_ms > 0.0)
+        stats_.recordStuck(stuck_now, new_events);
+    for (const Launch &l : launches)
+        launch(l);
+    deliverAll(std::move(rejects));
+}
+
+ServerStatsSnapshot
+FrameServer::stats() const
+{
+    ServerStatsSnapshot snap = stats_.snapshot();
+    std::lock_guard<std::mutex> lock(m_);
+    for (const auto &entry : breakers_)
+        for (SceneServeStats &sc : snap.scenes)
+            if (sc.name == entry.second.scene_name)
+                sc.breaker_state = uint8_t(entry.second.state);
+    return snap;
+}
+
+FrameServer::BreakerState
+FrameServer::breakerState(const std::string &scene) const
+{
+    const SceneEntry *entry = registry_.find(scene);
+    if (!entry)
+        return BreakerState::Closed;
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = breakers_.find(entry->id);
+    return it == breakers_.end() ? BreakerState::Closed
+                                 : it->second.state;
 }
 
 int

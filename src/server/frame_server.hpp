@@ -41,12 +41,14 @@
 #ifndef ASDR_SERVER_FRAME_SERVER_HPP
 #define ASDR_SERVER_FRAME_SERVER_HPP
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -58,6 +60,24 @@
 #include "server/server_stats.hpp"
 
 namespace asdr::server {
+
+/**
+ * Per-scene circuit breaker: `failure_threshold` consecutive render
+ * failures quarantine the scene (state Open) -- its frames are failed
+ * fast at admission, without occupying pipeline slots, so a poisoned
+ * field cannot monopolize a shard. After `open_s` the breaker goes
+ * half-open: up to `half_open_probes` frames are admitted as probes;
+ * a probe success closes the breaker, a failure reopens it.
+ */
+struct BreakerParams
+{
+    /** Consecutive failures that trip the breaker; 0 disables it. */
+    int failure_threshold = 0;
+    /** Seconds a tripped scene stays quarantined before probing. */
+    double open_s = 5.0;
+    /** Concurrent probe frames admitted while half-open. */
+    int half_open_probes = 1;
+};
 
 struct ServerConfig
 {
@@ -75,6 +95,21 @@ struct ServerConfig
      *  many more sessions than the least-loaded shard, the new session
      *  goes to the least-loaded one instead. */
     int rebalance_threshold = 2;
+    /** Per-scene failure quarantine (disabled by default). */
+    BreakerParams breaker;
+    /**
+     * Watchdog tick period, milliseconds. The watchdog expires queued
+     * frames past their class deadline even when no submission would
+     * pump the shard, and scans in-flight frames for the stuck gauge.
+     * The thread only starts when it has work: some class deadline or
+     * `stuck_after_ms` is set. 0 disables it (deadlines then expire
+     * lazily, on the next admission pump).
+     */
+    int watchdog_period_ms = 50;
+    /** In-flight frames older than this count as stuck in ServerStats
+     *  (gauge + cumulative events); 0 disables the scan. A stuck frame
+     *  is surfaced, never killed -- the engine owns its lifetime. */
+    double stuck_after_ms = 0.0;
 };
 
 /** Per-session options beyond the QoS class. */
@@ -97,10 +132,12 @@ struct FrameResult
     std::exception_ptr error;
     /** Shed by the backlog policy before rendering. */
     bool dropped = false;
+    /** Expired in the queue past its class deadline (never rendered). */
+    bool expired = false;
     /** Submit -> delivery latency, seconds (0 for drops). */
     double latency_s = 0.0;
 
-    bool ok() const { return !dropped && error == nullptr; }
+    bool ok() const { return !dropped && !expired && error == nullptr; }
 };
 
 class FrameServer
@@ -157,7 +194,8 @@ class FrameServer
      */
     void waitIdle();
 
-    ServerStatsSnapshot stats() const { return stats_.snapshot(); }
+    /** Serving telemetry; live breaker states are merged in. */
+    ServerStatsSnapshot stats() const;
 
     int shardCount() const { return int(shards_.size()); }
     /** Shard a client was pinned to (-1 when unknown). */
@@ -170,7 +208,30 @@ class FrameServer
      *  quota observability for tests/diagnostics). */
     int sceneInFlight(int shard, const std::string &scene) const;
 
+  public:
+    enum class BreakerState : uint8_t
+    {
+        Closed = 0,
+        Open = 1,
+        HalfOpen = 2,
+    };
+
+    /** A scene's current breaker state (diagnostics/tests); Closed
+     *  when the breaker is disabled or the scene is unknown. */
+    BreakerState breakerState(const std::string &scene) const;
+
   private:
+    /** One admitted, not-yet-delivered frame (watchdog + breaker
+     *  bookkeeping, keyed by ticket in Shard::running). */
+    struct InFlightFrame
+    {
+        std::chrono::steady_clock::time_point launched_at;
+        QosClass qos = QosClass::Standard;
+        uint32_t scene = 0;
+        bool probe = false;         ///< admitted as a half-open probe
+        bool stuck_flagged = false; ///< already counted a stuck event
+    };
+
     struct Shard
     {
         std::unique_ptr<engine::FrameEngine> engine;
@@ -181,6 +242,17 @@ class FrameServer
         /** In-flight frames per SceneEntry::id (the per-scene-quota
          *  accounting handed to QosScheduler::pop). */
         std::unordered_map<uint32_t, int> scene_in_flight;
+        /** Launch-time record per in-flight ticket. */
+        std::unordered_map<uint64_t, InFlightFrame> running;
+    };
+
+    struct Breaker
+    {
+        BreakerState state = BreakerState::Closed;
+        int consecutive_failures = 0;
+        int probes_out = 0;
+        std::chrono::steady_clock::time_point opened_at;
+        std::string scene_name;
     };
 
     struct Client
@@ -206,9 +278,26 @@ class FrameServer
         engine::RenderSession *session = nullptr;
     };
 
+    /** A result decided at admission time (deadline expiry, breaker
+     *  fast-fail) awaiting delivery outside m_. */
+    struct Deliverable
+    {
+        FrameResult result;
+        ResultCallback cb;
+    };
+
     int pickShardLocked(uint64_t client_id) const;
-    /** Admit frames while the shard has free slots (m_ held). */
-    void pumpLocked(int shard, std::vector<Launch> &launches);
+    /** Admit frames while the shard has free slots (m_ held). Queued
+     *  frames past their deadline, and frames of quarantined scenes,
+     *  are turned into `rejects` instead of launches. */
+    void pumpLocked(int shard, std::vector<Launch> &launches,
+                    std::vector<Deliverable> &rejects);
+    /** Deadline-expire `pf` (m_ held): stats + expired result. */
+    Deliverable expireLocked(PendingFrame &&pf);
+    /** Breaker fast-fail `pf` (m_ held): stats + failed result. */
+    Deliverable breakerRejectLocked(PendingFrame &&pf,
+                                    const std::string &scene_name);
+    void deliverAll(std::vector<Deliverable> &&rejects);
     void launch(const Launch &l);
     void onFrameDone(int shard, uint64_t client, uint64_t ticket,
                      QosClass qos,
@@ -219,9 +308,14 @@ class FrameServer
     void deliverResult(FrameResult &&result, const ResultCallback &cb);
     void retireLocked(uint64_t client);
     void dropFrames(std::vector<PendingFrame> &&dropped);
+    /** One watchdog pass: pump every shard (deadline expiry included)
+     *  and refresh the stuck gauge. */
+    void watchdogTick();
+    void watchdogRun();
 
     const SceneRegistry &registry_;
     ServerConfig cfg_;
+    bool deadlines_enabled_ = false;
     std::vector<Shard> shards_;
 
     mutable std::mutex m_;
@@ -231,8 +325,16 @@ class FrameServer
     uint64_t next_ticket_ = 1;
     uint64_t outstanding_total_ = 0;
 
+    /** Breaker state per SceneEntry::id (m_ held). */
+    std::unordered_map<uint32_t, Breaker> breakers_;
+
     std::mutex done_m_;
     std::deque<FrameResult> done_;
+
+    std::thread watchdog_;
+    std::mutex wd_m_;
+    std::condition_variable wd_cv_;
+    bool wd_stop_ = false;
 
     ServerStats stats_;
 };

@@ -71,6 +71,15 @@ struct QosClassParams
     /** Backlog overflow policy: drop the oldest pending frame (live
      *  interactive streams) instead of rejecting the newest. */
     bool drop_oldest = false;
+    /**
+     * Admission deadline, milliseconds (0 = none). A frame still
+     * PENDING this long after submission is expired instead of
+     * rendered -- fail-fast beats serving a stale interactive pose.
+     * Expired frames produce a FrameResult flagged `expired`
+     * (FrameStatus::DeadlineExceeded on the wire); frames already
+     * admitted always run to completion.
+     */
+    double deadline_ms = 0.0;
 };
 
 struct QosParams

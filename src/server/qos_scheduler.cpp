@@ -116,6 +116,31 @@ QosScheduler::pop(const int (&in_flight)[kQosClasses],
 }
 
 void
+QosScheduler::expireOverdue(std::chrono::steady_clock::time_point now,
+                            std::vector<PendingFrame> &expired)
+{
+    for (int c = 0; c < kQosClasses; ++c) {
+        const double deadline_ms = p_.cls[c].deadline_ms;
+        if (deadline_ms <= 0.0)
+            continue;
+        const auto limit = std::chrono::duration<double, std::milli>(
+            deadline_ms);
+        std::deque<PendingFrame> &q = q_[c];
+        for (auto it = q.begin(); it != q.end();) {
+            if (now - it->submitted_at > limit) {
+                auto cit = client_pending_[c].find(it->client);
+                if (cit != client_pending_[c].end() && --cit->second == 0)
+                    client_pending_[c].erase(cit);
+                expired.push_back(std::move(*it));
+                it = q.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+}
+
+void
 QosScheduler::dropClient(uint64_t client, std::vector<PendingFrame> &dropped)
 {
     for (auto &q : q_) {

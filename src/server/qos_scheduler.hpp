@@ -97,6 +97,16 @@ class QosScheduler
      *  removed frames are appended to `dropped`. */
     void dropClient(uint64_t client, std::vector<PendingFrame> &dropped);
 
+    /**
+     * Remove every pending frame whose class deadline
+     * (QosClassParams::deadline_ms) has passed at `now`; removed
+     * frames are appended to `expired`. Driven by the FrameServer on
+     * every admission pump and by its watchdog tick, so a queued frame
+     * expires even when no new submission arrives.
+     */
+    void expireOverdue(std::chrono::steady_clock::time_point now,
+                       std::vector<PendingFrame> &expired);
+
     size_t pending() const;
     size_t pendingOf(QosClass c) const { return q_[int(c)].size(); }
     size_t pendingOfClient(uint64_t client) const;

@@ -87,6 +87,13 @@ ServerStats::recordFailed(QosClass c)
 }
 
 void
+ServerStats::recordExpired(QosClass c)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    cls_[int(c)].expired++;
+}
+
+void
 ServerStats::recordSceneSubmitted(const std::string &scene)
 {
     std::lock_guard<std::mutex> lock(m_);
@@ -123,6 +130,41 @@ ServerStats::recordSceneFailed(const std::string &scene)
 }
 
 void
+ServerStats::recordSceneExpired(const std::string &scene)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto &s = scenes_[scene];
+    s.name = scene;
+    s.expired++;
+}
+
+void
+ServerStats::recordSceneBreakerOpened(const std::string &scene)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto &s = scenes_[scene];
+    s.name = scene;
+    s.breaker_opens++;
+}
+
+void
+ServerStats::recordSceneBreakerFastFail(const std::string &scene)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto &s = scenes_[scene];
+    s.name = scene;
+    s.breaker_fast_fails++;
+}
+
+void
+ServerStats::recordStuck(uint64_t stuck_now, uint64_t new_events)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    stuck_gauge_ = stuck_now;
+    stuck_events_ += new_events;
+}
+
+void
 ServerStats::recordSceneAdmitted(const std::string &scene, int in_flight)
 {
     std::lock_guard<std::mutex> lock(m_);
@@ -144,6 +186,7 @@ ServerStats::snapshot() const
         out.served = cc.served;
         out.dropped = cc.dropped;
         out.failed = cc.failed;
+        out.expired = cc.expired;
         if (cc.served) {
             out.mean_ms = cc.latency_sum / double(cc.served) * 1e3;
             std::vector<double> sorted = cc.reservoir;
@@ -158,6 +201,8 @@ ServerStats::snapshot() const
     snap.scenes.reserve(scenes_.size());
     for (const auto &entry : scenes_)
         snap.scenes.push_back(entry.second);
+    snap.stuck_in_flight = stuck_gauge_;
+    snap.stuck_events = stuck_events_;
     return snap;
 }
 
@@ -183,6 +228,7 @@ ServerStatsSnapshot::toJson() const
            << "\"submitted\":" << s.submitted
            << ",\"admitted\":" << s.admitted << ",\"served\":" << s.served
            << ",\"dropped\":" << s.dropped << ",\"failed\":" << s.failed
+           << ",\"expired\":" << s.expired
            << ",\"drop_rate\":" << s.dropRate()
            << ",\"p50_ms\":" << s.p50_ms << ",\"p95_ms\":" << s.p95_ms
            << ",\"p99_ms\":" << s.p99_ms << ",\"mean_ms\":" << s.mean_ms
@@ -196,10 +242,14 @@ ServerStatsSnapshot::toJson() const
         os << "\"" << jsonEscape(s.name) << "\":{"
            << "\"submitted\":" << s.submitted
            << ",\"served\":" << s.served << ",\"dropped\":" << s.dropped
-           << ",\"failed\":" << s.failed
-           << ",\"peak_in_flight\":" << s.peak_in_flight << "}";
+           << ",\"failed\":" << s.failed << ",\"expired\":" << s.expired
+           << ",\"peak_in_flight\":" << s.peak_in_flight
+           << ",\"breaker_state\":" << int(s.breaker_state)
+           << ",\"breaker_opens\":" << s.breaker_opens
+           << ",\"breaker_fast_fails\":" << s.breaker_fast_fails << "}";
     }
-    os << "}}";
+    os << "},\"stuck_in_flight\":" << stuck_in_flight
+       << ",\"stuck_events\":" << stuck_events << "}";
     return os.str();
 }
 

@@ -34,6 +34,7 @@ struct QosClassStats
     uint64_t served = 0;    ///< frames delivered successfully
     uint64_t dropped = 0;   ///< frames shed by the backlog policy
     uint64_t failed = 0;    ///< frames whose render threw
+    uint64_t expired = 0;   ///< frames past their class deadline
 
     // Latency percentiles over served frames, submit -> finish,
     // milliseconds. Zero when no frame of the class was served.
@@ -59,8 +60,14 @@ struct SceneServeStats
     uint64_t served = 0;
     uint64_t dropped = 0;
     uint64_t failed = 0;
+    uint64_t expired = 0;
     /** Peak concurrent in-flight frames observed on any one shard. */
     int peak_in_flight = 0;
+    /** Circuit-breaker view (FrameServer fills the live state at
+     *  snapshot time): 0 closed, 1 open, 2 half-open. */
+    uint8_t breaker_state = 0;
+    uint64_t breaker_opens = 0;      ///< closed/half-open -> open trips
+    uint64_t breaker_fast_fails = 0; ///< frames failed without rendering
 };
 
 struct ServerStatsSnapshot
@@ -68,6 +75,11 @@ struct ServerStatsSnapshot
     QosClassStats cls[kQosClasses];
     /** Per-scene records, sorted by scene name. */
     std::vector<SceneServeStats> scenes;
+    /** Watchdog view: in-flight frames currently over the stuck
+     *  threshold (gauge, FrameServer-filled) and the cumulative count
+     *  of frames that ever crossed it. */
+    uint64_t stuck_in_flight = 0;
+    uint64_t stuck_events = 0;
 
     uint64_t totalServed() const
     {
@@ -92,12 +104,22 @@ class ServerStats
     void recordServed(QosClass c, double latency_s);
     void recordDropped(QosClass c);
     void recordFailed(QosClass c);
+    void recordExpired(QosClass c);
 
     // Per-scene accounting (the admission-quota observability):
     void recordSceneSubmitted(const std::string &scene);
     void recordSceneServed(const std::string &scene);
     void recordSceneDropped(const std::string &scene);
     void recordSceneFailed(const std::string &scene);
+    void recordSceneExpired(const std::string &scene);
+    /** One closed/half-open -> open transition of the scene's breaker. */
+    void recordSceneBreakerOpened(const std::string &scene);
+    /** One frame failed fast by an open breaker (also recorded as a
+     *  class + scene failure by the caller). */
+    void recordSceneBreakerFastFail(const std::string &scene);
+    /** Watchdog tick: `stuck_now` in-flight frames currently over the
+     *  threshold, `new_events` of them crossing it this tick. */
+    void recordStuck(uint64_t stuck_now, uint64_t new_events);
     /** `in_flight`: the scene's post-admission in-flight count on its
      *  shard; the snapshot keeps the peak. */
     void recordSceneAdmitted(const std::string &scene, int in_flight);
@@ -109,7 +131,7 @@ class ServerStats
     struct ClassCollector
     {
         uint64_t submitted = 0, admitted = 0, served = 0, dropped = 0,
-                 failed = 0;
+                 failed = 0, expired = 0;
         double latency_sum = 0.0;
         double queue_sum = 0.0;
         /** Latency reservoir (seconds): first kReservoir samples kept
@@ -126,6 +148,8 @@ class ServerStats
     ClassCollector cls_[kQosClasses];
     /** Ordered by name so snapshots list scenes deterministically. */
     std::map<std::string, SceneServeStats> scenes_;
+    uint64_t stuck_gauge_ = 0;
+    uint64_t stuck_events_ = 0;
 };
 
 } // namespace asdr::server

@@ -197,7 +197,7 @@ runWorkloadOverWire(const SceneRegistry &registry, const WorkloadSpec &spec,
     auto drive = [&](const WireViewer &wv) {
         net::Client client;
         std::string err;
-        if (!client.connect(wire.host, wire.port, &err)) {
+        if (!client.connectWithRetry(wire.host, wire.port, {}, &err)) {
             std::lock_guard<std::mutex> lock(agg_m);
             failed = true;
             fail_reason = "connect: " + err;
@@ -217,8 +217,11 @@ runWorkloadOverWire(const SceneRegistry &registry, const WorkloadSpec &spec,
         int issued = 0, received = 0;
         std::vector<double> my_rtt;
         auto submitNext = [&]() -> bool {
-            const uint64_t ticket =
-                client.submitFrame(session, wv.path[size_t(issued)], &err);
+            // Transient faults (timeout, peer closed, I/O error) are
+            // retried through reconnect-and-resume; only fatal errors
+            // (refusals, protocol corruption) abort the viewer.
+            const uint64_t ticket = client.submitFrameRetry(
+                session, wv.path[size_t(issued)], {}, &err);
             if (ticket == 0)
                 return false;
             sent.emplace(ticket, clock::now());
@@ -239,6 +242,13 @@ runWorkloadOverWire(const SceneRegistry &registry, const WorkloadSpec &spec,
         net::ClientFrame frame;
         while (received < issued) {
             if (!client.nextFrame(frame, &err)) {
+                // A transient connection fault is recoverable when the
+                // service keeps a resume grace window: parked results
+                // replay after the resume, so the closed loop picks up
+                // where it left off.
+                if (net::isTransient(client.lastError()) &&
+                    client.reconnect(&err))
+                    continue;
                 std::lock_guard<std::mutex> lock(agg_m);
                 failed = true;
                 fail_reason = "nextFrame: " + err;

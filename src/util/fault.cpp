@@ -1,0 +1,214 @@
+#include "util/fault.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace asdr::fault {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace {
+
+struct Site
+{
+    double probability = 0.0;
+    uint64_t max_fires = 0; ///< 0 = unlimited
+    double delay_ms = 0.0;
+    bool armed = false;
+    uint64_t fires = 0;
+    uint64_t rng = 0; ///< splitmix64 stream state
+};
+
+struct Registry
+{
+    std::mutex m;
+    std::map<std::string, Site> sites;
+    uint64_t seed = 0x5EEDFA171ull;
+    int armed_count = 0;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+uint64_t
+hashName(const std::string &name)
+{
+    // FNV-1a: stable across runs, so a site's stream depends only on
+    // the seed and its name.
+    uint64_t h = 0xCBF29CE484222325ull;
+    for (char c : name) {
+        h ^= uint64_t(uint8_t(c));
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+/** Parse at process start so ASDR_FAULTS works without code changes. */
+struct EnvInit
+{
+    EnvInit()
+    {
+        if (const char *seed = std::getenv("ASDR_FAULT_SEED"))
+            setSeed(std::strtoull(seed, nullptr, 10));
+        if (const char *spec = std::getenv("ASDR_FAULTS")) {
+            std::string err;
+            if (!armFromSpec(spec, &err))
+                warn("ignoring malformed ASDR_FAULTS: ", err);
+        }
+    }
+};
+EnvInit env_init;
+
+} // namespace
+
+namespace detail {
+
+bool
+fireSlow(const char *site)
+{
+    double delay_ms = 0.0;
+    bool fired = false;
+    {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.m);
+        auto it = r.sites.find(site);
+        if (it == r.sites.end() || !it->second.armed)
+            return false;
+        Site &s = it->second;
+        if (s.max_fires > 0 && s.fires >= s.max_fires)
+            return false;
+        // One deterministic draw per call: [0, 1) from the site stream.
+        const double roll =
+            double(splitmix64(s.rng) >> 11) * 0x1.0p-53;
+        if (roll >= s.probability)
+            return false;
+        s.fires++;
+        delay_ms = s.delay_ms;
+        fired = true;
+    }
+    if (fired && delay_ms > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+    return fired;
+}
+
+} // namespace detail
+
+void
+arm(const std::string &site, double probability, uint64_t max_fires,
+    double delay_ms)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.m);
+    Site &s = r.sites[site];
+    if (!s.armed)
+        r.armed_count++;
+    s.probability = probability;
+    s.max_fires = max_fires;
+    s.delay_ms = delay_ms;
+    s.fires = 0;
+    s.rng = r.seed ^ hashName(site);
+    s.armed = true;
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void
+disarm(const std::string &site)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.m);
+    auto it = r.sites.find(site);
+    if (it == r.sites.end() || !it->second.armed)
+        return;
+    it->second.armed = false;
+    if (--r.armed_count == 0)
+        detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void
+resetAll()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.m);
+    r.sites.clear();
+    r.armed_count = 0;
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void
+setSeed(uint64_t seed)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.m);
+    r.seed = seed;
+}
+
+uint64_t
+fireCount(const std::string &site)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.m);
+    auto it = r.sites.find(site);
+    return it == r.sites.end() ? 0 : it->second.fires;
+}
+
+bool
+armFromSpec(const std::string &spec, std::string *err)
+{
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string clause = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (clause.empty())
+            continue;
+        const size_t eq = clause.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            if (err)
+                *err = "expected site=prob in '" + clause + "'";
+            return false;
+        }
+        const std::string site = clause.substr(0, eq);
+        double prob = 0.0, delay_ms = 0.0;
+        uint64_t max_fires = 0;
+        try {
+            std::string rest = clause.substr(eq + 1);
+            size_t colon = rest.find(':');
+            prob = std::stod(rest.substr(0, colon));
+            if (colon != std::string::npos) {
+                rest = rest.substr(colon + 1);
+                colon = rest.find(':');
+                max_fires = std::stoull(rest.substr(0, colon));
+                if (colon != std::string::npos)
+                    delay_ms = std::stod(rest.substr(colon + 1));
+            }
+        } catch (...) {
+            if (err)
+                *err = "unparsable numbers in '" + clause + "'";
+            return false;
+        }
+        if (!(prob >= 0.0 && prob <= 1.0)) {
+            if (err)
+                *err = "probability out of [0,1] in '" + clause + "'";
+            return false;
+        }
+        arm(site, prob, max_fires, delay_ms);
+    }
+    return true;
+}
+
+} // namespace asdr::fault

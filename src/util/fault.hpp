@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic fault injection: the test harness behind the serving
+ * stack's fault-tolerance claims (deadlines, reconnect-and-resume,
+ * circuit breakers). Named *sites* are compiled into the production
+ * paths -- socket I/O, engine stage execution, frame delivery -- and a
+ * test (or the environment) arms a site with a firing probability, an
+ * optional firing cap, and an optional delay.
+ *
+ * Design constraints:
+ *
+ *  - Zero-cost when disarmed: every injection point is one relaxed
+ *    atomic load on the fast path. No site armed (the production
+ *    default) means the serving code behaves bit-identically to a
+ *    build without injection points.
+ *  - Deterministic: firing decisions come from a PCG-style stream
+ *    seeded from the global seed and the site name, advanced once per
+ *    call. The same seed and the same call sequence fire the same
+ *    faults -- a failing fault test replays exactly.
+ *  - Env-configurable: ASDR_FAULTS="site=prob[:max_fires[:delay_ms]]
+ *    [,site=...]" arms sites at process start (chaos runs without
+ *    recompiling); ASDR_FAULT_SEED overrides the seed.
+ *
+ * A *firing* site either reports true (the caller then fails the
+ * operation: error return, throw) or, when armed with a delay, sleeps
+ * first -- the same mechanism models a dead socket, a stuck pipeline
+ * stage, and a slow delivery path.
+ */
+
+#ifndef ASDR_UTIL_FAULT_HPP
+#define ASDR_UTIL_FAULT_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace asdr::fault {
+
+// ------------------------------------------------------- injection sites
+// One constant per compiled-in injection point; arm() accepts any name,
+// but only these are consulted by production code.
+
+/** Socket::recvSome returns kRecvError (connection torn mid-read). */
+inline constexpr const char *kSocketRecv = "socket.recv";
+/** Socket::sendSome/sendAll fail (connection torn mid-write). */
+inline constexpr const char *kSocketSend = "socket.send";
+/** A frame's first engine stage throws (corrupt scene / compute fault). */
+inline constexpr const char *kEngineStageThrow = "engine.stage.throw";
+/** A frame's first engine stage stalls for the armed delay (stuck
+ *  stage; pair with the FrameServer watchdog). */
+inline constexpr const char *kEngineStageStall = "engine.stage.stall";
+/** FrameServer result delivery stalls for the armed delay (slow
+ *  consumer between engine and client). */
+inline constexpr const char *kServerDeliverStall = "server.deliver.stall";
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+bool fireSlow(const char *site);
+} // namespace detail
+
+/** True when at least one site is armed (one relaxed load). */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/**
+ * The injection point: true when `site` is armed and its deterministic
+ * stream fires on this call. When the site's spec carries a delay, the
+ * call sleeps for it before returning true. Disarmed processes pay one
+ * relaxed load and branch.
+ */
+inline bool
+fire(const char *site)
+{
+    if (!enabled())
+        return false;
+    return detail::fireSlow(site);
+}
+
+/**
+ * Arm `site`: each fire() rolls against `probability` (1.0 = every
+ * call), stops firing after `max_fires` firings (0 = unlimited), and
+ * sleeps `delay_ms` per firing. Re-arming a site resets its counters
+ * and its deterministic stream.
+ */
+void arm(const std::string &site, double probability,
+         uint64_t max_fires = 0, double delay_ms = 0.0);
+
+/** Disarm one site (its fire count survives until resetAll). */
+void disarm(const std::string &site);
+
+/** Disarm every site and forget all counters/streams. */
+void resetAll();
+
+/** Reseed the deterministic streams (applies to sites armed after). */
+void setSeed(uint64_t seed);
+
+/** Firings of `site` since it was last armed (0 when never armed). */
+uint64_t fireCount(const std::string &site);
+
+/**
+ * Arm sites from an ASDR_FAULTS-style spec string:
+ * "site=prob[:max_fires[:delay_ms]][,site=...]". Returns false (and
+ * arms nothing further) on a malformed clause. Called automatically at
+ * process start with $ASDR_FAULTS; exposed for tests.
+ */
+bool armFromSpec(const std::string &spec, std::string *err = nullptr);
+
+} // namespace asdr::fault
+
+#endif // ASDR_UTIL_FAULT_HPP

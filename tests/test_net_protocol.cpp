@@ -299,7 +299,19 @@ TEST(Messages, FrameResultRoundTripAndRangeChecks)
     EXPECT_EQ(got.latency_ms, 12.5);
     expectTruncationsRejected<FrameResultMsg>(buf, MsgType::FrameResult);
 
+    // DeadlineExceeded (v2) is a valid status; past it is not.
+    FrameResultMsg expired = msg;
+    expired.status = uint8_t(FrameStatus::DeadlineExceeded);
+    expired.payload.clear();
+    EXPECT_TRUE(unpack(packMessage(MsgType::FrameResult, expired),
+                       MsgType::FrameResult, got));
+    EXPECT_EQ(got.status, uint8_t(FrameStatus::DeadlineExceeded));
+
     FrameResultMsg bad = msg;
+    bad.status = uint8_t(FrameStatus::DeadlineExceeded) + 1;
+    EXPECT_FALSE(unpack(packMessage(MsgType::FrameResult, bad),
+                        MsgType::FrameResult, got));
+    bad = msg;
     bad.status = 17;
     EXPECT_FALSE(unpack(packMessage(MsgType::FrameResult, bad),
                         MsgType::FrameResult, got));
@@ -309,31 +321,81 @@ TEST(Messages, FrameResultRoundTripAndRangeChecks)
                         MsgType::FrameResult, got));
 }
 
+TEST(Messages, ResumeMessagesRoundTrip)
+{
+    {
+        ResumeSessionMsg msg;
+        msg.session = 77;
+        msg.token = 0xDEADBEEFCAFEF00Dull;
+        auto buf = packMessage(MsgType::ResumeSession, msg);
+        ResumeSessionMsg got;
+        ASSERT_TRUE(unpack(buf, MsgType::ResumeSession, got));
+        EXPECT_EQ(got.session, 77u);
+        EXPECT_EQ(got.token, 0xDEADBEEFCAFEF00Dull);
+        expectTruncationsRejected<ResumeSessionMsg>(buf,
+                                                    MsgType::ResumeSession);
+    }
+    {
+        ResumeSessionOkMsg msg;
+        msg.session = 77;
+        msg.parked = 12;
+        auto buf = packMessage(MsgType::ResumeSessionOk, msg);
+        ResumeSessionOkMsg got;
+        ASSERT_TRUE(unpack(buf, MsgType::ResumeSessionOk, got));
+        EXPECT_EQ(got.session, 77u);
+        EXPECT_EQ(got.parked, 12u);
+        expectTruncationsRejected<ResumeSessionOkMsg>(
+            buf, MsgType::ResumeSessionOk);
+    }
+}
+
 TEST(Messages, StatsReplyRoundTripIncludingScenes)
 {
     StatsReplyMsg msg;
     msg.server.cls[0].submitted = 100;
     msg.server.cls[0].served = 90;
     msg.server.cls[0].p99_ms = 42.5;
+    msg.server.cls[0].expired = 11;
     msg.server.cls[2].dropped = 7;
+    msg.server.stuck_in_flight = 2;
+    msg.server.stuck_events = 5;
     server::SceneServeStats scene;
     scene.name = "Lego";
     scene.submitted = 50;
     scene.served = 48;
+    scene.expired = 2;
     scene.peak_in_flight = 3;
+    scene.breaker_state = 1;
+    scene.breaker_opens = 4;
+    scene.breaker_fast_fails = 9;
     msg.server.scenes.push_back(scene);
     msg.wire.frames_sent = 123;
     msg.wire.frame_payload_bytes = 4567;
+    msg.wire.results_degraded = 6;
+    msg.wire.results_parked = 7;
+    msg.wire.sessions_resumed = 8;
+    msg.wire.sessions_expired = 9;
     auto buf = packMessage(MsgType::StatsReply, msg);
     StatsReplyMsg got;
     ASSERT_TRUE(unpack(buf, MsgType::StatsReply, got));
     EXPECT_EQ(got.server.cls[0].submitted, 100u);
     EXPECT_EQ(got.server.cls[0].p99_ms, 42.5);
+    EXPECT_EQ(got.server.cls[0].expired, 11u);
     EXPECT_EQ(got.server.cls[2].dropped, 7u);
+    EXPECT_EQ(got.server.stuck_in_flight, 2u);
+    EXPECT_EQ(got.server.stuck_events, 5u);
     ASSERT_EQ(got.server.scenes.size(), 1u);
     EXPECT_EQ(got.server.scenes[0].name, "Lego");
     EXPECT_EQ(got.server.scenes[0].peak_in_flight, 3);
+    EXPECT_EQ(got.server.scenes[0].expired, 2u);
+    EXPECT_EQ(got.server.scenes[0].breaker_state, 1);
+    EXPECT_EQ(got.server.scenes[0].breaker_opens, 4u);
+    EXPECT_EQ(got.server.scenes[0].breaker_fast_fails, 9u);
     EXPECT_EQ(got.wire.frames_sent, 123u);
+    EXPECT_EQ(got.wire.results_degraded, 6u);
+    EXPECT_EQ(got.wire.results_parked, 7u);
+    EXPECT_EQ(got.wire.sessions_resumed, 8u);
+    EXPECT_EQ(got.wire.sessions_expired, 9u);
     expectTruncationsRejected<StatsReplyMsg>(buf, MsgType::StatsReply);
 }
 
@@ -342,10 +404,12 @@ TEST(Messages, RemainingControlRoundTrips)
     {
         OpenSessionOkMsg msg;
         msg.session = 31337;
+        msg.token = 0x1234567890ABCDEFull;
         auto buf = packMessage(MsgType::OpenSessionOk, msg);
         OpenSessionOkMsg got;
         ASSERT_TRUE(unpack(buf, MsgType::OpenSessionOk, got));
         EXPECT_EQ(got.session, 31337u);
+        EXPECT_EQ(got.token, 0x1234567890ABCDEFull);
         expectTruncationsRejected<OpenSessionOkMsg>(buf,
                                                     MsgType::OpenSessionOk);
     }
