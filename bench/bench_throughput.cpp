@@ -507,6 +507,98 @@ main(int argc, char **argv)
                   << " viewers in " << report.wall_s << " s\n";
     }
 
+    // ---- quality ladder: the same over-backlog burst workload with
+    // the brownout controller + demote-before-drop stretch off vs. on.
+    // Off, the interactive burst sheds frames (drop-oldest); on, the
+    // would-be-dropped frames are served degraded instead, so the shed
+    // rate collapses while the degraded fraction and mean rung report
+    // what the graceful path cost in fidelity.
+    {
+        const int qw = smoke ? 16 : 32;     // frame edge
+        const int qns = smoke ? 24 : 48;    // samples per ray
+        const int qframes = smoke ? 8 : 16; // submissions per viewer
+        core::RenderConfig qcfg_render =
+            core::RenderConfig::asdr(qw, qw, qns);
+        qcfg_render.probe_stride = 4;
+
+        TextTable qtable({"ladder", "class", "submitted", "served",
+                          "dropped", "shed rate", "degraded", "mean rung",
+                          "p99 (ms)"});
+        for (int ladder_on : {0, 1}) {
+            server::SceneRegistry registry;
+            registry.addProcedural("Lego", "Lego",
+                                   nerf::NgpModelConfig::fast(),
+                                   qcfg_render);
+            registry.addProcedural("Chair", "Chair",
+                                   nerf::NgpModelConfig::fast(),
+                                   qcfg_render);
+            server::ServerConfig scfg;
+            scfg.shards = 2;
+            scfg.threads_per_shard =
+                std::max(1, std::min(2, core::resolveThreadCount(0)));
+            scfg.frames_in_flight_per_shard = 2;
+            if (ladder_on) {
+                scfg.ladder.enabled = true;
+                // Stretch the interactive backlog to cover the burst:
+                // overflow frames admit at the ladder floor, not drop.
+                scfg.qos.cls[int(server::QosClass::Interactive)]
+                    .degraded_backlog = 4;
+            }
+            server::FrameServer srv(registry, scfg);
+
+            server::WorkloadSpec spec;
+            spec.scenes = {"Lego", "Chair"};
+            spec.clients[int(server::QosClass::Interactive)] =
+                smoke ? 2 : 3;
+            spec.clients[int(server::QosClass::Standard)] = smoke ? 1 : 2;
+            spec.clients[int(server::QosClass::Batch)] = smoke ? 1 : 2;
+            spec.frames_per_client = qframes;
+            spec.width = qw;
+            spec.height = qw;
+            spec.burst = 6; // above the interactive backlog of 4
+            server::WorkloadReport report =
+                server::runWorkload(srv, registry, spec);
+
+            for (int c = 0; c < server::kQosClasses; ++c) {
+                const server::QosClassStats &s = report.stats.cls[c];
+                const char *cls =
+                    server::qosClassName(server::QosClass(c));
+                qtable.addRow({ladder_on ? "on" : "off", cls,
+                               std::to_string(s.submitted),
+                               std::to_string(s.served),
+                               std::to_string(s.dropped),
+                               fmt(s.dropRate(), 3),
+                               fmt(report.degraded_fraction[c], 3),
+                               fmt(report.mean_rung[c], 2),
+                               fmt(s.p99_ms, 2)});
+                emitBoth(JsonLine("quality_ladder")
+                             .field("ladder", ladder_on ? "on" : "off")
+                             .field("qos", cls)
+                             .field("shards", scfg.shards)
+                             .field("viewers", int(report.viewers))
+                             .field("frames_per_viewer", qframes)
+                             .field("burst", spec.burst)
+                             .field("width", qw)
+                             .field("samples_per_ray", qns)
+                             .field("submitted", int(s.submitted))
+                             .field("served", int(s.served))
+                             .field("dropped", int(s.dropped))
+                             .field("shed_rate", s.dropRate())
+                             .field("degraded_fraction",
+                                    report.degraded_fraction[c])
+                             .field("mean_rung", report.mean_rung[c])
+                             .field("p50_ms", s.p50_ms)
+                             .field("p99_ms", s.p99_ms)
+                             .field("wall_s", report.wall_s)
+                             .field("served_frames_per_s",
+                                    report.frames_per_s),
+                         artifact);
+            }
+            qtable.addRule();
+        }
+        qtable.print(std::cout);
+    }
+
     // ---- wire serving: the same closed-loop workload through the TCP
     // front end (net/render_service + net/client over loopback).
     // wire_latency rows: client-observed p50/p95/p99 round trip per

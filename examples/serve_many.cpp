@@ -44,6 +44,9 @@ usage(const char *argv0)
            "  --burst <n>         outstanding frames per viewer "
            "(default 2;\n"
            "                      above the class backlog forces drops)\n"
+           "  --ladder            enable the quality ladder: brownout\n"
+           "                      controller + interactive stretch slots\n"
+           "                      (degrade under burst instead of drop)\n"
            "  --help              this message\n";
 }
 
@@ -55,6 +58,7 @@ main(int argc, char **argv)
     int scenes = 2, interactive = 3, standard = 2, batch = 2;
     int frames = 8, width = 32, samples = 48;
     int shards = 2, threads = 1, in_flight = 2, burst = 2;
+    bool ladder = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&] { return std::atoi(argv[++i]); };
@@ -83,6 +87,8 @@ main(int argc, char **argv)
             in_flight = next();
         else if (arg == "--burst" && i + 1 < argc)
             burst = next();
+        else if (arg == "--ladder")
+            ladder = true;
         else {
             std::cerr << "unknown option: " << arg << "\n";
             usage(argv[0]);
@@ -119,6 +125,13 @@ main(int argc, char **argv)
     scfg.shards = shards;
     scfg.threads_per_shard = threads;
     scfg.frames_in_flight_per_shard = in_flight;
+    if (ladder) {
+        scfg.ladder.enabled = true;
+        // Let the interactive class stretch past its backlog at the
+        // ladder floor instead of dropping its oldest pose.
+        scfg.qos.cls[int(server::QosClass::Interactive)].degraded_backlog =
+            2 * burst;
+    }
 
     const int viewers = interactive + standard + batch;
     std::cout << "Serving " << viewers << " viewers over "

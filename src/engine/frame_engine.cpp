@@ -238,10 +238,11 @@ FrameEngine::launchLocked(InFlight *f)
 
     RenderSession *session = f->req.session;
     if (session) {
-        session->tryReuseProbes(shape, f->fs);
+        if (!f->req.bypass_probe_cache)
+            session->tryReuseProbes(shape, f->fs);
         f->ran_probes = shape.adaptive && !f->fs.probes_reused;
-        f->fresh_probes =
-            f->ran_probes && session->sessionConfig().reuse_probes;
+        f->fresh_probes = f->ran_probes && !f->req.bypass_probe_cache &&
+                          session->sessionConfig().reuse_probes;
         f->session_epoch = session->probeEpoch();
         // The encode-reuse hook needs a strictly single-threaded,
         // one-frame-at-a-time render; ignore the request otherwise.

@@ -100,6 +100,15 @@ struct FrameRequest
     const core::AsdrRenderer *renderer = nullptr;
     /** Optional per-viewer session (probe cache, session stats). */
     RenderSession *session = nullptr;
+    /**
+     * Render without touching the session's probe cache: neither reuse
+     * a cached Phase I plan nor store this frame's. Set by the serving
+     * quality ladder for degraded frames -- their probe profile is
+     * computed at reduced fidelity/resolution and must not seed (or be
+     * seeded by) the full-fidelity stream. Session stats still count
+     * the frame.
+     */
+    bool bypass_probe_cache = false;
 
     /**
      * QoS class priority of this frame's pool tasks, composed with the

@@ -22,6 +22,19 @@ RenderSession::stats() const
     return stats_;
 }
 
+const core::AsdrRenderer &
+RenderSession::degradedRenderer(const core::RenderConfig &cfg)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = degraded_.find(cfg.samples_per_ray);
+    if (it == degraded_.end())
+        it = degraded_
+                 .emplace(cfg.samples_per_ray,
+                          std::make_unique<core::AsdrRenderer>(field_, cfg))
+                 .first;
+    return *it->second;
+}
+
 void
 RenderSession::invalidateProbeCache()
 {

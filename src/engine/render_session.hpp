@@ -27,6 +27,8 @@
 #define ASDR_ENGINE_RENDER_SESSION_HPP
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -71,6 +73,18 @@ class RenderSession
     const core::RenderConfig &config() const { return renderer_.config(); }
     const core::AsdrRenderer &renderer() const { return renderer_; }
     const SessionConfig &sessionConfig() const { return scfg_; }
+
+    /**
+     * A renderer over the same field with a degraded config (the
+     * serving quality ladder's ReducedSamples transform). Built lazily
+     * on first use and cached by samples_per_ray; cached renderers are
+     * never evicted, so a reference stays valid for the lifetime of
+     * the session even while other frames are in flight. Degraded
+     * frames bypass the session probe cache (FrameRequest::
+     * bypass_probe_cache), so the returned renderer shares nothing
+     * with the full-fidelity path.
+     */
+    const core::AsdrRenderer &degradedRenderer(const core::RenderConfig &cfg);
 
     SessionStats stats() const;
 
@@ -121,6 +135,9 @@ class RenderSession
     const nerf::RadianceField &field_;
     core::AsdrRenderer renderer_;
     SessionConfig scfg_;
+    /** Lazily-built degraded renderers, keyed by samples_per_ray;
+     *  entries are immortal (in-flight frames hold bare references). */
+    std::map<int, std::unique_ptr<core::AsdrRenderer>> degraded_;
 
     mutable std::mutex m_;
     SessionStats stats_;

@@ -100,4 +100,23 @@ heatmap(const std::vector<float> &values, int width, int height, float lo,
     return img;
 }
 
+Image
+upscaleBilinear(const Image &src, int width, int height)
+{
+    ASDR_ASSERT(width > 0 && height > 0, "bad upscale resolution");
+    if (src.width() == width && src.height() == height)
+        return src;
+    Image out(width, height);
+    const float sx = float(src.width()) / float(width);
+    const float sy = float(src.height()) / float(height);
+    for (int y = 0; y < height; ++y) {
+        const float v = (float(y) + 0.5f) * sy - 0.5f;
+        for (int x = 0; x < width; ++x) {
+            const float u = (float(x) + 0.5f) * sx - 0.5f;
+            out.at(x, y) = src.sampleBilinear(u, v);
+        }
+    }
+    return out;
+}
+
 } // namespace asdr

@@ -57,6 +57,15 @@ class Image
 Image heatmap(const std::vector<float> &values, int width, int height,
               float lo, float hi);
 
+/**
+ * Resample `src` to width x height with bilinear filtering (pixel
+ * centers aligned, the standard half-texel mapping). The client side
+ * of the serving quality ladder's ReducedResolution rung: the server
+ * renders small, the receiver upscales back to the requested size.
+ * Returns `src` unchanged when the dims already match.
+ */
+Image upscaleBilinear(const Image &src, int width, int height);
+
 } // namespace asdr
 
 #endif // ASDR_IMAGE_IMAGE_HPP

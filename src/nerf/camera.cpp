@@ -30,6 +30,17 @@ Camera::ray(float px, float py) const
     return {pos_, normalize(dir)};
 }
 
+Camera
+Camera::scaledTo(int width, int height) const
+{
+    ASDR_ASSERT(width > 0 && height > 0, "bad camera resolution");
+    Camera c = *this;
+    c.width_ = width;
+    c.height_ = height;
+    c.aspect_ = float(width) / float(height);
+    return c;
+}
+
 bool
 intersectUnitCube(const Ray &ray, float &t0, float &t1)
 {

@@ -37,6 +37,15 @@ class Camera
      *  pixel center). */
     Ray ray(float px, float py) const;
 
+    /**
+     * The same viewpoint at a different resolution: position, basis and
+     * vertical FOV are preserved, the aspect ratio follows the new
+     * dimensions. Used by the serving quality ladder to render a
+     * degraded frame at reduced resolution without re-deriving the
+     * look-at parameters (which the camera does not retain).
+     */
+    Camera scaledTo(int width, int height) const;
+
   private:
     Vec3 pos_;
     Vec3 forward_;

@@ -140,6 +140,7 @@ Client::disconnect()
     sock_.close();
     results_.clear();
     refs_.clear();
+    last_frames_.clear();
     sessions_.clear();
 }
 
@@ -265,6 +266,7 @@ Client::closeSession(uint64_t session, std::string *err)
     if (!decodePayload(payload.data(), payload.size(), ok))
         return fail(err, ClientError::Protocol, "bad CloseSessionOk");
     refs_.erase(session);
+    last_frames_.erase(session);
     sessions_.erase(session);
     last_error_ = ClientError::None;
     return true;
@@ -473,8 +475,11 @@ Client::takeFrameResult(const std::vector<uint8_t> &payload,
     frame.ticket = msg.ticket;
     frame.status = FrameStatus(msg.status);
     frame.encoding = FrameEncoding(msg.encoding);
+    frame.rung = server::QualityRung(msg.rung);
     frame.latency_ms = msg.latency_ms;
     frame.payload_bytes = msg.payload.size();
+    frame.full_width = msg.full_width;
+    frame.full_height = msg.full_height;
 
     if (frame.status == FrameStatus::Ok) {
         const FrameEncoding enc = frame.encoding;
@@ -491,14 +496,38 @@ Client::takeFrameResult(const std::vector<uint8_t> &payload,
         // Advance the delta reference in receive order -- the mirror
         // of the service's encode-order update. Keyed off the MESSAGE
         // encoding, so degraded (Quantized8) frames of a DeltaPrev
-        // session leave the chain alone, exactly like the server.
+        // session leave the chain alone, exactly like the server. The
+        // reference is the PRE-upscale image: the service's reference
+        // is whatever it encoded, payload-resolution included.
         if (enc == FrameEncoding::DeltaPrev)
             refs_[msg.session] = frame.image;
         transfer_.frames++;
         transfer_.payload_bytes += msg.payload.size();
         transfer_.raw_bytes += rawFrameBytes(msg.width, msg.height);
+        // Reduced-resolution rung: bring the frame back up to the
+        // requested size (after the reference update above).
+        if (msg.full_width > 0 && msg.full_height > 0 &&
+            (msg.full_width != msg.width ||
+             msg.full_height != msg.height)) {
+            frame.image = upscaleBilinear(frame.image, msg.full_width,
+                                          msg.full_height);
+            frame.upscaled = true;
+        }
+        if (hold_last_frame_)
+            last_frames_[msg.session] = frame.image;
     } else if (frame.status == FrameStatus::Failed) {
         frame.error.assign(msg.payload.begin(), msg.payload.end());
+    } else if (hold_last_frame_ &&
+               (frame.status == FrameStatus::Shed ||
+                frame.status == FrameStatus::Dropped ||
+                frame.status == FrameStatus::DeadlineExceeded)) {
+        // Hold-last-frame: a payload-less outcome shows the session's
+        // previous delivered image rather than a gap, flagged stale.
+        auto lit = last_frames_.find(msg.session);
+        if (lit != last_frames_.end()) {
+            frame.image = lit->second;
+            frame.stale = true;
+        }
     }
     results_.push_back(std::move(frame));
     return true;

@@ -60,6 +60,22 @@ struct ClientFrame
     double latency_ms = 0.0;
     /** Encoded payload size on the wire (the compression numerator). */
     size_t payload_bytes = 0;
+    /** Quality-ladder rung the server rendered this frame at. */
+    server::QualityRung rung = server::QualityRung::Full;
+    /** The resolution the submit asked for (Ok results); `image` is
+     *  already upscaled back to it when the server rendered smaller. */
+    int full_width = 0;
+    int full_height = 0;
+    /** The payload arrived below full resolution and was bilinearly
+     *  upscaled to full_width x full_height. */
+    bool upscaled = false;
+    /**
+     * Hold-last-frame fallback (Client::setHoldLastFrame): this result
+     * carried no payload (Shed/Dropped/DeadlineExceeded) and `image`
+     * is the session's previous delivered frame instead -- stale, but
+     * displayable. `status` still reports the real outcome.
+     */
+    bool stale = false;
 
     bool ok() const { return status == FrameStatus::Ok; }
 };
@@ -210,6 +226,17 @@ class Client
     /** Classification of the most recent failure (None on success). */
     ClientError lastError() const { return last_error_; }
 
+    /**
+     * Hold-last-frame fallback: when enabled, a payload-less result
+     * (Shed, Dropped, DeadlineExceeded) of a session that has already
+     * delivered at least one Ok frame gets that previous frame
+     * substituted into ClientFrame::image with `stale = true` -- a
+     * viewer shows the last good image instead of a gap. Off by
+     * default (seed behavior: such results carry an empty image).
+     */
+    void setHoldLastFrame(bool on) { hold_last_frame_ = on; }
+    bool holdLastFrame() const { return hold_last_frame_; }
+
   private:
     /** Per-open-session resume state. */
     struct SessionState
@@ -240,6 +267,10 @@ class Client
     std::deque<ClientFrame> results_;
     /** Per-session delta reference: last Ok frame, receive order. */
     std::unordered_map<uint64_t, Image> refs_;
+    /** Per-session last delivered (post-upscale) frame, for the
+     *  hold-last-frame fallback. Only populated when enabled. */
+    std::unordered_map<uint64_t, Image> last_frames_;
+    bool hold_last_frame_ = false;
     /** Resume tokens + encodings of open sessions. */
     std::unordered_map<uint64_t, SessionState> sessions_;
     ClientTransferStats transfer_;

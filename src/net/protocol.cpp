@@ -246,8 +246,11 @@ FrameResultMsg::encode(WireWriter &w) const
     w.u64(ticket);
     w.u8(status);
     w.u8(encoding);
+    w.u8(rung);
     w.u16(width);
     w.u16(height);
+    w.u16(full_width);
+    w.u16(full_height);
     w.f64(latency_ms);
     w.bytes(payload);
 }
@@ -256,11 +259,13 @@ bool
 FrameResultMsg::decode(WireReader &r)
 {
     if (!(r.u64(session) && r.u64(ticket) && r.u8(status) &&
-          r.u8(encoding) && r.u16(width) && r.u16(height) &&
-          r.f64(latency_ms) && r.bytes(payload)))
+          r.u8(encoding) && r.u8(rung) && r.u16(width) && r.u16(height) &&
+          r.u16(full_width) && r.u16(full_height) && r.f64(latency_ms) &&
+          r.bytes(payload)))
         return false;
     return status <= uint8_t(FrameStatus::DeadlineExceeded) &&
-           encoding <= uint8_t(FrameEncoding::DeltaPrev);
+           encoding <= uint8_t(FrameEncoding::DeltaPrev) &&
+           rung < uint8_t(server::kQualityRungs);
 }
 
 void
@@ -319,6 +324,9 @@ StatsReplyMsg::encode(WireWriter &w) const
         w.f64(s.p99_ms);
         w.f64(s.mean_ms);
         w.f64(s.mean_queue_ms);
+        for (int rg = 0; rg < server::kQualityRungs; ++rg)
+            w.u64(s.served_rung[rg]);
+        w.u64(s.degraded);
     }
     w.u32(uint32_t(server.scenes.size()));
     for (const server::SceneServeStats &s : server.scenes) {
@@ -332,6 +340,9 @@ StatsReplyMsg::encode(WireWriter &w) const
         w.u8(s.breaker_state);
         w.u64(s.breaker_opens);
         w.u64(s.breaker_fast_fails);
+        for (int rg = 0; rg < server::kQualityRungs; ++rg)
+            w.u64(s.served_rung[rg]);
+        w.u64(s.degraded);
     }
     w.u64(server.stuck_in_flight);
     w.u64(server.stuck_events);
@@ -348,6 +359,11 @@ StatsReplyMsg::decode(WireReader &r)
               r.f64(s.p50_ms) && r.f64(s.p95_ms) && r.f64(s.p99_ms) &&
               r.f64(s.mean_ms) && r.f64(s.mean_queue_ms)))
             return false;
+        for (int rg = 0; rg < server::kQualityRungs; ++rg)
+            if (!r.u64(s.served_rung[rg]))
+                return false;
+        if (!r.u64(s.degraded))
+            return false;
     }
     uint32_t scenes = 0;
     if (!r.u32(scenes) || scenes > kMaxSceneStats)
@@ -361,6 +377,11 @@ StatsReplyMsg::decode(WireReader &r)
               r.u64(s.dropped) && r.u64(s.failed) && r.u64(s.expired) &&
               r.u32(peak) && r.u8(s.breaker_state) &&
               r.u64(s.breaker_opens) && r.u64(s.breaker_fast_fails)))
+            return false;
+        for (int rg = 0; rg < server::kQualityRungs; ++rg)
+            if (!r.u64(s.served_rung[rg]))
+                return false;
+        if (!r.u64(s.degraded))
             return false;
         s.peak_in_flight = int(peak);
         server.scenes.push_back(std::move(s));

@@ -61,7 +61,9 @@ namespace asdr::net {
 constexpr uint32_t kMagic = 0x52445341u; // 'A','S','D','R' on the wire
 /** v2: ResumeSession/-Ok, resume tokens in OpenSessionOk, the
  *  DeadlineExceeded frame status, and fault-model stats fields. */
-constexpr uint16_t kProtocolVersion = 2;
+/** v3: FrameResult carries the quality-ladder rung + requested dims;
+ *  StatsReply carries per-class/per-scene rung occupancy. */
+constexpr uint16_t kProtocolVersion = 3;
 constexpr size_t kHeaderSize = 12;
 /** Hard cap on one message's payload; oversized headers are a protocol
  *  violation (a 4K frame is ~200 MB raw -- far beyond this service's
@@ -461,8 +463,16 @@ struct FrameResultMsg
     uint64_t ticket = 0;
     uint8_t status = 0;   ///< FrameStatus, range-checked on decode
     uint8_t encoding = 0; ///< FrameEncoding of the payload
+    /** server::QualityRung the frame was served at (range-checked). */
+    uint8_t rung = 0;
+    /** Payload frame dims -- the resolution actually rendered. */
     uint16_t width = 0;
     uint16_t height = 0;
+    /** The resolution the client requested. Equal to width/height
+     *  except at reduced-resolution rungs, where the client upscales
+     *  the payload back to full_width x full_height. */
+    uint16_t full_width = 0;
+    uint16_t full_height = 0;
     /** Server-side submit -> delivery latency, milliseconds. */
     double latency_ms = 0.0;
     /** Encoded frame (Ok), error text bytes (Failed), else empty. */

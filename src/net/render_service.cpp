@@ -595,6 +595,7 @@ RenderService::deliverLocked(const std::shared_ptr<Connection> &conn,
     msg.ticket = result.ticket;
     msg.latency_ms = result.latency_s * 1e3;
     msg.encoding = uint8_t(ws.encoding);
+    msg.rung = uint8_t(result.rung);
 
     bool shed = false, degraded = false;
     uint64_t payload_bytes = 0, raw_bytes = 0;
@@ -615,6 +616,12 @@ RenderService::deliverLocked(const std::shared_ptr<Connection> &conn,
         Image &img = result.frame.image;
         msg.width = uint16_t(img.width());
         msg.height = uint16_t(img.height());
+        // The requested dims ride along so the client knows the
+        // upscale target of a reduced-resolution rung.
+        msg.full_width = uint16_t(
+            result.full_width > 0 ? result.full_width : img.width());
+        msg.full_height = uint16_t(
+            result.full_height > 0 ? result.full_height : img.height());
         raw_bytes = rawFrameBytes(img.width(), img.height());
         if (out_bytes >= cfg_.max_outbound_bytes) {
             // Bounded backpressure: keep the ticket accounting, shed
@@ -625,6 +632,11 @@ RenderService::deliverLocked(const std::shared_ptr<Connection> &conn,
         } else {
             msg.status = uint8_t(FrameStatus::Ok);
             FrameEncoding enc = ws.encoding;
+            if (result.rung == server::QualityRung::Quantized8)
+                // The ladder floor includes lossy wire encoding. The
+                // MESSAGE carries Quantized8, so neither endpoint
+                // advances its delta reference off this frame.
+                enc = FrameEncoding::Quantized8;
             if (cfg_.degrade_outbound_bytes > 0 &&
                 out_bytes >= cfg_.degrade_outbound_bytes &&
                 ws.qos == server::QosClass::Interactive &&

@@ -44,6 +44,8 @@ FrameServer::FrameServer(const SceneRegistry &registry,
         ec.max_frames_in_flight = cfg.frames_in_flight_per_shard;
         s.engine = std::make_unique<engine::FrameEngine>(ec);
         s.sched = std::make_unique<QosScheduler>(cfg.qos);
+        if (cfg.ladder.enabled)
+            s.brownout = std::make_unique<BrownoutController>(cfg.ladder);
     }
     for (int c = 0; c < kQosClasses; ++c)
         deadlines_enabled_ =
@@ -249,6 +251,28 @@ FrameServer::pumpLocked(int shard, std::vector<Launch> &launches,
                 b.probes_out++;
             }
         }
+        // Quality-ladder rung: the scheduler may have floored the frame
+        // (degraded_backlog stretch); the brownout controller raises it
+        // further under pressure. The effective rung is whichever is
+        // worse -- a floored frame never recovers fidelity here.
+        QualityRung rung = QualityRung(pf.rung);
+        if (s.brownout && cfg_.ladder.applies(pf.qos)) {
+            const double deadline_ms = cfg_.qos.cls[int(pf.qos)].deadline_ms;
+            const double waited_frac =
+                deadline_ms > 0.0
+                    ? secondsBetween(pf.submitted_at, now) * 1e3 /
+                          deadline_ms
+                    : 0.0;
+            rung = std::max(rung,
+                            s.brownout->decide(
+                                pf.qos, s.sched->pendingOf(pf.qos),
+                                waited_frac));
+        }
+        // Injection: force the admission to the ladder floor, driving
+        // the full degraded render + wire + upscale path on demand.
+        if (fault::fire(fault::kServerAdmitDegrade))
+            rung = QualityRung(kQualityRungs - 1);
+        pf.rung = uint8_t(rung);
         s.in_flight[int(pf.qos)]++;
         s.total_in_flight++;
         const int scene_now = ++s.scene_in_flight[pf.scene];
@@ -265,8 +289,28 @@ FrameServer::pumpLocked(int shard, std::vector<Launch> &launches,
 void
 FrameServer::launch(const Launch &l)
 {
-    engine::FrameRequest req(l.frame.camera);
-    req.renderer = &l.session->renderer();
+    const QualityRung rung = QualityRung(l.frame.rung);
+    const int full_w = l.frame.camera.width();
+    const int full_h = l.frame.camera.height();
+    // Resolution is camera-borne: a reduced-resolution rung renders
+    // the same viewpoint through a scaled camera (the client upscales
+    // back to full_w x full_h).
+    int render_w = full_w, render_h = full_h;
+    rungResolution(rung, cfg_.ladder, full_w, full_h, render_w, render_h);
+    const bool scaled = render_w != full_w || render_h != full_h;
+    engine::FrameRequest req(scaled ? l.frame.camera.scaledTo(render_w,
+                                                              render_h)
+                                    : l.frame.camera);
+    if (rung == QualityRung::Full) {
+        req.renderer = &l.session->renderer();
+    } else {
+        // Degraded frames render through the session's cached reduced-
+        // samples renderer and stay out of the probe cache: a plan
+        // computed at reduced fidelity must not seed the full stream.
+        req.renderer = &l.session->degradedRenderer(
+            applyRung(l.session->config(), rung, cfg_.ladder));
+        req.bypass_probe_cache = true;
+    }
     req.session = l.session;
     req.priority = qosPoolPriority(l.frame.qos);
     const int shard = l.shard;
@@ -274,18 +318,19 @@ FrameServer::launch(const Launch &l)
     const uint64_t ticket = l.frame.ticket;
     const QosClass qos = l.frame.qos;
     const auto submitted_at = l.frame.submitted_at;
-    req.on_complete = [this, shard, client, ticket, qos,
-                       submitted_at](engine::Frame &&frame,
-                                     std::exception_ptr err) {
-        onFrameDone(shard, client, ticket, qos, submitted_at,
-                    std::move(frame), err);
+    req.on_complete = [this, shard, client, ticket, qos, rung, full_w,
+                       full_h, submitted_at](engine::Frame &&frame,
+                                             std::exception_ptr err) {
+        onFrameDone(shard, client, ticket, qos, rung, full_w, full_h,
+                    submitted_at, std::move(frame), err);
     };
     shards_[size_t(shard)].engine->submitAsync(std::move(req));
 }
 
 void
 FrameServer::onFrameDone(int shard, uint64_t client, uint64_t ticket,
-                         QosClass qos,
+                         QosClass qos, QualityRung rung, int full_w,
+                         int full_h,
                          std::chrono::steady_clock::time_point submitted_at,
                          engine::Frame &&frame, std::exception_ptr err)
 {
@@ -339,6 +384,10 @@ FrameServer::onFrameDone(int shard, uint64_t client, uint64_t ticket,
                 }
             }
         }
+        // Feed the brownout controller before pumping: the admissions
+        // below see a p95 that includes this frame.
+        if (!err && s.brownout)
+            s.brownout->observeLatency(qos, latency * 1e3);
         pumpLocked(shard, launches, rejects);
         cb = c.callback;
     }
@@ -354,8 +403,8 @@ FrameServer::onFrameDone(int shard, uint64_t client, uint64_t ticket,
         stats_.recordFailed(qos);
         stats_.recordSceneFailed(scene_name);
     } else {
-        stats_.recordServed(qos, latency);
-        stats_.recordSceneServed(scene_name);
+        stats_.recordServed(qos, latency, rung);
+        stats_.recordSceneServed(scene_name, rung);
     }
 
     FrameResult result;
@@ -365,6 +414,9 @@ FrameServer::onFrameDone(int shard, uint64_t client, uint64_t ticket,
     result.frame = std::move(frame);
     result.error = err;
     result.latency_s = latency;
+    result.rung = rung;
+    result.full_width = full_w;
+    result.full_height = full_h;
     deliverResult(std::move(result), cb);
 }
 

@@ -56,6 +56,7 @@
 #include "engine/render_session.hpp"
 #include "server/qos.hpp"
 #include "server/qos_scheduler.hpp"
+#include "server/quality_ladder.hpp"
 #include "server/scene_registry.hpp"
 #include "server/server_stats.hpp"
 
@@ -110,6 +111,18 @@ struct ServerConfig
      *  (gauge + cumulative events); 0 disables the scan. A stuck frame
      *  is surfaced, never killed -- the engine owns its lifetime. */
     double stuck_after_ms = 0.0;
+    /**
+     * Quality ladder (server/quality_ladder.hpp): with
+     * `ladder.enabled`, each shard runs a BrownoutController that may
+     * admit frames at a degraded rung under pressure instead of
+     * letting them pile up toward the backlog policy. Disabled by
+     * default -- every frame renders Full, bit-exact with the seed.
+     * The rung transforms (sample_scale, resolution_divisor) also
+     * apply to frames degraded by the scheduler's degraded_backlog
+     * stretch or the server.admit.degrade fault site, whether or not
+     * the controller itself is enabled.
+     */
+    LadderParams ladder;
 };
 
 /** Per-session options beyond the QoS class. */
@@ -136,6 +149,17 @@ struct FrameResult
     bool expired = false;
     /** Submit -> delivery latency, seconds (0 for drops). */
     double latency_s = 0.0;
+    /** Quality-ladder rung the frame was served at (Full unless the
+     *  server degraded it). */
+    QualityRung rung = QualityRung::Full;
+    /**
+     * The resolution the client *asked* for (the submitted camera's
+     * dims), set on served frames. At QualityRung::ReducedResolution
+     * and below, frame.image is smaller than this -- the consumer
+     * (net::Client, or a direct embedder) upscales back.
+     */
+    int full_width = 0;
+    int full_height = 0;
 
     bool ok() const { return !dropped && !expired && error == nullptr; }
 };
@@ -244,6 +268,9 @@ class FrameServer
         std::unordered_map<uint32_t, int> scene_in_flight;
         /** Launch-time record per in-flight ticket. */
         std::unordered_map<uint64_t, InFlightFrame> running;
+        /** Per-shard quality-ladder controller (null when the ladder
+         *  is disabled); guarded by the server's m_, like sched. */
+        std::unique_ptr<BrownoutController> brownout;
     };
 
     struct Breaker
@@ -300,7 +327,7 @@ class FrameServer
     void deliverAll(std::vector<Deliverable> &&rejects);
     void launch(const Launch &l);
     void onFrameDone(int shard, uint64_t client, uint64_t ticket,
-                     QosClass qos,
+                     QosClass qos, QualityRung rung, int full_w, int full_h,
                      std::chrono::steady_clock::time_point submitted_at,
                      engine::Frame &&frame, std::exception_ptr err);
     /** Invoke the callback / fill the mailbox, then retire the frame

@@ -57,6 +57,51 @@ qosPoolPriority(QosClass c)
     return unsigned(c);
 }
 
+/**
+ * Quality ladder rungs, ordered from full fidelity to cheapest. Each
+ * rung is *cumulative* -- it applies every degradation of the rungs
+ * above it -- so quality is monotone non-increasing and render/transfer
+ * cost monotone non-decreasing down the ladder:
+ *
+ *  - Full: the session's configured render, bit-exact vs sequential.
+ *  - ReducedSamples: Phase II per-tile sample budgets scaled down
+ *    (RenderConfig::samples_per_ray x LadderParams::sample_scale).
+ *  - ReducedResolution: additionally rendered at reduced resolution
+ *    (camera dims / LadderParams::resolution_divisor); the client
+ *    upscales back to the requested size.
+ *  - Quantized8: additionally forces the Quantized8 wire encoding,
+ *    regardless of the session's negotiated encoding.
+ *
+ * The rung an admitted frame was served at travels in FrameResult and
+ * on the wire (protocol v3), and is tallied per class and per scene in
+ * ServerStats.
+ */
+enum class QualityRung
+{
+    Full = 0,
+    ReducedSamples = 1,
+    ReducedResolution = 2,
+    Quantized8 = 3,
+};
+
+constexpr int kQualityRungs = 4;
+
+inline const char *
+rungName(QualityRung r)
+{
+    switch (r) {
+    case QualityRung::Full:
+        return "full";
+    case QualityRung::ReducedSamples:
+        return "reduced_samples";
+    case QualityRung::ReducedResolution:
+        return "reduced_resolution";
+    case QualityRung::Quantized8:
+        return "quantized8";
+    }
+    return "?";
+}
+
 /** Per-class admission knobs (see QosParams for the defaults). */
 struct QosClassParams
 {
@@ -80,6 +125,15 @@ struct QosClassParams
      * admitted always run to completion.
      */
     double deadline_ms = 0.0;
+    /**
+     * Demote-before-drop: extra pending slots past max_backlog that
+     * are admitted at the quality-ladder floor (the cheapest rung)
+     * instead of triggering the backlog policy. A would-be-dropped
+     * frame is served degraded rather than never; only past
+     * max_backlog + degraded_backlog does drop-oldest / reject-newest
+     * fire. 0 disables the stretch (seed behavior).
+     */
+    int degraded_backlog = 0;
 };
 
 struct QosParams

@@ -15,18 +15,31 @@ QosScheduler::push(PendingFrame frame, std::vector<PendingFrame> &dropped)
     int &client_pending = client_pending_[c][frame.client];
 
     if (cp.max_backlog > 0 && client_pending >= cp.max_backlog) {
-        if (!cp.drop_oldest) {
+        if (cp.degraded_backlog > 0 &&
+            client_pending < cp.max_backlog + cp.degraded_backlog) {
+            // Demote-before-drop: admit at the ladder floor instead of
+            // invoking the backlog policy -- served cheap beats never.
+            frame.rung = uint8_t(QualityRung::Quantized8);
+            ++degraded_admits_;
+        } else if (!cp.drop_oldest) {
             dropped.push_back(std::move(frame)); // reject the newest
             return;
-        }
-        // Drop-oldest: shed the client's stalest pose so the stream
-        // stays current (queue order preserved for everyone else).
-        for (auto it = q.begin(); it != q.end(); ++it) {
-            if (it->client == frame.client) {
-                dropped.push_back(std::move(*it));
-                q.erase(it);
-                --client_pending;
-                break;
+        } else {
+            // Drop-oldest: shed the client's stalest pose so the stream
+            // stays current (queue order preserved for everyone else).
+            for (auto it = q.begin(); it != q.end(); ++it) {
+                if (it->client == frame.client) {
+                    dropped.push_back(std::move(*it));
+                    q.erase(it);
+                    --client_pending;
+                    break;
+                }
+            }
+            if (cp.degraded_backlog > 0) {
+                // The freed slot is a stretch slot (the client is still
+                // past max_backlog), so the admission stays demoted.
+                frame.rung = uint8_t(QualityRung::Quantized8);
+                ++degraded_admits_;
             }
         }
     }

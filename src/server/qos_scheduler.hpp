@@ -53,6 +53,13 @@ struct PendingFrame
     /** Admissions that selected another class while this frame was an
      *  eligible head (the aging trigger). */
     int passed_over = 0;
+    /**
+     * Quality-ladder floor assigned at admission (a QualityRung value).
+     * Normally Full; push() raises it to the ladder floor for frames
+     * accepted into the degraded_backlog stretch, and the FrameServer's
+     * brownout controller may raise it further before launch.
+     */
+    uint8_t rung = 0;
 };
 
 class QosScheduler
@@ -65,6 +72,14 @@ class QosScheduler
      * the shed frame(s) are appended to `dropped`: the client's oldest
      * pending frame for drop-oldest classes, the pushed frame itself
      * otherwise (check `dropped[i].ticket`).
+     *
+     * Demote-before-drop: with QosClassParams::degraded_backlog > 0, a
+     * frame that would have triggered the backlog policy is instead
+     * accepted marked at the quality-ladder floor
+     * (QualityRung::Quantized8) while the client's pending count is
+     * under max_backlog + degraded_backlog -- served cheap beats never
+     * served. Only past the stretched bound does the normal policy
+     * fire. Degraded admissions are counted in degradedAdmits().
      */
     void push(PendingFrame frame, std::vector<PendingFrame> &dropped);
 
@@ -92,6 +107,10 @@ class QosScheduler
     /** Times a pending frame was passed over because its scene was at
      *  quota (an admission-pressure signal for dashboards/tests). */
     uint64_t quotaDeferrals() const { return quota_deferrals_; }
+
+    /** Frames admitted into the degraded_backlog stretch at the ladder
+     *  floor instead of being dropped/rejected. */
+    uint64_t degradedAdmits() const { return degraded_admits_; }
 
     /** Remove every pending frame of `client` (session teardown);
      *  removed frames are appended to `dropped`. */
@@ -121,6 +140,7 @@ class QosScheduler
     std::unordered_map<uint64_t, int> client_pending_[kQosClasses];
     double vtime_[kQosClasses] = {0.0, 0.0, 0.0};
     uint64_t quota_deferrals_ = 0;
+    uint64_t degraded_admits_ = 0;
     /** Virtual time of the last admission: a class going from empty to
      *  backlogged restarts at max(its vtime, vclock_) so idle periods
      *  don't bank credit. */

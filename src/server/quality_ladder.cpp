@@ -1,0 +1,124 @@
+#include "server/quality_ladder.hpp"
+
+#include <algorithm>
+
+namespace asdr::server {
+
+core::RenderConfig
+applyRung(const core::RenderConfig &cfg, QualityRung rung,
+          const LadderParams &p)
+{
+    if (rung == QualityRung::Full)
+        return cfg;
+    core::RenderConfig out = cfg;
+    const double scale = std::clamp(p.sample_scale, 0.0, 1.0);
+    int samples = int(double(cfg.samples_per_ray) * scale);
+    out.samples_per_ray = std::max({samples, cfg.min_samples, 1});
+    return out;
+}
+
+void
+rungResolution(QualityRung rung, const LadderParams &p, int full_w,
+               int full_h, int &render_w, int &render_h)
+{
+    if (rung < QualityRung::ReducedResolution || p.resolution_divisor <= 1) {
+        render_w = full_w;
+        render_h = full_h;
+        return;
+    }
+    const int d = p.resolution_divisor;
+    render_w = std::max(8, (full_w + d - 1) / d);
+    render_h = std::max(8, (full_h + d - 1) / d);
+    // Never "up"-scale a request already below the floor.
+    render_w = std::min(render_w, full_w);
+    render_h = std::min(render_h, full_h);
+}
+
+BrownoutController::BrownoutController(const LadderParams &params)
+    : params_(params)
+{
+}
+
+void
+BrownoutController::observeLatency(QosClass c, double latency_ms)
+{
+    ClassState &s = cls_[int(c)];
+    s.ring[s.ring_pos] = latency_ms;
+    s.ring_pos = (s.ring_pos + 1) % kLatencyRing;
+    s.ring_count = std::min(s.ring_count + 1, kLatencyRing);
+}
+
+double
+BrownoutController::recentP95(QosClass c) const
+{
+    const ClassState &s = cls_[int(c)];
+    if (s.ring_count == 0)
+        return 0.0;
+    double sorted[kLatencyRing];
+    std::copy(s.ring, s.ring + s.ring_count, sorted);
+    std::sort(sorted, sorted + s.ring_count);
+    const size_t idx =
+        std::min(s.ring_count - 1, size_t(0.95 * double(s.ring_count)));
+    return sorted[idx];
+}
+
+int
+BrownoutController::targetFor(const ClassState &s, size_t queue_depth,
+                              double waited_fraction) const
+{
+    int target = 0;
+    const int depth = int(std::min<size_t>(queue_depth, 1u << 20));
+    if (params_.queue_depth_rung3 > 0 && depth >= params_.queue_depth_rung3)
+        target = 3;
+    else if (params_.queue_depth_rung2 > 0 &&
+             depth >= params_.queue_depth_rung2)
+        target = 2;
+    else if (params_.queue_depth_rung1 > 0 &&
+             depth >= params_.queue_depth_rung1)
+        target = 1;
+    if (params_.p95_trigger_ms > 0.0 && s.ring_count > 0) {
+        // Inline p95 over the ring (the member helper re-derives it for
+        // observers; the decision path shares the exact same math).
+        double sorted[kLatencyRing];
+        std::copy(s.ring, s.ring + s.ring_count, sorted);
+        std::sort(sorted, sorted + s.ring_count);
+        const size_t idx =
+            std::min(s.ring_count - 1, size_t(0.95 * double(s.ring_count)));
+        if (sorted[idx] >= params_.p95_trigger_ms)
+            target = std::max(target, 1);
+    }
+    if (params_.headroom_trigger > 0.0 &&
+        waited_fraction >= params_.headroom_trigger)
+        target = std::min(target + 1, kQualityRungs - 1);
+    return target;
+}
+
+QualityRung
+BrownoutController::decide(QosClass c, size_t queue_depth,
+                           double waited_fraction)
+{
+    ClassState &s = cls_[int(c)];
+    const int target = targetFor(s, queue_depth, waited_fraction);
+    if (target > s.rung) {
+        // Step down fast: jump straight to what pressure demands.
+        s.rung = target;
+        s.healthy = 0;
+    } else if (target < s.rung) {
+        // Recover slowly: one rung per recover_ticks healthy decisions.
+        if (++s.healthy >= std::max(1, params_.recover_ticks)) {
+            --s.rung;
+            s.healthy = 0;
+        }
+    } else {
+        s.healthy = 0;
+    }
+    return QualityRung(s.rung);
+}
+
+QualityRung
+BrownoutController::current(QosClass c) const
+{
+    return QualityRung(cls_[int(c)].rung);
+}
+
+} // namespace asdr::server

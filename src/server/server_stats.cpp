@@ -53,11 +53,12 @@ ServerStats::recordAdmitted(QosClass c, double queue_s)
 }
 
 void
-ServerStats::recordServed(QosClass c, double latency_s)
+ServerStats::recordServed(QosClass c, double latency_s, QualityRung rung)
 {
     std::lock_guard<std::mutex> lock(m_);
     ClassCollector &cc = cls_[int(c)];
     cc.served++;
+    cc.served_rung[int(rung)]++;
     cc.latency_sum += latency_s;
     cc.reservoir_seen++;
     if (cc.reservoir.size() < kReservoir) {
@@ -103,12 +104,15 @@ ServerStats::recordSceneSubmitted(const std::string &scene)
 }
 
 void
-ServerStats::recordSceneServed(const std::string &scene)
+ServerStats::recordSceneServed(const std::string &scene, QualityRung rung)
 {
     std::lock_guard<std::mutex> lock(m_);
     auto &s = scenes_[scene];
     s.name = scene;
     s.served++;
+    s.served_rung[int(rung)]++;
+    if (rung != QualityRung::Full)
+        s.degraded++;
 }
 
 void
@@ -187,6 +191,11 @@ ServerStats::snapshot() const
         out.dropped = cc.dropped;
         out.failed = cc.failed;
         out.expired = cc.expired;
+        for (int r = 0; r < kQualityRungs; ++r) {
+            out.served_rung[r] = cc.served_rung[r];
+            if (r > 0)
+                out.degraded += cc.served_rung[r];
+        }
         if (cc.served) {
             out.mean_ms = cc.latency_sum / double(cc.served) * 1e3;
             std::vector<double> sorted = cc.reservoir;
@@ -232,7 +241,12 @@ ServerStatsSnapshot::toJson() const
            << ",\"drop_rate\":" << s.dropRate()
            << ",\"p50_ms\":" << s.p50_ms << ",\"p95_ms\":" << s.p95_ms
            << ",\"p99_ms\":" << s.p99_ms << ",\"mean_ms\":" << s.mean_ms
-           << ",\"mean_queue_ms\":" << s.mean_queue_ms << "}";
+           << ",\"mean_queue_ms\":" << s.mean_queue_ms << ",\"rungs\":[";
+        for (int r = 0; r < kQualityRungs; ++r)
+            os << (r ? "," : "") << s.served_rung[r];
+        os << "],\"degraded\":" << s.degraded
+           << ",\"degraded_fraction\":" << s.degradedFraction()
+           << ",\"mean_rung\":" << s.meanRung() << "}";
     }
     os << "},\"scenes\":{";
     for (size_t i = 0; i < scenes.size(); ++i) {
@@ -246,7 +260,11 @@ ServerStatsSnapshot::toJson() const
            << ",\"peak_in_flight\":" << s.peak_in_flight
            << ",\"breaker_state\":" << int(s.breaker_state)
            << ",\"breaker_opens\":" << s.breaker_opens
-           << ",\"breaker_fast_fails\":" << s.breaker_fast_fails << "}";
+           << ",\"breaker_fast_fails\":" << s.breaker_fast_fails
+           << ",\"rungs\":[";
+        for (int r = 0; r < kQualityRungs; ++r)
+            os << (r ? "," : "") << s.served_rung[r];
+        os << "],\"degraded\":" << s.degraded << "}";
     }
     os << "},\"stuck_in_flight\":" << stuck_in_flight
        << ",\"stuck_events\":" << stuck_events << "}";

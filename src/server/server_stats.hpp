@@ -45,9 +45,32 @@ struct QosClassStats
     /** Mean submit -> admit wait (scheduler queue time), milliseconds. */
     double mean_queue_ms = 0.0;
 
+    /** Quality-ladder occupancy: served frames per rung (index is a
+     *  QualityRung value; sums to `served`). */
+    uint64_t served_rung[kQualityRungs] = {};
+    /** Served frames delivered below QualityRung::Full. */
+    uint64_t degraded = 0;
+
     double dropRate() const
     {
         return submitted ? double(dropped) / double(submitted) : 0.0;
+    }
+
+    /** Fraction of served frames delivered degraded. */
+    double degradedFraction() const
+    {
+        return served ? double(degraded) / double(served) : 0.0;
+    }
+
+    /** Mean QualityRung value over served frames (0 = all Full). */
+    double meanRung() const
+    {
+        if (!served)
+            return 0.0;
+        uint64_t sum = 0;
+        for (int r = 0; r < kQualityRungs; ++r)
+            sum += served_rung[r] * uint64_t(r);
+        return double(sum) / double(served);
     }
 };
 
@@ -68,6 +91,10 @@ struct SceneServeStats
     uint8_t breaker_state = 0;
     uint64_t breaker_opens = 0;      ///< closed/half-open -> open trips
     uint64_t breaker_fast_fails = 0; ///< frames failed without rendering
+    /** Quality-ladder occupancy: served frames per rung. */
+    uint64_t served_rung[kQualityRungs] = {};
+    /** Served frames delivered below QualityRung::Full. */
+    uint64_t degraded = 0;
 };
 
 struct ServerStatsSnapshot
@@ -100,15 +127,18 @@ class ServerStats
     void recordSubmitted(QosClass c);
     /** `queue_s`: submit -> admit wait in seconds. */
     void recordAdmitted(QosClass c, double queue_s);
-    /** `latency_s`: submit -> finish in seconds. */
-    void recordServed(QosClass c, double latency_s);
+    /** `latency_s`: submit -> finish in seconds; `rung` the
+     *  QualityRung the frame was served at. */
+    void recordServed(QosClass c, double latency_s,
+                      QualityRung rung = QualityRung::Full);
     void recordDropped(QosClass c);
     void recordFailed(QosClass c);
     void recordExpired(QosClass c);
 
     // Per-scene accounting (the admission-quota observability):
     void recordSceneSubmitted(const std::string &scene);
-    void recordSceneServed(const std::string &scene);
+    void recordSceneServed(const std::string &scene,
+                           QualityRung rung = QualityRung::Full);
     void recordSceneDropped(const std::string &scene);
     void recordSceneFailed(const std::string &scene);
     void recordSceneExpired(const std::string &scene);
@@ -132,6 +162,7 @@ class ServerStats
     {
         uint64_t submitted = 0, admitted = 0, served = 0, dropped = 0,
                  failed = 0, expired = 0;
+        uint64_t served_rung[kQualityRungs] = {};
         double latency_sum = 0.0;
         double queue_sum = 0.0;
         /** Latency reservoir (seconds): first kReservoir samples kept

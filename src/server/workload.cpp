@@ -65,6 +65,29 @@ wireViewerPath(const SceneEntry &entry, const WorkloadSpec &spec,
     return path;
 }
 
+/** Fill the report's per-class degraded-fraction / mean-rung fields
+ *  from the run's served_rung deltas (cumulative after minus before). */
+void
+fillLadderView(WorkloadReport &report, const ServerStatsSnapshot &before)
+{
+    for (int c = 0; c < kQosClasses; ++c) {
+        uint64_t served = 0, degraded = 0, rung_sum = 0;
+        for (int r = 0; r < kQualityRungs; ++r) {
+            const uint64_t d = report.stats.cls[c].served_rung[r] -
+                               before.cls[c].served_rung[r];
+            served += d;
+            rung_sum += d * uint64_t(r);
+            if (r > 0)
+                degraded += d;
+        }
+        if (served) {
+            report.degraded_fraction[c] =
+                double(degraded) / double(served);
+            report.mean_rung[c] = double(rung_sum) / double(served);
+        }
+    }
+}
+
 } // namespace
 
 WorkloadReport
@@ -139,6 +162,7 @@ runWorkload(FrameServer &server, const SceneRegistry &registry,
     const uint64_t served_delta =
         report.stats.totalServed() - before.totalServed();
     report.frames_per_s = wall > 0.0 ? double(served_delta) / wall : 0.0;
+    fillLadderView(report, before);
     return report;
 }
 
@@ -327,6 +351,7 @@ runWorkloadOverWire(const SceneRegistry &registry, const WorkloadSpec &spec,
     const uint64_t served_delta =
         report.stats.totalServed() - before.totalServed();
     report.frames_per_s = wall > 0.0 ? double(served_delta) / wall : 0.0;
+    fillLadderView(report, before);
     return report;
 }
 

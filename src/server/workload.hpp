@@ -66,6 +66,13 @@ struct WorkloadReport
     /** Served frames per wall second across all viewers. */
     double frames_per_s = 0.0;
 
+    // Quality-ladder view of THIS run (before/after snapshot deltas,
+    // unlike `stats` which is the server's cumulative view):
+    /** Fraction of the run's served frames delivered below Full. */
+    double degraded_fraction[kQosClasses] = {};
+    /** Mean QualityRung value over the run's served frames. */
+    double mean_rung[kQosClasses] = {};
+
     // ---- wire runs only (runWorkloadOverWire) ----
     bool over_wire = false;
     /** submit -> result round trip as the clients measured it. */

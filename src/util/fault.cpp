@@ -164,6 +164,26 @@ fireCount(const std::string &site)
     return it == r.sites.end() ? 0 : it->second.fires;
 }
 
+const std::vector<SiteInfo> &
+sites()
+{
+    static const std::vector<SiteInfo> k = {
+        {kSocketRecv,
+         "Socket::recvSome returns an error (connection torn mid-read)"},
+        {kSocketSend,
+         "Socket::sendSome/sendAll fail (connection torn mid-write)"},
+        {kEngineStageThrow,
+         "a frame's first engine stage throws (compute fault)"},
+        {kEngineStageStall,
+         "a frame's first engine stage sleeps for the armed delay"},
+        {kServerDeliverStall,
+         "FrameServer result delivery sleeps for the armed delay"},
+        {kServerAdmitDegrade,
+         "admission forces the frame to the quality-ladder floor"},
+    };
+    return k;
+}
+
 bool
 armFromSpec(const std::string &spec, std::string *err)
 {

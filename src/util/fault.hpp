@@ -33,6 +33,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace asdr::fault {
 
@@ -52,6 +53,11 @@ inline constexpr const char *kEngineStageStall = "engine.stage.stall";
 /** FrameServer result delivery stalls for the armed delay (slow
  *  consumer between engine and client). */
 inline constexpr const char *kServerDeliverStall = "server.deliver.stall";
+/** FrameServer admission forces the frame to the quality-ladder floor
+ *  (QualityRung::Quantized8), as if the brownout controller had
+ *  maximally degraded it -- exercises the whole degraded render +
+ *  wire + client-upscale path without needing real overload. */
+inline constexpr const char *kServerAdmitDegrade = "server.admit.degrade";
 
 namespace detail {
 extern std::atomic<bool> g_enabled;
@@ -107,6 +113,21 @@ uint64_t fireCount(const std::string &site);
  * process start with $ASDR_FAULTS; exposed for tests.
  */
 bool armFromSpec(const std::string &spec, std::string *err = nullptr);
+
+/** One compiled-in injection site, for introspection/tooling. */
+struct SiteInfo
+{
+    const char *name;        ///< the string arm()/ASDR_FAULTS use
+    const char *description; ///< what firing it does
+};
+
+/**
+ * Every injection site compiled into production code, in a stable
+ * order. arm() accepts arbitrary names (sites are looked up by
+ * string), but only these are consulted; tools listing what a chaos
+ * spec *can* target should enumerate this.
+ */
+const std::vector<SiteInfo> &sites();
 
 } // namespace asdr::fault
 

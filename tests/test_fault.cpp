@@ -421,6 +421,146 @@ TEST(FrameServerFault, BreakerQuarantinesFastFailsAndRecovers)
     srv.closeSession(client);
 }
 
+TEST(FrameServerFault, ExpiredFramesDoNotCountAsBreakerFailures)
+{
+    FaultGuard guard;
+
+    server::SceneRegistry reg;
+    ASSERT_NE(reg.addProcedural("lego", "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    server::ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.threads_per_shard = 1;
+    cfg.frames_in_flight_per_shard = 1;
+    cfg.qos.cls[0].deadline_ms = 40.0;
+    cfg.qos.cls[0].max_backlog = 16;
+    cfg.watchdog_period_ms = 10;
+    // A breaker twitchy enough that deadline expiries WOULD trip it if
+    // they were (wrongly) fed into the failure machine.
+    cfg.breaker.failure_threshold = 2;
+    cfg.breaker.open_s = 30.0;
+    server::FrameServer srv(reg, cfg);
+    using BS = server::FrameServer::BreakerState;
+
+    const uint64_t client =
+        srv.openSession("lego", server::QosClass::Interactive);
+    const nerf::Camera cam =
+        nerf::cameraForScene(reg.find("lego")->info, 16, 16);
+
+    // One stalled frame holds the only slot; the four queued behind it
+    // blow their 40ms deadline via the watchdog -- four consecutive
+    // non-served outcomes, zero of them a render failure.
+    fault::arm(fault::kEngineStageStall, 1.0, /*max_fires=*/1,
+               /*delay_ms=*/250.0);
+    std::set<uint64_t> tickets;
+    for (int f = 0; f < 5; ++f)
+        tickets.insert(srv.submitFrame(client, cam));
+    srv.waitIdle();
+
+    auto snap = srv.stats();
+    EXPECT_EQ(snap.cls[0].expired, 4u);
+    EXPECT_EQ(snap.cls[0].failed, 0u);
+    // The breaker never saw a failure: still closed, never opened.
+    EXPECT_EQ(srv.breakerState("lego"), BS::Closed);
+    ASSERT_EQ(snap.scenes.size(), 1u);
+    EXPECT_EQ(snap.scenes[0].breaker_opens, 0u);
+    EXPECT_EQ(snap.scenes[0].breaker_fast_fails, 0u);
+
+    // And the scene is still being served normally afterwards.
+    tickets.insert(srv.submitFrame(client, cam));
+    srv.waitIdle();
+    EXPECT_EQ(srv.breakerState("lego"), BS::Closed);
+
+    std::vector<server::FrameResult> results;
+    srv.drainResults(results);
+    ASSERT_EQ(results.size(), 6u);
+    std::set<uint64_t> seen;
+    for (const auto &r : results)
+        EXPECT_TRUE(seen.insert(r.ticket).second) << "duplicate result";
+    EXPECT_EQ(seen, tickets);
+    srv.closeSession(client);
+}
+
+TEST(FrameServerFault, ExpiryDoesNotReopenHalfOpenBreaker)
+{
+    FaultGuard guard;
+
+    auto scn = scene::createScene("Lego");
+    std::atomic<bool> poisoned{true};
+    FlakyField flaky(*scn, nerf::NgpModelConfig::fast(), &poisoned);
+
+    server::SceneRegistry reg;
+    ASSERT_NE(reg.addShared("flaky", flaky, smallConfig(), scn->info()),
+              nullptr);
+    server::ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.threads_per_shard = 1;
+    cfg.frames_in_flight_per_shard = 1;
+    cfg.qos.cls[1].deadline_ms = 60.0;
+    cfg.qos.cls[1].max_backlog = 16;
+    cfg.watchdog_period_ms = 10;
+    cfg.breaker.failure_threshold = 2;
+    cfg.breaker.open_s = 0.15;
+    cfg.breaker.half_open_probes = 1;
+    server::FrameServer srv(reg, cfg);
+    using BS = server::FrameServer::BreakerState;
+
+    const uint64_t client =
+        srv.openSession("flaky", server::QosClass::Standard);
+    const nerf::Camera cam = nerf::cameraForScene(scn->info(), 16, 16);
+
+    // Trip the breaker, then heal the scene and wait out quarantine.
+    srv.submitFrame(client, cam);
+    srv.submitFrame(client, cam);
+    srv.waitIdle();
+    ASSERT_EQ(srv.breakerState("flaky"), BS::Open);
+    poisoned = false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+
+    // The next admission goes out as the half-open probe -- stalled
+    // long enough that a frame queued behind it expires while the
+    // probe is still in flight.
+    fault::arm(fault::kEngineStageStall, 1.0, /*max_fires=*/1,
+               /*delay_ms=*/400.0);
+    srv.submitFrame(client, cam); // probe (stalls 400ms)
+    srv.submitFrame(client, cam); // queued; expires at 60ms
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+    // The queued frame has expired by now. If expiry were treated as a
+    // probe/render failure the breaker would have snapped back to
+    // Open; it must still be waiting on the real probe.
+    EXPECT_EQ(srv.breakerState("flaky"), BS::HalfOpen);
+    EXPECT_GE(srv.stats().cls[1].expired, 1u);
+
+    // The probe's SUCCESS is what decides: breaker closes.
+    srv.waitIdle();
+    EXPECT_EQ(srv.breakerState("flaky"), BS::Closed);
+
+    std::vector<server::FrameResult> results;
+    srv.drainResults(results);
+    ASSERT_EQ(results.size(), 4u);
+    std::set<uint64_t> seen;
+    int served = 0, failed = 0, expired = 0;
+    for (const auto &r : results) {
+        EXPECT_TRUE(seen.insert(r.ticket).second) << "duplicate result";
+        if (r.ok())
+            ++served;
+        else if (r.expired)
+            ++expired;
+        else if (r.error)
+            ++failed;
+    }
+    EXPECT_EQ(served, 1);  // the healed probe
+    EXPECT_EQ(failed, 2);  // the two that tripped the breaker
+    EXPECT_EQ(expired, 1); // the deadline victim -- never a "failure"
+    const auto snap = srv.stats();
+    ASSERT_EQ(snap.scenes.size(), 1u);
+    EXPECT_EQ(snap.scenes[0].breaker_opens, 1u); // opened once, ever
+    srv.closeSession(client);
+}
+
 TEST(FrameServerFault, InjectedStageThrowsAreBoundedAndIsolated)
 {
     FaultGuard guard;
