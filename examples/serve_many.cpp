@@ -47,6 +47,16 @@ usage(const char *argv0)
            "  --ladder            enable the quality ladder: brownout\n"
            "                      controller + interactive stretch slots\n"
            "                      (degrade under burst instead of drop)\n"
+           "  --sample-cache      attach a shared cross-tenant sample\n"
+           "                      cache to every scene (exact-key:\n"
+           "                      bit-identical frames, hits skip the\n"
+           "                      field eval; see --quant-step)\n"
+           "  --quant-step <f>    sample-cache key quantization step\n"
+           "                      (default 0 = exact; > 0 buckets\n"
+           "                      nearby positions for more hits at a\n"
+           "                      PSNR-gated quality cost)\n"
+           "  --cache-mb <n>      sample-cache budget per scene, MB\n"
+           "                      (default 32)\n"
            "  --help              this message\n";
 }
 
@@ -59,6 +69,9 @@ main(int argc, char **argv)
     int frames = 8, width = 32, samples = 48;
     int shards = 2, threads = 1, in_flight = 2, burst = 2;
     bool ladder = false;
+    bool sample_cache = false;
+    float quant_step = 0.0f;
+    int cache_mb = 32;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&] { return std::atoi(argv[++i]); };
@@ -89,7 +102,15 @@ main(int argc, char **argv)
             burst = next();
         else if (arg == "--ladder")
             ladder = true;
-        else {
+        else if (arg == "--sample-cache")
+            sample_cache = true;
+        else if (arg == "--quant-step" && i + 1 < argc) {
+            quant_step = float(std::atof(argv[++i]));
+            sample_cache = true;
+        } else if (arg == "--cache-mb" && i + 1 < argc) {
+            cache_mb = next();
+            sample_cache = true;
+        } else {
             std::cerr << "unknown option: " << arg << "\n";
             usage(argv[0]);
             return 1;
@@ -132,6 +153,11 @@ main(int argc, char **argv)
         scfg.qos.cls[int(server::QosClass::Interactive)].degraded_backlog =
             2 * burst;
     }
+    if (sample_cache) {
+        scfg.sample_cache.enabled = 1;
+        scfg.sample_cache.quant_step = quant_step;
+        scfg.sample_cache.capacity_mb = cache_mb;
+    }
 
     const int viewers = interactive + standard + batch;
     std::cout << "Serving " << viewers << " viewers over "
@@ -155,6 +181,15 @@ main(int argc, char **argv)
                       fmt(s.mean_queue_ms, 1)});
     }
     table.print(std::cout);
+    if (sample_cache) {
+        std::cout << "\nsample cache (exact="
+                  << (quant_step == 0.0f ? "yes" : "no") << "):";
+        for (const server::SceneServeStats &sc : srv.stats().scenes)
+            std::cout << " " << sc.name << " hit-rate "
+                      << fmt(sc.cacheHitRate(), 3) << " (" << sc.cache_hits
+                      << "/" << (sc.cache_hits + sc.cache_misses) << ")";
+        std::cout << "\n";
+    }
     std::cout << "\n"
               << report.results << " results in " << fmt(report.wall_s, 3)
               << " s (" << fmt(report.frames_per_s, 2)

@@ -1,0 +1,420 @@
+#include "core/sample_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace asdr::core {
+
+namespace {
+
+/** Linear probe window per shard (also the clock/second-chance scan
+ *  width: the evictor only competes within the window it probes). */
+constexpr int kProbeWindow = 8;
+
+constexpr int kValueWords = 1 + nerf::kMaxGeoFeatures;
+
+inline uint32_t
+floatBits(float f)
+{
+    uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+inline float
+bitsFloat(uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+inline uint32_t
+roundDownPow2(uint32_t v)
+{
+    uint32_t p = 1;
+    while (p * 2 <= v)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
+SampleCache::SampleCache(const SampleCacheParams &params)
+{
+    quant_step_ = params.quant_step > 0.0f ? params.quant_step : 0.0f;
+    inv_step_ = quant_step_ > 0.0f ? 1.0f / quant_step_ : 0.0f;
+
+    const uint32_t nshards =
+        roundDownPow2(uint32_t(std::max(1, params.shards)));
+    shard_mask_ = nshards - 1;
+
+    // Budget -> slots: the slot array IS the cache's memory, so size it
+    // from sizeof(Slot) directly and keep at least one probe window per
+    // shard so lookup/insert never degenerate.
+    const size_t budget =
+        size_t(std::max(1, params.capacity_mb)) * size_t(1) << 20;
+    size_t total_slots = std::max<size_t>(budget / sizeof(Slot),
+                                          size_t(nshards) * kProbeWindow);
+    uint32_t per_shard = roundDownPow2(
+        uint32_t(std::min<size_t>(total_slots / nshards, 1u << 26)));
+    per_shard = std::max<uint32_t>(per_shard, kProbeWindow);
+    slot_mask_ = per_shard - 1;
+
+    shards_ = std::vector<Shard>(nshards);
+    for (Shard &sh : shards_)
+        sh.slots = std::vector<Slot>(per_shard);
+}
+
+SampleCache::Key
+SampleCache::makeKey(const Vec3 &pos) const
+{
+    Key k;
+    if (exactMode()) {
+        k.x = floatBits(pos.x);
+        k.y = floatBits(pos.y);
+        k.z = floatBits(pos.z);
+    } else {
+        k.x = uint32_t(int32_t(std::floor(pos.x * inv_step_)));
+        k.y = uint32_t(int32_t(std::floor(pos.y * inv_step_)));
+        k.z = uint32_t(int32_t(std::floor(pos.z * inv_step_)));
+    }
+    return k;
+}
+
+uint64_t
+SampleCache::hashKey(const Key &k)
+{
+    // splitmix64 over the packed key: high bits pick the shard, low
+    // bits the slot, so the two selections stay independent.
+    uint64_t state = (uint64_t(k.x) << 32) ^ (uint64_t(k.y) << 16) ^
+                     uint64_t(k.z);
+    return splitmix64(state);
+}
+
+bool
+SampleCache::lookupSlot(Shard &sh, uint64_t h, const Key &k,
+                        uint32_t epoch, nerf::DensityOutput &out,
+                        bool &stale) const
+{
+    const uint32_t base = uint32_t(h) & slot_mask_;
+    for (int i = 0; i < kProbeWindow; ++i) {
+        Slot &s = sh.slots[size_t((base + uint32_t(i)) & slot_mask_)];
+        const uint32_t s1 = s.seq.load(std::memory_order_acquire);
+        if (s1 == 0)
+            break; // slots fill window-in-order: key cannot be further on
+        if (s1 & 1u)
+            continue; // writer mid-publish
+        if (s.kx.load(std::memory_order_relaxed) != k.x ||
+            s.ky.load(std::memory_order_relaxed) != k.y ||
+            s.kz.load(std::memory_order_relaxed) != k.z)
+            continue;
+        const uint32_t slot_epoch = s.epoch.load(std::memory_order_relaxed);
+        uint32_t bits[kValueWords];
+        for (int w = 0; w < kValueWords; ++w)
+            bits[w] = s.val[w].load(std::memory_order_relaxed);
+        // Seqlock validation: if the sequence moved, any of the words
+        // above may be torn -- treat as a miss and recompute.
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (s.seq.load(std::memory_order_relaxed) != s1)
+            continue;
+        if (slot_epoch != epoch) {
+            // A pre-bump value: NEVER serve it. The slot stays until an
+            // insert reclaims it.
+            stale = true;
+            continue;
+        }
+        s.ref.store(1u, std::memory_order_relaxed);
+        out.sigma = bitsFloat(bits[0]);
+        for (int f = 0; f < nerf::kMaxGeoFeatures; ++f)
+            out.geo[size_t(f)] = bitsFloat(bits[1 + f]);
+        return true;
+    }
+    return false;
+}
+
+bool
+SampleCache::insertSlot(Shard &sh, uint64_t h, const Key &k,
+                        uint32_t epoch, const nerf::DensityOutput &val,
+                        bool &inserted)
+{
+    const uint32_t base = uint32_t(h) & slot_mask_;
+    const uint32_t now = epoch_.load(std::memory_order_relaxed);
+    int victim = -1;
+    bool evicting = false;
+
+    // Preferred victims, window-in-order: the key's own slot (refresh),
+    // a never-used slot, or a stale-epoch leftover (dead weight after a
+    // bumpEpoch -- reclaiming it is how invalidated entries drain).
+    for (int i = 0; i < kProbeWindow && victim < 0; ++i) {
+        Slot &s = sh.slots[size_t((base + uint32_t(i)) & slot_mask_)];
+        const uint32_t s1 = s.seq.load(std::memory_order_acquire);
+        if (s1 & 1u)
+            continue;
+        if (s1 == 0) {
+            victim = i;
+        } else if (s.kx.load(std::memory_order_relaxed) == k.x &&
+                   s.ky.load(std::memory_order_relaxed) == k.y &&
+                   s.kz.load(std::memory_order_relaxed) == k.z) {
+            victim = i;
+        } else if (s.epoch.load(std::memory_order_relaxed) != now) {
+            victim = i;
+        }
+    }
+
+    // Window full of live entries: clock/second-chance over the window.
+    // Entries hit since the last scan get their reference bit cleared
+    // and survive; the first unreferenced entry is replaced.
+    if (victim < 0) {
+        for (int i = 0; i < kProbeWindow && victim < 0; ++i) {
+            Slot &s = sh.slots[size_t((base + uint32_t(i)) & slot_mask_)];
+            if (s.ref.load(std::memory_order_relaxed) == 0)
+                victim = i;
+            else
+                s.ref.store(0u, std::memory_order_relaxed);
+        }
+        if (victim < 0)
+            victim = 0; // every ref bit was just cleared: classic clock
+        evicting = true;
+    }
+
+    Slot &s = sh.slots[size_t((base + uint32_t(victim)) & slot_mask_)];
+    uint32_t cur = s.seq.load(std::memory_order_relaxed);
+    if (cur & 1u)
+        return false; // another writer owns it; publishing is best-effort
+    if (!s.seq.compare_exchange_strong(cur, cur + 1,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed))
+        return false;
+    s.kx.store(k.x, std::memory_order_relaxed);
+    s.ky.store(k.y, std::memory_order_relaxed);
+    s.kz.store(k.z, std::memory_order_relaxed);
+    s.epoch.store(epoch, std::memory_order_relaxed);
+    s.val[0].store(floatBits(val.sigma), std::memory_order_relaxed);
+    for (int f = 0; f < nerf::kMaxGeoFeatures; ++f)
+        s.val[1 + f].store(floatBits(val.geo[size_t(f)]),
+                           std::memory_order_relaxed);
+    s.ref.store(1u, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    s.seq.store(cur + 2, std::memory_order_release);
+    inserted = true;
+    return evicting && cur != 0;
+}
+
+int
+SampleCache::probeBatch(const Vec3 *pos, int count, uint32_t epoch,
+                        nerf::DensityOutput *out, int *miss_idx)
+{
+    uint64_t hits = 0, stales = 0;
+    int misses = 0;
+    for (int i = 0; i < count; ++i) {
+        const Key k = makeKey(pos[i]);
+        const uint64_t h = hashKey(k);
+        bool stale = false;
+        if (lookupSlot(shardOf(h), h, k, epoch, out[i], stale)) {
+            ++hits;
+        } else {
+            miss_idx[misses++] = i;
+            stales += stale ? 1 : 0;
+        }
+    }
+    if (count > 0) {
+        // One counter round-trip per batch, not per point: the stripe
+        // of the first position absorbs the whole batch's deltas.
+        Shard &sh = shardOf(hashKey(makeKey(pos[0])));
+        if (hits)
+            sh.hits.fetch_add(hits, std::memory_order_relaxed);
+        if (misses)
+            sh.misses.fetch_add(uint64_t(misses),
+                                std::memory_order_relaxed);
+        if (stales)
+            sh.epoch_drops.fetch_add(stales, std::memory_order_relaxed);
+    }
+    return misses;
+}
+
+void
+SampleCache::publishBatch(const Vec3 *pos, const nerf::DensityOutput *vals,
+                          int count, uint32_t epoch)
+{
+    uint64_t inserts = 0, evictions = 0;
+    for (int i = 0; i < count; ++i) {
+        const Key k = makeKey(pos[i]);
+        const uint64_t h = hashKey(k);
+        bool inserted = false;
+        if (insertSlot(shardOf(h), h, k, epoch, vals[i], inserted))
+            ++evictions;
+        inserts += inserted ? 1 : 0;
+    }
+    if (count > 0) {
+        Shard &sh = shardOf(hashKey(makeKey(pos[0])));
+        if (inserts)
+            sh.inserts.fetch_add(inserts, std::memory_order_relaxed);
+        if (evictions)
+            sh.evictions.fetch_add(evictions, std::memory_order_relaxed);
+    }
+}
+
+bool
+SampleCache::probe(const Vec3 &pos, uint32_t epoch, nerf::DensityOutput &out)
+{
+    const Key k = makeKey(pos);
+    const uint64_t h = hashKey(k);
+    Shard &sh = shardOf(h);
+    bool stale = false;
+    if (lookupSlot(sh, h, k, epoch, out, stale)) {
+        sh.hits.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    sh.misses.fetch_add(1, std::memory_order_relaxed);
+    if (stale)
+        sh.epoch_drops.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void
+SampleCache::publish(const Vec3 &pos, const nerf::DensityOutput &val,
+                     uint32_t epoch)
+{
+    publishBatch(&pos, &val, 1, epoch);
+}
+
+void
+SampleCache::bumpEpoch()
+{
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+SampleCacheCounters
+SampleCache::counters() const
+{
+    SampleCacheCounters c;
+    for (const Shard &sh : shards_) {
+        c.hits += sh.hits.load(std::memory_order_relaxed);
+        c.misses += sh.misses.load(std::memory_order_relaxed);
+        c.inserts += sh.inserts.load(std::memory_order_relaxed);
+        c.evictions += sh.evictions.load(std::memory_order_relaxed);
+        c.epoch_drops += sh.epoch_drops.load(std::memory_order_relaxed);
+    }
+    return c;
+}
+
+size_t
+SampleCache::slotCount() const
+{
+    return shards_.size() * (size_t(slot_mask_) + 1);
+}
+
+size_t
+SampleCache::memoryBytes() const
+{
+    return slotCount() * sizeof(Slot);
+}
+
+// ---------------------------------------------------------------------
+// CachedField
+// ---------------------------------------------------------------------
+
+CachedField::CachedField(const nerf::RadianceField &inner,
+                         std::shared_ptr<SampleCache> cache)
+    : inner_(inner), cache_(std::move(cache))
+{
+}
+
+nerf::DensityOutput
+CachedField::density(const Vec3 &pos) const
+{
+    const uint32_t epoch = cache_->beginEpoch();
+    nerf::DensityOutput out;
+    if (cache_->probe(pos, epoch, out))
+        return out;
+    out = inner_.density(pos);
+    cache_->publish(pos, out, epoch);
+    return out;
+}
+
+Vec3
+CachedField::color(const Vec3 &pos, const Vec3 &dir,
+                   const nerf::DensityOutput &den) const
+{
+    return inner_.color(pos, dir, den);
+}
+
+void
+CachedField::densityBatch(const Vec3 *pos, int count,
+                          nerf::DensityOutput *out) const
+{
+    if (count <= 0)
+        return;
+    // Snapshot the epoch BEFORE evaluating anything: a field update
+    // racing this batch invalidates our publishes along with the rest.
+    const uint32_t epoch = cache_->beginEpoch();
+
+    static thread_local std::vector<int> miss_idx;
+    static thread_local std::vector<Vec3> miss_pos;
+    static thread_local std::vector<nerf::DensityOutput> miss_out;
+    miss_idx.resize(size_t(count));
+
+    const int misses =
+        cache_->probeBatch(pos, count, epoch, out, miss_idx.data());
+    if (misses == 0)
+        return;
+    if (misses == count) {
+        // Cold batch: evaluate in place, no gather/scatter copies.
+        inner_.densityBatch(pos, count, out);
+        cache_->publishBatch(pos, out, count, epoch);
+        return;
+    }
+
+    // Compact the misses so the inner SIMD encode+MLP path runs one
+    // dense batch, then scatter results back to their slots.
+    miss_pos.resize(size_t(misses));
+    miss_out.resize(size_t(misses));
+    for (int m = 0; m < misses; ++m)
+        miss_pos[size_t(m)] = pos[miss_idx[size_t(m)]];
+    inner_.densityBatch(miss_pos.data(), misses, miss_out.data());
+    for (int m = 0; m < misses; ++m)
+        out[miss_idx[size_t(m)]] = miss_out[size_t(m)];
+    cache_->publishBatch(miss_pos.data(), miss_out.data(), misses, epoch);
+}
+
+void
+CachedField::colorBatch(const Vec3 *pos, const Vec3 &dir,
+                        const nerf::DensityOutput *den, int count,
+                        Vec3 *out) const
+{
+    inner_.colorBatch(pos, dir, den, count, out);
+}
+
+void
+CachedField::traceLookups(const Vec3 &pos, nerf::LookupSink &sink) const
+{
+    inner_.traceLookups(pos, sink);
+}
+
+nerf::TableSchema
+CachedField::tableSchema() const
+{
+    return inner_.tableSchema();
+}
+
+nerf::FieldCosts
+CachedField::costs() const
+{
+    return inner_.costs();
+}
+
+std::string
+CachedField::describe() const
+{
+    return inner_.describe() + " + sample-cache(" +
+           (cache_->exactMode()
+                ? std::string("exact")
+                : "q=" + std::to_string(cache_->quantStep())) +
+           ")";
+}
+
+} // namespace asdr::core

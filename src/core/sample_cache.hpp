@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Cross-tenant sample reuse cache: a per-scene, read-mostly
+ * memoization layer mapping quantized sample position -> density
+ * output (sigma + the geometry/color feature vector), shared by every
+ * session and shard that views the scene. Where Morton batching (PR 2)
+ * reuses table entries *within* a frame and the probe cache (PR 3)
+ * reuses Phase I *within* a session, this layer amortizes the full
+ * encode+MLP cost *across* viewers: the millionth viewer of a scene
+ * mostly reads field outputs its neighbors already paid for (the
+ * paper's data-reuse thesis applied memory-side, Cicero-style).
+ *
+ * Structure: N independent lock-striped segments ("shards", a power of
+ * two), selected by splitmix64 of the quantized position. Each shard
+ * is a fixed-size open-addressed slot array probed over a short linear
+ * window. Slots follow a seqlock-with-atomics protocol -- every word
+ * of a slot (sequence, key, epoch, value) is a relaxed/acquire atomic,
+ * so readers are wait-free and never block behind writers, writers
+ * never block behind readers, and the whole structure is clean under
+ * ThreadSanitizer (no non-atomic data races; torn reads are detected
+ * by the sequence recheck and degrade to a miss).
+ *
+ * Exactness: with quant_step == 0 the key is the exact float bit
+ * pattern of the position, so a hit returns bit-for-bit what the field
+ * would recompute -- frames render identical with the cache on or off.
+ * A quant_step > 0 buckets nearby positions onto one representative
+ * value (the neural-radiance-caching trade: more cross-viewer hits for
+ * a bounded PSNR cost, gated by tests/test_sample_cache.cpp).
+ *
+ * Invalidation: the cache carries a global epoch. bumpEpoch() (after a
+ * field update) logically drops every entry at once -- readers require
+ * a slot's stored epoch to equal the epoch they snapshotted at probe
+ * time, and writers publish the epoch they snapshotted *before*
+ * evaluating the field, so a value computed against the old weights
+ * can never be served after the bump. Stale slots are reclaimed in
+ * place by later inserts.
+ *
+ * Memory: bounded by capacity_mb; when a probe window is full of live
+ * entries, a clock/second-chance pass runs over the window (hits set a
+ * reference bit, the evictor clears them and replaces the first
+ * unreferenced slot).
+ *
+ * Not to be confused with core/field_cache.{cpp,hpp}, which is a
+ * get-or-train disk cache of *fitted fields* (whole models); this
+ * caches individual *sample evaluations* of one live field.
+ */
+
+#ifndef ASDR_CORE_SAMPLE_CACHE_HPP
+#define ASDR_CORE_SAMPLE_CACHE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/render_config.hpp"
+#include "nerf/field.hpp"
+
+namespace asdr::core {
+
+/** Cumulative counters of one cache (served in ServerStats JSON and on
+ *  the wire in StatsReply). */
+struct SampleCacheCounters
+{
+    uint64_t hits = 0;        ///< probes served from the cache
+    uint64_t misses = 0;      ///< probes that fell through to the field
+    uint64_t inserts = 0;     ///< values published (refresh included)
+    uint64_t evictions = 0;   ///< live entries replaced by second chance
+    uint64_t epoch_drops = 0; ///< probes rejecting a stale-epoch entry
+
+    double hitRate() const
+    {
+        const uint64_t total = hits + misses;
+        return total ? double(hits) / double(total) : 0.0;
+    }
+};
+
+class SampleCache
+{
+  public:
+    /** Rounds shards and per-shard slots to powers of two; the slot
+     *  array is allocated up front (the memory budget is the point). */
+    explicit SampleCache(const SampleCacheParams &params);
+
+    SampleCache(const SampleCache &) = delete;
+    SampleCache &operator=(const SampleCache &) = delete;
+
+    /** True when quant_step == 0: keys are exact float bit patterns
+     *  and every hit is bit-identical to recomputation. */
+    bool exactMode() const { return quant_step_ == 0.0f; }
+
+    /** The epoch to probe and publish under. Snapshot once per batch,
+     *  BEFORE evaluating misses -- publishing under the snapshot makes
+     *  a concurrent bumpEpoch() atomically invalidate the in-flight
+     *  values along with everything else. */
+    uint32_t beginEpoch() const
+    {
+        return epoch_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Probe `count` positions: hits fill `out[i]` with the cached
+     * DensityOutput; the indices of the misses land in
+     * `miss_idx[0..returned)`. Wait-free for readers; never writes the
+     * table.
+     */
+    int probeBatch(const Vec3 *pos, int count, uint32_t epoch,
+                   nerf::DensityOutput *out, int *miss_idx);
+
+    /** Publish `count` freshly evaluated (position, value) pairs under
+     *  the probe-time epoch. Best-effort and non-blocking: a slot
+     *  contended by another writer is simply skipped. */
+    void publishBatch(const Vec3 *pos, const nerf::DensityOutput *vals,
+                      int count, uint32_t epoch);
+
+    /** Single-point probe (the scalar render path). */
+    bool probe(const Vec3 &pos, uint32_t epoch, nerf::DensityOutput &out);
+    void publish(const Vec3 &pos, const nerf::DensityOutput &val,
+                 uint32_t epoch);
+
+    /**
+     * Invalidate every entry at once (call after the scene's field is
+     * retrained or updated in place). Entries published against the
+     * old epoch are never served again, even if their publish lands
+     * after this call returns.
+     */
+    void bumpEpoch();
+    uint32_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+    SampleCacheCounters counters() const;
+
+    float quantStep() const { return quant_step_; }
+    int shardCount() const { return int(shards_.size()); }
+    size_t slotCount() const;
+    /** Bytes actually allocated for slot storage. */
+    size_t memoryBytes() const;
+
+  private:
+    struct Key
+    {
+        uint32_t x = 0, y = 0, z = 0;
+    };
+
+    /**
+     * One cache line of state per entry. seq: 0 = never used, odd =
+     * writer mid-publish, even >= 2 = valid. A slot's words are only
+     * meaningful when seq is even and unchanged across the read (the
+     * seqlock validation); all words are atomics so concurrent access
+     * is race-free by construction.
+     */
+    struct Slot
+    {
+        std::atomic<uint32_t> seq{0};
+        std::atomic<uint32_t> kx{0}, ky{0}, kz{0};
+        std::atomic<uint32_t> epoch{0};
+        /** Second-chance reference bit (set on hit, cleared by the
+         *  eviction scan). */
+        std::atomic<uint32_t> ref{0};
+        /** sigma then geo[0..kMaxGeoFeatures), as float bit patterns. */
+        std::atomic<uint32_t> val[1 + nerf::kMaxGeoFeatures];
+    };
+
+    struct Shard
+    {
+        std::vector<Slot> slots;
+        // Contended-counter stripe: batched deltas land here once per
+        // probeBatch/publishBatch call, not once per point.
+        std::atomic<uint64_t> hits{0};
+        std::atomic<uint64_t> misses{0};
+        std::atomic<uint64_t> inserts{0};
+        std::atomic<uint64_t> evictions{0};
+        std::atomic<uint64_t> epoch_drops{0};
+    };
+
+    Key makeKey(const Vec3 &pos) const;
+    static uint64_t hashKey(const Key &k);
+    Shard &shardOf(uint64_t h)
+    {
+        return shards_[size_t((h >> 48) & uint64_t(shard_mask_))];
+    }
+
+    /** Returns true on hit (fills `out`); `stale` reports an
+     *  epoch-rejected candidate (the epoch_drops counter). */
+    bool lookupSlot(Shard &sh, uint64_t h, const Key &k, uint32_t epoch,
+                    nerf::DensityOutput &out, bool &stale) const;
+    /** Returns true when a live entry was replaced (an eviction). */
+    bool insertSlot(Shard &sh, uint64_t h, const Key &k, uint32_t epoch,
+                    const nerf::DensityOutput &val, bool &inserted);
+
+    float quant_step_ = 0.0f;
+    float inv_step_ = 0.0f;
+    uint32_t shard_mask_ = 0;
+    uint32_t slot_mask_ = 0; ///< per-shard slot index mask
+    std::vector<Shard> shards_;
+    std::atomic<uint32_t> epoch_{1};
+};
+
+/**
+ * Transparent RadianceField overlay: densityBatch() probes the shared
+ * SampleCache, evaluates only the misses through the wrapped field's
+ * (SIMD encode+MLP) batch path, scatters the results back in place,
+ * and publishes the fresh values without blocking concurrent readers.
+ * Color is direction-dependent and therefore never cached -- color
+ * calls delegate, consuming the (possibly cache-served) geometry
+ * features exactly as they would the field's own.
+ *
+ * In exact-key mode the overlay is bit-transparent: every render
+ * through it is bitwise identical to rendering the inner field
+ * directly (enforced across field types, thread counts, and shard
+ * counts by tests/test_sample_cache.cpp).
+ */
+class CachedField final : public nerf::RadianceField
+{
+  public:
+    /** `inner` must outlive the overlay; `cache` is shared with every
+     *  other overlay of the same scene. */
+    CachedField(const nerf::RadianceField &inner,
+                std::shared_ptr<SampleCache> cache);
+
+    const nerf::RadianceField &inner() const { return inner_; }
+    SampleCache &cache() const { return *cache_; }
+    std::shared_ptr<SampleCache> cachePtr() const { return cache_; }
+
+    nerf::DensityOutput density(const Vec3 &pos) const override;
+    Vec3 color(const Vec3 &pos, const Vec3 &dir,
+               const nerf::DensityOutput &den) const override;
+    void densityBatch(const Vec3 *pos, int count,
+                      nerf::DensityOutput *out) const override;
+    void colorBatch(const Vec3 *pos, const Vec3 &dir,
+                    const nerf::DensityOutput *den, int count,
+                    Vec3 *out) const override;
+    void traceLookups(const Vec3 &pos, nerf::LookupSink &sink) const override;
+    nerf::TableSchema tableSchema() const override;
+    nerf::FieldCosts costs() const override;
+    std::string describe() const override;
+
+  private:
+    const nerf::RadianceField &inner_;
+    std::shared_ptr<SampleCache> cache_;
+};
+
+} // namespace asdr::core
+
+#endif // ASDR_CORE_SAMPLE_CACHE_HPP

@@ -63,7 +63,9 @@ constexpr uint32_t kMagic = 0x52445341u; // 'A','S','D','R' on the wire
  *  DeadlineExceeded frame status, and fault-model stats fields. */
 /** v3: FrameResult carries the quality-ladder rung + requested dims;
  *  StatsReply carries per-class/per-scene rung occupancy. */
-constexpr uint16_t kProtocolVersion = 3;
+/** v4: StatsReply per-scene sections carry the sample-cache counters
+ *  (hits/misses/evictions/epoch_drops). */
+constexpr uint16_t kProtocolVersion = 4;
 constexpr size_t kHeaderSize = 12;
 /** Hard cap on one message's payload; oversized headers are a protocol
  *  violation (a 4K frame is ~200 MB raw -- far beyond this service's

@@ -37,6 +37,9 @@ FrameServer::FrameServer(const SceneRegistry &registry,
     ASDR_ASSERT(cfg.shards >= 1, "need at least one shard");
     ASDR_ASSERT(cfg.frames_in_flight_per_shard >= 1,
                 "need at least one pipeline slot per shard");
+    // Server-level sample-cache knobs: retrofit a shared cache onto
+    // every scene that registered without one (no-op when off).
+    registry.attachSampleCaches(cfg.sample_cache);
     shards_.resize(size_t(cfg.shards));
     for (Shard &s : shards_) {
         engine::EngineConfig ec;
@@ -117,7 +120,7 @@ FrameServer::openSession(const std::string &scene, QosClass qos,
     client->qos = qos;
     client->callback = std::move(callback);
     client->session = std::make_unique<engine::RenderSession>(
-        *entry->field, entry->config, opt.session);
+        entry->sessionField(), entry->config, opt.session);
 
     std::lock_guard<std::mutex> lock(m_);
     client->id = next_client_++;
@@ -580,11 +583,24 @@ ServerStatsSnapshot
 FrameServer::stats() const
 {
     ServerStatsSnapshot snap = stats_.snapshot();
-    std::lock_guard<std::mutex> lock(m_);
-    for (const auto &entry : breakers_)
-        for (SceneServeStats &sc : snap.scenes)
-            if (sc.name == entry.second.scene_name)
-                sc.breaker_state = uint8_t(entry.second.state);
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        for (const auto &entry : breakers_)
+            for (SceneServeStats &sc : snap.scenes)
+                if (sc.name == entry.second.scene_name)
+                    sc.breaker_state = uint8_t(entry.second.state);
+    }
+    // Live-filled like breaker_state: the per-scene sample cache keeps
+    // its own atomic counters, snapshotted here rather than threaded
+    // through the recording path.
+    for (SceneServeStats &sc : snap.scenes)
+        if (auto cache = registry_.sceneCache(sc.name)) {
+            const core::SampleCacheCounters c = cache->counters();
+            sc.cache_hits = c.hits;
+            sc.cache_misses = c.misses;
+            sc.cache_evictions = c.evictions;
+            sc.cache_epoch_drops = c.epoch_drops;
+        }
     return snap;
 }
 

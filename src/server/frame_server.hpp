@@ -123,6 +123,15 @@ struct ServerConfig
      * the controller itself is enabled.
      */
     LadderParams ladder;
+    /**
+     * Cross-tenant sample reuse (core/sample_cache): when this
+     * resolves on (explicitly or via ASDR_SAMPLE_CACHE), the server
+     * attaches one shared SampleCache per registered scene at
+     * construction, so every session of a scene -- across all shards
+     * -- reads field outputs its neighbors already evaluated. Off by
+     * default; quant_step = 0 keeps served frames bit-identical.
+     */
+    core::SampleCacheParams sample_cache;
 };
 
 /** Per-session options beyond the QoS class. */

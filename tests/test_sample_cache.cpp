@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Guarantees of the cross-tenant sample cache (core/sample_cache):
+ *
+ *  - probe/publish mechanics: misses then hits, counters, eviction
+ *    under a tiny budget, quantized-key bucketing;
+ *  - exact-key mode is bit-transparent: density batches and whole
+ *    rendered frames through a CachedField equal the uncached field
+ *    bit for bit, across field types, thread counts, and cache shard
+ *    counts;
+ *  - quantized mode holds a PSNR bound against the uncached render on
+ *    both a procedural Lego scene and a trained Instant-NGP field;
+ *  - epoch invalidation never serves a pre-bump value, even while
+ *    many threads hammer one cache and the epoch moves mid-stream
+ *    (this test is the TSan workout for the seqlock slot protocol).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/renderer.hpp"
+#include "core/sample_cache.hpp"
+#include "image/metrics.hpp"
+#include "nerf/ngp_field.hpp"
+#include "nerf/procedural_field.hpp"
+#include "nerf/tensorf.hpp"
+#include "scene/scene_library.hpp"
+#include "util/rng.hpp"
+
+using namespace asdr;
+using namespace asdr::core;
+
+namespace {
+
+std::vector<Vec3>
+randomPositions(int count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Vec3> pos;
+    pos.reserve(size_t(count));
+    for (int i = 0; i < count; ++i)
+        pos.push_back({rng.nextRange(0.0f, 1.0f), rng.nextRange(0.0f, 1.0f),
+                       rng.nextRange(0.0f, 1.0f)});
+    return pos;
+}
+
+SampleCacheParams
+onParams(float quant_step = 0.0f, int shards = 8, int capacity_mb = 8)
+{
+    SampleCacheParams p;
+    p.enabled = 1;
+    p.quant_step = quant_step;
+    p.capacity_mb = capacity_mb;
+    p.shards = shards;
+    return p;
+}
+
+void
+expectSameImage(const Image &a, const Image &b)
+{
+    ASSERT_EQ(a.width(), b.width());
+    ASSERT_EQ(a.height(), b.height());
+    for (int y = 0; y < a.height(); ++y)
+        for (int x = 0; x < a.width(); ++x) {
+            ASSERT_EQ(a.at(x, y).x, b.at(x, y).x) << x << "," << y;
+            ASSERT_EQ(a.at(x, y).y, b.at(x, y).y) << x << "," << y;
+            ASSERT_EQ(a.at(x, y).z, b.at(x, y).z) << x << "," << y;
+        }
+}
+
+} // namespace
+
+TEST(SampleCache, ProbeMissThenHit)
+{
+    SampleCache cache(onParams());
+    const uint32_t epoch = cache.beginEpoch();
+    const Vec3 p{0.25f, 0.5f, 0.75f};
+
+    nerf::DensityOutput out;
+    EXPECT_FALSE(cache.probe(p, epoch, out));
+
+    nerf::DensityOutput val;
+    val.sigma = 3.5f;
+    for (int f = 0; f < nerf::kMaxGeoFeatures; ++f)
+        val.geo[size_t(f)] = float(f) * 0.125f;
+    cache.publish(p, val, epoch);
+
+    ASSERT_TRUE(cache.probe(p, epoch, out));
+    EXPECT_EQ(out.sigma, val.sigma);
+    for (int f = 0; f < nerf::kMaxGeoFeatures; ++f)
+        EXPECT_EQ(out.geo[size_t(f)], val.geo[size_t(f)]);
+
+    const SampleCacheCounters c = cache.counters();
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.inserts, 1u);
+}
+
+TEST(SampleCache, ExactModeDistinguishesNearbyPositions)
+{
+    SampleCache cache(onParams());
+    ASSERT_TRUE(cache.exactMode());
+    const uint32_t epoch = cache.beginEpoch();
+    nerf::DensityOutput val;
+    val.sigma = 1.0f;
+    cache.publish({0.5f, 0.5f, 0.5f}, val, epoch);
+
+    nerf::DensityOutput out;
+    EXPECT_TRUE(cache.probe({0.5f, 0.5f, 0.5f}, epoch, out));
+    // One ulp away is a different key in exact mode.
+    EXPECT_FALSE(
+        cache.probe({std::nextafter(0.5f, 1.0f), 0.5f, 0.5f}, epoch, out));
+}
+
+TEST(SampleCache, QuantizedModeBucketsNearbyPositions)
+{
+    SampleCache cache(onParams(1.0f / 64.0f));
+    ASSERT_FALSE(cache.exactMode());
+    const uint32_t epoch = cache.beginEpoch();
+    nerf::DensityOutput val;
+    val.sigma = 2.0f;
+    cache.publish({0.500f, 0.500f, 0.500f}, val, epoch);
+
+    // Same 1/64 cell -> hit with the representative value.
+    nerf::DensityOutput out;
+    ASSERT_TRUE(cache.probe({0.503f, 0.510f, 0.501f}, epoch, out));
+    EXPECT_EQ(out.sigma, 2.0f);
+    // A different cell misses.
+    EXPECT_FALSE(cache.probe({0.55f, 0.5f, 0.5f}, epoch, out));
+}
+
+TEST(SampleCache, BatchProbeCompactsMissIndices)
+{
+    SampleCache cache(onParams());
+    const uint32_t epoch = cache.beginEpoch();
+    std::vector<Vec3> pos = randomPositions(64, 11);
+
+    // Publish every other position.
+    for (int i = 0; i < 64; i += 2) {
+        nerf::DensityOutput v;
+        v.sigma = float(i);
+        cache.publish(pos[size_t(i)], v, epoch);
+    }
+
+    std::vector<nerf::DensityOutput> out(64);
+    std::vector<int> miss(64);
+    const int misses =
+        cache.probeBatch(pos.data(), 64, epoch, out.data(), miss.data());
+    ASSERT_EQ(misses, 32);
+    for (int m = 0; m < misses; ++m)
+        EXPECT_EQ(miss[size_t(m)] % 2, 1) << "miss " << m;
+    for (int i = 0; i < 64; i += 2)
+        EXPECT_EQ(out[size_t(i)].sigma, float(i));
+}
+
+TEST(SampleCache, TinyBudgetEvictsInsteadOfGrowing)
+{
+    // 0 MB rounds up to the minimum probe window per shard -- the
+    // cache must keep working (and evicting), never allocating more.
+    SampleCacheParams p = onParams(0.0f, 1, 0);
+    SampleCache cache(p);
+    const size_t slots = cache.slotCount();
+    ASSERT_GT(slots, 0u);
+
+    const uint32_t epoch = cache.beginEpoch();
+    std::vector<Vec3> pos = randomPositions(int(slots) * 16, 17);
+    for (const Vec3 &q : pos) {
+        nerf::DensityOutput v;
+        v.sigma = 1.0f;
+        cache.publish(q, v, epoch);
+    }
+    const SampleCacheCounters c = cache.counters();
+    EXPECT_GT(c.evictions, 0u);
+    EXPECT_LE(cache.memoryBytes(), size_t(1) << 20);
+}
+
+TEST(SampleCache, CachedFieldExactBitIdenticalAcrossFieldTypes)
+{
+    auto scene = scene::createScene("Lego");
+    nerf::ProceduralField procedural(*scene, nerf::NgpModelConfig::fast());
+    nerf::InstantNgpField ngp(nerf::NgpModelConfig::fast(), 21);
+    nerf::TensorfField tensorf(nerf::TensorfConfig{}, 23);
+    const nerf::RadianceField *fields[] = {&procedural, &ngp, &tensorf};
+
+    for (const nerf::RadianceField *field : fields) {
+        SCOPED_TRACE(field->describe());
+        CachedField cached(*field,
+                           std::make_shared<SampleCache>(onParams()));
+        std::vector<Vec3> pos = randomPositions(200, 5);
+        const Vec3 dir = normalize(Vec3{0.2f, -0.7f, 0.4f});
+
+        std::vector<nerf::DensityOutput> want(pos.size());
+        field->densityBatch(pos.data(), int(pos.size()), want.data());
+
+        // Two passes: the first populates (all misses), the second is
+        // served from the cache -- both must match bit for bit.
+        for (int pass = 0; pass < 2; ++pass) {
+            std::vector<nerf::DensityOutput> got(pos.size());
+            cached.densityBatch(pos.data(), int(pos.size()), got.data());
+            for (size_t i = 0; i < pos.size(); ++i) {
+                ASSERT_EQ(got[i].sigma, want[i].sigma)
+                    << "pass " << pass << " point " << i;
+                for (int f = 0; f < nerf::kMaxGeoFeatures; ++f)
+                    ASSERT_EQ(got[i].geo[size_t(f)], want[i].geo[size_t(f)])
+                        << "pass " << pass << " point " << i << " geo "
+                        << f;
+            }
+        }
+        EXPECT_GT(cached.cache().counters().hits, 0u);
+
+        std::vector<nerf::DensityOutput> den(pos.size());
+        cached.densityBatch(pos.data(), int(pos.size()), den.data());
+        std::vector<Vec3> want_col(pos.size()), got_col(pos.size());
+        field->colorBatch(pos.data(), dir, den.data(), int(pos.size()),
+                          want_col.data());
+        cached.colorBatch(pos.data(), dir, den.data(), int(pos.size()),
+                          got_col.data());
+        for (size_t i = 0; i < pos.size(); ++i)
+            ASSERT_EQ(got_col[i], want_col[i]) << "point " << i;
+    }
+}
+
+TEST(SampleCache, ExactRenderBitIdenticalAcrossThreadsAndShards)
+{
+    auto scene = scene::createScene("Lego");
+    nerf::ProceduralField field(*scene, nerf::NgpModelConfig::fast());
+    nerf::Camera camera = nerf::cameraForScene(scene->info(), 32, 32);
+
+    RenderConfig base;
+    base.width = 32;
+    base.height = 32;
+    base.samples_per_ray = 48;
+    base.num_threads = 1;
+    const Image want = AsdrRenderer(field, base).render(camera);
+
+    for (int threads : {1, 2, 4})
+        for (int shards : {1, 4}) {
+            SCOPED_TRACE("threads=" + std::to_string(threads) +
+                         " shards=" + std::to_string(shards));
+            RenderConfig cfg = base;
+            cfg.num_threads = threads;
+            cfg.sample_cache = onParams(0.0f, shards);
+            AsdrRenderer renderer(field, cfg);
+            ASSERT_NE(renderer.sampleCache(), nullptr);
+            // Cold pass fills the cache, warm pass renders out of it;
+            // both frames must equal the uncached render bit for bit.
+            expectSameImage(renderer.render(camera), want);
+            expectSameImage(renderer.render(camera), want);
+            EXPECT_GT(renderer.sampleCache()->counters().hits, 0u);
+        }
+}
+
+TEST(SampleCache, QuantizedRenderHoldsPsnrBound)
+{
+    // The quality gate of the quantized (lossy) mode: bucketing sample
+    // positions onto a 1/512 grid must stay visually transparent on
+    // both a procedural Lego field and a trained NGP field.
+    auto scene = scene::createScene("Lego");
+    nerf::ProceduralField procedural(*scene, nerf::NgpModelConfig::fast());
+    nerf::InstantNgpField ngp(nerf::NgpModelConfig::fast(), 99);
+    const nerf::RadianceField *fields[] = {&procedural, &ngp};
+
+    nerf::Camera camera = nerf::cameraForScene(scene->info(), 48, 48);
+    for (const nerf::RadianceField *field : fields) {
+        SCOPED_TRACE(field->describe());
+        RenderConfig cfg;
+        cfg.width = 48;
+        cfg.height = 48;
+        cfg.samples_per_ray = 64;
+        const Image want = AsdrRenderer(*field, cfg).render(camera);
+
+        cfg.sample_cache = onParams(1.0f / 512.0f);
+        AsdrRenderer renderer(*field, cfg);
+        const Image warmup = renderer.render(camera);
+        const Image got = renderer.render(camera);
+        const double db = psnr(got, want);
+        EXPECT_GE(db, 38.0) << "quantized render drifted too far";
+        EXPECT_GT(renderer.sampleCache()->counters().hits, 0u);
+    }
+}
+
+TEST(SampleCache, ServingDoubleWrapIsAvoided)
+{
+    // A renderer over an already-cached field (the serving path) must
+    // not stack a second private cache on top.
+    auto scene = scene::createScene("Lego");
+    nerf::ProceduralField field(*scene, nerf::NgpModelConfig::fast());
+    auto shared = std::make_shared<SampleCache>(onParams());
+    CachedField cached(field, shared);
+
+    RenderConfig cfg;
+    cfg.sample_cache = onParams();
+    AsdrRenderer renderer(cached, cfg);
+    EXPECT_EQ(renderer.sampleCache(), nullptr);
+    EXPECT_EQ(&renderer.renderField(), &cached);
+}
+
+TEST(SampleCache, EpochBumpNeverServesPreUpdateValues)
+{
+    // Each published value encodes the epoch it was computed under
+    // (sigma = epoch). Any hit whose sigma != the reader's snapshot
+    // epoch would mean the cache served a pre-invalidation value.
+    SampleCache cache(onParams(0.0f, 4, 4));
+    constexpr int kThreads = 4;
+    constexpr int kPoints = 512;
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> violations{0};
+
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back([&, t] {
+            std::vector<Vec3> pos = randomPositions(kPoints, 100 + t);
+            std::vector<nerf::DensityOutput> out(kPoints);
+            std::vector<int> miss(kPoints);
+            while (!stop.load(std::memory_order_relaxed)) {
+                const uint32_t epoch = cache.beginEpoch();
+                const int misses = cache.probeBatch(
+                    pos.data(), kPoints, epoch, out.data(), miss.data());
+                for (int i = 0; i < kPoints; ++i) {
+                    bool missed = false;
+                    for (int m = 0; m < misses; ++m)
+                        if (miss[size_t(m)] == i) {
+                            missed = true;
+                            break;
+                        }
+                    if (!missed &&
+                        out[size_t(i)].sigma != float(epoch))
+                        violations.fetch_add(1,
+                                             std::memory_order_relaxed);
+                }
+                std::vector<Vec3> mp;
+                std::vector<nerf::DensityOutput> mv;
+                for (int m = 0; m < misses; ++m) {
+                    nerf::DensityOutput v;
+                    v.sigma = float(epoch);
+                    mp.push_back(pos[size_t(miss[size_t(m)])]);
+                    mv.push_back(v);
+                }
+                if (!mp.empty())
+                    cache.publishBatch(mp.data(), mv.data(),
+                                       int(mp.size()), epoch);
+            }
+        });
+
+    // Bump the epoch mid-stream a few times while the workers hammer.
+    for (int b = 0; b < 8; ++b) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        cache.bumpEpoch();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stop.store(true);
+    for (auto &w : workers)
+        w.join();
+
+    EXPECT_EQ(violations.load(), 0u);
+    const SampleCacheCounters c = cache.counters();
+    EXPECT_GT(c.hits, 0u);
+    EXPECT_GT(c.epoch_drops, 0u) << "bumps never rejected an old entry";
+}
+
+TEST(SampleCache, ConcurrentMixedShardHammer)
+{
+    // Raw contention workout (the TSan target): many threads publish
+    // and probe overlapping keys on a deliberately tiny, single-shard
+    // cache so writer/writer and reader/writer overlap is constant.
+    SampleCacheParams p = onParams(0.0f, 1, 0);
+    SampleCache cache(p);
+    constexpr int kThreads = 4;
+    std::atomic<bool> stop{false};
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+        workers.emplace_back([&, t] {
+            std::vector<Vec3> pos = randomPositions(64, 7); // shared keys
+            Rng rng(uint64_t(t) * 977 + 1);
+            nerf::DensityOutput out;
+            while (!stop.load(std::memory_order_relaxed)) {
+                const uint32_t epoch = cache.beginEpoch();
+                const Vec3 &q = pos[size_t(rng.nextU32() % 64u)];
+                if (!cache.probe(q, epoch, out)) {
+                    nerf::DensityOutput v;
+                    v.sigma = 1.0f;
+                    cache.publish(q, v, epoch);
+                }
+            }
+        });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    stop.store(true);
+    for (auto &w : workers)
+        w.join();
+    const SampleCacheCounters c = cache.counters();
+    EXPECT_GT(c.hits + c.misses, 0u);
+}
