@@ -35,6 +35,7 @@
 #include "nerf/procedural_field.hpp"
 #include "server/frame_server.hpp"
 #include "server/workload.hpp"
+#include "util/telemetry.hpp"
 
 using namespace asdr;
 using namespace asdr::bench;
@@ -1087,6 +1088,90 @@ main(int argc, char **argv)
                      artifact);
         }
         ftable.print(std::cout);
+    }
+
+    // ---- telemetry overhead: the same closed-loop serving workload
+    // with stage-span tracing off vs. on. Recording a span is one
+    // timestamp pair plus an append to the recording thread's own
+    // buffer, so tracing must cost low single-digit percent; the smoke
+    // run ASSERTS traced throughput stays within 3% of untraced
+    // (best-of-3 each, interleaved, so machine drift hits both arms).
+    {
+        const int tw = smoke ? 16 : 32;      // frame edge
+        const int tns = smoke ? 24 : 48;     // samples per ray
+        const int tframes = smoke ? 8 : 16;  // submissions per viewer
+        core::RenderConfig tcfg = core::RenderConfig::asdr(tw, tw, tns);
+        tcfg.probe_stride = 4;
+
+        auto run_once = [&](bool traced) {
+            telemetry::setEnabled(traced);
+            server::SceneRegistry registry;
+            registry.addProcedural("Lego", "Lego",
+                                   nerf::NgpModelConfig::fast(), tcfg);
+            registry.addProcedural("Chair", "Chair",
+                                   nerf::NgpModelConfig::fast(), tcfg);
+            server::ServerConfig scfg;
+            scfg.shards = 2;
+            scfg.threads_per_shard =
+                std::max(1, std::min(2, core::resolveThreadCount(0)));
+            scfg.frames_in_flight_per_shard = 2;
+            server::FrameServer srv(registry, scfg);
+
+            server::WorkloadSpec spec;
+            spec.scenes = {"Lego", "Chair"};
+            spec.clients[int(server::QosClass::Interactive)] = smoke ? 2 : 3;
+            spec.clients[int(server::QosClass::Standard)] = 1;
+            spec.clients[int(server::QosClass::Batch)] = 1;
+            spec.frames_per_client = tframes;
+            spec.width = tw;
+            spec.height = tw;
+            spec.burst = 2; // closed loop, no drops: pure throughput
+            server::WorkloadReport report =
+                server::runWorkload(srv, registry, spec);
+            telemetry::setEnabled(false);
+            return report.frames_per_s;
+        };
+
+        const int reps = smoke ? 3 : 3;
+        double off_best = 0.0, on_best = 0.0;
+        size_t spans_per_run = 0;
+        run_once(false); // warm fields, pools, and allocators
+        for (int r = 0; r < reps; ++r) {
+            off_best = std::max(off_best, run_once(false));
+            telemetry::reset();
+            on_best = std::max(on_best, run_once(true));
+            spans_per_run = telemetry::spanCount();
+            telemetry::reset();
+        }
+        const double ratio = off_best > 0.0 ? on_best / off_best : 1.0;
+
+        TextTable ttable({"tracing", "frames/s (best of 3)", "spans",
+                          "on/off"});
+        ttable.addRow({"off", fmt(off_best, 2), "0", fmtTimes(1.0)});
+        ttable.addRow({"on", fmt(on_best, 2),
+                       std::to_string(spans_per_run), fmtTimes(ratio)});
+        ttable.print(std::cout);
+        for (int traced : {0, 1})
+            emitBoth(JsonLine("telemetry_overhead")
+                         .field("tracing", traced ? "on" : "off")
+                         .field("width", tw)
+                         .field("samples_per_ray", tns)
+                         .field("frames_per_viewer", tframes)
+                         .field("reps", reps)
+                         .field("frames_per_s",
+                                traced ? on_best : off_best)
+                         .field("spans_per_run",
+                                traced ? double(spans_per_run) : 0.0)
+                         .field("on_off_ratio", ratio),
+                     artifact);
+        // The acceptance gate: tracing-on throughput within 3% of
+        // tracing-off (smoke-asserted in ctest).
+        if (smoke && ratio < 0.97) {
+            std::cerr << "FAIL: tracing-on throughput is "
+                      << fmt(ratio, 3)
+                      << "x tracing-off (need >= 0.97x)\n";
+            return 1;
+        }
     }
     return 0;
 }

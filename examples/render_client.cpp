@@ -13,6 +13,7 @@
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -25,6 +26,7 @@
 #include "server/frame_server.hpp"
 #include "server/scene_registry.hpp"
 #include "util/table.hpp"
+#include "util/telemetry.hpp"
 
 using namespace asdr;
 
@@ -55,6 +57,14 @@ usage(const char *argv0)
            "                      (default 0 = exact keys)\n"
            "  --ppm <prefix>      write every decoded frame as\n"
            "                      <prefix>NNN.ppm\n"
+           "  --trace-out <file>  self-hosted service only: enable\n"
+           "                      stage-span tracing and write a\n"
+           "                      Chrome/Perfetto trace JSON at exit\n"
+           "  --slow-ms <n>       self-hosted service only: slow-frame\n"
+           "                      flight recorder threshold, ms\n"
+           "  --metrics-out <f>   scrape the service's Prometheus text\n"
+           "                      exposition over the wire after the\n"
+           "                      orbit (- for stdout)\n"
            "  --help              this message\n";
 }
 
@@ -90,8 +100,10 @@ int
 main(int argc, char **argv)
 {
     std::string host = "127.0.0.1", scene = "Lego", ppm;
+    std::string trace_out, metrics_out;
     int port = 0, frames = 12, width = 48, samples = 48;
     float step = 0.05f;
+    double slow_ms = 0.0;
     bool sample_cache = false;
     float quant_step = 0.0f;
     net::FrameEncoding encoding = net::FrameEncoding::DeltaPrev;
@@ -127,6 +139,12 @@ main(int argc, char **argv)
             sample_cache = true;
         } else if (arg == "--ppm" && i + 1 < argc)
             ppm = next();
+        else if (arg == "--trace-out" && i + 1 < argc)
+            trace_out = next();
+        else if (arg == "--slow-ms" && i + 1 < argc)
+            slow_ms = std::atof(argv[++i]);
+        else if (arg == "--metrics-out" && i + 1 < argc)
+            metrics_out = next();
         else {
             std::cerr << "unknown option: " << arg << "\n";
             usage(argv[0]);
@@ -157,6 +175,7 @@ main(int argc, char **argv)
             scfg.sample_cache.enabled = 1;
             scfg.sample_cache.quant_step = quant_step;
         }
+        scfg.slow_frame_ms = slow_ms;
         srv = std::make_unique<server::FrameServer>(*registry, scfg);
         service = std::make_unique<net::RenderService>(*srv);
         std::string err;
@@ -171,6 +190,9 @@ main(int argc, char **argv)
         // Remote service: frame the orbit off the library defaults.
         info = scene::createScene(scene)->info();
     }
+
+    if (!trace_out.empty())
+        telemetry::setEnabled(true);
 
     net::Client client;
     std::string err;
@@ -258,7 +280,39 @@ main(int argc, char **argv)
                           << sc.cache_misses << " misses, "
                           << sc.cache_evictions << " evictions)\n";
 
+    // The metrics registry travels the wire too (GetStats in text
+    // mode), so this works against a remote service as well.
+    if (!metrics_out.empty()) {
+        std::string text;
+        if (!client.fetchMetricsText(text, &err)) {
+            std::cerr << "metrics scrape failed: " << err << "\n";
+            return 1;
+        }
+        if (metrics_out == "-") {
+            std::cout << "\n" << text;
+        } else {
+            std::ofstream f(metrics_out, std::ios::binary);
+            f << text;
+            if (!f) {
+                std::cerr << "metrics write failed: " << metrics_out
+                          << "\n";
+                return 1;
+            }
+            std::cout << "wrote metrics exposition to " << metrics_out
+                      << "\n";
+        }
+    }
+
     client.closeSession(session, &err);
     client.disconnect();
+
+    if (!trace_out.empty()) {
+        if (!telemetry::writeJson(trace_out, &err)) {
+            std::cerr << "trace write failed: " << err << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << telemetry::spanCount() << " spans to "
+                  << trace_out << " (open at ui.perfetto.dev)\n";
+    }
     return 0;
 }

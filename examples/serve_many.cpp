@@ -10,6 +10,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "server/scene_registry.hpp"
 #include "server/workload.hpp"
 #include "util/table.hpp"
+#include "util/telemetry.hpp"
 
 using namespace asdr;
 
@@ -57,6 +59,16 @@ usage(const char *argv0)
            "                      PSNR-gated quality cost)\n"
            "  --cache-mb <n>      sample-cache budget per scene, MB\n"
            "                      (default 32)\n"
+           "  --trace-out <file>  enable stage-span tracing and write a\n"
+           "                      Chrome/Perfetto trace_event JSON file\n"
+           "                      at exit (open at ui.perfetto.dev)\n"
+           "  --slow-ms <n>       slow-frame flight recorder threshold,\n"
+           "                      ms: frames over it (or failed/expired/\n"
+           "                      shed) get their span timeline dumped\n"
+           "                      and retained in the stats JSON\n"
+           "  --metrics-out <f>   write the Prometheus text exposition\n"
+           "                      of the metrics registry after the run\n"
+           "                      (- for stdout)\n"
            "  --help              this message\n";
 }
 
@@ -72,6 +84,8 @@ main(int argc, char **argv)
     bool sample_cache = false;
     float quant_step = 0.0f;
     int cache_mb = 32;
+    std::string trace_out, metrics_out;
+    double slow_ms = 0.0;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&] { return std::atoi(argv[++i]); };
@@ -110,7 +124,13 @@ main(int argc, char **argv)
         } else if (arg == "--cache-mb" && i + 1 < argc) {
             cache_mb = next();
             sample_cache = true;
-        } else {
+        } else if (arg == "--trace-out" && i + 1 < argc)
+            trace_out = argv[++i];
+        else if (arg == "--slow-ms" && i + 1 < argc)
+            slow_ms = std::atof(argv[++i]);
+        else if (arg == "--metrics-out" && i + 1 < argc)
+            metrics_out = argv[++i];
+        else {
             std::cerr << "unknown option: " << arg << "\n";
             usage(argv[0]);
             return 1;
@@ -158,6 +178,9 @@ main(int argc, char **argv)
         scfg.sample_cache.quant_step = quant_step;
         scfg.sample_cache.capacity_mb = cache_mb;
     }
+    scfg.slow_frame_ms = slow_ms;
+    if (!trace_out.empty())
+        telemetry::setEnabled(true);
 
     const int viewers = interactive + standard + batch;
     std::cout << "Serving " << viewers << " viewers over "
@@ -195,5 +218,33 @@ main(int argc, char **argv)
               << " s (" << fmt(report.frames_per_s, 2)
               << " served frames/s aggregate)\n\nServerStats JSON: "
               << report.stats.toJson() << "\n";
+
+    if (!trace_out.empty()) {
+        std::string err;
+        if (!telemetry::writeJson(trace_out, &err)) {
+            std::cerr << "trace write failed: " << err << "\n";
+            return 1;
+        }
+        std::cout << "\nwrote " << telemetry::spanCount() << " spans to "
+                  << trace_out << " (open at ui.perfetto.dev)\n";
+    }
+    if (!metrics_out.empty()) {
+        // stats() refreshes the registry's gauges (stuck frames, cache
+        // hit counters, breaker states) right before the scrape.
+        (void)srv.stats();
+        const std::string text = metrics::renderText();
+        if (metrics_out == "-") {
+            std::cout << "\n" << text;
+        } else {
+            std::ofstream f(metrics_out, std::ios::binary);
+            f << text;
+            if (!f) {
+                std::cerr << "metrics write failed: " << metrics_out << "\n";
+                return 1;
+            }
+            std::cout << "\nwrote metrics exposition to " << metrics_out
+                      << "\n";
+        }
+    }
     return 0;
 }

@@ -7,6 +7,7 @@
 #include "engine/render_session.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
+#include "util/telemetry.hpp"
 
 namespace asdr::engine {
 
@@ -257,7 +258,12 @@ FrameEngine::launchLocked(InFlight *f)
     // injector maps deterministically onto a frame sequence: a stall
     // models a stuck stage for the watchdog, a throw a compute fault
     // surfacing through the one-result-per-ticket path.
+    // Every stage task records a telemetry span (one relaxed load when
+    // tracing is off); multi-task nodes record one span per task, so a
+    // trace shows the per-lane spread of probe rows and tiles.
     const int setup = g.addNode("ray setup", 1, [f, r](int) {
+        telemetry::ScopedSpan sp(telemetry::kSpanRaySetup, f->id,
+                                 f->req.ticket);
         fault::fire(fault::kEngineStageStall); // sleeps when armed
         if (fault::fire(fault::kEngineStageThrow))
             throw std::runtime_error("injected: engine stage fault");
@@ -266,30 +272,46 @@ FrameEngine::launchLocked(InFlight *f)
     int prev = setup;
     if (shape.adaptive && !f->fs.probes_reused) {
         const int probe =
-            g.addNode("phase1 probes", shape.gh,
-                      [f, r](int gy) { r->probeRow(f->fs, gy); });
+            g.addNode("phase1 probes", shape.gh, [f, r](int gy) {
+                telemetry::ScopedSpan sp(telemetry::kSpanProbes, f->id,
+                                         f->req.ticket);
+                r->probeRow(f->fs, gy);
+            });
         g.addEdge(setup, probe);
         prev = probe;
     }
-    const int plan = g.addNode("sample planning", 1,
-                               [f, r](int) { r->planBudgets(f->fs); });
+    const int plan = g.addNode("sample planning", 1, [f, r](int) {
+        telemetry::ScopedSpan sp(telemetry::kSpanPlanning, f->id,
+                                 f->req.ticket);
+        r->planBudgets(f->fs);
+    });
     g.addEdge(prev, plan);
-    const int phase2 = g.addNode("phase2 tiles", shape.jobs,
-                                 [f, r](int j) { r->phase2Job(f->fs, j); });
+    const int phase2 = g.addNode("phase2 tiles", shape.jobs, [f, r](int j) {
+        telemetry::ScopedSpan sp(telemetry::kSpanTiles, f->id,
+                                 f->req.ticket);
+        r->phase2Job(f->fs, j);
+    });
     g.addEdge(plan, phase2);
     const int fin = g.addNode("finalize", 1, [this, f, r](int) {
-        RenderSession *s = f->req.session;
-        if (s) {
-            if (f->track_reuse)
-                s->detachReuseHook();
-            if (f->fresh_probes)
-                s->storeProbeCache(f->fs, f->id, f->session_epoch);
-            s->onFrameDone(f->ran_probes, f->fs.probes_reused);
-        }
         Frame frame;
-        r->finalizeFrame(f->fs, &frame.stats);
-        frame.image = std::move(f->fs.img);
-        frame.finished_at = std::chrono::steady_clock::now();
+        {
+            // Scoped so the span is recorded before deliver() runs the
+            // consumer callback -- a slow-frame dump collecting this
+            // ticket's spans from inside on_complete must see it.
+            telemetry::ScopedSpan sp(telemetry::kSpanFinalize, f->id,
+                                     f->req.ticket);
+            RenderSession *s = f->req.session;
+            if (s) {
+                if (f->track_reuse)
+                    s->detachReuseHook();
+                if (f->fresh_probes)
+                    s->storeProbeCache(f->fs, f->id, f->session_epoch);
+                s->onFrameDone(f->ran_probes, f->fs.probes_reused);
+            }
+            r->finalizeFrame(f->fs, &frame.stats);
+            frame.image = std::move(f->fs.img);
+            frame.finished_at = std::chrono::steady_clock::now();
+        }
         deliver(f, std::move(frame), nullptr);
     });
     g.addEdge(phase2, fin);

@@ -120,6 +120,13 @@ struct FrameRequest
      */
     uint32_t priority = 0;
 
+    /**
+     * Serving-layer correlation id stamped onto every telemetry span
+     * this frame's stages record (0 when the submitter has no ticket,
+     * e.g. direct engine use). The engine never interprets it.
+     */
+    uint64_t ticket = 0;
+
     // ---- async delivery (submitAsync) ----
 
     /**

@@ -365,6 +365,24 @@ Client::fetchStats(StatsReplyMsg &out, std::string *err)
     return true;
 }
 
+bool
+Client::fetchMetricsText(std::string &out, std::string *err)
+{
+    GetStatsMsg msg;
+    msg.format = uint8_t(StatsFormat::Text);
+    if (!send(MsgType::GetStats, packMessage(MsgType::GetStats, msg), err))
+        return false;
+    std::vector<uint8_t> payload;
+    if (!waitReply(MsgType::MetricsReply, payload, err))
+        return false;
+    MetricsReplyMsg reply;
+    if (!decodePayload(payload.data(), payload.size(), reply))
+        return fail(err, ClientError::Protocol, "bad MetricsReply");
+    out.assign(reply.text.begin(), reply.text.end());
+    last_error_ = ClientError::None;
+    return true;
+}
+
 // ------------------------------------------------------------- internals
 
 bool

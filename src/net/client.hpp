@@ -222,6 +222,10 @@ class Client
     /** Fetch the service's ServerStats + wire counters. */
     bool fetchStats(StatsReplyMsg &out, std::string *err = nullptr);
 
+    /** Fetch the service's metrics registry as Prometheus text
+     *  (GetStats with StatsFormat::Text -> MetricsReply). */
+    bool fetchMetricsText(std::string &out, std::string *err = nullptr);
+
     const ClientTransferStats &transfer() const { return transfer_; }
     /** Classification of the most recent failure (None on success). */
     ClientError lastError() const { return last_error_; }

@@ -51,6 +51,8 @@ msgTypeName(MsgType t)
         return "ResumeSession";
     case MsgType::ResumeSessionOk:
         return "ResumeSessionOk";
+    case MsgType::MetricsReply:
+        return "MetricsReply";
     }
     return "?";
 }
@@ -269,14 +271,27 @@ FrameResultMsg::decode(WireReader &r)
 }
 
 void
-GetStatsMsg::encode(WireWriter &) const
+GetStatsMsg::encode(WireWriter &w) const
 {
+    w.u8(format);
 }
 
 bool
-GetStatsMsg::decode(WireReader &)
+GetStatsMsg::decode(WireReader &r)
 {
-    return true;
+    return r.u8(format) && format <= uint8_t(StatsFormat::Text);
+}
+
+void
+MetricsReplyMsg::encode(WireWriter &w) const
+{
+    w.bytes(text);
+}
+
+bool
+MetricsReplyMsg::decode(WireReader &r)
+{
+    return r.bytes(text);
 }
 
 void

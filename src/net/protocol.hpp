@@ -65,7 +65,9 @@ constexpr uint32_t kMagic = 0x52445341u; // 'A','S','D','R' on the wire
  *  StatsReply carries per-class/per-scene rung occupancy. */
 /** v4: StatsReply per-scene sections carry the sample-cache counters
  *  (hits/misses/evictions/epoch_drops). */
-constexpr uint16_t kProtocolVersion = 4;
+/** v5: GetStats carries a format selector (binary StatsReply or
+ *  Prometheus text) and MetricsReply carries the text exposition. */
+constexpr uint16_t kProtocolVersion = 5;
 constexpr size_t kHeaderSize = 12;
 /** Hard cap on one message's payload; oversized headers are a protocol
  *  violation (a 4K frame is ~200 MB raw -- far beyond this service's
@@ -101,6 +103,7 @@ enum class MsgType : uint16_t
     Error = 12,
     ResumeSession = 13,
     ResumeSessionOk = 14,
+    MetricsReply = 15,
 };
 
 const char *msgTypeName(MsgType t);
@@ -484,8 +487,27 @@ struct FrameResultMsg
     bool decode(WireReader &r);
 };
 
+/** Stats exposition formats a GetStats may request. */
+enum class StatsFormat : uint8_t
+{
+    Binary = 0, ///< reply is a StatsReply (snapshot + wire counters)
+    Text = 1,   ///< reply is a MetricsReply (Prometheus exposition)
+};
+
 struct GetStatsMsg
 {
+    uint8_t format = 0; ///< StatsFormat, range-checked on decode
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+/** Prometheus text exposition (GetStats with StatsFormat::Text). The
+ *  body travels as bytes: it can exceed kMaxString. */
+struct MetricsReplyMsg
+{
+    std::vector<uint8_t> text;
+
     void encode(WireWriter &w) const;
     bool decode(WireReader &r);
 };

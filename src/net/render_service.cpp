@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "util/logging.hpp"
+#include "util/telemetry.hpp"
 
 namespace asdr::net {
 
@@ -297,6 +298,11 @@ void
 RenderService::flushOut(const std::shared_ptr<Connection> &conn)
 {
     std::lock_guard<std::mutex> out(conn->out_m);
+    if (conn->outq.empty())
+        return;
+    // One flush span per drain attempt with queued bytes (idle polls
+    // record nothing).
+    telemetry::ScopedSpan span(telemetry::kSpanFlush, 0, 0);
     while (!conn->outq.empty()) {
         const std::vector<uint8_t> &front = conn->outq.front();
         const ssize_t k = conn->sock.sendSome(front.data() + conn->out_off,
@@ -561,6 +567,28 @@ RenderService::handleMessage(const std::shared_ptr<Connection> &conn,
             sendError(*conn, WireError::BadMessage, "bad GetStats");
             return false;
         }
+        if (msg.format == uint8_t(StatsFormat::Text)) {
+            // Prometheus text mode: refresh the snapshot-time gauges
+            // (server_.stats() publishes scene/cache/stuck; the wire
+            // gauges are published here), then render the registry.
+            const WireCounters wc = counters();
+            metrics::gauge("asdr_wire_connections_open")
+                .set(double(wc.connections_open));
+            metrics::gauge("asdr_wire_sessions_opened")
+                .set(double(wc.sessions_opened));
+            metrics::gauge("asdr_wire_frames_sent")
+                .set(double(wc.frames_sent));
+            metrics::gauge("asdr_wire_results_shed")
+                .set(double(wc.results_shed));
+            metrics::gauge("asdr_wire_bytes_tx").set(double(wc.bytes_tx));
+            metrics::gauge("asdr_wire_bytes_rx").set(double(wc.bytes_rx));
+            (void)server_.stats();
+            MetricsReplyMsg reply;
+            const std::string text = metrics::renderText();
+            reply.text.assign(text.begin(), text.end());
+            sendControl(*conn, MsgType::MetricsReply, reply);
+            return true;
+        }
         StatsReplyMsg reply;
         reply.server = server_.stats();
         reply.wire = counters();
@@ -590,6 +618,11 @@ RenderService::deliverLocked(const std::shared_ptr<Connection> &conn,
             return false; // result untouched; the caller parks it
         out_bytes = conn->out_bytes;
     }
+    // Encode span: message build + payload encode + enqueue for one
+    // delivered result (drops/expiries pass through in microseconds;
+    // the interesting ones are the Ok frames' codec time).
+    telemetry::ScopedSpan span(telemetry::kSpanEncode, result.frame.id,
+                               result.ticket);
     FrameResultMsg msg;
     msg.session = ws.id;
     msg.ticket = result.ticket;

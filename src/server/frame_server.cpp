@@ -1,10 +1,13 @@
 #include "server/frame_server.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/fault.hpp"
 #include "util/logging.hpp"
+#include "util/telemetry.hpp"
 
 namespace asdr::server {
 
@@ -15,6 +18,60 @@ secondsBetween(std::chrono::steady_clock::time_point a,
                std::chrono::steady_clock::time_point b)
 {
     return std::chrono::duration<double>(b - a).count();
+}
+
+/** Build one flight-recorder entry: the frame's facts plus whatever
+ *  spans the telemetry buffers hold for its ticket (empty when
+ *  tracing is off -- the record still lands). */
+SlowFrameRecord
+makeSlowRecord(uint64_t ticket, uint64_t frame_id, QosClass qos,
+               double latency_ms, bool failed, bool expired, bool dropped)
+{
+    SlowFrameRecord rec;
+    rec.ticket = ticket;
+    rec.frame = frame_id;
+    rec.qos = qos;
+    rec.latency_ms = latency_ms;
+    rec.failed = failed;
+    rec.expired = expired;
+    rec.dropped = dropped;
+    std::vector<telemetry::Span> spans;
+    telemetry::collectTicket(ticket, spans);
+    rec.spans.reserve(spans.size());
+    for (const telemetry::Span &s : spans)
+        rec.spans.push_back(
+            SlowFrameSpan{s.name, s.lane, s.t_start_us, s.t_end_us});
+    return rec;
+}
+
+/** The warn()-dump timeline of one slow frame, offsets relative to
+ *  its first span. */
+std::string
+slowDumpText(const SlowFrameRecord &rec)
+{
+    std::ostringstream os;
+    os << "slow frame: ticket " << rec.ticket << " ("
+       << qosClassName(rec.qos) << ") " << rec.latency_ms << " ms";
+    if (rec.failed)
+        os << " [failed]";
+    if (rec.expired)
+        os << " [deadline expired]";
+    if (rec.spans.empty()) {
+        os << " -- no spans (tracing off)";
+        return os.str();
+    }
+    const uint64_t base = rec.spans.front().t_start_us;
+    os << " -- " << rec.spans.size() << " spans:";
+    for (const SlowFrameSpan &sp : rec.spans) {
+        char line[160];
+        std::snprintf(line, sizeof line,
+                      "\n  +%8.3f ms %9.3f ms  %-22s lane %u",
+                      double(sp.t_start_us - base) * 1e-3,
+                      double(sp.t_end_us - sp.t_start_us) * 1e-3,
+                      sp.name.c_str(), sp.lane);
+        os << line;
+    }
+    return os.str();
 }
 
 /** splitmix64: the sticky session -> shard hash. Client ids are
@@ -40,6 +97,7 @@ FrameServer::FrameServer(const SceneRegistry &registry,
     // Server-level sample-cache knobs: retrofit a shared cache onto
     // every scene that registered without one (no-op when off).
     registry.attachSampleCaches(cfg.sample_cache);
+    stats_.setSlowFrameKeep(cfg.flight_recorder_frames);
     shards_.resize(size_t(cfg.shards));
     for (Shard &s : shards_) {
         engine::EngineConfig ec;
@@ -207,8 +265,20 @@ FrameServer::breakerRejectLocked(PendingFrame &&pf,
 void
 FrameServer::deliverAll(std::vector<Deliverable> &&rejects)
 {
-    for (Deliverable &d : rejects)
+    for (Deliverable &d : rejects) {
+        // Flight recorder: deadline expiries and breaker fast-fails
+        // are exactly the frames an operator asks "why" about.
+        if (cfg_.slow_frame_ms > 0.0 &&
+            (d.result.expired || d.result.error)) {
+            SlowFrameRecord rec = makeSlowRecord(
+                d.result.ticket, 0, d.result.qos,
+                d.result.latency_s * 1e3, d.result.error != nullptr,
+                d.result.expired, false);
+            warn(slowDumpText(rec));
+            stats_.recordSlowFrame(std::move(rec));
+        }
         deliverResult(std::move(d.result), d.cb);
+    }
     rejects.clear();
 }
 
@@ -279,6 +349,12 @@ FrameServer::pumpLocked(int shard, std::vector<Launch> &launches,
         s.in_flight[int(pf.qos)]++;
         s.total_in_flight++;
         const int scene_now = ++s.scene_in_flight[pf.scene];
+        // Queue-wait span: submit -> this admission decision. The
+        // engine frame id doesn't exist yet, so the span is
+        // ticket-correlated only.
+        telemetry::recordSpan(telemetry::kSpanQueueWait, 0, pf.ticket,
+                              telemetry::toUs(pf.submitted_at),
+                              telemetry::toUs(now));
         stats_.recordAdmitted(pf.qos,
                               secondsBetween(pf.submitted_at, now));
         stats_.recordSceneAdmitted(c.scene->name, scene_now);
@@ -292,6 +368,8 @@ FrameServer::pumpLocked(int shard, std::vector<Launch> &launches,
 void
 FrameServer::launch(const Launch &l)
 {
+    telemetry::ScopedSpan admit_span(telemetry::kSpanAdmit, 0,
+                                     l.frame.ticket);
     const QualityRung rung = QualityRung(l.frame.rung);
     const int full_w = l.frame.camera.width();
     const int full_h = l.frame.camera.height();
@@ -316,6 +394,7 @@ FrameServer::launch(const Launch &l)
     }
     req.session = l.session;
     req.priority = qosPoolPriority(l.frame.qos);
+    req.ticket = l.frame.ticket; // correlates engine stage spans
     const int shard = l.shard;
     const uint64_t client = l.frame.client;
     const uint64_t ticket = l.frame.ticket;
@@ -410,6 +489,19 @@ FrameServer::onFrameDone(int shard, uint64_t client, uint64_t ticket,
         stats_.recordSceneServed(scene_name, rung);
     }
 
+    // Flight recorder: a frame over the slow budget (or one whose
+    // render threw) is dumped with its span timeline and retained.
+    // The engine's finalize span is already recorded at this point
+    // (it closes before on_complete runs).
+    if (cfg_.slow_frame_ms > 0.0 &&
+        (err || latency * 1e3 > cfg_.slow_frame_ms)) {
+        SlowFrameRecord rec =
+            makeSlowRecord(ticket, frame.id, qos, latency * 1e3,
+                           err != nullptr, false, false);
+        warn(slowDumpText(rec));
+        stats_.recordSlowFrame(std::move(rec));
+    }
+
     FrameResult result;
     result.client = client;
     result.ticket = ticket;
@@ -466,6 +558,13 @@ FrameServer::dropFrames(std::vector<PendingFrame> &&dropped)
             stats_.recordSceneDropped(c.scene->name);
             cb = c.callback;
         }
+        // Shed frames land in the flight recorder too (silently -- a
+        // shed burst should not flood the log), so the ring answers
+        // "what happened to ticket N" for every terminal outcome the
+        // operator might chase.
+        if (cfg_.slow_frame_ms > 0.0)
+            stats_.recordSlowFrame(makeSlowRecord(
+                pf.ticket, 0, pf.qos, 0.0, false, false, true));
         FrameResult result;
         result.client = pf.client;
         result.ticket = pf.ticket;
@@ -601,6 +700,22 @@ FrameServer::stats() const
             sc.cache_evictions = c.evictions;
             sc.cache_epoch_drops = c.epoch_drops;
         }
+    // Publish the snapshot-time gauges into the metrics registry, so a
+    // Prometheus scrape (wire StatsRequest text mode, --metrics-out)
+    // sees the live values without its own snapshot plumbing.
+    metrics::gauge("asdr_stuck_in_flight")
+        .set(double(snap.stuck_in_flight));
+    metrics::gauge("asdr_slow_frames_retained")
+        .set(double(snap.slow_frames.size()));
+    for (const SceneServeStats &sc : snap.scenes) {
+        const std::string l = "scene=\"" + sc.name + "\"";
+        metrics::gauge("asdr_sample_cache_hits", l)
+            .set(double(sc.cache_hits));
+        metrics::gauge("asdr_sample_cache_misses", l)
+            .set(double(sc.cache_misses));
+        metrics::gauge("asdr_scene_breaker_state", l)
+            .set(double(sc.breaker_state));
+    }
     return snap;
 }
 

@@ -124,6 +124,16 @@ struct ServerConfig
      */
     LadderParams ladder;
     /**
+     * Slow-frame flight recorder: frames whose submit -> delivery
+     * latency exceeds this (milliseconds), or which fail, expire past
+     * their deadline, or are shed, are retained in ServerStats with
+     * their full telemetry span timeline; slow/failed/expired ones are
+     * also dumped through warn(). 0 disables the recorder (default).
+     */
+    double slow_frame_ms = 0.0;
+    /** Flight-recorder ring capacity (most recent records kept). */
+    int flight_recorder_frames = 16;
+    /**
      * Cross-tenant sample reuse (core/sample_cache): when this
      * resolves on (explicitly or via ASDR_SAMPLE_CACHE), the server
      * attaches one shared SampleCache per registered scene at

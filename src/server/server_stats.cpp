@@ -1,15 +1,53 @@
 #include "server/server_stats.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
 
-#include "util/stats.hpp"
-
 namespace asdr::server {
 
 namespace {
+
+/** Process-wide metrics-registry series mirrored by every collector
+ *  (the Prometheus view; per-ServerStats state stays in the members).
+ *  References resolve once and stay valid forever. */
+struct ClassSeries
+{
+    metrics::Counter *submitted;
+    metrics::Counter *admitted;
+    metrics::Counter *served;
+    metrics::Counter *dropped;
+    metrics::Counter *failed;
+    metrics::Counter *expired;
+    metrics::Histogram *latency;
+    metrics::Histogram *queue_wait;
+};
+
+const ClassSeries &
+classSeries(QosClass c)
+{
+    static const std::array<ClassSeries, kQosClasses> k = [] {
+        std::array<ClassSeries, kQosClasses> a{};
+        for (int i = 0; i < kQosClasses; ++i) {
+            const std::string l =
+                std::string("qos=\"") + qosClassName(QosClass(i)) + "\"";
+            a[size_t(i)] = ClassSeries{
+                &metrics::counter("asdr_frames_submitted_total", l),
+                &metrics::counter("asdr_frames_admitted_total", l),
+                &metrics::counter("asdr_frames_served_total", l),
+                &metrics::counter("asdr_frames_dropped_total", l),
+                &metrics::counter("asdr_frames_failed_total", l),
+                &metrics::counter("asdr_frames_expired_total", l),
+                &metrics::histogram("asdr_frame_latency_seconds", l),
+                &metrics::histogram("asdr_frame_queue_wait_seconds", l),
+            };
+        }
+        return a;
+    }();
+    return k[size_t(int(c))];
+}
 
 /** Minimal JSON string escaping: scene names are arbitrary registry
  *  strings, so quotes/backslashes/control bytes must not leak into
@@ -39,6 +77,7 @@ jsonEscape(const std::string &s)
 void
 ServerStats::recordSubmitted(QosClass c)
 {
+    classSeries(c).submitted->inc();
     std::lock_guard<std::mutex> lock(m_);
     cls_[int(c)].submitted++;
 }
@@ -46,6 +85,9 @@ ServerStats::recordSubmitted(QosClass c)
 void
 ServerStats::recordAdmitted(QosClass c, double queue_s)
 {
+    const ClassSeries &series = classSeries(c);
+    series.admitted->inc();
+    series.queue_wait->record(queue_s);
     std::lock_guard<std::mutex> lock(m_);
     ClassCollector &cc = cls_[int(c)];
     cc.admitted++;
@@ -55,27 +97,21 @@ ServerStats::recordAdmitted(QosClass c, double queue_s)
 void
 ServerStats::recordServed(QosClass c, double latency_s, QualityRung rung)
 {
+    const ClassSeries &series = classSeries(c);
+    series.served->inc();
+    series.latency->record(latency_s);
     std::lock_guard<std::mutex> lock(m_);
     ClassCollector &cc = cls_[int(c)];
     cc.served++;
     cc.served_rung[int(rung)]++;
     cc.latency_sum += latency_s;
-    cc.reservoir_seen++;
-    if (cc.reservoir.size() < kReservoir) {
-        cc.reservoir.push_back(latency_s);
-    } else {
-        // Algorithm R with a 64-bit LCG: slot = U(0, seen); keep the
-        // sample only when the slot lands inside the reservoir.
-        cc.rng = cc.rng * 6364136223846793005ull + 1442695040888963407ull;
-        const uint64_t slot = (cc.rng >> 16) % cc.reservoir_seen;
-        if (slot < kReservoir)
-            cc.reservoir[size_t(slot)] = latency_s;
-    }
+    cc.latency_hist.record(latency_s);
 }
 
 void
 ServerStats::recordDropped(QosClass c)
 {
+    classSeries(c).dropped->inc();
     std::lock_guard<std::mutex> lock(m_);
     cls_[int(c)].dropped++;
 }
@@ -83,6 +119,7 @@ ServerStats::recordDropped(QosClass c)
 void
 ServerStats::recordFailed(QosClass c)
 {
+    classSeries(c).failed->inc();
     std::lock_guard<std::mutex> lock(m_);
     cls_[int(c)].failed++;
 }
@@ -90,6 +127,7 @@ ServerStats::recordFailed(QosClass c)
 void
 ServerStats::recordExpired(QosClass c)
 {
+    classSeries(c).expired->inc();
     std::lock_guard<std::mutex> lock(m_);
     cls_[int(c)].expired++;
 }
@@ -177,6 +215,28 @@ ServerStats::recordSceneAdmitted(const std::string &scene, int in_flight)
     s.peak_in_flight = std::max(s.peak_in_flight, in_flight);
 }
 
+void
+ServerStats::recordSlowFrame(SlowFrameRecord &&rec)
+{
+    metrics::counter("asdr_slow_frames_total").inc();
+    std::lock_guard<std::mutex> lock(m_);
+    slow_frame_count_++;
+    if (slow_frame_keep_ == 0)
+        return;
+    slow_frames_.push_back(std::move(rec));
+    while (slow_frames_.size() > slow_frame_keep_)
+        slow_frames_.pop_front();
+}
+
+void
+ServerStats::setSlowFrameKeep(int n)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    slow_frame_keep_ = size_t(std::max(0, n));
+    while (slow_frames_.size() > slow_frame_keep_)
+        slow_frames_.pop_front();
+}
+
 ServerStatsSnapshot
 ServerStats::snapshot() const
 {
@@ -197,12 +257,12 @@ ServerStats::snapshot() const
                 out.degraded += cc.served_rung[r];
         }
         if (cc.served) {
+            // Mean stays exact (running sum); percentiles come from
+            // the log-bucketed histogram covering every observation.
             out.mean_ms = cc.latency_sum / double(cc.served) * 1e3;
-            std::vector<double> sorted = cc.reservoir;
-            std::sort(sorted.begin(), sorted.end());
-            out.p50_ms = percentileOfSorted(sorted, 0.50) * 1e3;
-            out.p95_ms = percentileOfSorted(sorted, 0.95) * 1e3;
-            out.p99_ms = percentileOfSorted(sorted, 0.99) * 1e3;
+            out.p50_ms = cc.latency_hist.percentile(0.50) * 1e3;
+            out.p95_ms = cc.latency_hist.percentile(0.95) * 1e3;
+            out.p99_ms = cc.latency_hist.percentile(0.99) * 1e3;
         }
         if (cc.admitted)
             out.mean_queue_ms = cc.queue_sum / double(cc.admitted) * 1e3;
@@ -212,6 +272,8 @@ ServerStats::snapshot() const
         snap.scenes.push_back(entry.second);
     snap.stuck_in_flight = stuck_gauge_;
     snap.stuck_events = stuck_events_;
+    snap.slow_frame_count = slow_frame_count_;
+    snap.slow_frames.assign(slow_frames_.begin(), slow_frames_.end());
     return snap;
 }
 
@@ -220,8 +282,12 @@ ServerStats::reset()
 {
     std::lock_guard<std::mutex> lock(m_);
     for (auto &cc : cls_)
-        cc = ClassCollector{};
+        cc.reset();
     scenes_.clear();
+    stuck_gauge_ = 0;
+    stuck_events_ = 0;
+    slow_frames_.clear();
+    slow_frame_count_ = 0;
 }
 
 std::string
@@ -272,7 +338,31 @@ ServerStatsSnapshot::toJson() const
            << ",\"hit_rate\":" << s.cacheHitRate() << "}}";
     }
     os << "},\"stuck_in_flight\":" << stuck_in_flight
-       << ",\"stuck_events\":" << stuck_events << "}";
+       << ",\"stuck_events\":" << stuck_events
+       << ",\"slow_frame_count\":" << slow_frame_count
+       << ",\"slow_frames\":[";
+    for (size_t i = 0; i < slow_frames.size(); ++i) {
+        const SlowFrameRecord &r = slow_frames[i];
+        if (i)
+            os << ",";
+        os << "{\"ticket\":" << r.ticket << ",\"frame\":" << r.frame
+           << ",\"qos\":\"" << qosClassName(r.qos) << "\""
+           << ",\"latency_ms\":" << r.latency_ms
+           << ",\"failed\":" << (r.failed ? 1 : 0)
+           << ",\"expired\":" << (r.expired ? 1 : 0)
+           << ",\"dropped\":" << (r.dropped ? 1 : 0) << ",\"spans\":[";
+        for (size_t s = 0; s < r.spans.size(); ++s) {
+            const SlowFrameSpan &sp = r.spans[s];
+            if (s)
+                os << ",";
+            os << "{\"name\":\"" << jsonEscape(sp.name)
+               << "\",\"lane\":" << sp.lane
+               << ",\"t0_us\":" << sp.t_start_us
+               << ",\"t1_us\":" << sp.t_end_us << "}";
+        }
+        os << "]}";
+    }
+    os << "]}";
     return os.str();
 }
 

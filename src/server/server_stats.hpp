@@ -6,23 +6,31 @@
  * (enters the server), admit (handed to a shard engine), and finish
  * (outcome delivered).
  *
- * Latency samples go through a fixed-size reservoir per class, so the
+ * Latency samples land in a log-bucketed histogram per class
+ * (metrics::Histogram: 256 buckets, ~±4.5% relative error), so the
  * collector's memory stays bounded on arbitrarily long serving runs
- * while the percentiles remain an unbiased estimate of the whole run.
- * snapshot() returns a plain value; toJson() renders it for dashboards
- * and the bench harness's serve_latency rows.
+ * while the percentiles cover EVERY observation -- no reservoir
+ * sampling bias under bursts. snapshot() returns a plain value;
+ * toJson() renders it for dashboards and the bench harness's
+ * serve_latency rows.
+ *
+ * The collector also keeps the slow-frame flight record: the last N
+ * frames that blew the server's `slow_frame_ms` budget (or failed or
+ * expired), each with its full telemetry span timeline.
  */
 
 #ifndef ASDR_SERVER_SERVER_STATS_HPP
 #define ASDR_SERVER_SERVER_STATS_HPP
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "server/qos.hpp"
+#include "util/telemetry.hpp"
 
 namespace asdr::server {
 
@@ -110,6 +118,31 @@ struct SceneServeStats
     }
 };
 
+/** One span of a slow frame's retained timeline (value copy of the
+ *  telemetry::Span, name owned so the record outlives the buffers). */
+struct SlowFrameSpan
+{
+    std::string name;
+    uint32_t lane = 0;
+    uint64_t t_start_us = 0;
+    uint64_t t_end_us = 0;
+};
+
+/** One flight-recorder entry: a frame that exceeded the slow budget,
+ *  failed, or expired, with its span timeline (empty when tracing was
+ *  off -- the record itself still lands). */
+struct SlowFrameRecord
+{
+    uint64_t ticket = 0;
+    uint64_t frame = 0; ///< engine frame id (0 when never admitted)
+    QosClass qos = QosClass::Standard;
+    double latency_ms = 0.0;
+    bool failed = false;
+    bool expired = false;
+    bool dropped = false; ///< shed by the backlog policy
+    std::vector<SlowFrameSpan> spans;
+};
+
 struct ServerStatsSnapshot
 {
     QosClassStats cls[kQosClasses];
@@ -120,6 +153,10 @@ struct ServerStatsSnapshot
      *  of frames that ever crossed it. */
     uint64_t stuck_in_flight = 0;
     uint64_t stuck_events = 0;
+    /** Flight recorder: the most recent slow/failed/expired frames
+     *  (bounded ring) and the cumulative count of all of them. */
+    std::vector<SlowFrameRecord> slow_frames;
+    uint64_t slow_frame_count = 0;
 
     uint64_t totalServed() const
     {
@@ -167,6 +204,14 @@ class ServerStats
      *  shard; the snapshot keeps the peak. */
     void recordSceneAdmitted(const std::string &scene, int in_flight);
 
+    /** Retain one flight-recorder entry (ring of the most recent
+     *  `slow_frame_keep` records; the cumulative count never resets
+     *  until reset()). */
+    void recordSlowFrame(SlowFrameRecord &&rec);
+    /** Ring capacity for recordSlowFrame (default 16; 0 keeps only
+     *  the cumulative count). */
+    void setSlowFrameKeep(int n);
+
     ServerStatsSnapshot snapshot() const;
     void reset();
 
@@ -178,15 +223,20 @@ class ServerStats
         uint64_t served_rung[kQualityRungs] = {};
         double latency_sum = 0.0;
         double queue_sum = 0.0;
-        /** Latency reservoir (seconds): first kReservoir samples kept
-         *  verbatim, later ones replace a pseudo-random slot with
-         *  probability kReservoir/served (Vitter's algorithm R). */
-        std::vector<double> reservoir;
-        uint64_t reservoir_seen = 0;
-        uint64_t rng = 0x9E3779B97F4A7C15ull; ///< per-class LCG state
-    };
+        /** Served latencies, seconds: every observation lands in a
+         *  log bucket, so percentiles are exact to bucket resolution
+         *  (no reservoir sampling bias under bursts). */
+        metrics::Histogram latency_hist;
 
-    static constexpr size_t kReservoir = 4096;
+        void reset()
+        {
+            submitted = admitted = served = dropped = failed = expired = 0;
+            for (auto &r : served_rung)
+                r = 0;
+            latency_sum = queue_sum = 0.0;
+            latency_hist.reset();
+        }
+    };
 
     mutable std::mutex m_;
     ClassCollector cls_[kQosClasses];
@@ -194,6 +244,10 @@ class ServerStats
     std::map<std::string, SceneServeStats> scenes_;
     uint64_t stuck_gauge_ = 0;
     uint64_t stuck_events_ = 0;
+    /** Flight-recorder ring (most recent last) + cumulative count. */
+    std::deque<SlowFrameRecord> slow_frames_;
+    uint64_t slow_frame_count_ = 0;
+    size_t slow_frame_keep_ = 16;
 };
 
 } // namespace asdr::server

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * End-to-end frame telemetry: stage-span tracing, a unified metrics
+ * registry, and the plumbing behind the slow-frame flight recorder.
+ *
+ * Two cooperating namespaces:
+ *
+ *  - `telemetry` -- per-thread span buffers recording (frame, ticket,
+ *    stage, worker lane, t_start, t_end) for every pipeline stage a
+ *    frame crosses: QoS queue-wait, admission, the five FrameGraph
+ *    stages, wire encode, and socket flush. Spans export as
+ *    Chrome/Perfetto `trace_event` JSON (open the file in
+ *    ui.perfetto.dev). Unlike the legacy per-frame TraceSink this
+ *    never forces the serial path: recording is wait-free against
+ *    other workers (each thread appends to its own buffer) and the
+ *    disabled cost is one relaxed atomic load, the same discipline as
+ *    `util/fault` -- so the instrumentation stays compiled into
+ *    release builds.
+ *
+ *  - `metrics` -- named counters, gauges, and log-bucketed histograms
+ *    with a Prometheus-style text exposition (`metrics::renderText`).
+ *    The histogram replaces sampling reservoirs for latency
+ *    percentiles: every observation lands in one of 256 logarithmic
+ *    buckets (growth 2^(1/8), ~4.5% relative error), so p99 under a
+ *    burst is exact to bucket resolution instead of subject to
+ *    reservoir luck.
+ *
+ * Env gates (process start, mirrors ASDR_FAULTS):
+ *
+ *  - ASDR_TRACE_OUT=<path> -- enable tracing and write the Perfetto
+ *    JSON to <path> at process exit. Lets CI trace an existing binary
+ *    (e.g. the fault soak) without code changes.
+ */
+
+#ifndef ASDR_UTIL_TELEMETRY_HPP
+#define ASDR_UTIL_TELEMETRY_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asdr::telemetry {
+
+// ------------------------------------------------------------ span names
+// One constant per compiled-in span site, in pipeline order. The
+// README's span table and the trace tests enumerate spanNames().
+
+/** Admission-queue wait: submit() to pumpLocked() admitting the frame. */
+inline constexpr const char *kSpanQueueWait = "server.queue_wait";
+/** Admission bookkeeping: ladder/brownout decisions + engine submit. */
+inline constexpr const char *kSpanAdmit = "server.admit";
+/** FrameGraph stage 1: camera rays + probe-plan setup. */
+inline constexpr const char *kSpanRaySetup = "engine.ray_setup";
+/** FrameGraph stage 2: Phase I probe sampling (skipped on reuse). */
+inline constexpr const char *kSpanProbes = "engine.phase1_probes";
+/** FrameGraph stage 3: per-ray adaptive sample planning. */
+inline constexpr const char *kSpanPlanning = "engine.sample_planning";
+/** FrameGraph stage 4: Phase II tile rendering. */
+inline constexpr const char *kSpanTiles = "engine.phase2_tiles";
+/** FrameGraph stage 5: stats finalize + delivery. */
+inline constexpr const char *kSpanFinalize = "engine.finalize";
+/** Wire-side frame encode (raw/quantized/delta) under the session. */
+inline constexpr const char *kSpanEncode = "net.encode";
+/** Socket flush of queued reply bytes to one connection. */
+inline constexpr const char *kSpanFlush = "net.flush";
+
+/** One recorded interval on one worker lane. */
+struct Span
+{
+    const char *name = "";   ///< one of the kSpan* constants
+    uint64_t frame = 0;      ///< engine frame id (0 = not frame-bound)
+    uint64_t ticket = 0;     ///< server ticket (0 = not ticket-bound)
+    uint32_t lane = 0;       ///< recording thread's telemetry lane
+    uint64_t t_start_us = 0; ///< µs since process trace epoch
+    uint64_t t_end_us = 0;   ///< µs since process trace epoch
+};
+
+/** One compiled-in span site, for introspection/tooling. */
+struct SpanInfo
+{
+    const char *name;        ///< the string that appears in the trace
+    const char *description; ///< what interval it covers
+};
+
+/** Every span site compiled into production code, in pipeline order. */
+const std::vector<SpanInfo> &spanNames();
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+void recordSlow(const char *name, uint64_t frame, uint64_t ticket,
+                uint64_t t_start_us, uint64_t t_end_us);
+} // namespace detail
+
+/** True when span recording is on (one relaxed load). */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** Turn span recording on/off. Existing spans are kept. */
+void setEnabled(bool on);
+
+/** Microseconds since the process trace epoch (steady clock). */
+uint64_t nowUs();
+
+/** Convert a steady_clock time point to trace-epoch microseconds. */
+uint64_t toUs(std::chrono::steady_clock::time_point tp);
+
+/**
+ * Record one completed interval. Disabled processes pay one relaxed
+ * load and branch; enabled ones append to the calling thread's own
+ * buffer (uncontended mutex, no cross-thread waits).
+ */
+inline void
+recordSpan(const char *name, uint64_t frame, uint64_t ticket,
+           uint64_t t_start_us, uint64_t t_end_us)
+{
+    if (!enabled())
+        return;
+    detail::recordSlow(name, frame, ticket, t_start_us, t_end_us);
+}
+
+/**
+ * RAII span: stamps t_start at construction, records at destruction.
+ * The enabled() check is taken once, at construction, so a span is
+ * never half-recorded across a mid-scope toggle.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(const char *name, uint64_t frame, uint64_t ticket)
+        : armed_(enabled())
+    {
+        if (armed_) {
+            name_ = name;
+            frame_ = frame;
+            ticket_ = ticket;
+            t0_ = nowUs();
+        }
+    }
+    ~ScopedSpan()
+    {
+        if (armed_)
+            detail::recordSlow(name_, frame_, ticket_, t0_, nowUs());
+    }
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    bool armed_;
+    const char *name_ = "";
+    uint64_t frame_ = 0;
+    uint64_t ticket_ = 0;
+    uint64_t t0_ = 0;
+};
+
+/** Total spans currently buffered across all threads. */
+size_t spanCount();
+
+/** Spans dropped because a thread hit its buffer cap. */
+uint64_t droppedCount();
+
+/** Copy out every buffered span (unsorted across lanes). */
+std::vector<Span> snapshot();
+
+/**
+ * Copy out every buffered span belonging to `ticket`, sorted by start
+ * time. O(total spans) -- meant for rare events (slow-frame dumps),
+ * not per-frame use.
+ */
+void collectTicket(uint64_t ticket, std::vector<Span> &out);
+
+/** Drop all buffered spans (lane ids and the epoch persist). */
+void reset();
+
+/** The full trace as a Chrome trace_event JSON document. */
+std::string toJsonString();
+
+/** Write toJsonString() to `path`. False + *err on I/O failure. */
+bool writeJson(const std::string &path, std::string *err = nullptr);
+
+} // namespace asdr::telemetry
+
+namespace asdr::metrics {
+
+/** Monotonic event counter (wait-free). */
+class Counter
+{
+  public:
+    void add(uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+    void inc() { add(1); }
+    uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> v_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    double value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { set(0.0); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/**
+ * Log-bucketed histogram: 256 buckets from kMinValue with growth
+ * 2^(1/8) per bucket (~±4.5% relative error at the bucket midpoint).
+ * record() is wait-free (three relaxed atomic bumps); percentile() is
+ * a 256-entry cumulative scan. The sum is kept in 1e-9 fixed point,
+ * exact enough for latency seconds.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 256;
+    static constexpr double kMinValue = 1e-6;
+
+    void record(double v);
+    /** Value at quantile q in [0,1]: the midpoint of the bucket the
+     *  rank lands in (0 when empty). */
+    double percentile(double q) const;
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double sum() const
+    {
+        return double(sum_fp_.load(std::memory_order_relaxed)) * 1e-9;
+    }
+    double mean() const
+    {
+        const uint64_t n = count();
+        return n ? sum() / double(n) : 0.0;
+    }
+    void reset();
+
+    /** Upper edge of bucket i (inclusive), for tests/tooling. */
+    static double bucketUpperEdge(int i);
+
+  private:
+    static int bucketIndex(double v);
+    std::atomic<uint64_t> buckets_[kBuckets] = {};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_fp_{0}; ///< 1e-9 fixed point
+};
+
+/**
+ * Process-wide registry. Lookup returns a stable reference: call sites
+ * resolve once (static local) and bump forever after; resetAll()
+ * zeroes values but never invalidates references.
+ *
+ * `labels` is the Prometheus inner label text, e.g. `qos="batch"`, or
+ * empty for an unlabelled series.
+ */
+Counter &counter(const std::string &family,
+                 const std::string &labels = std::string());
+Gauge &gauge(const std::string &family,
+             const std::string &labels = std::string());
+Histogram &histogram(const std::string &family,
+                     const std::string &labels = std::string());
+
+/**
+ * Prometheus text exposition of every registered series. Histograms
+ * render summary-style: `family{quantile="0.5"}` lines plus
+ * `family_sum` / `family_count`.
+ */
+std::string renderText();
+
+/** Zero every registered value (references stay valid). */
+void resetAll();
+
+} // namespace asdr::metrics
+
+#endif // ASDR_UTIL_TELEMETRY_HPP

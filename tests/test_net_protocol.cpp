@@ -455,9 +455,30 @@ TEST(Messages, RemainingControlRoundTrips)
     }
     {
         GetStatsMsg msg;
+        msg.format = uint8_t(StatsFormat::Text);
         auto buf = packMessage(MsgType::GetStats, msg);
         GetStatsMsg got;
         ASSERT_TRUE(unpack(buf, MsgType::GetStats, got));
+        EXPECT_EQ(got.format, uint8_t(StatsFormat::Text));
+        expectTruncationsRejected<GetStatsMsg>(buf, MsgType::GetStats);
+
+        // Formats beyond the published range are a decode error.
+        msg.format = 7;
+        buf = packMessage(MsgType::GetStats, msg);
+        EXPECT_FALSE(unpack(buf, MsgType::GetStats, got));
+    }
+    {
+        MetricsReplyMsg msg;
+        const std::string text =
+            "# TYPE asdr_frames_served_total counter\n"
+            "asdr_frames_served_total 42\n";
+        msg.text.assign(text.begin(), text.end());
+        auto buf = packMessage(MsgType::MetricsReply, msg);
+        MetricsReplyMsg got;
+        ASSERT_TRUE(unpack(buf, MsgType::MetricsReply, got));
+        EXPECT_EQ(std::string(got.text.begin(), got.text.end()), text);
+        expectTruncationsRejected<MetricsReplyMsg>(buf,
+                                                   MsgType::MetricsReply);
     }
 }
 
@@ -513,6 +534,14 @@ TEST(Fuzz, RandomBuffersNeverCrashAnyDecoder)
         }
         {
             ErrorMsg m;
+            (void)decodePayload(p, n, m);
+        }
+        {
+            GetStatsMsg m;
+            (void)decodePayload(p, n, m);
+        }
+        {
+            MetricsReplyMsg m;
             (void)decodePayload(p, n, m);
         }
     }

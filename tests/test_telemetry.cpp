@@ -1,0 +1,638 @@
+/**
+ * @file
+ * End-to-end frame telemetry (util/telemetry + its wiring):
+ *
+ *  - metrics: log-bucketed histogram percentiles stay within the
+ *    published bucket error; the registry's Prometheus text exposition
+ *    round-trips names, labels, and values.
+ *  - tracing: disabled recording is free (no spans, no measurable
+ *    cost); an enabled serving run produces a well-formed Chrome
+ *    trace_event JSON covering queue-wait, all five engine stages,
+ *    and admission for every served ticket; span ordering invariants
+ *    hold (queue-wait ends before the first engine stage; spans on
+ *    one worker lane never overlap).
+ *  - flight recorder: a frame stalled past slow_frame_ms is retained
+ *    with its span timeline and surfaces in the ServerStats JSON.
+ *  - wire: GetStats in text mode returns the metrics exposition over
+ *    a real socket, and the binary StatsReply path is untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/render_service.hpp"
+#include "nerf/camera.hpp"
+#include "nerf/ngp_field.hpp"
+#include "server/frame_server.hpp"
+#include "server/scene_registry.hpp"
+#include "util/fault.hpp"
+#include "util/telemetry.hpp"
+
+using namespace asdr;
+
+namespace {
+
+core::RenderConfig
+smallConfig()
+{
+    core::RenderConfig cfg = core::RenderConfig::asdr(16, 16, 32);
+    cfg.probe_stride = 4;
+    cfg.num_threads = 1;
+    return cfg;
+}
+
+/** Telemetry and fault state are process-global; scope every test so
+ *  a failing assertion cannot leak spans or armed faults onward. */
+struct TelemetryGuard
+{
+    TelemetryGuard()
+    {
+        telemetry::setEnabled(false);
+        telemetry::reset();
+        fault::resetAll();
+    }
+    ~TelemetryGuard()
+    {
+        telemetry::setEnabled(false);
+        telemetry::reset();
+        fault::resetAll();
+    }
+};
+
+/**
+ * Minimal recursive-descent JSON validator: accepts exactly the
+ * RFC 8259 grammar (objects, arrays, strings with escapes, numbers,
+ * true/false/null) and nothing else. Enough to prove the trace export
+ * is machine-parseable without a JSON library in the test.
+ */
+struct JsonChecker
+{
+    const char *p;
+    const char *end;
+
+    explicit JsonChecker(const std::string &s)
+        : p(s.data()), end(s.data() + s.size())
+    {
+    }
+
+    void ws()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+    bool lit(const char *s)
+    {
+        const size_t n = std::char_traits<char>::length(s);
+        if (size_t(end - p) < n || std::string(p, n) != s)
+            return false;
+        p += n;
+        return true;
+    }
+    bool string()
+    {
+        if (p >= end || *p != '"')
+            return false;
+        ++p;
+        while (p < end && *p != '"') {
+            if (*p == '\\') {
+                ++p;
+                if (p >= end)
+                    return false;
+                if (*p == 'u') {
+                    for (int i = 0; i < 4; ++i)
+                        if (++p >= end || !isxdigit(uint8_t(*p)))
+                            return false;
+                }
+            } else if (uint8_t(*p) < 0x20) {
+                return false; // control chars must be escaped
+            }
+            ++p;
+        }
+        if (p >= end)
+            return false;
+        ++p;
+        return true;
+    }
+    bool number()
+    {
+        const char *start = p;
+        if (p < end && *p == '-')
+            ++p;
+        while (p < end && isdigit(uint8_t(*p)))
+            ++p;
+        if (p == start || (*start == '-' && p == start + 1))
+            return false;
+        if (p < end && *p == '.') {
+            ++p;
+            if (p >= end || !isdigit(uint8_t(*p)))
+                return false;
+            while (p < end && isdigit(uint8_t(*p)))
+                ++p;
+        }
+        if (p < end && (*p == 'e' || *p == 'E')) {
+            ++p;
+            if (p < end && (*p == '+' || *p == '-'))
+                ++p;
+            if (p >= end || !isdigit(uint8_t(*p)))
+                return false;
+            while (p < end && isdigit(uint8_t(*p)))
+                ++p;
+        }
+        return true;
+    }
+    bool value()
+    {
+        ws();
+        if (p >= end)
+            return false;
+        switch (*p) {
+        case '{': {
+            ++p;
+            ws();
+            if (p < end && *p == '}') {
+                ++p;
+                return true;
+            }
+            for (;;) {
+                ws();
+                if (!string())
+                    return false;
+                ws();
+                if (p >= end || *p++ != ':')
+                    return false;
+                if (!value())
+                    return false;
+                ws();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                return p < end && *p++ == '}';
+            }
+        }
+        case '[': {
+            ++p;
+            ws();
+            if (p < end && *p == ']') {
+                ++p;
+                return true;
+            }
+            for (;;) {
+                if (!value())
+                    return false;
+                ws();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                return p < end && *p++ == ']';
+            }
+        }
+        case '"':
+            return string();
+        case 't':
+            return lit("true");
+        case 'f':
+            return lit("false");
+        case 'n':
+            return lit("null");
+        default:
+            return number();
+        }
+    }
+    bool document()
+    {
+        if (!value())
+            return false;
+        ws();
+        return p == end;
+    }
+};
+
+/** One-shard serving run with tracing on; returns the served tickets. */
+std::set<uint64_t>
+tracedRun(server::FrameServer &srv, server::SceneRegistry &reg, int frames)
+{
+    const uint64_t client =
+        srv.openSession("lego", server::QosClass::Standard);
+    EXPECT_NE(client, 0u);
+    const nerf::Camera cam =
+        nerf::cameraForScene(reg.find("lego")->info, 16, 16);
+    std::set<uint64_t> tickets;
+    for (int f = 0; f < frames; ++f) {
+        const uint64_t t = srv.submitFrame(client, cam);
+        EXPECT_NE(t, 0u);
+        tickets.insert(t);
+    }
+    srv.waitIdle();
+    std::vector<server::FrameResult> results;
+    srv.drainResults(results);
+    EXPECT_EQ(results.size(), tickets.size());
+    for (const auto &r : results)
+        EXPECT_TRUE(r.ok());
+    srv.closeSession(client);
+    return tickets;
+}
+
+} // namespace
+
+// ----------------------------------------------------------- histogram
+
+TEST(Metrics, HistogramPercentilesWithinBucketError)
+{
+    metrics::Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0.0); // empty: no data, no estimate
+
+    // 1..1000 ms, uniformly: every quantile is known exactly, and the
+    // log-bucket estimate must land within the published ~4.5% error
+    // (plus the midpoint rounding, so allow 10% end to end).
+    for (int i = 1; i <= 1000; ++i)
+        h.record(double(i) * 1e-3);
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_NEAR(h.sum(), 500.5, 0.01);
+    EXPECT_NEAR(h.mean(), 0.5005, 1e-5);
+    EXPECT_NEAR(h.percentile(0.50), 0.500, 0.050);
+    EXPECT_NEAR(h.percentile(0.95), 0.950, 0.095);
+    EXPECT_NEAR(h.percentile(0.99), 0.990, 0.099);
+
+    // Zero / sub-minimum observations land in the underflow bucket and
+    // keep counting.
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    h.record(0.0);
+    h.record(1e-9);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_LE(h.percentile(0.5), metrics::Histogram::kMinValue);
+}
+
+TEST(Metrics, RegistryRenderTextExposition)
+{
+    metrics::Counter &c =
+        metrics::counter("telemetrytest_events_total", "qos=\"batch\"");
+    metrics::Gauge &g = metrics::gauge("telemetrytest_depth");
+    metrics::Histogram &h = metrics::histogram("telemetrytest_latency");
+    c.reset();
+    g.reset();
+    h.reset();
+    c.add(3);
+    g.set(2.5);
+    h.record(0.25);
+    h.record(0.25);
+
+    const std::string text = metrics::renderText();
+    EXPECT_NE(text.find("# TYPE telemetrytest_events_total counter"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("telemetrytest_events_total{qos=\"batch\"} 3"),
+        std::string::npos);
+    EXPECT_NE(text.find("# TYPE telemetrytest_depth gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("telemetrytest_depth 2.5"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE telemetrytest_latency summary"),
+              std::string::npos);
+    EXPECT_NE(text.find("telemetrytest_latency{quantile=\"0.5\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("telemetrytest_latency_count 2"),
+              std::string::npos);
+
+    // Lookup is stable: the same (family, labels) resolves to the same
+    // object, and a different label set is a different series.
+    EXPECT_EQ(&metrics::counter("telemetrytest_events_total",
+                                "qos=\"batch\""),
+              &c);
+    EXPECT_NE(&metrics::counter("telemetrytest_events_total",
+                                "qos=\"interactive\""),
+              &c);
+}
+
+// ------------------------------------------------------- disabled cost
+
+TEST(Telemetry, DisabledRecordingIsFreeAndRecordsNothing)
+{
+    TelemetryGuard guard;
+    ASSERT_FALSE(telemetry::enabled());
+    const size_t before = telemetry::spanCount();
+    const uint64_t dropped_before = telemetry::droppedCount();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 200000; ++i) {
+        telemetry::recordSpan(telemetry::kSpanRaySetup, 1, 2, 3, 4);
+        telemetry::ScopedSpan sp(telemetry::kSpanTiles, 1, 2);
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    EXPECT_EQ(telemetry::spanCount(), before);
+    EXPECT_EQ(telemetry::droppedCount(), dropped_before);
+    // 400k disabled probes are a few hundred microseconds of relaxed
+    // loads; a full second means the gate is not the fast path it
+    // claims to be (bound is deliberately loose for CI noise).
+    EXPECT_LT(elapsed, 1.0);
+}
+
+// ------------------------------------------------------- trace export
+
+TEST(Telemetry, TraceJsonWellFormedAndCoversEveryTicket)
+{
+    TelemetryGuard guard;
+    telemetry::setEnabled(true);
+
+    server::SceneRegistry reg;
+    ASSERT_NE(reg.addProcedural("lego", "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    server::ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.threads_per_shard = 2;
+    server::FrameServer srv(reg, cfg);
+    const std::set<uint64_t> tickets = tracedRun(srv, reg, 4);
+    ASSERT_FALSE(testing::Test::HasFatalFailure());
+
+    // Machine-parseable Chrome trace_event JSON.
+    const std::string json = telemetry::toJsonString();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.document()) << json.substr(0, 400);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""),
+              std::string::npos);
+
+    // Every ticket crossed queue-wait, admission, and all five engine
+    // stages, and every recorded interval is sane.
+    const std::vector<telemetry::Span> spans = telemetry::snapshot();
+    EXPECT_EQ(spans.size(), telemetry::spanCount());
+    EXPECT_EQ(telemetry::droppedCount(), 0u);
+    const std::vector<std::string> expected = {
+        telemetry::kSpanQueueWait, telemetry::kSpanAdmit,
+        telemetry::kSpanRaySetup,  telemetry::kSpanProbes,
+        telemetry::kSpanPlanning,  telemetry::kSpanTiles,
+        telemetry::kSpanFinalize,
+    };
+    for (uint64_t ticket : tickets) {
+        std::set<std::string> names;
+        for (const auto &s : spans)
+            if (s.ticket == ticket)
+                names.insert(s.name);
+        for (const std::string &want : expected)
+            EXPECT_TRUE(names.count(want))
+                << "ticket " << ticket << " missing span " << want;
+    }
+    for (const auto &s : spans) {
+        EXPECT_LE(s.t_start_us, s.t_end_us);
+        EXPECT_NE(std::string(s.name), "");
+    }
+
+    // Every compiled-in span site is listed for tooling, and every
+    // recorded name is one of them.
+    std::set<std::string> known;
+    for (const auto &info : telemetry::spanNames())
+        known.insert(info.name);
+    for (const std::string &want : expected)
+        EXPECT_TRUE(known.count(want)) << want;
+    for (const auto &s : spans)
+        EXPECT_TRUE(known.count(s.name)) << s.name;
+}
+
+TEST(Telemetry, SpanOrderingInvariants)
+{
+    TelemetryGuard guard;
+    telemetry::setEnabled(true);
+
+    server::SceneRegistry reg;
+    ASSERT_NE(reg.addProcedural("lego", "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    server::ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.threads_per_shard = 2;
+    cfg.frames_in_flight_per_shard = 2;
+    server::FrameServer srv(reg, cfg);
+    const std::set<uint64_t> tickets = tracedRun(srv, reg, 6);
+    ASSERT_FALSE(testing::Test::HasFatalFailure());
+
+    // Queue-wait ends no later than the first engine stage starts.
+    for (uint64_t ticket : tickets) {
+        std::vector<telemetry::Span> spans;
+        telemetry::collectTicket(ticket, spans);
+        ASSERT_FALSE(spans.empty()) << "ticket " << ticket;
+        for (size_t i = 1; i < spans.size(); ++i)
+            EXPECT_LE(spans[i - 1].t_start_us, spans[i].t_start_us)
+                << "collectTicket must sort by start";
+        uint64_t queue_end = 0;
+        uint64_t first_engine = UINT64_MAX;
+        for (const auto &s : spans) {
+            const std::string name = s.name;
+            if (name == telemetry::kSpanQueueWait)
+                queue_end = std::max(queue_end, s.t_end_us);
+            else if (name.rfind("engine.", 0) == 0)
+                first_engine = std::min(first_engine, s.t_start_us);
+        }
+        EXPECT_NE(queue_end, 0u) << "ticket " << ticket;
+        ASSERT_NE(first_engine, UINT64_MAX) << "ticket " << ticket;
+        EXPECT_LE(queue_end, first_engine) << "ticket " << ticket;
+    }
+
+    // Scoped spans on one worker lane never overlap: each lane is one
+    // thread doing one thing at a time. (Queue-wait spans are exempt:
+    // their START is the submit timestamp, stamped on the submitting
+    // thread, while the span is recorded by the admitting worker.)
+    std::map<uint32_t, std::vector<telemetry::Span>> lanes;
+    for (const auto &s : telemetry::snapshot())
+        if (std::string(s.name) != telemetry::kSpanQueueWait)
+            lanes[s.lane].push_back(s);
+    for (auto &entry : lanes) {
+        std::vector<telemetry::Span> &spans = entry.second;
+        std::sort(spans.begin(), spans.end(),
+                  [](const telemetry::Span &a, const telemetry::Span &b) {
+                      return a.t_start_us < b.t_start_us;
+                  });
+        for (size_t i = 1; i < spans.size(); ++i)
+            EXPECT_GE(spans[i].t_start_us, spans[i - 1].t_end_us)
+                << spans[i - 1].name << " overlaps " << spans[i].name
+                << " on lane " << entry.first;
+    }
+}
+
+// ----------------------------------------------------- flight recorder
+
+TEST(Telemetry, SlowFrameFlightRecorderCapturesStalledFrames)
+{
+    TelemetryGuard guard;
+    telemetry::setEnabled(true);
+
+    server::SceneRegistry reg;
+    ASSERT_NE(reg.addProcedural("lego", "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    server::ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.threads_per_shard = 1;
+    cfg.slow_frame_ms = 10.0;
+    cfg.flight_recorder_frames = 4;
+    server::FrameServer srv(reg, cfg);
+
+    const uint64_t client =
+        srv.openSession("lego", server::QosClass::Standard);
+    ASSERT_NE(client, 0u);
+    const nerf::Camera cam =
+        nerf::cameraForScene(reg.find("lego")->info, 16, 16);
+
+    // One stalled frame blows the 10ms budget; the rest stay fast.
+    fault::arm(fault::kEngineStageStall, 1.0, /*max_fires=*/1,
+               /*delay_ms=*/60.0);
+    const uint64_t slow_ticket = srv.submitFrame(client, cam);
+    ASSERT_NE(slow_ticket, 0u);
+    srv.waitIdle();
+
+    const server::ServerStatsSnapshot snap = srv.stats();
+    EXPECT_GE(snap.slow_frame_count, 1u);
+    ASSERT_FALSE(snap.slow_frames.empty());
+    const server::SlowFrameRecord *rec = nullptr;
+    for (const auto &r : snap.slow_frames)
+        if (r.ticket == slow_ticket)
+            rec = &r;
+    ASSERT_NE(rec, nullptr) << "stalled ticket not retained";
+    EXPECT_GT(rec->latency_ms, 10.0);
+    EXPECT_FALSE(rec->failed);
+    std::set<std::string> names;
+    for (const auto &s : rec->spans)
+        names.insert(s.name);
+    EXPECT_TRUE(names.count(telemetry::kSpanRaySetup));
+    EXPECT_TRUE(names.count(telemetry::kSpanFinalize));
+
+    // The retained timeline rides the stats JSON for dashboards.
+    const std::string json = snap.toJson();
+    EXPECT_NE(json.find("\"slow_frames\""), std::string::npos);
+    EXPECT_NE(json.find("\"slow_frame_count\""), std::string::npos);
+    EXPECT_NE(json.find(telemetry::kSpanRaySetup), std::string::npos);
+
+    // The global slow-frame counter saw it too.
+    EXPECT_GE(metrics::counter("asdr_slow_frames_total").value(), 1u);
+
+    std::vector<server::FrameResult> results;
+    srv.drainResults(results);
+    srv.closeSession(client);
+}
+
+TEST(Telemetry, FlightRecorderRingIsBounded)
+{
+    TelemetryGuard guard; // tracing stays OFF: facts still recorded
+
+    server::SceneRegistry reg;
+    ASSERT_NE(reg.addProcedural("lego", "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    server::ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.threads_per_shard = 1;
+    cfg.slow_frame_ms = 0.001; // everything is "slow"
+    cfg.flight_recorder_frames = 2;
+    server::FrameServer srv(reg, cfg);
+
+    const uint64_t client =
+        srv.openSession("lego", server::QosClass::Standard);
+    const nerf::Camera cam =
+        nerf::cameraForScene(reg.find("lego")->info, 16, 16);
+    for (int f = 0; f < 6; ++f)
+        ASSERT_NE(srv.submitFrame(client, cam), 0u);
+    srv.waitIdle();
+
+    const server::ServerStatsSnapshot snap = srv.stats();
+    EXPECT_EQ(snap.slow_frame_count, 6u); // every frame tripped it
+    EXPECT_EQ(snap.slow_frames.size(), 2u); // ring keeps the last two
+    // With tracing off the records carry facts but no spans.
+    for (const auto &r : snap.slow_frames)
+        EXPECT_TRUE(r.spans.empty());
+
+    std::vector<server::FrameResult> results;
+    srv.drainResults(results);
+    srv.closeSession(client);
+}
+
+// ------------------------------------------------------- wire scrape
+
+TEST(WireTelemetry, MetricsTextScrapeRoundTrip)
+{
+    TelemetryGuard guard;
+
+    server::SceneRegistry reg;
+    ASSERT_NE(reg.addProcedural("Lego", "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    server::ServerConfig scfg;
+    scfg.shards = 1;
+    scfg.threads_per_shard = 1;
+    auto srv = std::make_unique<server::FrameServer>(reg, scfg);
+    auto service = std::make_unique<net::RenderService>(*srv);
+    std::string err;
+    ASSERT_TRUE(service->start(&err)) << err;
+
+    net::Client c;
+    ASSERT_TRUE(c.connect("127.0.0.1", service->port(), &err)) << err;
+    const uint64_t s = c.openSession("Lego", server::QosClass::Standard,
+                                     net::FrameEncoding::Raw, &err);
+    ASSERT_NE(s, 0u) << err;
+
+    net::CameraSpec cs;
+    const scene::SceneInfo &info = reg.find("Lego")->info;
+    cs.pos = nerf::orbitPosition(info, 0.0f);
+    cs.look_at = info.look_at;
+    cs.fov_deg = info.fov_deg;
+    cs.width = 16;
+    cs.height = 16;
+    for (int f = 0; f < 2; ++f) {
+        ASSERT_NE(c.submitFrame(s, cs, &err), 0u) << err;
+        net::ClientFrame frame;
+        ASSERT_TRUE(c.nextFrame(frame, &err)) << err;
+        EXPECT_TRUE(frame.ok());
+    }
+
+    // Text scrape: the Prometheus exposition travels the wire.
+    std::string text;
+    ASSERT_TRUE(c.fetchMetricsText(text, &err)) << err;
+    EXPECT_NE(text.find("# TYPE asdr_frames_served_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("asdr_frames_served_total{qos=\"standard\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE asdr_frame_latency_seconds summary"),
+              std::string::npos);
+    EXPECT_NE(text.find("asdr_wire_frames_sent"), std::string::npos);
+    EXPECT_NE(text.find("asdr_wire_connections_open"),
+              std::string::npos);
+
+    // The served counter matches what this session just rendered.
+    metrics::Counter &served = metrics::counter(
+        "asdr_frames_served_total", "qos=\"standard\"");
+    EXPECT_GE(served.value(), 2u);
+
+    // The binary stats path is byte-compatible and still answers on
+    // the same connection, after the text mode.
+    net::StatsReplyMsg stats;
+    ASSERT_TRUE(c.fetchStats(stats, &err)) << err;
+    EXPECT_GE(stats.server.cls[1].served, 2u);
+    EXPECT_GE(stats.wire.frames_sent, 2u);
+
+    c.closeSession(s, &err);
+    c.disconnect();
+    service.reset();
+    srv.reset();
+}
