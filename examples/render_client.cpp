@@ -12,11 +12,13 @@
  * (framing, encode, TCP, decode) is exercised with zero setup.
  */
 
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/client.hpp"
@@ -60,6 +62,11 @@ usage(const char *argv0)
            "  --trace-out <file>  self-hosted service only: enable\n"
            "                      stage-span tracing and write a\n"
            "                      Chrome/Perfetto trace JSON at exit\n"
+           "  --trace-follow <f>  subscribe to the service's live span\n"
+           "                      stream on a second connection and\n"
+           "                      tail it into <f> (Perfetto JSON,\n"
+           "                      rewritten as spans arrive) -- works\n"
+           "                      against a remote service, no restart\n"
            "  --slow-ms <n>       self-hosted service only: slow-frame\n"
            "                      flight recorder threshold, ms\n"
            "  --metrics-out <f>   scrape the service's Prometheus text\n"
@@ -100,7 +107,7 @@ int
 main(int argc, char **argv)
 {
     std::string host = "127.0.0.1", scene = "Lego", ppm;
-    std::string trace_out, metrics_out;
+    std::string trace_out, trace_follow, metrics_out;
     int port = 0, frames = 12, width = 48, samples = 48;
     float step = 0.05f;
     double slow_ms = 0.0;
@@ -141,6 +148,8 @@ main(int argc, char **argv)
             ppm = next();
         else if (arg == "--trace-out" && i + 1 < argc)
             trace_out = next();
+        else if (arg == "--trace-follow" && i + 1 < argc)
+            trace_follow = next();
         else if (arg == "--slow-ms" && i + 1 < argc)
             slow_ms = std::atof(argv[++i]);
         else if (arg == "--metrics-out" && i + 1 < argc)
@@ -193,6 +202,24 @@ main(int argc, char **argv)
 
     if (!trace_out.empty())
         telemetry::setEnabled(true);
+
+    // ---- optional live span follower (own connection + thread) ----
+    // Subscribing turns span recording on service-side, so this works
+    // against an already-running remote service with tracing off.
+    std::atomic<bool> follow_stop{false};
+    std::thread follower;
+    std::string follow_err;
+    bool follow_ok = false;
+    if (!trace_follow.empty()) {
+        follower = std::thread([&] {
+            net::Client fc;
+            if (!fc.connect(host, uint16_t(port), &follow_err))
+                return;
+            follow_ok = fc.followSpans(trace_follow, 3600.0,
+                                       &follow_stop, &follow_err);
+            fc.disconnect();
+        });
+    }
 
     net::Client client;
     std::string err;
@@ -305,6 +332,16 @@ main(int argc, char **argv)
 
     client.closeSession(session, &err);
     client.disconnect();
+
+    if (follower.joinable()) {
+        follow_stop = true;
+        follower.join();
+        if (follow_ok)
+            std::cout << "followed live spans into " << trace_follow
+                      << " (open at ui.perfetto.dev)\n";
+        else
+            std::cerr << "trace follow failed: " << follow_err << "\n";
+    }
 
     if (!trace_out.empty()) {
         if (!telemetry::writeJson(trace_out, &err)) {

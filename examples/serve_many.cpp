@@ -69,6 +69,16 @@ usage(const char *argv0)
            "  --metrics-out <f>   write the Prometheus text exposition\n"
            "                      of the metrics registry after the run\n"
            "                      (- for stdout)\n"
+           "  --slo-p99-ms <n>    per-class latency SLO: frames over\n"
+           "                      <n> ms burn the 1% latency budget;\n"
+           "                      sustained burn over both windows\n"
+           "                      raises the breach gauge and pins the\n"
+           "                      offenders into the flight recorder\n"
+           "  --slo-errors <f>    availability SLO: tolerated error\n"
+           "                      fraction (failed/expired/shed), e.g.\n"
+           "                      0.01\n"
+           "  --slo-windows <f,s> fast,slow burn windows in seconds\n"
+           "                      (default 60,3600)\n"
            "  --help              this message\n";
 }
 
@@ -86,6 +96,8 @@ main(int argc, char **argv)
     int cache_mb = 32;
     std::string trace_out, metrics_out;
     double slow_ms = 0.0;
+    double slo_p99_ms = 0.0, slo_errors = 0.0;
+    double slo_fast_s = 60.0, slo_slow_s = 3600.0;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&] { return std::atoi(argv[++i]); };
@@ -130,7 +142,17 @@ main(int argc, char **argv)
             slow_ms = std::atof(argv[++i]);
         else if (arg == "--metrics-out" && i + 1 < argc)
             metrics_out = argv[++i];
-        else {
+        else if (arg == "--slo-p99-ms" && i + 1 < argc)
+            slo_p99_ms = std::atof(argv[++i]);
+        else if (arg == "--slo-errors" && i + 1 < argc)
+            slo_errors = std::atof(argv[++i]);
+        else if (arg == "--slo-windows" && i + 1 < argc) {
+            const std::string w = argv[++i];
+            const size_t comma = w.find(',');
+            slo_fast_s = std::atof(w.c_str());
+            if (comma != std::string::npos)
+                slo_slow_s = std::atof(w.c_str() + comma + 1);
+        } else {
             std::cerr << "unknown option: " << arg << "\n";
             usage(argv[0]);
             return 1;
@@ -179,6 +201,14 @@ main(int argc, char **argv)
         scfg.sample_cache.capacity_mb = cache_mb;
     }
     scfg.slow_frame_ms = slow_ms;
+    if (slo_p99_ms > 0.0 || slo_errors > 0.0) {
+        for (int c = 0; c < server::kQosClasses; ++c) {
+            scfg.slo.cls[c].target_p99_ms = slo_p99_ms;
+            scfg.slo.cls[c].max_error_fraction = slo_errors;
+        }
+        scfg.slo.fast_window_s = slo_fast_s;
+        scfg.slo.slow_window_s = slo_slow_s;
+    }
     if (!trace_out.empty())
         telemetry::setEnabled(true);
 
@@ -213,6 +243,28 @@ main(int argc, char **argv)
                       << "/" << (sc.cache_hits + sc.cache_misses) << ")";
         std::cout << "\n";
     }
+    if (slo_p99_ms > 0.0 || slo_errors > 0.0) {
+        std::cout << "\nSLO burn rates (burn 1 = consuming the budget "
+                     "exactly at the sustainable rate):\n";
+        const server::ServerStatsSnapshot slo_snap = srv.stats();
+        for (int c = 0; c < server::kQosClasses; ++c) {
+            const server::QosClassStats &s = slo_snap.cls[c];
+            if (!s.submitted)
+                continue;
+            std::cout << "  " << server::qosClassName(server::QosClass(c))
+                      << ": latency burn " << fmt(s.slo_latency_fast_burn, 2)
+                      << "/" << fmt(s.slo_latency_slow_burn, 2)
+                      << " (fast/slow), error burn "
+                      << fmt(s.slo_error_fast_burn, 2) << "/"
+                      << fmt(s.slo_error_slow_burn, 2) << ", breaches "
+                      << s.slo_breach_events
+                      << (s.slo_latency_breached || s.slo_error_breached
+                              ? " [BREACHED]"
+                              : "")
+                      << "\n";
+        }
+    }
+
     std::cout << "\n"
               << report.results << " results in " << fmt(report.wall_s, 3)
               << " s (" << fmt(report.frames_per_s, 2)

@@ -262,6 +262,7 @@ FrameEngine::launchLocked(InFlight *f)
     // tracing is off); multi-task nodes record one span per task, so a
     // trace shows the per-lane spread of probe rows and tiles.
     const int setup = g.addNode("ray setup", 1, [f, r](int) {
+        telemetry::ScopedQos qc(uint8_t(f->req.priority));
         telemetry::ScopedSpan sp(telemetry::kSpanRaySetup, f->id,
                                  f->req.ticket);
         fault::fire(fault::kEngineStageStall); // sleeps when armed
@@ -273,6 +274,7 @@ FrameEngine::launchLocked(InFlight *f)
     if (shape.adaptive && !f->fs.probes_reused) {
         const int probe =
             g.addNode("phase1 probes", shape.gh, [f, r](int gy) {
+                telemetry::ScopedQos qc(uint8_t(f->req.priority));
                 telemetry::ScopedSpan sp(telemetry::kSpanProbes, f->id,
                                          f->req.ticket);
                 r->probeRow(f->fs, gy);
@@ -281,12 +283,14 @@ FrameEngine::launchLocked(InFlight *f)
         prev = probe;
     }
     const int plan = g.addNode("sample planning", 1, [f, r](int) {
+        telemetry::ScopedQos qc(uint8_t(f->req.priority));
         telemetry::ScopedSpan sp(telemetry::kSpanPlanning, f->id,
                                  f->req.ticket);
         r->planBudgets(f->fs);
     });
     g.addEdge(prev, plan);
     const int phase2 = g.addNode("phase2 tiles", shape.jobs, [f, r](int j) {
+        telemetry::ScopedQos qc(uint8_t(f->req.priority));
         telemetry::ScopedSpan sp(telemetry::kSpanTiles, f->id,
                                  f->req.ticket);
         r->phase2Job(f->fs, j);
@@ -298,6 +302,7 @@ FrameEngine::launchLocked(InFlight *f)
             // Scoped so the span is recorded before deliver() runs the
             // consumer callback -- a slow-frame dump collecting this
             // ticket's spans from inside on_complete must see it.
+            telemetry::ScopedQos qc(uint8_t(f->req.priority));
             telemetry::ScopedSpan sp(telemetry::kSpanFinalize, f->id,
                                      f->req.ticket);
             RenderSession *s = f->req.session;

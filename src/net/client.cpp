@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <sstream>
 #include <thread>
 
 namespace asdr::net {
@@ -142,6 +144,9 @@ Client::disconnect()
     refs_.clear();
     last_frames_.clear();
     sessions_.clear();
+    spans_.clear();
+    span_batches_dropped_ = 0;
+    span_sub_ = false;
 }
 
 void
@@ -338,6 +343,9 @@ Client::nextFrame(ClientFrame &out, std::string *err)
         if (type == MsgType::FrameResult) {
             if (!takeFrameResult(payload, err))
                 return false;
+        } else if (type == MsgType::SpanBatch) {
+            if (!takeSpanBatch(payload, err))
+                return false;
         } else {
             return fail(err, ClientError::Protocol,
                         std::string("unexpected ") + msgTypeName(type) +
@@ -383,6 +391,176 @@ Client::fetchMetricsText(std::string &out, std::string *err)
     return true;
 }
 
+bool
+Client::subscribeSpans(bool on, std::string *err)
+{
+    SubscribeTelemetryMsg msg;
+    msg.enable = on ? 1 : 0;
+    if (!send(MsgType::SubscribeTelemetry,
+              packMessage(MsgType::SubscribeTelemetry, msg), err))
+        return false;
+    // waitReply buffers every SpanBatch ahead of the Ok -- on
+    // unsubscribe that IS the final drain the service queued before
+    // replying, so nothing recorded pre-barrier is lost.
+    std::vector<uint8_t> payload;
+    if (!waitReply(MsgType::SubscribeTelemetryOk, payload, err))
+        return false;
+    SubscribeTelemetryOkMsg ok;
+    if (!decodePayload(payload.data(), payload.size(), ok))
+        return fail(err, ClientError::Protocol,
+                    "bad SubscribeTelemetryOk");
+    if ((ok.enabled != 0) != on)
+        return fail(err, ClientError::Protocol,
+                    "SubscribeTelemetryOk state mismatch");
+    span_sub_ = on;
+    last_error_ = ClientError::None;
+    return true;
+}
+
+size_t
+Client::drainSpans(std::vector<WireSpan> &out)
+{
+    const size_t n = spans_.size();
+    out.reserve(out.size() + n);
+    for (auto &s : spans_)
+        out.push_back(std::move(s));
+    spans_.clear();
+    return n;
+}
+
+bool
+Client::followSpans(const std::string &path, double duration_s,
+                    const std::atomic<bool> *stop, std::string *err)
+{
+    if (!subscribeSpans(true, err))
+        return false;
+    std::vector<WireSpan> all;
+    std::string werr;
+    auto writeFile = [&]() -> bool {
+        const std::string body = spansToTraceJson(all);
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        if (!f) {
+            werr = "cannot open " + path;
+            return false;
+        }
+        const size_t wrote = std::fwrite(body.data(), 1, body.size(), f);
+        if (wrote != body.size() || std::fclose(f) != 0) {
+            werr = "short write to " + path;
+            return false;
+        }
+        return true;
+    };
+    drainSpans(all);
+    bool failed = !writeFile();
+
+    // Poll with a short receive window so `stop`/`duration_s` are
+    // honored promptly; a clean-boundary timeout is "nothing new yet"
+    // and leaves the connection open.
+    sock_.setRecvTimeout(0.2);
+    const auto t0 = std::chrono::steady_clock::now();
+    while (!failed) {
+        if (stop && stop->load(std::memory_order_relaxed))
+            break;
+        if (duration_s > 0.0 &&
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                    .count() >= duration_s)
+            break;
+        MsgType type;
+        std::vector<uint8_t> payload;
+        if (!readMessage(type, payload, &werr)) {
+            if (last_error_ == ClientError::Timeout && connected())
+                continue;
+            failed = true;
+            break;
+        }
+        if (type == MsgType::SpanBatch) {
+            if (!takeSpanBatch(payload, &werr)) {
+                failed = true;
+                break;
+            }
+        } else if (type == MsgType::FrameResult) {
+            if (!takeFrameResult(payload, &werr)) {
+                failed = true;
+                break;
+            }
+        } else {
+            last_error_ = ClientError::Protocol;
+            werr = std::string("unexpected ") + msgTypeName(type) +
+                   " while following spans";
+            failed = true;
+            break;
+        }
+        // Every batch grows the file in place: the trace is loadable
+        // at any moment, not only after a clean shutdown.
+        if (drainSpans(all) > 0 && !writeFile()) {
+            failed = true;
+            break;
+        }
+    }
+    if (connected()) {
+        sock_.setRecvTimeout(recv_timeout_s_);
+        if (!failed && !subscribeSpans(false, &werr))
+            failed = true;
+    } else if (!failed) {
+        failed = true;
+        if (werr.empty())
+            werr = "connection lost while following spans";
+    }
+    drainSpans(all);
+    if (!writeFile())
+        failed = true;
+    if (failed) {
+        setErr(err, werr.empty() ? "span follow failed" : werr);
+        return false;
+    }
+    last_error_ = ClientError::None;
+    return true;
+}
+
+std::string
+spansToTraceJson(const std::vector<WireSpan> &spans)
+{
+    // Same document shape as telemetry::toJsonString, so followed and
+    // exit-dumped traces are interchangeable in ui.perfetto.dev. Span
+    // names come off the wire, so they get JSON escaping here (the
+    // exit dump's names are compiled-in constants).
+    auto esc = [](const std::string &s) {
+        std::string out;
+        out.reserve(s.size());
+        for (unsigned char c : s) {
+            if (c == '"' || c == '\\') {
+                out.push_back('\\');
+                out.push_back(char(c));
+            } else if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(char(c));
+            }
+        }
+        return out;
+    };
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const WireSpan &s : spans) {
+        if (!first)
+            os << ",";
+        first = false;
+        const uint64_t dur =
+            s.t_end_us > s.t_start_us ? s.t_end_us - s.t_start_us : 0;
+        os << "{\"name\":\"" << esc(s.name)
+           << "\",\"cat\":\"asdr\",\"ph\":\"X\",\"ts\":" << s.t_start_us
+           << ",\"dur\":" << dur << ",\"pid\":1,\"tid\":" << s.lane
+           << ",\"args\":{\"frame\":" << s.frame
+           << ",\"ticket\":" << s.ticket << "}}";
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}";
+    return os.str();
+}
+
 // ------------------------------------------------------------- internals
 
 bool
@@ -410,6 +588,14 @@ Client::readMessage(MsgType &type, std::vector<uint8_t> &payload,
         const ssize_t k =
             sock_.recvSome(hdr_bytes + got, kHeaderSize - got);
         if (k <= 0) {
+            // A timeout on a clean message boundary (no header byte
+            // read yet) is just "nothing arrived": the stream is
+            // intact, so the connection survives -- pollers (span
+            // followers) rely on this. A mid-message timeout means a
+            // truncated frame and still closes.
+            if (k == kRecvWouldBlock && got == 0)
+                return fail(err, ClientError::Timeout,
+                            "receive timed out");
             sock_.close();
             if (k == kRecvClosed)
                 return fail(err, ClientError::PeerClosed,
@@ -462,6 +648,11 @@ Client::waitReply(MsgType want, std::vector<uint8_t> &payload,
             return true;
         if (type == MsgType::FrameResult) {
             if (!takeFrameResult(payload, err))
+                return false;
+            continue;
+        }
+        if (type == MsgType::SpanBatch) {
+            if (!takeSpanBatch(payload, err))
                 return false;
             continue;
         }
@@ -548,6 +739,21 @@ Client::takeFrameResult(const std::vector<uint8_t> &payload,
         }
     }
     results_.push_back(std::move(frame));
+    return true;
+}
+
+bool
+Client::takeSpanBatch(const std::vector<uint8_t> &payload, std::string *err)
+{
+    SpanBatchMsg msg;
+    if (!decodePayload(payload.data(), payload.size(), msg)) {
+        sock_.close();
+        return fail(err, ClientError::Protocol, "corrupt SpanBatch");
+    }
+    // `dropped` is cumulative per subscription; last header wins.
+    span_batches_dropped_ = msg.dropped;
+    for (WireSpan &s : msg.spans)
+        spans_.push_back(std::move(s));
     return true;
 }
 

@@ -31,6 +31,7 @@
 #ifndef ASDR_NET_CLIENT_HPP
 #define ASDR_NET_CLIENT_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -226,6 +227,35 @@ class Client
      *  (GetStats with StatsFormat::Text -> MetricsReply). */
     bool fetchMetricsText(std::string &out, std::string *err = nullptr);
 
+    /**
+     * Subscribe to (or end) the service's live telemetry span stream.
+     * While subscribed, SpanBatch messages arrive interleaved with
+     * control replies and frames; they are buffered internally (drain
+     * with drainSpans) and never disturb nextFrame()/control calls.
+     * Unsubscribing is a deterministic barrier: the service drains
+     * everything recorded so far BEFORE the Ok, so after a successful
+     * subscribeSpans(false) the buffer holds the complete stream.
+     */
+    bool subscribeSpans(bool on, std::string *err = nullptr);
+    /** Move every buffered streamed span into `out`; returns count. */
+    size_t drainSpans(std::vector<WireSpan> &out);
+    /** Span batches the service shed under backpressure (cumulative,
+     *  from the last SpanBatch header). */
+    uint64_t spanBatchesDropped() const { return span_batches_dropped_; }
+
+    /**
+     * Tail the service's spans into a growing Perfetto-loadable JSON
+     * file: subscribe, then rewrite `path` as a complete trace
+     * document after every received batch, until `duration_s` elapses
+     * (0 = no time limit) or `*stop` turns true, then unsubscribe and
+     * write the final drain. False on connection/protocol failure
+     * (the file still holds everything received). The live remote
+     * analog of ASDR_TRACE_OUT's exit dump -- no restart needed.
+     */
+    bool followSpans(const std::string &path, double duration_s,
+                     const std::atomic<bool> *stop = nullptr,
+                     std::string *err = nullptr);
+
     const ClientTransferStats &transfer() const { return transfer_; }
     /** Classification of the most recent failure (None on success). */
     ClientError lastError() const { return last_error_; }
@@ -265,6 +295,9 @@ class Client
     /** Decode + buffer one FrameResult payload. */
     bool takeFrameResult(const std::vector<uint8_t> &payload,
                          std::string *err);
+    /** Decode + buffer one SpanBatch payload. */
+    bool takeSpanBatch(const std::vector<uint8_t> &payload,
+                       std::string *err);
     bool fail(std::string *err, ClientError cls, const std::string &what);
 
     Socket sock_;
@@ -279,11 +312,20 @@ class Client
     std::unordered_map<uint64_t, SessionState> sessions_;
     ClientTransferStats transfer_;
     ClientError last_error_ = ClientError::None;
+    /** Streamed spans awaiting drainSpans(). */
+    std::deque<WireSpan> spans_;
+    uint64_t span_batches_dropped_ = 0;
+    bool span_sub_ = false;
 
     std::string host_;
     uint16_t port_ = 0;
     double recv_timeout_s_ = 30.0;
 };
+
+/** Render streamed spans as a Chrome/Perfetto trace_event JSON
+ *  document (same shape as telemetry::toJsonString, so a followed
+ *  trace and an exit dump load identically in ui.perfetto.dev). */
+std::string spansToTraceJson(const std::vector<WireSpan> &spans);
 
 } // namespace asdr::net
 

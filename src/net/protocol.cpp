@@ -53,6 +53,12 @@ msgTypeName(MsgType t)
         return "ResumeSessionOk";
     case MsgType::MetricsReply:
         return "MetricsReply";
+    case MsgType::SubscribeTelemetry:
+        return "SubscribeTelemetry";
+    case MsgType::SubscribeTelemetryOk:
+        return "SubscribeTelemetryOk";
+    case MsgType::SpanBatch:
+        return "SpanBatch";
     }
     return "?";
 }
@@ -295,6 +301,80 @@ MetricsReplyMsg::decode(WireReader &r)
 }
 
 void
+SubscribeTelemetryMsg::encode(WireWriter &w) const
+{
+    w.u8(enable);
+}
+
+bool
+SubscribeTelemetryMsg::decode(WireReader &r)
+{
+    return r.u8(enable) && enable <= 1;
+}
+
+void
+SubscribeTelemetryOkMsg::encode(WireWriter &w) const
+{
+    w.u8(enabled);
+}
+
+bool
+SubscribeTelemetryOkMsg::decode(WireReader &r)
+{
+    return r.u8(enabled) && enabled <= 1;
+}
+
+void
+WireSpan::encode(WireWriter &w) const
+{
+    w.str(name);
+    w.u64(frame);
+    w.u64(ticket);
+    w.u32(lane);
+    w.u64(t_start_us);
+    w.u64(t_end_us);
+}
+
+bool
+WireSpan::decode(WireReader &r)
+{
+    if (!(r.str(name) && r.u64(frame) && r.u64(ticket) && r.u32(lane) &&
+          r.u64(t_start_us) && r.u64(t_end_us)))
+        return false;
+    // A nameless or time-reversed interval is a corrupt stream, not a
+    // recordable span.
+    return !name.empty() && t_end_us >= t_start_us;
+}
+
+void
+SpanBatchMsg::encode(WireWriter &w) const
+{
+    w.u64(seq);
+    w.u64(dropped);
+    w.u32(uint32_t(spans.size()));
+    for (const WireSpan &s : spans)
+        s.encode(w);
+}
+
+bool
+SpanBatchMsg::decode(WireReader &r)
+{
+    uint32_t count = 0;
+    if (!(r.u64(seq) && r.u64(dropped) && r.u32(count)) ||
+        count > kMaxSpansPerBatch)
+        return false;
+    spans.clear();
+    spans.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        WireSpan s;
+        if (!s.decode(r))
+            return false;
+        spans.push_back(std::move(s));
+    }
+    return true;
+}
+
+void
 WireCounters::encode(WireWriter &w) const
 {
     w.u64(connections_accepted);
@@ -310,6 +390,8 @@ WireCounters::encode(WireWriter &w) const
     w.u64(bytes_rx);
     w.u64(frame_payload_bytes);
     w.u64(frame_raw_bytes);
+    w.u64(span_batches_sent);
+    w.u64(span_batches_dropped);
 }
 
 bool
@@ -320,7 +402,8 @@ WireCounters::decode(WireReader &r)
            r.u64(results_shed) && r.u64(results_degraded) &&
            r.u64(results_parked) && r.u64(sessions_resumed) &&
            r.u64(sessions_expired) && r.u64(bytes_tx) && r.u64(bytes_rx) &&
-           r.u64(frame_payload_bytes) && r.u64(frame_raw_bytes);
+           r.u64(frame_payload_bytes) && r.u64(frame_raw_bytes) &&
+           r.u64(span_batches_sent) && r.u64(span_batches_dropped);
 }
 
 void
@@ -342,6 +425,13 @@ StatsReplyMsg::encode(WireWriter &w) const
         for (int rg = 0; rg < server::kQualityRungs; ++rg)
             w.u64(s.served_rung[rg]);
         w.u64(s.degraded);
+        w.f64(s.slo_latency_fast_burn);
+        w.f64(s.slo_latency_slow_burn);
+        w.f64(s.slo_error_fast_burn);
+        w.f64(s.slo_error_slow_burn);
+        w.u8(s.slo_latency_breached);
+        w.u8(s.slo_error_breached);
+        w.u64(s.slo_breach_events);
     }
     w.u32(uint32_t(server.scenes.size()));
     for (const server::SceneServeStats &s : server.scenes) {
@@ -382,6 +472,13 @@ StatsReplyMsg::decode(WireReader &r)
             if (!r.u64(s.served_rung[rg]))
                 return false;
         if (!r.u64(s.degraded))
+            return false;
+        if (!(r.f64(s.slo_latency_fast_burn) &&
+              r.f64(s.slo_latency_slow_burn) &&
+              r.f64(s.slo_error_fast_burn) &&
+              r.f64(s.slo_error_slow_burn) &&
+              r.u8(s.slo_latency_breached) && r.u8(s.slo_error_breached) &&
+              r.u64(s.slo_breach_events)))
             return false;
     }
     uint32_t scenes = 0;

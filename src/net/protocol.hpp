@@ -40,6 +40,11 @@
  *                            connection lost in flight.
  *   CloseSession / -Ok       sheds pending frames, waits in-flight ones
  *   GetStats / StatsReply    ServerStats snapshot + wire counters
+ *   SubscribeTelemetry / -Ok live-span subscription toggle; while on,
+ *                            the service streams SpanBatch messages
+ *   SpanBatch (service)      async: stage spans recorded since the
+ *                            last batch (droppable under backpressure,
+ *                            drops counted in the next batch header)
  *   Error (service)          failed request, or protocol violation
  *                            (violations are followed by a close)
  */
@@ -67,7 +72,10 @@ constexpr uint32_t kMagic = 0x52445341u; // 'A','S','D','R' on the wire
  *  (hits/misses/evictions/epoch_drops). */
 /** v5: GetStats carries a format selector (binary StatsReply or
  *  Prometheus text) and MetricsReply carries the text exposition. */
-constexpr uint16_t kProtocolVersion = 5;
+/** v6: SubscribeTelemetry/-Ok + SpanBatch stream live stage spans to a
+ *  subscribed client; WireCounters count span batches sent/dropped;
+ *  StatsReply per-class sections carry the SLO burn-rate fields. */
+constexpr uint16_t kProtocolVersion = 6;
 constexpr size_t kHeaderSize = 12;
 /** Hard cap on one message's payload; oversized headers are a protocol
  *  violation (a 4K frame is ~200 MB raw -- far beyond this service's
@@ -86,6 +94,9 @@ constexpr uint32_t kMaxRequestPayload = 64u * 1024;
 constexpr uint32_t kMaxFrameBytes = 32u << 20;
 /** Cap on any string field (scene names, error text). */
 constexpr uint32_t kMaxString = 4096;
+/** Cap on spans in one SpanBatch: bounds the decode allocation the
+ *  same way kMaxSceneStats bounds StatsReply. */
+constexpr uint32_t kMaxSpansPerBatch = 65536;
 
 enum class MsgType : uint16_t
 {
@@ -104,6 +115,9 @@ enum class MsgType : uint16_t
     ResumeSession = 13,
     ResumeSessionOk = 14,
     MetricsReply = 15,
+    SubscribeTelemetry = 16,
+    SubscribeTelemetryOk = 17,
+    SpanBatch = 18,
 };
 
 const char *msgTypeName(MsgType t);
@@ -512,6 +526,58 @@ struct MetricsReplyMsg
     bool decode(WireReader &r);
 };
 
+/** Toggle a live-span subscription for this connection (v6). While
+ *  enabled, the service drains newly recorded stage spans to the
+ *  connection as SpanBatch messages on its stream timer. Enabling
+ *  turns span recording on service-side if it was off; the reply to a
+ *  disable is sent AFTER the final drain, so a follower that reads
+ *  until SubscribeTelemetryOk holds every span recorded before the
+ *  unsubscribe. */
+struct SubscribeTelemetryMsg
+{
+    uint8_t enable = 1;
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+struct SubscribeTelemetryOkMsg
+{
+    uint8_t enabled = 0; ///< subscription state after the request
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+/** One stage span on the wire (telemetry::Span with the interned name
+ *  carried as a string). */
+struct WireSpan
+{
+    std::string name;
+    uint64_t frame = 0;
+    uint64_t ticket = 0;
+    uint32_t lane = 0;
+    uint64_t t_start_us = 0;
+    uint64_t t_end_us = 0;
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
+/** A batch of live spans (service -> subscribed client, async). */
+struct SpanBatchMsg
+{
+    /** Batch sequence number on this connection, starting at 1. */
+    uint64_t seq = 0;
+    /** Cumulative batches dropped to this subscriber by outbound
+     *  backpressure (whole batches, never partial ones). */
+    uint64_t dropped = 0;
+    std::vector<WireSpan> spans;
+
+    void encode(WireWriter &w) const;
+    bool decode(WireReader &r);
+};
+
 /** Socket front-end counters, served next to the render stats. */
 struct WireCounters
 {
@@ -535,6 +601,10 @@ struct WireCounters
      *  the delivery-path analog of the paper's data-reuse savings. */
     uint64_t frame_payload_bytes = 0;
     uint64_t frame_raw_bytes = 0;
+    /** Live-telemetry stream (v6): SpanBatch messages written, and
+     *  batches dropped by per-subscriber backpressure. */
+    uint64_t span_batches_sent = 0;
+    uint64_t span_batches_dropped = 0;
 
     void encode(WireWriter &w) const;
     bool decode(WireReader &r);

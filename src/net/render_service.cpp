@@ -144,6 +144,7 @@ RenderService::run()
         fds.push_back({wake_.readFd(), POLLIN, 0});
         fds.push_back({listener_.fd(), POLLIN, 0});
         int timeout = -1;
+        size_t span_subs = 0;
         {
             std::lock_guard<std::mutex> lock(m_);
             for (auto &entry : conns_) {
@@ -155,9 +156,18 @@ RenderService::run()
                 }
                 fds.push_back({entry.second->sock.fd(), events, 0});
                 polled.push_back(entry.second);
+                if (entry.second->telemetry_sub)
+                    span_subs++;
             }
             if (detached_sessions_ > 0)
                 timeout = kGracePollMs;
+        }
+        // Span subscribers turn the blocking poll into a periodic one:
+        // the drain timer must fire even with no socket activity.
+        if (span_subs > 0) {
+            const int period = std::max(
+                1, int(cfg_.span_stream_period_s * 1e3));
+            timeout = timeout < 0 ? period : std::min(timeout, period);
         }
         if (::poll(fds.data(), nfds_t(fds.size()), timeout) < 0) {
             if (errno == EINTR)
@@ -190,7 +200,86 @@ RenderService::run()
                 teardown(conn, /*allow_grace=*/true);
             }
         }
+        if (span_subs > 0)
+            drainSpanStreams(/*force=*/false);
         expireDetached();
+    }
+}
+
+size_t
+RenderService::telemetrySubscribers()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    size_t n = 0;
+    for (auto &entry : conns_)
+        if (entry.second->telemetry_sub)
+            n++;
+    return n;
+}
+
+void
+RenderService::drainSpanStreams(bool force)
+{
+    const auto now = std::chrono::steady_clock::now();
+    if (!force &&
+        std::chrono::duration<double>(now - last_span_drain_).count() <
+            cfg_.span_stream_period_s)
+        return;
+    last_span_drain_ = now;
+    std::vector<std::shared_ptr<Connection>> subs;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        for (auto &entry : conns_)
+            if (entry.second->telemetry_sub)
+                subs.push_back(entry.second);
+    }
+    for (auto &conn : subs)
+        streamSpansTo(conn);
+}
+
+void
+RenderService::streamSpansTo(const std::shared_ptr<Connection> &conn)
+{
+    for (;;) {
+        std::vector<telemetry::Span> spans;
+        if (telemetry::collectNewSpans(conn->span_cursor, spans,
+                                       cfg_.span_stream_max_spans) == 0)
+            return;
+        bool dead;
+        size_t out_bytes;
+        {
+            std::lock_guard<std::mutex> out(conn->out_m);
+            dead = conn->dead;
+            out_bytes = conn->out_bytes;
+        }
+        if (dead)
+            return;
+        if (out_bytes >= cfg_.max_outbound_bytes) {
+            // Degrade-before-shed, telemetry flavor: whole batches are
+            // dropped (the cursor already moved past them), counted
+            // here and surfaced in the next delivered batch's
+            // cumulative `dropped` header. Control replies and frame
+            // accounting are never displaced by span traffic.
+            conn->span_dropped++;
+            {
+                std::lock_guard<std::mutex> lock(cnt_m_);
+                counters_.span_batches_dropped++;
+            }
+            continue; // keep draining; later batches may fit
+        }
+        SpanBatchMsg msg;
+        msg.seq = ++conn->span_seq;
+        msg.dropped = conn->span_dropped;
+        msg.spans.reserve(spans.size());
+        for (const telemetry::Span &s : spans)
+            msg.spans.push_back(WireSpan{s.name, s.frame, s.ticket,
+                                         s.lane, s.t_start_us,
+                                         s.t_end_us});
+        {
+            std::lock_guard<std::mutex> lock(cnt_m_);
+            counters_.span_batches_sent++;
+        }
+        sendControl(*conn, MsgType::SpanBatch, msg);
     }
 }
 
@@ -596,6 +685,54 @@ RenderService::handleMessage(const std::shared_ptr<Connection> &conn,
         return true;
     }
 
+    case MsgType::SubscribeTelemetry: {
+        SubscribeTelemetryMsg msg;
+        if (!decodePayload(payload, len, msg)) {
+            sendError(*conn, WireError::BadMessage,
+                      "bad SubscribeTelemetry");
+            return false;
+        }
+        if (msg.enable) {
+            if (!conn->telemetry_sub) {
+                conn->telemetry_sub = true;
+                conn->span_cursor = telemetry::CollectCursor{};
+                conn->span_seq = 0;
+                conn->span_dropped = 0;
+                // A subscriber wants spans: turn recording on if the
+                // host process left it off. The service remembers who
+                // enabled it and restores the off state when the last
+                // subscriber leaves, so a scrape-and-go client does
+                // not leave tracing running forever.
+                if (!telemetry::enabled()) {
+                    telemetry::setEnabled(true);
+                    service_enabled_tracing_ = true;
+                }
+            }
+            SubscribeTelemetryOkMsg ok;
+            ok.enabled = 1;
+            sendControl(*conn, MsgType::SubscribeTelemetryOk, ok);
+        } else {
+            if (conn->telemetry_sub) {
+                // Final drain BEFORE the Ok: batches and the reply
+                // share the ordered outbound queue, so the Ok is a
+                // deterministic end-of-stream barrier -- the client
+                // reads SpanBatch messages until it sees the Ok and
+                // misses nothing recorded before the unsubscribe.
+                streamSpansTo(conn);
+                conn->telemetry_sub = false;
+                if (service_enabled_tracing_ &&
+                    telemetrySubscribers() == 0) {
+                    telemetry::setEnabled(false);
+                    service_enabled_tracing_ = false;
+                }
+            }
+            SubscribeTelemetryOkMsg ok;
+            ok.enabled = 0;
+            sendControl(*conn, MsgType::SubscribeTelemetryOk, ok);
+        }
+        return true;
+    }
+
     default:
         // Server-to-client types or unknown ids from a client are a
         // protocol violation either way.
@@ -621,6 +758,7 @@ RenderService::deliverLocked(const std::shared_ptr<Connection> &conn,
     // Encode span: message build + payload encode + enqueue for one
     // delivered result (drops/expiries pass through in microseconds;
     // the interesting ones are the Ok frames' codec time).
+    telemetry::ScopedQos qc(uint8_t(result.qos));
     telemetry::ScopedSpan span(telemetry::kSpanEncode, result.frame.id,
                                result.ticket);
     FrameResultMsg msg;
@@ -766,6 +904,15 @@ void
 RenderService::teardown(const std::shared_ptr<Connection> &conn,
                         bool allow_grace)
 {
+    // A dead subscriber ends its stream; if it was the reason tracing
+    // was on, and no other subscriber remains, restore the off state.
+    if (conn->telemetry_sub) {
+        conn->telemetry_sub = false;
+        if (service_enabled_tracing_ && telemetrySubscribers() == 0) {
+            telemetry::setEnabled(false);
+            service_enabled_tracing_ = false;
+        }
+    }
     // Stop the socket side first: no more reads, no more writes.
     // Steal the unsent outbound queue -- complete FrameResult messages
     // still in it are scavenged below so their tickets keep their

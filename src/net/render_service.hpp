@@ -79,6 +79,7 @@
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
 #include "server/frame_server.hpp"
+#include "util/telemetry.hpp"
 
 namespace asdr::net {
 
@@ -113,6 +114,15 @@ struct ServiceConfig
     /** Max parked frame PAYLOADS per detached session; older payloads
      *  shed (result kept, flagged Shed) when the bound is hit. */
     size_t max_parked_results = 256;
+    /**
+     * Live span-stream drain period, seconds: how often the service
+     * copies newly recorded telemetry spans into each subscriber's
+     * outbound queue (MsgType::SpanBatch). Subscribers shrink the poll
+     * timeout to this; with none attached the loop blocks as before.
+     */
+    double span_stream_period_s = 0.05;
+    /** Spans per SpanBatch message (larger drains are chunked). */
+    size_t span_stream_max_spans = 8192;
     /**
      * Fixed kernel send-buffer size per connection; 0 = kernel default
      * (autotuned). A small fixed buffer makes slow consumers visible
@@ -187,6 +197,14 @@ class RenderService
         std::unordered_map<uint64_t, std::shared_ptr<WireSession>> sessions;
         bool hello_done = false;
 
+        // Telemetry span subscription (service thread only, like
+        // `sessions`): an incremental cursor over the process span
+        // buffers plus the stream's sequence/drop accounting.
+        bool telemetry_sub = false;
+        telemetry::CollectCursor span_cursor;
+        uint64_t span_seq = 0;     ///< SpanBatch sequence (sent batches)
+        uint64_t span_dropped = 0; ///< cumulative batches shed (backpressure)
+
         /** out_m guards everything below -- shared between the service
          *  thread, engine callbacks, and the reaper. */
         std::mutex out_m;
@@ -229,6 +247,18 @@ class RenderService
     bool deliverLocked(const std::shared_ptr<Connection> &conn,
                        WireSession &ws, server::FrameResult &&result,
                        bool pre_shed);
+    /**
+     * Drain newly recorded telemetry spans to every subscribed
+     * connection (rate-limited to span_stream_period_s between full
+     * passes; `force` drains immediately -- the unsubscribe barrier).
+     */
+    void drainSpanStreams(bool force);
+    /** Stream everything new past `conn`'s cursor as SpanBatch
+     *  messages; sheds whole batches (counted) past the outbound
+     *  bound -- control replies are never shed. */
+    void streamSpansTo(const std::shared_ptr<Connection> &conn);
+    /** Subscribed connections (service thread). */
+    size_t telemetrySubscribers();
     /** Detached sessions past the grace window -> reaper close. */
     void expireDetached();
     void enqueueClose(CloseJob &&job);
@@ -255,6 +285,12 @@ class RenderService
     uint64_t next_conn_ = 1;
     size_t detached_sessions_ = 0; ///< sessions awaiting resume
     uint64_t token_rng_ = 0;       ///< resume-token stream state
+    /** True when a subscriber turned span recording on (the service
+     *  restores it off when the last subscriber leaves). Service
+     *  thread only. */
+    bool service_enabled_tracing_ = false;
+    /** Last full span-stream drain pass (service thread only). */
+    std::chrono::steady_clock::time_point last_span_drain_{};
 
     std::mutex reap_m_;
     std::condition_variable reap_cv_;

@@ -98,6 +98,8 @@ FrameServer::FrameServer(const SceneRegistry &registry,
     // every scene that registered without one (no-op when off).
     registry.attachSampleCaches(cfg.sample_cache);
     stats_.setSlowFrameKeep(cfg.flight_recorder_frames);
+    if (cfg.slo.enabled())
+        slo_ = std::make_unique<SloTracker>(cfg.slo);
     shards_.resize(size_t(cfg.shards));
     for (Shard &s : shards_) {
         engine::EngineConfig ec;
@@ -112,10 +114,12 @@ FrameServer::FrameServer(const SceneRegistry &registry,
         deadlines_enabled_ =
             deadlines_enabled_ || cfg.qos.cls[c].deadline_ms > 0.0;
     // The watchdog only exists for time-driven work: expiring queued
-    // frames with nobody pumping, and the stuck scan. Breakers alone
-    // don't need it (their transitions happen at admission time).
+    // frames with nobody pumping, the stuck scan, and SLO window
+    // advancement (a breach must clear even when traffic stops).
+    // Breakers alone don't need it (their transitions happen at
+    // admission time).
     if (cfg.watchdog_period_ms > 0 &&
-        (deadlines_enabled_ || cfg.stuck_after_ms > 0.0))
+        (deadlines_enabled_ || cfg.stuck_after_ms > 0.0 || slo_))
         watchdog_ = std::thread([this] { watchdogRun(); });
 }
 
@@ -265,7 +269,12 @@ FrameServer::breakerRejectLocked(PendingFrame &&pf,
 void
 FrameServer::deliverAll(std::vector<Deliverable> &&rejects)
 {
+    const bool had_rejects = !rejects.empty();
     for (Deliverable &d : rejects) {
+        // Every admission-time reject is an SLO error outcome.
+        if (slo_)
+            slo_->recordError(d.result.qos, d.result.ticket,
+                              d.result.latency_s * 1e3);
         // Flight recorder: deadline expiries and breaker fast-fails
         // are exactly the frames an operator asks "why" about.
         if (cfg_.slow_frame_ms > 0.0 &&
@@ -280,6 +289,8 @@ FrameServer::deliverAll(std::vector<Deliverable> &&rejects)
         deliverResult(std::move(d.result), d.cb);
     }
     rejects.clear();
+    if (had_rejects)
+        sloEvaluate();
 }
 
 void
@@ -352,9 +363,12 @@ FrameServer::pumpLocked(int shard, std::vector<Launch> &launches,
         // Queue-wait span: submit -> this admission decision. The
         // engine frame id doesn't exist yet, so the span is
         // ticket-correlated only.
-        telemetry::recordSpan(telemetry::kSpanQueueWait, 0, pf.ticket,
-                              telemetry::toUs(pf.submitted_at),
-                              telemetry::toUs(now));
+        {
+            telemetry::ScopedQos qc(uint8_t(pf.qos));
+            telemetry::recordSpan(telemetry::kSpanQueueWait, 0, pf.ticket,
+                                  telemetry::toUs(pf.submitted_at),
+                                  telemetry::toUs(now));
+        }
         stats_.recordAdmitted(pf.qos,
                               secondsBetween(pf.submitted_at, now));
         stats_.recordSceneAdmitted(c.scene->name, scene_now);
@@ -368,6 +382,7 @@ FrameServer::pumpLocked(int shard, std::vector<Launch> &launches,
 void
 FrameServer::launch(const Launch &l)
 {
+    telemetry::ScopedQos admit_qos(uint8_t(l.frame.qos));
     telemetry::ScopedSpan admit_span(telemetry::kSpanAdmit, 0,
                                      l.frame.ticket);
     const QualityRung rung = QualityRung(l.frame.rung);
@@ -488,6 +503,13 @@ FrameServer::onFrameDone(int shard, uint64_t client, uint64_t ticket,
         stats_.recordServed(qos, latency, rung);
         stats_.recordSceneServed(scene_name, rung);
     }
+    if (slo_) {
+        if (err)
+            slo_->recordError(qos, ticket, latency * 1e3);
+        else
+            slo_->recordServed(qos, ticket, latency * 1e3);
+        sloEvaluate();
+    }
 
     // Flight recorder: a frame over the slow budget (or one whose
     // render threw) is dumped with its span timeline and retained.
@@ -549,8 +571,11 @@ FrameServer::retireLocked(uint64_t client)
 void
 FrameServer::dropFrames(std::vector<PendingFrame> &&dropped)
 {
+    const bool had_drops = !dropped.empty();
     for (PendingFrame &pf : dropped) {
         stats_.recordDropped(pf.qos);
+        if (slo_)
+            slo_->recordError(pf.qos, pf.ticket, 0.0);
         ResultCallback cb;
         {
             std::lock_guard<std::mutex> lock(m_);
@@ -572,6 +597,8 @@ FrameServer::dropFrames(std::vector<PendingFrame> &&dropped)
         result.dropped = true;
         deliverResult(std::move(result), cb);
     }
+    if (had_drops)
+        sloEvaluate();
 }
 
 void
@@ -676,12 +703,34 @@ FrameServer::watchdogTick()
     for (const Launch &l : launches)
         launch(l);
     deliverAll(std::move(rejects));
+    // Time alone moves the burn windows: evaluate even when no frame
+    // finished this tick, so breaches clear after traffic stops.
+    sloEvaluate();
+}
+
+void
+FrameServer::sloEvaluate()
+{
+    if (!slo_)
+        return;
+    std::vector<SloTracker::Offender> pin;
+    slo_->evaluate(pin);
+    // Breach evidence lands in the flight recorder regardless of
+    // slow_frame_ms: an alert must carry its offending frames even
+    // when the operator never tuned the slow budget. Pinning is
+    // silent -- the tracker already warned with the breach summary.
+    for (const SloTracker::Offender &o : pin)
+        stats_.recordSlowFrame(makeSlowRecord(o.ticket, 0, o.qos,
+                                              o.latency_ms, o.error,
+                                              false, false));
 }
 
 ServerStatsSnapshot
 FrameServer::stats() const
 {
     ServerStatsSnapshot snap = stats_.snapshot();
+    if (slo_)
+        slo_->fillSnapshot(snap);
     {
         std::lock_guard<std::mutex> lock(m_);
         for (const auto &entry : breakers_)
@@ -708,7 +757,11 @@ FrameServer::stats() const
     metrics::gauge("asdr_slow_frames_retained")
         .set(double(snap.slow_frames.size()));
     for (const SceneServeStats &sc : snap.scenes) {
-        const std::string l = "scene=\"" + sc.name + "\"";
+        // Scene names are arbitrary registry strings: escape them per
+        // the Prometheus text format or a hostile name (quotes,
+        // backslashes, newlines) corrupts every scrape line.
+        const std::string l =
+            "scene=\"" + metrics::escapeLabelValue(sc.name) + "\"";
         metrics::gauge("asdr_sample_cache_hits", l)
             .set(double(sc.cache_hits));
         metrics::gauge("asdr_sample_cache_misses", l)

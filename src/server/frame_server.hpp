@@ -59,6 +59,7 @@
 #include "server/quality_ladder.hpp"
 #include "server/scene_registry.hpp"
 #include "server/server_stats.hpp"
+#include "server/slo_tracker.hpp"
 
 namespace asdr::server {
 
@@ -133,6 +134,15 @@ struct ServerConfig
     double slow_frame_ms = 0.0;
     /** Flight-recorder ring capacity (most recent records kept). */
     int flight_recorder_frames = 16;
+    /**
+     * Per-class SLOs (server/slo_tracker.hpp): when any class carries
+     * an objective, a SloTracker watches every terminal outcome over
+     * sliding fast/slow burn-rate windows. Breaches raise registry
+     * gauges, warn() once per transition, and pin the offending
+     * frames into the flight recorder (independent of slow_frame_ms).
+     * Disabled by default (no objectives set).
+     */
+    SloParams slo;
     /**
      * Cross-tenant sample reuse (core/sample_cache): when this
      * resolves on (explicitly or via ASDR_SAMPLE_CACHE), the server
@@ -358,6 +368,9 @@ class FrameServer
      *  and refresh the stuck gauge. */
     void watchdogTick();
     void watchdogRun();
+    /** Re-evaluate SLO burn rates and pin breach evidence into the
+     *  flight recorder. No-op without configured objectives. */
+    void sloEvaluate();
 
     const SceneRegistry &registry_;
     ServerConfig cfg_;
@@ -383,6 +396,8 @@ class FrameServer
     bool wd_stop_ = false;
 
     ServerStats stats_;
+    /** Null unless some class carries an objective. */
+    std::unique_ptr<SloTracker> slo_;
 };
 
 } // namespace asdr::server

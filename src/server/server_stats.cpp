@@ -312,7 +312,14 @@ ServerStatsSnapshot::toJson() const
             os << (r ? "," : "") << s.served_rung[r];
         os << "],\"degraded\":" << s.degraded
            << ",\"degraded_fraction\":" << s.degradedFraction()
-           << ",\"mean_rung\":" << s.meanRung() << "}";
+           << ",\"mean_rung\":" << s.meanRung() << ",\"slo\":{"
+           << "\"latency_fast_burn\":" << s.slo_latency_fast_burn
+           << ",\"latency_slow_burn\":" << s.slo_latency_slow_burn
+           << ",\"error_fast_burn\":" << s.slo_error_fast_burn
+           << ",\"error_slow_burn\":" << s.slo_error_slow_burn
+           << ",\"latency_breached\":" << int(s.slo_latency_breached)
+           << ",\"error_breached\":" << int(s.slo_error_breached)
+           << ",\"breach_events\":" << s.slo_breach_events << "}}";
     }
     os << "},\"scenes\":{";
     for (size_t i = 0; i < scenes.size(); ++i) {

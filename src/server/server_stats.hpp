@@ -59,6 +59,21 @@ struct QosClassStats
     /** Served frames delivered below QualityRung::Full. */
     uint64_t degraded = 0;
 
+    // SLO burn-rate view (SloTracker-filled at snapshot time; all zero
+    // when ServerConfig::slo leaves the class unconfigured). Burn 1.0
+    // == consuming the error budget exactly at the sustainable rate.
+    double slo_latency_fast_burn = 0.0;
+    double slo_latency_slow_burn = 0.0;
+    double slo_error_fast_burn = 0.0;
+    double slo_error_slow_burn = 0.0;
+    /** 1 while the latency objective is breached (fast AND slow
+     *  windows over the burn threshold). */
+    uint8_t slo_latency_breached = 0;
+    /** 1 while the availability objective is breached. */
+    uint8_t slo_error_breached = 0;
+    /** Cumulative ok -> breached transitions, both objectives. */
+    uint64_t slo_breach_events = 0;
+
     double dropRate() const
     {
         return submitted ? double(dropped) / double(submitted) : 0.0;

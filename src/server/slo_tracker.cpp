@@ -1,0 +1,257 @@
+#include "server/slo_tracker.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/telemetry.hpp"
+
+namespace asdr::server {
+
+namespace {
+
+/** Violations remembered while healthy, per class: enough evidence to
+ *  make a fresh breach explainable without recording forever. */
+constexpr size_t kRecentOffenders = 8;
+
+/** The latency objective's implicit error budget: a p99 target allows
+ *  1% of frames over it. */
+constexpr double kLatencyBudget = 0.01;
+
+/** Process-wide registry series per class (resolve once, valid
+ *  forever -- same shape as server_stats' classSeries). */
+struct SloSeries
+{
+    metrics::Gauge *lat_fast;
+    metrics::Gauge *lat_slow;
+    metrics::Gauge *err_fast;
+    metrics::Gauge *err_slow;
+    metrics::Gauge *lat_breach;
+    metrics::Gauge *err_breach;
+};
+
+const SloSeries &
+sloSeries(QosClass c)
+{
+    static const std::array<SloSeries, kQosClasses> k = [] {
+        std::array<SloSeries, kQosClasses> a{};
+        for (int i = 0; i < kQosClasses; ++i) {
+            const std::string q =
+                std::string("qos=\"") + qosClassName(QosClass(i)) + "\"";
+            a[size_t(i)] = SloSeries{
+                &metrics::gauge("asdr_slo_latency_burn",
+                                q + ",window=\"fast\""),
+                &metrics::gauge("asdr_slo_latency_burn",
+                                q + ",window=\"slow\""),
+                &metrics::gauge("asdr_slo_error_burn",
+                                q + ",window=\"fast\""),
+                &metrics::gauge("asdr_slo_error_burn",
+                                q + ",window=\"slow\""),
+                &metrics::gauge("asdr_slo_breach", q + ",slo=\"latency\""),
+                &metrics::gauge("asdr_slo_breach",
+                                q + ",slo=\"availability\""),
+            };
+        }
+        return a;
+    }();
+    return k[size_t(int(c))];
+}
+
+std::string
+breachText(QosClass c, const char *slo, bool entered, double fast,
+           double slow, double objective)
+{
+    std::ostringstream os;
+    os << "slo " << (entered ? "breach" : "recovered") << ": qos="
+       << qosClassName(c) << " slo=" << slo << " fast_burn=" << fast
+       << " slow_burn=" << slow << " objective=" << objective;
+    return os.str();
+}
+
+} // namespace
+
+SloTracker::SloTracker(const SloParams &p)
+    : p_(p), epoch_(std::chrono::steady_clock::now())
+{
+    // Eight slices per fast window: enough resolution that a burst
+    // ages out smoothly instead of in one cliff.
+    bucket_s_ = std::max(p_.fast_window_s / 8.0, 1e-3);
+    fast_buckets_ = std::max<int64_t>(
+        1, int64_t(std::ceil(p_.fast_window_s / bucket_s_)));
+    slow_buckets_ = std::max(
+        fast_buckets_,
+        int64_t(std::ceil(std::max(p_.slow_window_s, p_.fast_window_s) /
+                          bucket_s_)));
+    for (auto &st : cls_)
+        st.ring.assign(size_t(slow_buckets_), Bucket{});
+}
+
+void
+SloTracker::recordServed(QosClass c, uint64_t ticket, double latency_ms)
+{
+    recordLocked(c, ticket, latency_ms, /*error=*/false);
+}
+
+void
+SloTracker::recordError(QosClass c, uint64_t ticket, double latency_ms)
+{
+    recordLocked(c, ticket, latency_ms, /*error=*/true);
+}
+
+void
+SloTracker::recordLocked(QosClass c, uint64_t ticket, double latency_ms,
+                         bool error)
+{
+    const SloClassObjective &obj = p_.cls[int(c)];
+    if (!obj.enabled())
+        return;
+    std::lock_guard<std::mutex> lock(m_);
+    ClassState &st = cls_[int(c)];
+    advanceLocked(st, std::chrono::steady_clock::now());
+    Bucket &b = st.ring[size_t(st.cur % slow_buckets_)];
+    b.total++;
+    const bool lat_bad = !error && obj.target_p99_ms > 0.0 &&
+                         latency_ms > obj.target_p99_ms;
+    if (lat_bad)
+        b.lat_bad++;
+    if (error)
+        b.err_bad++;
+    if (!lat_bad && !(error && obj.max_error_fraction > 0.0))
+        return;
+    // Budget violation: retain it as evidence. While breached it goes
+    // straight to the pin queue; while healthy it waits in the bounded
+    // recent ring for a breach to flush it.
+    Offender off{ticket, c, latency_ms, error};
+    if (st.lat_breached || st.err_breached) {
+        st.pending.push_back(off);
+    } else {
+        st.recent.push_back(off);
+        while (st.recent.size() > kRecentOffenders)
+            st.recent.pop_front();
+    }
+}
+
+void
+SloTracker::advanceLocked(ClassState &st,
+                          std::chrono::steady_clock::time_point now)
+{
+    const int64_t idx = int64_t(
+        std::chrono::duration<double>(now - epoch_).count() / bucket_s_);
+    if (st.cur < 0) {
+        st.cur = idx;
+        return;
+    }
+    // Zero every slice the clock skipped over (cap at one full ring:
+    // beyond that everything is stale anyway).
+    const int64_t steps = std::min(idx - st.cur, slow_buckets_);
+    for (int64_t i = 1; i <= steps; ++i)
+        st.ring[size_t((st.cur + i) % slow_buckets_)] = Bucket{};
+    st.cur = std::max(st.cur, idx);
+}
+
+double
+SloTracker::windowFraction(const ClassState &st, int64_t buckets,
+                           uint64_t Bucket::*bad)
+{
+    uint64_t total = 0, violations = 0;
+    const int64_t n = int64_t(st.ring.size());
+    for (int64_t i = 0; i < std::min(buckets, n); ++i) {
+        const Bucket &b =
+            st.ring[size_t(((st.cur - i) % n + n) % n)];
+        total += b.total;
+        violations += b.*bad;
+    }
+    return total ? double(violations) / double(total) : 0.0;
+}
+
+void
+SloTracker::evaluate(std::vector<Offender> &pin)
+{
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(m_);
+    for (int c = 0; c < kQosClasses; ++c) {
+        const SloClassObjective &obj = p_.cls[c];
+        if (!obj.enabled())
+            continue;
+        ClassState &st = cls_[c];
+        advanceLocked(st, now);
+        const SloSeries &series = sloSeries(QosClass(c));
+
+        if (obj.target_p99_ms > 0.0) {
+            st.lat_fast = windowFraction(st, fast_buckets_,
+                                         &Bucket::lat_bad) /
+                          kLatencyBudget;
+            st.lat_slow = windowFraction(st, slow_buckets_,
+                                         &Bucket::lat_bad) /
+                          kLatencyBudget;
+            series.lat_fast->set(st.lat_fast);
+            series.lat_slow->set(st.lat_slow);
+            const bool breached = st.lat_fast >= p_.burn_threshold &&
+                                  st.lat_slow >= p_.burn_threshold;
+            if (breached != st.lat_breached) {
+                st.lat_breached = breached;
+                series.lat_breach->set(breached ? 1.0 : 0.0);
+                if (breached) {
+                    st.breach_events++;
+                    metrics::counter("asdr_slo_breach_total").inc();
+                    for (Offender &o : st.recent)
+                        st.pending.push_back(o);
+                    st.recent.clear();
+                }
+                warn(breachText(QosClass(c), "latency", breached,
+                                st.lat_fast, st.lat_slow,
+                                obj.target_p99_ms));
+            }
+        }
+        if (obj.max_error_fraction > 0.0) {
+            st.err_fast = windowFraction(st, fast_buckets_,
+                                         &Bucket::err_bad) /
+                          obj.max_error_fraction;
+            st.err_slow = windowFraction(st, slow_buckets_,
+                                         &Bucket::err_bad) /
+                          obj.max_error_fraction;
+            series.err_fast->set(st.err_fast);
+            series.err_slow->set(st.err_slow);
+            const bool breached = st.err_fast >= p_.burn_threshold &&
+                                  st.err_slow >= p_.burn_threshold;
+            if (breached != st.err_breached) {
+                st.err_breached = breached;
+                series.err_breach->set(breached ? 1.0 : 0.0);
+                if (breached) {
+                    st.breach_events++;
+                    metrics::counter("asdr_slo_breach_total").inc();
+                    for (Offender &o : st.recent)
+                        st.pending.push_back(o);
+                    st.recent.clear();
+                }
+                warn(breachText(QosClass(c), "availability", breached,
+                                st.err_fast, st.err_slow,
+                                obj.max_error_fraction));
+            }
+        }
+        for (Offender &o : st.pending)
+            pin.push_back(o);
+        st.pending.clear();
+    }
+}
+
+void
+SloTracker::fillSnapshot(ServerStatsSnapshot &snap) const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    for (int c = 0; c < kQosClasses; ++c) {
+        const ClassState &st = cls_[c];
+        QosClassStats &out = snap.cls[c];
+        out.slo_latency_fast_burn = st.lat_fast;
+        out.slo_latency_slow_burn = st.lat_slow;
+        out.slo_error_fast_burn = st.err_fast;
+        out.slo_error_slow_burn = st.err_slow;
+        out.slo_latency_breached = st.lat_breached ? 1 : 0;
+        out.slo_error_breached = st.err_breached ? 1 : 0;
+        out.slo_breach_events = st.breach_events;
+    }
+}
+
+} // namespace asdr::server

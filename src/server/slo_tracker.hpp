@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Multi-window burn-rate SLO tracking for the frame server.
+ *
+ * Each QoS class can carry two objectives (ServerConfig::slo):
+ *
+ *   latency       "99% of served frames finish under target_p99_ms"
+ *                 -- the error budget is the 1% of frames allowed to
+ *                 miss the target.
+ *   availability  "at most max_error_fraction of frames fail, expire,
+ *                 or are shed" -- the budget is that fraction itself.
+ *
+ * Outcomes land in a time-bucketed ring per class; burn rate is the
+ * fraction of budget-violating frames in a window divided by the
+ * budget (burn 1.0 == consuming the budget exactly at the sustainable
+ * rate; burn 10 == the budget gone in a tenth of the window). An
+ * objective breaches only when the FAST and SLOW windows are both
+ * over `burn_threshold` -- the classic multi-window alert shape: the
+ * slow window proves the problem is real, the fast window proves it
+ * is still happening, so a breach clears quickly once the cause is
+ * fixed instead of lingering for a full slow window.
+ *
+ * Breaches raise registry gauges (asdr_slo_breach{qos,slo}), emit one
+ * structured warn() per transition, and hand the offending tickets to
+ * the caller (FrameServer pins them into the slow-frame flight
+ * recorder so every alert arrives with its evidence).
+ *
+ * Thread-safe; records and evaluations may race from engine workers,
+ * the watchdog, and snapshot readers.
+ */
+
+#ifndef ASDR_SERVER_SLO_TRACKER_HPP
+#define ASDR_SERVER_SLO_TRACKER_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "server/qos.hpp"
+#include "server/server_stats.hpp"
+
+namespace asdr::server {
+
+/** One class's objectives; 0 disables each independently. */
+struct SloClassObjective
+{
+    /** Served frames should finish under this in 99% of cases;
+     *  milliseconds. 0 disables the latency objective. */
+    double target_p99_ms = 0.0;
+    /** Highest tolerable fraction of failed/expired/dropped frames.
+     *  0 disables the availability objective. */
+    double max_error_fraction = 0.0;
+
+    bool enabled() const
+    {
+        return target_p99_ms > 0.0 || max_error_fraction > 0.0;
+    }
+};
+
+struct SloParams
+{
+    SloClassObjective cls[kQosClasses];
+    /** Fast alert window, seconds ("is it still happening?"). The
+     *  production shape is ~1 minute; tests scale it down. */
+    double fast_window_s = 60.0;
+    /** Slow alert window, seconds ("is it real?"); production ~1 h. */
+    double slow_window_s = 3600.0;
+    /** Both windows must burn at or above this to breach. 1.0 alerts
+     *  exactly when the budget is being consumed unsustainably. */
+    double burn_threshold = 1.0;
+
+    bool enabled() const
+    {
+        for (const auto &c : cls)
+            if (c.enabled())
+                return true;
+        return false;
+    }
+};
+
+class SloTracker
+{
+  public:
+    /** A budget-violating frame retained as breach evidence. */
+    struct Offender
+    {
+        uint64_t ticket = 0;
+        QosClass qos = QosClass::Standard;
+        double latency_ms = 0.0;
+        bool error = false; ///< failed/expired/dropped (vs slow-served)
+    };
+
+    explicit SloTracker(const SloParams &p);
+
+    /** A served frame; `latency_ms` submit -> delivery. */
+    void recordServed(QosClass c, uint64_t ticket, double latency_ms);
+    /** A failed, expired, or shed frame. */
+    void recordError(QosClass c, uint64_t ticket, double latency_ms);
+
+    /**
+     * Advance the windows, recompute burns, update gauges, and warn on
+     * breach transitions. Offending tickets needing flight-recorder
+     * pinning (the recent violations behind a fresh breach, plus every
+     * violation while breached) are appended to `pin`. Call after
+     * outcome batches and from the watchdog tick.
+     */
+    void evaluate(std::vector<Offender> &pin);
+
+    /** Fill the per-class slo_* fields of a stats snapshot. */
+    void fillSnapshot(ServerStatsSnapshot &snap) const;
+
+  private:
+    /** One time slice of outcomes. */
+    struct Bucket
+    {
+        uint64_t total = 0;   ///< all terminal outcomes
+        uint64_t lat_bad = 0; ///< served over target_p99_ms
+        uint64_t err_bad = 0; ///< failed/expired/dropped
+    };
+
+    struct ClassState
+    {
+        std::vector<Bucket> ring; ///< slow window of buckets
+        int64_t cur = -1;         ///< absolute index of current bucket
+        bool lat_breached = false;
+        bool err_breached = false;
+        uint64_t breach_events = 0;
+        double lat_fast = 0.0, lat_slow = 0.0;
+        double err_fast = 0.0, err_slow = 0.0;
+        /** Violations seen while healthy (bounded; flushed to `pin`
+         *  when a breach starts -- the evidence trail). */
+        std::deque<Offender> recent;
+        /** Violations seen while breached, awaiting the next
+         *  evaluate()'s pin handoff. */
+        std::vector<Offender> pending;
+    };
+
+    void recordLocked(QosClass c, uint64_t ticket, double latency_ms,
+                      bool error);
+    void advanceLocked(ClassState &st,
+                       std::chrono::steady_clock::time_point now);
+    /** Bad-outcome fraction over the most recent `buckets` slices. */
+    static double windowFraction(const ClassState &st, int64_t buckets,
+                                 uint64_t Bucket::*bad);
+
+    SloParams p_;
+    double bucket_s_;       ///< slice width (fast window / 8)
+    int64_t fast_buckets_;  ///< slices covering the fast window
+    int64_t slow_buckets_;  ///< slices covering the slow window (ring size)
+    std::chrono::steady_clock::time_point epoch_;
+
+    mutable std::mutex m_;
+    ClassState cls_[kQosClasses];
+};
+
+} // namespace asdr::server
+
+#endif // ASDR_SERVER_SLO_TRACKER_HPP

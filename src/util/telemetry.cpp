@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,7 @@ namespace asdr::telemetry {
 
 namespace detail {
 std::atomic<bool> g_enabled{false};
+thread_local uint8_t t_qos = kQosNone;
 } // namespace detail
 
 namespace {
@@ -102,6 +104,52 @@ struct EnvInit
 };
 EnvInit env_init;
 
+/** qos label values for the stage-duration histograms: the three
+ *  server classes (by index) plus "none" for spans recorded outside
+ *  any class context (e.g. the shared socket flush). */
+constexpr int kQosLabels = 4;
+constexpr const char *kQosLabelName[kQosLabels] = {"interactive",
+                                                   "standard", "batch",
+                                                   "none"};
+
+/**
+ * The `asdr_stage_duration_seconds{stage,qos}` histogram for a span
+ * site. All series resolve once (first span close) and are cached by
+ * site; lookups pointer-compare against the interned kSpan* constants
+ * with a strcmp fallback, so spans recorded under a re-spelled name
+ * still land. Unknown (test-local) names feed nothing.
+ */
+metrics::Histogram *
+stageHistogram(const char *name, uint8_t qos)
+{
+    struct Site
+    {
+        const char *name;
+        metrics::Histogram *h[kQosLabels];
+    };
+    static std::once_flag once;
+    static std::vector<Site> *sites = nullptr;
+    std::call_once(once, [] {
+        auto *built = new std::vector<Site>;
+        for (const SpanInfo &info : spanNames()) {
+            Site site;
+            site.name = info.name;
+            for (int q = 0; q < kQosLabels; ++q)
+                site.h[q] = &metrics::histogram(
+                    "asdr_stage_duration_seconds",
+                    std::string("stage=\"") + info.name + "\",qos=\"" +
+                        kQosLabelName[q] + "\"");
+            built->push_back(site);
+        }
+        sites = built;
+    });
+    const int q = qos < kQosLabels - 1 ? qos : kQosLabels - 1;
+    for (const Site &site : *sites)
+        if (site.name == name || std::strcmp(site.name, name) == 0)
+            return site.h[q];
+    return nullptr;
+}
+
 } // namespace
 
 namespace detail {
@@ -110,6 +158,10 @@ void
 recordSlow(const char *name, uint64_t frame, uint64_t ticket,
            uint64_t t_start_us, uint64_t t_end_us)
 {
+    if (metrics::Histogram *h = stageHistogram(name, t_qos))
+        h->record(double(t_end_us > t_start_us ? t_end_us - t_start_us
+                                               : 0) *
+                  1e-6);
     ThreadBuf &b = threadBuf();
     std::lock_guard<std::mutex> lock(b.m);
     if (b.spans.size() >= kMaxSpansPerThread) {
@@ -188,6 +240,29 @@ snapshot()
         out.insert(out.end(), b->spans.begin(), b->spans.end());
     }
     return out;
+}
+
+size_t
+collectNewSpans(CollectCursor &cur, std::vector<Span> &out,
+                size_t max_spans)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.m);
+    if (cur.offsets.size() < r.bufs.size())
+        cur.offsets.resize(r.bufs.size(), 0);
+    size_t appended = 0;
+    for (size_t l = 0; l < r.bufs.size() && appended < max_spans; ++l) {
+        ThreadBuf &b = *r.bufs[l];
+        std::lock_guard<std::mutex> bl(b.m);
+        size_t &off = cur.offsets[l];
+        if (off > b.spans.size())
+            off = 0; // the buffer was reset() under the cursor
+        for (; off < b.spans.size() && appended < max_spans; ++off) {
+            out.push_back(b.spans[off]);
+            ++appended;
+        }
+    }
+    return appended;
 }
 
 void
@@ -435,6 +510,24 @@ histogram(const std::string &family, const std::string &labels)
 }
 
 std::string
+escapeLabelValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
 renderText()
 {
     MetricsRegistry &r = metricsRegistry();
@@ -455,19 +548,27 @@ renderText()
         }
     }
     for (const auto &fam : r.histograms) {
-        os << "# TYPE " << fam.first << " summary\n";
+        os << "# TYPE " << fam.first << " histogram\n";
         for (const auto &s : fam.second) {
             const Histogram &h = *s.second;
-            static const double kQ[] = {0.5, 0.95, 0.99};
-            static const char *kQName[] = {"0.5", "0.95", "0.99"};
-            for (int i = 0; i < 3; ++i) {
-                os << seriesName(fam.first, s.first, "",
-                                 std::string("quantile=\"") + kQName[i] +
-                                     "\"")
-                   << " ";
-                appendNumber(os, h.percentile(kQ[i]));
-                os << "\n";
+            // Cumulative buckets, sparse over the 256 log buckets
+            // (only edges that gained observations print), always
+            // closed by the mandatory le="+Inf" == _count line.
+            uint64_t cum = 0;
+            for (int i = 0; i < Histogram::kBuckets; ++i) {
+                const uint64_t c = h.bucketCount(i);
+                if (c == 0)
+                    continue;
+                cum += c;
+                std::ostringstream edge;
+                edge << Histogram::bucketUpperEdge(i);
+                os << seriesName(fam.first, s.first, "_bucket",
+                                 "le=\"" + edge.str() + "\"")
+                   << " " << cum << "\n";
             }
+            os << seriesName(fam.first, s.first, "_bucket",
+                             "le=\"+Inf\"")
+               << " " << h.count() << "\n";
             os << seriesName(fam.first, s.first, "_sum") << " ";
             appendNumber(os, h.sum());
             os << "\n";

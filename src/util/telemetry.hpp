@@ -87,11 +87,45 @@ struct SpanInfo
 /** Every span site compiled into production code, in pipeline order. */
 const std::vector<SpanInfo> &spanNames();
 
+/** QoS label index meaning "no class context" (renders qos="none"). */
+inline constexpr uint8_t kQosNone = 0xFF;
+
 namespace detail {
 extern std::atomic<bool> g_enabled;
+extern thread_local uint8_t t_qos;
 void recordSlow(const char *name, uint64_t frame, uint64_t ticket,
                 uint64_t t_start_us, uint64_t t_end_us);
 } // namespace detail
+
+/**
+ * RAII QoS context for the calling thread: spans recorded inside the
+ * scope feed their per-stage duration histogram under this class's
+ * qos label. Construct BEFORE the ScopedSpan whose close should carry
+ * the label (the histogram is fed at span close). Values >= the class
+ * count mean "none".
+ */
+class ScopedQos
+{
+  public:
+    explicit ScopedQos(uint8_t qos) : prev_(detail::t_qos)
+    {
+        detail::t_qos = qos;
+    }
+    ~ScopedQos() { detail::t_qos = prev_; }
+    ScopedQos(const ScopedQos &) = delete;
+    ScopedQos &operator=(const ScopedQos &) = delete;
+
+  private:
+    uint8_t prev_;
+};
+
+/** The calling thread's current QoS context (kQosNone outside any
+ *  ScopedQos scope). */
+inline uint8_t
+currentQos()
+{
+    return detail::t_qos;
+}
 
 /** True when span recording is on (one relaxed load). */
 inline bool
@@ -112,7 +146,10 @@ uint64_t toUs(std::chrono::steady_clock::time_point tp);
 /**
  * Record one completed interval. Disabled processes pay one relaxed
  * load and branch; enabled ones append to the calling thread's own
- * buffer (uncontended mutex, no cross-thread waits).
+ * buffer (uncontended mutex, no cross-thread waits) and feed the
+ * span's `asdr_stage_duration_seconds{stage,qos}` histogram (qos from
+ * the thread's ScopedQos context), so the exposition shows where time
+ * goes per stage and per class whenever tracing is on.
  */
 inline void
 recordSpan(const char *name, uint64_t frame, uint64_t ticket,
@@ -165,6 +202,26 @@ uint64_t droppedCount();
 
 /** Copy out every buffered span (unsorted across lanes). */
 std::vector<Span> snapshot();
+
+/**
+ * Incremental reader position over the per-thread span buffers, for
+ * live streaming: each drain copies only the spans appended since the
+ * previous one. One cursor per subscriber; a reset() (buffer shrank
+ * under the cursor) restarts that lane from its beginning.
+ */
+struct CollectCursor
+{
+    std::vector<size_t> offsets; ///< next unread index per lane
+};
+
+/**
+ * Append up to `max_spans` spans recorded since `cur` last advanced
+ * (across all lanes, oldest lanes first) and move the cursor past
+ * them. Returns the number appended; calling again after a short read
+ * (return == max_spans) picks up where it stopped.
+ */
+size_t collectNewSpans(CollectCursor &cur, std::vector<Span> &out,
+                       size_t max_spans);
 
 /**
  * Copy out every buffered span belonging to `ticket`, sorted by start
@@ -243,6 +300,12 @@ class Histogram
     }
     void reset();
 
+    /** Observations in bucket i (for exposition/tests). */
+    uint64_t bucketCount(int i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
     /** Upper edge of bucket i (inclusive), for tests/tooling. */
     static double bucketUpperEdge(int i);
 
@@ -269,9 +332,19 @@ Histogram &histogram(const std::string &family,
                      const std::string &labels = std::string());
 
 /**
+ * Escape a label VALUE per the Prometheus text-format spec:
+ * backslash, double quote, and newline become \\, \", and \n. Apply
+ * to any runtime string (scene names, hosts) before building the
+ * `key="value"` label text handed to counter/gauge/histogram.
+ */
+std::string escapeLabelValue(const std::string &v);
+
+/**
  * Prometheus text exposition of every registered series. Histograms
- * render summary-style: `family{quantile="0.5"}` lines plus
- * `family_sum` / `family_count`.
+ * render as the native `histogram` type: cumulative
+ * `family_bucket{le="..."}` lines over the non-empty log buckets,
+ * ending at `le="+Inf"`, plus `family_sum` / `family_count` (so
+ * `histogram_quantile()` and `rate(_sum)/rate(_count)` both work).
  */
 std::string renderText();
 

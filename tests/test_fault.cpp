@@ -920,3 +920,131 @@ TEST(WireFault, SingleSocketFaultHealsTransparently)
     EXPECT_EQ(fault::fireCount(fault::kSocketRecv), 1u);
     c.closeSession(s, &err);
 }
+
+// ----------------------------------------------------------- SLO burn
+
+TEST(FrameServerFault, SloLatencyBreachFlipsBurnGaugeAndPinsOffenders)
+{
+    FaultGuard guard;
+
+    server::SceneRegistry reg;
+    ASSERT_NE(reg.addProcedural("lego", "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    server::ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.threads_per_shard = 1;
+    cfg.flight_recorder_frames = 16;
+    // A 5ms p99 objective over test-scaled windows: every stalled
+    // frame is budget-burning, so six of them push both windows far
+    // over a burn of 1.
+    cfg.slo.cls[int(server::QosClass::Standard)].target_p99_ms = 5.0;
+    cfg.slo.fast_window_s = 0.2;
+    cfg.slo.slow_window_s = 0.5;
+    cfg.watchdog_period_ms = 10;
+    server::FrameServer srv(reg, cfg);
+
+    const uint64_t client =
+        srv.openSession("lego", server::QosClass::Standard);
+    ASSERT_NE(client, 0u);
+    const nerf::Camera cam =
+        nerf::cameraForScene(reg.find("lego")->info, 16, 16);
+
+    // Deterministic latency injection: every frame's first stage
+    // stalls 20ms, blowing the 5ms objective.
+    fault::arm(fault::kEngineStageStall, 1.0, /*max_fires=*/6,
+               /*delay_ms=*/20.0);
+    std::set<uint64_t> tickets;
+    for (int f = 0; f < 6; ++f) {
+        const uint64_t t = srv.submitFrame(client, cam);
+        ASSERT_NE(t, 0u);
+        tickets.insert(t);
+    }
+    srv.waitIdle();
+
+    const auto snap = srv.stats();
+    const auto &cls = snap.cls[int(server::QosClass::Standard)];
+    EXPECT_EQ(cls.served, 6u);
+    // Bad fraction 1.0 against the implicit 1% latency budget: burn
+    // 100x in both windows, well past the threshold of 1.
+    EXPECT_GE(cls.slo_latency_fast_burn, 1.0);
+    EXPECT_GE(cls.slo_latency_slow_burn, 1.0);
+    EXPECT_EQ(cls.slo_latency_breached, 1);
+    EXPECT_EQ(cls.slo_error_breached, 0);
+    EXPECT_GE(cls.slo_breach_events, 1u);
+
+    // The breach raised the registry gauges alongside the snapshot.
+    EXPECT_EQ(metrics::gauge("asdr_slo_breach",
+                             "qos=\"standard\",slo=\"latency\"")
+                  .value(),
+              1.0);
+    EXPECT_GE(metrics::gauge("asdr_slo_latency_burn",
+                             "qos=\"standard\",window=\"fast\"")
+                  .value(),
+              1.0);
+    EXPECT_GE(metrics::counter("asdr_slo_breach_total").value(), 1u);
+
+    // Breaching frames were pinned into the flight recorder even
+    // though slow_frame_ms never tripped (it is disabled here).
+    ASSERT_FALSE(snap.slow_frames.empty());
+    bool pinned = false;
+    for (const auto &r : snap.slow_frames)
+        if (tickets.count(r.ticket) && r.latency_ms > 5.0 && !r.failed)
+            pinned = true;
+    EXPECT_TRUE(pinned) << "no breaching ticket in the flight recorder";
+
+    std::vector<server::FrameResult> results;
+    srv.drainResults(results);
+    EXPECT_EQ(results.size(), 6u);
+    srv.closeSession(client);
+}
+
+TEST(FrameServerFault, SloAvailabilityBreachOnInjectedFaults)
+{
+    FaultGuard guard;
+
+    server::SceneRegistry reg;
+    ASSERT_NE(reg.addProcedural("lego", "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    server::ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.threads_per_shard = 1;
+    cfg.flight_recorder_frames = 16;
+    cfg.slo.cls[int(server::QosClass::Standard)].max_error_fraction =
+        0.2;
+    cfg.slo.fast_window_s = 0.2;
+    cfg.slo.slow_window_s = 0.5;
+    server::FrameServer srv(reg, cfg);
+
+    const uint64_t client =
+        srv.openSession("lego", server::QosClass::Standard);
+    const nerf::Camera cam =
+        nerf::cameraForScene(reg.find("lego")->info, 16, 16);
+
+    // Every frame's render throws: error fraction 1.0 against a 20%
+    // budget burns at 5x in both windows.
+    fault::arm(fault::kEngineStageThrow, 1.0, /*max_fires=*/4);
+    for (int f = 0; f < 4; ++f)
+        ASSERT_NE(srv.submitFrame(client, cam), 0u);
+    srv.waitIdle();
+
+    const auto snap = srv.stats();
+    const auto &cls = snap.cls[int(server::QosClass::Standard)];
+    EXPECT_EQ(cls.failed, 4u);
+    EXPECT_GE(cls.slo_error_fast_burn, 1.0);
+    EXPECT_GE(cls.slo_error_slow_burn, 1.0);
+    EXPECT_EQ(cls.slo_error_breached, 1);
+    EXPECT_GE(cls.slo_breach_events, 1u);
+    EXPECT_EQ(metrics::gauge("asdr_slo_breach",
+                             "qos=\"standard\",slo=\"availability\"")
+                  .value(),
+              1.0);
+
+    std::vector<server::FrameResult> results;
+    srv.drainResults(results);
+    EXPECT_EQ(results.size(), 4u);
+    srv.closeSession(client);
+}

@@ -26,8 +26,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,6 +44,7 @@
 #include "server/frame_server.hpp"
 #include "server/scene_registry.hpp"
 #include "util/fault.hpp"
+#include "util/telemetry.hpp"
 
 using namespace asdr;
 using namespace asdr::net;
@@ -69,6 +74,21 @@ orbitSpecs(const scene::SceneInfo &info, int frames, float phase)
         path.push_back(cs);
     }
     return path;
+}
+
+/** Every nonzero "ticket":N value in a trace_event JSON document. */
+std::set<uint64_t>
+ticketsInTraceJson(const std::string &json)
+{
+    std::set<uint64_t> out;
+    const std::string needle = "\"ticket\":";
+    for (size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + 1)) {
+        const uint64_t t = std::stoull(json.substr(pos + needle.size()));
+        if (t != 0)
+            out.insert(t);
+    }
+    return out;
 }
 
 } // namespace
@@ -192,6 +212,34 @@ TEST(FaultSoak, ClosedLoopSurvivesArmedSitesWithExactAccounting)
         client.closeSession(session, &err); // best effort under faults
     };
 
+    // Optional live-trace follower (CI's trace-soak job sets
+    // ASDR_SOAK_FOLLOW_OUT): a subscriber tails the service's span
+    // stream into a file WHILE the soak's socket faults tear
+    // connections around it. A fresh subscription replays the whole
+    // span buffer, so the file converges on the full trace no matter
+    // how many times the follower's own connection is torn.
+    const char *follow_out_env = std::getenv("ASDR_SOAK_FOLLOW_OUT");
+    const std::string follow_out = follow_out_env ? follow_out_env : "";
+    std::atomic<bool> follow_stop{false};
+    std::thread follower;
+    if (!follow_out.empty()) {
+        follower = std::thread([&] {
+            while (!follow_stop.load()) {
+                Client fc;
+                std::string ferr;
+                RetryPolicy retry;
+                retry.max_attempts = 8;
+                if (!fc.connectWithRetry("127.0.0.1", service.port(),
+                                         retry, &ferr,
+                                         /*recv_timeout_s=*/2.0))
+                    break;
+                (void)fc.followSpans(follow_out, 3600.0, &follow_stop,
+                                     &ferr);
+                fc.disconnect();
+            }
+        });
+    }
+
     std::vector<std::thread> threads;
     for (int v = 0; v < kViewers; ++v)
         threads.emplace_back(drive, v);
@@ -225,6 +273,47 @@ TEST(FaultSoak, ClosedLoopSurvivesArmedSitesWithExactAccounting)
     }
     EXPECT_GT(submitted, 0u);
     EXPECT_EQ(submitted, resolved);
+
+    if (!follow_out.empty()) {
+        follow_stop = true;
+        follower.join();
+        // Final convergence pass on a clean connection: followSpans
+        // with the stop flag already up subscribes, lets the service's
+        // unsubscribe barrier drain the FULL buffer (a fresh cursor
+        // replays from the start), and rewrites the file. Retry past
+        // any still-armed socket faults.
+        bool converged = false;
+        std::string ferr;
+        for (int attempt = 0; attempt < 8 && !converged; ++attempt) {
+            Client fc;
+            std::atomic<bool> stop_now{true};
+            if (!fc.connect("127.0.0.1", service.port(), &ferr))
+                continue;
+            converged =
+                fc.followSpans(follow_out, 3600.0, &stop_now, &ferr);
+            fc.disconnect();
+        }
+        ASSERT_TRUE(converged) << ferr;
+
+        // The exit dump beside it, for CI's ticket-set comparison.
+        std::string werr;
+        ASSERT_TRUE(telemetry::writeJson(follow_out + ".exit.json",
+                                         &werr))
+            << werr;
+
+        // And the same comparison here: live streaming lost nothing.
+        std::ifstream in(follow_out, std::ios::binary);
+        ASSERT_TRUE(in.good()) << follow_out;
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const std::set<uint64_t> followed =
+            ticketsInTraceJson(buf.str());
+        const std::set<uint64_t> dumped =
+            ticketsInTraceJson(telemetry::toJsonString());
+        EXPECT_EQ(followed, dumped);
+        std::cout << "trace follow: " << followed.size()
+                  << " tickets streamed live\n";
+    }
 
     // When ctest armed the sites, record that the soak actually soaked
     // (direct runs without ASDR_FAULTS legitimately skip this).

@@ -373,12 +373,21 @@ TEST(Messages, StatsReplyRoundTripIncludingScenes)
     scene.cache_evictions = 12;
     scene.cache_epoch_drops = 3;
     msg.server.scenes.push_back(scene);
+    msg.server.cls[1].slo_latency_fast_burn = 1.25;
+    msg.server.cls[1].slo_latency_slow_burn = 0.75;
+    msg.server.cls[1].slo_error_fast_burn = 2.5;
+    msg.server.cls[1].slo_error_slow_burn = 2.0;
+    msg.server.cls[1].slo_latency_breached = 1;
+    msg.server.cls[1].slo_error_breached = 1;
+    msg.server.cls[1].slo_breach_events = 3;
     msg.wire.frames_sent = 123;
     msg.wire.frame_payload_bytes = 4567;
     msg.wire.results_degraded = 6;
     msg.wire.results_parked = 7;
     msg.wire.sessions_resumed = 8;
     msg.wire.sessions_expired = 9;
+    msg.wire.span_batches_sent = 44;
+    msg.wire.span_batches_dropped = 5;
     auto buf = packMessage(MsgType::StatsReply, msg);
     StatsReplyMsg got;
     ASSERT_TRUE(unpack(buf, MsgType::StatsReply, got));
@@ -404,7 +413,80 @@ TEST(Messages, StatsReplyRoundTripIncludingScenes)
     EXPECT_EQ(got.wire.results_parked, 7u);
     EXPECT_EQ(got.wire.sessions_resumed, 8u);
     EXPECT_EQ(got.wire.sessions_expired, 9u);
+    EXPECT_EQ(got.server.cls[1].slo_latency_fast_burn, 1.25);
+    EXPECT_EQ(got.server.cls[1].slo_latency_slow_burn, 0.75);
+    EXPECT_EQ(got.server.cls[1].slo_error_fast_burn, 2.5);
+    EXPECT_EQ(got.server.cls[1].slo_error_slow_burn, 2.0);
+    EXPECT_EQ(got.server.cls[1].slo_latency_breached, 1);
+    EXPECT_EQ(got.server.cls[1].slo_error_breached, 1);
+    EXPECT_EQ(got.server.cls[1].slo_breach_events, 3u);
+    EXPECT_EQ(got.wire.span_batches_sent, 44u);
+    EXPECT_EQ(got.wire.span_batches_dropped, 5u);
     expectTruncationsRejected<StatsReplyMsg>(buf, MsgType::StatsReply);
+}
+
+TEST(Messages, TelemetrySubscriptionRoundTrips)
+{
+    {
+        SubscribeTelemetryMsg msg;
+        msg.enable = 0;
+        auto buf = packMessage(MsgType::SubscribeTelemetry, msg);
+        SubscribeTelemetryMsg got;
+        ASSERT_TRUE(unpack(buf, MsgType::SubscribeTelemetry, got));
+        EXPECT_EQ(got.enable, 0);
+        expectTruncationsRejected<SubscribeTelemetryMsg>(
+            buf, MsgType::SubscribeTelemetry);
+    }
+    {
+        SubscribeTelemetryOkMsg msg;
+        msg.enabled = 1;
+        auto buf = packMessage(MsgType::SubscribeTelemetryOk, msg);
+        SubscribeTelemetryOkMsg got;
+        ASSERT_TRUE(unpack(buf, MsgType::SubscribeTelemetryOk, got));
+        EXPECT_EQ(got.enabled, 1);
+        expectTruncationsRejected<SubscribeTelemetryOkMsg>(
+            buf, MsgType::SubscribeTelemetryOk);
+    }
+
+    SpanBatchMsg msg;
+    msg.seq = 7;
+    msg.dropped = 2;
+    WireSpan s;
+    s.name = "engine.phase2_tiles";
+    s.frame = 11;
+    s.ticket = 42;
+    s.lane = 3;
+    s.t_start_us = 1000;
+    s.t_end_us = 1500;
+    msg.spans.push_back(s);
+    s.name = "net.encode";
+    s.t_start_us = 1500;
+    s.t_end_us = 1501;
+    msg.spans.push_back(s);
+    auto buf = packMessage(MsgType::SpanBatch, msg);
+    SpanBatchMsg got;
+    ASSERT_TRUE(unpack(buf, MsgType::SpanBatch, got));
+    EXPECT_EQ(got.seq, 7u);
+    EXPECT_EQ(got.dropped, 2u);
+    ASSERT_EQ(got.spans.size(), 2u);
+    EXPECT_EQ(got.spans[0].name, "engine.phase2_tiles");
+    EXPECT_EQ(got.spans[0].ticket, 42u);
+    EXPECT_EQ(got.spans[0].lane, 3u);
+    EXPECT_EQ(got.spans[0].t_start_us, 1000u);
+    EXPECT_EQ(got.spans[0].t_end_us, 1500u);
+    EXPECT_EQ(got.spans[1].name, "net.encode");
+    expectTruncationsRejected<SpanBatchMsg>(buf, MsgType::SpanBatch);
+
+    // Validation: a span with an empty name or a backwards interval is
+    // a protocol violation, not a silently accepted record.
+    SpanBatchMsg bad = msg;
+    bad.spans[0].name.clear();
+    buf = packMessage(MsgType::SpanBatch, bad);
+    EXPECT_FALSE(unpack(buf, MsgType::SpanBatch, got));
+    bad = msg;
+    bad.spans[1].t_end_us = bad.spans[1].t_start_us - 1;
+    buf = packMessage(MsgType::SpanBatch, bad);
+    EXPECT_FALSE(unpack(buf, MsgType::SpanBatch, got));
 }
 
 TEST(Messages, RemainingControlRoundTrips)
@@ -542,6 +624,18 @@ TEST(Fuzz, RandomBuffersNeverCrashAnyDecoder)
         }
         {
             MetricsReplyMsg m;
+            (void)decodePayload(p, n, m);
+        }
+        {
+            SubscribeTelemetryMsg m;
+            (void)decodePayload(p, n, m);
+        }
+        {
+            SubscribeTelemetryOkMsg m;
+            (void)decodePayload(p, n, m);
+        }
+        {
+            SpanBatchMsg m;
             (void)decodePayload(p, n, m);
         }
     }

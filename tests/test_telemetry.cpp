@@ -20,13 +20,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/client.hpp"
@@ -300,9 +305,11 @@ TEST(Metrics, RegistryRenderTextExposition)
     EXPECT_NE(text.find("# TYPE telemetrytest_depth gauge"),
               std::string::npos);
     EXPECT_NE(text.find("telemetrytest_depth 2.5"), std::string::npos);
-    EXPECT_NE(text.find("# TYPE telemetrytest_latency summary"),
+    EXPECT_NE(text.find("# TYPE telemetrytest_latency histogram"),
               std::string::npos);
-    EXPECT_NE(text.find("telemetrytest_latency{quantile=\"0.5\"}"),
+    EXPECT_NE(text.find("telemetrytest_latency_bucket{le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("telemetrytest_latency_sum 0.5"),
               std::string::npos);
     EXPECT_NE(text.find("telemetrytest_latency_count 2"),
               std::string::npos);
@@ -572,6 +579,9 @@ TEST(Telemetry, FlightRecorderRingIsBounded)
 TEST(WireTelemetry, MetricsTextScrapeRoundTrip)
 {
     TelemetryGuard guard;
+    // Tracing on so span closes feed the per-stage histograms the
+    // scrape below asserts on (the guard restores the off state).
+    telemetry::setEnabled(true);
 
     server::SceneRegistry reg;
     ASSERT_NE(reg.addProcedural("Lego", "Lego",
@@ -613,7 +623,16 @@ TEST(WireTelemetry, MetricsTextScrapeRoundTrip)
               std::string::npos);
     EXPECT_NE(text.find("asdr_frames_served_total{qos=\"standard\"}"),
               std::string::npos);
-    EXPECT_NE(text.find("# TYPE asdr_frame_latency_seconds summary"),
+    EXPECT_NE(text.find("# TYPE asdr_frame_latency_seconds histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("asdr_frame_latency_seconds_bucket"),
+              std::string::npos);
+    // The engine stage spans feed per-stage duration histograms, and
+    // those travel the same wire scrape.
+    EXPECT_NE(text.find("# TYPE asdr_stage_duration_seconds histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("asdr_stage_duration_seconds_bucket{"
+                        "stage=\"engine.phase2_tiles\",qos=\"standard\""),
               std::string::npos);
     EXPECT_NE(text.find("asdr_wire_frames_sent"), std::string::npos);
     EXPECT_NE(text.find("asdr_wire_connections_open"),
@@ -635,4 +654,441 @@ TEST(WireTelemetry, MetricsTextScrapeRoundTrip)
     c.disconnect();
     service.reset();
     srv.reset();
+}
+
+// --------------------------------------------------- label escaping
+
+TEST(Metrics, LabelValuesEscapedInExposition)
+{
+    EXPECT_EQ(metrics::escapeLabelValue("plain"), "plain");
+    EXPECT_EQ(metrics::escapeLabelValue("a\"b"), "a\\\"b");
+    EXPECT_EQ(metrics::escapeLabelValue("a\\b"), "a\\\\b");
+    EXPECT_EQ(metrics::escapeLabelValue("a\nb"), "a\\nb");
+
+    // A hostile scene name rides FrameServer::stats() into the scene
+    // gauges; the exposition must stay line-oriented and parseable.
+    TelemetryGuard guard;
+    server::SceneRegistry reg;
+    const std::string hostile = "lego\"evil\\\n";
+    ASSERT_NE(reg.addProcedural(hostile, "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    server::ServerConfig cfg;
+    cfg.shards = 1;
+    cfg.threads_per_shard = 1;
+    server::FrameServer srv(reg, cfg);
+    const uint64_t client =
+        srv.openSession(hostile, server::QosClass::Standard);
+    ASSERT_NE(client, 0u);
+    const nerf::Camera cam =
+        nerf::cameraForScene(reg.find(hostile)->info, 16, 16);
+    ASSERT_NE(srv.submitFrame(client, cam), 0u);
+    srv.waitIdle();
+    (void)srv.stats(); // registers the scene gauges
+
+    const std::string text = metrics::renderText();
+    // The escaped spelling is present; the raw one is not.
+    EXPECT_NE(text.find("scene=\"lego\\\"evil\\\\\\n\""),
+              std::string::npos);
+    EXPECT_EQ(text.find("lego\"evil"), std::string::npos);
+    // No exposition line may hold an odd number of quotes (a raw
+    // quote or newline inside a label value splits series lines).
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        size_t quotes = 0;
+        for (size_t i = 0; i < line.size(); ++i)
+            if (line[i] == '"' && (i == 0 || line[i - 1] != '\\'))
+                quotes++;
+        EXPECT_EQ(quotes % 2, 0u) << line;
+    }
+
+    std::vector<server::FrameResult> results;
+    srv.drainResults(results);
+    srv.closeSession(client);
+}
+
+// ----------------------------------------- histogram bucket exposition
+
+TEST(Metrics, HistogramBucketsAreCumulativeAndEndAtInf)
+{
+    metrics::Histogram &h =
+        metrics::histogram("telemetrytest_bucket_shape");
+    h.reset();
+    h.record(0.001);
+    h.record(0.001);
+    h.record(0.050);
+    h.record(2.0);
+
+    const std::string text = metrics::renderText();
+    std::istringstream lines(text);
+    std::string line;
+    uint64_t prev = 0;
+    uint64_t inf_count = 0;
+    int bucket_lines = 0;
+    while (std::getline(lines, line)) {
+        if (line.rfind("telemetrytest_bucket_shape_bucket{", 0) != 0)
+            continue;
+        bucket_lines++;
+        const size_t sp = line.rfind(' ');
+        ASSERT_NE(sp, std::string::npos) << line;
+        const uint64_t cum = std::stoull(line.substr(sp + 1));
+        EXPECT_GE(cum, prev) << "buckets must be cumulative: " << line;
+        prev = cum;
+        if (line.find("le=\"+Inf\"") != std::string::npos)
+            inf_count = cum;
+    }
+    EXPECT_GE(bucket_lines, 4); // 3 distinct edges + the +Inf closer
+    EXPECT_EQ(inf_count, h.count());
+    EXPECT_NE(text.find("telemetrytest_bucket_shape_count 4"),
+              std::string::npos);
+}
+
+// ------------------------------------------------- incremental cursor
+
+TEST(Telemetry, CollectCursorDrainsOnlyNewSpans)
+{
+    TelemetryGuard guard;
+    telemetry::setEnabled(true);
+
+    for (uint64_t t = 1; t <= 5; ++t)
+        telemetry::recordSpan(telemetry::kSpanTiles, 1, t, 10 * t,
+                              10 * t + 5);
+
+    telemetry::CollectCursor cur;
+    std::vector<telemetry::Span> out;
+    EXPECT_EQ(telemetry::collectNewSpans(cur, out, 1024), 5u);
+    EXPECT_EQ(out.size(), 5u);
+    out.clear();
+    // Nothing new: the cursor advanced past everything.
+    EXPECT_EQ(telemetry::collectNewSpans(cur, out, 1024), 0u);
+
+    for (uint64_t t = 6; t <= 8; ++t)
+        telemetry::recordSpan(telemetry::kSpanTiles, 1, t, 10 * t,
+                              10 * t + 5);
+    EXPECT_EQ(telemetry::collectNewSpans(cur, out, 1024), 3u);
+    std::set<uint64_t> tickets;
+    for (const auto &s : out)
+        tickets.insert(s.ticket);
+    EXPECT_EQ(tickets, (std::set<uint64_t>{6, 7, 8}));
+
+    // Short reads resume where they stopped.
+    for (uint64_t t = 9; t <= 12; ++t)
+        telemetry::recordSpan(telemetry::kSpanTiles, 1, t, 10 * t,
+                              10 * t + 5);
+    out.clear();
+    EXPECT_EQ(telemetry::collectNewSpans(cur, out, 2), 2u);
+    EXPECT_EQ(telemetry::collectNewSpans(cur, out, 2), 2u);
+    EXPECT_EQ(telemetry::collectNewSpans(cur, out, 2), 0u);
+
+    // An independent cursor replays the full buffer from the start.
+    telemetry::CollectCursor fresh;
+    out.clear();
+    EXPECT_EQ(telemetry::collectNewSpans(fresh, out, 1024), 12u);
+}
+
+// ------------------------------------------------------ span streaming
+
+TEST(WireTelemetry, UnsubscribeBarrierDeliversEveryRecordedSpan)
+{
+    TelemetryGuard guard;
+
+    server::SceneRegistry reg;
+    ASSERT_NE(reg.addProcedural("Lego", "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    server::ServerConfig scfg;
+    scfg.shards = 1;
+    scfg.threads_per_shard = 1;
+    auto srv = std::make_unique<server::FrameServer>(reg, scfg);
+    auto service = std::make_unique<net::RenderService>(*srv);
+    std::string err;
+    ASSERT_TRUE(service->start(&err)) << err;
+
+    net::Client c;
+    ASSERT_TRUE(c.connect("127.0.0.1", service->port(), &err)) << err;
+    const uint64_t s = c.openSession("Lego", server::QosClass::Standard,
+                                     net::FrameEncoding::Raw, &err);
+    ASSERT_NE(s, 0u) << err;
+
+    // Subscribing turns tracing on service-side when it was off.
+    ASSERT_FALSE(telemetry::enabled());
+    ASSERT_TRUE(c.subscribeSpans(true, &err)) << err;
+    EXPECT_TRUE(telemetry::enabled());
+
+    net::CameraSpec cs;
+    const scene::SceneInfo &info = reg.find("Lego")->info;
+    cs.pos = nerf::orbitPosition(info, 0.0f);
+    cs.look_at = info.look_at;
+    cs.fov_deg = info.fov_deg;
+    cs.width = 16;
+    cs.height = 16;
+    std::set<uint64_t> tickets;
+    for (int f = 0; f < 3; ++f) {
+        const uint64_t t = c.submitFrame(s, cs, &err);
+        ASSERT_NE(t, 0u) << err;
+        tickets.insert(t);
+        net::ClientFrame frame;
+        ASSERT_TRUE(c.nextFrame(frame, &err)) << err;
+        EXPECT_TRUE(frame.ok());
+    }
+
+    // Delivery's encode span closes on the engine completion thread
+    // just after the result bytes go out, so it can land a beat after
+    // nextFrame returns. Wait for the buffers to go quiescent before
+    // unsubscribing -- the barrier below is about what was RECORDED
+    // before the disable, not about engine scheduling.
+    auto encodeSpansRecorded = [&] {
+        size_t n = 0;
+        for (const auto &sp : telemetry::snapshot())
+            if (sp.name == std::string(telemetry::kSpanEncode) &&
+                tickets.count(sp.ticket))
+                n++;
+        return n == tickets.size();
+    };
+    for (int spin = 0; spin < 400 && !encodeSpansRecorded(); ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(encodeSpansRecorded());
+
+    // The disable reply is sent after the final drain, so everything
+    // recorded up to here is in hand once this returns...
+    ASSERT_TRUE(c.subscribeSpans(false, &err)) << err;
+    // ...and the service restored tracing off (it enabled it).
+    EXPECT_FALSE(telemetry::enabled());
+    EXPECT_EQ(c.spanBatchesDropped(), 0u);
+
+    std::vector<net::WireSpan> streamed;
+    c.drainSpans(streamed);
+
+    // Streamed spans are exactly the service-side buffer contents.
+    auto key = [](const std::string &name, uint64_t ticket,
+                  uint64_t t0, uint64_t t1) {
+        std::ostringstream os;
+        os << name << "|" << ticket << "|" << t0 << "|" << t1;
+        return os.str();
+    };
+    std::multiset<std::string> remote, local;
+    for (const auto &sp : streamed)
+        remote.insert(key(sp.name, sp.ticket, sp.t_start_us,
+                          sp.t_end_us));
+    for (const auto &sp : telemetry::snapshot())
+        local.insert(key(sp.name, sp.ticket, sp.t_start_us,
+                         sp.t_end_us));
+    EXPECT_EQ(remote, local);
+
+    // Full stage coverage for every served ticket.
+    const std::vector<std::string> expected = {
+        telemetry::kSpanQueueWait, telemetry::kSpanAdmit,
+        telemetry::kSpanRaySetup,  telemetry::kSpanProbes,
+        telemetry::kSpanPlanning,  telemetry::kSpanTiles,
+        telemetry::kSpanFinalize,  telemetry::kSpanEncode,
+    };
+    for (uint64_t ticket : tickets) {
+        std::set<std::string> names;
+        for (const auto &sp : streamed)
+            if (sp.ticket == ticket)
+                names.insert(sp.name);
+        for (const std::string &want : expected)
+            EXPECT_TRUE(names.count(want))
+                << "ticket " << ticket << " missing " << want;
+    }
+
+    // The client-side trace render is machine-parseable.
+    const std::string json = net::spansToTraceJson(streamed);
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.document()) << json.substr(0, 400);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+    c.closeSession(s, &err);
+    c.disconnect();
+    service.reset();
+    srv.reset();
+}
+
+namespace {
+
+/** Every "ticket":N value in a trace_event JSON document. */
+std::set<uint64_t>
+ticketsInTraceJson(const std::string &json)
+{
+    std::set<uint64_t> out;
+    const std::string needle = "\"ticket\":";
+    for (size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + 1)) {
+        const uint64_t t = std::stoull(json.substr(pos + needle.size()));
+        if (t != 0)
+            out.insert(t);
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(WireTelemetry, TraceFollowMatchesExitDumpTicketCoverage)
+{
+    TelemetryGuard guard;
+
+    server::SceneRegistry reg;
+    ASSERT_NE(reg.addProcedural("Lego", "Lego",
+                                nerf::NgpModelConfig::fast(),
+                                smallConfig()),
+              nullptr);
+    server::ServerConfig scfg;
+    scfg.shards = 1;
+    scfg.threads_per_shard = 1;
+    auto srv = std::make_unique<server::FrameServer>(reg, scfg);
+    auto service = std::make_unique<net::RenderService>(*srv);
+    std::string err;
+    ASSERT_TRUE(service->start(&err)) << err;
+
+    // A second connection tails the spans into a growing trace file
+    // while the first renders -- no server restart, no exit dump.
+    const std::string path = "asdr_trace_follow_test.json";
+    std::atomic<bool> stop{false};
+    std::atomic<bool> follow_ok{false};
+    std::string follow_err;
+    const uint16_t port = service->port();
+    std::thread follower([&] {
+        net::Client f;
+        std::string ferr;
+        if (!f.connect("127.0.0.1", port, &ferr)) {
+            follow_err = ferr;
+            return;
+        }
+        follow_ok = f.followSpans(path, 30.0, &stop, &ferr);
+        follow_err = ferr;
+        f.disconnect();
+    });
+
+    net::Client c;
+    ASSERT_TRUE(c.connect("127.0.0.1", service->port(), &err)) << err;
+    const uint64_t s = c.openSession("Lego", server::QosClass::Standard,
+                                     net::FrameEncoding::Raw, &err);
+    ASSERT_NE(s, 0u) << err;
+    net::CameraSpec cs;
+    const scene::SceneInfo &info = reg.find("Lego")->info;
+    cs.pos = nerf::orbitPosition(info, 0.0f);
+    cs.look_at = info.look_at;
+    cs.fov_deg = info.fov_deg;
+    cs.width = 16;
+    cs.height = 16;
+    // Give the follower a beat to attach (its subscription is what
+    // turns tracing on), then render.
+    for (int spin = 0; spin < 200 && !telemetry::enabled(); ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(telemetry::enabled()) << follow_err;
+    std::set<uint64_t> tickets;
+    for (int f = 0; f < 3; ++f) {
+        const uint64_t t = c.submitFrame(s, cs, &err);
+        ASSERT_NE(t, 0u) << err;
+        tickets.insert(t);
+        net::ClientFrame frame;
+        ASSERT_TRUE(c.nextFrame(frame, &err)) << err;
+        EXPECT_TRUE(frame.ok());
+    }
+
+    // Same quiescence wait as the barrier test: the last encode span
+    // closes on the engine completion thread a beat after delivery.
+    auto encodeSpansRecorded = [&] {
+        size_t n = 0;
+        for (const auto &sp : telemetry::snapshot())
+            if (sp.name == std::string(telemetry::kSpanEncode) &&
+                tickets.count(sp.ticket))
+                n++;
+        return n == tickets.size();
+    };
+    for (int spin = 0; spin < 400 && !encodeSpansRecorded(); ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(encodeSpansRecorded());
+
+    stop = true;
+    follower.join();
+    EXPECT_TRUE(follow_ok.load()) << follow_err;
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string followed = buf.str();
+
+    JsonChecker checker(followed);
+    EXPECT_TRUE(checker.document()) << followed.substr(0, 400);
+    EXPECT_NE(followed.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(followed.find(telemetry::kSpanFinalize),
+              std::string::npos);
+
+    // Ticket coverage equals the exit dump the server itself would
+    // write: live streaming lost nothing.
+    const std::set<uint64_t> followed_tickets =
+        ticketsInTraceJson(followed);
+    const std::set<uint64_t> dump_tickets =
+        ticketsInTraceJson(telemetry::toJsonString());
+    EXPECT_EQ(followed_tickets, dump_tickets);
+    for (uint64_t t : tickets)
+        EXPECT_TRUE(followed_tickets.count(t)) << "ticket " << t;
+
+    std::remove(path.c_str());
+    c.closeSession(s, &err);
+    c.disconnect();
+    service.reset();
+    srv.reset();
+}
+
+// ------------------------------------- concurrent flight-recorder ingest
+
+TEST(Telemetry, FlightRecorderConcurrentIngestStaysBoundedAndRaceFree)
+{
+    server::ServerStats stats;
+    stats.setSlowFrameKeep(8);
+
+    constexpr int kWriters = 4;
+    constexpr int kPerWriter = 500;
+    std::atomic<bool> done{false};
+    std::atomic<bool> reader_sane{true};
+
+    // A reader snapshots (and renders) the ring while writers race it:
+    // under TSan this is the regression for torn reads of the deque.
+    std::thread reader([&] {
+        while (!done.load(std::memory_order_relaxed)) {
+            const server::ServerStatsSnapshot snap = stats.snapshot();
+            if (snap.slow_frames.size() > 8)
+                reader_sane = false;
+            const std::string json = snap.toJson();
+            if (json.empty())
+                reader_sane = false;
+        }
+    });
+
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&stats, w] {
+            for (int i = 0; i < kPerWriter; ++i) {
+                server::SlowFrameRecord rec;
+                rec.ticket = uint64_t(w) * kPerWriter + i + 1;
+                rec.frame = rec.ticket;
+                rec.qos = server::QosClass(w % server::kQosClasses);
+                rec.latency_ms = 1.0 + i;
+                rec.failed = (i % 7) == 0;
+                server::SlowFrameSpan span;
+                span.name = telemetry::kSpanTiles;
+                span.t_start_us = uint64_t(i);
+                span.t_end_us = uint64_t(i) + 5;
+                rec.spans.push_back(span);
+                stats.recordSlowFrame(std::move(rec));
+            }
+        });
+    }
+    for (auto &t : writers)
+        t.join();
+    done = true;
+    reader.join();
+
+    EXPECT_TRUE(reader_sane.load());
+    const server::ServerStatsSnapshot snap = stats.snapshot();
+    EXPECT_EQ(snap.slow_frame_count, uint64_t(kWriters) * kPerWriter);
+    EXPECT_EQ(snap.slow_frames.size(), 8u);
+    for (const auto &r : snap.slow_frames)
+        ASSERT_EQ(r.spans.size(), 1u);
 }
